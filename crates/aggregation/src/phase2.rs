@@ -1,0 +1,666 @@
+//! Phase 2: aggregation of the per-iteration effect across the iteration
+//! space (Section 3.4), and derivation of index-array properties.
+//!
+//! Given a [`Phase1Result`], Phase 2 produces the effect of the *entire*
+//! loop:
+//!
+//! * scalar recurrences `λ + k` become `Λ + n·k` (and `λ + a + b·i` uses the
+//!   closed-form index sum);
+//! * array writes with simple subscripts `i + k` expand their subscript to
+//!   the full iteration range;
+//! * loop-invariant written values keep their value range for the whole
+//!   section, and a provably non-negative range also records the
+//!   `NonNegative` property;
+//! * values affine in the loop index make the written section strictly
+//!   monotonic (hence injective) — this is how "index gathering" fills such
+//!   as `p[k] = base + k` are recognized;
+//! * the array recurrence `a[i] = a[i-1] + nonneg` yields `Monotonic_inc`
+//!   over the written range — the key derivation of the paper's Figure 9
+//!   example;
+//! * writes guarded by a representable condition contribute *guarded*
+//!   (subset) facts instead of whole-section facts.
+
+use crate::phase1::Phase1Result;
+use ss_properties::{ArrayFact, ArrayProperty, PropertySet, ValueFilter};
+use ss_rangeprop::{Env, WriteRecord};
+use ss_symbolic::simplify::affine_in;
+use ss_symbolic::subst::{subst_array_ref, subst_sym};
+use ss_symbolic::sum::aggregate_scalar_range;
+use ss_symbolic::{simplify, simplify_diff, Expr, SymRange};
+use std::collections::HashMap;
+
+/// The effect of an entire loop, produced by Phase 2.  This is what the
+/// paper calls the *collapsed* loop.
+#[derive(Debug, Clone)]
+pub struct CollapsedLoop {
+    /// The loop this summary describes.
+    pub loop_id: ss_ir::LoopId,
+    /// The loop's index variable (empty for `while` loops).
+    pub index_var: String,
+    /// Scalar values at loop exit, over `Λ(..)` and loop-invariant symbols.
+    /// Scalars missing here were assigned but could not be aggregated.
+    pub scalar_exit: HashMap<String, SymRange>,
+    /// Scalars assigned by the loop whose exit value is unknown.
+    pub clobbered_scalars: Vec<String>,
+    /// Facts about array sections written by the loop.
+    pub array_facts: Vec<ArrayFact>,
+    /// Arrays written in ways the analysis could not summarize.
+    pub clobbered_arrays: Vec<String>,
+}
+
+impl CollapsedLoop {
+    /// The fact derived for `array`, if any.
+    pub fn fact(&self, array: &str) -> Option<&ArrayFact> {
+        self.array_facts.iter().find(|f| f.array == array)
+    }
+}
+
+/// Runs Phase 2 for a loop whose Phase 1 summary is given.
+///
+/// `entry_env` is the environment at loop entry; it supplies the relational
+/// assumptions (and known array value ranges) needed to prove, e.g., that a
+/// recurrence increment is non-negative.
+pub fn phase2(p1: &Phase1Result, entry_env: &Env) -> CollapsedLoop {
+    let info = &p1.info;
+    let mut out = CollapsedLoop {
+        loop_id: info.id,
+        index_var: info.var.clone(),
+        scalar_exit: HashMap::new(),
+        clobbered_scalars: Vec::new(),
+        array_facts: Vec::new(),
+        clobbered_arrays: Vec::new(),
+    };
+    // Loops we cannot normalize (while loops, decreasing/unknown-step for
+    // loops) clobber everything they touch.
+    if info.last == Expr::Bottom || info.first == Expr::Bottom {
+        for name in p1.scalars.keys() {
+            out.clobbered_scalars.push(name.clone());
+        }
+        for w in &p1.writes {
+            if !out.clobbered_arrays.contains(&w.array) {
+                out.clobbered_arrays.push(w.array.clone());
+            }
+        }
+        return out;
+    }
+
+    aggregate_scalars(p1, &mut out);
+    aggregate_array_writes(p1, entry_env, &mut out);
+    out
+}
+
+fn aggregate_scalars(p1: &Phase1Result, out: &mut CollapsedLoop) {
+    let info = &p1.info;
+    for (name, range) in &p1.scalars {
+        if range.is_unknown() {
+            out.clobbered_scalars.push(name.clone());
+            continue;
+        }
+        // Bounds that reference λ of *other* scalars or array elements are
+        // beyond the current aggregation algebra.
+        let foreign_lambda = |e: &Expr| {
+            e.contains_any_lambda() && !e.contains_lambda(name)
+        };
+        if foreign_lambda(&range.lo)
+            || foreign_lambda(&range.hi)
+            || range.lo.contains_any_array_ref()
+            || range.hi.contains_any_array_ref()
+        {
+            out.clobbered_scalars.push(name.clone());
+            continue;
+        }
+        match aggregate_scalar_range(
+            name,
+            &range.lo,
+            &range.hi,
+            &info.var,
+            &info.first,
+            &info.last,
+        ) {
+            Some((lo, hi)) => {
+                out.scalar_exit
+                    .insert(name.clone(), SymRange::new(lo, hi));
+            }
+            None => out.clobbered_scalars.push(name.clone()),
+        }
+    }
+}
+
+fn aggregate_array_writes(p1: &Phase1Result, entry_env: &Env, out: &mut CollapsedLoop) {
+    let info = &p1.info;
+    // Group writes by array; arrays with several distinct writes in one
+    // iteration are summarized write-by-write (each contributes its own
+    // fact), but a single unknown write clobbers the whole array.
+    for w in &p1.writes {
+        if out.clobbered_arrays.contains(&w.array) {
+            continue;
+        }
+        match summarize_write(w, p1, entry_env) {
+            WriteSummary::Fact(fact) => merge_fact(out, fact),
+            WriteSummary::Clobber => {
+                out.array_facts.retain(|f| f.array != w.array);
+                out.clobbered_arrays.push(w.array.clone());
+            }
+        }
+    }
+    validate_guarded_facts(p1, entry_env, out);
+    let _ = info;
+}
+
+/// Guarded (subset) facts claim "the elements with non-negative values are
+/// injective/monotonic".  That is only sound when the loop demonstrably
+/// writes *every* other element a negative value (the Figure 5 pattern:
+/// matched rows get unique indices, unmatched rows get -1).  Facts whose
+/// complementary writes cannot be proven negative are dropped.
+fn validate_guarded_facts(p1: &Phase1Result, entry_env: &Env, out: &mut CollapsedLoop) {
+    let info = &p1.info;
+    let mut asm = entry_env.assumptions.clone();
+    if info.first != Expr::Bottom && info.last != Expr::Bottom && !info.var.is_empty() {
+        asm.assume_range(info.var.clone(), info.index_range());
+    }
+    for fact in &mut out.array_facts {
+        if fact.guarded.is_empty() {
+            continue;
+        }
+        let writes: Vec<&WriteRecord> = p1
+            .writes
+            .iter()
+            .filter(|w| w.array == fact.array)
+            .collect();
+        let negative = |w: &WriteRecord| {
+            w.value.hi != Expr::Bottom
+                && asm.prove_le(&w.value.hi, &Expr::Int(-1)).is_proven()
+        };
+        let nonneg = |w: &WriteRecord| {
+            w.value.lo != Expr::Bottom && asm.prove_nonneg(&w.value.lo).is_proven()
+        };
+        let negative_writes = writes.iter().filter(|w| negative(w)).count();
+        let other_writes: Vec<&&WriteRecord> = writes.iter().filter(|w| !negative(w)).collect();
+        let sound = negative_writes >= 1
+            && other_writes.len() == 1
+            && nonneg(other_writes[0]);
+        if !sound {
+            fact.guarded.clear();
+        }
+    }
+}
+
+enum WriteSummary {
+    Fact(ArrayFact),
+    Clobber,
+}
+
+fn merge_fact(out: &mut CollapsedLoop, fact: ArrayFact) {
+    if let Some(existing) = out
+        .array_facts
+        .iter_mut()
+        .find(|f| f.array == fact.array)
+    {
+        // Two different writes to the same array in one iteration: keep the
+        // properties both establish, widen the section and value range.
+        existing.index_range = existing.index_range.union(&fact.index_range);
+        existing.value_range = match (&existing.value_range, &fact.value_range) {
+            (Some(a), Some(b)) => Some(a.union(b)),
+            _ => None,
+        };
+        existing.properties = existing.properties.meet(&fact.properties);
+        existing.guarded.extend(fact.guarded);
+        existing.origin = format!("{}; {}", existing.origin, fact.origin);
+    } else {
+        out.array_facts.push(fact);
+    }
+}
+
+fn summarize_write(w: &WriteRecord, p1: &Phase1Result, entry_env: &Env) -> WriteSummary {
+    let info = &p1.info;
+    if w.under_unknown_guard {
+        // Writes under a condition the analysis cannot represent: the only
+        // sound summary is "this array was modified somehow".
+        return WriteSummary::Clobber;
+    }
+    if w.subscript == Expr::Bottom {
+        return WriteSummary::Clobber;
+    }
+    // The paper's "simple subscript" restriction: the subscript must be
+    // affine in the loop index with unit coefficient (i + k).  Larger
+    // constant strides are also handled since the generalization is free.
+    let Some((coeff, offset)) = affine_in(&w.subscript, &info.var) else {
+        return WriteSummary::Clobber;
+    };
+    if coeff <= 0 || offset.contains_any_lambda() || offset.contains_any_array_ref() {
+        return WriteSummary::Clobber;
+    }
+    // Subscript range across the iteration space.
+    let first_sub = simplify(&Expr::add(
+        Expr::mul(Expr::Int(coeff), info.first.clone()),
+        offset.clone(),
+    ));
+    let last_sub = simplify(&Expr::add(
+        Expr::mul(Expr::Int(coeff), info.last.clone()),
+        offset.clone(),
+    ));
+    let index_range = SymRange::new(first_sub, last_sub);
+
+    let mut fact = ArrayFact::new(w.array.clone(), index_range).with_origin(format!(
+        "phase2 aggregation of loop {} (subscript {})",
+        info.id, w.subscript
+    ));
+
+    // Classify the written value.
+    let classification = classify_value(w, p1, entry_env, coeff, &offset);
+    match classification {
+        ValueClass::Recurrence { nonneg, strict } => {
+            if nonneg {
+                if strict {
+                    fact = fact.with_property(ArrayProperty::StrictMonotonicInc);
+                } else {
+                    fact = fact.with_property(ArrayProperty::MonotonicInc);
+                }
+            } else {
+                // A recurrence with unknown-sign increment: no property.
+            }
+        }
+        ValueClass::AffineInIndex { coeff: vc, offset: voff } => {
+            // element at subscript coeff*i + k gets value vc*i + voff:
+            // strictly monotonic in the subscript when vc > 0 (resp. < 0).
+            if vc > 0 {
+                fact = fact.with_property(ArrayProperty::StrictMonotonicInc);
+                if vc == coeff && ss_symbolic::sym_eq(&voff, &offset) {
+                    fact = fact.with_property(ArrayProperty::Identity);
+                }
+            } else if vc < 0 {
+                fact = fact.with_property(ArrayProperty::StrictMonotonicDec);
+            }
+            let v_first = simplify(&Expr::add(
+                Expr::mul(Expr::Int(vc), info.first.clone()),
+                voff.clone(),
+            ));
+            let v_last = simplify(&Expr::add(
+                Expr::mul(Expr::Int(vc), info.last.clone()),
+                voff.clone(),
+            ));
+            let vr = if vc >= 0 {
+                SymRange::new(v_first, v_last)
+            } else {
+                SymRange::new(v_last, v_first)
+            };
+            if entry_env.assumptions.prove_nonneg(&vr.lo).is_proven() {
+                fact = fact.with_property(ArrayProperty::NonNegative);
+            }
+            fact = fact.with_value_range(vr);
+        }
+        ValueClass::Invariant(vr) => {
+            if !vr.has_unknown_bound()
+                && entry_env.assumptions.prove_nonneg(&vr.lo).is_proven()
+            {
+                fact = fact.with_property(ArrayProperty::NonNegative);
+            }
+            if !vr.has_unknown_bound() {
+                fact = fact.with_value_range(vr);
+            }
+        }
+        ValueClass::Unknown => {}
+    }
+
+    // Guarded writes only establish subset facts: whatever property the
+    // unguarded analysis would have derived holds for the subset of elements
+    // that were actually written, which is in general unknown. The paper's
+    // usable special case is a guard on the *written value's* sign (not
+    // needed for the filling loops we analyze), so a guarded write keeps the
+    // value range (as a may-range) but drops section properties.
+    if !w.guards.is_empty() {
+        let props = std::mem::take(&mut fact.properties);
+        if !props.is_empty() {
+            fact = fact.with_guarded(ValueFilter::non_negative(), props);
+        }
+        fact.properties = PropertySet::empty();
+        // The value range is also only a may-fact for the written subset.
+        fact.value_range = None;
+    }
+    WriteSummary::Fact(fact)
+}
+
+enum ValueClass {
+    /// `a[i] = a[i-1] + inc` with `inc >= 0` (and `>= 1` when `strict`).
+    Recurrence { nonneg: bool, strict: bool },
+    /// Value is affine in the loop index: `coeff * i + offset`.
+    AffineInIndex { coeff: i64, offset: Expr },
+    /// Value is loop-invariant with the given range.
+    Invariant(SymRange),
+    /// None of the supported shapes.
+    Unknown,
+}
+
+fn classify_value(
+    w: &WriteRecord,
+    p1: &Phase1Result,
+    entry_env: &Env,
+    sub_coeff: i64,
+    sub_offset: &Expr,
+) -> ValueClass {
+    let info = &p1.info;
+    // 1. Self-recurrence: the exact value references the previous element of
+    //    the same array (subscript - stride).
+    if w.value_exact != Expr::Bottom && w.value_exact.contains_array_ref(&w.array) {
+        let prev_index = simplify(&Expr::sub(w.subscript.clone(), Expr::Int(sub_coeff)));
+        let increment = simplify_diff(
+            &w.value_exact,
+            &Expr::ArrayRef(w.array.clone(), Box::new(prev_index.clone())),
+        );
+        if increment.contains_array_ref(&w.array) || increment.contains_any_lambda() {
+            return ValueClass::Unknown;
+        }
+        // Substitute known element-value ranges for array references inside
+        // the increment (e.g. rowsize[i-1] -> [0 : COLUMNLEN-1]) and check
+        // the sign of the resulting lower bound.
+        let lower_subst = substitute_array_lower_bounds(&increment, entry_env, p1);
+        let mut asm = p1.exit_env.assumptions.clone();
+        if info.first != Expr::Bottom && info.last != Expr::Bottom {
+            asm.assume_range(info.var.clone(), info.index_range());
+        }
+        let nonneg = asm.prove_nonneg(&lower_subst).is_proven()
+            || asm.prove_nonneg(&increment).is_proven();
+        let strict = asm.prove_le(&Expr::Int(1), &lower_subst).is_proven()
+            || asm.prove_le(&Expr::Int(1), &increment).is_proven();
+        return ValueClass::Recurrence { nonneg, strict };
+    }
+    let _ = sub_offset;
+    // 2. Affine in the loop index.
+    if w.value_exact != Expr::Bottom && !w.value_exact.contains_any_lambda() {
+        if let Some((c, off)) = affine_in(&w.value_exact, &info.var) {
+            if c != 0 && !off.contains_any_array_ref() && !off.contains_sym(&info.var) {
+                return ValueClass::AffineInIndex { coeff: c, offset: off };
+            }
+        }
+    }
+    // 3. Loop-invariant value range (no loop index, no λ).
+    if !w.value.mentions_lambda()
+        && !w.value.mentions_sym(&info.var)
+        && !w.value.has_unknown_bound()
+    {
+        return ValueClass::Invariant(w.value.clone());
+    }
+    // 3b. Value range over λ of a scalar whose per-iteration effect is known
+    //     to stay within a λ-free envelope: the paper's rowsize example has
+    //     value range [0 : COLUMNLEN-1] because `count` was aggregated by the
+    //     inner collapsed loop before the write. That case arrives here
+    //     already λ-free; anything still carrying λ is unknown.
+    ValueClass::Unknown
+}
+
+/// Replaces array references inside `e` with the *lower bound* of their known
+/// element-value ranges (from the entry environment), so that a non-negative
+/// result proves the original expression non-negative.
+fn substitute_array_lower_bounds(e: &Expr, entry_env: &Env, p1: &Phase1Result) -> Expr {
+    let mut out = e.clone();
+    for array in e.array_names() {
+        let known = entry_env
+            .array_value(&array)
+            .or_else(|| p1.exit_env.array_value(&array));
+        if let Some(r) = known {
+            if r.lo != Expr::Bottom {
+                let lo = r.lo.clone();
+                out = subst_array_ref(&out, &array, &|_| lo.clone());
+            }
+        }
+    }
+    simplify(&out)
+}
+
+/// Substitutes the loop-entry value of every `Λ(x)` placeholder (used when a
+/// collapsed loop is applied at a point where the entry values are known).
+pub fn instantiate_at_entry(range: &SymRange, env: &Env) -> SymRange {
+    SymRange {
+        lo: instantiate_bound(&range.lo, env, true),
+        hi: instantiate_bound(&range.hi, env, false),
+    }
+}
+
+/// Instantiates one bound of a collapsed-loop range: `Λ(x)` placeholders take
+/// the entry value of `x` (the matching bound of a range-valued entry, since
+/// all closed forms produced here have `Λ` with coefficient +1), and program
+/// symbols with exactly-known entry values are resolved.
+fn instantiate_bound(bound: &Expr, env: &Env, is_lower: bool) -> Expr {
+    if *bound == Expr::Bottom {
+        return Expr::Bottom;
+    }
+    let mut cur = bound.clone();
+    let mut names = Vec::new();
+    cur.for_each_node(&mut |n| {
+        if let Expr::BigLambda(s) = n {
+            if !names.contains(s) {
+                names.push(s.clone());
+            }
+        }
+    });
+    for name in names {
+        let entry = env.scalar(&name);
+        let replacement = if let Some(v) = entry.as_exact() {
+            v.clone()
+        } else if is_lower {
+            entry.lo.clone()
+        } else {
+            entry.hi.clone()
+        };
+        if replacement == Expr::Bottom {
+            return Expr::Bottom;
+        }
+        cur = simplify(&ss_symbolic::subst::subst_big_lambda(&cur, &name, &replacement));
+    }
+    // Resolve remaining program symbols with exactly-known entry values.
+    for name in cur.clone().symbols() {
+        if env.has_scalar(&name) {
+            if let Some(v) = env.scalar(&name).as_exact() {
+                cur = subst_sym(&cur, &name, v);
+            }
+        }
+    }
+    simplify(&cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1::phase1;
+    use ss_ir::loops::LoopTree;
+    use ss_ir::parser::parse_program;
+    use ss_rangeprop::NoSummaries;
+
+    fn collapse_first_loop(src: &str, entry: &Env) -> CollapsedLoop {
+        let p = parse_program("t", src).unwrap();
+        let t = LoopTree::build(&p);
+        let info = t.get(ss_ir::LoopId(0)).unwrap();
+        let ss_ir::Stmt::For { body, .. } = &p.body[0] else { panic!() };
+        let p1 = phase1(info, body, entry, &NoSummaries);
+        phase2(&p1, entry)
+    }
+
+    #[test]
+    fn paper_phase2_of_loop13_derives_monotonicity() {
+        // Phase 2 (13): rowptr : [1 : ROWLEN], Monotonic_inc
+        let mut entry = Env::new();
+        entry.set_array_value(
+            "rowsize",
+            SymRange::new(Expr::int(0), Expr::sub(Expr::sym("COLUMNLEN"), Expr::int(1))),
+        );
+        let c = collapse_first_loop(
+            "for (i = 1; i < ROWLEN + 1; i++) { rowptr[i] = rowptr[i-1] + rowsize[i-1]; }",
+            &entry,
+        );
+        let fact = c.fact("rowptr").expect("rowptr fact");
+        assert!(fact.has(ArrayProperty::MonotonicInc));
+        assert!(!fact.has(ArrayProperty::StrictMonotonicInc));
+        assert_eq!(fact.index_range.lo, Expr::Int(1));
+        assert_eq!(fact.index_range.hi, Expr::sym("ROWLEN"));
+        assert!(c.clobbered_arrays.is_empty());
+    }
+
+    #[test]
+    fn recurrence_with_positive_increment_is_strict() {
+        let mut entry = Env::new();
+        entry.set_array_value("len", SymRange::new(Expr::int(1), Expr::sym("K")));
+        let c = collapse_first_loop(
+            "for (i = 1; i <= N; i++) { start[i] = start[i-1] + len[i-1]; }",
+            &entry,
+        );
+        let fact = c.fact("start").unwrap();
+        assert!(fact.has(ArrayProperty::StrictMonotonicInc));
+        assert!(fact.has(ArrayProperty::Injective));
+    }
+
+    #[test]
+    fn recurrence_with_unknown_sign_gets_no_property() {
+        let c = collapse_first_loop(
+            "for (i = 1; i <= N; i++) { a[i] = a[i-1] + delta[i-1]; }",
+            &Env::new(),
+        );
+        let fact = c.fact("a").unwrap();
+        assert!(fact.properties.is_empty());
+    }
+
+    #[test]
+    fn loop_invariant_value_keeps_range_and_nonnegativity() {
+        // rowsize[i] = count with count in [0 : COLUMNLEN-1] at every
+        // iteration (this is what the collapsed inner loop provides).
+        let mut entry = Env::new();
+        entry.set_scalar(
+            "count",
+            SymRange::new(Expr::int(0), Expr::sub(Expr::sym("COLUMNLEN"), Expr::int(1))),
+        );
+        let c = collapse_first_loop(
+            "for (i = 0; i < ROWLEN; i++) { rowsize[i] = count; }",
+            &entry,
+        );
+        let fact = c.fact("rowsize").unwrap();
+        assert_eq!(fact.index_range.lo, Expr::Int(0));
+        assert_eq!(
+            fact.index_range.hi,
+            simplify(&Expr::sub(Expr::sym("ROWLEN"), Expr::int(1)))
+        );
+        let vr = fact.value_range.as_ref().unwrap();
+        assert_eq!(vr.lo, Expr::Int(0));
+        assert!(fact.has(ArrayProperty::NonNegative));
+    }
+
+    #[test]
+    fn identity_and_affine_fills_are_strictly_monotonic() {
+        let c = collapse_first_loop("for (k = 0; k < n; k++) { p[k] = k; }", &Env::new());
+        let fact = c.fact("p").unwrap();
+        assert!(fact.has(ArrayProperty::Identity));
+        assert!(fact.has(ArrayProperty::Injective));
+        assert!(fact.has(ArrayProperty::NonNegative));
+        // affine with stride 7 and symbolic base
+        let c = collapse_first_loop(
+            "for (k = 0; k < n; k++) { tree[k] = base + 7 * k; }",
+            &Env::new(),
+        );
+        let fact = c.fact("tree").unwrap();
+        assert!(fact.has(ArrayProperty::StrictMonotonicInc));
+        assert!(!fact.has(ArrayProperty::Identity));
+        // decreasing fill
+        let c = collapse_first_loop(
+            "for (k = 0; k < n; k++) { q[k] = 0 - k; }",
+            &Env::new(),
+        );
+        let fact = c.fact("q").unwrap();
+        assert!(fact.has(ArrayProperty::StrictMonotonicDec));
+    }
+
+    #[test]
+    fn scalar_recurrences_aggregate_to_closed_forms() {
+        // count: [λ : λ+1] per iteration over COLUMNLEN iterations
+        let p = parse_program(
+            "t",
+            "for (j = 0; j < COLUMNLEN; j++) { if (flag[j] > 0) { count++; } }",
+        )
+        .unwrap();
+        let t = LoopTree::build(&p);
+        let info = t.get(ss_ir::LoopId(0)).unwrap();
+        let ss_ir::Stmt::For { body, .. } = &p.body[0] else { panic!() };
+        let entry = Env::new();
+        let p1 = phase1(info, body, &entry, &NoSummaries);
+        let c = phase2(&p1, &entry);
+        let count = c.scalar_exit.get("count").unwrap();
+        assert_eq!(count.lo, Expr::big_lambda("count"));
+        assert_eq!(
+            count.hi,
+            simplify(&Expr::add(Expr::big_lambda("count"), Expr::sym("COLUMNLEN")))
+        );
+        // instantiation at an entry where count = 0
+        let mut env = Env::new();
+        env.set_scalar("count", SymRange::constant(0, 0));
+        let inst = instantiate_at_entry(count, &env);
+        assert_eq!(inst.lo, Expr::Int(0));
+        assert_eq!(inst.hi, Expr::sym("COLUMNLEN"));
+    }
+
+    #[test]
+    fn guarded_writes_only_produce_subset_facts() {
+        // The Figure 5 filling pattern: matched elements get unique
+        // non-negative indices, everything else gets -1. The subset fact
+        // "non-negative values are injective" is sound and recorded.
+        let c = collapse_first_loop(
+            "for (i = 0; i < n; i++) { if (keep[i] > 0) { sel[i] = i; } else { sel[i] = 0 - 1; } }",
+            &Env::new(),
+        );
+        let fact = c.fact("sel").unwrap();
+        assert!(fact.properties.is_empty());
+        assert!(!fact.guarded.is_empty());
+        assert!(fact
+            .guarded
+            .iter()
+            .any(|g| g.properties.has(ArrayProperty::Injective)));
+        // Without the complementary negative write the subset claim is not
+        // sound (unwritten elements could hold arbitrary non-negative
+        // duplicates) and must be dropped.
+        let c = collapse_first_loop(
+            "for (i = 0; i < n; i++) { if (keep[i] > 0) { sel[i] = i; } }",
+            &Env::new(),
+        );
+        let fact = c.fact("sel").unwrap();
+        assert!(fact.properties.is_empty());
+        assert!(fact.guarded.is_empty());
+    }
+
+    #[test]
+    fn unanalyzable_writes_clobber() {
+        // subscripted-subscript write in the filling loop itself: the written
+        // section is not a simple range.
+        let c = collapse_first_loop(
+            "for (i = 0; i < n; i++) { x[mapping[i]] = i; }",
+            &Env::new(),
+        );
+        assert!(c.fact("x").is_none());
+        assert!(c.clobbered_arrays.contains(&"x".to_string()));
+        // while loops clobber everything
+        let p = parse_program("t", "while (x < n) { a[x] = 0; x = x + 1; }").unwrap();
+        let t = LoopTree::build(&p);
+        let info = t.get(ss_ir::LoopId(0)).unwrap();
+        let ss_ir::Stmt::While { body, .. } = &p.body[0] else { panic!() };
+        let p1 = phase1(info, body, &Env::new(), &NoSummaries);
+        let c = phase2(&p1, &Env::new());
+        assert!(c.clobbered_arrays.contains(&"a".to_string()));
+        assert!(c.clobbered_scalars.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn strided_subscripts_expand_their_section() {
+        let c = collapse_first_loop(
+            "for (i = 0; i < n; i++) { s[2*i + 1] = 5; }",
+            &Env::new(),
+        );
+        let fact = c.fact("s").unwrap();
+        assert_eq!(fact.index_range.lo, Expr::Int(1));
+        assert_eq!(
+            fact.index_range.hi,
+            simplify(&Expr::add(
+                Expr::mul(Expr::int(2), Expr::sub(Expr::sym("n"), Expr::int(1))),
+                Expr::int(1)
+            ))
+        );
+        assert_eq!(
+            fact.value_range.as_ref().unwrap().as_const(),
+            Some((5, 5))
+        );
+    }
+}

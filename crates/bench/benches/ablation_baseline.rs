@@ -1,0 +1,85 @@
+//! Ablation: what the analysis verdict is worth at execution time.
+//!
+//! Section 5 of the paper observes that "current parallelizers do not detect
+//! these loops as parallel, executing bulk of the program sequentially".
+//! The baseline Range Test (no index-array properties) reaches exactly that
+//! verdict on every catalogued kernel, so the execution-time consequence of
+//! the extended analysis is the gap between the serial run (baseline
+//! verdict) and the parallel run (extended verdict) of each kernel.
+//!
+//! One Criterion group per kernel, with a `baseline_serial` and an
+//! `extended_parallel` entry; the ratio between the two is the per-kernel
+//! ablation of the paper's contribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ss_npb::kernels::{fig2, fig6, fig7, ipvec, is_rank};
+use ss_runtime::hardware_threads;
+
+fn threads() -> usize {
+    hardware_threads().min(8).max(2)
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mt_to_id = fig2::generate(500_000, 1);
+    let mut group = c.benchmark_group("ablation_fig2_ua_transfer");
+    group.sample_size(20);
+    group.bench_function("baseline_serial", |b| b.iter(|| fig2::serial(&mt_to_id)));
+    group.bench_function("extended_parallel", |b| {
+        b.iter(|| fig2::parallel(&mt_to_id, threads()))
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let (r, p) = fig6::generate(20_000, 24, 5);
+    let mut group = c.benchmark_group("ablation_fig6_csparse_blocks");
+    group.sample_size(20);
+    group.bench_function("baseline_serial", |b| b.iter(|| fig6::serial(&r, &p)));
+    group.bench_function("extended_parallel", |b| {
+        b.iter(|| fig6::parallel(&r, &p, threads()))
+    });
+    group.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let front = fig7::generate(120_000);
+    let mut group = c.benchmark_group("ablation_fig7_ua_refine");
+    group.sample_size(20);
+    group.bench_function("baseline_serial", |b| b.iter(|| fig7::serial(&front)));
+    group.bench_function("extended_parallel", |b| {
+        b.iter(|| fig7::parallel(&front, threads()))
+    });
+    group.finish();
+}
+
+fn bench_is_rank(c: &mut Criterion) {
+    let buckets = is_rank::generate(800_000, 512, 256, 17);
+    let mut group = c.benchmark_group("ablation_is_bucket_traversal");
+    group.sample_size(20);
+    group.bench_function("baseline_serial", |b| b.iter(|| is_rank::serial(&buckets, 256)));
+    group.bench_function("extended_parallel", |b| {
+        b.iter(|| is_rank::parallel(&buckets, 256, threads()))
+    });
+    group.finish();
+}
+
+fn bench_ipvec(c: &mut Criterion) {
+    let (p, v) = ipvec::generate(600_000, 23);
+    let mut group = c.benchmark_group("ablation_csparse_ipvec");
+    group.sample_size(20);
+    group.bench_function("baseline_serial", |b| b.iter(|| ipvec::serial(&p, &v)));
+    group.bench_function("extended_parallel", |b| {
+        b.iter(|| ipvec::parallel(&p, &v, threads()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig2,
+    bench_fig6,
+    bench_fig7,
+    bench_is_rank,
+    bench_ipvec
+);
+criterion_main!(benches);

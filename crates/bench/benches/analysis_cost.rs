@@ -1,0 +1,44 @@
+//! Compile-time cost breakdown of the analysis passes (aggregation alone vs
+//! the full pipeline).  Not a figure of the paper, but the ablation DESIGN.md
+//! calls out: how much of the analysis cost is property derivation vs
+//! dependence testing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ss_aggregation::analyze_program;
+use ss_bench::catalogue_inputs;
+use ss_ir::parse_program;
+use ss_parallelizer::parallelize;
+
+fn bench_passes(c: &mut Criterion) {
+    let programs: Vec<_> = catalogue_inputs()
+        .into_iter()
+        .map(|i| parse_program(&i.name, &i.source).unwrap())
+        .collect();
+    let mut group = c.benchmark_group("analysis_cost");
+    group.bench_function("parse_only", |b| {
+        let inputs = catalogue_inputs();
+        b.iter(|| {
+            for i in &inputs {
+                parse_program(&i.name, &i.source).unwrap();
+            }
+        })
+    });
+    group.bench_function("aggregation_only", |b| {
+        b.iter(|| {
+            for p in &programs {
+                analyze_program(p);
+            }
+        })
+    });
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| {
+            for p in &programs {
+                parallelize(p);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 10 reproduction: CG speedups after parallelizing only the
+//! subscripted-subscript loops, swept over thread counts and classes.
+//!
+//! The official Class A/B/C sizes take minutes per point; the bench uses
+//! scaled-down instances (same sparsity parameters, smaller order) so that
+//! the whole sweep completes quickly.  The full-size sweep is available via
+//! `cargo run --release --example cg_speedup -- --full`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_bench::{figure10_sweep, render_figure10};
+use ss_npb::{run_cg_with, scaled_params, Class};
+
+fn bench_cg(c: &mut Criterion) {
+    // Print a quick Figure 10 style table once (scaled instances).
+    let points = figure10_sweep(&[Class::S, Class::A], &[2, 4, 8], 0.08);
+    println!("\n===== Figure 10 (scaled instances): CG speedups =====");
+    println!("{}", render_figure10(&points));
+
+    let mut group = c.benchmark_group("fig10_cg");
+    group.sample_size(10);
+    for class in [Class::S, Class::A] {
+        let params = scaled_params(class, 0.08);
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("class_{}", class.name()), threads),
+                &threads,
+                |b, &t| b.iter(|| run_cg_with(&params, t, 42)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cg);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 1 reproduction: the pattern study over the NPB / SuiteSparse
+//! kernel catalogue, plus the compile-time cost of detecting each pattern.
+//!
+//! Run with `cargo bench -p ss-bench --bench fig1_detection`.  The study
+//! table itself is printed once at startup; criterion then measures the
+//! analysis cost per kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ss_bench::{catalogue_inputs, run_catalogue_study};
+use ss_parallelizer::parallelize_source;
+
+fn bench_detection(c: &mut Criterion) {
+    // Print the study table (the Figure 1 reproduction) once.
+    println!("\n===== Figure 1: subscripted-subscript pattern study =====");
+    println!("{}", run_catalogue_study().render());
+
+    let mut group = c.benchmark_group("fig1_detection");
+    for input in catalogue_inputs() {
+        group.bench_function(&input.name, |b| {
+            b.iter(|| {
+                let report = parallelize_source(&input.name, &input.source).unwrap();
+                assert!(report
+                    .loop_report(ss_ir::LoopId(input.target_loop))
+                    .unwrap()
+                    .parallel);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

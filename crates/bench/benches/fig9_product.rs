@@ -1,0 +1,27 @@
+//! Figure 9 kernel: CSR construction + the sparse product loop, serial vs
+//! parallel (the parallelization our analysis licenses).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_npb::kernels::fig9;
+use ss_runtime::{hardware_threads, CsrMatrix};
+
+fn bench_fig9(c: &mut Criterion) {
+    let dense = fig9::generate_dense(1500, 2000, 0.05, 7);
+    let a = CsrMatrix::from_dense(&dense);
+    let vector: Vec<f64> = (0..a.ncols).map(|i| 1.0 + (i % 17) as f64).collect();
+    let mut group = c.benchmark_group("fig9_product");
+    group.sample_size(20);
+    group.bench_function("serial", |b| b.iter(|| fig9::product_serial(&a, &vector)));
+    for threads in [2usize, 4, 8] {
+        if threads > hardware_threads() * 2 {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| fig9::product_parallel(&a, &vector, t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

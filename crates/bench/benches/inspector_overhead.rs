@@ -1,0 +1,87 @@
+//! Ablation: compile-time parallelization vs. run-time schemes.
+//!
+//! The paper's related-work section argues that inspector/executor schemes
+//! and speculative tests (LRPD) can parallelize the same loops but pay a
+//! per-invocation run-time cost that the compile-time analysis avoids.  This
+//! bench measures that cost head-to-head on the two loop shapes of the
+//! evaluation:
+//!
+//! * the Figure 9 / CG shape — an outer loop over rows whose body touches
+//!   `data[rowptr[i] .. rowptr[i+1]]` (enabling property: monotonicity);
+//! * the Figure 2 / cs_ipvec shape — `x[p[k]] = b[k]` (enabling property:
+//!   injectivity).
+//!
+//! Modes compared per shape: `serial` (what conventional compilers emit),
+//! `compile_time` (this paper: parallel, zero run-time analysis),
+//! `inspector_executor` (inspect the index array on every invocation, then
+//! run parallel), and for the scatter shape additionally `lrpd`
+//! (speculative parallel execution with shadow-array validation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ss_inspector::executor::{run_indirect_scatter, run_range_partitioned, Mode};
+use ss_inspector::lrpd::lrpd_scatter;
+use ss_npb::kernels::fig9;
+use ss_runtime::{hardware_threads, CsrMatrix};
+
+fn bench_range_partitioned(c: &mut Criterion) {
+    let dense = fig9::generate_dense(1200, 1600, 0.05, 7);
+    let a = CsrMatrix::from_dense(&dense);
+    let vector: Vec<f64> = (0..a.ncols).map(|i| 1.0 + (i % 17) as f64).collect();
+    let bounds: Vec<i64> = std::iter::once(0)
+        .chain(a.rowptr.iter().map(|&r| r as i64))
+        .collect();
+    let nnz = a.nnz();
+    let values = a.values.clone();
+    let vlen = vector.len();
+    let row_body = move |_i: usize, j: usize| values[j] * vector[j % vlen];
+    let threads = hardware_threads().min(8);
+
+    let mut group = c.benchmark_group("inspector_overhead_fig9");
+    group.sample_size(20);
+    for (label, mode) in [
+        ("serial", Mode::Serial),
+        ("compile_time", Mode::CompileTime),
+        ("inspector_executor", Mode::InspectorExecutor),
+    ] {
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                let mut data = vec![0.0f64; nnz];
+                run_range_partitioned(&mut data, &bounds, &row_body, threads, mode)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_indirect_scatter(c: &mut Criterion) {
+    let n = 400_000usize;
+    let (p, b) = ss_npb::kernels::ipvec::generate(n, 3);
+    let index: Vec<i64> = p.iter().map(|&x| x as i64).collect();
+    let values: Vec<i64> = b.iter().map(|&v| (v * 1e6) as i64).collect();
+    let threads = hardware_threads().min(8);
+
+    let mut group = c.benchmark_group("inspector_overhead_scatter");
+    group.sample_size(20);
+    for (label, mode) in [
+        ("serial", Mode::Serial),
+        ("compile_time", Mode::CompileTime),
+        ("inspector_executor", Mode::InspectorExecutor),
+    ] {
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                let mut target = vec![0i64; n];
+                run_indirect_scatter(&mut target, &index, |i| values[i], |_| true, threads, mode)
+            })
+        });
+    }
+    group.bench_function("lrpd_speculative", |bench| {
+        bench.iter(|| {
+            let mut target = vec![0i64; n];
+            lrpd_scatter(&mut target, &index, |i| values[i], |_| true, threads)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_partitioned, bench_indirect_scatter);
+criterion_main!(benches);

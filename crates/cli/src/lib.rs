@@ -1,0 +1,493 @@
+//! # ss-cli — the `sspar` command-line front end
+//!
+//! A miniature Cetus: point it at a mini-C kernel and it runs the
+//! compile-time analysis, prints per-loop verdicts (extended vs. baseline),
+//! the derived index-array facts, the Section 3.5-style phase trace, and the
+//! source annotated with `#pragma omp parallel for` on every loop it proved
+//! parallel.
+//!
+//! ```text
+//! sspar analyze kernel.c          # verdicts + facts + annotated source
+//! sspar trace   kernel.c          # Phase 1 / Phase 2 summaries per loop
+//! sspar study                     # the Figure-1 catalogue study table
+//! sspar kernels                   # list the built-in catalogue kernels
+//! sspar analyze --kernel fig9_csr_product   # analyze a catalogue kernel
+//! ```
+//!
+//! The command logic lives in [`run`], which is a pure function from
+//! arguments (plus an abstract file reader) to output text, so the whole CLI
+//! is unit-testable without touching the file system.
+
+#![warn(missing_docs)]
+
+use ss_aggregation::analyze_program;
+use ss_ir::{parse_program, LoopId};
+use ss_parallelizer::{parallelize_source, run_study, StudyInput};
+
+/// Errors the CLI reports to the user (exit status 1 or 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The arguments did not form a valid command; the string is the usage
+    /// text to print.
+    Usage(String),
+    /// A file could not be read.
+    Io(String),
+    /// The kernel source could not be parsed.
+    Parse(String),
+    /// An unknown catalogue kernel was requested.
+    UnknownKernel(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(u) => write!(f, "{u}"),
+            CliError::Io(e) => write!(f, "error: {e}"),
+            CliError::Parse(e) => write!(f, "parse error: {e}"),
+            CliError::UnknownKernel(k) => {
+                write!(f, "error: no catalogue kernel named '{k}' (try `sspar kernels`)")
+            }
+        }
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "sspar — compile-time parallelization of subscripted subscript patterns\n\
+     \n\
+     USAGE:\n\
+     \u{20}   sspar analyze <file.c> [--baseline] [--no-source]\n\
+     \u{20}   sspar analyze --kernel <name>  [--baseline] [--no-source]\n\
+     \u{20}   sspar trace   <file.c>\n\
+     \u{20}   sspar trace   --kernel <name>\n\
+     \u{20}   sspar study\n\
+     \u{20}   sspar kernels\n\
+     \n\
+     COMMANDS:\n\
+     \u{20}   analyze   run the full pipeline and print per-loop verdicts,\n\
+     \u{20}             derived index-array facts and the annotated source\n\
+     \u{20}   trace     print the Phase 1 / Phase 2 aggregation summaries\n\
+     \u{20}             (the paper's Section 3.5 trace) for every loop\n\
+     \u{20}   study     run the Figure-1 study over the built-in catalogue\n\
+     \u{20}   kernels   list the built-in catalogue kernels\n\
+     \n\
+     OPTIONS:\n\
+     \u{20}   --kernel <name>  analyze a built-in catalogue kernel instead of a file\n\
+     \u{20}   --baseline       also show what the property-free baseline concludes\n\
+     \u{20}   --no-source      omit the annotated source from the output\n"
+        .to_string()
+}
+
+/// How the CLI obtains file contents; tests substitute an in-memory reader.
+pub trait SourceReader {
+    /// Reads the file at `path` into a string.
+    fn read(&self, path: &str) -> Result<String, String>;
+}
+
+/// Reads from the real file system.
+pub struct FsReader;
+
+impl SourceReader for FsReader {
+    fn read(&self, path: &str) -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `sspar analyze …`
+    Analyze {
+        /// Source of the kernel text.
+        input: Input,
+        /// Show baseline verdicts alongside the extended ones.
+        baseline: bool,
+        /// Omit the annotated source.
+        no_source: bool,
+    },
+    /// `sspar trace …`
+    Trace {
+        /// Source of the kernel text.
+        input: Input,
+    },
+    /// `sspar study`
+    Study,
+    /// `sspar kernels`
+    Kernels,
+}
+
+/// Where the kernel text comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Input {
+    /// A path on disk.
+    File(String),
+    /// A named kernel from the built-in catalogue.
+    Catalogue(String),
+}
+
+/// Parses the argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    let cmd = it.next().ok_or_else(|| CliError::Usage(usage()))?;
+    match cmd {
+        "study" => Ok(Command::Study),
+        "kernels" => Ok(Command::Kernels),
+        "analyze" | "trace" => {
+            let rest: Vec<&str> = it.collect();
+            let mut input: Option<Input> = None;
+            let mut baseline = false;
+            let mut no_source = false;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--kernel" => {
+                        let name = rest
+                            .get(i + 1)
+                            .ok_or_else(|| CliError::Usage(usage()))?;
+                        input = Some(Input::Catalogue(name.to_string()));
+                        i += 2;
+                    }
+                    "--baseline" => {
+                        baseline = true;
+                        i += 1;
+                    }
+                    "--no-source" => {
+                        no_source = true;
+                        i += 1;
+                    }
+                    other if !other.starts_with("--") && input.is_none() => {
+                        input = Some(Input::File(other.to_string()));
+                        i += 1;
+                    }
+                    _ => return Err(CliError::Usage(usage())),
+                }
+            }
+            let input = input.ok_or_else(|| CliError::Usage(usage()))?;
+            if cmd == "analyze" {
+                Ok(Command::Analyze {
+                    input,
+                    baseline,
+                    no_source,
+                })
+            } else {
+                Ok(Command::Trace { input })
+            }
+        }
+        "--help" | "-h" | "help" => Err(CliError::Usage(usage())),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// Runs the parsed command, returning the text to print.
+pub fn execute(cmd: &Command, reader: &dyn SourceReader) -> Result<String, CliError> {
+    match cmd {
+        Command::Study => Ok(study_text()),
+        Command::Kernels => Ok(kernels_text()),
+        Command::Analyze {
+            input,
+            baseline,
+            no_source,
+        } => {
+            let (name, source) = resolve_input(input, reader)?;
+            analyze_text(&name, &source, *baseline, *no_source)
+        }
+        Command::Trace { input } => {
+            let (name, source) = resolve_input(input, reader)?;
+            trace_text(&name, &source)
+        }
+    }
+}
+
+/// Parses the arguments and runs the command in one step (what `main` does).
+pub fn run(args: &[String], reader: &dyn SourceReader) -> Result<String, CliError> {
+    execute(&parse_args(args)?, reader)
+}
+
+fn resolve_input(input: &Input, reader: &dyn SourceReader) -> Result<(String, String), CliError> {
+    match input {
+        Input::File(path) => Ok((
+            path.clone(),
+            reader.read(path).map_err(CliError::Io)?,
+        )),
+        Input::Catalogue(name) => {
+            let kernel = ss_npb::study_kernels()
+                .into_iter()
+                .find(|k| k.name == name)
+                .ok_or_else(|| CliError::UnknownKernel(name.clone()))?;
+            Ok((kernel.name.to_string(), kernel.source.to_string()))
+        }
+    }
+}
+
+fn analyze_text(
+    name: &str,
+    source: &str,
+    baseline: bool,
+    no_source: bool,
+) -> Result<String, CliError> {
+    let report =
+        parallelize_source(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
+    let mut out = String::new();
+    out.push_str(&format!("== {name}: per-loop verdicts ==\n"));
+    for l in &report.loops {
+        let verdict = if l.parallel { "PARALLEL" } else { "serial" };
+        out.push_str(&format!(
+            "loop {:<3} (depth {}, index '{}'): {}\n",
+            l.loop_id.0, l.depth, l.index_var, verdict
+        ));
+        if baseline {
+            out.push_str(&format!(
+                "    baseline (no index-array properties): {}\n",
+                if l.baseline_parallel { "parallel" } else { "serial" }
+            ));
+        }
+        for r in &l.reasons {
+            out.push_str(&format!("    + {r}\n"));
+        }
+        for b in &l.blockers {
+            out.push_str(&format!("    - {b}\n"));
+        }
+    }
+    out.push_str("\n== derived index-array facts ==\n");
+    out.push_str(&format!("{}\n", report.final_db));
+    if !no_source {
+        out.push_str("\n== annotated source ==\n");
+        out.push_str(&report.annotated_source);
+        if !report.annotated_source.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+fn trace_text(name: &str, source: &str) -> Result<String, CliError> {
+    let program =
+        parse_program(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
+    let analysis = analyze_program(&program);
+    let mut out = String::new();
+    out.push_str(&format!("== {name}: Phase 1 / Phase 2 trace ==\n"));
+    let mut ids: Vec<LoopId> = analysis.collapsed.keys().copied().collect();
+    ids.sort_by_key(|id| id.0);
+    for id in ids {
+        let collapsed = &analysis.collapsed[&id];
+        out.push_str(&format!(
+            "\nloop {} (index '{}'):\n",
+            id.0, collapsed.index_var
+        ));
+        if let Some(p1) = analysis.phase1.get(&id) {
+            out.push_str("  phase 1 (one iteration):\n");
+            let mut scalars: Vec<_> = p1.scalars.iter().collect();
+            scalars.sort_by(|a, b| a.0.cmp(b.0));
+            for (name, range) in scalars {
+                out.push_str(&format!("    {name}: {range}\n"));
+            }
+            for w in &p1.writes {
+                out.push_str(&format!(
+                    "    {}[{}] = {}\n",
+                    w.array, w.subscript, w.value
+                ));
+            }
+        }
+        out.push_str("  phase 2 (whole loop):\n");
+        let mut scalars: Vec<_> = collapsed.scalar_exit.iter().collect();
+        scalars.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, range) in scalars {
+            out.push_str(&format!("    {name}: {range}\n"));
+        }
+        for fact in &collapsed.array_facts {
+            out.push_str(&format!("    {fact}\n"));
+        }
+        for a in &collapsed.clobbered_arrays {
+            out.push_str(&format!("    {a}: ⊥ (clobbered)\n"));
+        }
+        for s in &collapsed.clobbered_scalars {
+            out.push_str(&format!("    {s}: ⊥ (clobbered)\n"));
+        }
+    }
+    out.push_str("\n== facts at end of program ==\n");
+    out.push_str(&format!("{}\n", analysis.db));
+    Ok(out)
+}
+
+fn study_text() -> String {
+    let inputs: Vec<StudyInput> = ss_npb::study_kernels()
+        .into_iter()
+        .map(|k| StudyInput {
+            name: k.name.to_string(),
+            program: k.program.to_string(),
+            suite: format!("{:?}", k.suite),
+            pattern: k.class.label().to_string(),
+            source: k.source.to_string(),
+            target_loop: k.target_loop,
+        })
+        .collect();
+    run_study(&inputs).render()
+}
+
+fn kernels_text() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:<26} {:<30} {:>11}\n",
+        "kernel", "program", "pattern", "target loop"
+    ));
+    for k in ss_npb::study_kernels() {
+        out.push_str(&format!(
+            "{:<24} {:<26} {:<30} {:>11}\n",
+            k.name,
+            k.program,
+            k.class.label(),
+            k.target_loop
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct MapReader(HashMap<String, String>);
+
+    impl SourceReader for MapReader {
+        fn read(&self, path: &str) -> Result<String, String> {
+            self.0
+                .get(path)
+                .cloned()
+                .ok_or_else(|| format!("no such file: {path}"))
+        }
+    }
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    const FIG2: &str = r#"
+        for (e = 0; e < nelt; e++) { mt_to_id[e] = e; }
+        for (miel = 0; miel < nelt; miel++) {
+            iel = mt_to_id[miel];
+            id_to_mt[iel] = miel;
+        }
+    "#;
+
+    #[test]
+    fn parse_args_recognizes_every_command() {
+        assert_eq!(parse_args(&args(&["study"])).unwrap(), Command::Study);
+        assert_eq!(parse_args(&args(&["kernels"])).unwrap(), Command::Kernels);
+        assert_eq!(
+            parse_args(&args(&["analyze", "k.c"])).unwrap(),
+            Command::Analyze {
+                input: Input::File("k.c".into()),
+                baseline: false,
+                no_source: false
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["analyze", "--kernel", "fig9_csr_product", "--baseline", "--no-source"])).unwrap(),
+            Command::Analyze {
+                input: Input::Catalogue("fig9_csr_product".into()),
+                baseline: true,
+                no_source: true
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["trace", "k.c"])).unwrap(),
+            Command::Trace {
+                input: Input::File("k.c".into())
+            }
+        );
+    }
+
+    #[test]
+    fn parse_args_rejects_bad_invocations() {
+        assert!(matches!(parse_args(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&args(&["frobnicate"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&args(&["analyze"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&args(&["analyze", "--kernel"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["analyze", "k.c", "--bogus"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse_args(&args(&["--help"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn analyze_reports_the_figure2_verdict() {
+        let reader = MapReader(HashMap::from([("fig2.c".to_string(), FIG2.to_string())]));
+        let out = run(&args(&["analyze", "fig2.c", "--baseline"]), &reader).unwrap();
+        assert!(out.contains("loop 1"));
+        assert!(out.contains("PARALLEL"));
+        assert!(out.contains("baseline (no index-array properties): serial"));
+        assert!(out.contains("#pragma omp parallel for"));
+        assert!(out.contains("mt_to_id"));
+    }
+
+    #[test]
+    fn no_source_suppresses_the_annotated_listing() {
+        let reader = MapReader(HashMap::from([("fig2.c".to_string(), FIG2.to_string())]));
+        let out = run(&args(&["analyze", "fig2.c", "--no-source"]), &reader).unwrap();
+        assert!(!out.contains("annotated source"));
+        assert!(!out.contains("#pragma"));
+    }
+
+    #[test]
+    fn analyze_by_catalogue_name_works_and_unknown_names_fail() {
+        let reader = MapReader(HashMap::new());
+        let out = run(
+            &args(&["analyze", "--kernel", "fig9_csr_product"]),
+            &reader,
+        )
+        .unwrap();
+        assert!(out.contains("rowptr"));
+        assert!(out.contains("PARALLEL"));
+        let err = run(&args(&["analyze", "--kernel", "not_a_kernel"]), &reader).unwrap_err();
+        assert!(matches!(err, CliError::UnknownKernel(_)));
+    }
+
+    #[test]
+    fn trace_shows_the_section_3_5_derivation() {
+        let reader = MapReader(HashMap::new());
+        let out = run(&args(&["trace", "--kernel", "fig9_csr_product"]), &reader).unwrap();
+        assert!(out.contains("phase 1 (one iteration)"));
+        assert!(out.contains("phase 2 (whole loop)"));
+        assert!(out.contains("Monotonic_inc"));
+        assert!(out.contains("count"));
+    }
+
+    #[test]
+    fn study_and_kernels_render_the_catalogue() {
+        let reader = MapReader(HashMap::new());
+        let study = run(&args(&["study"]), &reader).unwrap();
+        assert!(study.contains("fig2_ua_transfer"));
+        assert!(study.contains("parallelized by the extended analysis"));
+        let kernels = run(&args(&["kernels"]), &reader).unwrap();
+        assert!(kernels.contains("csparse_ipvec"));
+        assert!(kernels.contains("is_bucket_traversal"));
+    }
+
+    #[test]
+    fn missing_files_and_parse_errors_are_reported() {
+        let reader = MapReader(HashMap::from([(
+            "bad.c".to_string(),
+            "for (i = 0 i < n; i++) {}".to_string(),
+        )]));
+        assert!(matches!(
+            run(&args(&["analyze", "nope.c"]), &reader),
+            Err(CliError::Io(_))
+        ));
+        assert!(matches!(
+            run(&args(&["analyze", "bad.c"]), &reader),
+            Err(CliError::Parse(_))
+        ));
+        assert!(matches!(
+            run(&args(&["trace", "bad.c"]), &reader),
+            Err(CliError::Parse(_))
+        ));
+    }
+}

@@ -1,0 +1,18 @@
+//! The `sspar` binary: thin wrapper around [`ss_cli::run`].
+
+use ss_cli::{run, CliError, FsReader};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args, &FsReader) {
+        Ok(text) => print!("{text}"),
+        Err(CliError::Usage(u)) => {
+            eprint!("{u}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

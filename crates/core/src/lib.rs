@@ -1,0 +1,32 @@
+//! # ss-parallelizer — the automatic parallelizer for subscripted subscripts
+//!
+//! The paper's primary contribution as a library: feed it a (mini-C) program
+//! and it
+//!
+//! 1. runs the Phase 1 / Phase 2 aggregation of Section 3 to derive
+//!    index-array properties from the code that fills the index arrays,
+//! 2. runs the extended Range Test of Section 5 on every loop,
+//! 3. reports which loops are parallel, why, and what a conventional
+//!    compiler (the baseline) would have concluded,
+//! 4. emits the transformed source with `#pragma omp parallel for`
+//!    annotations on the loops it proved parallel.
+//!
+//! ```
+//! use ss_parallelizer::parallelize_source;
+//!
+//! let report = parallelize_source("fig2", r#"
+//!     for (e = 0; e < nelt; e++) { mt_to_id[e] = e; }
+//!     for (miel = 0; miel < nelt; miel++) {
+//!         iel = mt_to_id[miel];
+//!         id_to_mt[iel] = miel;
+//!     }
+//! "#).unwrap();
+//! assert!(report.loop_report(ss_ir::LoopId(1)).unwrap().parallel);
+//! assert!(report.annotated_source.contains("#pragma omp parallel for"));
+//! ```
+
+pub mod pipeline;
+pub mod study;
+
+pub use pipeline::{parallelize, parallelize_source, LoopReport, ParallelizationReport};
+pub use study::{run_study, StudyInput, StudyRow, StudyTable};

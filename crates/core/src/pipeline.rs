@@ -1,0 +1,251 @@
+//! The analysis pipeline: parse → aggregate → dependence-test → annotate.
+
+use ss_aggregation::{analyze_program, ProgramAnalysis};
+use ss_deptest::{test_loop, LoopVerdict, RangeTestConfig};
+use ss_ir::loops::LoopTree;
+use ss_ir::{parse_program, print_program_with, LoopId, PrintOptions, Program};
+use ss_properties::PropertyDatabase;
+
+/// The result for one loop: both the extended verdict and the baseline one.
+#[derive(Debug, Clone)]
+pub struct LoopReport {
+    /// The loop.
+    pub loop_id: LoopId,
+    /// Loop index variable (empty for `while` loops).
+    pub index_var: String,
+    /// Nesting depth (0 = outermost).
+    pub depth: usize,
+    /// Whether the loop contains a subscripted-subscript access.
+    pub has_subscripted_subscript: bool,
+    /// Whether the source carried a manual `omp parallel` pragma (the oracle
+    /// used in the Figure 1 study).
+    pub manually_parallel: bool,
+    /// Verdict of the extended Range Test (with index-array properties).
+    pub parallel: bool,
+    /// Verdict of the baseline test (no index-array properties) — what
+    /// conventional compilers conclude.
+    pub baseline_parallel: bool,
+    /// Why the loop is parallel (empty when serial).
+    pub reasons: Vec<String>,
+    /// What blocked parallelization (empty when parallel).
+    pub blockers: Vec<String>,
+}
+
+/// The full report for a program.
+#[derive(Debug, Clone)]
+pub struct ParallelizationReport {
+    /// Program name.
+    pub name: String,
+    /// Per-loop reports in loop-id order.
+    pub loops: Vec<LoopReport>,
+    /// The property database at the end of the program (for inspection).
+    pub final_db: PropertyDatabase,
+    /// The input program annotated with `#pragma omp parallel for` on every
+    /// loop proven parallel by the extended test (outermost-parallel loops
+    /// only, as OpenMP would nest otherwise).
+    pub annotated_source: String,
+}
+
+impl ParallelizationReport {
+    /// The report for a specific loop.
+    pub fn loop_report(&self, id: LoopId) -> Option<&LoopReport> {
+        self.loops.iter().find(|l| l.loop_id == id)
+    }
+
+    /// Loops the extended test proves parallel.
+    pub fn parallel_loops(&self) -> Vec<LoopId> {
+        self.loops
+            .iter()
+            .filter(|l| l.parallel)
+            .map(|l| l.loop_id)
+            .collect()
+    }
+
+    /// Loops the extended test proves parallel but the baseline cannot —
+    /// i.e. the loops the paper's technique newly enables.
+    pub fn newly_enabled_loops(&self) -> Vec<LoopId> {
+        self.loops
+            .iter()
+            .filter(|l| l.parallel && !l.baseline_parallel)
+            .map(|l| l.loop_id)
+            .collect()
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("program {}\n", self.name));
+        for l in &self.loops {
+            let status = match (l.parallel, l.baseline_parallel) {
+                (true, true) => "parallel (also without properties)",
+                (true, false) => "PARALLEL (enabled by index-array properties)",
+                (false, _) => "serial",
+            };
+            out.push_str(&format!(
+                "  {} ({}, depth {}): {}\n",
+                l.loop_id, l.index_var, l.depth, status
+            ));
+            for r in &l.reasons {
+                out.push_str(&format!("      + {r}\n"));
+            }
+            for b in &l.blockers {
+                out.push_str(&format!("      - {b}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Parses and analyzes a mini-C source string.
+pub fn parallelize_source(name: &str, src: &str) -> Result<ParallelizationReport, ss_ir::IrError> {
+    let program = parse_program(name, src)?;
+    Ok(parallelize(&program))
+}
+
+/// Analyzes an already-parsed program.
+pub fn parallelize(program: &Program) -> ParallelizationReport {
+    let analysis: ProgramAnalysis = analyze_program(program);
+    let tree = LoopTree::build(program);
+    let extended_cfg = RangeTestConfig::default();
+    let baseline_cfg = RangeTestConfig::baseline();
+    let mut loops = Vec::new();
+    for info in &tree.loops {
+        let db = analysis.db_for_loop(info.id);
+        let extended: LoopVerdict = test_loop(program, &tree, info.id, db, &extended_cfg);
+        let baseline: LoopVerdict = test_loop(program, &tree, info.id, db, &baseline_cfg);
+        loops.push(LoopReport {
+            loop_id: info.id,
+            index_var: info.var.clone(),
+            depth: info.depth,
+            has_subscripted_subscript: ss_ir::visit::loop_has_subscripted_subscript(
+                program, info.id,
+            ),
+            manually_parallel: info.manually_parallel(),
+            parallel: extended.parallel,
+            baseline_parallel: baseline.parallel,
+            reasons: extended.reasons,
+            blockers: extended.blockers,
+        });
+    }
+    // Annotate outermost parallel loops.
+    let mut opts = PrintOptions::default();
+    for l in &loops {
+        if !l.parallel {
+            continue;
+        }
+        let enclosing = tree.enclosing_chain(l.loop_id);
+        let outermost_parallel = enclosing
+            .iter()
+            .all(|anc| anc.id == l.loop_id || !loops.iter().any(|x| x.loop_id == anc.id && x.parallel));
+        if outermost_parallel {
+            opts.extra_pragmas
+                .insert(l.loop_id.0, vec!["omp parallel for".to_string()]);
+        }
+    }
+    let annotated_source = print_program_with(program, &opts);
+    ParallelizationReport {
+        name: program.name.clone(),
+        loops,
+        final_db: analysis.db.clone(),
+        annotated_source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_report_enables_the_product_loop() {
+        let src = r#"
+            index = 0;
+            ind = 0;
+            for (i = 0; i < ROWLEN; i++) {
+                count = 0;
+                for (j = 0; j < COLUMNLEN; j++) {
+                    if (a[i][j] != 0) {
+                        count++;
+                        column_number[index] = j;
+                        index++;
+                        value[ind] = a[i][j];
+                        ind++;
+                    }
+                }
+                rowsize[i] = count;
+            }
+            rowptr[0] = 0;
+            for (i = 1; i < ROWLEN + 1; i++) {
+                rowptr[i] = rowptr[i-1] + rowsize[i-1];
+            }
+            #pragma omp parallel for private(j,j1)
+            for (i = 0; i < ROWLEN+1; i++) {
+                if (i == 0) {
+                    j1 = i;
+                } else {
+                    j1 = rowptr[i-1];
+                }
+                for (j = j1; j < rowptr[i]; j++) {
+                    product_array[j] = value[j] * vector[j];
+                }
+            }
+        "#;
+        let report = parallelize_source("fig9", src).unwrap();
+        let product = report.loop_report(LoopId(3)).unwrap();
+        assert!(product.parallel);
+        assert!(!product.baseline_parallel);
+        assert!(product.manually_parallel); // matches the manual oracle
+        assert!(report.newly_enabled_loops().contains(&LoopId(3)));
+        assert!(report
+            .annotated_source
+            .contains("#pragma omp parallel for\nfor (i = 0; i < ROWLEN+1; i++)")
+            || report.annotated_source.contains("#pragma omp parallel for\nfor (i = 0; i < ROWLEN + 1; i++)"));
+        let summary = report.summary();
+        assert!(summary.contains("PARALLEL (enabled by index-array properties)"));
+        // the database keeps the rowptr fact for inspection
+        assert!(report
+            .final_db
+            .has_property("rowptr", ss_properties::ArrayProperty::MonotonicInc));
+    }
+
+    #[test]
+    fn serial_loops_are_reported_with_blockers() {
+        let report = parallelize_source(
+            "hist",
+            "for (i = 0; i < n; i++) { hist[idx[i]] = i; }",
+        )
+        .unwrap();
+        let l = report.loop_report(LoopId(0)).unwrap();
+        assert!(!l.parallel);
+        assert!(!l.blockers.is_empty());
+        assert!(l.has_subscripted_subscript);
+        assert!(report.parallel_loops().is_empty());
+        assert!(!report.annotated_source.contains("#pragma"));
+    }
+
+    #[test]
+    fn inner_loops_of_parallel_outer_loops_are_not_double_annotated() {
+        let report = parallelize_source(
+            "nest",
+            r#"
+            for (i = 0; i < n; i++) {
+                for (j = 0; j < 8; j++) {
+                    x[i * 8 + j] = i + j;
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        // Outer loop parallel; pragma emitted once (on the outer loop only).
+        assert!(report.loop_report(LoopId(0)).unwrap().parallel);
+        let pragma_count = report
+            .annotated_source
+            .matches("#pragma omp parallel for")
+            .count();
+        assert_eq!(pragma_count, 1);
+    }
+
+    #[test]
+    fn parse_errors_are_propagated() {
+        assert!(parallelize_source("bad", "for (i = 0 i < n; i++) {}").is_err());
+    }
+}

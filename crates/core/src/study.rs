@@ -1,0 +1,187 @@
+//! The Figure 1 style study: for every catalogued benchmark kernel, does the
+//! analysis derive the enabling property and parallelize the target loop,
+//! and what would a conventional compiler conclude?
+
+use crate::pipeline::{parallelize_source, ParallelizationReport};
+use ss_ir::LoopId;
+
+/// One row of the study table.
+#[derive(Debug, Clone)]
+pub struct StudyRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Originating program/benchmark.
+    pub program: String,
+    /// Suite (NPB / SuiteSparse / paper).
+    pub suite: String,
+    /// Property class per Section 2 of the paper.
+    pub pattern: String,
+    /// Did the extended analysis parallelize the target loop?
+    pub detected: bool,
+    /// Did the baseline (no properties) parallelize it?
+    pub baseline_detected: bool,
+    /// The reasons reported for the target loop.
+    pub reasons: Vec<String>,
+}
+
+/// The whole study table.
+#[derive(Debug, Clone, Default)]
+pub struct StudyTable {
+    /// Rows in catalogue order.
+    pub rows: Vec<StudyRow>,
+}
+
+impl StudyTable {
+    /// Number of kernels whose target loop the extended analysis
+    /// parallelizes.
+    pub fn detected_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.detected).count()
+    }
+
+    /// Number of kernels the baseline parallelizes.
+    pub fn baseline_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.baseline_detected).count()
+    }
+
+    /// Renders the table as aligned text (the Figure 1 reproduction).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:<26} {:<12} {:<30} {:>9} {:>9}\n",
+            "kernel", "program", "suite", "pattern", "extended", "baseline"
+        ));
+        out.push_str(&"-".repeat(116));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<24} {:<26} {:<12} {:<30} {:>9} {:>9}\n",
+                r.kernel,
+                r.program,
+                r.suite,
+                r.pattern,
+                if r.detected { "parallel" } else { "serial" },
+                if r.baseline_detected { "parallel" } else { "serial" },
+            ));
+        }
+        out.push_str(&format!(
+            "\nparallelized by the extended analysis: {}/{}   by the baseline: {}/{}\n",
+            self.detected_count(),
+            self.rows.len(),
+            self.baseline_count(),
+            self.rows.len()
+        ));
+        out
+    }
+}
+
+/// A study kernel description, decoupled from `ss-npb` so the study can also
+/// run on user-provided kernels.
+#[derive(Debug, Clone)]
+pub struct StudyInput {
+    /// Kernel name.
+    pub name: String,
+    /// Program of origin.
+    pub program: String,
+    /// Suite of origin.
+    pub suite: String,
+    /// Pattern class label.
+    pub pattern: String,
+    /// Mini-C source.
+    pub source: String,
+    /// Loop id that the paper parallelizes.
+    pub target_loop: u32,
+}
+
+/// Runs the study over a set of kernels.
+pub fn run_study(kernels: &[StudyInput]) -> StudyTable {
+    let mut table = StudyTable::default();
+    for k in kernels {
+        let report: ParallelizationReport = match parallelize_source(&k.name, &k.source) {
+            Ok(r) => r,
+            Err(e) => {
+                table.rows.push(StudyRow {
+                    kernel: k.name.clone(),
+                    program: k.program.clone(),
+                    suite: k.suite.clone(),
+                    pattern: k.pattern.clone(),
+                    detected: false,
+                    baseline_detected: false,
+                    reasons: vec![format!("parse error: {e}")],
+                });
+                continue;
+            }
+        };
+        let target = report.loop_report(LoopId(k.target_loop));
+        table.rows.push(StudyRow {
+            kernel: k.name.clone(),
+            program: k.program.clone(),
+            suite: k.suite.clone(),
+            pattern: k.pattern.clone(),
+            detected: target.map(|l| l.parallel).unwrap_or(false),
+            baseline_detected: target.map(|l| l.baseline_parallel).unwrap_or(false),
+            reasons: target.map(|l| l.reasons.clone()).unwrap_or_default(),
+        });
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_inputs() -> Vec<StudyInput> {
+        vec![
+            StudyInput {
+                name: "fig2".into(),
+                program: "UA".into(),
+                suite: "NPB".into(),
+                pattern: "injectivity".into(),
+                source: r#"
+                    for (e = 0; e < nelt; e++) { mt_to_id[e] = e; }
+                    for (miel = 0; miel < nelt; miel++) {
+                        iel = mt_to_id[miel];
+                        id_to_mt[iel] = miel;
+                    }
+                "#
+                .into(),
+                target_loop: 1,
+            },
+            StudyInput {
+                name: "unprovable".into(),
+                program: "synthetic".into(),
+                suite: "none".into(),
+                pattern: "none".into(),
+                source: "for (i = 0; i < n; i++) { hist[idx[i]] = i; }".into(),
+                target_loop: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn study_distinguishes_detected_and_undetected_kernels() {
+        let table = run_study(&sample_inputs());
+        assert_eq!(table.rows.len(), 2);
+        assert!(table.rows[0].detected);
+        assert!(!table.rows[0].baseline_detected);
+        assert!(!table.rows[1].detected);
+        assert_eq!(table.detected_count(), 1);
+        assert_eq!(table.baseline_count(), 0);
+        let txt = table.render();
+        assert!(txt.contains("fig2"));
+        assert!(txt.contains("parallelized by the extended analysis: 1/2"));
+    }
+
+    #[test]
+    fn parse_errors_become_serial_rows() {
+        let table = run_study(&[StudyInput {
+            name: "broken".into(),
+            program: "x".into(),
+            suite: "x".into(),
+            pattern: "x".into(),
+            source: "for (i = 0 i < n; i++) {}".into(),
+            target_loop: 0,
+        }]);
+        assert!(!table.rows[0].detected);
+        assert!(table.rows[0].reasons[0].contains("parse error"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Property-aware sign determination.
+//!
+//! The extended Range Test must bound differences such as
+//! `rowstr[i+1] - rowstr[i]` or `7*front[i+1] - 7*front[i] + 1`.  Plain
+//! interval reasoning cannot: the array elements are unknown.  What it *can*
+//! use are the index-array properties derived by the aggregation pass:
+//! if `rowstr` is `Monotonic_inc`, then `rowstr[x] - rowstr[y] >= 0` whenever
+//! `x >= y` (and `>= x - y` when strictly monotonic).
+//!
+//! [`property_lower_bound`] computes a conservative constant lower bound of a
+//! difference expression by pairing up positive and negative references to
+//! the same array and discharging each pair with the database's properties.
+
+use ss_properties::{ArrayProperty, PropertyDatabase};
+use ss_symbolic::relation::Assumptions;
+use ss_symbolic::{simplify, simplify_diff, Expr};
+
+/// Computes a conservative constant lower bound for `e`, using both the
+/// relational assumptions and the index-array properties in `db`.
+/// Returns `None` if no bound can be established.
+pub fn property_lower_bound(e: &Expr, db: &PropertyDatabase, asm: &Assumptions) -> Option<i64> {
+    let s = simplify(e);
+    if s == Expr::Bottom {
+        return None;
+    }
+    if let Some(v) = asm.lower_bound(&s) {
+        return Some(v);
+    }
+    // Decompose into terms; try to pair +k*a[x] with -k*a[y].
+    let Expr::Add(terms) = s.clone() else {
+        return single_term_bound(&s, db, asm);
+    };
+    let mut parsed: Vec<(i64, Option<(String, Expr)>, Expr)> = Vec::new();
+    for t in &terms {
+        parsed.push(parse_term(t));
+    }
+    let mut used = vec![false; parsed.len()];
+    let mut total: i64 = 0;
+    // Pair array-reference terms of opposite sign on the same array.
+    for i in 0..parsed.len() {
+        if used[i] {
+            continue;
+        }
+        let (ci, Some((ai, xi)), _) = &parsed[i] else {
+            continue;
+        };
+        for j in 0..parsed.len() {
+            if i == j || used[j] {
+                continue;
+            }
+            let (cj, Some((aj, xj)), _) = &parsed[j] else {
+                continue;
+            };
+            if ai != aj || *ci != -*cj || *ci == 0 {
+                continue;
+            }
+            // ci*a[xi] + cj*a[xj] with cj = -ci.
+            // For ci > 0 this is ci*(a[xi] - a[xj]).
+            let (pos_idx, neg_idx, mag) = if *ci > 0 {
+                (xi.clone(), xj.clone(), *ci)
+            } else {
+                (xj.clone(), xi.clone(), -*ci)
+            };
+            if let Some(b) = pair_lower_bound(ai, &pos_idx, &neg_idx, mag, db, asm) {
+                total = total.saturating_add(b);
+                used[i] = true;
+                used[j] = true;
+                break;
+            }
+        }
+    }
+    // Remaining terms must be bounded by plain interval reasoning.
+    for (idx, t) in terms.iter().enumerate() {
+        if used[idx] {
+            continue;
+        }
+        let b = asm
+            .lower_bound(t)
+            .or_else(|| single_term_bound(&simplify(t), db, asm))?;
+        total = total.saturating_add(b);
+    }
+    Some(total)
+}
+
+/// Proves `e >= 1` using properties (convenience wrapper).
+pub fn property_proves_positive(e: &Expr, db: &PropertyDatabase, asm: &Assumptions) -> bool {
+    property_lower_bound(e, db, asm).map(|b| b >= 1).unwrap_or(false)
+}
+
+/// Proves `e >= 0` using properties (convenience wrapper).
+pub fn property_proves_nonneg(e: &Expr, db: &PropertyDatabase, asm: &Assumptions) -> bool {
+    property_lower_bound(e, db, asm).map(|b| b >= 0).unwrap_or(false)
+}
+
+/// Lower bound of a single (non-sum) term: uses the database's element-value
+/// ranges for array references (`k * a[x] >= k * lo(a)` for positive `k`).
+fn single_term_bound(t: &Expr, db: &PropertyDatabase, asm: &Assumptions) -> Option<i64> {
+    let (coeff, aref, _) = parse_term(t);
+    let (array, _) = aref?;
+    if coeff == 0 {
+        return None;
+    }
+    let vr = db.value_range(&array)?;
+    if coeff > 0 {
+        let lo = asm.lower_bound(&vr.lo)?;
+        Some(coeff.saturating_mul(lo))
+    } else {
+        let hi = asm.upper_bound(&vr.hi)?;
+        Some(coeff.saturating_mul(hi))
+    }
+}
+
+/// Splits a term into `(integer coefficient, array reference, original)`.
+/// Terms that are not of the form `k * a[x]` (or `a[x]`) report `None` for
+/// the array part.
+fn parse_term(t: &Expr) -> (i64, Option<(String, Expr)>, Expr) {
+    match t {
+        Expr::ArrayRef(a, idx) => (1, Some((a.clone(), (**idx).clone())), t.clone()),
+        Expr::Mul(factors) => {
+            let mut coeff = 1i64;
+            let mut aref: Option<(String, Expr)> = None;
+            let mut ok = true;
+            for f in factors {
+                match f {
+                    Expr::Int(v) => coeff *= v,
+                    Expr::ArrayRef(a, idx) if aref.is_none() => {
+                        aref = Some((a.clone(), (**idx).clone()))
+                    }
+                    _ => ok = false,
+                }
+            }
+            if ok {
+                (coeff, aref, t.clone())
+            } else {
+                (0, None, t.clone())
+            }
+        }
+        other => (0, None, other.clone()),
+    }
+}
+
+/// Lower bound of `mag * (a[pos] - a[neg])` given `a`'s properties.
+fn pair_lower_bound(
+    array: &str,
+    pos: &Expr,
+    neg: &Expr,
+    mag: i64,
+    db: &PropertyDatabase,
+    asm: &Assumptions,
+) -> Option<i64> {
+    let idx_diff = simplify_diff(pos, neg);
+    let diff_lb = asm.lower_bound(&idx_diff);
+    let diff_ub = asm.upper_bound(&idx_diff);
+    if db.has_property(array, ArrayProperty::StrictMonotonicInc) {
+        if let Some(d) = diff_lb {
+            if d >= 0 {
+                // a[pos] - a[neg] >= pos - neg  (integer strict monotonicity)
+                return Some(mag.saturating_mul(d));
+            }
+        }
+    }
+    if db.has_property(array, ArrayProperty::MonotonicInc) {
+        if let Some(d) = diff_lb {
+            if d >= 0 {
+                return Some(0);
+            }
+        }
+    }
+    if db.has_property(array, ArrayProperty::StrictMonotonicDec) {
+        if let Some(d) = diff_ub {
+            if d <= 0 {
+                return Some(mag.saturating_mul(-d));
+            }
+        }
+    }
+    if db.has_property(array, ArrayProperty::MonotonicDec) {
+        if let Some(d) = diff_ub {
+            if d <= 0 {
+                return Some(0);
+            }
+        }
+    }
+    // Identical indices cancel regardless of properties.
+    if idx_diff == Expr::Int(0) {
+        return Some(0);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_properties::ArrayFact;
+    use ss_symbolic::SymRange;
+
+    fn db_with(array: &str, prop: ArrayProperty) -> PropertyDatabase {
+        let mut db = PropertyDatabase::new();
+        db.insert(
+            ArrayFact::new(array, SymRange::new(Expr::int(0), Expr::sym("N"))).with_property(prop),
+        );
+        db
+    }
+
+    fn asm_i() -> Assumptions {
+        let mut a = Assumptions::new();
+        a.assume_range("i", SymRange::new(Expr::int(0), Expr::sym("N")));
+        a
+    }
+
+    #[test]
+    fn monotonic_array_difference_is_nonnegative() {
+        // rowstr[i+1] - rowstr[i] >= 0 given Monotonic_inc
+        let db = db_with("rowstr", ArrayProperty::MonotonicInc);
+        let e = Expr::sub(
+            Expr::array_ref("rowstr", Expr::add(Expr::sym("i"), Expr::int(1))),
+            Expr::array_ref("rowstr", Expr::sym("i")),
+        );
+        assert!(property_proves_nonneg(&e, &db, &asm_i()));
+        assert!(!property_proves_positive(&e, &db, &asm_i()));
+        // without the property, nothing is provable
+        assert!(!property_proves_nonneg(&e, &PropertyDatabase::new(), &asm_i()));
+        // and the difference in the wrong direction is not provable either
+        let wrong = Expr::sub(
+            Expr::array_ref("rowstr", Expr::sym("i")),
+            Expr::array_ref("rowstr", Expr::add(Expr::sym("i"), Expr::int(1))),
+        );
+        assert!(!property_proves_nonneg(&wrong, &db, &asm_i()));
+    }
+
+    #[test]
+    fn strict_monotonicity_gives_index_distance() {
+        // front strictly increasing: 7*front[i+1] - 7*front[i] + 1 - 7 >= 1
+        let db = db_with("front", ArrayProperty::StrictMonotonicInc);
+        let e = simplify(&Expr::add(
+            Expr::sub(
+                Expr::mul(Expr::int(7), Expr::array_ref("front", Expr::add(Expr::sym("i"), Expr::int(1)))),
+                Expr::mul(Expr::int(7), Expr::array_ref("front", Expr::sym("i"))),
+            ),
+            Expr::int(-6),
+        ));
+        let lb = property_lower_bound(&e, &db, &asm_i()).unwrap();
+        assert!(lb >= 1, "lower bound {lb}");
+        // with only non-strict monotonicity the -6 cannot be absorbed
+        let db2 = db_with("front", ArrayProperty::MonotonicInc);
+        let lb2 = property_lower_bound(&e, &db2, &asm_i()).unwrap();
+        assert_eq!(lb2, -6);
+    }
+
+    #[test]
+    fn plain_terms_fall_back_to_interval_reasoning() {
+        let db = db_with("rowstr", ArrayProperty::MonotonicInc);
+        let mut asm = asm_i();
+        asm.assume_range("k", SymRange::constant(2, 5));
+        // rowstr[i+1] - rowstr[i] + k >= 2
+        let e = Expr::add(
+            Expr::sub(
+                Expr::array_ref("rowstr", Expr::add(Expr::sym("i"), Expr::int(1))),
+                Expr::array_ref("rowstr", Expr::sym("i")),
+            ),
+            Expr::sym("k"),
+        );
+        assert_eq!(property_lower_bound(&e, &db, &asm), Some(2));
+        // an unpaired array reference blocks the bound
+        let e = Expr::add(Expr::array_ref("other", Expr::sym("i")), Expr::int(3));
+        assert_eq!(property_lower_bound(&e, &db, &asm), None);
+    }
+
+    #[test]
+    fn decreasing_arrays_are_supported() {
+        let db = db_with("d", ArrayProperty::StrictMonotonicDec);
+        // d[i] - d[i+1] >= 1 for strictly decreasing d
+        let e = Expr::sub(
+            Expr::array_ref("d", Expr::sym("i")),
+            Expr::array_ref("d", Expr::add(Expr::sym("i"), Expr::int(1))),
+        );
+        assert!(property_proves_positive(&e, &db, &asm_i()));
+    }
+
+    #[test]
+    fn constant_expressions_do_not_need_the_database() {
+        let db = PropertyDatabase::new();
+        assert_eq!(
+            property_lower_bound(&Expr::int(4), &db, &Assumptions::new()),
+            Some(4)
+        );
+        assert!(property_proves_positive(&Expr::int(1), &db, &Assumptions::new()));
+        assert!(!property_proves_positive(&Expr::Bottom, &db, &Assumptions::new()));
+    }
+}

@@ -1,0 +1,807 @@
+//! The extended Range Test (Section 5) and the loop parallelism verdict.
+//!
+//! For the loop under test, every pair of per-iteration access descriptors
+//! that involves a write is compared between an arbitrary iteration `i` and
+//! its successor `i+1` (the paper's formulation of the Range Test).  A pair
+//! is independent when
+//!
+//! * both regions advance monotonically with `i` **and** the later
+//!   iteration's region starts strictly after the earlier one ends (in either
+//!   direction), or
+//! * the access is a single point whose subscript provably takes distinct
+//!   values in distinct iterations — via strict monotonicity, via an
+//!   injective index array (`Figure 2`), via an injective subset under a
+//!   matching guard (`Figure 5`), or via an injective index array applied to
+//!   disjoint ranges (`Figure 6`).
+//!
+//! All of these proofs consume the index-array properties derived by the
+//! aggregation pass; with an empty property database the test degenerates to
+//! what conventional compilers can do (the *baseline* of the evaluation).
+
+use crate::access::{collect_iteration_accesses, AccessRegion, DescriptorSet, IterationAccess};
+use crate::monotone::{property_proves_nonneg, property_proves_positive};
+use ss_ir::ast::{BinOp, LoopId, Program, Stmt};
+use ss_ir::convert::SymCondition;
+use ss_ir::loops::{LoopInfo, LoopTree};
+use ss_properties::{ArrayProperty, PropertyDatabase, ValueFilter};
+use ss_symbolic::relation::{Assumptions, Proof};
+use ss_symbolic::simplify::affine_in;
+use ss_symbolic::subst::subst_sym;
+use ss_symbolic::{simplify, simplify_diff, sym_eq, Expr, SymRange};
+
+/// Configuration of the dependence test.
+#[derive(Debug, Clone)]
+pub struct RangeTestConfig {
+    /// Use the index-array properties derived by the aggregation pass
+    /// (the paper's contribution). `false` models conventional compilers
+    /// (Cetus / ICC / PGI in the paper's comparison).
+    pub use_index_array_properties: bool,
+}
+
+impl Default for RangeTestConfig {
+    fn default() -> Self {
+        RangeTestConfig {
+            use_index_array_properties: true,
+        }
+    }
+}
+
+impl RangeTestConfig {
+    /// The baseline configuration (no subscripted-subscript reasoning).
+    pub fn baseline() -> RangeTestConfig {
+        RangeTestConfig {
+            use_index_array_properties: false,
+        }
+    }
+}
+
+/// The verdict for one loop.
+#[derive(Debug, Clone)]
+pub struct LoopVerdict {
+    /// The tested loop.
+    pub loop_id: LoopId,
+    /// True if every cross-iteration dependence was disproven.
+    pub parallel: bool,
+    /// Why the loop is parallel (one entry per discharged proof obligation).
+    pub reasons: Vec<String>,
+    /// What blocked parallelization.
+    pub blockers: Vec<String>,
+}
+
+impl LoopVerdict {
+    fn serial(loop_id: LoopId, blocker: impl Into<String>) -> LoopVerdict {
+        LoopVerdict {
+            loop_id,
+            parallel: false,
+            reasons: Vec::new(),
+            blockers: vec![blocker.into()],
+        }
+    }
+}
+
+/// Tests a single loop of a program.
+pub fn test_loop(
+    program: &Program,
+    tree: &LoopTree,
+    id: LoopId,
+    db: &PropertyDatabase,
+    cfg: &RangeTestConfig,
+) -> LoopVerdict {
+    let Some(info) = tree.get(id) else {
+        return LoopVerdict::serial(id, "loop not found");
+    };
+    if !info.is_normalized {
+        return LoopVerdict::serial(id, "not a canonical unit-step counted loop");
+    }
+    let Some(Stmt::For { body, .. }) = program.find_loop(id) else {
+        return LoopVerdict::serial(id, "loop body not found");
+    };
+    let empty_db = PropertyDatabase::new();
+    let db = if cfg.use_index_array_properties {
+        db
+    } else {
+        &empty_db
+    };
+
+    let mut verdict = LoopVerdict {
+        loop_id: id,
+        parallel: true,
+        reasons: Vec::new(),
+        blockers: Vec::new(),
+    };
+
+    // Scalar dependences: every scalar assigned in the body must be
+    // privatizable (written before read in each iteration).
+    for name in non_private_scalars(body, &info.var) {
+        verdict
+            .blockers
+            .push(format!("scalar '{name}' is read before written (carried scalar dependence)"));
+    }
+
+    // Array dependences.
+    let descriptors = collect_iteration_accesses(info, body, tree);
+    let mut asm = Assumptions::new();
+    asm.assume_range(info.var.clone(), info.index_range());
+    for array in descriptors.written_arrays() {
+        check_array(&descriptors, &array, info, db, &asm, &mut verdict);
+    }
+
+    verdict.parallel = verdict.blockers.is_empty();
+    verdict
+}
+
+/// Tests every loop of a program, returning verdicts in loop-id order.
+pub fn test_program(
+    program: &Program,
+    db_for_loop: &dyn Fn(LoopId) -> PropertyDatabase,
+    cfg: &RangeTestConfig,
+) -> Vec<LoopVerdict> {
+    let tree = LoopTree::build(program);
+    tree.loops
+        .iter()
+        .map(|l| test_loop(program, &tree, l.id, &db_for_loop(l.id), cfg))
+        .collect()
+}
+
+fn check_array(
+    descriptors: &DescriptorSet,
+    array: &str,
+    info: &LoopInfo,
+    db: &PropertyDatabase,
+    asm: &Assumptions,
+    verdict: &mut LoopVerdict,
+) {
+    let accesses = descriptors.for_array(array);
+    // Every pair (early iteration i, late iteration i+1) involving a write
+    // must be independent.
+    for early in &accesses {
+        for late in &accesses {
+            if !early.is_write && !late.is_write {
+                continue;
+            }
+            match pair_independent(early, late, array, info, db, asm) {
+                Ok(reason) => {
+                    if !verdict.reasons.contains(&reason) {
+                        verdict.reasons.push(reason);
+                    }
+                }
+                Err(blocker) => {
+                    if !verdict.blockers.contains(&blocker) {
+                        verdict.blockers.push(blocker);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shifts an expression from iteration `i` to iteration `i+1`.
+fn next_iter(e: &Expr, var: &str) -> Expr {
+    simplify(&subst_sym(
+        e,
+        var,
+        &Expr::add(Expr::sym(var), Expr::Int(1)),
+    ))
+}
+
+fn next_iter_range(r: &SymRange, var: &str) -> SymRange {
+    SymRange {
+        lo: next_iter(&r.lo, var),
+        hi: next_iter(&r.hi, var),
+    }
+}
+
+/// The `[lo : hi]` bounds of a region (points are degenerate ranges).
+fn region_bounds(region: &AccessRegion) -> Option<SymRange> {
+    match region {
+        AccessRegion::Point(p) => Some(SymRange::exact(p.clone())),
+        AccessRegion::Range(r) => Some(r.clone()),
+        AccessRegion::Indirect { .. } | AccessRegion::Unknown => None,
+    }
+}
+
+/// Checks whether the guard conditions of an access can hold at iteration
+/// `i + shift`. Returns false only when some guard is provably violated.
+fn guards_feasible(guards: &[SymCondition], var: &str, shift: i64, asm: &Assumptions) -> bool {
+    for g in guards {
+        let lhs = if shift == 0 {
+            g.lhs.clone()
+        } else {
+            simplify(&subst_sym(&g.lhs, var, &Expr::add(Expr::sym(var), Expr::Int(shift))))
+        };
+        let rhs = if shift == 0 {
+            g.rhs.clone()
+        } else {
+            simplify(&subst_sym(&g.rhs, var, &Expr::add(Expr::sym(var), Expr::Int(shift))))
+        };
+        let impossible = match g.op {
+            BinOp::Eq => {
+                asm.prove_lt(&lhs, &rhs) == Proof::Proven || asm.prove_lt(&rhs, &lhs) == Proof::Proven
+            }
+            BinOp::Ne => asm.prove_eq(&lhs, &rhs) == Proof::Proven,
+            BinOp::Lt => asm.prove_le(&rhs, &lhs) == Proof::Proven,
+            BinOp::Le => asm.prove_lt(&rhs, &lhs) == Proof::Proven,
+            BinOp::Gt => asm.prove_le(&lhs, &rhs) == Proof::Proven,
+            BinOp::Ge => asm.prove_lt(&lhs, &rhs) == Proof::Proven,
+            _ => false,
+        };
+        if impossible {
+            return false;
+        }
+    }
+    true
+}
+
+fn pair_independent(
+    early: &IterationAccess,
+    late: &IterationAccess,
+    array: &str,
+    info: &LoopInfo,
+    db: &PropertyDatabase,
+    asm: &Assumptions,
+) -> Result<String, String> {
+    let var = &info.var;
+    if early.under_unknown_guard || late.under_unknown_guard {
+        // A write under an unrepresentable guard can still be tested — the
+        // guard only removes instances, never adds them — so fall through.
+    }
+    // Vacuous pairs: a guard that cannot hold at the respective iteration.
+    if !guards_feasible(&early.guards, var, 0, asm) || !guards_feasible(&late.guards, var, 1, asm) {
+        return Ok(format!(
+            "accesses to '{array}' cannot co-execute in consecutive iterations (guards exclude them)"
+        ));
+    }
+
+    // Indirect regions (Figure 6): the image of disjoint argument ranges
+    // under an injective index array.
+    if let (
+        AccessRegion::Indirect { array: pa, range: ra },
+        AccessRegion::Indirect { array: pb, range: rb },
+    ) = (&early.region, &late.region)
+    {
+        if pa == pb && db.has_property(pa, ArrayProperty::Injective) {
+            return check_advancing_ranges(ra, rb, var, db, asm).map(|why| {
+                format!(
+                    "writes to '{array}' go through injective index array '{pa}' applied to {why}"
+                )
+            }).map_err(|e| format!("indirect writes to '{array}': {e}"));
+        }
+        return Err(format!(
+            "writes to '{array}' use index array '{pa}' whose injectivity is unknown"
+        ));
+    }
+
+    let (Some(ra), Some(rb)) = (region_bounds(&early.region), region_bounds(&late.region)) else {
+        return Err(format!(
+            "an access to '{array}' could not be described as a subscript range"
+        ));
+    };
+
+    // Same single-point access: injectivity-based reasoning.
+    if early == late {
+        if let AccessRegion::Point(p) = &early.region {
+            if let Some(reason) = injective_subscript(p, var, db, &early.guards) {
+                return Ok(format!("write subscript of '{array}' {reason}"));
+            }
+        }
+    }
+
+    check_advancing_ranges(&ra, &rb, var, db, asm)
+        .map(|why| format!("accesses to '{array}' touch {why}"))
+        .map_err(|e| format!("accesses to '{array}': {e}"))
+}
+
+/// Proves that region `ra` (iteration `i`) and region `rb` (iteration `i+1`)
+/// cannot overlap, via monotone advancement: both regions move in the same
+/// direction with `i` and the later one starts strictly past the earlier one.
+fn check_advancing_ranges(
+    ra: &SymRange,
+    rb: &SymRange,
+    var: &str,
+    db: &PropertyDatabase,
+    asm: &Assumptions,
+) -> Result<String, String> {
+    let rb_next = next_iter_range(rb, var);
+    let ra_next = next_iter_range(ra, var);
+    // Increasing direction: regions advance upward and the successor's region
+    // begins after the current one ends.
+    let advancing_up = property_proves_nonneg(&simplify_diff(&ra_next.lo, &ra.lo), db, asm)
+        && property_proves_nonneg(&simplify_diff(&ra_next.hi, &ra.hi), db, asm)
+        && property_proves_nonneg(&simplify_diff(&rb_next.lo, &rb.lo), db, asm)
+        && property_proves_nonneg(&simplify_diff(&rb_next.hi, &rb.hi), db, asm);
+    if advancing_up && property_proves_positive(&simplify_diff(&rb_next.lo, &ra.hi), db, asm) {
+        return Ok(
+            "non-overlapping, monotonically advancing subscript ranges in consecutive iterations"
+                .to_string(),
+        );
+    }
+    // Decreasing direction.
+    let advancing_down = property_proves_nonneg(&simplify_diff(&ra.lo, &ra_next.lo), db, asm)
+        && property_proves_nonneg(&simplify_diff(&ra.hi, &ra_next.hi), db, asm)
+        && property_proves_nonneg(&simplify_diff(&rb.lo, &rb_next.lo), db, asm)
+        && property_proves_nonneg(&simplify_diff(&rb.hi, &rb_next.hi), db, asm);
+    if advancing_down && property_proves_positive(&simplify_diff(&ra.lo, &rb_next.hi), db, asm) {
+        return Ok(
+            "non-overlapping, monotonically descending subscript ranges in consecutive iterations"
+                .to_string(),
+        );
+    }
+    Err("cannot prove the subscript ranges of consecutive iterations disjoint".to_string())
+}
+
+/// Tries to prove that a point subscript takes pairwise-distinct values in
+/// distinct iterations.
+fn injective_subscript(
+    p: &Expr,
+    var: &str,
+    db: &PropertyDatabase,
+    guards: &[SymCondition],
+) -> Option<String> {
+    // Affine in the loop index with non-zero coefficient.
+    if let Some((c, _)) = affine_in(p, var) {
+        if c != 0 {
+            return Some("is affine in the loop index with non-zero stride".to_string());
+        }
+        return None;
+    }
+    // c0 + k * b[inner] with b injective and inner itself injective in i.
+    let (k, aref, rest_ok) = decompose_single_array_term(p, var);
+    if let Some((b, inner)) = aref {
+        if k != 0 && rest_ok {
+            let inner_injective = affine_in(&inner, var).map(|(c, _)| c != 0).unwrap_or(false)
+                || injective_subscript(&inner, var, db, guards).is_some();
+            if inner_injective {
+                if db.has_property(&b, ArrayProperty::Injective) {
+                    return Some(format!("uses injective index array '{b}'"));
+                }
+                // Guarded subset injectivity (Figure 5): the access is guarded
+                // by `b[inner] >= 0` and the non-negative subset is injective.
+                let filter = ValueFilter::non_negative();
+                let guard_matches = guards.iter().any(|g| {
+                    g.op == BinOp::Ge
+                        && g.rhs == Expr::Int(0)
+                        && sym_eq(&g.lhs, &Expr::ArrayRef(b.clone(), Box::new(inner.clone())))
+                });
+                if guard_matches && db.has_property_on_subset(&b, &filter, ArrayProperty::Injective)
+                {
+                    return Some(format!(
+                        "uses index array '{b}' whose guarded (non-negative) subset is injective"
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Decomposes `p` as `constant/invariant + k * b[inner]` where the remainder
+/// does not mention the loop index or any array. Returns `(k, Some((b,
+/// inner)), remainder_ok)`.
+fn decompose_single_array_term(p: &Expr, var: &str) -> (i64, Option<(String, Expr)>, bool) {
+    let s = simplify(p);
+    let terms: Vec<Expr> = match s {
+        Expr::Add(xs) => xs,
+        other => vec![other],
+    };
+    let mut aref: Option<(String, Expr)> = None;
+    let mut coeff = 0i64;
+    let mut rest_ok = true;
+    for t in terms {
+        match &t {
+            Expr::ArrayRef(a, idx) => {
+                if aref.is_none() {
+                    aref = Some((a.clone(), (**idx).clone()));
+                    coeff = 1;
+                } else {
+                    rest_ok = false;
+                }
+            }
+            Expr::Mul(fs) => {
+                let mut k = 1i64;
+                let mut inner_ref: Option<(String, Expr)> = None;
+                let mut clean = true;
+                for f in fs {
+                    match f {
+                        Expr::Int(v) => k *= v,
+                        Expr::ArrayRef(a, idx) if inner_ref.is_none() => {
+                            inner_ref = Some((a.clone(), (**idx).clone()))
+                        }
+                        _ => clean = false,
+                    }
+                }
+                match (clean, inner_ref, &aref) {
+                    (true, Some(r), None) => {
+                        aref = Some(r);
+                        coeff = k;
+                    }
+                    (true, None, _) => {
+                        // pure product of invariants
+                        if t.contains_sym(var) {
+                            rest_ok = false;
+                        }
+                    }
+                    _ => rest_ok = false,
+                }
+            }
+            other => {
+                if other.contains_sym(var) || other.contains_any_array_ref() {
+                    rest_ok = false;
+                }
+            }
+        }
+    }
+    (coeff, aref, rest_ok)
+}
+
+/// Scalars assigned in the loop body that are (possibly) read before being
+/// written in an iteration — these carry values across iterations and block
+/// parallelization (they are not privatizable).
+fn non_private_scalars(body: &[Stmt], loop_var: &str) -> Vec<String> {
+    use std::collections::HashSet;
+    let written_first: HashSet<String> = HashSet::new();
+    let mut read_first: Vec<String> = Vec::new();
+    let mut assigned: HashSet<String> = HashSet::new();
+    // Collect all assigned scalars first.
+    fn collect_assigned(stmts: &[Stmt], out: &mut HashSet<String>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign { target, .. } if target.is_scalar() => {
+                    out.insert(target.name.clone());
+                }
+                Stmt::Decl { name, dims, .. } if dims.is_empty() => {
+                    out.insert(name.clone());
+                }
+                Stmt::For { var, body, .. } => {
+                    out.insert(var.clone());
+                    collect_assigned(body, out);
+                }
+                Stmt::While { body, .. } => collect_assigned(body, out),
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    collect_assigned(then_branch, out);
+                    collect_assigned(else_branch, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    collect_assigned(body, &mut assigned);
+    assigned.remove(loop_var);
+
+    // Walk in program order; the first dynamic access decides.
+    fn note_reads(
+        e: &ss_ir::ast::AExpr,
+        assigned: &HashSet<String>,
+        written: &HashSet<String>,
+        read_first: &mut Vec<String>,
+    ) {
+        e.for_each(&mut |x| {
+            if let ss_ir::ast::AExpr::Var(v) = x {
+                if assigned.contains(v) && !written.contains(v) && !read_first.contains(v) {
+                    read_first.push(v.clone());
+                }
+            }
+        });
+    }
+    fn walk(
+        stmts: &[Stmt],
+        assigned: &HashSet<String>,
+        written: &mut HashSet<String>,
+        read_first: &mut Vec<String>,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::Decl { name, dims, init } => {
+                    if let Some(e) = init {
+                        note_reads(e, assigned, written, read_first);
+                    }
+                    if dims.is_empty() {
+                        written.insert(name.clone());
+                    }
+                }
+                Stmt::Assign { target, op, value } => {
+                    note_reads(value, assigned, written, read_first);
+                    for idx in &target.indices {
+                        note_reads(idx, assigned, written, read_first);
+                    }
+                    if *op != ss_ir::ast::AssignOp::Assign && target.is_scalar() {
+                        // compound assignment reads the target first
+                        if assigned.contains(&target.name)
+                            && !written.contains(&target.name)
+                            && !read_first.contains(&target.name)
+                        {
+                            read_first.push(target.name.clone());
+                        }
+                    }
+                    if target.is_scalar() {
+                        written.insert(target.name.clone());
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    note_reads(cond, assigned, written, read_first);
+                    // A write inside a branch only counts as "written before
+                    // read" for later code if it happens on both paths; be
+                    // conservative and only propagate the intersection.
+                    let mut then_written = written.clone();
+                    let mut else_written = written.clone();
+                    walk(then_branch, assigned, &mut then_written, read_first);
+                    walk(else_branch, assigned, &mut else_written, read_first);
+                    *written = then_written
+                        .intersection(&else_written)
+                        .cloned()
+                        .collect();
+                }
+                Stmt::For {
+                    var,
+                    init,
+                    bound,
+                    step,
+                    body,
+                    ..
+                } => {
+                    note_reads(init, assigned, written, read_first);
+                    note_reads(bound, assigned, written, read_first);
+                    note_reads(step, assigned, written, read_first);
+                    written.insert(var.clone());
+                    walk(body, assigned, written, read_first);
+                }
+                Stmt::While { cond, body, .. } => {
+                    note_reads(cond, assigned, written, read_first);
+                    walk(body, assigned, written, read_first);
+                }
+            }
+        }
+    }
+    let mut written: HashSet<String> = HashSet::new();
+    walk(body, &assigned, &mut written, &mut read_first);
+    let _ = written_first;
+    read_first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_aggregation::analyze_program;
+    use ss_ir::parser::parse_program;
+
+    /// Runs the full pipeline (aggregation + extended Range Test) and returns
+    /// the verdict for the given loop, plus the baseline verdict.
+    fn verdicts(src: &str, loop_id: u32) -> (LoopVerdict, LoopVerdict) {
+        let p = parse_program("t", src).unwrap();
+        let analysis = analyze_program(&p);
+        let tree = LoopTree::build(&p);
+        let extended = test_loop(
+            &p,
+            &tree,
+            LoopId(loop_id),
+            analysis.db_for_loop(LoopId(loop_id)),
+            &RangeTestConfig::default(),
+        );
+        let baseline = test_loop(
+            &p,
+            &tree,
+            LoopId(loop_id),
+            analysis.db_for_loop(LoopId(loop_id)),
+            &RangeTestConfig::baseline(),
+        );
+        (extended, baseline)
+    }
+
+    #[test]
+    fn figure2_injective_index_array_enables_parallelization() {
+        // Filling code gives mt_to_id a strictly-monotonic (hence injective)
+        // content; the transfer loop then writes through it.
+        let src = r#"
+            for (e = 0; e < nelt; e++) {
+                mt_to_id[e] = e;
+            }
+            for (miel = 0; miel < nelt; miel++) {
+                iel = mt_to_id[miel];
+                id_to_mt[iel] = miel;
+            }
+        "#;
+        let (extended, baseline) = verdicts(src, 1);
+        assert!(extended.parallel, "blockers: {:?}", extended.blockers);
+        assert!(extended.reasons.iter().any(|r| r.contains("injective")));
+        assert!(!baseline.parallel);
+    }
+
+    #[test]
+    fn figure3_monotonic_rowstr_enables_parallelization() {
+        let src = r#"
+            rowstr[0] = 0;
+            for (r = 1; r <= nrows; r++) {
+                rowstr[r] = rowstr[r-1] + rowcount[r-1];
+            }
+            for (j = 0; j < nrows; j++) {
+                for (k = rowstr[j]; k < rowstr[j+1]; k++) {
+                    colidx[k] = colidx[k] - firstcol;
+                }
+            }
+        "#;
+        // rowcount has no known sign, so first give it one via a counting loop.
+        let src_full = format!(
+            r#"
+            for (i = 0; i < nrows; i++) {{
+                cnt = 0;
+                for (t = 0; t < ncols; t++) {{
+                    if (dense[i][t] != 0) {{ cnt++; }}
+                }}
+                rowcount[i] = cnt;
+            }}
+            {src}
+        "#
+        );
+        let (extended, baseline) = verdicts(&src_full, 3);
+        assert!(extended.parallel, "blockers: {:?}", extended.blockers);
+        assert!(!baseline.parallel);
+        // The inner k-loop itself: subscript k is affine in k, parallel even
+        // for the baseline.
+        let (inner_ext, inner_base) = verdicts(&src_full, 4);
+        assert!(inner_ext.parallel);
+        assert!(inner_base.parallel);
+    }
+
+    #[test]
+    fn figure5_guarded_injective_subset() {
+        // jmatch gets an injective fill for the matched rows and -1 for the
+        // rest — modelled by a guarded identity fill; the compile-time
+        // analysis records the guarded-subset injectivity.
+        let src = r#"
+            for (r = 0; r < m; r++) {
+                if (matched[r] > 0) {
+                    jmatch[r] = r;
+                } else {
+                    jmatch[r] = 0 - 1;
+                }
+            }
+            for (i = 0; i < m; i++) {
+                if (jmatch[i] >= 0) {
+                    imatch[jmatch[i]] = i;
+                }
+            }
+        "#;
+        let (extended, baseline) = verdicts(src, 1);
+        assert!(!baseline.parallel);
+        // The guarded-subset fact requires the subset fill to be recognized;
+        // the write through jmatch[i] under the guard jmatch[i] >= 0 is then
+        // provably conflict-free.
+        assert!(
+            extended.parallel,
+            "blockers: {:?}",
+            extended.blockers
+        );
+    }
+
+    #[test]
+    fn figure6_simultaneous_monotonic_and_injective() {
+        let src = r#"
+            for (b = 0; b < nb; b++) {
+                bs = 0;
+                for (t = 0; t < bmax; t++) {
+                    if (members[b][t] > 0) { bs++; }
+                }
+                blocksize[b] = bs;
+            }
+            r[0] = 0;
+            for (b = 1; b <= nb; b++) {
+                r[b] = r[b-1] + blocksize[b-1];
+            }
+            for (k = 0; k < nzb; k++) {
+                p[k] = k;
+            }
+            for (b = 0; b < nb; b++) {
+                for (k = r[b]; k < r[b+1]; k++) {
+                    Blk[p[k]] = b;
+                }
+            }
+        "#;
+        let (extended, baseline) = verdicts(src, 4);
+        assert!(extended.parallel, "blockers: {:?}", extended.blockers);
+        assert!(extended.reasons.iter().any(|r| r.contains("injective index array 'p'")));
+        assert!(!baseline.parallel);
+    }
+
+    #[test]
+    fn figure9_product_loop() {
+        let src = r#"
+            index = 0;
+            ind = 0;
+            for (i = 0; i < ROWLEN; i++) {
+                count = 0;
+                for (j = 0; j < COLUMNLEN; j++) {
+                    if (a[i][j] != 0) {
+                        count++;
+                        column_number[index] = j;
+                        index++;
+                        value[ind] = a[i][j];
+                        ind++;
+                    }
+                }
+                rowsize[i] = count;
+            }
+            rowptr[0] = 0;
+            for (i = 1; i < ROWLEN + 1; i++) {
+                rowptr[i] = rowptr[i-1] + rowsize[i-1];
+            }
+            for (i = 0; i < ROWLEN+1; i++) {
+                if (i == 0) {
+                    j1 = i;
+                } else {
+                    j1 = rowptr[i-1];
+                }
+                for (j = j1; j < rowptr[i]; j++) {
+                    product_array[j] = value[j] * vector[j];
+                }
+            }
+        "#;
+        let (extended, baseline) = verdicts(src, 3);
+        assert!(extended.parallel, "blockers: {:?}", extended.blockers);
+        assert!(!baseline.parallel);
+    }
+
+    #[test]
+    fn output_dependences_are_detected_when_properties_are_absent() {
+        // idx has no derivable property (it is read from input): the loop
+        // must stay serial even for the extended test.
+        let src = r#"
+            for (i = 0; i < n; i++) {
+                hist[idx[i]] = i;
+            }
+        "#;
+        let (extended, baseline) = verdicts(src, 0);
+        assert!(!extended.parallel);
+        assert!(!baseline.parallel);
+    }
+
+    #[test]
+    fn true_dependences_block_parallelization() {
+        // A genuine loop-carried flow dependence: a[i] = a[i-1] + 1.
+        let src = "for (i = 1; i < n; i++) { a[i] = a[i-1] + 1; }";
+        let (extended, _) = verdicts(src, 0);
+        assert!(!extended.parallel);
+        // A scalar carried across iterations (running sum) also blocks.
+        let src = "for (i = 0; i < n; i++) { s = s + b[i]; c[i] = s; }";
+        let (extended, _) = verdicts(src, 0);
+        assert!(!extended.parallel);
+        assert!(extended.blockers.iter().any(|b| b.contains("scalar 's'")));
+    }
+
+    #[test]
+    fn private_scalars_do_not_block() {
+        let src = "for (i = 0; i < n; i++) { t = b[i] * 2; c[i] = t; }";
+        let (extended, baseline) = verdicts(src, 0);
+        assert!(extended.parallel);
+        assert!(baseline.parallel);
+    }
+
+    #[test]
+    fn figure7_disjoint_strided_expressions() {
+        // Simplified Figure 7/8 shape: the write subscript is
+        // 7*front[index] + i with front strictly monotonic (filled as a
+        // prefix sum of positive counts); successive outer iterations write
+        // disjoint 7-element groups.
+        let src = r#"
+            front[0] = 1;
+            for (f = 1; f < num_refine; f++) {
+                front[f] = front[f-1] + 1;
+            }
+            for (idx = 0; idx < num_refine; idx++) {
+                nelt = (front[idx] - 1) * 7;
+                for (i = 0; i < 7; i++) {
+                    tree[nelt + i] = idx + (i + 1) % 8;
+                }
+            }
+        "#;
+        let (extended, baseline) = verdicts(src, 1);
+        assert!(extended.parallel, "blockers: {:?}", extended.blockers);
+        assert!(!baseline.parallel);
+    }
+}

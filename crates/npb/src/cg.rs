@@ -1,0 +1,403 @@
+//! The NPB CG benchmark (Conjugate Gradient, unstructured sparse solver).
+//!
+//! This is the workload of the paper's Figure 10.  The structure follows the
+//! NAS reference implementation: `makea` builds a random sparse symmetric
+//! positive-definite matrix in CSR form (the construction is exactly the
+//! count → prefix-sum → fill pattern of Figure 9, and the column-index
+//! adjustment is Figure 3), and `conj_grad` runs the CG iteration whose
+//! dominant loop sweeps rows through `rowstr[j] .. rowstr[j+1]`.
+//!
+//! Only the loops that the compile-time analysis proves parallel are
+//! parallelized — everything else stays serial — so the measured speedup is
+//! attributable to the subscripted-subscript analysis, as in the paper.
+//!
+//! The NPB class parameters (`na`, `nonzer`, `niter`, `shift`) are the
+//! official ones; the random matrix generator is a simplified but
+//! structurally equivalent substitute for NPB's `makea` (documented in
+//! DESIGN.md), so absolute `zeta` verification values differ from the
+//! reference while the sparsity structure and access patterns match.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ss_runtime::{parallel_for_mut, parallel_sum, time_it, CsrMatrix};
+
+/// NPB problem classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Sample size (tiny, for tests).
+    S,
+    /// Workstation size.
+    W,
+    /// Class A.
+    A,
+    /// Class B.
+    B,
+    /// Class C.
+    C,
+}
+
+/// Parameters of a CG problem class (from the NPB 3.3.1 specification).
+#[derive(Debug, Clone, Copy)]
+pub struct CgParams {
+    /// Matrix order.
+    pub na: usize,
+    /// Non-zeros per generated row (before symmetrization).
+    pub nonzer: usize,
+    /// Outer CG iterations.
+    pub niter: usize,
+    /// Eigenvalue shift.
+    pub shift: f64,
+}
+
+impl Class {
+    /// The official NPB parameters for this class.
+    pub fn params(self) -> CgParams {
+        match self {
+            Class::S => CgParams {
+                na: 1400,
+                nonzer: 7,
+                niter: 15,
+                shift: 10.0,
+            },
+            Class::W => CgParams {
+                na: 7000,
+                nonzer: 8,
+                niter: 15,
+                shift: 12.0,
+            },
+            Class::A => CgParams {
+                na: 14000,
+                nonzer: 11,
+                niter: 15,
+                shift: 20.0,
+            },
+            Class::B => CgParams {
+                na: 75000,
+                nonzer: 13,
+                niter: 75,
+                shift: 60.0,
+            },
+            Class::C => CgParams {
+                na: 150000,
+                nonzer: 15,
+                niter: 75,
+                shift: 110.0,
+            },
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::S => "S",
+            Class::W => "W",
+            Class::A => "A",
+            Class::B => "B",
+            Class::C => "C",
+        }
+    }
+
+    /// All classes in increasing size.
+    pub fn all() -> &'static [Class] {
+        &[Class::S, Class::W, Class::A, Class::B, Class::C]
+    }
+}
+
+/// NPB's `randlc` linear congruential generator (kept for fidelity of the
+/// pseudo-random column-index streams).
+#[derive(Debug, Clone)]
+pub struct Randlc {
+    seed: f64,
+    a: f64,
+}
+
+impl Randlc {
+    /// Creates the generator with the NPB default seed and multiplier.
+    pub fn new() -> Randlc {
+        Randlc {
+            seed: 314_159_265.0,
+            a: 1_220_703_125.0,
+        }
+    }
+
+    /// Next pseudo-random number in `(0, 1)`.
+    pub fn next(&mut self) -> f64 {
+        const R23: f64 = 1.1920928955078125e-7; // 2^-23
+        const R46: f64 = 1.4210854715202004e-14; // 2^-46
+        const T23: f64 = 8_388_608.0; // 2^23
+        const T46: f64 = 70_368_744_177_664.0; // 2^46
+        let t1 = R23 * self.a;
+        let a1 = t1.trunc();
+        let a2 = self.a - T23 * a1;
+        let t1 = R23 * self.seed;
+        let x1 = t1.trunc();
+        let x2 = self.seed - T23 * x1;
+        let t1 = a1 * x2 + a2 * x1;
+        let t2 = (R23 * t1).trunc();
+        let z = t1 - T23 * t2;
+        let t3 = T23 * z + a2 * x2;
+        let t4 = (R46 * t3).trunc();
+        self.seed = t3 - T46 * t4;
+        R46 * self.seed
+    }
+}
+
+impl Default for Randlc {
+    fn default() -> Self {
+        Randlc::new()
+    }
+}
+
+/// Builds the CG matrix for a class: a sparse, symmetric, diagonally
+/// dominant matrix with `nonzer` off-diagonal entries per row, assembled
+/// through the Figure 9 CSR-construction pattern.
+pub fn makea(params: &CgParams, seed: u64) -> CsrMatrix {
+    let n = params.na;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lcg = Randlc::new();
+    // Per-row entry lists (upper triangle), then symmetrize.
+    let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for _ in 0..params.nonzer {
+            // Mix the NPB LCG with the std generator to decorrelate rows.
+            let u = lcg.next();
+            let j = ((u * n as f64) as usize + rng.gen_range(0..n)) % n;
+            if j == i {
+                continue;
+            }
+            let v = 0.5 * (lcg.next() - 0.5) / params.nonzer as f64;
+            rows[i].push((j, v));
+        }
+    }
+    // Symmetrize: A := (L + L^T)/2 with a dominant diagonal.
+    let mut sym: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for &(j, v) in &rows[i] {
+            sym[i].push((j, v));
+            sym[j].push((i, v));
+        }
+    }
+    for (i, row) in sym.iter_mut().enumerate() {
+        row.sort_by_key(|&(j, _)| j);
+        row.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 += a.1;
+                true
+            } else {
+                false
+            }
+        });
+        let offdiag: f64 = row.iter().map(|&(_, v)| v.abs()).sum();
+        match row.binary_search_by_key(&i, |&(j, _)| j) {
+            Ok(pos) => row[pos].1 = offdiag + 1.0 + params.shift * 0.01,
+            Err(pos) => row.insert(pos, (i, offdiag + 1.0 + params.shift * 0.01)),
+        }
+    }
+    CsrMatrix::from_rows(n, &sym)
+}
+
+/// Result of a CG run.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// The computed eigenvalue estimate (`shift + 1 / (x·z)`).
+    pub zeta: f64,
+    /// Final residual norm of the inner solve.
+    pub rnorm: f64,
+    /// Wall-clock seconds of the timed section.
+    pub seconds: f64,
+    /// Threads used for the parallelized subscripted-subscript loops.
+    pub threads: usize,
+}
+
+/// The CG inner solve: 25 iterations of conjugate gradient on `A z = x`.
+/// Returns the residual norm.  The row-sweep loops (SpMV) are the
+/// subscripted-subscript loops parallelized according to the analysis.
+pub fn conj_grad(a: &CsrMatrix, x: &[f64], z: &mut [f64], threads: usize) -> f64 {
+    let n = a.nrows;
+    let mut r = x.to_vec();
+    let mut p = r.clone();
+    let mut q = vec![0.0; n];
+    for zi in z.iter_mut() {
+        *zi = 0.0;
+    }
+    let mut rho: f64 = parallel_sum(threads, n, |i| r[i] * r[i]);
+    const CGITMAX: usize = 25;
+    for _ in 0..CGITMAX {
+        // q = A p   — the Figure 3/9 row sweep (parallelized).
+        a.spmv(threads, &p, &mut q);
+        let d = parallel_sum(threads, n, |i| p[i] * q[i]);
+        let alpha = rho / d;
+        {
+            let p_ref = &p;
+            let q_ref = &q;
+            parallel_for_mut(threads, z, |start, chunk| {
+                for (k, zi) in chunk.iter_mut().enumerate() {
+                    *zi += alpha * p_ref[start + k];
+                }
+            });
+            parallel_for_mut(threads, &mut r, |start, chunk| {
+                for (k, ri) in chunk.iter_mut().enumerate() {
+                    *ri -= alpha * q_ref[start + k];
+                }
+            });
+        }
+        let rho_new = parallel_sum(threads, n, |i| r[i] * r[i]);
+        let beta = rho_new / rho;
+        rho = rho_new;
+        let r_ref = &r;
+        parallel_for_mut(threads, &mut p, |start, chunk| {
+            for (k, pi) in chunk.iter_mut().enumerate() {
+                *pi = r_ref[start + k] + beta * *pi;
+            }
+        });
+    }
+    // ||x - A z||
+    a.spmv(threads, z, &mut q);
+    let sum = parallel_sum(threads, n, |i| {
+        let d = x[i] - q[i];
+        d * d
+    });
+    sum.sqrt()
+}
+
+/// Runs the full CG benchmark for a class with the given thread count.
+/// `threads = 1` is the serial baseline.
+pub fn run_cg(class: Class, threads: usize, seed: u64) -> CgResult {
+    let params = class.params();
+    run_cg_with(&params, threads, seed)
+}
+
+/// Runs CG with explicit parameters (used by the benchmark harness to scale
+/// problem sizes down for quick runs).
+pub fn run_cg_with(params: &CgParams, threads: usize, seed: u64) -> CgResult {
+    let a = makea(params, seed);
+    let n = params.na;
+    let mut x = vec![1.0f64; n];
+    let mut z = vec![0.0f64; n];
+    let mut zeta = 0.0;
+    let mut rnorm = 0.0;
+    let (_, seconds) = time_it(|| {
+        for _ in 0..params.niter {
+            rnorm = conj_grad(&a, &x, &mut z, threads);
+            let xz = parallel_sum(threads, n, |i| x[i] * z[i]);
+            let zz = parallel_sum(threads, n, |i| z[i] * z[i]);
+            zeta = params.shift + 1.0 / xz.max(f64::MIN_POSITIVE);
+            let norm = 1.0 / zz.sqrt();
+            for i in 0..n {
+                x[i] = norm * z[i];
+            }
+        }
+    });
+    CgResult {
+        zeta,
+        rnorm,
+        seconds,
+        threads,
+    }
+}
+
+/// A scaled-down parameter set for a class, keeping the class's sparsity and
+/// iteration structure but shrinking `na` so the full sweep fits in a quick
+/// benchmark run. `fraction` of 1.0 returns the official parameters.
+pub fn scaled_params(class: Class, fraction: f64) -> CgParams {
+    let p = class.params();
+    let na = ((p.na as f64 * fraction).round() as usize).max(64);
+    CgParams {
+        na,
+        nonzer: p.nonzer,
+        niter: p.niter.min(15),
+        shift: p.shift,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_parameters_match_the_npb_tables() {
+        assert_eq!(Class::A.params().na, 14000);
+        assert_eq!(Class::A.params().nonzer, 11);
+        assert_eq!(Class::B.params().na, 75000);
+        assert_eq!(Class::C.params().na, 150000);
+        assert_eq!(Class::B.params().niter, 75);
+        assert_eq!(Class::S.name(), "S");
+        assert_eq!(Class::all().len(), 5);
+    }
+
+    #[test]
+    fn randlc_is_deterministic_and_in_range() {
+        let mut a = Randlc::new();
+        let mut b = Randlc::new();
+        for _ in 0..1000 {
+            let x = a.next();
+            assert_eq!(x, b.next());
+            assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    #[test]
+    fn makea_produces_a_well_formed_symmetric_matrix() {
+        let params = CgParams {
+            na: 200,
+            nonzer: 5,
+            niter: 1,
+            shift: 10.0,
+        };
+        let a = makea(&params, 42);
+        assert!(a.is_well_formed());
+        assert_eq!(a.nrows, 200);
+        // symmetry: (i, j) present implies (j, i) present with equal value
+        for i in 0..a.nrows {
+            for idx in a.rowptr[i]..a.rowptr[i + 1] {
+                let j = a.colidx[idx];
+                let v = a.values[idx];
+                let found = (a.rowptr[j]..a.rowptr[j + 1])
+                    .any(|k| a.colidx[k] == i && (a.values[k] - v).abs() < 1e-12);
+                assert!(found, "missing symmetric entry ({j},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn conj_grad_converges_on_small_problems() {
+        let params = CgParams {
+            na: 300,
+            nonzer: 6,
+            niter: 3,
+            shift: 10.0,
+        };
+        let r = run_cg_with(&params, 1, 7);
+        assert!(r.rnorm < 1e-6, "rnorm = {}", r.rnorm);
+        assert!(r.zeta.is_finite());
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_agree() {
+        let params = CgParams {
+            na: 400,
+            nonzer: 5,
+            niter: 2,
+            shift: 12.0,
+        };
+        let serial = run_cg_with(&params, 1, 11);
+        for threads in [2, 4] {
+            let par = run_cg_with(&params, threads, 11);
+            assert!(
+                (par.zeta - serial.zeta).abs() < 1e-6,
+                "zeta mismatch at {threads} threads: {} vs {}",
+                par.zeta,
+                serial.zeta
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_params_shrink_but_keep_structure() {
+        let p = scaled_params(Class::B, 0.01);
+        assert_eq!(p.nonzer, 13);
+        assert!(p.na >= 64 && p.na < 75000);
+        let full = scaled_params(Class::S, 1.0);
+        assert_eq!(full.na, 1400);
+    }
+}

@@ -1,0 +1,367 @@
+//! Evaluation of AST expressions to symbolic value ranges under an
+//! environment, and range refinement from branch conditions.
+
+use crate::env::Env;
+use ss_ir::ast::{AExpr, BinOp, UnOp};
+use ss_ir::convert::{to_symbolic, SymCondition};
+use ss_symbolic::{simplify, Expr, SymRange};
+
+/// Evaluates an expression to a **may** value range under the environment.
+pub fn eval_range(env: &Env, e: &AExpr) -> SymRange {
+    match e {
+        AExpr::IntLit(v) => SymRange::constant(*v, *v),
+        AExpr::Var(name) => env.scalar(name),
+        AExpr::Index(a, idxs) => {
+            if idxs.len() != 1 {
+                return SymRange::unknown();
+            }
+            // A known element-value range for the whole array wins.
+            if let Some(v) = env.array_value(a) {
+                return v.clone();
+            }
+            let idx = eval_range(env, &idxs[0]);
+            match idx.as_exact() {
+                Some(i) if *i != Expr::Bottom => {
+                    SymRange::exact(Expr::ArrayRef(a.clone(), Box::new(i.clone())))
+                }
+                _ => SymRange::unknown(),
+            }
+        }
+        AExpr::Binary(op, a, b) => {
+            let (x, y) = (eval_range(env, a), eval_range(env, b));
+            match op {
+                BinOp::Add => x.add(&y),
+                BinOp::Sub => x.sub(&y),
+                BinOp::Mul => x.mul(&y),
+                BinOp::Div => match (x.as_exact(), y.as_exact()) {
+                    (Some(a), Some(b)) => {
+                        SymRange::exact(Expr::div(a.clone(), b.clone()))
+                    }
+                    _ => SymRange::unknown(),
+                },
+                BinOp::Mod => match (x.as_exact(), y.as_exact()) {
+                    (Some(a), Some(b)) => SymRange::exact(Expr::modulo(a.clone(), b.clone())),
+                    _ => {
+                        // value of `a % m` for constant positive m lies in
+                        // [-(m-1), m-1]; with a provably non-negative dividend
+                        // it lies in [0, m-1].
+                        if let Some((m, m2)) = y.as_const() {
+                            if m == m2 && m > 0 {
+                                let lo = if env
+                                    .assumptions
+                                    .prove_nonneg(&x.lo)
+                                    .is_proven()
+                                {
+                                    0
+                                } else {
+                                    -(m - 1)
+                                };
+                                return SymRange::constant(lo, m - 1);
+                            }
+                        }
+                        SymRange::unknown()
+                    }
+                },
+                _ => SymRange::unknown(),
+            }
+        }
+        AExpr::Unary(UnOp::Neg, a) => eval_range(env, a).scale(-1),
+        AExpr::Unary(UnOp::Not, _) => SymRange::unknown(),
+    }
+}
+
+/// Lowers an AST expression to a single symbolic expression with the
+/// environment's *exact* scalar values substituted in (chains such as
+/// `iel = mt_to_id[miel]` are followed).  Returns `⊥` when any needed value
+/// is not exactly known.
+pub fn eval_exact(env: &Env, e: &AExpr) -> Expr {
+    let base = to_symbolic(e);
+    if base == Expr::Bottom {
+        return Expr::Bottom;
+    }
+    resolve_symbols(env, &base, 0)
+}
+
+const MAX_RESOLVE_DEPTH: usize = 16;
+
+fn resolve_symbols(env: &Env, e: &Expr, depth: usize) -> Expr {
+    if depth > MAX_RESOLVE_DEPTH {
+        return Expr::Bottom;
+    }
+    let changed = std::cell::Cell::new(false);
+    let rewritten = e.rewrite_bottom_up(&|n| match n {
+        Expr::Sym(ref name) if env.has_scalar(name) => match env.scalar(name).as_exact() {
+            Some(v) if !v.contains_sym(name) => {
+                changed.set(true);
+                v.clone()
+            }
+            Some(_) => n.clone(),
+            None => Expr::Bottom,
+        },
+        other => other,
+    });
+    if rewritten.contains_bottom() {
+        return Expr::Bottom;
+    }
+    if changed.get() {
+        resolve_symbols(env, &rewritten, depth + 1)
+    } else {
+        simplify(&rewritten)
+    }
+}
+
+/// Refines the environment with the knowledge that `cond` evaluated to
+/// `true` (`positive`) or `false` (`!positive`).
+///
+/// Two kinds of refinement are applied:
+///
+/// * if one side of the comparison is a scalar variable, its value range is
+///   tightened against the other side's range;
+/// * the condition is recorded as a relational assumption (e.g.
+///   `jmatch[i] >= 0` becomes the fact "`jmatch[i]` is non-negative"), which
+///   is how Figure 5's guard feeds the subset-injectivity reasoning.
+pub fn refine_with_condition(env: &mut Env, cond: &SymCondition, positive: bool) {
+    let c = if positive { cond.clone() } else { cond.negate() };
+    record_assumption(env, &c);
+    tighten_scalar(env, &c);
+    // Also tighten when the scalar is on the right: rewrite `a OP x` as the
+    // mirrored comparison on x.
+    if let Some(mirrored) = mirror(&c) {
+        tighten_scalar(env, &mirrored);
+    }
+}
+
+fn mirror(c: &SymCondition) -> Option<SymCondition> {
+    let op = match c.op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        BinOp::Eq => BinOp::Eq,
+        BinOp::Ne => BinOp::Ne,
+        _ => return None,
+    };
+    Some(SymCondition {
+        lhs: c.rhs.clone(),
+        op,
+        rhs: c.lhs.clone(),
+    })
+}
+
+fn record_assumption(env: &mut Env, c: &SymCondition) {
+    // lhs OP rhs  =>  record sign fact about (lhs - rhs) or (rhs - lhs).
+    let diff_ge0 = |a: &Expr, b: &Expr| simplify(&Expr::sub(a.clone(), b.clone()));
+    match c.op {
+        BinOp::Ge => {
+            env.assumptions.assume_nonneg(diff_ge0(&c.lhs, &c.rhs));
+        }
+        BinOp::Gt => {
+            env.assumptions.assume_positive(diff_ge0(&c.lhs, &c.rhs));
+        }
+        BinOp::Le => {
+            env.assumptions.assume_nonneg(diff_ge0(&c.rhs, &c.lhs));
+        }
+        BinOp::Lt => {
+            env.assumptions.assume_positive(diff_ge0(&c.rhs, &c.lhs));
+        }
+        BinOp::Eq => {
+            env.assumptions.assume_nonneg(diff_ge0(&c.lhs, &c.rhs));
+            env.assumptions.assume_nonneg(diff_ge0(&c.rhs, &c.lhs));
+        }
+        _ => {}
+    }
+}
+
+fn tighten_scalar(env: &mut Env, c: &SymCondition) {
+    let Expr::Sym(name) = &c.lhs else {
+        return;
+    };
+    let current = env.scalar(name);
+    // The bound expression must not mention the scalar itself.
+    if c.rhs.contains_sym(name) {
+        return;
+    }
+    let bound = c.rhs.clone();
+    let refined = match c.op {
+        BinOp::Lt => SymRange::new(
+            current.lo.clone(),
+            upper_min(&current.hi, &simplify(&Expr::sub(bound, Expr::Int(1)))),
+        ),
+        BinOp::Le => SymRange::new(current.lo.clone(), upper_min(&current.hi, &bound)),
+        BinOp::Gt => SymRange::new(
+            lower_max(&current.lo, &simplify(&Expr::add(bound, Expr::Int(1)))),
+            current.hi.clone(),
+        ),
+        BinOp::Ge => SymRange::new(lower_max(&current.lo, &bound), current.hi.clone()),
+        BinOp::Eq => SymRange::exact(bound),
+        _ => return,
+    };
+    // Never trade an exactly-known value (e.g. the symbolic loop index) for a
+    // mere range: exact values are what subscript resolution needs, and the
+    // relational fact was already recorded as an assumption above.
+    if current.is_exact() && !refined.is_exact() {
+        return;
+    }
+    env.set_scalar(name.clone(), refined);
+}
+
+fn upper_min(current: &Expr, new: &Expr) -> Expr {
+    if *current == Expr::Bottom {
+        new.clone()
+    } else if *new == Expr::Bottom {
+        current.clone()
+    } else {
+        simplify(&Expr::min(current.clone(), new.clone()))
+    }
+}
+
+fn lower_max(current: &Expr, new: &Expr) -> Expr {
+    if *current == Expr::Bottom {
+        new.clone()
+    } else if *new == Expr::Bottom {
+        current.clone()
+    } else {
+        simplify(&Expr::max(current.clone(), new.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_ir::parser::parse_expr;
+    use ss_ir::convert::to_condition;
+
+    #[test]
+    fn evaluates_literals_and_scalars() {
+        let mut env = Env::new();
+        env.set_scalar("count", SymRange::constant(0, 5));
+        assert_eq!(eval_range(&env, &parse_expr("3").unwrap()), SymRange::constant(3, 3));
+        assert_eq!(
+            eval_range(&env, &parse_expr("count + 1").unwrap()),
+            SymRange::constant(1, 6)
+        );
+        // unbound scalar is symbolic
+        assert_eq!(
+            eval_range(&env, &parse_expr("nelt").unwrap()),
+            SymRange::exact(Expr::sym("nelt"))
+        );
+    }
+
+    #[test]
+    fn array_reads_use_known_value_ranges() {
+        let mut env = Env::new();
+        env.set_array_value("rowsize", SymRange::constant(0, 99));
+        let r = eval_range(&env, &parse_expr("rowsize[i-1]").unwrap());
+        assert_eq!(r, SymRange::constant(0, 99));
+        // unknown array with exact index: symbolic element reference
+        let r = eval_range(&env, &parse_expr("rowptr[i-1]").unwrap());
+        assert_eq!(
+            r,
+            SymRange::exact(Expr::array_ref(
+                "rowptr",
+                Expr::add(Expr::Int(-1), Expr::sym("i"))
+            ))
+        );
+        // non-exact index: unknown
+        let mut env2 = Env::new();
+        env2.set_scalar("i", SymRange::constant(0, 3));
+        assert!(eval_range(&env2, &parse_expr("a[i]").unwrap()).is_unknown());
+    }
+
+    #[test]
+    fn modulo_ranges() {
+        let env = Env::new();
+        let r = eval_range(&env, &parse_expr("x % 8").unwrap());
+        // exact symbolic form is preserved when both sides are exact
+        assert_eq!(
+            r,
+            SymRange::exact(Expr::modulo(Expr::sym("x"), Expr::int(8)))
+        );
+        let mut env = Env::new();
+        env.set_scalar("x", SymRange::constant(0, 100));
+        let r = eval_range(&env, &parse_expr("x % 8").unwrap());
+        assert_eq!(r, SymRange::constant(0, 7));
+        let mut env = Env::new();
+        env.set_scalar("x", SymRange::constant(-100, 100));
+        let r = eval_range(&env, &parse_expr("x % 8").unwrap());
+        assert_eq!(r, SymRange::constant(-7, 7));
+    }
+
+    #[test]
+    fn eval_exact_follows_scalar_chains() {
+        let mut env = Env::new();
+        env.set_scalar(
+            "iel",
+            SymRange::exact(Expr::array_ref("mt_to_id", Expr::sym("miel"))),
+        );
+        let e = eval_exact(&env, &parse_expr("iel").unwrap());
+        assert_eq!(e, Expr::array_ref("mt_to_id", Expr::sym("miel")));
+        // chain of two
+        env.set_scalar(
+            "ntemp",
+            SymRange::exact(simplify(&Expr::mul(
+                Expr::sub(Expr::array_ref("front", Expr::sym("miel")), Expr::int(1)),
+                Expr::int(7),
+            ))),
+        );
+        env.set_scalar(
+            "mielnew",
+            SymRange::exact(simplify(&Expr::add(Expr::sym("miel"), Expr::sym("ntemp")))),
+        );
+        let e = eval_exact(&env, &parse_expr("mielnew").unwrap());
+        assert!(e.contains_array_ref("front"));
+        assert!(!e.contains_sym("ntemp"));
+        // non-exact scalar -> bottom
+        env.set_scalar("fuzzy", SymRange::constant(0, 5));
+        assert_eq!(eval_exact(&env, &parse_expr("fuzzy + 1").unwrap()), Expr::Bottom);
+    }
+
+    #[test]
+    fn eval_exact_leaves_inputs_symbolic() {
+        let env = Env::new();
+        let e = eval_exact(&env, &parse_expr("rowptr[i-1] + rowsize[i-1]").unwrap());
+        assert!(e.contains_array_ref("rowptr"));
+        assert!(e.contains_array_ref("rowsize"));
+        assert_eq!(eval_exact(&env, &parse_expr("a[i][j]").unwrap()), Expr::Bottom);
+    }
+
+    #[test]
+    fn condition_refinement_tightens_scalars() {
+        let mut env = Env::new();
+        env.set_scalar("i", SymRange::new(Expr::int(0), Expr::sym("n")));
+        let c = to_condition(&parse_expr("i == 0").unwrap()).unwrap();
+        let mut then_env = env.clone();
+        refine_with_condition(&mut then_env, &c, true);
+        assert_eq!(then_env.scalar("i"), SymRange::constant(0, 0));
+        // negated: i != 0 does not tighten the range (no hole representation)
+        let mut else_env = env.clone();
+        refine_with_condition(&mut else_env, &c, false);
+        assert_eq!(else_env.scalar("i"), SymRange::new(Expr::int(0), Expr::sym("n")));
+        // i < 10 tightens the upper bound
+        let c = to_condition(&parse_expr("i < 10").unwrap()).unwrap();
+        let mut env2 = Env::new();
+        env2.set_scalar("i", SymRange::constant(0, 100));
+        refine_with_condition(&mut env2, &c, true);
+        assert_eq!(env2.scalar("i"), SymRange::constant(0, 9));
+        // negation: i >= 10
+        let mut env3 = Env::new();
+        env3.set_scalar("i", SymRange::constant(0, 100));
+        refine_with_condition(&mut env3, &c, false);
+        assert_eq!(env3.scalar("i"), SymRange::constant(10, 100));
+    }
+
+    #[test]
+    fn condition_refinement_records_assumptions() {
+        let mut env = Env::new();
+        let c = to_condition(&parse_expr("jmatch[i] >= 0").unwrap()).unwrap();
+        refine_with_condition(&mut env, &c, true);
+        let fact = Expr::array_ref("jmatch", Expr::sym("i"));
+        assert!(env.assumptions.prove_nonneg(&fact).is_proven());
+        // mirrored comparison: `0 <= x` tightens x's lower bound
+        let mut env = Env::new();
+        env.set_scalar("x", SymRange::constant(-50, 50));
+        let c = to_condition(&parse_expr("0 <= x").unwrap()).unwrap();
+        refine_with_condition(&mut env, &c, true);
+        assert_eq!(env.scalar("x"), SymRange::constant(0, 50));
+    }
+}

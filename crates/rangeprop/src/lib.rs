@@ -1,0 +1,31 @@
+//! # ss-rangeprop — symbolic range propagation over the mini-C IR
+//!
+//! The substrate of the paper's Phase 1 (Section 3.3): a Blume–Eigenmann
+//! style symbolic range analysis that abstractly interprets straight-line
+//! code and branches, tracking a **may**-range for every integer scalar and
+//! recording every array write with its symbolic subscript, value range and
+//! guard conditions.
+//!
+//! Nested loops are not interpreted here — the aggregation crate collapses
+//! them inside-out and registers their summaries through the [`LoopHandler`]
+//! hook, exactly mirroring the paper's "after Phase 2, the loop is collapsed"
+//! step.
+//!
+//! ```
+//! use ss_ir::parse_program;
+//! use ss_rangeprop::{analyze_block, Env, NoSummaries};
+//! use ss_symbolic::Expr;
+//!
+//! let p = parse_program("snippet", "iel = mt_to_id[miel]; id_to_mt[iel] = miel;").unwrap();
+//! let out = analyze_block(&p.body, Env::new(), &NoSummaries);
+//! // the write's subscript resolves through the scalar chain to mt_to_id[miel]
+//! assert_eq!(out.writes[0].subscript, Expr::array_ref("mt_to_id", Expr::sym("miel")));
+//! ```
+
+pub mod env;
+pub mod eval;
+pub mod transfer;
+
+pub use env::Env;
+pub use eval::{eval_exact, eval_range, refine_with_condition};
+pub use transfer::{analyze_block, BodyResult, LoopHandler, NoSummaries, WriteRecord};

@@ -1,0 +1,14 @@
+//! # ss-runtime — parallel loop runtime and sparse-matrix substrate
+//!
+//! The execution substrate for the paper's evaluation: an OpenMP-style
+//! `parallel for` built on crossbeam scoped threads ([`pool`]), CSR sparse
+//! matrices with the subscripted-subscript kernels ([`sparse`]), and wall
+//! clock timing helpers ([`timer`]).
+
+pub mod pool;
+pub mod sparse;
+pub mod timer;
+
+pub use pool::{chunk_ranges, hardware_threads, parallel_for, parallel_for_mut, parallel_sum};
+pub use sparse::CsrMatrix;
+pub use timer::{time_it, Timer};

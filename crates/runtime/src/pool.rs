@@ -1,0 +1,188 @@
+//! Parallel loop execution.
+//!
+//! The paper evaluates its analysis by compiling the parallelized loops with
+//! OpenMP (`#pragma omp parallel for`, static scheduling) and sweeping the
+//! thread count.  This module is the equivalent substrate: [`parallel_for`]
+//! splits an iteration space into contiguous chunks and runs them on scoped
+//! threads (crossbeam), and [`parallel_for_mut`] does the same while handing
+//! each thread a disjoint slice of the output vector.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Splits `0..n` into `chunks` contiguous, nearly equal ranges.
+pub fn chunk_ranges(n: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let chunks = chunks.max(1);
+    let base = n / chunks;
+    let rem = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `body(range)` for a static partition of `0..n` over `threads`
+/// threads. With `threads <= 1` the body runs inline (the serial baseline).
+pub fn parallel_for<F>(threads: usize, n: usize, body: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    if threads <= 1 || n == 0 {
+        body(0..n);
+        return;
+    }
+    let ranges = chunk_ranges(n, threads);
+    crossbeam::thread::scope(|scope| {
+        for r in ranges {
+            let body = &body;
+            scope.spawn(move |_| body(r));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Runs `body(start_index, chunk)` where `chunk` is a disjoint mutable
+/// sub-slice of `data`, partitioned statically over `threads` threads.
+/// This is the shape of an OpenMP `parallel for` writing `data[i]` — each
+/// thread owns a contiguous block, which is exactly what the dependence
+/// analysis licensed.
+pub fn parallel_for_mut<T, F>(threads: usize, data: &mut [T], body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if threads <= 1 || n == 0 {
+        body(0, data);
+        return;
+    }
+    let ranges = chunk_ranges(n, threads);
+    crossbeam::thread::scope(|scope| {
+        let mut rest = data;
+        let mut consumed = 0;
+        for r in ranges {
+            let len = r.len();
+            let (head, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let body = &body;
+            let start = consumed;
+            scope.spawn(move |_| body(start, head));
+            consumed += len;
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// A parallel sum reduction over `0..n`.
+pub fn parallel_sum<F>(threads: usize, n: usize, term: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    if threads <= 1 || n == 0 {
+        return (0..n).map(&term).sum();
+    }
+    let ranges = chunk_ranges(n, threads);
+    let partials: Vec<f64> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let term = &term;
+                scope.spawn(move |_| r.map(term).sum::<f64>())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("worker thread panicked");
+    partials.into_iter().sum()
+}
+
+/// The number of hardware threads available (used to annotate reports).
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A tiny helper for verifying that work really ran on multiple threads in
+/// tests.
+pub fn count_invocations<F>(threads: usize, n: usize, body: F) -> usize
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let counter = AtomicUsize::new(0);
+    parallel_for(threads, n, |r| {
+        counter.fetch_add(1, Ordering::Relaxed);
+        body(r);
+    });
+    counter.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_the_range_exactly() {
+        for n in [0usize, 1, 7, 100, 101, 1024] {
+            for c in [1usize, 2, 3, 8, 16] {
+                let ranges = chunk_ranges(n, c);
+                assert_eq!(ranges.len(), c);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                // balanced within 1
+                let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_mut_matches_serial() {
+        let n = 10_000;
+        let mut serial = vec![0u64; n];
+        parallel_for_mut(1, &mut serial, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = ((start + k) as u64) * 3 + 1;
+            }
+        });
+        for threads in [2, 3, 8] {
+            let mut par = vec![0u64; n];
+            parallel_for_mut(threads, &mut par, |start, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = ((start + k) as u64) * 3 + 1;
+                }
+            });
+            assert_eq!(par, serial);
+        }
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let n = 5_000;
+        let expected: f64 = (0..n).map(|i| (i as f64).sqrt()).sum();
+        for threads in [1, 2, 4, 7] {
+            let got = parallel_sum(threads, n, |i| (i as f64).sqrt());
+            assert!((got - expected).abs() < 1e-6 * expected.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn work_is_split_across_chunks() {
+        assert_eq!(count_invocations(4, 100, |_| {}), 4);
+        assert_eq!(count_invocations(1, 100, |_| {}), 1);
+        // zero-length loops still work
+        assert_eq!(count_invocations(4, 0, |_| {}), 1);
+    }
+
+    #[test]
+    fn hardware_threads_is_positive() {
+        assert!(hardware_threads() >= 1);
+    }
+}

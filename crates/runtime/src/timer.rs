@@ -1,0 +1,79 @@
+//! Wall-clock timing helpers used by the benchmark harness.
+
+use std::time::{Duration, Instant};
+
+/// A simple accumulating timer.
+#[derive(Debug, Default, Clone)]
+pub struct Timer {
+    total: Duration,
+    started: Option<Instant>,
+}
+
+impl Timer {
+    /// A stopped timer with zero accumulated time.
+    pub fn new() -> Timer {
+        Timer::default()
+    }
+
+    /// Starts (or restarts) the timer.
+    pub fn start(&mut self) {
+        self.started = Some(Instant::now());
+    }
+
+    /// Stops the timer, accumulating the elapsed time.
+    pub fn stop(&mut self) {
+        if let Some(s) = self.started.take() {
+            self.total += s.elapsed();
+        }
+    }
+
+    /// Accumulated time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.total.as_secs_f64()
+    }
+
+    /// Resets the accumulated time.
+    pub fn reset(&mut self) {
+        self.total = Duration::ZERO;
+        self.started = None;
+    }
+}
+
+/// Times a closure, returning `(result, seconds)`.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_accumulates() {
+        let mut t = Timer::new();
+        assert_eq!(t.seconds(), 0.0);
+        t.start();
+        std::thread::sleep(Duration::from_millis(5));
+        t.stop();
+        let first = t.seconds();
+        assert!(first > 0.0);
+        t.start();
+        std::thread::sleep(Duration::from_millis(5));
+        t.stop();
+        assert!(t.seconds() > first);
+        t.reset();
+        assert_eq!(t.seconds(), 0.0);
+        // stop without start is a no-op
+        t.stop();
+        assert_eq!(t.seconds(), 0.0);
+    }
+
+    #[test]
+    fn time_it_returns_result_and_duration() {
+        let (v, secs) = time_it(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499500);
+        assert!(secs >= 0.0);
+    }
+}

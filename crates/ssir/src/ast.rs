@@ -1,0 +1,539 @@
+//! Abstract syntax tree of the mini-C loop language.
+//!
+//! Programs are flat statement sequences (the paper's figures are bare loop
+//! nests, not whole translation units).  Every loop carries a unique
+//! [`LoopId`] assigned by the parser / builder; analysis results are keyed by
+//! those ids.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identifier of a loop within a [`Program`], in program (pre-)order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LoopId(pub u32);
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating)
+    Div,
+    /// `%`
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// True for arithmetic operators (result is an integer value).
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
+    }
+
+    /// True for comparison operators.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// C-style source text for the operator.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical negation.
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AExpr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element reference `a[i]` or `a[i][j]` (one index per dimension).
+    Index(String, Vec<AExpr>),
+    /// Binary operation.
+    Binary(BinOp, Box<AExpr>, Box<AExpr>),
+    /// Unary operation.
+    Unary(UnOp, Box<AExpr>),
+}
+
+impl AExpr {
+    /// Integer literal constructor.
+    pub fn int(v: i64) -> AExpr {
+        AExpr::IntLit(v)
+    }
+
+    /// Variable reference constructor.
+    pub fn var(name: impl Into<String>) -> AExpr {
+        AExpr::Var(name.into())
+    }
+
+    /// 1-D array reference constructor.
+    pub fn index(array: impl Into<String>, idx: AExpr) -> AExpr {
+        AExpr::Index(array.into(), vec![idx])
+    }
+
+    /// 2-D array reference constructor.
+    pub fn index2(array: impl Into<String>, i: AExpr, j: AExpr) -> AExpr {
+        AExpr::Index(array.into(), vec![i, j])
+    }
+
+    /// Binary-operation constructor.
+    pub fn bin(op: BinOp, a: AExpr, b: AExpr) -> AExpr {
+        AExpr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// `a + b`
+    pub fn add(a: AExpr, b: AExpr) -> AExpr {
+        AExpr::bin(BinOp::Add, a, b)
+    }
+
+    /// `a - b`
+    pub fn sub(a: AExpr, b: AExpr) -> AExpr {
+        AExpr::bin(BinOp::Sub, a, b)
+    }
+
+    /// `a * b`
+    pub fn mul(a: AExpr, b: AExpr) -> AExpr {
+        AExpr::bin(BinOp::Mul, a, b)
+    }
+
+    /// Visits every sub-expression in pre-order.
+    pub fn for_each(&self, f: &mut impl FnMut(&AExpr)) {
+        f(self);
+        match self {
+            AExpr::IntLit(_) | AExpr::Var(_) => {}
+            AExpr::Index(_, idxs) => {
+                for i in idxs {
+                    i.for_each(f);
+                }
+            }
+            AExpr::Binary(_, a, b) => {
+                a.for_each(f);
+                b.for_each(f);
+            }
+            AExpr::Unary(_, a) => a.for_each(f),
+        }
+    }
+
+    /// All scalar variable names mentioned (excluding array names).
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.for_each(&mut |e| {
+            if let AExpr::Var(v) = e {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// All array names mentioned.
+    pub fn arrays(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.for_each(&mut |e| {
+            if let AExpr::Index(a, _) = e {
+                if !out.contains(a) {
+                    out.push(a.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// True if any array element reference appears inside the index
+    /// expression of another array reference — the defining feature of a
+    /// *subscripted subscript*.
+    pub fn has_subscripted_subscript(&self) -> bool {
+        let mut found = false;
+        self.for_each(&mut |e| {
+            if let AExpr::Index(_, idxs) = e {
+                for idx in idxs {
+                    let mut inner = false;
+                    idx.for_each(&mut |x| {
+                        if matches!(x, AExpr::Index(_, _)) {
+                            inner = true;
+                        }
+                    });
+                    if inner {
+                        found = true;
+                    }
+                }
+            }
+        });
+        found
+    }
+}
+
+/// The target of an assignment: a scalar or an array element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LValue {
+    /// Variable or array name.
+    pub name: String,
+    /// Index expressions; empty for scalars.
+    pub indices: Vec<AExpr>,
+}
+
+impl LValue {
+    /// A scalar target.
+    pub fn scalar(name: impl Into<String>) -> LValue {
+        LValue {
+            name: name.into(),
+            indices: vec![],
+        }
+    }
+
+    /// A 1-D array element target.
+    pub fn element(name: impl Into<String>, idx: AExpr) -> LValue {
+        LValue {
+            name: name.into(),
+            indices: vec![idx],
+        }
+    }
+
+    /// True if the target is a scalar variable.
+    pub fn is_scalar(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+/// Assignment operators (compound assignments keep their operator so that the
+/// analysis sees `x += e` as `x = x + e`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    AddAssign,
+    /// `-=`
+    SubAssign,
+    /// `*=`
+    MulAssign,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Declaration of an integer scalar (`int x;` / `int x = e;`) or array
+    /// (`int a[n];`). Array declarations carry their symbolic extents.
+    Decl {
+        /// Declared name.
+        name: String,
+        /// Declared extents; empty for scalars.
+        dims: Vec<AExpr>,
+        /// Optional scalar initializer.
+        init: Option<AExpr>,
+    },
+    /// Assignment `lhs op rhs`.
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Plain or compound assignment operator.
+        op: AssignOp,
+        /// Right-hand side.
+        value: AExpr,
+    },
+    /// Conditional.
+    If {
+        /// Branch condition.
+        cond: AExpr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_branch: Vec<Stmt>,
+    },
+    /// Counted `for` loop of the canonical C shape
+    /// `for (var = init; var </<= bound; var += step)`.
+    For {
+        /// Unique loop id.
+        id: LoopId,
+        /// Loop index variable.
+        var: String,
+        /// Initial value.
+        init: AExpr,
+        /// The comparison operator of the exit test (`Lt` or `Le`).
+        cond_op: BinOp,
+        /// Loop bound (right-hand side of the exit test).
+        bound: AExpr,
+        /// Step added each iteration (usually literal 1).
+        step: AExpr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// `#pragma` annotations attached to the loop (e.g. the manual
+        /// OpenMP parallelization in Figure 9, used as the oracle in the
+        /// study).
+        pragmas: Vec<String>,
+    },
+    /// General `while` loop (analyzed conservatively).
+    While {
+        /// Unique loop id.
+        id: LoopId,
+        /// Loop condition.
+        cond: AExpr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Returns the loop id if the statement is a loop.
+    pub fn loop_id(&self) -> Option<LoopId> {
+        match self {
+            Stmt::For { id, .. } | Stmt::While { id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Returns the body statements of a loop or conditional branch(es).
+    pub fn child_blocks(&self) -> Vec<&[Stmt]> {
+        match self {
+            Stmt::Decl { .. } | Stmt::Assign { .. } => vec![],
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => vec![then_branch.as_slice(), else_branch.as_slice()],
+            Stmt::For { body, .. } | Stmt::While { body, .. } => vec![body.as_slice()],
+        }
+    }
+}
+
+/// A whole analyzable program: a named, flat statement sequence.
+///
+/// Scalars and arrays do not have to be declared; any name used only on the
+/// right-hand side (or only as an array) is treated as a symbolic input, just
+/// as in the paper's figures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program (kernel) name, used in reports.
+    pub name: String,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Creates a program from a statement list.
+    pub fn new(name: impl Into<String>, body: Vec<Stmt>) -> Program {
+        Program {
+            name: name.into(),
+            body,
+        }
+    }
+
+    /// Visits every statement in the program in pre-order.
+    pub fn for_each_stmt(&self, f: &mut impl FnMut(&Stmt)) {
+        fn walk(stmts: &[Stmt], f: &mut impl FnMut(&Stmt)) {
+            for s in stmts {
+                f(s);
+                for block in s.child_blocks() {
+                    walk(block, f);
+                }
+            }
+        }
+        walk(&self.body, f);
+    }
+
+    /// All loop ids in program order.
+    pub fn loop_ids(&self) -> Vec<LoopId> {
+        let mut out = Vec::new();
+        self.for_each_stmt(&mut |s| {
+            if let Some(id) = s.loop_id() {
+                out.push(id);
+            }
+        });
+        out
+    }
+
+    /// Finds a loop statement by id.
+    pub fn find_loop(&self, id: LoopId) -> Option<&Stmt> {
+        let mut found: Option<&Stmt> = None;
+        fn walk<'a>(stmts: &'a [Stmt], id: LoopId, found: &mut Option<&'a Stmt>) {
+            for s in stmts {
+                if found.is_some() {
+                    return;
+                }
+                if s.loop_id() == Some(id) {
+                    *found = Some(s);
+                    return;
+                }
+                for block in s.child_blocks() {
+                    walk(block, id, found);
+                }
+            }
+        }
+        walk(&self.body, id, &mut found);
+        found
+    }
+
+    /// Names of all arrays written anywhere in the program.
+    pub fn written_arrays(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.for_each_stmt(&mut |s| {
+            if let Stmt::Assign { target, .. } = s {
+                if !target.is_scalar() && !out.contains(&target.name) {
+                    out.push(target.name.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Names of all scalar variables written anywhere in the program.
+    pub fn written_scalars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.for_each_stmt(&mut |s| match s {
+            Stmt::Assign { target, .. } if target.is_scalar() => {
+                if !out.contains(&target.name) {
+                    out.push(target.name.clone());
+                }
+            }
+            Stmt::Decl { name, dims, init, .. } if dims.is_empty() && init.is_some() => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            Stmt::For { var, .. } => {
+                if !out.contains(var) {
+                    out.push(var.clone());
+                }
+            }
+            _ => {}
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_program() -> Program {
+        // for (miel = 0; miel < nelt; miel++) {
+        //   iel = mt_to_id[miel];
+        //   id_to_mt[iel] = miel;
+        // }
+        Program::new(
+            "fig2",
+            vec![Stmt::For {
+                id: LoopId(0),
+                var: "miel".into(),
+                init: AExpr::int(0),
+                cond_op: BinOp::Lt,
+                bound: AExpr::var("nelt"),
+                step: AExpr::int(1),
+                body: vec![
+                    Stmt::Assign {
+                        target: LValue::scalar("iel"),
+                        op: AssignOp::Assign,
+                        value: AExpr::index("mt_to_id", AExpr::var("miel")),
+                    },
+                    Stmt::Assign {
+                        target: LValue::element("id_to_mt", AExpr::var("iel")),
+                        op: AssignOp::Assign,
+                        value: AExpr::var("miel"),
+                    },
+                ],
+                pragmas: vec![],
+            }],
+        )
+    }
+
+    #[test]
+    fn expression_queries() {
+        let e = AExpr::index("imatch", AExpr::index("jmatch", AExpr::var("i")));
+        assert!(e.has_subscripted_subscript());
+        assert_eq!(e.arrays(), vec!["imatch".to_string(), "jmatch".to_string()]);
+        assert_eq!(e.variables(), vec!["i".to_string()]);
+        let plain = AExpr::index("a", AExpr::add(AExpr::var("i"), AExpr::int(1)));
+        assert!(!plain.has_subscripted_subscript());
+    }
+
+    #[test]
+    fn program_walks_and_queries() {
+        let p = fig2_program();
+        assert_eq!(p.loop_ids(), vec![LoopId(0)]);
+        assert!(p.find_loop(LoopId(0)).is_some());
+        assert!(p.find_loop(LoopId(7)).is_none());
+        assert_eq!(p.written_arrays(), vec!["id_to_mt".to_string()]);
+        let scalars = p.written_scalars();
+        assert!(scalars.contains(&"iel".to_string()));
+        assert!(scalars.contains(&"miel".to_string()));
+        let mut count = 0;
+        p.for_each_stmt(&mut |_| count += 1);
+        assert_eq!(count, 3); // for + two assigns
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Add.is_arithmetic());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::Le.is_comparison());
+        assert_eq!(BinOp::Mod.as_str(), "%");
+        assert_eq!(BinOp::Ne.as_str(), "!=");
+    }
+
+    #[test]
+    fn lvalue_helpers() {
+        assert!(LValue::scalar("x").is_scalar());
+        assert!(!LValue::element("a", AExpr::var("i")).is_scalar());
+    }
+
+    #[test]
+    fn loop_id_display() {
+        assert_eq!(format!("{}", LoopId(3)), "L3");
+    }
+}

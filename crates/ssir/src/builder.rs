@@ -1,0 +1,246 @@
+//! Programmatic construction of mini-C programs.
+//!
+//! The parser is the main entry point for transcribed benchmark kernels, but
+//! generated workloads (parameter sweeps, property-based tests) are easier to
+//! express programmatically.  [`ProgramBuilder`] assigns loop ids in the same
+//! pre-order scheme as the parser, so both construction paths produce
+//! interchangeable programs.
+
+use crate::ast::{AExpr, AssignOp, BinOp, LValue, LoopId, Program, Stmt};
+
+/// Builds a [`Program`] statement by statement.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    body: Vec<Stmt>,
+    next_loop_id: u32,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program with the given name.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            body: Vec::new(),
+            next_loop_id: 0,
+        }
+    }
+
+    /// Adds a scalar assignment `name = value`.
+    pub fn assign(mut self, name: &str, value: AExpr) -> Self {
+        self.body.push(Stmt::Assign {
+            target: LValue::scalar(name),
+            op: AssignOp::Assign,
+            value,
+        });
+        self
+    }
+
+    /// Adds an array element assignment `array[index] = value`.
+    pub fn store(mut self, array: &str, index: AExpr, value: AExpr) -> Self {
+        self.body.push(Stmt::Assign {
+            target: LValue::element(array, index),
+            op: AssignOp::Assign,
+            value,
+        });
+        self
+    }
+
+    /// Adds a raw statement.
+    pub fn stmt(mut self, s: Stmt) -> Self {
+        self.body.push(s);
+        self
+    }
+
+    /// Adds a unit-step `for` loop `for (var = first; var < bound; var++)`
+    /// whose body is produced by the closure from a nested [`BlockBuilder`].
+    pub fn for_loop(
+        mut self,
+        var: &str,
+        first: AExpr,
+        bound: AExpr,
+        f: impl FnOnce(BlockBuilder) -> BlockBuilder,
+    ) -> Self {
+        let id = LoopId(self.next_loop_id);
+        self.next_loop_id += 1;
+        let block = f(BlockBuilder {
+            body: Vec::new(),
+            next_loop_id: self.next_loop_id,
+        });
+        self.next_loop_id = block.next_loop_id;
+        self.body.push(Stmt::For {
+            id,
+            var: var.to_string(),
+            init: first,
+            cond_op: BinOp::Lt,
+            bound,
+            step: AExpr::int(1),
+            body: block.body,
+            pragmas: Vec::new(),
+        });
+        self
+    }
+
+    /// Finishes the program.
+    pub fn build(self) -> Program {
+        Program::new(self.name, self.body)
+    }
+}
+
+/// Builds the body of a loop or branch.
+#[derive(Debug)]
+pub struct BlockBuilder {
+    body: Vec<Stmt>,
+    next_loop_id: u32,
+}
+
+impl BlockBuilder {
+    /// Adds a scalar assignment.
+    pub fn assign(mut self, name: &str, value: AExpr) -> Self {
+        self.body.push(Stmt::Assign {
+            target: LValue::scalar(name),
+            op: AssignOp::Assign,
+            value,
+        });
+        self
+    }
+
+    /// Adds a compound scalar assignment `name += value`.
+    pub fn add_assign(mut self, name: &str, value: AExpr) -> Self {
+        self.body.push(Stmt::Assign {
+            target: LValue::scalar(name),
+            op: AssignOp::AddAssign,
+            value,
+        });
+        self
+    }
+
+    /// Adds an array element assignment.
+    pub fn store(mut self, array: &str, index: AExpr, value: AExpr) -> Self {
+        self.body.push(Stmt::Assign {
+            target: LValue::element(array, index),
+            op: AssignOp::Assign,
+            value,
+        });
+        self
+    }
+
+    /// Adds an `if`/`else`.
+    pub fn if_else(
+        mut self,
+        cond: AExpr,
+        then_f: impl FnOnce(BlockBuilder) -> BlockBuilder,
+        else_f: impl FnOnce(BlockBuilder) -> BlockBuilder,
+    ) -> Self {
+        let then_block = then_f(BlockBuilder {
+            body: Vec::new(),
+            next_loop_id: self.next_loop_id,
+        });
+        self.next_loop_id = then_block.next_loop_id;
+        let else_block = else_f(BlockBuilder {
+            body: Vec::new(),
+            next_loop_id: self.next_loop_id,
+        });
+        self.next_loop_id = else_block.next_loop_id;
+        self.body.push(Stmt::If {
+            cond,
+            then_branch: then_block.body,
+            else_branch: else_block.body,
+        });
+        self
+    }
+
+    /// Adds a nested unit-step `for` loop.
+    pub fn for_loop(
+        mut self,
+        var: &str,
+        first: AExpr,
+        bound: AExpr,
+        f: impl FnOnce(BlockBuilder) -> BlockBuilder,
+    ) -> Self {
+        let id = LoopId(self.next_loop_id);
+        self.next_loop_id += 1;
+        let block = f(BlockBuilder {
+            body: Vec::new(),
+            next_loop_id: self.next_loop_id,
+        });
+        self.next_loop_id = block.next_loop_id;
+        self.body.push(Stmt::For {
+            id,
+            var: var.to_string(),
+            init: first,
+            cond_op: BinOp::Lt,
+            bound,
+            step: AExpr::int(1),
+            body: block.body,
+            pragmas: Vec::new(),
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loops::LoopTree;
+    use crate::parser::parse_program;
+    use crate::printer::print_program;
+
+    #[test]
+    fn builder_matches_parser_output() {
+        let built = ProgramBuilder::new("fig2")
+            .for_loop("miel", AExpr::int(0), AExpr::var("nelt"), |b| {
+                b.assign("iel", AExpr::index("mt_to_id", AExpr::var("miel")))
+                    .store("id_to_mt", AExpr::var("iel"), AExpr::var("miel"))
+            })
+            .build();
+        let parsed = parse_program(
+            "fig2",
+            r#"
+            for (miel = 0; miel < nelt; miel++) {
+                iel = mt_to_id[miel];
+                id_to_mt[iel] = miel;
+            }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn loop_ids_are_preorder_like_the_parser() {
+        let built = ProgramBuilder::new("t")
+            .for_loop("i", AExpr::int(0), AExpr::var("n"), |b| {
+                b.for_loop("j", AExpr::int(0), AExpr::var("m"), |b| {
+                    b.store("a", AExpr::var("j"), AExpr::int(0))
+                })
+            })
+            .for_loop("k", AExpr::int(0), AExpr::var("p"), |b| {
+                b.store("b", AExpr::var("k"), AExpr::int(0))
+            })
+            .build();
+        let tree = LoopTree::build(&built);
+        let ids: Vec<u32> = tree.loops.iter().map(|l| l.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(tree.get(LoopId(1)).unwrap().parent, Some(LoopId(0)));
+    }
+
+    #[test]
+    fn if_else_and_printing() {
+        let built = ProgramBuilder::new("t")
+            .for_loop("i", AExpr::int(0), AExpr::var("n"), |b| {
+                b.if_else(
+                    AExpr::bin(BinOp::Eq, AExpr::var("i"), AExpr::int(0)),
+                    |t| t.assign("j1", AExpr::var("i")),
+                    |e| e.assign("j1", AExpr::index("rowptr", AExpr::sub(AExpr::var("i"), AExpr::int(1)))),
+                )
+                .add_assign("count", AExpr::int(1))
+            })
+            .build();
+        let printed = print_program(&built);
+        assert!(printed.contains("if (i == 0)"));
+        assert!(printed.contains("count += 1;"));
+        let reparsed = parse_program("t", &printed).unwrap();
+        assert_eq!(built, reparsed);
+    }
+}

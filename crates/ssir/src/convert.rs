@@ -1,0 +1,176 @@
+//! Conversion from AST expressions to symbolic expressions.
+//!
+//! The analysis passes work on [`ss_symbolic::Expr`]; this module lowers AST
+//! arithmetic into that form.  Anything the symbolic engine cannot represent
+//! (logical operators, 2-D array references, comparisons used as values)
+//! lowers to `⊥`, exactly as the paper prescribes for "too complex"
+//! expressions.
+
+use crate::ast::{AExpr, BinOp, UnOp};
+use ss_symbolic::Expr;
+
+/// Lowers an arithmetic AST expression to a symbolic expression.
+///
+/// * scalars become [`Expr::Sym`],
+/// * 1-D array references become [`Expr::ArrayRef`] with a lowered index,
+/// * arithmetic maps structurally,
+/// * everything else (comparisons, logical operators, 2-D references)
+///   becomes [`Expr::Bottom`].
+pub fn to_symbolic(e: &AExpr) -> Expr {
+    match e {
+        AExpr::IntLit(v) => Expr::Int(*v),
+        AExpr::Var(s) => Expr::Sym(s.clone()),
+        AExpr::Index(a, idxs) => {
+            if idxs.len() == 1 {
+                let idx = to_symbolic(&idxs[0]);
+                if idx == Expr::Bottom {
+                    Expr::Bottom
+                } else {
+                    Expr::ArrayRef(a.clone(), Box::new(idx))
+                }
+            } else {
+                Expr::Bottom
+            }
+        }
+        AExpr::Binary(op, a, b) => {
+            let (x, y) = (to_symbolic(a), to_symbolic(b));
+            if x == Expr::Bottom || y == Expr::Bottom {
+                return Expr::Bottom;
+            }
+            match op {
+                BinOp::Add => Expr::add(x, y),
+                BinOp::Sub => Expr::sub(x, y),
+                BinOp::Mul => Expr::mul(x, y),
+                BinOp::Div => Expr::div(x, y),
+                BinOp::Mod => Expr::modulo(x, y),
+                _ => Expr::Bottom,
+            }
+        }
+        AExpr::Unary(UnOp::Neg, a) => {
+            let x = to_symbolic(a);
+            if x == Expr::Bottom {
+                Expr::Bottom
+            } else {
+                Expr::neg(x)
+            }
+        }
+        AExpr::Unary(UnOp::Not, _) => Expr::Bottom,
+    }
+}
+
+/// A condition lowered into a normalized comparison `lhs REL rhs` where both
+/// sides are symbolic expressions.  Conditions that are not simple
+/// comparisons return `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymCondition {
+    /// Left-hand side.
+    pub lhs: Expr,
+    /// The comparison operator.
+    pub op: BinOp,
+    /// Right-hand side.
+    pub rhs: Expr,
+}
+
+impl SymCondition {
+    /// The negated condition (`<` ↔ `>=`, `==` ↔ `!=`, …).
+    pub fn negate(&self) -> SymCondition {
+        let op = match self.op {
+            BinOp::Lt => BinOp::Ge,
+            BinOp::Le => BinOp::Gt,
+            BinOp::Gt => BinOp::Le,
+            BinOp::Ge => BinOp::Lt,
+            BinOp::Eq => BinOp::Ne,
+            BinOp::Ne => BinOp::Eq,
+            other => other,
+        };
+        SymCondition {
+            lhs: self.lhs.clone(),
+            op,
+            rhs: self.rhs.clone(),
+        }
+    }
+}
+
+/// Lowers a branch/loop condition into a [`SymCondition`] if it is a simple
+/// comparison of two representable arithmetic expressions.
+pub fn to_condition(e: &AExpr) -> Option<SymCondition> {
+    if let AExpr::Binary(op, a, b) = e {
+        if op.is_comparison() {
+            let lhs = to_symbolic(a);
+            let rhs = to_symbolic(b);
+            if lhs != Expr::Bottom && rhs != Expr::Bottom {
+                return Some(SymCondition { lhs, op: *op, rhs });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    #[test]
+    fn lowers_arithmetic() {
+        let e = parse_expr("rowptr[i-1] + rowsize[i-1]").unwrap();
+        let s = to_symbolic(&e);
+        assert_eq!(
+            s,
+            Expr::add(
+                Expr::array_ref("rowptr", Expr::sub(Expr::sym("i"), Expr::int(1))),
+                Expr::array_ref("rowsize", Expr::sub(Expr::sym("i"), Expr::int(1)))
+            )
+        );
+        let e = parse_expr("(front[miel]-1)*7").unwrap();
+        assert_eq!(
+            to_symbolic(&e),
+            Expr::mul(
+                Expr::sub(Expr::array_ref("front", Expr::sym("miel")), Expr::int(1)),
+                Expr::int(7)
+            )
+        );
+    }
+
+    #[test]
+    fn unrepresentable_forms_become_bottom() {
+        // 2-D access
+        assert_eq!(to_symbolic(&parse_expr("a[i][j]").unwrap()), Expr::Bottom);
+        // comparison as a value
+        assert_eq!(to_symbolic(&parse_expr("a < b").unwrap()), Expr::Bottom);
+        // logical not
+        assert_eq!(to_symbolic(&parse_expr("!x").unwrap()), Expr::Bottom);
+        // bottom propagates upward
+        assert_eq!(
+            to_symbolic(&parse_expr("1 + a[i][j]").unwrap()),
+            Expr::Bottom
+        );
+    }
+
+    #[test]
+    fn negation_and_mod() {
+        assert_eq!(
+            to_symbolic(&parse_expr("-x").unwrap()),
+            Expr::neg(Expr::sym("x"))
+        );
+        assert_eq!(
+            to_symbolic(&parse_expr("(i + 1) % 8").unwrap()),
+            Expr::modulo(Expr::add(Expr::sym("i"), Expr::int(1)), Expr::int(8))
+        );
+    }
+
+    #[test]
+    fn conditions() {
+        let c = to_condition(&parse_expr("jmatch[i] >= 0").unwrap()).unwrap();
+        assert_eq!(c.op, BinOp::Ge);
+        assert_eq!(c.lhs, Expr::array_ref("jmatch", Expr::sym("i")));
+        assert_eq!(c.rhs, Expr::Int(0));
+        let n = c.negate();
+        assert_eq!(n.op, BinOp::Lt);
+        // non-comparison conditions are rejected
+        assert!(to_condition(&parse_expr("a && b").unwrap()).is_none());
+        assert!(to_condition(&parse_expr("x + 1").unwrap()).is_none());
+        // conditions over 2-D accesses are rejected
+        assert!(to_condition(&parse_expr("a[i][j] == 4").unwrap()).is_none());
+    }
+}

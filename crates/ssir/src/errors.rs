@@ -1,0 +1,73 @@
+//! Error types for the mini-C frontend.
+
+use std::fmt;
+
+/// Result alias for frontend operations.
+pub type Result<T> = std::result::Result<T, IrError>;
+
+/// Errors produced by the lexer and parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// Lexical error at a source position.
+    Lex {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Parse error at a source position.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A semantic restriction of the mini language was violated
+    /// (e.g. assigning to an undeclared 3-D array slice).
+    Semantic(String),
+}
+
+impl IrError {
+    /// Constructs a lexical error.
+    pub fn lex(line: usize, col: usize, message: String) -> IrError {
+        IrError::Lex { line, col, message }
+    }
+
+    /// Constructs a parse error.
+    pub fn parse(line: usize, col: usize, message: String) -> IrError {
+        IrError::Parse { line, col, message }
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Lex { line, col, message } => {
+                write!(f, "lex error at {line}:{col}: {message}")
+            }
+            IrError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            IrError::Semantic(m) => write!(f, "semantic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_position() {
+        let e = IrError::parse(3, 14, "expected ';'".into());
+        assert_eq!(format!("{e}"), "parse error at 3:14: expected ';'");
+        let e = IrError::Semantic("oops".into());
+        assert_eq!(format!("{e}"), "semantic error: oops");
+    }
+}

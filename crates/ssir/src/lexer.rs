@@ -1,0 +1,368 @@
+//! Lexer for the mini-C loop language.
+
+use crate::errors::{IrError, Result};
+use crate::token::{Token, TokenKind};
+
+/// Converts a source string into a token stream (ending with `Eof`).
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            src,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_whitespace_and_comments();
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    col,
+                });
+                return Ok(out);
+            };
+            let kind = if c.is_ascii_digit() {
+                self.lex_number()?
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                self.lex_ident()
+            } else if c == '#' {
+                self.lex_pragma()?
+            } else {
+                self.lex_operator()?
+            };
+            out.push(Token { kind, line, col });
+        }
+    }
+
+    fn skip_whitespace_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => break,
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind> {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s.parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|_| IrError::lex(self.line, self.col, format!("integer literal too large: {s}")))
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match s.as_str() {
+            "int" | "long" => TokenKind::KwInt,
+            "for" => TokenKind::KwFor,
+            "while" => TokenKind::KwWhile,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            _ => TokenKind::Ident(s),
+        }
+    }
+
+    fn lex_pragma(&mut self) -> Result<TokenKind> {
+        // consume to end of line
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            s.push(c);
+            self.bump();
+        }
+        let rest = s
+            .trim_start_matches('#')
+            .trim_start()
+            .strip_prefix("pragma")
+            .map(|r| r.trim().to_string());
+        match rest {
+            Some(text) => Ok(TokenKind::Pragma(text)),
+            None => Err(IrError::lex(
+                self.line,
+                self.col,
+                format!("unsupported preprocessor directive: {s}"),
+            )),
+        }
+    }
+
+    fn lex_operator(&mut self) -> Result<TokenKind> {
+        let c = self.bump().expect("caller checked non-empty");
+        let two = |l: &mut Lexer<'a>, second: char, yes: TokenKind, no: TokenKind| -> TokenKind {
+            if l.peek() == Some(second) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let kind = match c {
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            '{' => TokenKind::LBrace,
+            '}' => TokenKind::RBrace,
+            '[' => TokenKind::LBracket,
+            ']' => TokenKind::RBracket,
+            ';' => TokenKind::Semicolon,
+            ',' => TokenKind::Comma,
+            '%' => TokenKind::Percent,
+            '/' => TokenKind::Slash,
+            '+' => {
+                if self.peek() == Some('+') {
+                    self.bump();
+                    TokenKind::PlusPlus
+                } else {
+                    two(self, '=', TokenKind::PlusAssign, TokenKind::Plus)
+                }
+            }
+            '-' => {
+                if self.peek() == Some('-') {
+                    self.bump();
+                    TokenKind::MinusMinus
+                } else {
+                    two(self, '=', TokenKind::MinusAssign, TokenKind::Minus)
+                }
+            }
+            '*' => two(self, '=', TokenKind::StarAssign, TokenKind::Star),
+            '=' => two(self, '=', TokenKind::EqEq, TokenKind::Assign),
+            '!' => two(self, '=', TokenKind::NotEq, TokenKind::Not),
+            '<' => two(self, '=', TokenKind::Le, TokenKind::Lt),
+            '>' => two(self, '=', TokenKind::Ge, TokenKind::Gt),
+            '&' => {
+                if self.peek() == Some('&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(IrError::lex(self.line, self.col, "expected '&&'".to_string()));
+                }
+            }
+            '|' => {
+                if self.peek() == Some('|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(IrError::lex(self.line, self.col, "expected '||'".to_string()));
+                }
+            }
+            other => {
+                return Err(IrError::lex(
+                    self.line,
+                    self.col,
+                    format!("unexpected character '{other}'"),
+                ))
+            }
+        };
+        let _ = self.src;
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<T> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_loop_header() {
+        let ks = kinds("for (i = 0; i < n; i++)");
+        assert_eq!(
+            ks,
+            vec![
+                T::KwFor,
+                T::LParen,
+                T::Ident("i".into()),
+                T::Assign,
+                T::Int(0),
+                T::Semicolon,
+                T::Ident("i".into()),
+                T::Lt,
+                T::Ident("n".into()),
+                T::Semicolon,
+                T::Ident("i".into()),
+                T::PlusPlus,
+                T::RParen,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_subscripted_subscript() {
+        let ks = kinds("id_to_mt[iel] = miel;");
+        assert_eq!(
+            ks,
+            vec![
+                T::Ident("id_to_mt".into()),
+                T::LBracket,
+                T::Ident("iel".into()),
+                T::RBracket,
+                T::Assign,
+                T::Ident("miel".into()),
+                T::Semicolon,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_and_compound_assignment() {
+        let ks = kinds("x += 2; y -= 1; z *= 3; a == b; a != b; a <= b; a >= b; a && b || !c");
+        assert!(ks.contains(&T::PlusAssign));
+        assert!(ks.contains(&T::MinusAssign));
+        assert!(ks.contains(&T::StarAssign));
+        assert!(ks.contains(&T::EqEq));
+        assert!(ks.contains(&T::NotEq));
+        assert!(ks.contains(&T::Le));
+        assert!(ks.contains(&T::Ge));
+        assert!(ks.contains(&T::AndAnd));
+        assert!(ks.contains(&T::OrOr));
+        assert!(ks.contains(&T::Not));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let ks = kinds("x = 1; // trailing comment\n/* block\ncomment */ y = 2;");
+        assert_eq!(
+            ks,
+            vec![
+                T::Ident("x".into()),
+                T::Assign,
+                T::Int(1),
+                T::Semicolon,
+                T::Ident("y".into()),
+                T::Assign,
+                T::Int(2),
+                T::Semicolon,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_pragma_line() {
+        let ks = kinds("#pragma omp parallel for private(j,j1)\nfor (i = 0; i < n; i++) {}");
+        assert_eq!(ks[0], T::Pragma("omp parallel for private(j,j1)".into()));
+        assert_eq!(ks[1], T::KwFor);
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        let ks = kinds("int x; long y; intx; forloop");
+        assert_eq!(
+            ks,
+            vec![
+                T::KwInt,
+                T::Ident("x".into()),
+                T::Semicolon,
+                T::KwInt,
+                T::Ident("y".into()),
+                T::Semicolon,
+                T::Ident("intx".into()),
+                T::Semicolon,
+                T::Ident("forloop".into()),
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_positions() {
+        let toks = tokenize("x = 1;\n  y = 2;").unwrap();
+        let y = toks.iter().find(|t| t.kind == T::Ident("y".into())).unwrap();
+        assert_eq!((y.line, y.col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("x = $1;").is_err());
+        assert!(tokenize("a & b").is_err());
+        assert!(tokenize("#include <stdio.h>").is_err());
+    }
+}

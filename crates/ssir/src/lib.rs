@@ -1,0 +1,48 @@
+//! # ss-ir — mini-C frontend and loop-nest IR
+//!
+//! A small C-like language, rich enough to express every subscripted-subscript
+//! pattern of the paper's figures (Figs. 2–9) together with the code that
+//! fills the index arrays:
+//!
+//! * [`lexer`] / [`parser`] — source text → [`ast::Program`];
+//! * [`builder`] — programmatic construction with the same loop-id scheme;
+//! * [`printer`] — back to C source, optionally with `#pragma omp parallel
+//!   for` annotations added by the parallelizer;
+//! * [`loops`] — normalized loop descriptions and the loop tree (inside-out
+//!   traversal order of the paper's algorithm);
+//! * [`visit`] — array access collection with guard conditions;
+//! * [`convert`] — lowering of AST arithmetic to [`ss_symbolic::Expr`].
+//!
+//! ```
+//! use ss_ir::parser::parse_program;
+//! use ss_ir::loops::LoopTree;
+//!
+//! let program = parse_program("fig3", r#"
+//!     for (j = 0; j < lastrow - firstrow + 1; j++) {
+//!         for (k = rowstr[j]; k < rowstr[j+1]; k++) {
+//!             colidx[k] = colidx[k] - firstcol;
+//!         }
+//!     }
+//! "#).unwrap();
+//! let tree = LoopTree::build(&program);
+//! assert_eq!(tree.loops.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod builder;
+pub mod convert;
+pub mod errors;
+pub mod lexer;
+pub mod loops;
+pub mod parser;
+pub mod printer;
+pub mod token;
+pub mod visit;
+
+pub use ast::{AExpr, AssignOp, BinOp, LValue, LoopId, Program, Stmt, UnOp};
+pub use builder::ProgramBuilder;
+pub use errors::{IrError, Result};
+pub use loops::{LoopInfo, LoopTree};
+pub use parser::{parse_expr, parse_program};
+pub use printer::{print_expr, print_program, print_program_with, PrintOptions};
+pub use visit::{accesses_in_loop, collect_accesses, AccessKind, ArrayAccess};

@@ -1,0 +1,280 @@
+//! Pretty-printer: turns a [`Program`] back into mini-C source.
+//!
+//! The parallelizer uses this to emit the transformed program with
+//! `#pragma omp parallel for` annotations on the loops it proved parallel,
+//! mirroring what the Cetus source-to-source translator produces.
+
+use crate::ast::{AExpr, AssignOp, BinOp, LValue, Program, Stmt, UnOp};
+use std::fmt::Write;
+
+/// Prints an expression in C syntax.
+pub fn print_expr(e: &AExpr) -> String {
+    match e {
+        AExpr::IntLit(v) => format!("{v}"),
+        AExpr::Var(s) => s.clone(),
+        AExpr::Index(a, idxs) => {
+            let mut out = a.clone();
+            for i in idxs {
+                out.push('[');
+                out.push_str(&print_expr(i));
+                out.push(']');
+            }
+            out
+        }
+        AExpr::Binary(op, a, b) => {
+            let left = maybe_paren(a, *op, true);
+            let right = maybe_paren(b, *op, false);
+            format!("{left} {} {right}", op.as_str())
+        }
+        AExpr::Unary(UnOp::Neg, a) => format!("-{}", wrap_if_binary(a)),
+        AExpr::Unary(UnOp::Not, a) => format!("!{}", wrap_if_binary(a)),
+    }
+}
+
+fn wrap_if_binary(e: &AExpr) -> String {
+    match e {
+        AExpr::Binary(_, _, _) | AExpr::Unary(_, _) => format!("({})", print_expr(e)),
+        // A negative literal directly after `-` would lex as `--`.
+        AExpr::IntLit(v) if *v < 0 => format!("({v})"),
+        _ => print_expr(e),
+    }
+}
+
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 5,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+        BinOp::Eq | BinOp::Ne => 2,
+        BinOp::And => 1,
+        BinOp::Or => 0,
+    }
+}
+
+fn maybe_paren(e: &AExpr, parent: BinOp, is_left: bool) -> String {
+    match e {
+        AExpr::Binary(child, _, _) => {
+            let (pp, cp) = (precedence(parent), precedence(*child));
+            // Parenthesize when the child binds less tightly, or equally on
+            // the right-hand side of a non-commutative parent.
+            let need = cp < pp
+                || (cp == pp
+                    && !is_left
+                    && matches!(parent, BinOp::Sub | BinOp::Div | BinOp::Mod));
+            if need {
+                format!("({})", print_expr(e))
+            } else {
+                print_expr(e)
+            }
+        }
+        _ => print_expr(e),
+    }
+}
+
+/// Options controlling program printing.
+#[derive(Debug, Clone, Default)]
+pub struct PrintOptions {
+    /// Extra pragma lines to emit immediately before specific loops, keyed by
+    /// loop id value. Used by the parallelizer to annotate parallel loops.
+    pub extra_pragmas: std::collections::HashMap<u32, Vec<String>>,
+}
+
+/// Prints a whole program in C syntax.
+pub fn print_program(p: &Program) -> String {
+    print_program_with(p, &PrintOptions::default())
+}
+
+/// Prints a program with additional per-loop pragma annotations.
+pub fn print_program_with(p: &Program, opts: &PrintOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// program {}", p.name);
+    print_stmts(&p.body, 0, opts, &mut out);
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmts(stmts: &[Stmt], depth: usize, opts: &PrintOptions, out: &mut String) {
+    for s in stmts {
+        print_stmt(s, depth, opts, out);
+    }
+}
+
+fn print_lvalue(lv: &LValue) -> String {
+    let mut s = lv.name.clone();
+    for i in &lv.indices {
+        s.push('[');
+        s.push_str(&print_expr(i));
+        s.push(']');
+    }
+    s
+}
+
+fn print_stmt(s: &Stmt, depth: usize, opts: &PrintOptions, out: &mut String) {
+    match s {
+        Stmt::Decl { name, dims, init } => {
+            indent(depth, out);
+            out.push_str("int ");
+            out.push_str(name);
+            for d in dims {
+                let _ = write!(out, "[{}]", print_expr(d));
+            }
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", print_expr(e));
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign { target, op, value } => {
+            indent(depth, out);
+            let op_str = match op {
+                AssignOp::Assign => "=",
+                AssignOp::AddAssign => "+=",
+                AssignOp::SubAssign => "-=",
+                AssignOp::MulAssign => "*=",
+            };
+            let _ = writeln!(out, "{} {} {};", print_lvalue(target), op_str, print_expr(value));
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            indent(depth, out);
+            let _ = writeln!(out, "if ({}) {{", print_expr(cond));
+            print_stmts(then_branch, depth + 1, opts, out);
+            indent(depth, out);
+            if else_branch.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                print_stmts(else_branch, depth + 1, opts, out);
+                indent(depth, out);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::For {
+            id,
+            var,
+            init,
+            cond_op,
+            bound,
+            step,
+            body,
+            pragmas,
+        } => {
+            for p in pragmas {
+                indent(depth, out);
+                let _ = writeln!(out, "#pragma {p}");
+            }
+            if let Some(extra) = opts.extra_pragmas.get(&id.0) {
+                for p in extra {
+                    indent(depth, out);
+                    let _ = writeln!(out, "#pragma {p}");
+                }
+            }
+            indent(depth, out);
+            let step_str = if matches!(step, AExpr::IntLit(1)) {
+                format!("{var}++")
+            } else {
+                format!("{var} += {}", print_expr(step))
+            };
+            let _ = writeln!(
+                out,
+                "for ({var} = {}; {var} {} {}; {step_str}) {{",
+                print_expr(init),
+                cond_op.as_str(),
+                print_expr(bound)
+            );
+            print_stmts(body, depth + 1, opts, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Stmt::While { cond, body, .. } => {
+            indent(depth, out);
+            let _ = writeln!(out, "while ({}) {{", print_expr(cond));
+            print_stmts(body, depth + 1, opts, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    #[test]
+    fn expression_round_trip() {
+        for src in [
+            "a[i] + 1",
+            "rowstr[j + 1] - nzloc[j]",
+            "(front[miel] - 1) * 7",
+            "ntemp + (i + 1) % 8",
+            "a - (b - c)",
+            "a / (b * c)",
+            "x < n && jmatch[i] >= 0",
+        ] {
+            let e = parse_expr(src).unwrap();
+            let printed = print_expr(&e);
+            let reparsed = parse_expr(&printed).unwrap();
+            assert_eq!(e, reparsed, "round-trip failed for `{src}` -> `{printed}`");
+        }
+    }
+
+    #[test]
+    fn program_round_trip() {
+        let src = r#"
+            rowptr[0] = 0;
+            for (i = 1; i < ROWLEN + 1; i++) {
+                rowptr[i] = rowptr[i-1] + rowsize[i-1];
+            }
+            #pragma omp parallel for private(j,j1)
+            for (i = 0; i < ROWLEN+1; i++) {
+                if (i == 0) {
+                    j1 = i;
+                } else {
+                    j1 = rowptr[i-1];
+                }
+                for (j = j1; j < rowptr[i]; j++) {
+                    product_array[j] = value[j] * vector[j];
+                }
+            }
+        "#;
+        let p = parse_program("fig9", src).unwrap();
+        let printed = print_program(&p);
+        let reparsed = parse_program("fig9", &printed).unwrap();
+        assert_eq!(p, reparsed);
+        assert!(printed.contains("#pragma omp parallel for private(j,j1)"));
+    }
+
+    #[test]
+    fn extra_pragmas_are_emitted() {
+        let p = parse_program("t", "for (i = 0; i < n; i++) { x[i] = 0; }").unwrap();
+        let mut opts = PrintOptions::default();
+        opts.extra_pragmas
+            .insert(0, vec!["omp parallel for".to_string()]);
+        let printed = print_program_with(&p, &opts);
+        assert!(printed.contains("#pragma omp parallel for\nfor (i = 0; i < n; i++)"));
+    }
+
+    #[test]
+    fn unary_and_decl_printing() {
+        let p = parse_program(
+            "t",
+            "int a[ROWLEN][COLUMNLEN]; int x = 3; y = -z; w = -(z + 1);",
+        )
+        .unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("int a[ROWLEN][COLUMNLEN];"));
+        assert!(printed.contains("int x = 3;"));
+        assert!(printed.contains("y = -z;"));
+        assert!(printed.contains("w = -(z + 1);"));
+        let reparsed = parse_program("t", &printed).unwrap();
+        assert_eq!(p, reparsed);
+    }
+}

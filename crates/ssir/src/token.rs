@@ -1,0 +1,156 @@
+//! Tokens of the mini-C loop language.
+//!
+//! The language is deliberately small: it only needs to express the loop
+//! nests of the paper's figures (Figs. 2–9) and the code that fills the index
+//! arrays — integer scalars, integer arrays (1-D and 2-D), `for`/`while`
+//! loops, `if`/`else`, assignments (including compound assignment and
+//! increment/decrement), and integer arithmetic with comparisons.
+
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier (variable, array or keyword candidate).
+    Ident(String),
+    /// `int` keyword.
+    KwInt,
+    /// `for` keyword.
+    KwFor,
+    /// `while` keyword.
+    KwWhile,
+    /// `if` keyword.
+    KwIf,
+    /// `else` keyword.
+    KwElse,
+    /// A `#pragma ...` line (payload is the text after `#pragma`).
+    Pragma(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::KwInt => write!(f, "int"),
+            TokenKind::KwFor => write!(f, "for"),
+            TokenKind::KwWhile => write!(f, "while"),
+            TokenKind::KwIf => write!(f, "if"),
+            TokenKind::KwElse => write!(f, "else"),
+            TokenKind::Pragma(s) => write!(f, "#pragma {s}"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Assign => write!(f, "="),
+            TokenKind::PlusAssign => write!(f, "+="),
+            TokenKind::MinusAssign => write!(f, "-="),
+            TokenKind::StarAssign => write!(f, "*="),
+            TokenKind::PlusPlus => write!(f, "++"),
+            TokenKind::MinusMinus => write!(f, "--"),
+            TokenKind::EqEq => write!(f, "=="),
+            TokenKind::NotEq => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::AndAnd => write!(f, "&&"),
+            TokenKind::OrOr => write!(f, "||"),
+            TokenKind::Not => write!(f, "!"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_display() {
+        assert_eq!(format!("{}", TokenKind::Int(42)), "42");
+        assert_eq!(format!("{}", TokenKind::Ident("rowptr".into())), "rowptr");
+        assert_eq!(format!("{}", TokenKind::PlusAssign), "+=");
+        assert_eq!(format!("{}", TokenKind::LBrace), "{");
+    }
+}

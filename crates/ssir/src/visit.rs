@@ -1,0 +1,360 @@
+//! Visitors and access collection.
+//!
+//! The dependence test needs, for every loop, the set of array read/write
+//! references that execute inside it, each with its subscript expression and
+//! the guarding conditions on the path to it.  [`collect_accesses`] gathers
+//! exactly that.
+
+use crate::ast::{AExpr, AssignOp, LoopId, Program, Stmt};
+use crate::convert::{to_condition, SymCondition};
+use ss_symbolic::Expr;
+
+/// Whether an access reads or writes the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Array element is read.
+    Read,
+    /// Array element is written.
+    Write,
+}
+
+/// One array access found in the program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayAccess {
+    /// The accessed array.
+    pub array: String,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// AST subscript expressions (one per dimension).
+    pub indices: Vec<AExpr>,
+    /// The first (or only) subscript lowered to symbolic form (`⊥` when not
+    /// representable).
+    pub subscript: Expr,
+    /// Loops enclosing the access, outermost first.
+    pub enclosing_loops: Vec<LoopId>,
+    /// Conditions guarding the access (from enclosing `if` statements on the
+    /// path); the condition for the taken branch, negated for `else` paths.
+    /// `None` entries mark conditions too complex to represent.
+    pub guards: Vec<Option<SymCondition>>,
+    /// True if the subscript expression itself contains an array reference —
+    /// i.e. this is a *subscripted subscript*.
+    pub subscripted_subscript: bool,
+}
+
+impl ArrayAccess {
+    /// True if the access is a write.
+    pub fn is_write(&self) -> bool {
+        self.kind == AccessKind::Write
+    }
+
+    /// True if this access is (directly) inside the given loop.
+    pub fn in_loop(&self, id: LoopId) -> bool {
+        self.enclosing_loops.contains(&id)
+    }
+}
+
+/// Collects every array access in the program.
+pub fn collect_accesses(program: &Program) -> Vec<ArrayAccess> {
+    let mut out = Vec::new();
+    let mut ctx = Context::default();
+    walk_stmts(&program.body, &mut ctx, &mut out);
+    out
+}
+
+/// Collects the array accesses inside a single loop (including nested loops).
+pub fn accesses_in_loop(program: &Program, id: LoopId) -> Vec<ArrayAccess> {
+    collect_accesses(program)
+        .into_iter()
+        .filter(|a| a.in_loop(id))
+        .collect()
+}
+
+/// True if the given loop contains at least one subscripted-subscript access.
+pub fn loop_has_subscripted_subscript(program: &Program, id: LoopId) -> bool {
+    accesses_in_loop(program, id)
+        .iter()
+        .any(|a| a.subscripted_subscript)
+}
+
+#[derive(Default, Clone)]
+struct Context {
+    loops: Vec<LoopId>,
+    guards: Vec<Option<SymCondition>>,
+}
+
+fn walk_stmts(stmts: &[Stmt], ctx: &mut Context, out: &mut Vec<ArrayAccess>) {
+    for s in stmts {
+        walk_stmt(s, ctx, out);
+    }
+}
+
+fn walk_stmt(s: &Stmt, ctx: &mut Context, out: &mut Vec<ArrayAccess>) {
+    match s {
+        Stmt::Decl { init, dims, .. } => {
+            if let Some(e) = init {
+                collect_reads(e, ctx, out);
+            }
+            for d in dims {
+                collect_reads(d, ctx, out);
+            }
+        }
+        Stmt::Assign { target, op, value } => {
+            // RHS reads.
+            collect_reads(value, ctx, out);
+            // Compound assignment also reads the target.
+            if *op != AssignOp::Assign && !target.indices.is_empty() {
+                push_access(
+                    &target.name,
+                    &target.indices,
+                    AccessKind::Read,
+                    ctx,
+                    out,
+                );
+            }
+            // Index expressions of the target are reads.
+            for idx in &target.indices {
+                collect_reads(idx, ctx, out);
+            }
+            if !target.indices.is_empty() {
+                push_access(
+                    &target.name,
+                    &target.indices,
+                    AccessKind::Write,
+                    ctx,
+                    out,
+                );
+            }
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            collect_reads(cond, ctx, out);
+            let sym_cond = to_condition(cond);
+            ctx.guards.push(sym_cond.clone());
+            walk_stmts(then_branch, ctx, out);
+            ctx.guards.pop();
+            if !else_branch.is_empty() {
+                ctx.guards.push(sym_cond.map(|c| c.negate()));
+                walk_stmts(else_branch, ctx, out);
+                ctx.guards.pop();
+            }
+        }
+        Stmt::For {
+            id,
+            init,
+            bound,
+            step,
+            body,
+            ..
+        } => {
+            collect_reads(init, ctx, out);
+            collect_reads(bound, ctx, out);
+            collect_reads(step, ctx, out);
+            ctx.loops.push(*id);
+            walk_stmts(body, ctx, out);
+            ctx.loops.pop();
+        }
+        Stmt::While { id, cond, body } => {
+            collect_reads(cond, ctx, out);
+            ctx.loops.push(*id);
+            walk_stmts(body, ctx, out);
+            ctx.loops.pop();
+        }
+    }
+}
+
+fn collect_reads(e: &AExpr, ctx: &Context, out: &mut Vec<ArrayAccess>) {
+    match e {
+        AExpr::IntLit(_) | AExpr::Var(_) => {}
+        AExpr::Index(a, idxs) => {
+            for idx in idxs {
+                collect_reads(idx, ctx, out);
+            }
+            push_access(a, idxs, AccessKind::Read, ctx, out);
+        }
+        AExpr::Binary(_, a, b) => {
+            collect_reads(a, ctx, out);
+            collect_reads(b, ctx, out);
+        }
+        AExpr::Unary(_, a) => collect_reads(a, ctx, out),
+    }
+}
+
+fn push_access(
+    array: &str,
+    indices: &[AExpr],
+    kind: AccessKind,
+    ctx: &Context,
+    out: &mut Vec<ArrayAccess>,
+) {
+    let subscript = if indices.len() == 1 {
+        crate::convert::to_symbolic(&indices[0])
+    } else {
+        Expr::Bottom
+    };
+    let subscripted = indices.iter().any(|i| {
+        let mut has = false;
+        i.for_each(&mut |x| {
+            if matches!(x, AExpr::Index(_, _)) {
+                has = true;
+            }
+        });
+        has
+    });
+    out.push(ArrayAccess {
+        array: array.to_string(),
+        kind,
+        indices: indices.to_vec(),
+        subscript,
+        enclosing_loops: ctx.loops.clone(),
+        guards: ctx.guards.clone(),
+        subscripted_subscript: subscripted,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn collects_reads_and_writes_figure2() {
+        let p = parse_program(
+            "fig2",
+            r#"
+            for (miel = 0; miel < nelt; miel++) {
+                iel = mt_to_id[miel];
+                id_to_mt[iel] = miel;
+            }
+        "#,
+        )
+        .unwrap();
+        let accs = collect_accesses(&p);
+        assert_eq!(accs.len(), 2);
+        let read = &accs[0];
+        assert_eq!(read.array, "mt_to_id");
+        assert_eq!(read.kind, AccessKind::Read);
+        assert_eq!(read.subscript, Expr::sym("miel"));
+        assert!(!read.subscripted_subscript);
+        let write = &accs[1];
+        assert_eq!(write.array, "id_to_mt");
+        assert!(write.is_write());
+        assert_eq!(write.enclosing_loops, vec![LoopId(0)]);
+    }
+
+    #[test]
+    fn marks_subscripted_subscripts() {
+        let p = parse_program(
+            "fig5",
+            r#"
+            for (i = 0; i < m; i++) {
+                if (jmatch[i] >= 0) {
+                    imatch[jmatch[i]] = i;
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        let accs = collect_accesses(&p);
+        let write = accs.iter().find(|a| a.is_write()).unwrap();
+        assert_eq!(write.array, "imatch");
+        assert!(write.subscripted_subscript);
+        assert_eq!(
+            write.subscript,
+            Expr::array_ref("jmatch", Expr::sym("i"))
+        );
+        // guarded by jmatch[i] >= 0
+        assert_eq!(write.guards.len(), 1);
+        let g = write.guards[0].as_ref().unwrap();
+        assert_eq!(g.op, BinOp::Ge);
+        assert!(loop_has_subscripted_subscript(&p, LoopId(0)));
+        // jmatch is read twice (once in the condition, once in the subscript)
+        let jreads = accs
+            .iter()
+            .filter(|a| a.array == "jmatch" && !a.is_write())
+            .count();
+        assert_eq!(jreads, 2);
+    }
+
+    #[test]
+    fn else_branch_guards_are_negated() {
+        let p = parse_program(
+            "fig8",
+            r#"
+            for (miel = 0; miel < nelt; miel++) {
+                if (ich[iel] == 4) {
+                    ntemp = (front[miel]-1)*7;
+                } else {
+                    ntemp = front[miel]*7;
+                }
+                mt_to_id[mielnew] = iel;
+            }
+        "#,
+        )
+        .unwrap();
+        let accs = collect_accesses(&p);
+        let front_reads: Vec<_> = accs.iter().filter(|a| a.array == "front").collect();
+        assert_eq!(front_reads.len(), 2);
+        assert_eq!(front_reads[0].guards[0].as_ref().unwrap().op, BinOp::Eq);
+        assert_eq!(front_reads[1].guards[0].as_ref().unwrap().op, BinOp::Ne);
+        // The write to mt_to_id is not guarded.
+        let write = accs.iter().find(|a| a.array == "mt_to_id").unwrap();
+        assert!(write.guards.is_empty());
+    }
+
+    #[test]
+    fn compound_assignment_reads_target() {
+        let p = parse_program("t", "for (k = 0; k < n; k++) { colidx[k] -= firstcol; }").unwrap();
+        let accs = collect_accesses(&p);
+        let reads = accs
+            .iter()
+            .filter(|a| a.array == "colidx" && !a.is_write())
+            .count();
+        let writes = accs
+            .iter()
+            .filter(|a| a.array == "colidx" && a.is_write())
+            .count();
+        assert_eq!(reads, 1);
+        assert_eq!(writes, 1);
+    }
+
+    #[test]
+    fn loop_bound_reads_are_attributed_to_outer_context() {
+        let p = parse_program(
+            "fig6",
+            r#"
+            for (b = 0; b < nb; b++) {
+                for (k = r[b]; k < r[b+1]; k++) {
+                    Blk[p[k]] = b;
+                }
+            }
+        "#,
+        )
+        .unwrap();
+        let accs = collect_accesses(&p);
+        // r[b] and r[b+1] are read inside loop 0 but outside loop 1.
+        let r_reads: Vec<_> = accs.iter().filter(|a| a.array == "r").collect();
+        assert_eq!(r_reads.len(), 2);
+        for r in &r_reads {
+            assert_eq!(r.enclosing_loops, vec![LoopId(0)]);
+        }
+        // p[k] is read inside both loops; Blk write also in both.
+        let p_read = accs.iter().find(|a| a.array == "p").unwrap();
+        assert_eq!(p_read.enclosing_loops, vec![LoopId(0), LoopId(1)]);
+        let blk = accs.iter().find(|a| a.array == "Blk").unwrap();
+        assert!(blk.subscripted_subscript);
+        assert_eq!(accesses_in_loop(&p, LoopId(1)).len(), 2);
+    }
+
+    #[test]
+    fn two_dimensional_accesses_have_bottom_subscript() {
+        let p = parse_program("t", "for (i = 0; i < n; i++) { s[i] = a[i][j]; }").unwrap();
+        let accs = collect_accesses(&p);
+        let a = accs.iter().find(|x| x.array == "a").unwrap();
+        assert_eq!(a.subscript, Expr::Bottom);
+        assert_eq!(a.indices.len(), 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Concrete evaluation of symbolic expressions.
+//!
+//! Not used by the compile-time analysis itself, but essential for testing:
+//! property-based tests draw random valuations for symbols and array
+//! contents and check that simplification, substitution and range arithmetic
+//! are sound with respect to actual integer arithmetic.
+
+use crate::expr::Expr;
+use std::collections::HashMap;
+
+/// A concrete valuation: integer values for symbols and `λ`/`Λ`
+/// placeholders, plus concrete contents for arrays.
+#[derive(Debug, Clone, Default)]
+pub struct Valuation {
+    /// Values of program symbols.
+    pub syms: HashMap<String, i64>,
+    /// Values of `λ(x)` placeholders.
+    pub lambdas: HashMap<String, i64>,
+    /// Values of `Λ(x)` placeholders.
+    pub big_lambdas: HashMap<String, i64>,
+    /// Array contents (index 0-based).
+    pub arrays: HashMap<String, Vec<i64>>,
+}
+
+/// Errors during concrete evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A symbol had no value in the valuation.
+    UnboundSymbol(String),
+    /// A `λ`/`Λ` placeholder had no value.
+    UnboundPlaceholder(String),
+    /// An array was missing or the index was out of bounds / negative.
+    BadArrayAccess(String, i64),
+    /// Division or remainder by zero.
+    DivisionByZero,
+    /// The expression contained `⊥`.
+    Unknown,
+    /// Arithmetic overflow.
+    Overflow,
+}
+
+impl Valuation {
+    /// Creates an empty valuation.
+    pub fn new() -> Valuation {
+        Valuation::default()
+    }
+
+    /// Sets a symbol value (builder style).
+    pub fn with_sym(mut self, name: impl Into<String>, v: i64) -> Self {
+        self.syms.insert(name.into(), v);
+        self
+    }
+
+    /// Sets an array's contents (builder style).
+    pub fn with_array(mut self, name: impl Into<String>, v: Vec<i64>) -> Self {
+        self.arrays.insert(name.into(), v);
+        self
+    }
+
+    /// Evaluates an expression to a concrete integer.
+    pub fn eval(&self, e: &Expr) -> Result<i64, EvalError> {
+        match e {
+            Expr::Int(v) => Ok(*v),
+            Expr::Sym(s) => self
+                .syms
+                .get(s)
+                .copied()
+                .ok_or_else(|| EvalError::UnboundSymbol(s.clone())),
+            Expr::Lambda(s) => self
+                .lambdas
+                .get(s)
+                .copied()
+                .ok_or_else(|| EvalError::UnboundPlaceholder(s.clone())),
+            Expr::BigLambda(s) => self
+                .big_lambdas
+                .get(s)
+                .copied()
+                .ok_or_else(|| EvalError::UnboundPlaceholder(s.clone())),
+            Expr::Bottom => Err(EvalError::Unknown),
+            Expr::ArrayRef(a, idx) => {
+                let i = self.eval(idx)?;
+                let arr = self
+                    .arrays
+                    .get(a)
+                    .ok_or_else(|| EvalError::BadArrayAccess(a.clone(), i))?;
+                if i < 0 || (i as usize) >= arr.len() {
+                    return Err(EvalError::BadArrayAccess(a.clone(), i));
+                }
+                Ok(arr[i as usize])
+            }
+            Expr::Add(xs) => {
+                let mut acc: i64 = 0;
+                for x in xs {
+                    acc = acc.checked_add(self.eval(x)?).ok_or(EvalError::Overflow)?;
+                }
+                Ok(acc)
+            }
+            Expr::Mul(xs) => {
+                let mut acc: i64 = 1;
+                for x in xs {
+                    acc = acc.checked_mul(self.eval(x)?).ok_or(EvalError::Overflow)?;
+                }
+                Ok(acc)
+            }
+            Expr::Div(a, b) => {
+                let (x, y) = (self.eval(a)?, self.eval(b)?);
+                if y == 0 {
+                    Err(EvalError::DivisionByZero)
+                } else {
+                    Ok(x / y)
+                }
+            }
+            Expr::Mod(a, b) => {
+                let (x, y) = (self.eval(a)?, self.eval(b)?);
+                if y == 0 {
+                    Err(EvalError::DivisionByZero)
+                } else {
+                    Ok(x % y)
+                }
+            }
+            Expr::Min(xs) => {
+                let vals: Result<Vec<i64>, _> = xs.iter().map(|x| self.eval(x)).collect();
+                Ok(*vals?.iter().min().ok_or(EvalError::Unknown)?)
+            }
+            Expr::Max(xs) => {
+                let vals: Result<Vec<i64>, _> = xs.iter().map(|x| self.eval(x)).collect();
+                Ok(*vals?.iter().max().ok_or(EvalError::Unknown)?)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplify::simplify;
+
+    #[test]
+    fn evaluates_arithmetic() {
+        let v = Valuation::new().with_sym("i", 4).with_sym("n", 10);
+        let e = Expr::add(
+            Expr::mul(Expr::sym("i"), Expr::int(3)),
+            Expr::sub(Expr::sym("n"), Expr::int(1)),
+        );
+        assert_eq!(v.eval(&e), Ok(21));
+        assert_eq!(v.eval(&Expr::div(Expr::sym("n"), Expr::int(3))), Ok(3));
+        assert_eq!(v.eval(&Expr::modulo(Expr::sym("n"), Expr::int(3))), Ok(1));
+        assert_eq!(v.eval(&Expr::min(Expr::sym("i"), Expr::sym("n"))), Ok(4));
+        assert_eq!(v.eval(&Expr::max(Expr::sym("i"), Expr::sym("n"))), Ok(10));
+    }
+
+    #[test]
+    fn evaluates_array_refs() {
+        let v = Valuation::new()
+            .with_sym("i", 2)
+            .with_array("rowptr", vec![0, 3, 5, 9]);
+        let e = Expr::array_ref("rowptr", Expr::add(Expr::sym("i"), Expr::int(1)));
+        assert_eq!(v.eval(&e), Ok(9));
+        let oob = Expr::array_ref("rowptr", Expr::int(4));
+        assert!(matches!(v.eval(&oob), Err(EvalError::BadArrayAccess(_, 4))));
+    }
+
+    #[test]
+    fn error_cases() {
+        let v = Valuation::new();
+        assert_eq!(
+            v.eval(&Expr::sym("missing")),
+            Err(EvalError::UnboundSymbol("missing".into()))
+        );
+        assert_eq!(v.eval(&Expr::Bottom), Err(EvalError::Unknown));
+        assert_eq!(
+            v.eval(&Expr::div(Expr::int(1), Expr::int(0))),
+            Err(EvalError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn simplification_preserves_value() {
+        let v = Valuation::new().with_sym("i", 7).with_sym("n", 3);
+        let e = Expr::add(
+            Expr::mul(
+                Expr::sub(Expr::sym("i"), Expr::int(1)),
+                Expr::int(7),
+            ),
+            Expr::mul(Expr::sym("n"), Expr::sym("i")),
+        );
+        let s = simplify(&e);
+        assert_eq!(v.eval(&e).unwrap(), v.eval(&s).unwrap());
+    }
+}

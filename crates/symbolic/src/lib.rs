@@ -1,0 +1,47 @@
+//! # ss-symbolic — symbolic expression engine
+//!
+//! The foundation of the subscripted-subscript analysis: symbolic integer
+//! expressions ([`Expr`]), canonical simplification ([`simplify()`]), symbolic
+//! ranges `[lo : hi]` ([`SymRange`]), substitution, closed-form aggregation of
+//! recurrences, relational reasoning under assumptions ([`Assumptions`]), and
+//! concrete evaluation for testing ([`Valuation`]).
+//!
+//! The design follows the representation of Section 3.2 of
+//! *Compile-time Parallelization of Subscripted Subscript Patterns*
+//! (Bhosale & Eigenmann):
+//!
+//! * scalar values are **may**-ranges `[lb : ub]`,
+//! * array values carry a **must** subscript range and a value range,
+//! * `λ(x)` / `Λ(x)` denote a variable's value at the beginning of the
+//!   current iteration / the loop,
+//! * `⊥` denotes an unknown value and is absorbing.
+//!
+//! ```
+//! use ss_symbolic::{Expr, simplify::sym_eq};
+//!
+//! // (front[miel] - 1) * 7 + miel   ==   7*front[miel] + miel - 7
+//! let lhs = Expr::add(
+//!     Expr::mul(Expr::sub(Expr::array_ref("front", Expr::sym("miel")), Expr::int(1)), Expr::int(7)),
+//!     Expr::sym("miel"),
+//! );
+//! let rhs = Expr::add(
+//!     Expr::sub(Expr::mul(Expr::int(7), Expr::array_ref("front", Expr::sym("miel"))), Expr::int(7)),
+//!     Expr::sym("miel"),
+//! );
+//! assert!(sym_eq(&lhs, &rhs));
+//! ```
+
+pub mod eval;
+pub mod expr;
+pub mod range;
+pub mod relation;
+pub mod simplify;
+pub mod subst;
+pub mod sum;
+
+pub use eval::{EvalError, Valuation};
+pub use expr::Expr;
+pub use range::SymRange;
+pub use relation::{Assumptions, Proof};
+pub use simplify::{simplify, simplify_diff, sym_eq};
+pub use sum::{aggregate_scalar, Aggregate};

@@ -1,0 +1,139 @@
+//! Property-based soundness tests for the symbolic engine.
+//!
+//! Strategy: generate random expression trees over a small set of symbols,
+//! then check that
+//!
+//! 1. simplification preserves the concrete value under every valuation,
+//! 2. simplification is idempotent,
+//! 3. `sym_eq` implies equal concrete values,
+//! 4. range arithmetic brackets the corresponding concrete arithmetic,
+//! 5. `Assumptions::prove_le` is never wrong when it says "proven".
+
+use proptest::prelude::*;
+use ss_symbolic::eval::Valuation;
+use ss_symbolic::range::SymRange;
+use ss_symbolic::relation::{Assumptions, Proof};
+use ss_symbolic::simplify::{simplify, sym_eq};
+use ss_symbolic::Expr;
+
+const SYMS: [&str; 3] = ["i", "j", "n"];
+
+/// Random expression trees without Div/Mod/Bottom/array refs (those have
+/// dedicated unit tests; excluding them keeps every generated expression
+/// evaluable under every valuation).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::Int),
+        prop::sample::select(&SYMS[..]).prop_map(Expr::sym),
+    ];
+    leaf.prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::sub(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::mul(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::min(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::max(a, b)),
+            inner.prop_map(Expr::neg),
+        ]
+    })
+}
+
+fn valuation(i: i64, j: i64, n: i64) -> Valuation {
+    Valuation::new()
+        .with_sym("i", i)
+        .with_sym("j", j)
+        .with_sym("n", n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn simplify_preserves_value(e in arb_expr(), i in -10i64..10, j in -10i64..10, n in -10i64..10) {
+        let v = valuation(i, j, n);
+        let original = v.eval(&e);
+        let simplified = v.eval(&simplify(&e));
+        // Overflow may legitimately differ (saturating vs checked); only
+        // compare when both evaluate cleanly.
+        if let (Ok(a), Ok(b)) = (original, simplified) {
+            prop_assert_eq!(a, b, "simplification changed value of {}", e);
+        }
+    }
+
+    #[test]
+    fn simplify_is_idempotent(e in arb_expr()) {
+        let once = simplify(&e);
+        let twice = simplify(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn sym_eq_implies_equal_values(a in arb_expr(), b in arb_expr(), i in -5i64..5, j in -5i64..5, n in -5i64..5) {
+        if sym_eq(&a, &b) {
+            let v = valuation(i, j, n);
+            if let (Ok(x), Ok(y)) = (v.eval(&a), v.eval(&b)) {
+                prop_assert_eq!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn range_add_brackets_concrete_add(
+        alo in -50i64..50, awidth in 0i64..20,
+        blo in -50i64..50, bwidth in 0i64..20,
+        pick_a in 0.0f64..1.0, pick_b in 0.0f64..1.0,
+    ) {
+        let ahi = alo + awidth;
+        let bhi = blo + bwidth;
+        let ra = SymRange::constant(alo, ahi);
+        let rb = SymRange::constant(blo, bhi);
+        let sum = ra.add(&rb);
+        let diff = ra.sub(&rb);
+        let a = alo + ((awidth as f64) * pick_a) as i64;
+        let b = blo + ((bwidth as f64) * pick_b) as i64;
+        let (slo, shi) = sum.as_const().unwrap();
+        prop_assert!(slo <= a + b && a + b <= shi);
+        let (dlo, dhi) = diff.as_const().unwrap();
+        prop_assert!(dlo <= a - b && a - b <= dhi);
+    }
+
+    #[test]
+    fn range_union_contains_both(alo in -50i64..50, awidth in 0i64..20, blo in -50i64..50, bwidth in 0i64..20) {
+        let ra = SymRange::constant(alo, alo + awidth);
+        let rb = SymRange::constant(blo, blo + bwidth);
+        let u = ra.union(&rb).as_const().unwrap();
+        prop_assert!(u.0 <= alo && alo + awidth <= u.1);
+        prop_assert!(u.0 <= blo && blo + bwidth <= u.1);
+    }
+
+    #[test]
+    fn proven_le_is_sound(e1 in arb_expr(), e2 in arb_expr(), i in 0i64..8, j in 0i64..8, n in 1i64..8) {
+        // Assumptions match the valuation domains used below.
+        let mut asm = Assumptions::new();
+        asm.assume_range("i", SymRange::constant(0, 7));
+        asm.assume_range("j", SymRange::constant(0, 7));
+        asm.assume_range("n", SymRange::constant(1, 7));
+        let verdict = asm.prove_le(&e1, &e2);
+        if verdict == Proof::Proven {
+            let v = valuation(i, j, n);
+            if let (Ok(a), Ok(b)) = (v.eval(&e1), v.eval(&e2)) {
+                prop_assert!(a <= b, "prove_le claimed {} <= {} but {} > {}", e1, e2, a, b);
+            }
+        }
+        if verdict == Proof::Disproven {
+            // Disproven means the relation fails for every valuation in range.
+            let v = valuation(i, j, n);
+            if let (Ok(a), Ok(b)) = (v.eval(&e1), v.eval(&e2)) {
+                prop_assert!(a > b, "prove_le claimed disproven for {} <= {} but {} <= {}", e1, e2, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_brackets_concrete_multiplication(lo in -30i64..30, width in 0i64..15, k in -6i64..6, pick in 0.0f64..1.0) {
+        let r = SymRange::constant(lo, lo + width);
+        let scaled = r.scale(k).as_const().unwrap();
+        let x = lo + ((width as f64) * pick) as i64;
+        prop_assert!(scaled.0 <= k * x && k * x <= scaled.1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Failure injection: soundness of the analysis under broken filling code
+//! and corrupted run-time data.
+//!
+//! The value of a compile-time parallelizer is measured as much by what it
+//! refuses as by what it accepts.  Each test here takes one of the
+//! catalogued patterns, perturbs the property-establishing code (or the
+//! run-time data) so that the enabling property no longer holds, and checks
+//! that the analysis (resp. the runtime machinery) no longer licenses
+//! parallel execution.
+
+use ss_inspector::executor::{run_range_partitioned, ExecutionStrategy, Mode};
+use ss_inspector::inspect::{inspect_index_array, InspectorConfig};
+use ss_parallelizer::parallelize_source;
+use ss_properties::{concrete, ArrayProperty};
+use ss_ir::LoopId;
+
+fn target_is_parallel(src: &str, target: u32) -> bool {
+    let report = parallelize_source("failure_injection", src).expect("source parses");
+    report
+        .loop_report(LoopId(target))
+        .map(|l| l.parallel)
+        .unwrap_or(false)
+}
+
+/// The intact Figure 9 pattern is accepted; this anchors the negative tests
+/// below (they differ from this source by exactly one fault).
+#[test]
+fn intact_figure9_pattern_is_accepted() {
+    let src = r#"
+        for (i = 0; i < ROWLEN; i++) {
+            count = 0;
+            for (j = 0; j < COLUMNLEN; j++) {
+                if (a[i][j] != 0) { count++; }
+            }
+            rowsize[i] = count;
+        }
+        rowptr[0] = 0;
+        for (i = 1; i < ROWLEN + 1; i++) {
+            rowptr[i] = rowptr[i-1] + rowsize[i-1];
+        }
+        for (i = 1; i < ROWLEN + 1; i++) {
+            for (j = rowptr[i-1]; j < rowptr[i]; j++) {
+                product[j] = value[j] * vector[j];
+            }
+        }
+    "#;
+    assert!(target_is_parallel(src, 3));
+}
+
+/// Fault: the recurrence increment can be negative (`rowsize[i-1] - 1` is
+/// `-1` for empty rows), so `rowptr` is no longer provably monotonic and the
+/// product loop must stay serial.
+#[test]
+fn negative_recurrence_increment_blocks_parallelization() {
+    let src = r#"
+        for (i = 0; i < ROWLEN; i++) {
+            count = 0;
+            for (j = 0; j < COLUMNLEN; j++) {
+                if (a[i][j] != 0) { count++; }
+            }
+            rowsize[i] = count;
+        }
+        rowptr[0] = 0;
+        for (i = 1; i < ROWLEN + 1; i++) {
+            rowptr[i] = rowptr[i-1] + rowsize[i-1] - 1;
+        }
+        for (i = 1; i < ROWLEN + 1; i++) {
+            for (j = rowptr[i-1]; j < rowptr[i]; j++) {
+                product[j] = value[j] * vector[j];
+            }
+        }
+    "#;
+    assert!(!target_is_parallel(src, 3));
+}
+
+/// Fault: `count` is also decremented in the scanning loop, so its value
+/// range is no longer provably non-negative and monotonicity of `rowptr`
+/// cannot be established.
+#[test]
+fn decrementing_counter_blocks_parallelization() {
+    let src = r#"
+        for (i = 0; i < ROWLEN; i++) {
+            count = 0;
+            for (j = 0; j < COLUMNLEN; j++) {
+                if (a[i][j] != 0) { count++; }
+                if (a[i][j] < 0) { count--; }
+            }
+            rowsize[i] = count;
+        }
+        rowptr[0] = 0;
+        for (i = 1; i < ROWLEN + 1; i++) {
+            rowptr[i] = rowptr[i-1] + rowsize[i-1];
+        }
+        for (i = 1; i < ROWLEN + 1; i++) {
+            for (j = rowptr[i-1]; j < rowptr[i]; j++) {
+                product[j] = value[j] * vector[j];
+            }
+        }
+    "#;
+    assert!(!target_is_parallel(src, 3));
+}
+
+/// Fault: `rowsize` is overwritten after the counting loop with data of
+/// unknown sign, so the non-negativity that the recurrence needs is lost at
+/// the point where `rowptr` is filled.
+#[test]
+fn clobbering_the_size_array_blocks_parallelization() {
+    let src = r#"
+        for (i = 0; i < ROWLEN; i++) {
+            count = 0;
+            for (j = 0; j < COLUMNLEN; j++) {
+                if (a[i][j] != 0) { count++; }
+            }
+            rowsize[i] = count;
+        }
+        for (i = 0; i < ROWLEN; i++) {
+            rowsize[i] = adjustment[i];
+        }
+        rowptr[0] = 0;
+        for (i = 1; i < ROWLEN + 1; i++) {
+            rowptr[i] = rowptr[i-1] + rowsize[i-1];
+        }
+        for (i = 1; i < ROWLEN + 1; i++) {
+            for (j = rowptr[i-1]; j < rowptr[i]; j++) {
+                product[j] = value[j] * vector[j];
+            }
+        }
+    "#;
+    assert!(!target_is_parallel(src, 4));
+}
+
+/// Fault (Figure 2 pattern): the index map is filled with a non-injective
+/// expression (`e / 2`), so the transfer loop's writes can collide and it
+/// must stay serial.
+#[test]
+fn non_injective_index_map_blocks_the_transfer_loop() {
+    let injective = r#"
+        for (e = 0; e < nelt; e++) { mt_to_id[e] = e; }
+        for (miel = 0; miel < nelt; miel++) {
+            iel = mt_to_id[miel];
+            id_to_mt[iel] = miel;
+        }
+    "#;
+    assert!(target_is_parallel(injective, 1));
+    let duplicated = r#"
+        for (e = 0; e < nelt; e++) { mt_to_id[e] = e / 2; }
+        for (miel = 0; miel < nelt; miel++) {
+            iel = mt_to_id[miel];
+            id_to_mt[iel] = miel;
+        }
+    "#;
+    assert!(!target_is_parallel(duplicated, 1));
+    let constant = r#"
+        for (e = 0; e < nelt; e++) { mt_to_id[e] = 7; }
+        for (miel = 0; miel < nelt; miel++) {
+            iel = mt_to_id[miel];
+            id_to_mt[iel] = miel;
+        }
+    "#;
+    assert!(!target_is_parallel(constant, 1));
+}
+
+/// Fault (Figure 5 pattern): without the complementary `-1` branch the
+/// "non-negative subset is injective" claim is unsound (unmatched rows keep
+/// whatever non-negative stale values they held), so the guarded scatter
+/// must stay serial.
+#[test]
+fn missing_negative_branch_blocks_the_guarded_scatter() {
+    let sound = r#"
+        for (r = 0; r < m; r++) {
+            if (matched[r] > 0) {
+                jmatch[r] = r;
+            } else {
+                jmatch[r] = 0 - 1;
+            }
+        }
+        for (i = 0; i < m; i++) {
+            if (jmatch[i] >= 0) {
+                imatch[jmatch[i]] = i;
+            }
+        }
+    "#;
+    assert!(target_is_parallel(sound, 1));
+    let unsound = r#"
+        for (r = 0; r < m; r++) {
+            if (matched[r] > 0) {
+                jmatch[r] = r;
+            }
+        }
+        for (i = 0; i < m; i++) {
+            if (jmatch[i] >= 0) {
+                imatch[jmatch[i]] = i;
+            }
+        }
+    "#;
+    assert!(!target_is_parallel(unsound, 1));
+}
+
+/// Fault: the index array is modified again *between* the property-creating
+/// loop and the consuming loop, through a subscripted subscript the analysis
+/// cannot summarize; the consuming loop must then stay serial.
+#[test]
+fn intervening_unanalyzable_update_blocks_parallelization() {
+    let src = r#"
+        for (k = 0; k < n; k++) {
+            p[k] = k;
+        }
+        for (t = 0; t < nswaps; t++) {
+            p[swap[t]] = other[t];
+        }
+        for (k = 0; k < n; k++) {
+            x[p[k]] = b[k];
+        }
+    "#;
+    assert!(!target_is_parallel(src, 2));
+}
+
+/// Run-time counterpart: an inspector looking at corrupted data must refuse
+/// what the intact data would have licensed.
+#[test]
+fn runtime_inspection_refuses_corrupted_index_arrays() {
+    // Intact rowptr (monotonic) vs. one with a swapped pair.
+    let mut rowptr: Vec<i64> = vec![0, 4, 4, 9, 15, 15, 21];
+    let intact = inspect_index_array(&rowptr, &InspectorConfig::serial());
+    assert!(intact.properties.has(ArrayProperty::MonotonicInc));
+    rowptr.swap(2, 3);
+    let corrupted = inspect_index_array(&rowptr, &InspectorConfig::serial());
+    assert!(!corrupted.properties.has(ArrayProperty::MonotonicInc));
+    assert!(!concrete::is_monotonic_inc(&rowptr));
+}
+
+/// Run-time counterpart on the executor: overlapping row ranges force the
+/// inspector/executor into its serial fallback, and the result still matches
+/// the serial semantics.
+#[test]
+fn executor_falls_back_to_serial_on_overlapping_ranges() {
+    let bounds = vec![0i64, 8, 5, 12]; // ranges of rows 1 and 2 overlap
+    let body = |i: usize, j: usize| (i * 100 + j) as f64;
+    let mut data = vec![0.0f64; 12];
+    let profile = run_range_partitioned(&mut data, &bounds, body, 4, Mode::InspectorExecutor);
+    assert_eq!(profile.strategy, ExecutionStrategy::Serial);
+    let mut reference = vec![0.0f64; 12];
+    run_range_partitioned(&mut reference, &bounds, body, 1, Mode::Serial);
+    assert_eq!(data, reference);
+}

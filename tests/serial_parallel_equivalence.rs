@@ -1,0 +1,95 @@
+//! Integration test: for every kernel the analysis parallelizes, the
+//! parallel execution produces bit-identical (or numerically equivalent)
+//! results to the serial execution — the end-to-end correctness argument for
+//! the whole system.
+
+use proptest::prelude::*;
+use ss_npb::kernels::{fig2, fig3, fig4, fig5, fig6, fig7, fig9, ipvec, is_rank};
+use ss_npb::{run_cg_with, CgParams};
+use ss_runtime::CsrMatrix;
+
+#[test]
+fn cg_serial_and_parallel_agree_and_converge() {
+    let params = CgParams {
+        na: 800,
+        nonzer: 6,
+        niter: 2,
+        shift: 20.0,
+    };
+    let serial = run_cg_with(&params, 1, 3);
+    assert!(serial.rnorm < 1e-6);
+    for threads in [2, 4, 8] {
+        let par = run_cg_with(&params, threads, 3);
+        assert!(
+            (par.zeta - serial.zeta).abs() < 1e-6,
+            "zeta diverged at {threads} threads"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fig2_equivalence(n in 1usize..4000, seed in 0u64..1000, threads in 2usize..9) {
+        let mt_to_id = fig2::generate(n, seed);
+        prop_assert_eq!(fig2::parallel(&mt_to_id, threads), fig2::serial(&mt_to_id));
+    }
+
+    #[test]
+    fn fig5_equivalence(n in 1usize..4000, frac in 0.0f64..1.0, seed in 0u64..1000, threads in 2usize..9) {
+        let jmatch = fig5::generate(n, frac, seed);
+        prop_assert_eq!(fig5::parallel(&jmatch, n, threads), fig5::serial(&jmatch, n));
+    }
+
+    #[test]
+    fn fig6_equivalence(nb in 1usize..300, avg in 1usize..20, seed in 0u64..1000, threads in 2usize..9) {
+        let (r, p) = fig6::generate(nb, avg, seed);
+        prop_assert_eq!(fig6::parallel(&r, &p, threads), fig6::serial(&r, &p));
+    }
+
+    #[test]
+    fn fig3_equivalence(nrows in 1usize..1500, max_row in 0usize..16, seed in 0u64..1000, threads in 2usize..9) {
+        let firstcol = 50;
+        let (rowstr, colidx) = fig3::generate(nrows, max_row, 200, firstcol, seed);
+        prop_assert_eq!(
+            fig3::parallel(&rowstr, &colidx, firstcol, threads),
+            fig3::serial(&rowstr, &colidx, firstcol)
+        );
+    }
+
+    #[test]
+    fn fig4_equivalence(nrows in 1usize..1000, max_row in 0usize..12, seed in 0u64..1000, threads in 2usize..9) {
+        let input = fig4::generate(nrows, max_row, seed);
+        prop_assert_eq!(fig4::parallel(&input, threads), fig4::serial(&input));
+    }
+
+    #[test]
+    fn fig7_equivalence(num_refine in 1usize..2000, threads in 2usize..9) {
+        let front = fig7::generate(num_refine);
+        prop_assert_eq!(fig7::parallel(&front, threads), fig7::serial(&front));
+    }
+
+    #[test]
+    fn is_rank_equivalence(nkeys in 1usize..4000, nbuckets in 1usize..96, kpb in 1usize..96, seed in 0u64..1000, threads in 2usize..9) {
+        let buckets = is_rank::generate(nkeys, nbuckets, kpb, seed);
+        prop_assert_eq!(is_rank::parallel(&buckets, kpb, threads), is_rank::serial(&buckets, kpb));
+    }
+
+    #[test]
+    fn ipvec_equivalence(n in 1usize..4000, seed in 0u64..1000, threads in 2usize..9) {
+        let (p, b) = ipvec::generate(n, seed);
+        prop_assert_eq!(ipvec::parallel(&p, &b, threads), ipvec::serial(&p, &b));
+    }
+
+    #[test]
+    fn fig9_equivalence(rows in 1usize..120, cols in 1usize..120, density in 0.0f64..0.3, seed in 0u64..1000, threads in 2usize..9) {
+        let dense = fig9::generate_dense(rows, cols, density, seed);
+        let a = CsrMatrix::from_dense(&dense);
+        let vector: Vec<f64> = (0..cols.max(1)).map(|i| i as f64 * 0.5 + 1.0).collect();
+        prop_assert_eq!(
+            fig9::product_parallel(&a, &vector, threads),
+            fig9::product_serial(&a, &vector)
+        );
+    }
+}

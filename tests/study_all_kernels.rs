@@ -1,0 +1,54 @@
+//! Integration test: the Figure 1 study over the complete kernel catalogue.
+//! Every catalogued loop must be parallelized by the extended analysis and
+//! rejected by the property-free baseline, and the derived properties must
+//! hold on concrete data produced by the runnable kernels.
+
+use ss_bench::run_catalogue_study;
+use ss_npb::kernels::{fig2, fig5, fig6};
+use ss_properties::concrete;
+
+#[test]
+fn every_catalogued_kernel_is_detected_and_none_by_the_baseline() {
+    let table = run_catalogue_study();
+    for row in &table.rows {
+        assert!(
+            row.detected,
+            "kernel {} should be parallelized by the extended analysis",
+            row.kernel
+        );
+        assert!(
+            !row.baseline_detected,
+            "kernel {} should NOT be parallelizable without index-array properties",
+            row.kernel
+        );
+    }
+    assert_eq!(table.detected_count(), table.rows.len());
+    assert_eq!(table.baseline_count(), 0);
+}
+
+#[test]
+fn derived_properties_hold_on_concrete_index_arrays() {
+    // Figure 2: the generated mt_to_id really is injective.
+    let mt_to_id = fig2::generate(5000, 9);
+    let v: Vec<i64> = mt_to_id.iter().map(|&x| x as i64).collect();
+    assert!(concrete::is_injective(&v));
+    // Figure 5: the non-negative subset of jmatch really is injective.
+    let jmatch = fig5::generate(5000, 0.5, 9);
+    assert!(concrete::is_injective_subset(&jmatch, |x| x >= 0));
+    assert!(concrete::writes_are_conflict_free(&jmatch, Some(&|x| x >= 0)));
+    // Figure 6: r really is monotonic and p injective.
+    let (r, p) = fig6::generate(300, 10, 9);
+    let ri: Vec<i64> = r.iter().map(|&x| x as i64).collect();
+    let pi: Vec<i64> = p.iter().map(|&x| x as i64).collect();
+    assert!(concrete::is_monotonic_inc(&ri));
+    assert!(concrete::is_injective(&pi));
+}
+
+#[test]
+fn study_table_renders_for_the_report() {
+    let table = run_catalogue_study();
+    let txt = table.render();
+    assert!(txt.contains("fig2_ua_transfer"));
+    assert!(txt.contains("fig9_csr_product"));
+    assert!(txt.contains("SuiteSparse"));
+}
