@@ -304,7 +304,9 @@ mod tests {
         let p = parse_program("fig9_fill", FIGURE9_FILL).unwrap();
         let analysis = analyze_program(&p);
         // The paper's key result: rowptr: [1 : ROWLEN], Monotonic_inc.
-        assert!(analysis.db.has_property("rowptr", ArrayProperty::MonotonicInc));
+        assert!(analysis
+            .db
+            .has_property("rowptr", ArrayProperty::MonotonicInc));
         let fact = analysis.db.fact("rowptr").unwrap();
         assert_eq!(fact.index_range.lo, Expr::Int(1));
         assert_eq!(fact.index_range.hi, Expr::sym("ROWLEN"));
@@ -332,14 +334,20 @@ mod tests {
         let p1_inner = &analysis.phase1[&LoopId(1)];
         let count = p1_inner.scalar("count").unwrap();
         assert_eq!(count.lo, Expr::lambda("count"));
-        assert_eq!(count.hi, simplify(&Expr::add(Expr::lambda("count"), Expr::int(1))));
+        assert_eq!(
+            count.hi,
+            simplify(&Expr::add(Expr::lambda("count"), Expr::int(1)))
+        );
         // Phase 2 (inner): count: [Λ : Λ + COLUMNLEN]
         let c_inner = &analysis.collapsed[&LoopId(1)];
         let count_exit = &c_inner.scalar_exit["count"];
         assert_eq!(count_exit.lo, Expr::big_lambda("count"));
         assert_eq!(
             count_exit.hi,
-            simplify(&Expr::add(Expr::big_lambda("count"), Expr::sym("COLUMNLEN")))
+            simplify(&Expr::add(
+                Expr::big_lambda("count"),
+                Expr::sym("COLUMNLEN")
+            ))
         );
         // Phase 1 (outer i-loop, id 0): rowsize: [i], [0 : COLUMNLEN]
         // (see the note above about the paper's COLUMNLEN-1).
@@ -361,7 +369,10 @@ mod tests {
         );
         // Phase 2 (rowptr loop): rowptr: [1 : ROWLEN], Monotonic_inc
         let c_rowptr = &analysis.collapsed[&LoopId(2)];
-        assert!(c_rowptr.fact("rowptr").unwrap().has(ArrayProperty::MonotonicInc));
+        assert!(c_rowptr
+            .fact("rowptr")
+            .unwrap()
+            .has(ArrayProperty::MonotonicInc));
     }
 
     #[test]
@@ -411,7 +422,9 @@ mod tests {
         )
         .unwrap();
         let analysis = analyze_program(&p);
-        assert!(analysis.db.has_property("blocksize", ArrayProperty::NonNegative));
+        assert!(analysis
+            .db
+            .has_property("blocksize", ArrayProperty::NonNegative));
         assert!(analysis.db.has_property("r", ArrayProperty::MonotonicInc));
         assert!(analysis.db.has_property("p", ArrayProperty::Injective));
         assert!(analysis.db.has_property("p", ArrayProperty::Identity));
@@ -450,7 +463,9 @@ mod tests {
         )
         .unwrap();
         let analysis = analyze_program(&p);
-        assert!(analysis.db_for_loop(LoopId(1)).has_property("perm", ArrayProperty::Injective));
+        assert!(analysis
+            .db_for_loop(LoopId(1))
+            .has_property("perm", ArrayProperty::Injective));
         assert!(!analysis.db.has_property("perm", ArrayProperty::Injective));
 
         let p = parse_program(
@@ -464,7 +479,9 @@ mod tests {
         .unwrap();
         let analysis = analyze_program(&p);
         assert!(
-            !analysis.db_for_loop(LoopId(1)).has_property("perm", ArrayProperty::Injective),
+            !analysis
+                .db_for_loop(LoopId(1))
+                .has_property("perm", ArrayProperty::Injective),
             "single-element overwrite must invalidate the injectivity fact"
         );
     }

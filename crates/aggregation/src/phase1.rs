@@ -49,15 +49,13 @@ pub fn assigned_scalars(stmts: &[Stmt]) -> Vec<String> {
     fn walk(stmts: &[Stmt], out: &mut Vec<String>) {
         for s in stmts {
             match s {
-                Stmt::Assign { target, .. } if target.is_scalar() => {
-                    if !out.contains(&target.name) {
-                        out.push(target.name.clone());
-                    }
+                Stmt::Assign { target, .. }
+                    if target.is_scalar() && !out.contains(&target.name) =>
+                {
+                    out.push(target.name.clone());
                 }
-                Stmt::Decl { name, dims, .. } if dims.is_empty() => {
-                    if !out.contains(name) {
-                        out.push(name.clone());
-                    }
+                Stmt::Decl { name, dims, .. } if dims.is_empty() && !out.contains(name) => {
+                    out.push(name.clone());
                 }
                 Stmt::For { var, body, .. } => {
                     if !out.contains(var) {
@@ -161,11 +159,16 @@ mod tests {
         "#,
         );
         let info = t.get(ss_ir::LoopId(0)).unwrap();
-        let ss_ir::Stmt::For { body, .. } = &p.body[0] else { panic!() };
+        let ss_ir::Stmt::For { body, .. } = &p.body[0] else {
+            panic!()
+        };
         let r = phase1(info, body, &Env::new(), &NoSummaries);
         let count = r.scalar("count").unwrap();
         assert_eq!(count.lo, Expr::lambda("count"));
-        assert_eq!(count.hi, simplify(&Expr::add(Expr::lambda("count"), Expr::int(1))));
+        assert_eq!(
+            count.hi,
+            simplify(&Expr::add(Expr::lambda("count"), Expr::int(1)))
+        );
         // column_number's write is under an unknown guard with a λ-valued
         // subscript: effectively ⊥ for the aggregation step.
         let col = r.writes_to("column_number")[0];
@@ -189,11 +192,16 @@ mod tests {
         "#,
         );
         let info = t.get(ss_ir::LoopId(0)).unwrap();
-        let ss_ir::Stmt::For { body, .. } = &p.body[0] else { panic!() };
+        let ss_ir::Stmt::For { body, .. } = &p.body[0] else {
+            panic!()
+        };
         let mut entry = Env::new();
         entry.set_array_value(
             "rowsize",
-            SymRange::new(Expr::int(0), Expr::sub(Expr::sym("COLUMNLEN"), Expr::int(1))),
+            SymRange::new(
+                Expr::int(0),
+                Expr::sub(Expr::sym("COLUMNLEN"), Expr::int(1)),
+            ),
         );
         let r = phase1(info, body, &entry, &NoSummaries);
         assert_eq!(r.writes.len(), 1);
@@ -212,7 +220,9 @@ mod tests {
     fn loop_index_carries_range_assumption() {
         let (p, t) = setup("for (i = 1; i < n; i++) { x = i - 1; }");
         let info = t.get(ss_ir::LoopId(0)).unwrap();
-        let ss_ir::Stmt::For { body, .. } = &p.body[0] else { panic!() };
+        let ss_ir::Stmt::For { body, .. } = &p.body[0] else {
+            panic!()
+        };
         let r = phase1(info, body, &Env::new(), &NoSummaries);
         // i - 1 >= 0 is provable from the index range [1 : n-1]
         assert!(r
@@ -237,7 +247,9 @@ mod tests {
             }
         "#,
         );
-        let ss_ir::Stmt::For { body, .. } = &p.body[0] else { panic!() };
+        let ss_ir::Stmt::For { body, .. } = &p.body[0] else {
+            panic!()
+        };
         let names = assigned_scalars(body);
         assert!(names.contains(&"count".to_string()));
         assert!(names.contains(&"other".to_string()));

@@ -98,9 +98,7 @@ fn aggregate_scalars(p1: &Phase1Result, out: &mut CollapsedLoop) {
         }
         // Bounds that reference λ of *other* scalars or array elements are
         // beyond the current aggregation algebra.
-        let foreign_lambda = |e: &Expr| {
-            e.contains_any_lambda() && !e.contains_lambda(name)
-        };
+        let foreign_lambda = |e: &Expr| e.contains_any_lambda() && !e.contains_lambda(name);
         if foreign_lambda(&range.lo)
             || foreign_lambda(&range.hi)
             || range.lo.contains_any_array_ref()
@@ -118,8 +116,7 @@ fn aggregate_scalars(p1: &Phase1Result, out: &mut CollapsedLoop) {
             &info.last,
         ) {
             Some((lo, hi)) => {
-                out.scalar_exit
-                    .insert(name.clone(), SymRange::new(lo, hi));
+                out.scalar_exit.insert(name.clone(), SymRange::new(lo, hi));
             }
             None => out.clobbered_scalars.push(name.clone()),
         }
@@ -162,40 +159,32 @@ fn validate_guarded_facts(p1: &Phase1Result, entry_env: &Env, out: &mut Collapse
         if fact.guarded.is_empty() {
             continue;
         }
-        let writes: Vec<&WriteRecord> = p1
-            .writes
-            .iter()
-            .filter(|w| w.array == fact.array)
-            .collect();
+        let writes: Vec<&WriteRecord> =
+            p1.writes.iter().filter(|w| w.array == fact.array).collect();
         let negative = |w: &WriteRecord| {
-            w.value.hi != Expr::Bottom
-                && asm.prove_le(&w.value.hi, &Expr::Int(-1)).is_proven()
+            w.value.hi != Expr::Bottom && asm.prove_le(&w.value.hi, &Expr::Int(-1)).is_proven()
         };
         let nonneg = |w: &WriteRecord| {
             w.value.lo != Expr::Bottom && asm.prove_nonneg(&w.value.lo).is_proven()
         };
         let negative_writes = writes.iter().filter(|w| negative(w)).count();
         let other_writes: Vec<&&WriteRecord> = writes.iter().filter(|w| !negative(w)).collect();
-        let sound = negative_writes >= 1
-            && other_writes.len() == 1
-            && nonneg(other_writes[0]);
+        let sound = negative_writes >= 1 && other_writes.len() == 1 && nonneg(other_writes[0]);
         if !sound {
             fact.guarded.clear();
         }
     }
 }
 
+// One short-lived value per analyzed write; the variant size gap is fine.
+#[allow(clippy::large_enum_variant)]
 enum WriteSummary {
     Fact(ArrayFact),
     Clobber,
 }
 
 fn merge_fact(out: &mut CollapsedLoop, fact: ArrayFact) {
-    if let Some(existing) = out
-        .array_facts
-        .iter_mut()
-        .find(|f| f.array == fact.array)
-    {
+    if let Some(existing) = out.array_facts.iter_mut().find(|f| f.array == fact.array) {
         // Two different writes to the same array in one iteration: keep the
         // properties both establish, widen the section and value range.
         existing.index_range = existing.index_range.union(&fact.index_range);
@@ -260,7 +249,10 @@ fn summarize_write(w: &WriteRecord, p1: &Phase1Result, entry_env: &Env) -> Write
                 // A recurrence with unknown-sign increment: no property.
             }
         }
-        ValueClass::AffineInIndex { coeff: vc, offset: voff } => {
+        ValueClass::AffineInIndex {
+            coeff: vc,
+            offset: voff,
+        } => {
             // element at subscript coeff*i + k gets value vc*i + voff:
             // strictly monotonic in the subscript when vc > 0 (resp. < 0).
             if vc > 0 {
@@ -290,9 +282,7 @@ fn summarize_write(w: &WriteRecord, p1: &Phase1Result, entry_env: &Env) -> Write
             fact = fact.with_value_range(vr);
         }
         ValueClass::Invariant(vr) => {
-            if !vr.has_unknown_bound()
-                && entry_env.assumptions.prove_nonneg(&vr.lo).is_proven()
-            {
+            if !vr.has_unknown_bound() && entry_env.assumptions.prove_nonneg(&vr.lo).is_proven() {
                 fact = fact.with_property(ArrayProperty::NonNegative);
             }
             if !vr.has_unknown_bound() {
@@ -358,8 +348,8 @@ fn classify_value(
         if info.first != Expr::Bottom && info.last != Expr::Bottom {
             asm.assume_range(info.var.clone(), info.index_range());
         }
-        let nonneg = asm.prove_nonneg(&lower_subst).is_proven()
-            || asm.prove_nonneg(&increment).is_proven();
+        let nonneg =
+            asm.prove_nonneg(&lower_subst).is_proven() || asm.prove_nonneg(&increment).is_proven();
         let strict = asm.prove_le(&Expr::Int(1), &lower_subst).is_proven()
             || asm.prove_le(&Expr::Int(1), &increment).is_proven();
         return ValueClass::Recurrence { nonneg, strict };
@@ -369,7 +359,10 @@ fn classify_value(
     if w.value_exact != Expr::Bottom && !w.value_exact.contains_any_lambda() {
         if let Some((c, off)) = affine_in(&w.value_exact, &info.var) {
             if c != 0 && !off.contains_any_array_ref() && !off.contains_sym(&info.var) {
-                return ValueClass::AffineInIndex { coeff: c, offset: off };
+                return ValueClass::AffineInIndex {
+                    coeff: c,
+                    offset: off,
+                };
             }
         }
     }
@@ -445,7 +438,11 @@ fn instantiate_bound(bound: &Expr, env: &Env, is_lower: bool) -> Expr {
         if replacement == Expr::Bottom {
             return Expr::Bottom;
         }
-        cur = simplify(&ss_symbolic::subst::subst_big_lambda(&cur, &name, &replacement));
+        cur = simplify(&ss_symbolic::subst::subst_big_lambda(
+            &cur,
+            &name,
+            &replacement,
+        ));
     }
     // Resolve remaining program symbols with exactly-known entry values.
     for name in cur.clone().symbols() {
@@ -470,7 +467,9 @@ mod tests {
         let p = parse_program("t", src).unwrap();
         let t = LoopTree::build(&p);
         let info = t.get(ss_ir::LoopId(0)).unwrap();
-        let ss_ir::Stmt::For { body, .. } = &p.body[0] else { panic!() };
+        let ss_ir::Stmt::For { body, .. } = &p.body[0] else {
+            panic!()
+        };
         let p1 = phase1(info, body, entry, &NoSummaries);
         phase2(&p1, entry)
     }
@@ -481,7 +480,10 @@ mod tests {
         let mut entry = Env::new();
         entry.set_array_value(
             "rowsize",
-            SymRange::new(Expr::int(0), Expr::sub(Expr::sym("COLUMNLEN"), Expr::int(1))),
+            SymRange::new(
+                Expr::int(0),
+                Expr::sub(Expr::sym("COLUMNLEN"), Expr::int(1)),
+            ),
         );
         let c = collapse_first_loop(
             "for (i = 1; i < ROWLEN + 1; i++) { rowptr[i] = rowptr[i-1] + rowsize[i-1]; }",
@@ -525,7 +527,10 @@ mod tests {
         let mut entry = Env::new();
         entry.set_scalar(
             "count",
-            SymRange::new(Expr::int(0), Expr::sub(Expr::sym("COLUMNLEN"), Expr::int(1))),
+            SymRange::new(
+                Expr::int(0),
+                Expr::sub(Expr::sym("COLUMNLEN"), Expr::int(1)),
+            ),
         );
         let c = collapse_first_loop(
             "for (i = 0; i < ROWLEN; i++) { rowsize[i] = count; }",
@@ -558,10 +563,7 @@ mod tests {
         assert!(fact.has(ArrayProperty::StrictMonotonicInc));
         assert!(!fact.has(ArrayProperty::Identity));
         // decreasing fill
-        let c = collapse_first_loop(
-            "for (k = 0; k < n; k++) { q[k] = 0 - k; }",
-            &Env::new(),
-        );
+        let c = collapse_first_loop("for (k = 0; k < n; k++) { q[k] = 0 - k; }", &Env::new());
         let fact = c.fact("q").unwrap();
         assert!(fact.has(ArrayProperty::StrictMonotonicDec));
     }
@@ -576,7 +578,9 @@ mod tests {
         .unwrap();
         let t = LoopTree::build(&p);
         let info = t.get(ss_ir::LoopId(0)).unwrap();
-        let ss_ir::Stmt::For { body, .. } = &p.body[0] else { panic!() };
+        let ss_ir::Stmt::For { body, .. } = &p.body[0] else {
+            panic!()
+        };
         let entry = Env::new();
         let p1 = phase1(info, body, &entry, &NoSummaries);
         let c = phase2(&p1, &entry);
@@ -584,7 +588,10 @@ mod tests {
         assert_eq!(count.lo, Expr::big_lambda("count"));
         assert_eq!(
             count.hi,
-            simplify(&Expr::add(Expr::big_lambda("count"), Expr::sym("COLUMNLEN")))
+            simplify(&Expr::add(
+                Expr::big_lambda("count"),
+                Expr::sym("COLUMNLEN")
+            ))
         );
         // instantiation at an entry where count = 0
         let mut env = Env::new();
@@ -636,7 +643,9 @@ mod tests {
         let p = parse_program("t", "while (x < n) { a[x] = 0; x = x + 1; }").unwrap();
         let t = LoopTree::build(&p);
         let info = t.get(ss_ir::LoopId(0)).unwrap();
-        let ss_ir::Stmt::While { body, .. } = &p.body[0] else { panic!() };
+        let ss_ir::Stmt::While { body, .. } = &p.body[0] else {
+            panic!()
+        };
         let p1 = phase1(info, body, &Env::new(), &NoSummaries);
         let c = phase2(&p1, &Env::new());
         assert!(c.clobbered_arrays.contains(&"a".to_string()));
@@ -645,10 +654,7 @@ mod tests {
 
     #[test]
     fn strided_subscripts_expand_their_section() {
-        let c = collapse_first_loop(
-            "for (i = 0; i < n; i++) { s[2*i + 1] = 5; }",
-            &Env::new(),
-        );
+        let c = collapse_first_loop("for (i = 0; i < n; i++) { s[2*i + 1] = 5; }", &Env::new());
         let fact = c.fact("s").unwrap();
         assert_eq!(fact.index_range.lo, Expr::Int(1));
         assert_eq!(
@@ -658,9 +664,6 @@ mod tests {
                 Expr::int(1)
             ))
         );
-        assert_eq!(
-            fact.value_range.as_ref().unwrap().as_const(),
-            Some((5, 5))
-        );
+        assert_eq!(fact.value_range.as_ref().unwrap().as_const(), Some((5, 5)));
     }
 }

@@ -16,7 +16,7 @@ use ss_npb::kernels::{fig2, fig6, fig7, ipvec, is_rank};
 use ss_runtime::hardware_threads;
 
 fn threads() -> usize {
-    hardware_threads().min(8).max(2)
+    hardware_threads().clamp(2, 8)
 }
 
 fn bench_fig2(c: &mut Criterion) {
@@ -56,7 +56,9 @@ fn bench_is_rank(c: &mut Criterion) {
     let buckets = is_rank::generate(800_000, 512, 256, 17);
     let mut group = c.benchmark_group("ablation_is_bucket_traversal");
     group.sample_size(20);
-    group.bench_function("baseline_serial", |b| b.iter(|| is_rank::serial(&buckets, 256)));
+    group.bench_function("baseline_serial", |b| {
+        b.iter(|| is_rank::serial(&buckets, 256))
+    });
     group.bench_function("extended_parallel", |b| {
         b.iter(|| is_rank::parallel(&buckets, 256, threads()))
     });

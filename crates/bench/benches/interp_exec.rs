@@ -1,0 +1,82 @@
+//! Interpreter execution cost: the Figure 9 product kernel executed by the
+//! serial reference engine, by the parallel engine (compile-time verdicts,
+//! zero runtime analysis), and — for the runtime-machinery comparison the
+//! paper argues against — by the native inspector/executor driver on the
+//! same CSR data.
+//!
+//! Run with `cargo bench -p ss-bench --bench interp_exec`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ss_inspector::executor::{run_range_partitioned, Mode};
+use ss_interp::{run_parallel, run_serial, synthesize_inputs, ExecOptions, InputSpec};
+use ss_npb::kernels::fig9;
+use ss_runtime::{hardware_threads, CsrMatrix};
+
+fn bench_interp(c: &mut Criterion) {
+    let kernel = ss_npb::study_kernels()
+        .into_iter()
+        .find(|k| k.name == "fig9_csr_product")
+        .expect("catalogue kernel");
+    let program = ss_ir::parse_program(kernel.name, kernel.source).unwrap();
+    let report = ss_parallelizer::parallelize(&program);
+    let spec = InputSpec {
+        scale: 200,
+        seed: 7,
+    };
+    let initial = synthesize_inputs(&program, &spec).unwrap();
+
+    let mut group = c.benchmark_group("interp_exec_fig9");
+    group.sample_size(10);
+    group.bench_function("serial_engine", |b| {
+        b.iter(|| run_serial(&program, initial.clone()).unwrap())
+    });
+    for threads in [2usize, 4] {
+        if threads > hardware_threads() * 2 {
+            continue;
+        }
+        let opts = ExecOptions {
+            threads,
+            ..ExecOptions::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("parallel_engine", threads),
+            &opts,
+            |b, opts| b.iter(|| run_parallel(&program, &report, initial.clone(), opts).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+/// The same loop shape natively: what the interpreter's dispatch is paying
+/// for, and what runtime inspection costs per invocation.
+fn bench_native_baseline(c: &mut Criterion) {
+    let dense = fig9::generate_dense(400, 500, 0.06, 7);
+    let a = CsrMatrix::from_dense(&dense);
+    let vector: Vec<f64> = (0..a.ncols).map(|i| 1.0 + (i % 17) as f64).collect();
+    let bounds: Vec<i64> = std::iter::once(0)
+        .chain(a.rowptr.iter().map(|&r| r as i64))
+        .collect();
+    let values = a.values.clone();
+    let vlen = vector.len();
+    let row_body = move |_i: usize, j: usize| values[j] * vector[j % vlen];
+    let threads = hardware_threads().min(4);
+
+    let mut group = c.benchmark_group("interp_exec_native_fig9");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("compile_time_parallel", Mode::CompileTime),
+        ("inspector_executor", Mode::InspectorExecutor),
+        ("serial", Mode::Serial),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut data = vec![0.0f64; a.nnz()];
+                run_range_partitioned(&mut data, &bounds, &row_body, threads, mode)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp, bench_native_baseline);
+criterion_main!(benches);

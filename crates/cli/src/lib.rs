@@ -21,8 +21,9 @@
 #![warn(missing_docs)]
 
 use ss_aggregation::analyze_program;
+use ss_interp::{synthesize_inputs, validate, ExecMode, ExecOptions, InputSpec, ScheduleChoice};
 use ss_ir::{parse_program, LoopId};
-use ss_parallelizer::{parallelize_source, run_study, StudyInput};
+use ss_parallelizer::{parallelize, parallelize_source, run_study, StudyInput};
 
 /// Errors the CLI reports to the user (exit status 1 or 2).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +37,12 @@ pub enum CliError {
     Parse(String),
     /// An unknown catalogue kernel was requested.
     UnknownKernel(String),
+    /// The program failed while executing (out of bounds, division by zero,
+    /// runaway loop, …).
+    Exec(String),
+    /// `sspar run --validate` found the parallel heap diverging from the
+    /// serial one.
+    Validation(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -45,8 +52,13 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "error: {e}"),
             CliError::Parse(e) => write!(f, "parse error: {e}"),
             CliError::UnknownKernel(k) => {
-                write!(f, "error: no catalogue kernel named '{k}' (try `sspar kernels`)")
+                write!(
+                    f,
+                    "error: no catalogue kernel named '{k}' (try `sspar kernels`)"
+                )
             }
+            CliError::Exec(e) => write!(f, "execution error: {e}"),
+            CliError::Validation(e) => write!(f, "validation FAILED: {e}"),
         }
     }
 }
@@ -60,6 +72,8 @@ pub fn usage() -> String {
      \u{20}   sspar analyze --kernel <name>  [--baseline] [--no-source]\n\
      \u{20}   sspar trace   <file.c>\n\
      \u{20}   sspar trace   --kernel <name>\n\
+     \u{20}   sspar run     <file.c> [run options]\n\
+     \u{20}   sspar run     --kernel <name> [run options]\n\
      \u{20}   sspar study\n\
      \u{20}   sspar kernels\n\
      \n\
@@ -68,13 +82,23 @@ pub fn usage() -> String {
      \u{20}             derived index-array facts and the annotated source\n\
      \u{20}   trace     print the Phase 1 / Phase 2 aggregation summaries\n\
      \u{20}             (the paper's Section 3.5 trace) for every loop\n\
+     \u{20}   run       analyze the program, synthesize inputs, execute it\n\
+     \u{20}             serially and in parallel, and print per-loop timings\n\
      \u{20}   study     run the Figure-1 study over the built-in catalogue\n\
      \u{20}   kernels   list the built-in catalogue kernels\n\
      \n\
      OPTIONS:\n\
-     \u{20}   --kernel <name>  analyze a built-in catalogue kernel instead of a file\n\
-     \u{20}   --baseline       also show what the property-free baseline concludes\n\
-     \u{20}   --no-source      omit the annotated source from the output\n"
+     \u{20}   --kernel <name>  use a built-in catalogue kernel instead of a file\n\
+     \u{20}   --baseline       analyze: also show the property-free baseline verdicts\n\
+     \u{20}   --no-source      analyze: omit the annotated source from the output\n\
+     \n\
+     RUN OPTIONS:\n\
+     \u{20}   --threads <N>           worker threads (default: all hardware threads)\n\
+     \u{20}   --n <SIZE>              input scale: loop bounds / data modulus (default 256)\n\
+     \u{20}   --seed <S>              input data seed (default 1)\n\
+     \u{20}   --validate              assert serial and parallel heaps are identical\n\
+     \u{20}   --baseline inspector    run the runtime-inspector baseline on serial loops\n\
+     \u{20}   --schedule <auto|static|dynamic>  scheduling of parallel loops (default auto)\n"
         .to_string()
 }
 
@@ -110,10 +134,47 @@ pub enum Command {
         /// Source of the kernel text.
         input: Input,
     },
+    /// `sspar run …`
+    Run {
+        /// Source of the kernel text.
+        input: Input,
+        /// Execution options.
+        options: RunOptions,
+    },
     /// `sspar study`
     Study,
     /// `sspar kernels`
     Kernels,
+}
+
+/// Options of `sspar run`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Worker threads (`None` = all hardware threads).
+    pub threads: Option<usize>,
+    /// Input scale (`--n`).
+    pub scale: i64,
+    /// Input seed.
+    pub seed: u64,
+    /// Assert serial ≡ parallel heaps; non-zero exit on divergence.
+    pub validate: bool,
+    /// Run the runtime-inspector baseline on serial loops.
+    pub baseline_inspector: bool,
+    /// Scheduling of dispatched loops.
+    pub schedule: ScheduleChoice,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            threads: None,
+            scale: 256,
+            seed: 1,
+            validate: false,
+            baseline_inspector: false,
+            schedule: ScheduleChoice::Auto,
+        }
+    }
 }
 
 /// Where the kernel text comes from.
@@ -132,6 +193,76 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     match cmd {
         "study" => Ok(Command::Study),
         "kernels" => Ok(Command::Kernels),
+        "run" => {
+            let rest: Vec<&str> = it.collect();
+            let mut input: Option<Input> = None;
+            let mut options = RunOptions::default();
+            let mut i = 0;
+            let parse_num = |rest: &[&str], i: usize| -> Result<String, CliError> {
+                rest.get(i + 1)
+                    .map(|s| s.to_string())
+                    .ok_or_else(|| CliError::Usage(usage()))
+            };
+            while i < rest.len() {
+                match rest[i] {
+                    "--kernel" => {
+                        let name = parse_num(&rest, i)?;
+                        input = Some(Input::Catalogue(name));
+                        i += 2;
+                    }
+                    "--threads" => {
+                        let v = parse_num(&rest, i)?;
+                        let threads: usize = v.parse().map_err(|_| CliError::Usage(usage()))?;
+                        if threads < 1 {
+                            return Err(CliError::Usage(usage()));
+                        }
+                        options.threads = Some(threads);
+                        i += 2;
+                    }
+                    "--n" => {
+                        let v = parse_num(&rest, i)?;
+                        let scale: i64 = v.parse().map_err(|_| CliError::Usage(usage()))?;
+                        if scale < 1 {
+                            return Err(CliError::Usage(usage()));
+                        }
+                        options.scale = scale;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        let v = parse_num(&rest, i)?;
+                        options.seed = v.parse().map_err(|_| CliError::Usage(usage()))?;
+                        i += 2;
+                    }
+                    "--validate" => {
+                        options.validate = true;
+                        i += 1;
+                    }
+                    "--baseline" => {
+                        match rest.get(i + 1) {
+                            Some(&"inspector") => options.baseline_inspector = true,
+                            _ => return Err(CliError::Usage(usage())),
+                        }
+                        i += 2;
+                    }
+                    "--schedule" => {
+                        options.schedule = match rest.get(i + 1) {
+                            Some(&"auto") => ScheduleChoice::Auto,
+                            Some(&"static") => ScheduleChoice::Static,
+                            Some(&"dynamic") => ScheduleChoice::Dynamic,
+                            _ => return Err(CliError::Usage(usage())),
+                        };
+                        i += 2;
+                    }
+                    other if !other.starts_with("--") && input.is_none() => {
+                        input = Some(Input::File(other.to_string()));
+                        i += 1;
+                    }
+                    _ => return Err(CliError::Usage(usage())),
+                }
+            }
+            let input = input.ok_or_else(|| CliError::Usage(usage()))?;
+            Ok(Command::Run { input, options })
+        }
         "analyze" | "trace" => {
             let rest: Vec<&str> = it.collect();
             let mut input: Option<Input> = None;
@@ -141,9 +272,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             while i < rest.len() {
                 match rest[i] {
                     "--kernel" => {
-                        let name = rest
-                            .get(i + 1)
-                            .ok_or_else(|| CliError::Usage(usage()))?;
+                        let name = rest.get(i + 1).ok_or_else(|| CliError::Usage(usage()))?;
                         input = Some(Input::Catalogue(name.to_string()));
                         i += 2;
                     }
@@ -198,6 +327,10 @@ pub fn execute(cmd: &Command, reader: &dyn SourceReader) -> Result<String, CliEr
             let (name, source) = resolve_input(input, reader)?;
             trace_text(&name, &source)
         }
+        Command::Run { input, options } => {
+            let (name, source) = resolve_input(input, reader)?;
+            run_text(&name, &source, options)
+        }
     }
 }
 
@@ -208,10 +341,7 @@ pub fn run(args: &[String], reader: &dyn SourceReader) -> Result<String, CliErro
 
 fn resolve_input(input: &Input, reader: &dyn SourceReader) -> Result<(String, String), CliError> {
     match input {
-        Input::File(path) => Ok((
-            path.clone(),
-            reader.read(path).map_err(CliError::Io)?,
-        )),
+        Input::File(path) => Ok((path.clone(), reader.read(path).map_err(CliError::Io)?)),
         Input::Catalogue(name) => {
             let kernel = ss_npb::study_kernels()
                 .into_iter()
@@ -228,8 +358,7 @@ fn analyze_text(
     baseline: bool,
     no_source: bool,
 ) -> Result<String, CliError> {
-    let report =
-        parallelize_source(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
+    let report = parallelize_source(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
     let mut out = String::new();
     out.push_str(&format!("== {name}: per-loop verdicts ==\n"));
     for l in &report.loops {
@@ -241,7 +370,11 @@ fn analyze_text(
         if baseline {
             out.push_str(&format!(
                 "    baseline (no index-array properties): {}\n",
-                if l.baseline_parallel { "parallel" } else { "serial" }
+                if l.baseline_parallel {
+                    "parallel"
+                } else {
+                    "serial"
+                }
             ));
         }
         for r in &l.reasons {
@@ -264,8 +397,7 @@ fn analyze_text(
 }
 
 fn trace_text(name: &str, source: &str) -> Result<String, CliError> {
-    let program =
-        parse_program(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
+    let program = parse_program(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
     let analysis = analyze_program(&program);
     let mut out = String::new();
     out.push_str(&format!("== {name}: Phase 1 / Phase 2 trace ==\n"));
@@ -285,10 +417,7 @@ fn trace_text(name: &str, source: &str) -> Result<String, CliError> {
                 out.push_str(&format!("    {name}: {range}\n"));
             }
             for w in &p1.writes {
-                out.push_str(&format!(
-                    "    {}[{}] = {}\n",
-                    w.array, w.subscript, w.value
-                ));
+                out.push_str(&format!("    {}[{}] = {}\n", w.array, w.subscript, w.value));
             }
         }
         out.push_str("  phase 2 (whole loop):\n");
@@ -309,6 +438,101 @@ fn trace_text(name: &str, source: &str) -> Result<String, CliError> {
     }
     out.push_str("\n== facts at end of program ==\n");
     out.push_str(&format!("{}\n", analysis.db));
+    Ok(out)
+}
+
+fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, CliError> {
+    let program = parse_program(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
+    let report = parallelize(&program);
+    let spec = InputSpec {
+        scale: options.scale,
+        seed: options.seed,
+    };
+    let initial = synthesize_inputs(&program, &spec).map_err(|e| CliError::Exec(e.to_string()))?;
+    let threads = options.threads.unwrap_or_else(ss_runtime::hardware_threads);
+    let exec_opts = ExecOptions {
+        threads,
+        schedule: options.schedule,
+        baseline_inspector: options.baseline_inspector,
+        ..ExecOptions::default()
+    };
+    let outcome = validate(&program, &report, &initial, &exec_opts)
+        .map_err(|e| CliError::Exec(e.to_string()))?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== {name}: executed with scale n={} seed={} on {threads} thread(s) ==\n\n",
+        options.scale, options.seed
+    ));
+    out.push_str(&format!(
+        "{:<6} {:<7} {:<10} {:<18} {:>12} {:>12} {:>9}\n",
+        "loop", "index", "verdict", "execution", "serial s", "parallel s", "speedup"
+    ));
+    for l in &report.loops {
+        let verdict = if l.parallel { "PARALLEL" } else { "serial" };
+        let (mode, inspected) = match outcome.parallel.loops.get(&l.loop_id) {
+            Some(s) => (
+                match s.mode {
+                    ExecMode::Serial => "serial".to_string(),
+                    ExecMode::Parallel { threads, dynamic } => format!(
+                        "{} x{threads} threads",
+                        if dynamic { "dynamic" } else { "static" }
+                    ),
+                },
+                s.inspector_conflict_free,
+            ),
+            // Inner loops of dispatched bodies are accounted to their
+            // dispatched ancestor.
+            None => ("(inside parallel)".to_string(), None),
+        };
+        let serial_s = outcome
+            .serial
+            .loops
+            .get(&l.loop_id)
+            .map(|s| s.seconds)
+            .unwrap_or(0.0);
+        let parallel_s = outcome
+            .parallel
+            .loops
+            .get(&l.loop_id)
+            .map(|s| s.seconds)
+            .unwrap_or(0.0);
+        let speedup = if parallel_s > 0.0 && outcome.parallel.loops.contains_key(&l.loop_id) {
+            format!("{:.2}x", serial_s / parallel_s)
+        } else {
+            "-".to_string()
+        };
+        out.push_str(&format!(
+            "L{:<5} {:<7} {:<10} {:<18} {:>12.6} {:>12.6} {:>9}\n",
+            l.loop_id.0, l.index_var, verdict, mode, serial_s, parallel_s, speedup
+        ));
+        if let Some(cf) = inspected {
+            out.push_str(&format!(
+                "       runtime inspector baseline: {}\n",
+                if cf {
+                    "would parallelize (conflict-free at runtime)"
+                } else {
+                    "refuses (cross-iteration conflicts observed)"
+                }
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\ntotal: serial {:.6}s, parallel {:.6}s, speedup {:.2}x\n",
+        outcome.serial.total_seconds,
+        outcome.parallel.total_seconds,
+        outcome.speedup()
+    ));
+    if options.validate {
+        if outcome.heaps_match {
+            out.push_str("validation: PASS (serial and parallel heaps are bit-identical)\n");
+        } else {
+            return Err(CliError::Validation(format!(
+                "{name}: serial and parallel heaps diverge:\n  {}",
+                outcome.mismatches.join("\n  ")
+            )));
+        }
+    }
     Ok(out)
 }
 
@@ -386,7 +610,14 @@ mod tests {
             }
         );
         assert_eq!(
-            parse_args(&args(&["analyze", "--kernel", "fig9_csr_product", "--baseline", "--no-source"])).unwrap(),
+            parse_args(&args(&[
+                "analyze",
+                "--kernel",
+                "fig9_csr_product",
+                "--baseline",
+                "--no-source"
+            ]))
+            .unwrap(),
             Command::Analyze {
                 input: Input::Catalogue("fig9_csr_product".into()),
                 baseline: true,
@@ -404,8 +635,14 @@ mod tests {
     #[test]
     fn parse_args_rejects_bad_invocations() {
         assert!(matches!(parse_args(&[]), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&args(&["frobnicate"])), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&args(&["analyze"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&args(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["analyze"])),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             parse_args(&args(&["analyze", "--kernel"])),
             Err(CliError::Usage(_))
@@ -414,7 +651,10 @@ mod tests {
             parse_args(&args(&["analyze", "k.c", "--bogus"])),
             Err(CliError::Usage(_))
         ));
-        assert!(matches!(parse_args(&args(&["--help"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&args(&["--help"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -439,11 +679,7 @@ mod tests {
     #[test]
     fn analyze_by_catalogue_name_works_and_unknown_names_fail() {
         let reader = MapReader(HashMap::new());
-        let out = run(
-            &args(&["analyze", "--kernel", "fig9_csr_product"]),
-            &reader,
-        )
-        .unwrap();
+        let out = run(&args(&["analyze", "--kernel", "fig9_csr_product"]), &reader).unwrap();
         assert!(out.contains("rowptr"));
         assert!(out.contains("PARALLEL"));
         let err = run(&args(&["analyze", "--kernel", "not_a_kernel"]), &reader).unwrap_err();
@@ -469,6 +705,117 @@ mod tests {
         let kernels = run(&args(&["kernels"]), &reader).unwrap();
         assert!(kernels.contains("csparse_ipvec"));
         assert!(kernels.contains("is_bucket_traversal"));
+    }
+
+    #[test]
+    fn parse_args_recognizes_run_with_options() {
+        assert_eq!(
+            parse_args(&args(&[
+                "run",
+                "k.c",
+                "--threads",
+                "4",
+                "--n",
+                "128",
+                "--seed",
+                "9",
+                "--validate",
+                "--baseline",
+                "inspector",
+                "--schedule",
+                "dynamic"
+            ]))
+            .unwrap(),
+            Command::Run {
+                input: Input::File("k.c".into()),
+                options: RunOptions {
+                    threads: Some(4),
+                    scale: 128,
+                    seed: 9,
+                    validate: true,
+                    baseline_inspector: true,
+                    schedule: ScheduleChoice::Dynamic,
+                },
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["run", "--kernel", "fig2_ua_transfer"])).unwrap(),
+            Command::Run {
+                input: Input::Catalogue("fig2_ua_transfer".into()),
+                options: RunOptions::default(),
+            }
+        );
+        for bad in [
+            vec!["run"],
+            vec!["run", "k.c", "--threads"],
+            vec!["run", "k.c", "--threads", "0"],
+            vec!["run", "k.c", "--n", "0"],
+            vec!["run", "k.c", "--baseline", "lrpd"],
+            vec!["run", "k.c", "--schedule", "guided"],
+        ] {
+            assert!(
+                matches!(parse_args(&args(&bad)), Err(CliError::Usage(_))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_executes_and_validates_the_figure2_kernel() {
+        let reader = MapReader(HashMap::new());
+        let out = run(
+            &args(&[
+                "run",
+                "--kernel",
+                "fig2_ua_transfer",
+                "--threads",
+                "2",
+                "--n",
+                "200",
+                "--validate",
+            ]),
+            &reader,
+        )
+        .unwrap();
+        assert!(out.contains("PARALLEL"));
+        assert!(out.contains("threads"));
+        assert!(out.contains("validation: PASS"));
+        assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn run_reports_inspector_baseline_on_serial_loops() {
+        let reader = MapReader(HashMap::from([(
+            "hist.c".to_string(),
+            "for (i = 0; i < n; i++) { h[idx[i]] = i; }".to_string(),
+        )]));
+        let out = run(
+            &args(&[
+                "run",
+                "hist.c",
+                "--baseline",
+                "inspector",
+                "--n",
+                "64",
+                "--validate",
+            ]),
+            &reader,
+        )
+        .unwrap();
+        assert!(out.contains("runtime inspector baseline"));
+        assert!(out.contains("validation: PASS"));
+    }
+
+    #[test]
+    fn run_surfaces_execution_errors() {
+        let reader = MapReader(HashMap::from([(
+            "oob.c".to_string(),
+            "x = a[0 - 5];".to_string(),
+        )]));
+        assert!(matches!(
+            run(&args(&["run", "oob.c"]), &reader),
+            Err(CliError::Exec(_))
+        ));
     }
 
     #[test]

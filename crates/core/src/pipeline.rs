@@ -15,6 +15,8 @@ pub struct LoopReport {
     pub index_var: String,
     /// Nesting depth (0 = outermost).
     pub depth: usize,
+    /// Id of the directly enclosing loop, if any.
+    pub parent: Option<LoopId>,
     /// Whether the loop contains a subscripted-subscript access.
     pub has_subscripted_subscript: bool,
     /// Whether the source carried a manual `omp parallel` pragma (the oracle
@@ -71,6 +73,44 @@ impl ParallelizationReport {
             .collect()
     }
 
+    /// True if the loop is parallel and no enclosing loop is — the loops an
+    /// executor actually dispatches to threads (inner parallel loops run
+    /// serially inside their parallel ancestor, exactly as the `#pragma`
+    /// annotation logic avoids nesting OpenMP regions).
+    pub fn is_outermost_parallel(&self, id: LoopId) -> bool {
+        let Some(report) = self.loop_report(id) else {
+            return false;
+        };
+        if !report.parallel {
+            return false;
+        }
+        let mut parent = report.parent;
+        while let Some(p) = parent {
+            match self.loop_report(p) {
+                Some(anc) => {
+                    if anc.parallel {
+                        return false;
+                    }
+                    parent = anc.parent;
+                }
+                None => break,
+            }
+        }
+        true
+    }
+
+    /// The loops an executor dispatches to threads (see
+    /// [`is_outermost_parallel`](Self::is_outermost_parallel)), in loop-id
+    /// order.  This is the per-loop schedule the `ss-interp` parallel engine
+    /// consumes.
+    pub fn outermost_parallel_loops(&self) -> Vec<LoopId> {
+        self.loops
+            .iter()
+            .filter(|l| self.is_outermost_parallel(l.loop_id))
+            .map(|l| l.loop_id)
+            .collect()
+    }
+
     /// A human-readable multi-line summary.
     pub fn summary(&self) -> String {
         let mut out = String::new();
@@ -117,6 +157,7 @@ pub fn parallelize(program: &Program) -> ParallelizationReport {
             loop_id: info.id,
             index_var: info.var.clone(),
             depth: info.depth,
+            parent: info.parent,
             has_subscripted_subscript: ss_ir::visit::loop_has_subscripted_subscript(
                 program, info.id,
             ),
@@ -128,27 +169,19 @@ pub fn parallelize(program: &Program) -> ParallelizationReport {
         });
     }
     // Annotate outermost parallel loops.
-    let mut opts = PrintOptions::default();
-    for l in &loops {
-        if !l.parallel {
-            continue;
-        }
-        let enclosing = tree.enclosing_chain(l.loop_id);
-        let outermost_parallel = enclosing
-            .iter()
-            .all(|anc| anc.id == l.loop_id || !loops.iter().any(|x| x.loop_id == anc.id && x.parallel));
-        if outermost_parallel {
-            opts.extra_pragmas
-                .insert(l.loop_id.0, vec!["omp parallel for".to_string()]);
-        }
-    }
-    let annotated_source = print_program_with(program, &opts);
-    ParallelizationReport {
+    let mut report = ParallelizationReport {
         name: program.name.clone(),
         loops,
         final_db: analysis.db.clone(),
-        annotated_source,
+        annotated_source: String::new(),
+    };
+    let mut opts = PrintOptions::default();
+    for id in report.outermost_parallel_loops() {
+        opts.extra_pragmas
+            .insert(id.0, vec!["omp parallel for".to_string()]);
     }
+    report.annotated_source = print_program_with(program, &opts);
+    report
 }
 
 #[cfg(test)]
@@ -195,10 +228,14 @@ mod tests {
         assert!(!product.baseline_parallel);
         assert!(product.manually_parallel); // matches the manual oracle
         assert!(report.newly_enabled_loops().contains(&LoopId(3)));
-        assert!(report
-            .annotated_source
-            .contains("#pragma omp parallel for\nfor (i = 0; i < ROWLEN+1; i++)")
-            || report.annotated_source.contains("#pragma omp parallel for\nfor (i = 0; i < ROWLEN + 1; i++)"));
+        assert!(
+            report
+                .annotated_source
+                .contains("#pragma omp parallel for\nfor (i = 0; i < ROWLEN+1; i++)")
+                || report
+                    .annotated_source
+                    .contains("#pragma omp parallel for\nfor (i = 0; i < ROWLEN + 1; i++)")
+        );
         let summary = report.summary();
         assert!(summary.contains("PARALLEL (enabled by index-array properties)"));
         // the database keeps the rowptr fact for inspection
@@ -209,11 +246,8 @@ mod tests {
 
     #[test]
     fn serial_loops_are_reported_with_blockers() {
-        let report = parallelize_source(
-            "hist",
-            "for (i = 0; i < n; i++) { hist[idx[i]] = i; }",
-        )
-        .unwrap();
+        let report =
+            parallelize_source("hist", "for (i = 0; i < n; i++) { hist[idx[i]] = i; }").unwrap();
         let l = report.loop_report(LoopId(0)).unwrap();
         assert!(!l.parallel);
         assert!(!l.blockers.is_empty());
@@ -242,6 +276,12 @@ mod tests {
             .matches("#pragma omp parallel for")
             .count();
         assert_eq!(pragma_count, 1);
+        // The execution schedule says the same thing: dispatch the outer
+        // loop, run the inner one serially inside it.
+        assert_eq!(report.outermost_parallel_loops(), vec![LoopId(0)]);
+        assert!(report.is_outermost_parallel(LoopId(0)));
+        assert!(!report.is_outermost_parallel(LoopId(1)));
+        assert!(!report.is_outermost_parallel(LoopId(99)));
     }
 
     #[test]

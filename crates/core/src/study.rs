@@ -60,7 +60,11 @@ impl StudyTable {
                 r.suite,
                 r.pattern,
                 if r.detected { "parallel" } else { "serial" },
-                if r.baseline_detected { "parallel" } else { "serial" },
+                if r.baseline_detected {
+                    "parallel"
+                } else {
+                    "serial"
+                },
             ));
         }
         out.push_str(&format!(

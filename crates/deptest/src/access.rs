@@ -495,15 +495,13 @@ fn scalars_assigned_in(stmts: &[Stmt]) -> Vec<String> {
     fn rec(stmts: &[Stmt], out: &mut Vec<String>) {
         for s in stmts {
             match s {
-                Stmt::Assign { target, .. } if target.is_scalar() => {
-                    if !out.contains(&target.name) {
-                        out.push(target.name.clone());
-                    }
+                Stmt::Assign { target, .. }
+                    if target.is_scalar() && !out.contains(&target.name) =>
+                {
+                    out.push(target.name.clone());
                 }
-                Stmt::Decl { name, dims, .. } if dims.is_empty() => {
-                    if !out.contains(name) {
-                        out.push(name.clone());
-                    }
+                Stmt::Decl { name, dims, .. } if dims.is_empty() && !out.contains(name) => {
+                    out.push(name.clone());
                 }
                 Stmt::For { var, body, .. } => {
                     if !out.contains(var) {
@@ -561,7 +559,9 @@ mod tests {
         let p = parse_program("t", src).unwrap();
         let tree = LoopTree::build(&p);
         let info = tree.get(LoopId(0)).unwrap();
-        let ss_ir::Stmt::For { body, .. } = &p.body[0] else { panic!() };
+        let ss_ir::Stmt::For { body, .. } = &p.body[0] else {
+            panic!()
+        };
         collect_iteration_accesses(info, body, &tree)
     }
 
@@ -683,24 +683,34 @@ mod tests {
             .iter()
             .find(|w| w.guards[0].op == BinOp::Eq)
             .expect("i == 0 configuration");
-        let AccessRegion::Range(r0) = &first_iter.region else { panic!() };
+        let AccessRegion::Range(r0) = &first_iter.region else {
+            panic!()
+        };
         assert_eq!(r0.lo, Expr::Int(0));
         assert_eq!(
             r0.hi,
-            simplify(&Expr::sub(Expr::array_ref("rowptr", Expr::int(0)), Expr::int(1)))
+            simplify(&Expr::sub(
+                Expr::array_ref("rowptr", Expr::int(0)),
+                Expr::int(1)
+            ))
         );
         let rest = writes
             .iter()
             .find(|w| w.guards[0].op == BinOp::Ne)
             .expect("i != 0 configuration");
-        let AccessRegion::Range(r1) = &rest.region else { panic!() };
+        let AccessRegion::Range(r1) = &rest.region else {
+            panic!()
+        };
         assert_eq!(
             r1.lo,
             Expr::array_ref("rowptr", Expr::add(Expr::Int(-1), Expr::sym("i")))
         );
         assert_eq!(
             r1.hi,
-            simplify(&Expr::sub(Expr::array_ref("rowptr", Expr::sym("i")), Expr::int(1)))
+            simplify(&Expr::sub(
+                Expr::array_ref("rowptr", Expr::sym("i")),
+                Expr::int(1)
+            ))
         );
     }
 

@@ -30,7 +30,7 @@ pub fn property_lower_bound(e: &Expr, db: &PropertyDatabase, asm: &Assumptions) 
     let Expr::Add(terms) = s.clone() else {
         return single_term_bound(&s, db, asm);
     };
-    let mut parsed: Vec<(i64, Option<(String, Expr)>, Expr)> = Vec::new();
+    let mut parsed: Vec<ParsedTerm> = Vec::new();
     for t in &terms {
         parsed.push(parse_term(t));
     }
@@ -84,12 +84,16 @@ pub fn property_lower_bound(e: &Expr, db: &PropertyDatabase, asm: &Assumptions) 
 
 /// Proves `e >= 1` using properties (convenience wrapper).
 pub fn property_proves_positive(e: &Expr, db: &PropertyDatabase, asm: &Assumptions) -> bool {
-    property_lower_bound(e, db, asm).map(|b| b >= 1).unwrap_or(false)
+    property_lower_bound(e, db, asm)
+        .map(|b| b >= 1)
+        .unwrap_or(false)
 }
 
 /// Proves `e >= 0` using properties (convenience wrapper).
 pub fn property_proves_nonneg(e: &Expr, db: &PropertyDatabase, asm: &Assumptions) -> bool {
-    property_lower_bound(e, db, asm).map(|b| b >= 0).unwrap_or(false)
+    property_lower_bound(e, db, asm)
+        .map(|b| b >= 0)
+        .unwrap_or(false)
 }
 
 /// Lower bound of a single (non-sum) term: uses the database's element-value
@@ -113,7 +117,11 @@ fn single_term_bound(t: &Expr, db: &PropertyDatabase, asm: &Assumptions) -> Opti
 /// Splits a term into `(integer coefficient, array reference, original)`.
 /// Terms that are not of the form `k * a[x]` (or `a[x]`) report `None` for
 /// the array part.
-fn parse_term(t: &Expr) -> (i64, Option<(String, Expr)>, Expr) {
+/// One additive term, decomposed: `(sign/coefficient, array reference if
+/// the term is `k * a[x]`, the residual expression)`.
+type ParsedTerm = (i64, Option<(String, Expr)>, Expr);
+
+fn parse_term(t: &Expr) -> ParsedTerm {
     match t {
         Expr::ArrayRef(a, idx) => (1, Some((a.clone(), (**idx).clone())), t.clone()),
         Expr::Mul(factors) => {
@@ -218,7 +226,11 @@ mod tests {
         assert!(property_proves_nonneg(&e, &db, &asm_i()));
         assert!(!property_proves_positive(&e, &db, &asm_i()));
         // without the property, nothing is provable
-        assert!(!property_proves_nonneg(&e, &PropertyDatabase::new(), &asm_i()));
+        assert!(!property_proves_nonneg(
+            &e,
+            &PropertyDatabase::new(),
+            &asm_i()
+        ));
         // and the difference in the wrong direction is not provable either
         let wrong = Expr::sub(
             Expr::array_ref("rowstr", Expr::sym("i")),
@@ -233,7 +245,10 @@ mod tests {
         let db = db_with("front", ArrayProperty::StrictMonotonicInc);
         let e = simplify(&Expr::add(
             Expr::sub(
-                Expr::mul(Expr::int(7), Expr::array_ref("front", Expr::add(Expr::sym("i"), Expr::int(1)))),
+                Expr::mul(
+                    Expr::int(7),
+                    Expr::array_ref("front", Expr::add(Expr::sym("i"), Expr::int(1))),
+                ),
                 Expr::mul(Expr::int(7), Expr::array_ref("front", Expr::sym("i"))),
             ),
             Expr::int(-6),
@@ -283,7 +298,15 @@ mod tests {
             property_lower_bound(&Expr::int(4), &db, &Assumptions::new()),
             Some(4)
         );
-        assert!(property_proves_positive(&Expr::int(1), &db, &Assumptions::new()));
-        assert!(!property_proves_positive(&Expr::Bottom, &db, &Assumptions::new()));
+        assert!(property_proves_positive(
+            &Expr::int(1),
+            &db,
+            &Assumptions::new()
+        ));
+        assert!(!property_proves_positive(
+            &Expr::Bottom,
+            &db,
+            &Assumptions::new()
+        ));
     }
 }

@@ -113,9 +113,9 @@ pub fn test_loop(
     // Scalar dependences: every scalar assigned in the body must be
     // privatizable (written before read in each iteration).
     for name in non_private_scalars(body, &info.var) {
-        verdict
-            .blockers
-            .push(format!("scalar '{name}' is read before written (carried scalar dependence)"));
+        verdict.blockers.push(format!(
+            "scalar '{name}' is read before written (carried scalar dependence)"
+        ));
     }
 
     // Array dependences.
@@ -177,11 +177,7 @@ fn check_array(
 
 /// Shifts an expression from iteration `i` to iteration `i+1`.
 fn next_iter(e: &Expr, var: &str) -> Expr {
-    simplify(&subst_sym(
-        e,
-        var,
-        &Expr::add(Expr::sym(var), Expr::Int(1)),
-    ))
+    simplify(&subst_sym(e, var, &Expr::add(Expr::sym(var), Expr::Int(1))))
 }
 
 fn next_iter_range(r: &SymRange, var: &str) -> SymRange {
@@ -207,16 +203,25 @@ fn guards_feasible(guards: &[SymCondition], var: &str, shift: i64, asm: &Assumpt
         let lhs = if shift == 0 {
             g.lhs.clone()
         } else {
-            simplify(&subst_sym(&g.lhs, var, &Expr::add(Expr::sym(var), Expr::Int(shift))))
+            simplify(&subst_sym(
+                &g.lhs,
+                var,
+                &Expr::add(Expr::sym(var), Expr::Int(shift)),
+            ))
         };
         let rhs = if shift == 0 {
             g.rhs.clone()
         } else {
-            simplify(&subst_sym(&g.rhs, var, &Expr::add(Expr::sym(var), Expr::Int(shift))))
+            simplify(&subst_sym(
+                &g.rhs,
+                var,
+                &Expr::add(Expr::sym(var), Expr::Int(shift)),
+            ))
         };
         let impossible = match g.op {
             BinOp::Eq => {
-                asm.prove_lt(&lhs, &rhs) == Proof::Proven || asm.prove_lt(&rhs, &lhs) == Proof::Proven
+                asm.prove_lt(&lhs, &rhs) == Proof::Proven
+                    || asm.prove_lt(&rhs, &lhs) == Proof::Proven
             }
             BinOp::Ne => asm.prove_eq(&lhs, &rhs) == Proof::Proven,
             BinOp::Lt => asm.prove_le(&rhs, &lhs) == Proof::Proven,
@@ -255,16 +260,24 @@ fn pair_independent(
     // Indirect regions (Figure 6): the image of disjoint argument ranges
     // under an injective index array.
     if let (
-        AccessRegion::Indirect { array: pa, range: ra },
-        AccessRegion::Indirect { array: pb, range: rb },
+        AccessRegion::Indirect {
+            array: pa,
+            range: ra,
+        },
+        AccessRegion::Indirect {
+            array: pb,
+            range: rb,
+        },
     ) = (&early.region, &late.region)
     {
         if pa == pb && db.has_property(pa, ArrayProperty::Injective) {
-            return check_advancing_ranges(ra, rb, var, db, asm).map(|why| {
-                format!(
+            return check_advancing_ranges(ra, rb, var, db, asm)
+                .map(|why| {
+                    format!(
                     "writes to '{array}' go through injective index array '{pa}' applied to {why}"
                 )
-            }).map_err(|e| format!("indirect writes to '{array}': {e}"));
+                })
+                .map_err(|e| format!("indirect writes to '{array}': {e}"));
         }
         return Err(format!(
             "writes to '{array}' use index array '{pa}' whose injectivity is unknown"
@@ -533,10 +546,7 @@ fn non_private_scalars(body: &[Stmt], loop_var: &str) -> Vec<String> {
                     let mut else_written = written.clone();
                     walk(then_branch, assigned, &mut then_written, read_first);
                     walk(else_branch, assigned, &mut else_written, read_first);
-                    *written = then_written
-                        .intersection(&else_written)
-                        .cloned()
-                        .collect();
+                    *written = then_written.intersection(&else_written).cloned().collect();
                 }
                 Stmt::For {
                     var,
@@ -673,11 +683,7 @@ mod tests {
         // The guarded-subset fact requires the subset fill to be recognized;
         // the write through jmatch[i] under the guard jmatch[i] >= 0 is then
         // provably conflict-free.
-        assert!(
-            extended.parallel,
-            "blockers: {:?}",
-            extended.blockers
-        );
+        assert!(extended.parallel, "blockers: {:?}", extended.blockers);
     }
 
     #[test]
@@ -705,7 +711,10 @@ mod tests {
         "#;
         let (extended, baseline) = verdicts(src, 4);
         assert!(extended.parallel, "blockers: {:?}", extended.blockers);
-        assert!(extended.reasons.iter().any(|r| r.contains("injective index array 'p'")));
+        assert!(extended
+            .reasons
+            .iter()
+            .any(|r| r.contains("injective index array 'p'")));
         assert!(!baseline.parallel);
     }
 

@@ -123,7 +123,10 @@ where
         // are non-overlapping, so rows can be assigned to threads freely.
         // Each thread works on its own rows through an atomic view of the
         // data (the ranges are disjoint, so relaxed stores suffice).
-        let cells: Vec<AtomicI64> = data.iter().map(|&v| AtomicI64::new(v.to_bits() as i64)).collect();
+        let cells: Vec<AtomicI64> = data
+            .iter()
+            .map(|&v| AtomicI64::new(v.to_bits() as i64))
+            .collect();
         let out = time_it(|| {
             parallel_for(threads, nrows, |rows| {
                 for i in rows {
@@ -169,6 +172,7 @@ where
 /// checks that the guarded write-index set is conflict-free (injective);
 /// in compile-time mode that fact is assumed proven and the loop scatters in
 /// parallel immediately.
+#[allow(clippy::needless_range_loop)] // the serial fallback mirrors the C loop
 pub fn run_indirect_scatter<V, G>(
     target: &mut [i64],
     index: &[i64],
@@ -187,7 +191,10 @@ where
         Mode::Serial => (false, 0.0),
         Mode::InspectorExecutor => {
             let report = inspect_write_conflicts(index, &guard);
-            (report.properties.has(ArrayProperty::Injective), report.seconds)
+            (
+                report.properties.has(ArrayProperty::Injective),
+                report.seconds,
+            )
         }
     };
 
@@ -295,7 +302,13 @@ mod tests {
         );
         assert_eq!(profile.strategy, ExecutionStrategy::Serial);
         let mut reference = vec![0.0; 20];
-        run_range_partitioned(&mut reference, &bounds, |i, j| (i + j) as f64, 1, Mode::Serial);
+        run_range_partitioned(
+            &mut reference,
+            &bounds,
+            |i, j| (i + j) as f64,
+            1,
+            Mode::Serial,
+        );
         assert_eq!(data, reference);
     }
 

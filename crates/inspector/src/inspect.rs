@@ -174,10 +174,7 @@ pub fn inspect_monotonic_difference(rowstr: &[i64], nzloc: &[i64]) -> Inspection
 /// loop `target[index[i]] = f(i)` is output-dependence-free exactly when no
 /// subscript value occurs twice.  `guard(i)` selects which iterations write
 /// (Figure 5's `if (jmatch[i] >= 0)`); unguarded loops pass `|_| true`.
-pub fn inspect_write_conflicts(
-    index: &[i64],
-    guard: impl Fn(usize) -> bool,
-) -> InspectionReport {
+pub fn inspect_write_conflicts(index: &[i64], guard: impl Fn(usize) -> bool) -> InspectionReport {
     let (ok, seconds) = time_it(|| {
         let mut seen = HashSet::with_capacity(index.len());
         (0..index.len())
@@ -394,7 +391,12 @@ mod tests {
         for a in &inputs {
             let s = inspect_index_array(a, &InspectorConfig::serial());
             let p = inspect_index_array(a, &InspectorConfig::parallel(4));
-            assert_eq!(s.properties, p.properties, "input disagrees: {:?}…", &a[..4]);
+            assert_eq!(
+                s.properties,
+                p.properties,
+                "input disagrees: {:?}…",
+                &a[..4]
+            );
         }
     }
 

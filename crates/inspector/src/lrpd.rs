@@ -59,6 +59,7 @@ impl LrpdOutcome {
 /// `index[i]` values must be in `0..target.len()` for guarded iterations;
 /// out-of-range subscripts are a bug in the caller's kernel, not a
 /// dependence, and cause a panic just as the serial loop would.
+#[allow(clippy::needless_range_loop)] // the serial re-execution mirrors the C loop
 pub fn lrpd_scatter<V, G>(
     target: &mut [i64],
     index: &[i64],
@@ -245,8 +246,17 @@ mod tests {
             let mut target: Vec<i64> = (0..m).map(|_| rng.gen_range(-50..50)).collect();
             let expect = serial_reference(&target, &index, |i| i as i64 * 3, |i| i % 3 != 0);
             let threads = rng.gen_range(1..6);
-            lrpd_scatter(&mut target, &index, |i| i as i64 * 3, |i| i % 3 != 0, threads);
-            assert_eq!(target, expect, "trial {trial} diverged from serial semantics");
+            lrpd_scatter(
+                &mut target,
+                &index,
+                |i| i as i64 * 3,
+                |i| i % 3 != 0,
+                threads,
+            );
+            assert_eq!(
+                target, expect,
+                "trial {trial} diverged from serial semantics"
+            );
         }
     }
 }

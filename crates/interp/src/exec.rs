@@ -1,0 +1,1357 @@
+//! The tree-walking execution core: one statement walker, pluggable stores,
+//! and the serial / parallel engines built on it.
+//!
+//! Design: evaluation and statement execution are written once, generic over
+//! a [`Store`] (where scalar and array accesses land) and a [`LoopPolicy`]
+//! (what happens when a `for` loop is reached).  The combinations in use:
+//!
+//! | engine              | store                    | policy              |
+//! |---------------------|--------------------------|---------------------|
+//! | serial reference    | whole heap               | never dispatch      |
+//! | parallel spine      | whole heap (+ inspector) | dispatch proven loops |
+//! | parallel worker     | shared arrays + private scalars | never dispatch |
+//! | input discovery     | growable recording heap  | never dispatch      |
+//!
+//! The parallel engine dispatches exactly the loops the compile-time
+//! analysis proved parallel ([`ParallelizationReport::outermost_parallel_loops`]):
+//! iterations are spread over `ss_runtime` threads, array writes go straight
+//! into the shared heap (disjointness is what the analysis proved — the same
+//! justification as the hand-written kernels in `ss-npb`), scalars are
+//! privatized per worker and merged back by last-writing iteration, which
+//! reproduces serial semantics exactly for loops whose scalars are
+//! write-before-read (a precondition of the parallel verdict).
+
+use crate::heap::{ArrayVal, Heap};
+use ss_ir::ast::{AExpr, AssignOp, BinOp, LoopId, Stmt, UnOp};
+use ss_ir::Program;
+use ss_parallelizer::ParallelizationReport;
+use ss_runtime::{parallel_for_schedule, Schedule};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A runtime failure of the interpreted program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// An array was accessed that the heap does not contain.
+    UndefinedArray(String),
+    /// An array was accessed with the wrong number of subscripts.
+    ArityMismatch {
+        /// The array.
+        array: String,
+        /// Its rank.
+        expected: usize,
+        /// Subscripts supplied.
+        got: usize,
+    },
+    /// A subscript fell outside the array's extents (or was negative).
+    OutOfBounds {
+        /// The array.
+        array: String,
+        /// The offending subscript vector.
+        indices: Vec<i64>,
+        /// The array's extents.
+        dims: Vec<usize>,
+    },
+    /// Division or remainder by zero (or `i64::MIN / -1`).
+    DivisionByZero,
+    /// A loop exceeded the iteration cap (runaway `while`, zero step, …).
+    NonTerminating {
+        /// The loop.
+        loop_id: LoopId,
+        /// The cap it exceeded.
+        cap: u64,
+    },
+    /// An array was declared inside a parallel worker (loop-local arrays are
+    /// not supported in dispatched bodies; such loops fall back to serial).
+    ArrayDeclInWorker(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UndefinedArray(a) => write!(f, "undefined array '{a}'"),
+            ExecError::ArityMismatch {
+                array,
+                expected,
+                got,
+            } => write!(
+                f,
+                "array '{array}' has rank {expected} but was subscripted with {got} index(es)"
+            ),
+            ExecError::OutOfBounds {
+                array,
+                indices,
+                dims,
+            } => write!(
+                f,
+                "subscript {indices:?} out of bounds for '{array}' with extents {dims:?}"
+            ),
+            ExecError::DivisionByZero => write!(f, "division by zero"),
+            ExecError::NonTerminating { loop_id, cap } => {
+                write!(f, "loop {loop_id} exceeded {cap} iterations")
+            }
+            ExecError::ArrayDeclInWorker(a) => {
+                write!(f, "array '{a}' declared inside a parallel loop body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Where scalar and array accesses land during execution.
+pub(crate) trait Store {
+    /// Reads a scalar; undefined scalars read as 0 (C-style zero init, and
+    /// it keeps discovery, serial and worker behavior identical).
+    fn scalar(&mut self, name: &str) -> i64;
+    /// Writes a scalar, creating it if needed.
+    fn set_scalar(&mut self, name: &str, v: i64);
+    /// Reads one array element.
+    fn read_elem(&mut self, array: &str, indices: &[i64]) -> Result<i64, ExecError>;
+    /// Writes one array element.
+    fn write_elem(&mut self, array: &str, indices: &[i64], v: i64) -> Result<(), ExecError>;
+    /// Declares an array with the given extents (zero-filled).
+    fn declare_array(&mut self, name: &str, dims: Vec<usize>) -> Result<(), ExecError>;
+    /// Called when a serially executed `for` loop is entered.
+    fn loop_enter(&mut self, _id: LoopId) {}
+    /// Called before each iteration of a serially executed `for` loop.
+    fn loop_iter(&mut self, _id: LoopId, _iter: usize) {}
+    /// Called when the loop exits; an inspecting store returns whether the
+    /// observed accesses were free of cross-iteration conflicts.
+    fn loop_exit(&mut self, _id: LoopId) -> Option<bool> {
+        None
+    }
+}
+
+/// How a loop was executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Ran on one thread.
+    #[default]
+    Serial,
+    /// Dispatched onto worker threads.
+    Parallel {
+        /// Worker count.
+        threads: usize,
+        /// True under chunk-stealing (dynamic) scheduling.
+        dynamic: bool,
+    },
+}
+
+/// Accumulated execution facts for one loop.
+#[derive(Debug, Clone, Default)]
+pub struct LoopStats {
+    /// Times the loop was entered.
+    pub invocations: u64,
+    /// Total iterations across invocations.
+    pub iterations: u64,
+    /// Wall-clock seconds inside the loop (nested loop time included).
+    pub seconds: f64,
+    /// How the loop ran (last invocation).
+    pub mode: ExecMode,
+    /// For serial loops run under the inspector baseline: whether a runtime
+    /// inspector would have licensed parallel execution (AND over
+    /// invocations); `None` when not inspected.
+    pub inspector_conflict_free: Option<bool>,
+}
+
+/// Execution statistics for one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Per-loop statistics (only loops executed at the spine level; loops
+    /// inside dispatched bodies are accounted to their dispatched ancestor).
+    pub loops: BTreeMap<LoopId, LoopStats>,
+    /// Wall-clock seconds for the whole program.
+    pub total_seconds: f64,
+}
+
+impl ExecStats {
+    /// Loops that were dispatched to threads in this run.
+    pub fn parallel_loops(&self) -> Vec<LoopId> {
+        self.loops
+            .iter()
+            .filter(|(_, s)| matches!(s.mode, ExecMode::Parallel { .. }))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    fn record(&mut self, id: LoopId, iterations: u64, seconds: f64, mode: ExecMode) {
+        let s = self.loops.entry(id).or_default();
+        s.invocations += 1;
+        s.iterations += iterations;
+        s.seconds += seconds;
+        s.mode = mode;
+    }
+
+    fn record_inspection(&mut self, id: LoopId, conflict_free: bool) {
+        let s = self.loops.entry(id).or_default();
+        s.inspector_conflict_free =
+            Some(s.inspector_conflict_free.unwrap_or(true) && conflict_free);
+    }
+}
+
+/// Result of an engine run: the final heap plus statistics.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Program state after execution.
+    pub heap: Heap,
+    /// Per-loop and total timing/mode facts.
+    pub stats: ExecStats,
+}
+
+/// Which schedule the parallel engine uses for dispatched loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleChoice {
+    /// Static for uniform iteration spaces, dynamic for skewed ones (loops
+    /// whose nested bounds go through an index array, the CSR row shape).
+    #[default]
+    Auto,
+    /// Always static chunking.
+    Static,
+    /// Always dynamic (chunk-stealing).
+    Dynamic,
+}
+
+/// Knobs of the parallel engine.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker threads for dispatched loops.
+    pub threads: usize,
+    /// Scheduling of dispatched loops.
+    pub schedule: ScheduleChoice,
+    /// Run the runtime-inspector baseline on loops the compile-time analysis
+    /// left serial, recording whether an inspector/executor scheme would
+    /// have parallelized them (see [`LoopStats::inspector_conflict_free`]).
+    pub baseline_inspector: bool,
+    /// Loops with fewer iterations than this run serially (dispatch would
+    /// cost more than it buys).
+    pub min_parallel_trip: usize,
+    /// Iteration cap per loop invocation, against runaway `while` loops.
+    pub while_cap: u64,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            threads: ss_runtime::hardware_threads(),
+            schedule: ScheduleChoice::Auto,
+            baseline_inspector: false,
+            min_parallel_trip: 2,
+            while_cap: 100_000_000,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation (C semantics: wrapping arithmetic, 0/1 booleans,
+// short-circuit && and ||, truncating division).
+// ---------------------------------------------------------------------------
+
+pub(crate) fn eval<S: Store>(st: &mut S, e: &AExpr) -> Result<i64, ExecError> {
+    match e {
+        AExpr::IntLit(v) => Ok(*v),
+        AExpr::Var(name) => Ok(st.scalar(name)),
+        AExpr::Index(array, idx_exprs) => {
+            let mut idxs = Vec::with_capacity(idx_exprs.len());
+            for ie in idx_exprs {
+                idxs.push(eval(st, ie)?);
+            }
+            st.read_elem(array, &idxs)
+        }
+        AExpr::Binary(op, a, b) => {
+            // Short-circuit operators first.
+            match op {
+                BinOp::And => {
+                    return Ok(if eval(st, a)? != 0 && eval(st, b)? != 0 {
+                        1
+                    } else {
+                        0
+                    })
+                }
+                BinOp::Or => {
+                    return Ok(if eval(st, a)? != 0 || eval(st, b)? != 0 {
+                        1
+                    } else {
+                        0
+                    })
+                }
+                _ => {}
+            }
+            let x = eval(st, a)?;
+            let y = eval(st, b)?;
+            Ok(match op {
+                BinOp::Add => x.wrapping_add(y),
+                BinOp::Sub => x.wrapping_sub(y),
+                BinOp::Mul => x.wrapping_mul(y),
+                BinOp::Div => x.checked_div(y).ok_or(ExecError::DivisionByZero)?,
+                BinOp::Mod => x.checked_rem(y).ok_or(ExecError::DivisionByZero)?,
+                BinOp::Lt => (x < y) as i64,
+                BinOp::Le => (x <= y) as i64,
+                BinOp::Gt => (x > y) as i64,
+                BinOp::Ge => (x >= y) as i64,
+                BinOp::Eq => (x == y) as i64,
+                BinOp::Ne => (x != y) as i64,
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            })
+        }
+        AExpr::Unary(op, a) => {
+            let x = eval(st, a)?;
+            Ok(match op {
+                UnOp::Neg => x.wrapping_neg(),
+                UnOp::Not => (x == 0) as i64,
+            })
+        }
+    }
+}
+
+fn compare(op: BinOp, a: i64, b: i64) -> bool {
+    match op {
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        // The parser only produces comparison exit tests; treat anything
+        // else as an immediately false condition rather than panicking.
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The statement walker.
+// ---------------------------------------------------------------------------
+
+/// Borrowed view of a `Stmt::For`'s parts, handed to loop policies.
+pub(crate) struct ForLoop<'p> {
+    pub id: LoopId,
+    pub var: &'p str,
+    pub init: &'p AExpr,
+    pub cond_op: BinOp,
+    pub bound: &'p AExpr,
+    pub step: &'p AExpr,
+    pub body: &'p [Stmt],
+}
+
+/// Decides what happens when the walker reaches a `for` loop.
+pub(crate) trait LoopPolicy<S: Store> {
+    /// Returns `Ok(true)` if the loop was fully executed by the policy
+    /// (e.g. dispatched in parallel); `Ok(false)` to run it serially.
+    fn try_dispatch(
+        &mut self,
+        st: &mut S,
+        f: &ForLoop<'_>,
+        env: &mut ExecEnv<'_>,
+    ) -> Result<bool, ExecError>;
+}
+
+/// Policy that never dispatches (serial engine, workers, discovery).
+pub(crate) struct NoDispatch;
+
+impl<S: Store> LoopPolicy<S> for NoDispatch {
+    fn try_dispatch(
+        &mut self,
+        _st: &mut S,
+        _f: &ForLoop<'_>,
+        _env: &mut ExecEnv<'_>,
+    ) -> Result<bool, ExecError> {
+        Ok(false)
+    }
+}
+
+/// Walker state shared down the recursion.
+pub(crate) struct ExecEnv<'a> {
+    pub stats: &'a mut ExecStats,
+    /// Record per-loop wall times (off inside workers: the dispatching spine
+    /// times the whole loop instead).
+    pub timing: bool,
+    pub while_cap: u64,
+}
+
+pub(crate) fn exec_stmts<S: Store, P: LoopPolicy<S>>(
+    st: &mut S,
+    stmts: &[Stmt],
+    pol: &mut P,
+    env: &mut ExecEnv<'_>,
+) -> Result<(), ExecError> {
+    for s in stmts {
+        exec_stmt(st, s, pol, env)?;
+    }
+    Ok(())
+}
+
+fn exec_stmt<S: Store, P: LoopPolicy<S>>(
+    st: &mut S,
+    s: &Stmt,
+    pol: &mut P,
+    env: &mut ExecEnv<'_>,
+) -> Result<(), ExecError> {
+    match s {
+        Stmt::Decl { name, dims, init } => {
+            if dims.is_empty() {
+                let v = match init {
+                    Some(e) => eval(st, e)?,
+                    None => 0,
+                };
+                st.set_scalar(name, v);
+            } else {
+                let mut extents = Vec::with_capacity(dims.len());
+                for d in dims {
+                    let v = eval(st, d)?;
+                    extents.push(v.max(0) as usize);
+                }
+                st.declare_array(name, extents)?;
+            }
+            Ok(())
+        }
+        Stmt::Assign { target, op, value } => {
+            let rhs = eval(st, value)?;
+            if target.is_scalar() {
+                let v = match op {
+                    AssignOp::Assign => rhs,
+                    AssignOp::AddAssign => st.scalar(&target.name).wrapping_add(rhs),
+                    AssignOp::SubAssign => st.scalar(&target.name).wrapping_sub(rhs),
+                    AssignOp::MulAssign => st.scalar(&target.name).wrapping_mul(rhs),
+                };
+                st.set_scalar(&target.name, v);
+            } else {
+                let mut idxs = Vec::with_capacity(target.indices.len());
+                for ie in &target.indices {
+                    idxs.push(eval(st, ie)?);
+                }
+                let v = match op {
+                    AssignOp::Assign => rhs,
+                    AssignOp::AddAssign => st.read_elem(&target.name, &idxs)?.wrapping_add(rhs),
+                    AssignOp::SubAssign => st.read_elem(&target.name, &idxs)?.wrapping_sub(rhs),
+                    AssignOp::MulAssign => st.read_elem(&target.name, &idxs)?.wrapping_mul(rhs),
+                };
+                st.write_elem(&target.name, &idxs, v)?;
+            }
+            Ok(())
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            if eval(st, cond)? != 0 {
+                exec_stmts(st, then_branch, pol, env)
+            } else {
+                exec_stmts(st, else_branch, pol, env)
+            }
+        }
+        Stmt::For {
+            id,
+            var,
+            init,
+            cond_op,
+            bound,
+            step,
+            body,
+            ..
+        } => {
+            let f = ForLoop {
+                id: *id,
+                var,
+                init,
+                cond_op: *cond_op,
+                bound,
+                step,
+                body,
+            };
+            if pol.try_dispatch(st, &f, env)? {
+                return Ok(());
+            }
+            let start = env.timing.then(Instant::now);
+            st.loop_enter(*id);
+            let v0 = eval(st, init)?;
+            st.set_scalar(var, v0);
+            let mut iter: u64 = 0;
+            loop {
+                let v = st.scalar(var);
+                let b = eval(st, bound)?;
+                if !compare(*cond_op, v, b) {
+                    break;
+                }
+                if iter >= env.while_cap {
+                    return Err(ExecError::NonTerminating {
+                        loop_id: *id,
+                        cap: env.while_cap,
+                    });
+                }
+                st.loop_iter(*id, iter as usize);
+                exec_stmts(st, body, pol, env)?;
+                let sv = eval(st, step)?;
+                let cur = st.scalar(var);
+                st.set_scalar(var, cur.wrapping_add(sv));
+                iter += 1;
+            }
+            let verdict = st.loop_exit(*id);
+            let seconds = start.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
+            if env.timing {
+                env.stats.record(*id, iter, seconds, ExecMode::Serial);
+            }
+            if let Some(conflict_free) = verdict {
+                env.stats.record_inspection(*id, conflict_free);
+            }
+            Ok(())
+        }
+        Stmt::While { id, cond, body } => {
+            let start = env.timing.then(Instant::now);
+            let mut iter: u64 = 0;
+            while eval(st, cond)? != 0 {
+                if iter >= env.while_cap {
+                    return Err(ExecError::NonTerminating {
+                        loop_id: *id,
+                        cap: env.while_cap,
+                    });
+                }
+                exec_stmts(st, body, pol, env)?;
+                iter += 1;
+            }
+            if let Some(t) = start {
+                env.stats
+                    .record(*id, iter, t.elapsed().as_secs_f64(), ExecMode::Serial);
+            }
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stores.
+// ---------------------------------------------------------------------------
+
+/// Store over the whole heap, optionally recording accesses for the
+/// inspector baseline.
+pub(crate) struct HeapStore<'h> {
+    pub heap: &'h mut Heap,
+    inspector: Option<InspectorRec>,
+}
+
+impl<'h> HeapStore<'h> {
+    pub fn new(heap: &'h mut Heap, inspect: bool) -> HeapStore<'h> {
+        HeapStore {
+            heap,
+            inspector: inspect.then(InspectorRec::default),
+        }
+    }
+
+    fn note(&mut self, array: &str, indices: &[i64], write: bool) {
+        if let Some(rec) = &mut self.inspector {
+            rec.note(array, indices, write);
+        }
+    }
+
+    /// Marks every active inspector frame blind: a loop is about to run on
+    /// worker threads whose array accesses the recording cannot see.
+    fn mark_frames_blind(&mut self) {
+        if let Some(rec) = &mut self.inspector {
+            for frame in &mut rec.frames {
+                frame.blind = true;
+            }
+        }
+    }
+}
+
+/// Cross-iteration conflict recording: what a runtime inspector would see.
+/// One frame per (nested) serially-executed loop; a frame flags a conflict
+/// when an element is touched from two different iterations and at least one
+/// touch is a write.
+#[derive(Default)]
+struct InspectorRec {
+    frames: Vec<InspectorFrame>,
+}
+
+struct InspectorFrame {
+    id: LoopId,
+    iter: usize,
+    seen: HashMap<(String, Vec<i64>), (usize, bool)>,
+    conflict: bool,
+    overflow: bool,
+    /// A parallel loop was dispatched while this frame was active: worker
+    /// array accesses bypass the recording, so no verdict can be given.
+    blind: bool,
+}
+
+/// Above this many distinct elements per loop invocation the recording stops
+/// and the verdict becomes "not licensed" (an unbounded inspector would be
+/// unrealistic anyway).
+const INSPECTOR_ELEMENT_CAP: usize = 1 << 21;
+
+impl InspectorRec {
+    fn note(&mut self, array: &str, indices: &[i64], write: bool) {
+        for frame in &mut self.frames {
+            if frame.conflict || frame.overflow || frame.blind {
+                continue;
+            }
+            if frame.seen.len() >= INSPECTOR_ELEMENT_CAP {
+                frame.overflow = true;
+                continue;
+            }
+            let key = (array.to_string(), indices.to_vec());
+            match frame.seen.get_mut(&key) {
+                Some((first_iter, wrote)) => {
+                    if *first_iter != frame.iter && (write || *wrote) {
+                        frame.conflict = true;
+                    }
+                    *wrote = *wrote || write;
+                }
+                None => {
+                    frame.seen.insert(key, (frame.iter, write));
+                }
+            }
+        }
+    }
+}
+
+impl Store for HeapStore<'_> {
+    fn scalar(&mut self, name: &str) -> i64 {
+        self.heap.scalars.get(name).copied().unwrap_or(0)
+    }
+
+    fn set_scalar(&mut self, name: &str, v: i64) {
+        // Fast path without the String allocation: loop counters are
+        // rewritten every iteration.
+        match self.heap.scalars.get_mut(name) {
+            Some(slot) => *slot = v,
+            None => {
+                self.heap.scalars.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    fn read_elem(&mut self, array: &str, indices: &[i64]) -> Result<i64, ExecError> {
+        self.note(array, indices, false);
+        let a = self
+            .heap
+            .arrays
+            .get(array)
+            .ok_or_else(|| ExecError::UndefinedArray(array.to_string()))?;
+        elem_at(array, a, indices).map(|flat| a.data[flat])
+    }
+
+    fn write_elem(&mut self, array: &str, indices: &[i64], v: i64) -> Result<(), ExecError> {
+        self.note(array, indices, true);
+        let a = self
+            .heap
+            .arrays
+            .get_mut(array)
+            .ok_or_else(|| ExecError::UndefinedArray(array.to_string()))?;
+        let flat = elem_at(array, a, indices)?;
+        a.data[flat] = v;
+        Ok(())
+    }
+
+    fn declare_array(&mut self, name: &str, dims: Vec<usize>) -> Result<(), ExecError> {
+        self.heap
+            .arrays
+            .insert(name.to_string(), ArrayVal::zeros(dims));
+        Ok(())
+    }
+
+    fn loop_enter(&mut self, id: LoopId) {
+        if let Some(rec) = &mut self.inspector {
+            rec.frames.push(InspectorFrame {
+                id,
+                iter: 0,
+                seen: HashMap::new(),
+                conflict: false,
+                overflow: false,
+                blind: false,
+            });
+        }
+    }
+
+    fn loop_iter(&mut self, id: LoopId, iter: usize) {
+        if let Some(rec) = &mut self.inspector {
+            if let Some(frame) = rec.frames.last_mut() {
+                debug_assert_eq!(frame.id, id);
+                frame.iter = iter;
+            }
+        }
+    }
+
+    fn loop_exit(&mut self, id: LoopId) -> Option<bool> {
+        let rec = self.inspector.as_mut()?;
+        let frame = rec.frames.pop()?;
+        debug_assert_eq!(frame.id, id);
+        if frame.blind {
+            return None;
+        }
+        Some(!frame.conflict && !frame.overflow)
+    }
+}
+
+fn elem_at(name: &str, a: &ArrayVal, indices: &[i64]) -> Result<usize, ExecError> {
+    if indices.len() != a.dims.len() {
+        return Err(ExecError::ArityMismatch {
+            array: name.to_string(),
+            expected: a.dims.len(),
+            got: indices.len(),
+        });
+    }
+    a.flat_index(indices).ok_or_else(|| ExecError::OutOfBounds {
+        array: name.to_string(),
+        indices: indices.to_vec(),
+        dims: a.dims.clone(),
+    })
+}
+
+/// Raw views of every heap array, shareable across worker threads.
+struct SharedArrays {
+    map: HashMap<String, SharedArray>,
+}
+
+struct SharedArray {
+    /// `*mut i64` of the array's storage, smuggled as usize for `Send`.
+    ptr: usize,
+    dims: Vec<usize>,
+    len: usize,
+}
+
+// SAFETY: workers only access disjoint elements (the property the
+// compile-time analysis proved before the loop was dispatched); the Vec
+// storage itself is neither grown nor freed while workers run.
+unsafe impl Sync for SharedArrays {}
+
+impl SharedArrays {
+    fn capture(heap: &mut Heap) -> SharedArrays {
+        let map = heap
+            .arrays
+            .iter_mut()
+            .map(|(name, a)| {
+                (
+                    name.clone(),
+                    SharedArray {
+                        ptr: a.data.as_mut_ptr() as usize,
+                        dims: a.dims.clone(),
+                        len: a.data.len(),
+                    },
+                )
+            })
+            .collect();
+        SharedArrays { map }
+    }
+
+    fn flat(&self, array: &str, indices: &[i64]) -> Result<(usize, usize), ExecError> {
+        let a = self
+            .map
+            .get(array)
+            .ok_or_else(|| ExecError::UndefinedArray(array.to_string()))?;
+        if indices.len() != a.dims.len() {
+            return Err(ExecError::ArityMismatch {
+                array: array.to_string(),
+                expected: a.dims.len(),
+                got: indices.len(),
+            });
+        }
+        let flat = crate::heap::row_major_flat(&a.dims, indices).ok_or_else(|| {
+            ExecError::OutOfBounds {
+                array: array.to_string(),
+                indices: indices.to_vec(),
+                dims: a.dims.clone(),
+            }
+        })?;
+        debug_assert!(flat < a.len);
+        Ok((a.ptr, flat))
+    }
+}
+
+/// Per-worker store: shared arrays, private scalar environment.  Each
+/// scalar entry carries the (global) iteration of its last write — or `None`
+/// for snapshot values never written by this worker — so the spine can
+/// merge the serially-last value back.
+struct WorkerStore<'s> {
+    shared: &'s SharedArrays,
+    scalars: HashMap<String, (i64, Option<usize>)>,
+    current_iter: usize,
+}
+
+impl Store for WorkerStore<'_> {
+    fn scalar(&mut self, name: &str) -> i64 {
+        self.scalars.get(name).map(|&(v, _)| v).unwrap_or(0)
+    }
+
+    fn set_scalar(&mut self, name: &str, v: i64) {
+        let iter = self.current_iter;
+        match self.scalars.get_mut(name) {
+            Some(slot) => *slot = (v, Some(iter)),
+            None => {
+                self.scalars.insert(name.to_string(), (v, Some(iter)));
+            }
+        }
+    }
+
+    fn read_elem(&mut self, array: &str, indices: &[i64]) -> Result<i64, ExecError> {
+        let (ptr, flat) = self.shared.flat(array, indices)?;
+        // SAFETY: flat is bounds-checked above; disjointness across workers
+        // is the dispatched loop's proven property.
+        Ok(unsafe { *(ptr as *const i64).add(flat) })
+    }
+
+    fn write_elem(&mut self, array: &str, indices: &[i64], v: i64) -> Result<(), ExecError> {
+        let (ptr, flat) = self.shared.flat(array, indices)?;
+        // SAFETY: as above.
+        unsafe {
+            *(ptr as *mut i64).add(flat) = v;
+        }
+        Ok(())
+    }
+
+    fn declare_array(&mut self, name: &str, _dims: Vec<usize>) -> Result<(), ExecError> {
+        Err(ExecError::ArrayDeclInWorker(name.to_string()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The parallel dispatch policy.
+// ---------------------------------------------------------------------------
+
+struct ParallelDispatch<'r> {
+    dispatchable: &'r HashSet<LoopId>,
+    opts: &'r ExecOptions,
+}
+
+impl LoopPolicy<HeapStore<'_>> for ParallelDispatch<'_> {
+    fn try_dispatch(
+        &mut self,
+        st: &mut HeapStore<'_>,
+        f: &ForLoop<'_>,
+        env: &mut ExecEnv<'_>,
+    ) -> Result<bool, ExecError> {
+        if !self.dispatchable.contains(&f.id) || self.opts.threads <= 1 {
+            return Ok(false);
+        }
+        if body_declares_array(f.body) {
+            // Loop-local arrays would need per-worker allocation + merge;
+            // run such loops serially (the catalogue has none).
+            return Ok(false);
+        }
+        // Materialize the iteration space.  Loop bound and step of a proven
+        // parallel loop are invariant under its body (a loop rewriting its
+        // own bound has a dependence the range test rejects), so evaluating
+        // them once up front matches serial semantics.
+        let v0 = eval(st, f.init)?;
+        let bound = eval(st, f.bound)?;
+        let step = eval(st, f.step)?;
+        let mut values = Vec::new();
+        let mut v = v0;
+        while compare(f.cond_op, v, bound) {
+            if values.len() as u64 >= env.while_cap {
+                return Err(ExecError::NonTerminating {
+                    loop_id: f.id,
+                    cap: env.while_cap,
+                });
+            }
+            values.push(v);
+            v = v.wrapping_add(step);
+            if step == 0 {
+                return Err(ExecError::NonTerminating {
+                    loop_id: f.id,
+                    cap: env.while_cap,
+                });
+            }
+        }
+        let exit_value = v;
+        let n = values.len();
+        if n < self.opts.min_parallel_trip {
+            return Ok(false);
+        }
+
+        st.mark_frames_blind();
+        let start = Instant::now();
+        let threads = self.opts.threads;
+        let schedule = match self.opts.schedule {
+            ScheduleChoice::Static => Schedule::Static,
+            ScheduleChoice::Dynamic => Schedule::dynamic_for(n, threads),
+            ScheduleChoice::Auto => {
+                if body_is_skewed(f.body) {
+                    Schedule::dynamic_for(n, threads)
+                } else {
+                    Schedule::Static
+                }
+            }
+        };
+        let dynamic = matches!(schedule, Schedule::Dynamic { .. });
+
+        let snapshot: HashMap<String, (i64, Option<usize>)> = st
+            .heap
+            .scalars
+            .iter()
+            .map(|(k, v)| (k.clone(), (*v, None)))
+            .collect();
+        let shared = SharedArrays::capture(st.heap);
+        let while_cap = env.while_cap;
+        type ChunkResult = (Result<(), ExecError>, HashMap<String, (usize, i64)>);
+        let results: Mutex<Vec<ChunkResult>> = Mutex::new(Vec::new());
+
+        parallel_for_schedule(threads, n, schedule, |range| {
+            let mut ws = WorkerStore {
+                shared: &shared,
+                scalars: snapshot.clone(),
+                current_iter: 0,
+            };
+            let mut scratch_stats = ExecStats::default();
+            let mut wenv = ExecEnv {
+                stats: &mut scratch_stats,
+                timing: false,
+                while_cap,
+            };
+            let mut res = Ok(());
+            for k in range {
+                ws.current_iter = k;
+                ws.set_scalar(f.var, values[k]);
+                if let Err(e) = exec_stmts(&mut ws, f.body, &mut NoDispatch, &mut wenv) {
+                    res = Err(e);
+                    break;
+                }
+            }
+            let merged: HashMap<String, (usize, i64)> = ws
+                .scalars
+                .into_iter()
+                .filter_map(|(name, (value, iter))| iter.map(|it| (name, (it, value))))
+                .collect();
+            results.lock().unwrap().push((res, merged));
+        });
+
+        let chunks = results.into_inner().unwrap();
+        if let Some((Err(e), _)) = chunks.iter().find(|(r, _)| r.is_err()) {
+            return Err(e.clone());
+        }
+        // Merge scalars by last-writing iteration: for write-before-read
+        // (privatizable) scalars — the only kind a proven-parallel body may
+        // write — this reproduces the serial final values exactly.
+        let mut final_writes: BTreeMap<&String, (usize, i64)> = BTreeMap::new();
+        for (_, writes) in &chunks {
+            for (name, &(iter, value)) in writes {
+                match final_writes.get(name) {
+                    Some(&(best, _)) if best >= iter => {}
+                    _ => {
+                        final_writes.insert(name, (iter, value));
+                    }
+                }
+            }
+        }
+        for (name, (_, value)) in final_writes {
+            st.heap.scalars.insert(name.clone(), value);
+        }
+        st.heap.scalars.insert(f.var.to_string(), exit_value);
+
+        env.stats.record(
+            f.id,
+            n as u64,
+            start.elapsed().as_secs_f64(),
+            ExecMode::Parallel { threads, dynamic },
+        );
+        Ok(true)
+    }
+}
+
+fn body_declares_array(body: &[Stmt]) -> bool {
+    let mut found = false;
+    walk_body(body, &mut |s| {
+        if let Stmt::Decl { dims, .. } = s {
+            if !dims.is_empty() {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Skew heuristic for `Auto` scheduling: a nested loop whose bounds go
+/// through an index array (`for (k = rowstr[j]; k < rowstr[j+1]; …)`) has
+/// per-iteration work proportional to data, not code — the shape where
+/// static chunking leaves threads idle.
+fn body_is_skewed(body: &[Stmt]) -> bool {
+    fn has_array_ref(e: &AExpr) -> bool {
+        let mut found = false;
+        e.for_each(&mut |x| {
+            if matches!(x, AExpr::Index(_, _)) {
+                found = true;
+            }
+        });
+        found
+    }
+    let mut skewed = false;
+    walk_body(body, &mut |s| {
+        if let Stmt::For { init, bound, .. } = s {
+            if has_array_ref(init) || has_array_ref(bound) {
+                skewed = true;
+            }
+        }
+    });
+    skewed
+}
+
+fn walk_body(stmts: &[Stmt], f: &mut impl FnMut(&Stmt)) {
+    for s in stmts {
+        f(s);
+        for block in s.child_blocks() {
+            walk_body(block, f);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engines.
+// ---------------------------------------------------------------------------
+
+/// Executes the program serially (the reference engine).  `heap` is the
+/// initial program state (see [`crate::inputs::synthesize_inputs`]).
+pub fn run_serial(program: &Program, heap: Heap) -> Result<ExecOutcome, ExecError> {
+    run_serial_with(program, heap, &ExecOptions::default())
+}
+
+/// [`run_serial`] with explicit options (only `while_cap` is used).
+pub fn run_serial_with(
+    program: &Program,
+    mut heap: Heap,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    let mut stats = ExecStats::default();
+    let start = Instant::now();
+    {
+        // Record under the same baseline flag as the parallel engine so
+        // that per-loop timings of the two runs are like-for-like.
+        let mut store = HeapStore::new(&mut heap, opts.baseline_inspector);
+        let mut env = ExecEnv {
+            stats: &mut stats,
+            timing: true,
+            while_cap: opts.while_cap,
+        };
+        exec_stmts(&mut store, &program.body, &mut NoDispatch, &mut env)?;
+    }
+    stats.total_seconds = start.elapsed().as_secs_f64();
+    Ok(ExecOutcome { heap, stats })
+}
+
+/// Executes the program with the parallel engine: loops the `report` proved
+/// parallel (outermost-parallel ones) are dispatched onto
+/// `ss_runtime` worker threads; everything else runs serially, optionally
+/// under the runtime-inspector baseline (see
+/// [`ExecOptions::baseline_inspector`]).
+pub fn run_parallel(
+    program: &Program,
+    report: &ParallelizationReport,
+    mut heap: Heap,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    let dispatchable: HashSet<LoopId> = report.outermost_parallel_loops().into_iter().collect();
+    let mut stats = ExecStats::default();
+    let start = Instant::now();
+    {
+        let mut store = HeapStore::new(&mut heap, opts.baseline_inspector);
+        let mut policy = ParallelDispatch {
+            dispatchable: &dispatchable,
+            opts,
+        };
+        let mut env = ExecEnv {
+            stats: &mut stats,
+            timing: true,
+            while_cap: opts.while_cap,
+        };
+        exec_stmts(&mut store, &program.body, &mut policy, &mut env)?;
+    }
+    stats.total_seconds = start.elapsed().as_secs_f64();
+    Ok(ExecOutcome { heap, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_ir::parse_program;
+    use ss_parallelizer::parallelize;
+
+    fn opts(threads: usize) -> ExecOptions {
+        ExecOptions {
+            threads,
+            ..ExecOptions::default()
+        }
+    }
+
+    #[test]
+    fn serial_engine_runs_a_prefix_sum() {
+        let p = parse_program(
+            "t",
+            r#"
+            s[0] = 0;
+            for (i = 1; i <= n; i++) {
+                s[i] = s[i-1] + i;
+            }
+        "#,
+        )
+        .unwrap();
+        let heap = Heap::new()
+            .with_scalar("n", 10)
+            .with_array("s", vec![0; 11]);
+        let out = run_serial(&p, heap).unwrap();
+        assert_eq!(out.heap.arrays["s"].data[10], 55);
+        assert_eq!(out.heap.scalars["i"], 11);
+        assert_eq!(out.stats.loops[&LoopId(0)].iterations, 10);
+    }
+
+    #[test]
+    fn conditionals_compound_ops_and_short_circuit() {
+        let p = parse_program(
+            "t",
+            r#"
+            x = 0;
+            for (i = 0; i < 10; i++) {
+                if (i % 2 == 0 && i != 4) {
+                    x += i;
+                } else {
+                    x -= 1;
+                }
+            }
+            y = !x;
+            z = -x;
+        "#,
+        )
+        .unwrap();
+        let out = run_serial(&p, Heap::new()).unwrap();
+        // even, not 4: 0+2+6+8 = 16; five odd iterations and i==4 subtract 6.
+        assert_eq!(out.heap.scalars["x"], 10);
+        assert_eq!(out.heap.scalars["y"], 0);
+        assert_eq!(out.heap.scalars["z"], -10);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let p = parse_program("t", "x = a[5];").unwrap();
+        let heap = Heap::new().with_array("a", vec![0; 3]);
+        assert!(matches!(
+            run_serial(&p, heap),
+            Err(ExecError::OutOfBounds { .. })
+        ));
+
+        let p = parse_program("t", "x = a[0];").unwrap();
+        assert!(matches!(
+            run_serial(&p, Heap::new()),
+            Err(ExecError::UndefinedArray(_))
+        ));
+
+        let p = parse_program("t", "x = 1 / y;").unwrap();
+        assert!(matches!(
+            run_serial(&p, Heap::new()),
+            Err(ExecError::DivisionByZero)
+        ));
+
+        let p = parse_program("t", "while (1) { x = 0; }").unwrap();
+        let o = ExecOptions {
+            while_cap: 1000,
+            ..ExecOptions::default()
+        };
+        assert!(matches!(
+            run_serial_with(&p, Heap::new(), &o),
+            Err(ExecError::NonTerminating { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_engine_matches_serial_on_figure2() {
+        let src = r#"
+            for (e = 0; e < nelt; e++) { mt_to_id[e] = nelt - 1 - e; }
+            for (miel = 0; miel < nelt; miel++) {
+                iel = mt_to_id[miel];
+                id_to_mt[iel] = miel;
+            }
+        "#;
+        let p = parse_program("fig2", src).unwrap();
+        let report = parallelize(&p);
+        assert!(report.loop_report(LoopId(1)).unwrap().parallel);
+        let n = 5000;
+        let heap = Heap::new()
+            .with_scalar("nelt", n)
+            .with_array("mt_to_id", vec![0; n as usize])
+            .with_array("id_to_mt", vec![0; n as usize]);
+        let serial = run_serial(&p, heap.clone()).unwrap();
+        for threads in [2, 4] {
+            let par = run_parallel(&p, &report, heap.clone(), &opts(threads)).unwrap();
+            assert_eq!(par.heap, serial.heap, "threads={threads}");
+            assert_eq!(
+                par.stats.loops[&LoopId(1)].mode,
+                ExecMode::Parallel {
+                    threads,
+                    dynamic: false
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_loop_is_never_dispatched() {
+        let p = parse_program("hist", "for (i = 0; i < n; i++) { h[idx[i]] = i; }").unwrap();
+        let report = parallelize(&p);
+        assert!(report.outermost_parallel_loops().is_empty());
+        let heap = Heap::new()
+            .with_scalar("n", 100)
+            .with_array("idx", (0..100).map(|i| i % 7).collect())
+            .with_array("h", vec![-1; 7]);
+        let par = run_parallel(&p, &report, heap.clone(), &opts(4)).unwrap();
+        assert!(par.stats.parallel_loops().is_empty());
+        assert_eq!(par.stats.loops[&LoopId(0)].mode, ExecMode::Serial);
+        assert_eq!(par.heap, run_serial(&p, heap).unwrap().heap);
+    }
+
+    #[test]
+    fn inspector_baseline_judges_serial_loops() {
+        // Histogram (conflicting): inspector must refuse it.
+        let p = parse_program("hist", "for (i = 0; i < n; i++) { h[idx[i]] = i; }").unwrap();
+        let report = parallelize(&p);
+        let heap = Heap::new()
+            .with_scalar("n", 100)
+            .with_array("idx", (0..100).map(|i| i % 7).collect())
+            .with_array("h", vec![-1; 7]);
+        let o = ExecOptions {
+            baseline_inspector: true,
+            ..opts(4)
+        };
+        let out = run_parallel(&p, &report, heap, &o).unwrap();
+        assert_eq!(
+            out.stats.loops[&LoopId(0)].inspector_conflict_free,
+            Some(false)
+        );
+
+        // Permutation scatter via an opaque input array: the compile-time
+        // analysis cannot prove it, but this input is injective so the
+        // runtime inspector licenses it.
+        let p = parse_program("scatter", "for (i = 0; i < n; i++) { x[p[i]] = i; }").unwrap();
+        let report = parallelize(&p);
+        assert!(report.outermost_parallel_loops().is_empty());
+        let n = 50i64;
+        let heap = Heap::new()
+            .with_scalar("n", n)
+            .with_array("p", (0..n).rev().collect())
+            .with_array("x", vec![0; n as usize]);
+        let out = run_parallel(&p, &report, heap, &o).unwrap();
+        assert_eq!(
+            out.stats.loops[&LoopId(0)].inspector_conflict_free,
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn inspector_gives_no_verdict_for_loops_containing_dispatched_work() {
+        // The outer serial loop rewrites the same x[] elements every
+        // iteration, but the writes happen inside the dispatched inner
+        // loop, invisible to the recording — the inspector must answer
+        // "uninspected" (None), never "conflict-free".
+        let src = r#"
+            for (t = 0; t < reps; t++) {
+                for (i = 0; i < n; i++) {
+                    x[i] = t;
+                }
+            }
+        "#;
+        let p = parse_program("rewrite", src).unwrap();
+        let report = parallelize(&p);
+        assert!(report.outermost_parallel_loops().contains(&LoopId(1)));
+        assert!(!report.loop_report(LoopId(0)).unwrap().parallel);
+        let heap = Heap::new()
+            .with_scalar("reps", 3)
+            .with_scalar("n", 100)
+            .with_array("x", vec![0; 100]);
+        let o = ExecOptions {
+            baseline_inspector: true,
+            ..opts(4)
+        };
+        let out = run_parallel(&p, &report, heap.clone(), &o).unwrap();
+        assert!(out.stats.parallel_loops().contains(&LoopId(1)));
+        assert_eq!(
+            out.stats.loops[&LoopId(0)].inspector_conflict_free,
+            None,
+            "a frame blind to worker accesses must not claim conflict-freedom"
+        );
+        assert_eq!(out.heap, run_serial(&p, heap).unwrap().heap);
+    }
+
+    #[test]
+    fn skewed_bodies_choose_dynamic_scheduling_under_auto() {
+        // Figure 9 shape: count → prefix-sum → per-row traversal, where the
+        // monotonicity of rowptr is derived from the filling code.
+        let src = r#"
+            for (i = 0; i < n; i++) {
+                cnt = 0;
+                for (t = 0; t < 5; t++) {
+                    if (w[i][t] != 0) { cnt++; }
+                }
+                rowsize[i] = cnt;
+            }
+            rowptr[0] = 0;
+            for (i = 1; i <= n; i++) { rowptr[i] = rowptr[i-1] + rowsize[i-1]; }
+            for (i = 0; i < n; i++) {
+                for (j = rowptr[i]; j < rowptr[i+1]; j++) {
+                    out[j] = v[j] * 2;
+                }
+            }
+        "#;
+        let p = parse_program("csr", src).unwrap();
+        let report = parallelize(&p);
+        // Loop 3 is the outer traversal; the properties enable it.
+        assert!(report.outermost_parallel_loops().contains(&LoopId(3)));
+        let heap = crate::inputs::synthesize_inputs(
+            &p,
+            &crate::inputs::InputSpec {
+                scale: 200,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let serial = run_serial(&p, heap.clone()).unwrap();
+        let par = run_parallel(&p, &report, heap, &opts(4)).unwrap();
+        assert_eq!(par.heap, serial.heap);
+        // Auto picks dynamic scheduling because the dispatched loop's inner
+        // bounds go through the rowptr index array.
+        assert_eq!(
+            par.stats.loops[&LoopId(3)].mode,
+            ExecMode::Parallel {
+                threads: 4,
+                dynamic: true
+            }
+        );
+    }
+
+    #[test]
+    fn scalar_merge_back_reproduces_serial_last_iteration_values() {
+        // `last` is written under a condition met only by some iterations;
+        // the merged value must come from the globally last writing
+        // iteration, wherever its chunk ran.
+        let src = r#"
+            for (i = 0; i < n; i++) {
+                t = i * 2;
+                out[i] = t;
+                if (i % 10 == 3) {
+                    last = i;
+                }
+            }
+        "#;
+        let p = parse_program("t", src).unwrap();
+        let report = parallelize(&p);
+        assert!(!report.outermost_parallel_loops().is_empty());
+        let n = 1000;
+        let heap = Heap::new()
+            .with_scalar("n", n)
+            .with_array("out", vec![0; n as usize]);
+        let serial = run_serial(&p, heap.clone()).unwrap();
+        assert_eq!(serial.heap.scalars["last"], 993);
+        for threads in [2, 3, 8] {
+            let par = run_parallel(&p, &report, heap.clone(), &opts(threads)).unwrap();
+            assert_eq!(par.heap, serial.heap, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_errors_propagate() {
+        let p = parse_program("t", "for (i = 0; i < n; i++) { out[i] = i; }").unwrap();
+        let report = parallelize(&p);
+        assert!(!report.outermost_parallel_loops().is_empty());
+        let heap = Heap::new()
+            .with_scalar("n", 100)
+            .with_array("out", vec![0; 50]); // too small on purpose
+        let err = run_parallel(&p, &report, heap, &opts(4)).unwrap_err();
+        assert!(matches!(err, ExecError::OutOfBounds { .. }));
+    }
+}

@@ -1,0 +1,199 @@
+//! The interpreter's typed heap: named integer scalars and dense row-major
+//! integer arrays.
+//!
+//! The mini-C language is integer-only (`int` scalars, `int` arrays of any
+//! rank), so one value type suffices.  Both engines execute against a
+//! [`Heap`]; the differential harness compares final heaps with [`Heap::diff`],
+//! whose output is deterministic because both maps are ordered.
+
+use std::collections::BTreeMap;
+
+/// A dense, row-major integer array with explicit extents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayVal {
+    /// Extent of each dimension (rank = `dims.len()`).
+    pub dims: Vec<usize>,
+    /// Row-major element storage; `data.len() == dims.iter().product()`.
+    pub data: Vec<i64>,
+}
+
+impl ArrayVal {
+    /// A zero-filled array of the given extents.
+    pub fn zeros(dims: Vec<usize>) -> ArrayVal {
+        let len = dims.iter().product();
+        ArrayVal {
+            dims,
+            data: vec![0; len],
+        }
+    }
+
+    /// A 1-D array holding the given values.
+    pub fn from_vec(data: Vec<i64>) -> ArrayVal {
+        ArrayVal {
+            dims: vec![data.len()],
+            data,
+        }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major flat offset of `indices`, or `None` when any index is
+    /// negative or out of its extent (rank mismatches are the caller's to
+    /// check against `dims.len()`).
+    pub fn flat_index(&self, indices: &[i64]) -> Option<usize> {
+        row_major_flat(&self.dims, indices)
+    }
+}
+
+/// Row-major flat offset of `indices` within `dims`; `None` when the rank
+/// differs or any index is negative or out of its extent.  The single
+/// source of indexing truth for both the heap and the shared worker views.
+pub fn row_major_flat(dims: &[usize], indices: &[i64]) -> Option<usize> {
+    if indices.len() != dims.len() {
+        return None;
+    }
+    let mut flat = 0usize;
+    for (&idx, &extent) in indices.iter().zip(dims) {
+        if idx < 0 || idx as usize >= extent {
+            return None;
+        }
+        flat = flat * extent + idx as usize;
+    }
+    Some(flat)
+}
+
+/// Program state: scalar and array bindings by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Heap {
+    /// Integer scalars.
+    pub scalars: BTreeMap<String, i64>,
+    /// Integer arrays.
+    pub arrays: BTreeMap<String, ArrayVal>,
+}
+
+impl Heap {
+    /// An empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Binds a scalar (builder style).
+    pub fn with_scalar(mut self, name: impl Into<String>, v: i64) -> Heap {
+        self.scalars.insert(name.into(), v);
+        self
+    }
+
+    /// Binds a 1-D array (builder style).
+    pub fn with_array(mut self, name: impl Into<String>, data: Vec<i64>) -> Heap {
+        self.arrays.insert(name.into(), ArrayVal::from_vec(data));
+        self
+    }
+
+    /// Human-readable differences between two heaps (empty when equal):
+    /// scalar mismatches, shape mismatches, and the first few differing
+    /// elements per array.
+    pub fn diff(&self, other: &Heap) -> Vec<String> {
+        const MAX_ELEMS_PER_ARRAY: usize = 3;
+        let mut out = Vec::new();
+        let scalar_names: std::collections::BTreeSet<&String> =
+            self.scalars.keys().chain(other.scalars.keys()).collect();
+        for name in scalar_names {
+            match (self.scalars.get(name), other.scalars.get(name)) {
+                (Some(a), Some(b)) if a != b => out.push(format!("scalar {name}: {a} != {b}")),
+                (Some(a), None) => out.push(format!("scalar {name}: {a} != <absent>")),
+                (None, Some(b)) => out.push(format!("scalar {name}: <absent> != {b}")),
+                _ => {}
+            }
+        }
+        let array_names: std::collections::BTreeSet<&String> =
+            self.arrays.keys().chain(other.arrays.keys()).collect();
+        for name in array_names {
+            match (self.arrays.get(name), other.arrays.get(name)) {
+                (Some(a), Some(b)) => {
+                    if a.dims != b.dims {
+                        out.push(format!("array {name}: dims {:?} != {:?}", a.dims, b.dims));
+                        continue;
+                    }
+                    let mut shown = 0;
+                    let mut differing = 0usize;
+                    for (i, (x, y)) in a.data.iter().zip(&b.data).enumerate() {
+                        if x != y {
+                            differing += 1;
+                            if shown < MAX_ELEMS_PER_ARRAY {
+                                out.push(format!("array {name}[{i}]: {x} != {y}"));
+                                shown += 1;
+                            }
+                        }
+                    }
+                    if differing > shown {
+                        out.push(format!(
+                            "array {name}: {} more differing element(s)",
+                            differing - shown
+                        ));
+                    }
+                }
+                (Some(a), None) => out.push(format!("array {name}: {:?} != <absent>", a.dims)),
+                (None, Some(b)) => out.push(format!("array {name}: <absent> != {:?}", b.dims)),
+                (None, None) => unreachable!(),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_indexing_is_row_major_and_bounds_checked() {
+        let a = ArrayVal::zeros(vec![3, 4]);
+        assert_eq!(a.len(), 12);
+        assert_eq!(a.flat_index(&[0, 0]), Some(0));
+        assert_eq!(a.flat_index(&[1, 0]), Some(4));
+        assert_eq!(a.flat_index(&[2, 3]), Some(11));
+        assert_eq!(a.flat_index(&[3, 0]), None);
+        assert_eq!(a.flat_index(&[0, 4]), None);
+        assert_eq!(a.flat_index(&[-1, 0]), None);
+        assert_eq!(a.flat_index(&[0]), None);
+        assert!(ArrayVal::zeros(vec![0]).is_empty());
+    }
+
+    #[test]
+    fn diff_reports_scalars_arrays_and_shapes() {
+        let a = Heap::new()
+            .with_scalar("n", 4)
+            .with_array("x", vec![1, 2, 3]);
+        let same = a.clone();
+        assert!(a.diff(&same).is_empty());
+
+        let b = Heap::new()
+            .with_scalar("n", 5)
+            .with_array("x", vec![1, 9, 3]);
+        let d = a.diff(&b);
+        assert!(d.iter().any(|m| m.contains("scalar n: 4 != 5")));
+        assert!(d.iter().any(|m| m.contains("array x[1]: 2 != 9")));
+
+        let c = Heap::new().with_array("x", vec![1, 2]);
+        let d = a.diff(&c);
+        assert!(d.iter().any(|m| m.contains("scalar n: 4 != <absent>")));
+        assert!(d.iter().any(|m| m.contains("dims")));
+    }
+
+    #[test]
+    fn diff_truncates_long_element_lists() {
+        let a = Heap::new().with_array("x", vec![0; 100]);
+        let b = Heap::new().with_array("x", vec![1; 100]);
+        let d = a.diff(&b);
+        assert!(d.len() <= 5);
+        assert!(d.iter().any(|m| m.contains("more differing")));
+    }
+}

@@ -1,0 +1,57 @@
+//! # ss-interp — executing analyzed programs, serially and in parallel
+//!
+//! The paper's central claim is that compile-time analysis of the code that
+//! fills index arrays licenses parallel execution with **zero** runtime
+//! machinery.  The rest of this workspace *analyzes* mini-C programs; this
+//! crate *runs* them, closing the analyze → prove → execute → validate loop
+//! for arbitrary inputs:
+//!
+//! * [`heap`] — the typed heap both engines execute against (integer
+//!   scalars, dense row-major arrays);
+//! * [`exec`] — a tree-walking execution core with two engines: a serial
+//!   reference engine, and a parallel engine that consumes the
+//!   [`ParallelizationReport`](ss_parallelizer::ParallelizationReport) and
+//!   dispatches every proven-parallel loop onto `ss_runtime` worker threads
+//!   (static or chunk-stealing dynamic scheduling), with an optional
+//!   runtime-inspector baseline on the loops the analysis left serial;
+//! * [`inputs`] — reproducible input synthesis for any program via a
+//!   discovery pass (sizes arrays by observation, fills them with
+//!   deterministic pseudo-random data);
+//! * [`validate`] — the differential harness asserting serial ≡ parallel
+//!   final heaps, which turns every compile-time "parallel" verdict into a
+//!   tested claim.
+//!
+//! ```
+//! use ss_interp::{validate_source, ExecOptions, InputSpec};
+//!
+//! let outcome = validate_source(
+//!     "fig2",
+//!     r#"
+//!         for (e = 0; e < nelt; e++) { mt_to_id[e] = e; }
+//!         for (miel = 0; miel < nelt; miel++) {
+//!             iel = mt_to_id[miel];
+//!             id_to_mt[iel] = miel;
+//!         }
+//!     "#,
+//!     &InputSpec { scale: 256, seed: 1 },
+//!     &ExecOptions { threads: 4, ..ExecOptions::default() },
+//! )
+//! .unwrap();
+//! assert!(outcome.heaps_match);
+//! assert!(!outcome.dispatched.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod heap;
+pub mod inputs;
+pub mod validate;
+
+pub use exec::{
+    run_parallel, run_serial, run_serial_with, ExecError, ExecMode, ExecOptions, ExecOutcome,
+    ExecStats, LoopStats, ScheduleChoice,
+};
+pub use heap::{ArrayVal, Heap};
+pub use inputs::{input_value, synthesize_inputs, InputSpec};
+pub use validate::{validate, validate_source, ValidationError, ValidationOutcome};

@@ -1,0 +1,175 @@
+//! The differential-validation harness: every compile-time verdict becomes a
+//! tested claim.
+//!
+//! For a given program the harness (1) runs the compile-time analysis,
+//! (2) synthesizes inputs, (3) executes the program with the serial
+//! reference engine and with the parallel engine, and (4) asserts the final
+//! heaps are bit-identical.  A mismatch means the analysis proved a loop
+//! parallel whose parallel execution changed observable state — exactly the
+//! soundness bug class the paper's approach must exclude.
+
+use crate::exec::{run_parallel, run_serial_with, ExecOptions, ExecStats};
+use crate::heap::Heap;
+use crate::inputs::{synthesize_inputs, InputSpec};
+use ss_ir::{parse_program, IrError, LoopId, Program};
+use ss_parallelizer::{parallelize, ParallelizationReport};
+
+/// Everything that can go wrong running the harness.
+#[derive(Debug)]
+pub enum ValidationError {
+    /// The source did not parse.
+    Parse(IrError),
+    /// Input synthesis or one of the engines failed at runtime.
+    Exec(crate::ExecError),
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::Parse(e) => write!(f, "parse error: {e}"),
+            ValidationError::Exec(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl From<IrError> for ValidationError {
+    fn from(e: IrError) -> ValidationError {
+        ValidationError::Parse(e)
+    }
+}
+
+impl From<crate::ExecError> for ValidationError {
+    fn from(e: crate::ExecError) -> ValidationError {
+        ValidationError::Exec(e)
+    }
+}
+
+/// The harness result for one program.
+#[derive(Debug, Clone)]
+pub struct ValidationOutcome {
+    /// Program name.
+    pub program: String,
+    /// Loops the analysis proved parallel (outermost-parallel ones).
+    pub proven_parallel: Vec<LoopId>,
+    /// Loops the parallel engine actually dispatched to threads.
+    pub dispatched: Vec<LoopId>,
+    /// Statistics of the serial reference run.
+    pub serial: ExecStats,
+    /// Statistics of the parallel run.
+    pub parallel: ExecStats,
+    /// True when the two final heaps were bit-identical.
+    pub heaps_match: bool,
+    /// Human-readable differences when they were not (bounded per array).
+    pub mismatches: Vec<String>,
+    /// The final heap of the serial (reference) run.
+    pub final_heap: Heap,
+}
+
+impl ValidationOutcome {
+    /// Serial wall-clock over parallel wall-clock for the whole program.
+    pub fn speedup(&self) -> f64 {
+        self.serial.total_seconds / self.parallel.total_seconds.max(1e-12)
+    }
+}
+
+/// Runs the differential harness on an already-analyzed program against an
+/// explicit initial heap.
+pub fn validate(
+    program: &Program,
+    report: &ParallelizationReport,
+    initial: &Heap,
+    opts: &ExecOptions,
+) -> Result<ValidationOutcome, crate::ExecError> {
+    let serial = run_serial_with(program, initial.clone(), opts)?;
+    let parallel = run_parallel(program, report, initial.clone(), opts)?;
+    let mismatches = serial.heap.diff(&parallel.heap);
+    Ok(ValidationOutcome {
+        program: program.name.clone(),
+        proven_parallel: report.outermost_parallel_loops(),
+        dispatched: parallel.stats.parallel_loops(),
+        heaps_match: mismatches.is_empty(),
+        mismatches,
+        serial: serial.stats,
+        parallel: parallel.stats,
+        final_heap: serial.heap,
+    })
+}
+
+/// Parses, analyzes, synthesizes inputs and validates a mini-C source — the
+/// full analyze → prove → execute → validate loop in one call.
+pub fn validate_source(
+    name: &str,
+    source: &str,
+    spec: &InputSpec,
+    opts: &ExecOptions,
+) -> Result<ValidationOutcome, ValidationError> {
+    let program = parse_program(name, source)?;
+    let report = parallelize(&program);
+    let initial = synthesize_inputs(&program, spec)?;
+    Ok(validate(&program, &report, &initial, opts)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(threads: usize) -> ExecOptions {
+        ExecOptions {
+            threads,
+            ..ExecOptions::default()
+        }
+    }
+
+    #[test]
+    fn figure2_validates_end_to_end() {
+        let src = r#"
+            for (e = 0; e < nelt; e++) { mt_to_id[e] = e; }
+            for (miel = 0; miel < nelt; miel++) {
+                iel = mt_to_id[miel];
+                id_to_mt[iel] = miel;
+            }
+        "#;
+        let out = validate_source(
+            "fig2",
+            src,
+            &InputSpec {
+                scale: 512,
+                seed: 3,
+            },
+            &opts(4),
+        )
+        .unwrap();
+        assert!(out.heaps_match, "{:?}", out.mismatches);
+        assert_eq!(out.proven_parallel, vec![LoopId(0), LoopId(1)]);
+        assert_eq!(out.dispatched, vec![LoopId(0), LoopId(1)]);
+    }
+
+    #[test]
+    fn serial_programs_validate_trivially() {
+        let out = validate_source(
+            "seq",
+            "for (i = 1; i < n; i++) { s[i] = s[i-1] + 1; }",
+            &InputSpec::default(),
+            &opts(4),
+        )
+        .unwrap();
+        assert!(out.heaps_match);
+        assert!(out.dispatched.is_empty());
+        assert!(out.speedup() > 0.0);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        assert!(matches!(
+            validate_source(
+                "bad",
+                "for (i = 0 i < n; i++) {}",
+                &InputSpec::default(),
+                &opts(2)
+            ),
+            Err(ValidationError::Parse(_))
+        ));
+    }
+}

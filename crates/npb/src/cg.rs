@@ -121,6 +121,7 @@ impl Randlc {
     }
 
     /// Next pseudo-random number in `(0, 1)`.
+    #[allow(clippy::should_implement_trait)] // NPB's randlc() name, not Iterator
     pub fn next(&mut self) -> f64 {
         const R23: f64 = 1.1920928955078125e-7; // 2^-23
         const R46: f64 = 1.4210854715202004e-14; // 2^-46
@@ -151,6 +152,7 @@ impl Default for Randlc {
 /// Builds the CG matrix for a class: a sparse, symmetric, diagonally
 /// dominant matrix with `nonzer` off-diagonal entries per row, assembled
 /// through the Figure 9 CSR-construction pattern.
+#[allow(clippy::needless_range_loop)] // transcribes the NPB construction loop
 pub fn makea(params: &CgParams, seed: u64) -> CsrMatrix {
     let n = params.na;
     let mut rng = StdRng::seed_from_u64(seed);

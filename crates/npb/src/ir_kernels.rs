@@ -180,6 +180,7 @@ pub fn study_kernels() -> Vec<StudyKernel> {
                 for (b = 1; b <= nb; b++) {
                     r[b] = r[b-1] + blocksize[b-1];
                 }
+                nzb = r[nb];
                 for (k = 0; k < nzb; k++) {
                     p[k] = k;
                 }

@@ -7,6 +7,10 @@
 //! analysis proves parallel; tests and benchmarks check that both variants
 //! produce identical results on inputs whose index arrays satisfy the
 //! derived properties.
+//!
+//! The index-based `for k in a..b` loops below deliberately transcribe the
+//! C originals the analysis reasons about — do not iterator-ify them.
+#![allow(clippy::needless_range_loop)]
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -479,7 +483,9 @@ pub mod is_rank {
     pub fn generate(nkeys: usize, nbuckets: usize, keys_per_bucket: usize, seed: u64) -> Buckets {
         let mut rng = StdRng::seed_from_u64(seed);
         let max_key = (nbuckets * keys_per_bucket).max(1);
-        let keys: Vec<i64> = (0..nkeys).map(|_| rng.gen_range(0..max_key) as i64).collect();
+        let keys: Vec<i64> = (0..nkeys)
+            .map(|_| rng.gen_range(0..max_key) as i64)
+            .collect();
         let bucket_of = |k: i64| (k as usize / keys_per_bucket.max(1)).min(nbuckets - 1);
         let mut bucket_size = vec![0usize; nbuckets];
         for &k in &keys {
@@ -699,8 +705,8 @@ mod tests {
         }
         // every element of tree was written exactly once: windows tile the array
         assert_eq!(serial.len(), 7000);
-        assert_eq!(serial[0], 0 + 1 % 8);
-        assert_eq!(serial[7], 1 + 1 % 8);
+        assert_eq!(serial[0], 1);
+        assert_eq!(serial[7], 1 + 1);
     }
 
     #[test]

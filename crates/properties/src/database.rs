@@ -236,7 +236,12 @@ impl PropertyDatabase {
     }
 
     /// True if the filtered subset of `array` has property `p`.
-    pub fn has_property_on_subset(&self, array: &str, filter: &ValueFilter, p: ArrayProperty) -> bool {
+    pub fn has_property_on_subset(
+        &self,
+        array: &str,
+        filter: &ValueFilter,
+        p: ArrayProperty,
+    ) -> bool {
         self.facts
             .get(array)
             .map(|f| f.has_on_subset(filter, p) || f.has(p))
@@ -340,11 +345,7 @@ impl fmt::Display for PropertyDatabase {
             writeln!(f, "{fact}")?;
         }
         for p in &self.pair_facts {
-            writeln!(
-                f,
-                "{} - {}: {}",
-                p.minuend, p.subtrahend, p.property
-            )?;
+            writeln!(f, "{} - {}: {}", p.minuend, p.subtrahend, p.property)?;
         }
         for (name, r) in self.scalar_ranges() {
             writeln!(f, "{name}: {r}")?;
@@ -360,12 +361,9 @@ mod tests {
 
     fn rowptr_fact() -> ArrayFact {
         // rowptr: [1 : ROWLEN], Monotonic_inc  (the paper's Phase 2 result)
-        ArrayFact::new(
-            "rowptr",
-            SymRange::new(Expr::int(1), Expr::sym("ROWLEN")),
-        )
-        .with_property(MonotonicInc)
-        .with_origin("Phase 2 aggregation of loop L1")
+        ArrayFact::new("rowptr", SymRange::new(Expr::int(1), Expr::sym("ROWLEN")))
+            .with_property(MonotonicInc)
+            .with_origin("Phase 2 aggregation of loop L1")
     }
 
     #[test]
@@ -373,13 +371,16 @@ mod tests {
         let f = rowptr_fact();
         assert!(f.has(MonotonicInc));
         assert!(!f.has(Injective));
-        assert_eq!(
-            format!("{f}"),
-            "rowptr: [1 : ROWLEN], {Monotonic_inc}"
-        );
-        let f = ArrayFact::new("rowsize", SymRange::new(Expr::int(0), Expr::sub(Expr::sym("ROWLEN"), Expr::int(1))))
-            .with_value_range(SymRange::new(Expr::int(0), Expr::sub(Expr::sym("COLUMNLEN"), Expr::int(1))))
-            .with_property(NonNegative);
+        assert_eq!(format!("{f}"), "rowptr: [1 : ROWLEN], {Monotonic_inc}");
+        let f = ArrayFact::new(
+            "rowsize",
+            SymRange::new(Expr::int(0), Expr::sub(Expr::sym("ROWLEN"), Expr::int(1))),
+        )
+        .with_value_range(SymRange::new(
+            Expr::int(0),
+            Expr::sub(Expr::sym("COLUMNLEN"), Expr::int(1)),
+        ))
+        .with_property(NonNegative);
         assert!(f.has(NonNegative));
         assert!(f.value_range.is_some());
     }
@@ -390,8 +391,11 @@ mod tests {
         assert!(db.is_empty());
         db.insert(rowptr_fact());
         db.insert(
-            ArrayFact::new("mt_to_id", SymRange::new(Expr::int(0), Expr::sub(Expr::sym("nelt"), Expr::int(1))))
-                .with_property(Injective),
+            ArrayFact::new(
+                "mt_to_id",
+                SymRange::new(Expr::int(0), Expr::sub(Expr::sym("nelt"), Expr::int(1))),
+            )
+            .with_property(Injective),
         );
         db.set_scalar_range("count", SymRange::constant(0, 100));
         assert!(db.has_property("rowptr", MonotonicInc));
@@ -422,9 +426,7 @@ mod tests {
         assert!(!db.has_property("jmatch", Injective));
         // whole-array property also satisfies subset queries
         let mut db2 = PropertyDatabase::new();
-        db2.insert(
-            ArrayFact::new("p", SymRange::constant(0, 9)).with_property(Injective),
-        );
+        db2.insert(ArrayFact::new("p", SymRange::constant(0, 9)).with_property(Injective));
         assert!(db2.has_property_on_subset("p", &filter, Injective));
         // filter evaluation
         assert_eq!(filter.accepts(3), Some(true));
@@ -468,13 +470,7 @@ mod tests {
         assert!(!m.has_property("x", StrictMonotonicInc));
         assert!(!m.has_property("x", Injective));
         assert!(m.fact("only_in_a").is_none());
-        assert_eq!(
-            m.value_range("x").unwrap().as_const().unwrap(),
-            (0, 8)
-        );
-        assert_eq!(
-            m.scalar_range("s").unwrap().as_const().unwrap(),
-            (0, 2)
-        );
+        assert_eq!(m.value_range("x").unwrap().as_const().unwrap(), (0, 8));
+        assert_eq!(m.scalar_range("s").unwrap().as_const().unwrap(), (0, 2));
     }
 }

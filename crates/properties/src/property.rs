@@ -47,9 +47,7 @@ impl ArrayProperty {
         if *self == other {
             return true;
         }
-        self.direct_implications()
-            .iter()
-            .any(|p| p.implies(other))
+        self.direct_implications().iter().any(|p| p.implies(other))
     }
 
     /// All properties, useful for exhaustive testing.
@@ -102,6 +100,7 @@ impl PropertySet {
     }
 
     /// Builds a set from several properties.
+    #[allow(clippy::should_implement_trait)] // bitset builder, not FromIterator
     pub fn from_iter(iter: impl IntoIterator<Item = ArrayProperty>) -> PropertySet {
         let mut s = PropertySet::empty();
         for p in iter {

@@ -34,9 +34,7 @@ pub fn eval_range(env: &Env, e: &AExpr) -> SymRange {
                 BinOp::Sub => x.sub(&y),
                 BinOp::Mul => x.mul(&y),
                 BinOp::Div => match (x.as_exact(), y.as_exact()) {
-                    (Some(a), Some(b)) => {
-                        SymRange::exact(Expr::div(a.clone(), b.clone()))
-                    }
+                    (Some(a), Some(b)) => SymRange::exact(Expr::div(a.clone(), b.clone())),
                     _ => SymRange::unknown(),
                 },
                 BinOp::Mod => match (x.as_exact(), y.as_exact()) {
@@ -47,11 +45,7 @@ pub fn eval_range(env: &Env, e: &AExpr) -> SymRange {
                         // it lies in [0, m-1].
                         if let Some((m, m2)) = y.as_const() {
                             if m == m2 && m > 0 {
-                                let lo = if env
-                                    .assumptions
-                                    .prove_nonneg(&x.lo)
-                                    .is_proven()
-                                {
+                                let lo = if env.assumptions.prove_nonneg(&x.lo).is_proven() {
                                     0
                                 } else {
                                     -(m - 1)
@@ -121,7 +115,11 @@ fn resolve_symbols(env: &Env, e: &Expr, depth: usize) -> Expr {
 ///   `jmatch[i] >= 0` becomes the fact "`jmatch[i]` is non-negative"), which
 ///   is how Figure 5's guard feeds the subset-injectivity reasoning.
 pub fn refine_with_condition(env: &mut Env, cond: &SymCondition, positive: bool) {
-    let c = if positive { cond.clone() } else { cond.negate() };
+    let c = if positive {
+        cond.clone()
+    } else {
+        cond.negate()
+    };
     record_assumption(env, &c);
     tighten_scalar(env, &c);
     // Also tighten when the scalar is on the right: rewrite `a OP x` as the
@@ -228,14 +226,17 @@ fn lower_max(current: &Expr, new: &Expr) -> Expr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ss_ir::parser::parse_expr;
     use ss_ir::convert::to_condition;
+    use ss_ir::parser::parse_expr;
 
     #[test]
     fn evaluates_literals_and_scalars() {
         let mut env = Env::new();
         env.set_scalar("count", SymRange::constant(0, 5));
-        assert_eq!(eval_range(&env, &parse_expr("3").unwrap()), SymRange::constant(3, 3));
+        assert_eq!(
+            eval_range(&env, &parse_expr("3").unwrap()),
+            SymRange::constant(3, 3)
+        );
         assert_eq!(
             eval_range(&env, &parse_expr("count + 1").unwrap()),
             SymRange::constant(1, 6)
@@ -313,7 +314,10 @@ mod tests {
         assert!(!e.contains_sym("ntemp"));
         // non-exact scalar -> bottom
         env.set_scalar("fuzzy", SymRange::constant(0, 5));
-        assert_eq!(eval_exact(&env, &parse_expr("fuzzy + 1").unwrap()), Expr::Bottom);
+        assert_eq!(
+            eval_exact(&env, &parse_expr("fuzzy + 1").unwrap()),
+            Expr::Bottom
+        );
     }
 
     #[test]
@@ -322,7 +326,10 @@ mod tests {
         let e = eval_exact(&env, &parse_expr("rowptr[i-1] + rowsize[i-1]").unwrap());
         assert!(e.contains_array_ref("rowptr"));
         assert!(e.contains_array_ref("rowsize"));
-        assert_eq!(eval_exact(&env, &parse_expr("a[i][j]").unwrap()), Expr::Bottom);
+        assert_eq!(
+            eval_exact(&env, &parse_expr("a[i][j]").unwrap()),
+            Expr::Bottom
+        );
     }
 
     #[test]
@@ -336,7 +343,10 @@ mod tests {
         // negated: i != 0 does not tighten the range (no hole representation)
         let mut else_env = env.clone();
         refine_with_condition(&mut else_env, &c, false);
-        assert_eq!(else_env.scalar("i"), SymRange::new(Expr::int(0), Expr::sym("n")));
+        assert_eq!(
+            else_env.scalar("i"),
+            SymRange::new(Expr::int(0), Expr::sym("n"))
+        );
         // i < 10 tightens the upper bound
         let c = to_condition(&parse_expr("i < 10").unwrap()).unwrap();
         let mut env2 = Env::new();

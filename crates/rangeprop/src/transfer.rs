@@ -360,7 +360,10 @@ mod tests {
         let mut env = Env::new();
         env.set_array_value(
             "rowsize",
-            SymRange::new(Expr::int(0), Expr::sub(Expr::sym("COLUMNLEN"), Expr::int(1))),
+            SymRange::new(
+                Expr::int(0),
+                Expr::sub(Expr::sym("COLUMNLEN"), Expr::int(1)),
+            ),
         );
         let out = analyze_block(&p.body, env, &NoSummaries);
         let w = &out.writes[0];
@@ -397,10 +400,7 @@ mod tests {
         let out = analyze_block(&body, Env::new(), &NoSummaries);
         let w = &out.writes[0];
         assert_eq!(w.array, "id_to_mt");
-        assert_eq!(
-            w.subscript,
-            Expr::array_ref("mt_to_id", Expr::sym("miel"))
-        );
+        assert_eq!(w.subscript, Expr::array_ref("mt_to_id", Expr::sym("miel")));
         assert_eq!(w.value_exact, Expr::sym("miel"));
         assert!(w.is_unconditional());
     }

@@ -9,6 +9,9 @@ pub mod pool;
 pub mod sparse;
 pub mod timer;
 
-pub use pool::{chunk_ranges, hardware_threads, parallel_for, parallel_for_mut, parallel_sum};
+pub use pool::{
+    chunk_ranges, hardware_threads, parallel_for, parallel_for_mut, parallel_for_schedule,
+    parallel_sum, Schedule,
+};
 pub use sparse::CsrMatrix;
 pub use timer::{time_it, Timer};

@@ -6,8 +6,42 @@
 //! splits an iteration space into contiguous chunks and runs them on scoped
 //! threads (crossbeam), and [`parallel_for_mut`] does the same while handing
 //! each thread a disjoint slice of the output vector.
+//!
+//! [`parallel_for_schedule`] additionally offers OpenMP's `schedule(dynamic)`
+//! counterpart: workers steal fixed-size chunks off a shared atomic counter,
+//! which keeps threads busy when per-iteration work is skewed (e.g. CSR rows
+//! of wildly different lengths, the common case for subscripted-subscript
+//! loops over `rowptr[i] .. rowptr[i+1]`).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How [`parallel_for_schedule`] assigns iterations to worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// One contiguous, nearly equal range per thread (OpenMP
+    /// `schedule(static)`), assigned up front.  Zero scheduling overhead,
+    /// but a thread stuck with the heavy iterations becomes the critical
+    /// path.
+    Static,
+    /// Workers repeatedly claim the next `chunk` iterations from a shared
+    /// atomic counter (OpenMP `schedule(dynamic, chunk)`).  One
+    /// fetch-and-add per chunk buys load balance on skewed iteration
+    /// spaces.
+    Dynamic {
+        /// Iterations claimed per steal; clamped to at least 1.
+        chunk: usize,
+    },
+}
+
+impl Schedule {
+    /// A dynamic schedule with a chunk size that amortizes the counter
+    /// traffic: about 8 chunks per thread, at least 1 iteration each.
+    pub fn dynamic_for(n: usize, threads: usize) -> Schedule {
+        Schedule::Dynamic {
+            chunk: (n / (threads.max(1) * 8)).max(1),
+        }
+    }
+}
 
 /// Splits `0..n` into `chunks` contiguous, nearly equal ranges.
 pub fn chunk_ranges(n: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
@@ -42,6 +76,42 @@ where
         }
     })
     .expect("worker thread panicked");
+}
+
+/// Runs `body(range)` over `0..n` on `threads` threads under the given
+/// [`Schedule`].  `Schedule::Static` is exactly [`parallel_for`];
+/// `Schedule::Dynamic` lets idle workers steal the next chunk, so skewed
+/// iteration spaces finish in (roughly) the time of the heaviest single
+/// chunk rather than the heaviest precomputed partition.
+pub fn parallel_for_schedule<F>(threads: usize, n: usize, schedule: Schedule, body: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    match schedule {
+        Schedule::Static => parallel_for(threads, n, body),
+        Schedule::Dynamic { chunk } => {
+            if threads <= 1 || n == 0 {
+                body(0..n);
+                return;
+            }
+            let chunk = chunk.max(1);
+            let next = AtomicUsize::new(0);
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let body = &body;
+                    let next = &next;
+                    scope.spawn(move |_| loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        body(start..(start + chunk).min(n));
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+        }
+    }
 }
 
 /// Runs `body(start_index, chunk)` where `chunk` is a disjoint mutable
@@ -184,5 +254,62 @@ mod tests {
     #[test]
     fn hardware_threads_is_positive() {
         assert!(hardware_threads() >= 1);
+    }
+
+    #[test]
+    fn dynamic_schedule_covers_every_iteration_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        for (n, threads, chunk) in [
+            (0usize, 4usize, 3usize),
+            (1, 4, 3),
+            (97, 3, 5),
+            (1000, 8, 1),
+            (64, 2, 64),
+        ] {
+            let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            parallel_for_schedule(threads, n, Schedule::Dynamic { chunk }, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "n={n} threads={threads} chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_schedule_matches_static_results() {
+        let n = 4096;
+        let expected: Vec<u64> = (0..n)
+            .map(|i| (i as u64).wrapping_mul(0x9e3779b9))
+            .collect();
+        for schedule in [
+            Schedule::Static,
+            Schedule::Dynamic { chunk: 7 },
+            Schedule::dynamic_for(n, 4),
+        ] {
+            let out: Vec<std::sync::atomic::AtomicU64> = (0..n)
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect();
+            parallel_for_schedule(4, n, schedule, |r| {
+                for i in r {
+                    out[i].store((i as u64).wrapping_mul(0x9e3779b9), Ordering::Relaxed);
+                }
+            });
+            let got: Vec<u64> = out.iter().map(|v| v.load(Ordering::Relaxed)).collect();
+            assert_eq!(got, expected, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn dynamic_for_picks_sane_chunks() {
+        assert_eq!(Schedule::dynamic_for(0, 4), Schedule::Dynamic { chunk: 1 });
+        assert_eq!(Schedule::dynamic_for(64, 4), Schedule::Dynamic { chunk: 2 });
+        assert_eq!(
+            Schedule::dynamic_for(10_000, 0),
+            Schedule::Dynamic { chunk: 1250 }
+        );
     }
 }

@@ -200,7 +200,10 @@ mod tests {
                     .collect()
             })
             .collect();
-        assert_eq!(CsrMatrix::from_rows(4, &rows), CsrMatrix::from_dense(&dense));
+        assert_eq!(
+            CsrMatrix::from_rows(4, &rows),
+            CsrMatrix::from_dense(&dense)
+        );
     }
 
     #[test]
@@ -220,13 +223,14 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn column_shift_is_identical_serial_and_parallel() {
         let mut dense = Vec::new();
         for i in 0..64 {
             let mut row = vec![0.0; 128];
             for j in 0..128 {
                 if (i * 7 + j) % 5 == 0 {
-                    row[j + 0] = (i + j) as f64;
+                    row[j] = (i + j) as f64;
                 }
             }
             dense.push(row);

@@ -110,6 +110,9 @@ pub enum AExpr {
     Unary(UnOp, Box<AExpr>),
 }
 
+// `AExpr::add` etc. are AST constructors mirroring the source operators,
+// not operator implementations.
+#[allow(clippy::should_implement_trait)]
 impl AExpr {
     /// Integer literal constructor.
     pub fn int(v: i64) -> AExpr {
@@ -436,20 +439,16 @@ impl Program {
     pub fn written_scalars(&self) -> Vec<String> {
         let mut out = Vec::new();
         self.for_each_stmt(&mut |s| match s {
-            Stmt::Assign { target, .. } if target.is_scalar() => {
-                if !out.contains(&target.name) {
-                    out.push(target.name.clone());
-                }
+            Stmt::Assign { target, .. } if target.is_scalar() && !out.contains(&target.name) => {
+                out.push(target.name.clone());
             }
-            Stmt::Decl { name, dims, init, .. } if dims.is_empty() && init.is_some() => {
-                if !out.contains(name) {
-                    out.push(name.clone());
-                }
+            Stmt::Decl {
+                name, dims, init, ..
+            } if dims.is_empty() && init.is_some() && !out.contains(name) => {
+                out.push(name.clone());
             }
-            Stmt::For { var, .. } => {
-                if !out.contains(var) {
-                    out.push(var.clone());
-                }
+            Stmt::For { var, .. } if !out.contains(var) => {
+                out.push(var.clone());
             }
             _ => {}
         });

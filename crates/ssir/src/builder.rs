@@ -232,7 +232,12 @@ mod tests {
                 b.if_else(
                     AExpr::bin(BinOp::Eq, AExpr::var("i"), AExpr::int(0)),
                     |t| t.assign("j1", AExpr::var("i")),
-                    |e| e.assign("j1", AExpr::index("rowptr", AExpr::sub(AExpr::var("i"), AExpr::int(1)))),
+                    |e| {
+                        e.assign(
+                            "j1",
+                            AExpr::index("rowptr", AExpr::sub(AExpr::var("i"), AExpr::int(1))),
+                        )
+                    },
                 )
                 .add_assign("count", AExpr::int(1))
             })

@@ -119,9 +119,13 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        s.parse::<i64>()
-            .map(TokenKind::Int)
-            .map_err(|_| IrError::lex(self.line, self.col, format!("integer literal too large: {s}")))
+        s.parse::<i64>().map(TokenKind::Int).map_err(|_| {
+            IrError::lex(
+                self.line,
+                self.col,
+                format!("integer literal too large: {s}"),
+            )
+        })
     }
 
     fn lex_ident(&mut self) -> TokenKind {
@@ -216,7 +220,11 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     TokenKind::AndAnd
                 } else {
-                    return Err(IrError::lex(self.line, self.col, "expected '&&'".to_string()));
+                    return Err(IrError::lex(
+                        self.line,
+                        self.col,
+                        "expected '&&'".to_string(),
+                    ));
                 }
             }
             '|' => {
@@ -224,7 +232,11 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     TokenKind::OrOr
                 } else {
-                    return Err(IrError::lex(self.line, self.col, "expected '||'".to_string()));
+                    return Err(IrError::lex(
+                        self.line,
+                        self.col,
+                        "expected '||'".to_string(),
+                    ));
                 }
             }
             other => {
@@ -355,7 +367,10 @@ mod tests {
     #[test]
     fn reports_positions() {
         let toks = tokenize("x = 1;\n  y = 2;").unwrap();
-        let y = toks.iter().find(|t| t.kind == T::Ident("y".into())).unwrap();
+        let y = toks
+            .iter()
+            .find(|t| t.kind == T::Ident("y".into()))
+            .unwrap();
         assert_eq!((y.line, y.col), (2, 3));
     }
 

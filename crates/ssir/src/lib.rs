@@ -45,4 +45,6 @@ pub use errors::{IrError, Result};
 pub use loops::{LoopInfo, LoopTree};
 pub use parser::{parse_expr, parse_program};
 pub use printer::{print_expr, print_program, print_program_with, PrintOptions};
-pub use visit::{accesses_in_loop, collect_accesses, AccessKind, ArrayAccess};
+pub use visit::{
+    accesses_in_loop, collect_accesses, free_arrays, free_scalars, AccessKind, ArrayAccess,
+};

@@ -85,10 +85,7 @@ impl LoopTree {
 
     /// All loops directly nested inside `id`.
     pub fn children(&self, id: LoopId) -> Vec<&LoopInfo> {
-        self.loops
-            .iter()
-            .filter(|l| l.parent == Some(id))
-            .collect()
+        self.loops.iter().filter(|l| l.parent == Some(id)).collect()
     }
 
     /// Outermost loops (no enclosing loop).
@@ -131,7 +128,9 @@ fn collect(stmts: &[Stmt], depth: usize, parent: Option<LoopId>, out: &mut Vec<L
                 body,
                 pragmas,
             } => {
-                let info = normalize_for(*id, var, init, *cond_op, bound, step, pragmas, depth, parent);
+                let info = normalize_for(
+                    *id, var, init, *cond_op, bound, step, pragmas, depth, parent,
+                );
                 out.push(info);
                 collect(body, depth + 1, Some(*id), out);
             }
@@ -278,10 +277,7 @@ mod tests {
         let l = t.get(LoopId(0)).unwrap();
         assert!(!l.is_normalized); // non-unit step
         assert_eq!(l.step, Expr::Int(2));
-        assert_eq!(
-            l.last,
-            simplify(&Expr::sub(Expr::sym("n"), Expr::int(1)))
-        );
+        assert_eq!(l.last, simplify(&Expr::sub(Expr::sym("n"), Expr::int(1))));
     }
 
     #[test]

@@ -288,7 +288,9 @@ impl Parser {
             return Err(IrError::parse(
                 cline,
                 ccol,
-                format!("for-loop condition must test the index variable '{var}', found '{cond_var}'"),
+                format!(
+                    "for-loop condition must test the index variable '{var}', found '{cond_var}'"
+                ),
             ));
         }
         let cond_tok = self.bump();
@@ -528,7 +530,10 @@ mod tests {
         "#;
         let p = parse_program("fig2", src).unwrap();
         assert_eq!(p.loop_ids().len(), 1);
-        let Stmt::For { var, body, cond_op, .. } = &p.body[0] else {
+        let Stmt::For {
+            var, body, cond_op, ..
+        } = &p.body[0]
+        else {
             panic!("expected for loop");
         };
         assert_eq!(var, "miel");
@@ -553,8 +558,12 @@ mod tests {
         let p = parse_program("cg", src).unwrap();
         assert_eq!(p.loop_ids(), vec![LoopId(0), LoopId(1), LoopId(2)]);
         // inner loop init is an array read
-        let Stmt::For { body, .. } = &p.body[0] else { panic!() };
-        let Stmt::For { init, .. } = &body[0] else { panic!() };
+        let Stmt::For { body, .. } = &p.body[0] else {
+            panic!()
+        };
+        let Stmt::For { init, .. } = &body[0] else {
+            panic!()
+        };
         assert_eq!(init, &AExpr::index("rowstr", AExpr::var("j")));
     }
 
@@ -568,8 +577,15 @@ mod tests {
             }
         "#;
         let p = parse_program("fig5", src).unwrap();
-        let Stmt::For { body, .. } = &p.body[0] else { panic!() };
-        let Stmt::If { cond, then_branch, else_branch } = &body[0] else {
+        let Stmt::For { body, .. } = &p.body[0] else {
+            panic!()
+        };
+        let Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } = &body[0]
+        else {
             panic!("expected if");
         };
         assert_eq!(
@@ -582,7 +598,9 @@ mod tests {
         );
         assert_eq!(then_branch.len(), 1);
         assert!(else_branch.is_empty());
-        let Stmt::Assign { target, .. } = &then_branch[0] else { panic!() };
+        let Stmt::Assign { target, .. } = &then_branch[0] else {
+            panic!()
+        };
         assert!(target.indices[0].arrays().contains(&"jmatch".to_string()));
     }
 
@@ -611,7 +629,11 @@ mod tests {
         assert_eq!(p.body.len(), 6);
         assert!(matches!(
             &p.body[1],
-            Stmt::Assign { op: AssignOp::AddAssign, value: AExpr::IntLit(1), .. }
+            Stmt::Assign {
+                op: AssignOp::AddAssign,
+                value: AExpr::IntLit(1),
+                ..
+            }
         ));
         assert!(matches!(
             &p.body[4],
@@ -638,7 +660,9 @@ mod tests {
             for (i = 0; i < n; i++) { x[i] = 0; }
         "#;
         let p = parse_program("t", src).unwrap();
-        let Stmt::For { pragmas, .. } = &p.body[0] else { panic!() };
+        let Stmt::For { pragmas, .. } = &p.body[0] else {
+            panic!()
+        };
         assert_eq!(pragmas, &vec!["omp parallel for private(j,j1)".to_string()]);
     }
 
@@ -671,15 +695,21 @@ mod tests {
     #[test]
     fn parses_for_variants() {
         let p = parse_program("t", "for (i = 0; i <= n; i += 2) { x[i] = 0; }").unwrap();
-        let Stmt::For { cond_op, step, .. } = &p.body[0] else { panic!() };
+        let Stmt::For { cond_op, step, .. } = &p.body[0] else {
+            panic!()
+        };
         assert_eq!(*cond_op, BinOp::Le);
         assert_eq!(step, &AExpr::int(2));
         let p = parse_program("t", "for (i = n; i > 0; i = i - 1) { x[i] = 0; }").unwrap();
-        let Stmt::For { cond_op, step, .. } = &p.body[0] else { panic!() };
+        let Stmt::For { cond_op, step, .. } = &p.body[0] else {
+            panic!()
+        };
         assert_eq!(*cond_op, BinOp::Gt);
         assert_eq!(step, &AExpr::int(-1));
         let p = parse_program("t", "for (i = 0; i < n; i -= -1) { x[i] = 0; }").unwrap();
-        let Stmt::For { step, .. } = &p.body[0] else { panic!() };
+        let Stmt::For { step, .. } = &p.body[0] else {
+            panic!()
+        };
         assert_eq!(step, &AExpr::Unary(UnOp::Neg, Box::new(AExpr::int(-1))));
     }
 
@@ -691,8 +721,16 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.body.len(), 4);
-        assert!(matches!(&p.body[0], Stmt::Decl { name, dims, init: None } if name == "x" && dims.is_empty()));
-        assert!(matches!(&p.body[1], Stmt::Decl { init: Some(AExpr::IntLit(3)), .. }));
+        assert!(
+            matches!(&p.body[0], Stmt::Decl { name, dims, init: None } if name == "x" && dims.is_empty())
+        );
+        assert!(matches!(
+            &p.body[1],
+            Stmt::Decl {
+                init: Some(AExpr::IntLit(3)),
+                ..
+            }
+        ));
         assert!(matches!(&p.body[2], Stmt::Decl { dims, .. } if dims.len() == 1));
         assert!(matches!(&p.body[3], Stmt::Decl { dims, .. } if dims.len() == 2));
     }

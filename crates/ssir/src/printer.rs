@@ -58,9 +58,7 @@ fn maybe_paren(e: &AExpr, parent: BinOp, is_left: bool) -> String {
             // Parenthesize when the child binds less tightly, or equally on
             // the right-hand side of a non-commutative parent.
             let need = cp < pp
-                || (cp == pp
-                    && !is_left
-                    && matches!(parent, BinOp::Sub | BinOp::Div | BinOp::Mod));
+                || (cp == pp && !is_left && matches!(parent, BinOp::Sub | BinOp::Div | BinOp::Mod));
             if need {
                 format!("({})", print_expr(e))
             } else {
@@ -136,7 +134,13 @@ fn print_stmt(s: &Stmt, depth: usize, opts: &PrintOptions, out: &mut String) {
                 AssignOp::SubAssign => "-=",
                 AssignOp::MulAssign => "*=",
             };
-            let _ = writeln!(out, "{} {} {};", print_lvalue(target), op_str, print_expr(value));
+            let _ = writeln!(
+                out,
+                "{} {} {};",
+                print_lvalue(target),
+                op_str,
+                print_expr(value)
+            );
         }
         Stmt::If {
             cond,

@@ -76,6 +76,159 @@ pub fn loop_has_subscripted_subscript(program: &Program, id: LoopId) -> bool {
         .any(|a| a.subscripted_subscript)
 }
 
+/// Scalars the program reads before ever assigning them — its symbolic
+/// inputs (`nelt`, `nrows`, …).  The walk follows evaluation order (loop
+/// init expressions before the index-variable write, guard conditions before
+/// branches, right-hand sides before their targets), so a scalar like
+/// `count` that every path initializes before use is *not* reported.
+/// Loop index variables are never inputs.
+pub fn free_scalars(program: &Program) -> Vec<String> {
+    let mut fv = FreeVars::default();
+    fv.walk_stmts(&program.body);
+    fv.scalar_inputs
+}
+
+/// Arrays some element of which the program reads before any element is
+/// written — the index/data arrays the environment must supply (`mt_to_id`
+/// read by Figure 2, the dense matrix `a` of Figure 9, …).  An array whose
+/// first touch is a write (like Figure 9's `rowptr`) is considered produced
+/// by the program itself.  Note `colidx[k] = colidx[k] - firstcol` reads
+/// before writing, so `colidx` correctly counts as an input.
+pub fn free_arrays(program: &Program) -> Vec<String> {
+    let mut fv = FreeVars::default();
+    fv.walk_stmts(&program.body);
+    fv.array_inputs
+}
+
+#[derive(Default)]
+struct FreeVars {
+    written_scalars: Vec<String>,
+    written_arrays: Vec<String>,
+    scalar_inputs: Vec<String>,
+    array_inputs: Vec<String>,
+}
+
+impl FreeVars {
+    fn read_scalar(&mut self, name: &str) {
+        if !self.written_scalars.iter().any(|s| s == name)
+            && !self.scalar_inputs.iter().any(|s| s == name)
+        {
+            self.scalar_inputs.push(name.to_string());
+        }
+    }
+
+    fn read_array(&mut self, name: &str) {
+        if !self.written_arrays.iter().any(|s| s == name)
+            && !self.array_inputs.iter().any(|s| s == name)
+        {
+            self.array_inputs.push(name.to_string());
+        }
+    }
+
+    fn write_scalar(&mut self, name: &str) {
+        if !self.written_scalars.iter().any(|s| s == name) {
+            self.written_scalars.push(name.to_string());
+        }
+    }
+
+    fn write_array(&mut self, name: &str) {
+        if !self.written_arrays.iter().any(|s| s == name) {
+            self.written_arrays.push(name.to_string());
+        }
+    }
+
+    fn read_expr(&mut self, e: &AExpr) {
+        match e {
+            AExpr::IntLit(_) => {}
+            AExpr::Var(v) => self.read_scalar(v),
+            AExpr::Index(a, idxs) => {
+                for idx in idxs {
+                    self.read_expr(idx);
+                }
+                self.read_array(a);
+            }
+            AExpr::Binary(_, a, b) => {
+                self.read_expr(a);
+                self.read_expr(b);
+            }
+            AExpr::Unary(_, a) => self.read_expr(a),
+        }
+    }
+
+    fn walk_stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.walk_stmt(s);
+        }
+    }
+
+    fn walk_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl { name, dims, init } => {
+                for d in dims {
+                    self.read_expr(d);
+                }
+                if let Some(e) = init {
+                    self.read_expr(e);
+                }
+                if dims.is_empty() {
+                    self.write_scalar(name);
+                } else {
+                    self.write_array(name);
+                }
+            }
+            Stmt::Assign { target, op, value } => {
+                self.read_expr(value);
+                for idx in &target.indices {
+                    self.read_expr(idx);
+                }
+                if target.is_scalar() {
+                    if *op != AssignOp::Assign {
+                        self.read_scalar(&target.name);
+                    }
+                    self.write_scalar(&target.name);
+                } else {
+                    if *op != AssignOp::Assign {
+                        self.read_array(&target.name);
+                    }
+                    self.write_array(&target.name);
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.read_expr(cond);
+                // Writes on one branch do not dominate reads on the other,
+                // but treating branch-local writes as definite keeps the
+                // common `if (c) { x = a; } else { x = b; }` pattern out of
+                // the input set; the interpreter's defaulting heap makes the
+                // over-approximation harmless.
+                self.walk_stmts(then_branch);
+                self.walk_stmts(else_branch);
+            }
+            Stmt::For {
+                var,
+                init,
+                bound,
+                step,
+                body,
+                ..
+            } => {
+                self.read_expr(init);
+                self.write_scalar(var);
+                self.read_expr(bound);
+                self.read_expr(step);
+                self.walk_stmts(body);
+            }
+            Stmt::While { cond, body, .. } => {
+                self.read_expr(cond);
+                self.walk_stmts(body);
+            }
+        }
+    }
+}
+
 #[derive(Default, Clone)]
 struct Context {
     loops: Vec<LoopId>,
@@ -103,26 +256,14 @@ fn walk_stmt(s: &Stmt, ctx: &mut Context, out: &mut Vec<ArrayAccess>) {
             collect_reads(value, ctx, out);
             // Compound assignment also reads the target.
             if *op != AssignOp::Assign && !target.indices.is_empty() {
-                push_access(
-                    &target.name,
-                    &target.indices,
-                    AccessKind::Read,
-                    ctx,
-                    out,
-                );
+                push_access(&target.name, &target.indices, AccessKind::Read, ctx, out);
             }
             // Index expressions of the target are reads.
             for idx in &target.indices {
                 collect_reads(idx, ctx, out);
             }
             if !target.indices.is_empty() {
-                push_access(
-                    &target.name,
-                    &target.indices,
-                    AccessKind::Write,
-                    ctx,
-                    out,
-                );
+                push_access(&target.name, &target.indices, AccessKind::Write, ctx, out);
             }
         }
         Stmt::If {
@@ -262,10 +403,7 @@ mod tests {
         let write = accs.iter().find(|a| a.is_write()).unwrap();
         assert_eq!(write.array, "imatch");
         assert!(write.subscripted_subscript);
-        assert_eq!(
-            write.subscript,
-            Expr::array_ref("jmatch", Expr::sym("i"))
-        );
+        assert_eq!(write.subscript, Expr::array_ref("jmatch", Expr::sym("i")));
         // guarded by jmatch[i] >= 0
         assert_eq!(write.guards.len(), 1);
         let g = write.guards[0].as_ref().unwrap();
@@ -347,6 +485,49 @@ mod tests {
         let blk = accs.iter().find(|a| a.array == "Blk").unwrap();
         assert!(blk.subscripted_subscript);
         assert_eq!(accesses_in_loop(&p, LoopId(1)).len(), 2);
+    }
+
+    #[test]
+    fn free_variables_of_the_figure9_kernel() {
+        let p = parse_program(
+            "fig9",
+            r#"
+            index = 0;
+            for (i = 0; i < ROWLEN; i++) {
+                count = 0;
+                for (j = 0; j < COLUMNLEN; j++) {
+                    if (a[i][j] != 0) {
+                        count++;
+                        value[index] = a[i][j];
+                        index++;
+                    }
+                }
+                rowsize[i] = count;
+            }
+            rowptr[0] = 0;
+            for (i = 1; i < ROWLEN + 1; i++) {
+                rowptr[i] = rowptr[i-1] + rowsize[i-1];
+            }
+        "#,
+        )
+        .unwrap();
+        assert_eq!(
+            free_scalars(&p),
+            vec!["ROWLEN".to_string(), "COLUMNLEN".to_string()]
+        );
+        // `a` is the only array read before being written; value/rowsize/
+        // rowptr are produced by the program itself.
+        assert_eq!(free_arrays(&p), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn compound_array_updates_make_the_array_an_input() {
+        let p = parse_program("t", "for (k = 0; k < n; k++) { colidx[k] -= firstcol; }").unwrap();
+        assert_eq!(free_arrays(&p), vec!["colidx".to_string()]);
+        assert_eq!(
+            free_scalars(&p),
+            vec!["n".to_string(), "firstcol".to_string()]
+        );
     }
 
     #[test]

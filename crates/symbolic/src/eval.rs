@@ -178,10 +178,7 @@ mod tests {
     fn simplification_preserves_value() {
         let v = Valuation::new().with_sym("i", 7).with_sym("n", 3);
         let e = Expr::add(
-            Expr::mul(
-                Expr::sub(Expr::sym("i"), Expr::int(1)),
-                Expr::int(7),
-            ),
+            Expr::mul(Expr::sub(Expr::sym("i"), Expr::int(1)), Expr::int(7)),
             Expr::mul(Expr::sym("n"), Expr::sym("i")),
         );
         let s = simplify(&e);

@@ -53,6 +53,10 @@ pub enum Expr {
     Max(Vec<Expr>),
 }
 
+// The arithmetic constructors below deliberately mirror the expression
+// language (`Expr::add(a, b)` builds an unsimplified sum); they are
+// associated functions, not operator implementations.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Integer literal convenience constructor.
     pub fn int(v: i64) -> Expr {
@@ -242,9 +246,7 @@ impl Expr {
             Expr::Int(_) | Expr::Sym(_) | Expr::Lambda(_) | Expr::BigLambda(_) | Expr::Bottom => {
                 self.clone()
             }
-            Expr::ArrayRef(a, idx) => {
-                Expr::ArrayRef(a.clone(), Box::new(idx.rewrite_bottom_up(f)))
-            }
+            Expr::ArrayRef(a, idx) => Expr::ArrayRef(a.clone(), Box::new(idx.rewrite_bottom_up(f))),
             Expr::Add(xs) => Expr::Add(xs.iter().map(|x| x.rewrite_bottom_up(f)).collect()),
             Expr::Mul(xs) => Expr::Mul(xs.iter().map(|x| x.rewrite_bottom_up(f)).collect()),
             Expr::Min(xs) => Expr::Min(xs.iter().map(|x| x.rewrite_bottom_up(f)).collect()),

@@ -191,8 +191,7 @@ impl Assumptions {
                 Some(if lower { lo } else { hi })
             }
             Expr::Min(xs) => {
-                let bounds: Option<Vec<i64>> =
-                    xs.iter().map(|x| self.bound(x, lower)).collect();
+                let bounds: Option<Vec<i64>> = xs.iter().map(|x| self.bound(x, lower)).collect();
                 if lower {
                     bounds.map(|b| b.into_iter().min().unwrap())
                 } else {
@@ -201,8 +200,7 @@ impl Assumptions {
                 }
             }
             Expr::Max(xs) => {
-                let bounds: Option<Vec<i64>> =
-                    xs.iter().map(|x| self.bound(x, lower)).collect();
+                let bounds: Option<Vec<i64>> = xs.iter().map(|x| self.bound(x, lower)).collect();
                 bounds.map(|b| b.into_iter().max().unwrap())
             }
             Expr::Mod(_, m) => {
@@ -232,7 +230,11 @@ impl Assumptions {
             return Proof::Unknown;
         }
         if let Some(v) = d.as_int() {
-            return if v >= 0 { Proof::Proven } else { Proof::Disproven };
+            return if v >= 0 {
+                Proof::Proven
+            } else {
+                Proof::Disproven
+            };
         }
         if let Some(lb) = self.lower_bound(&d) {
             if lb >= 0 {
@@ -254,7 +256,11 @@ impl Assumptions {
             return Proof::Unknown;
         }
         if let Some(v) = d.as_int() {
-            return if v >= 1 { Proof::Proven } else { Proof::Disproven };
+            return if v >= 1 {
+                Proof::Proven
+            } else {
+                Proof::Disproven
+            };
         }
         if let Some(lb) = self.lower_bound(&d) {
             if lb >= 1 {
@@ -343,7 +349,10 @@ mod tests {
     fn symbolic_range_bounds_recurse() {
         let mut a = Assumptions::new();
         a.assume_range("n", SymRange::constant(1, 1_000_000));
-        a.assume_range("i", SymRange::new(Expr::int(0), Expr::sub(Expr::sym("n"), Expr::int(1))));
+        a.assume_range(
+            "i",
+            SymRange::new(Expr::int(0), Expr::sub(Expr::sym("n"), Expr::int(1))),
+        );
         // i >= 0 via the symbolic upper bound of n
         assert_eq!(a.prove_nonneg(&Expr::sym("i")), Proof::Proven);
         // i <= n - 1  i.e.  n - 1 - i >= 0: needs the lower bound of -i which

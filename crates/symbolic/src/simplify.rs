@@ -450,7 +450,10 @@ mod tests {
             &Expr::sub(Expr::sym("nelttemp"), Expr::int(7))
         ));
         // i*i is not affine in i
-        assert_eq!(affine_in(&Expr::mul(Expr::sym("i"), Expr::sym("i")), "i"), None);
+        assert_eq!(
+            affine_in(&Expr::mul(Expr::sym("i"), Expr::sym("i")), "i"),
+            None
+        );
         // a[i] + i is not affine in i (nested occurrence)
         assert_eq!(
             affine_in(

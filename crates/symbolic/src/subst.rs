@@ -117,10 +117,7 @@ mod tests {
         // Phase 1: count = λ(count) + 1; apply twice -> λ + 2
         let step = Expr::add(Expr::lambda("count"), Expr::int(1));
         let twice = subst_lambda(&step, "count", &step);
-        assert_eq!(
-            twice,
-            Expr::Add(vec![Expr::Int(2), Expr::lambda("count")])
-        );
+        assert_eq!(twice, Expr::Add(vec![Expr::Int(2), Expr::lambda("count")]));
     }
 
     #[test]
@@ -158,7 +155,10 @@ mod tests {
         let out = subst_sym_range(&r, "lo", &Expr::int(0));
         assert_eq!(out.lo, Expr::Int(0));
         assert_eq!(out.hi, Expr::sym("hi"));
-        let r = SymRange::new(Expr::lambda("x"), Expr::add(Expr::lambda("x"), Expr::int(1)));
+        let r = SymRange::new(
+            Expr::lambda("x"),
+            Expr::add(Expr::lambda("x"), Expr::int(1)),
+        );
         let out = subst_lambda_range(&r, "x", &Expr::int(10));
         assert_eq!(out, SymRange::constant(10, 11));
     }

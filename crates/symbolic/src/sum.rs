@@ -16,10 +16,7 @@ use crate::subst::lambda_to_big_lambda;
 
 /// The closed form of `Σ_{i=lo}^{hi} 1 = hi - lo + 1` (the trip count).
 pub fn trip_count(lo: &Expr, hi: &Expr) -> Expr {
-    simplify(&Expr::add(
-        Expr::sub(hi.clone(), lo.clone()),
-        Expr::Int(1),
-    ))
+    simplify(&Expr::add(Expr::sub(hi.clone(), lo.clone()), Expr::Int(1)))
 }
 
 /// The closed form of `Σ_{i=lo}^{hi} i = (hi(hi+1) - (lo-1)lo) / 2`.
@@ -30,10 +27,7 @@ pub fn trip_count(lo: &Expr, hi: &Expr) -> Expr {
 pub fn sum_of_index(lo: &Expr, hi: &Expr) -> Expr {
     let n = trip_count(lo, hi);
     let avg_num = simplify(&Expr::add(hi.clone(), lo.clone()));
-    simplify(&Expr::div(
-        Expr::mul(avg_num, n),
-        Expr::Int(2),
-    ))
+    simplify(&Expr::div(Expr::mul(avg_num, n), Expr::Int(2)))
 }
 
 /// The result of aggregating a scalar recurrence across a loop.
@@ -57,13 +51,7 @@ pub enum Aggregate {
 ///   unchanged).
 /// * `step = λ(x) + c` where `c` is loop-invariant: result `Λ(x) + n·c`.
 /// * `step = λ(x) + a + b·i`: result `Λ(x) + n·a + b·Σ i`.
-pub fn aggregate_scalar(
-    var: &str,
-    step: &Expr,
-    index: &str,
-    lo: &Expr,
-    hi: &Expr,
-) -> Aggregate {
+pub fn aggregate_scalar(var: &str, step: &Expr, index: &str, lo: &Expr, hi: &Expr) -> Aggregate {
     let step = simplify(step);
     if step == Expr::Bottom {
         return Aggregate::Unknown;
@@ -91,10 +79,7 @@ pub fn aggregate_scalar(
             // logic in the aggregation crate, not here.
             return Aggregate::Unknown;
         }
-        let total = simplify(&Expr::add(
-            Expr::big_lambda(var),
-            Expr::mul(n, increment),
-        ));
+        let total = simplify(&Expr::add(Expr::big_lambda(var), Expr::mul(n, increment)));
         return Aggregate::Closed(total);
     }
     match affine_in(&increment, index) {
@@ -175,13 +160,7 @@ mod tests {
 
     #[test]
     fn zero_and_negative_increments() {
-        let agg = aggregate_scalar(
-            "x",
-            &Expr::lambda("x"),
-            "i",
-            &Expr::int(0),
-            &Expr::int(99),
-        );
+        let agg = aggregate_scalar("x", &Expr::lambda("x"), "i", &Expr::int(0), &Expr::int(99));
         assert_eq!(agg, Aggregate::Closed(Expr::big_lambda("x")));
         let agg = aggregate_scalar(
             "x",
@@ -236,10 +215,7 @@ mod tests {
         let agg = aggregate_scalar("x", &step, "i", &Expr::int(0), &Expr::int(9));
         assert_eq!(
             agg,
-            Aggregate::Closed(simplify(&Expr::add(
-                Expr::big_lambda("x"),
-                Expr::int(120)
-            )))
+            Aggregate::Closed(simplify(&Expr::add(Expr::big_lambda("x"), Expr::int(120))))
         );
     }
 

@@ -37,7 +37,11 @@ fn main() {
     let threads = [2usize, 4, 6, 8];
     println!(
         "CG speedups (paper Figure 10): {} instances, host has {} hardware threads",
-        if full { "official" } else { "scaled (5% of official size; use --full for the real thing)" },
+        if full {
+            "official"
+        } else {
+            "scaled (5% of official size; use --full for the real thing)"
+        },
         hardware_threads()
     );
     let points = figure10_sweep(&classes, &threads, fraction);

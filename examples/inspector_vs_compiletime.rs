@@ -97,7 +97,13 @@ fn main() {
 
     // LRPD speculation on the same scatter.
     let mut target = vec![0i64; n];
-    let outcome = lrpd_scatter(&mut target, &index, |i| scatter_values[i], |_| true, threads);
+    let outcome = lrpd_scatter(
+        &mut target,
+        &index,
+        |i| scatter_values[i],
+        |_| true,
+        threads,
+    );
     assert_eq!(reference.as_ref().unwrap(), &target);
     println!(
         "{:<22} {:>14.3} {:>14.3} {:>14.3} {:>10}",

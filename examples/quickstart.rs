@@ -58,7 +58,15 @@ fn main() {
     let (parallel, t_parallel) = time_it(|| fig9::product_parallel(&a, &vector, threads));
     assert_eq!(serial, parallel, "parallel result must match serial");
     println!("===== execution =====");
-    println!("matrix: {} x {} with {} non-zeros", a.nrows, a.ncols, a.nnz());
+    println!(
+        "matrix: {} x {} with {} non-zeros",
+        a.nrows,
+        a.ncols,
+        a.nnz()
+    );
     println!("serial:   {t_serial:.4} s");
-    println!("parallel: {t_parallel:.4} s on {threads} threads (speedup {:.2}x)", t_serial / t_parallel.max(1e-12));
+    println!(
+        "parallel: {t_parallel:.4} s on {threads} threads (speedup {:.2}x)",
+        t_serial / t_parallel.max(1e-12)
+    );
 }

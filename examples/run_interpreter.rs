@@ -1,0 +1,58 @@
+//! Runs every catalogue kernel through the full analyze → prove → execute →
+//! validate loop and prints one line per kernel: which loops were
+//! dispatched, whether serial and parallel heaps agreed, and the measured
+//! speedup.
+//!
+//! ```text
+//! cargo run --release --example run_interpreter [-- <scale> [threads]]
+//! ```
+
+use ss_interp::{validate_source, ExecOptions, InputSpec};
+use ss_runtime::hardware_threads;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: i64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(200);
+    let threads: usize = args
+        .get(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(hardware_threads);
+
+    println!("interpreting the kernel catalogue: scale n={scale}, {threads} thread(s)\n");
+    println!(
+        "{:<24} {:>10} {:>12} {:>12} {:>9}  validation",
+        "kernel", "dispatched", "serial s", "parallel s", "speedup"
+    );
+    let opts = ExecOptions {
+        threads,
+        ..ExecOptions::default()
+    };
+    let spec = InputSpec { scale, seed: 42 };
+    for kernel in ss_npb::study_kernels() {
+        match validate_source(kernel.name, kernel.source, &spec, &opts) {
+            Ok(out) => {
+                let dispatched: Vec<String> =
+                    out.dispatched.iter().map(|l| l.to_string()).collect();
+                println!(
+                    "{:<24} {:>10} {:>12.6} {:>12.6} {:>8.2}x  {}",
+                    kernel.name,
+                    dispatched.join(","),
+                    out.serial.total_seconds,
+                    out.parallel.total_seconds,
+                    out.speedup(),
+                    if out.heaps_match {
+                        "PASS (serial == parallel)"
+                    } else {
+                        "FAIL"
+                    }
+                );
+                if !out.heaps_match {
+                    for m in out.mismatches.iter().take(5) {
+                        println!("    {m}");
+                    }
+                }
+            }
+            Err(e) => println!("{:<24} error: {e}", kernel.name),
+        }
+    }
+}

@@ -15,7 +15,10 @@ fn main() {
 
     // ---- Compile-time analysis of every CSparse kernel in the catalogue --
     println!("== compile-time analysis of the SuiteSparse kernels ==\n");
-    for k in study_kernels().iter().filter(|k| k.suite == Suite::SuiteSparse) {
+    for k in study_kernels()
+        .iter()
+        .filter(|k| k.suite == Suite::SuiteSparse)
+    {
         let report = parallelize_source(k.name, k.source).expect("catalogued kernel parses");
         let target = report
             .loop_report(ss_ir::LoopId(k.target_loop))
@@ -25,7 +28,11 @@ fn main() {
             k.name,
             k.class.label(),
             k.target_loop,
-            if target.parallel { "PARALLEL" } else { "serial" }
+            if target.parallel {
+                "PARALLEL"
+            } else {
+                "serial"
+            }
         );
         for reason in &target.reasons {
             println!("    {reason}");

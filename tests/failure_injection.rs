@@ -10,9 +10,9 @@
 
 use ss_inspector::executor::{run_range_partitioned, ExecutionStrategy, Mode};
 use ss_inspector::inspect::{inspect_index_array, InspectorConfig};
+use ss_ir::LoopId;
 use ss_parallelizer::parallelize_source;
 use ss_properties::{concrete, ArrayProperty};
-use ss_ir::LoopId;
 
 fn target_is_parallel(src: &str, target: u32) -> bool {
     let report = parallelize_source("failure_injection", src).expect("source parses");

@@ -22,7 +22,10 @@ use ss_runtime::CsrMatrix;
 #[test]
 fn compile_time_claims_hold_at_runtime_for_every_generator() {
     // Figure 2 / cs_ipvec: the analysis relies on injectivity of the map.
-    let mt_to_id: Vec<i64> = fig2::generate(20_000, 5).iter().map(|&x| x as i64).collect();
+    let mt_to_id: Vec<i64> = fig2::generate(20_000, 5)
+        .iter()
+        .map(|&x| x as i64)
+        .collect();
     let report = inspect_index_array(&mt_to_id, &InspectorConfig::serial());
     assert!(report.properties.has(ArrayProperty::Injective));
 
@@ -60,7 +63,14 @@ fn all_three_schemes_produce_identical_results_on_the_scatter_kernel() {
     let values: Vec<i64> = b.iter().map(|&v| (v * 1e6) as i64).collect();
 
     let mut serial = vec![0i64; n];
-    run_indirect_scatter(&mut serial, &index, |i| values[i], |_| true, 1, Mode::Serial);
+    run_indirect_scatter(
+        &mut serial,
+        &index,
+        |i| values[i],
+        |_| true,
+        1,
+        Mode::Serial,
+    );
 
     let mut compile_time = vec![0i64; n];
     let ct = run_indirect_scatter(
@@ -140,7 +150,10 @@ fn runtime_schemes_reject_what_the_compile_time_analysis_would_never_accept() {
     let outcome = lrpd_scatter(&mut speculative, &index, |i| i as i64, |_| true, 4);
     assert!(!outcome.speculation_succeeded);
     assert!(outcome.conflicting_elements > 0);
-    assert_eq!(inspected, speculative, "both fallbacks preserve serial semantics");
+    assert_eq!(
+        inspected, speculative,
+        "both fallbacks preserve serial semantics"
+    );
 }
 
 proptest! {

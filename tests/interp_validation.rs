@@ -1,0 +1,307 @@
+//! End-to-end differential validation of the interpreter: every kernel the
+//! compile-time analysis proves parallel must execute identically under the
+//! serial reference engine and the parallel engine, over the whole built-in
+//! catalogue and over randomly generated inputs for the Figure 2 / 5 / 9
+//! patterns.  This is the test that turns compile-time verdicts into tested
+//! claims.
+
+use proptest::prelude::*;
+use ss_interp::{
+    run_parallel, run_serial, synthesize_inputs, validate_source, ExecOptions, Heap, InputSpec,
+    ScheduleChoice,
+};
+use ss_ir::{parse_program, LoopId};
+use ss_parallelizer::parallelize;
+use ss_runtime::hardware_threads;
+
+fn opts(threads: usize, schedule: ScheduleChoice) -> ExecOptions {
+    ExecOptions {
+        threads,
+        schedule,
+        ..ExecOptions::default()
+    }
+}
+
+/// Every catalogue kernel: the analysis proves its target loop, the parallel
+/// engine dispatches it, and the serial and parallel heaps agree bit for
+/// bit.
+#[test]
+fn whole_catalogue_validates_serial_equals_parallel() {
+    for kernel in ss_npb::study_kernels() {
+        let spec = InputSpec {
+            scale: 48,
+            seed: 11,
+        };
+        let outcome = validate_source(
+            kernel.name,
+            kernel.source,
+            &spec,
+            &opts(3, ScheduleChoice::Auto),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        assert!(
+            outcome.heaps_match,
+            "{}: serial and parallel heaps diverge: {:?}",
+            kernel.name, outcome.mismatches
+        );
+        let target = LoopId(kernel.target_loop);
+        assert!(
+            outcome.proven_parallel.contains(&target),
+            "{}: target loop {target} not proven parallel ({:?})",
+            kernel.name,
+            outcome.proven_parallel
+        );
+        assert!(
+            outcome.dispatched.contains(&target),
+            "{}: target loop {target} was not dispatched ({:?})",
+            kernel.name,
+            outcome.dispatched
+        );
+    }
+}
+
+/// On a multicore host, the dispatched loops must actually buy wall-clock
+/// time on at least one kernel (the paper's Figure 10 claim, scaled down to
+/// the interpreter).  Skipped on single-CPU machines, where threads can
+/// only interleave.
+#[test]
+fn some_kernel_shows_parallel_speedup_on_multicore() {
+    if hardware_threads() < 2 {
+        eprintln!("skipping speedup check: only one hardware thread available");
+        return;
+    }
+    let threads = hardware_threads().min(4);
+    let mut best = 0.0f64;
+    for kernel in ["fig9_csr_product", "fig3_cg_colidx", "cg_spmv_rows"] {
+        let k = ss_npb::study_kernels()
+            .into_iter()
+            .find(|k| k.name == kernel)
+            .unwrap();
+        let outcome = validate_source(
+            k.name,
+            k.source,
+            &InputSpec {
+                scale: 400,
+                seed: 2,
+            },
+            &opts(threads, ScheduleChoice::Auto),
+        )
+        .unwrap();
+        assert!(outcome.heaps_match);
+        for (id, par) in &outcome.parallel.loops {
+            if let Some(ser) = outcome.serial.loops.get(id) {
+                if matches!(par.mode, ss_interp::ExecMode::Parallel { .. }) && par.seconds > 0.0 {
+                    best = best.max(ser.seconds / par.seconds);
+                }
+            }
+        }
+    }
+    assert!(
+        best > 1.0,
+        "no dispatched loop ran faster than serial on {threads} threads (best {best:.2}x)"
+    );
+}
+
+/// Regression: a loop the analysis must *not* parallelize (a histogram — the
+/// write index is an arbitrary input, massively non-injective) is never
+/// scheduled parallel, and still executes correctly.
+#[test]
+fn non_parallel_histogram_is_not_scheduled_parallel() {
+    let src = "for (i = 0; i < n; i++) { hist[idx[i]] = i; }";
+    let program = parse_program("hist", src).unwrap();
+    let report = parallelize(&program);
+    assert!(!report.loop_report(LoopId(0)).unwrap().parallel);
+    assert!(report.outermost_parallel_loops().is_empty());
+
+    let outcome = validate_source(
+        "hist",
+        src,
+        &InputSpec { scale: 96, seed: 5 },
+        &opts(4, ScheduleChoice::Auto),
+    )
+    .unwrap();
+    assert!(outcome.dispatched.is_empty(), "histogram must stay serial");
+    assert!(outcome.heaps_match);
+}
+
+const FIG2_PATTERN: &str = r#"
+    for (e = 0; e < nelt; e++) { mt_to_id[e] = nelt - 1 - e; }
+    for (miel = 0; miel < nelt; miel++) {
+        iel = mt_to_id[miel];
+        id_to_mt[iel] = vals[miel];
+    }
+"#;
+
+const FIG5_PATTERN: &str = r#"
+    for (r = 0; r < m; r++) {
+        if (matched[r] > 0) {
+            jmatch[r] = r;
+        } else {
+            jmatch[r] = 0 - 1;
+        }
+    }
+    for (i = 0; i < m; i++) {
+        if (jmatch[i] >= 0) {
+            imatch[jmatch[i]] = i;
+        }
+    }
+"#;
+
+const FIG9_PATTERN: &str = r#"
+    index = 0;
+    for (i = 0; i < ROWLEN; i++) {
+        count = 0;
+        for (j = 0; j < COLUMNLEN; j++) {
+            if (a[i][j] % 3 != 0) {
+                count++;
+                value[index] = a[i][j];
+                index++;
+            }
+        }
+        rowsize[i] = count;
+    }
+    rowptr[0] = 0;
+    for (i = 1; i < ROWLEN + 1; i++) {
+        rowptr[i] = rowptr[i-1] + rowsize[i-1];
+    }
+    for (i = 0; i < ROWLEN+1; i++) {
+        if (i == 0) {
+            j1 = i;
+        } else {
+            j1 = rowptr[i-1];
+        }
+        for (j = j1; j < rowptr[i]; j++) {
+            product_array[j] = value[j] * vector[j];
+        }
+    }
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Figure 2 pattern (injective map): arbitrary sizes, data seeds, thread
+    /// counts and schedules — serial and parallel heaps always agree, and
+    /// the scatter loop is always dispatched.
+    #[test]
+    fn fig2_pattern_equivalence(
+        scale in 2i64..300,
+        seed in 0u64..1000,
+        threads in 2usize..6,
+        dynamic in 0u8..2,
+    ) {
+        let schedule = if dynamic == 1 { ScheduleChoice::Dynamic } else { ScheduleChoice::Static };
+        let outcome = validate_source(
+            "fig2p",
+            FIG2_PATTERN,
+            &InputSpec { scale, seed },
+            &opts(threads, schedule),
+        ).unwrap();
+        prop_assert!(outcome.heaps_match, "{:?}", outcome.mismatches);
+        prop_assert!(outcome.dispatched.contains(&LoopId(1)));
+    }
+
+    /// Figure 5 pattern (injective subset under a guard): the matched-set
+    /// input is random per seed, so the guarded write subset varies.
+    #[test]
+    fn fig5_pattern_equivalence(
+        scale in 2i64..300,
+        seed in 0u64..1000,
+        threads in 2usize..6,
+    ) {
+        let outcome = validate_source(
+            "fig5p",
+            FIG5_PATTERN,
+            &InputSpec { scale, seed },
+            &opts(threads, ScheduleChoice::Auto),
+        ).unwrap();
+        prop_assert!(outcome.heaps_match, "{:?}", outcome.mismatches);
+        prop_assert!(outcome.dispatched.contains(&LoopId(1)));
+    }
+
+    /// Figure 9 pattern (monotonic row pointers from a random matrix): the
+    /// nonzero structure — and with it the generated rowptr index array —
+    /// varies with every seed.
+    #[test]
+    fn fig9_pattern_equivalence(
+        scale in 2i64..60,
+        seed in 0u64..1000,
+        threads in 2usize..6,
+    ) {
+        let outcome = validate_source(
+            "fig9p",
+            FIG9_PATTERN,
+            &InputSpec { scale, seed },
+            &opts(threads, ScheduleChoice::Auto),
+        ).unwrap();
+        prop_assert!(outcome.heaps_match, "{:?}", outcome.mismatches);
+        // Loop 3 is the outer product loop (0/1 construction, 2 prefix sum).
+        prop_assert!(outcome.dispatched.contains(&LoopId(3)));
+    }
+
+    /// Heap-level equivalence on explicitly generated permutations (the
+    /// cs_ipvec shape), including the degenerate 1-element case.
+    #[test]
+    fn explicit_permutation_scatter_equivalence(
+        n in 1i64..500,
+        rot in 0i64..500,
+        threads in 2usize..6,
+    ) {
+        let src = r#"
+            for (k = 0; k < n; k++) { p[k] = (k + rot) % n; }
+            for (k = 0; k < n; k++) { x[p[k]] = b[k]; }
+        "#;
+        let program = parse_program("ipvec_rot", src).unwrap();
+        let report = parallelize(&program);
+        let heap = Heap::new()
+            .with_scalar("n", n)
+            .with_scalar("rot", rot)
+            .with_array("p", vec![0; n as usize])
+            .with_array("b", (0..n).map(|i| i * 3 + 1).collect())
+            .with_array("x", vec![-1; n as usize]);
+        let serial = run_serial(&program, heap.clone()).unwrap();
+        let parallel = run_parallel(&program, &report, heap, &opts(threads, ScheduleChoice::Static)).unwrap();
+        prop_assert_eq!(&serial.heap, &parallel.heap);
+    }
+}
+
+/// The inspector baseline three-way comparison: on an opaque permutation the
+/// compile-time analysis must stay serial, while the runtime inspector
+/// (which sees the data) licenses parallel execution — and on a histogram
+/// both refuse.
+#[test]
+fn inspector_baseline_three_way_comparison() {
+    let opts = ExecOptions {
+        threads: 4,
+        baseline_inspector: true,
+        ..ExecOptions::default()
+    };
+
+    let scatter = parse_program(
+        "opaque_scatter",
+        "for (i = 0; i < n; i++) { x[perm[i]] = i; }",
+    )
+    .unwrap();
+    let report = parallelize(&scatter);
+    assert!(report.outermost_parallel_loops().is_empty());
+    let n = 64i64;
+    let heap = Heap::new()
+        .with_scalar("n", n)
+        .with_array("perm", (0..n).rev().collect())
+        .with_array("x", vec![0; n as usize]);
+    let out = run_parallel(&scatter, &report, heap, &opts).unwrap();
+    assert_eq!(
+        out.stats.loops[&LoopId(0)].inspector_conflict_free,
+        Some(true),
+        "inspector sees the permutation is injective"
+    );
+
+    let hist = parse_program("hist", "for (i = 0; i < n; i++) { h[k[i]] = i; }").unwrap();
+    let report = parallelize(&hist);
+    let heap = synthesize_inputs(&hist, &InputSpec { scale: 64, seed: 9 }).unwrap();
+    let out = run_parallel(&hist, &report, heap, &opts).unwrap();
+    assert_eq!(
+        out.stats.loops[&LoopId(0)].inspector_conflict_free,
+        Some(false),
+        "inspector observes write conflicts on the histogram"
+    );
+}

@@ -94,7 +94,11 @@ fn figure9_end_to_end_matches_the_manual_parallelization() {
     // parallelism hinges on the index-array property.
     for l in &report.loops {
         if l.manually_parallel {
-            assert!(l.parallel, "manual oracle loop {} must be detected", l.loop_id);
+            assert!(
+                l.parallel,
+                "manual oracle loop {} must be detected",
+                l.loop_id
+            );
             assert!(!l.baseline_parallel);
         }
     }

@@ -35,7 +35,10 @@ fn derived_properties_hold_on_concrete_index_arrays() {
     // Figure 5: the non-negative subset of jmatch really is injective.
     let jmatch = fig5::generate(5000, 0.5, 9);
     assert!(concrete::is_injective_subset(&jmatch, |x| x >= 0));
-    assert!(concrete::writes_are_conflict_free(&jmatch, Some(&|x| x >= 0)));
+    assert!(concrete::writes_are_conflict_free(
+        &jmatch,
+        Some(&|x| x >= 0)
+    ));
     // Figure 6: r really is monotonic and p injective.
     let (r, p) = fig6::generate(300, 10, 9);
     let ri: Vec<i64> = r.iter().map(|&x| x as i64).collect();

@@ -1,0 +1,215 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], `criterion_group!` / `criterion_main!`
+//! — backed by a simple mean-of-samples timer instead of criterion's
+//! statistical machinery.  Results are printed one line per benchmark:
+//!
+//! ```text
+//! group/name              time:   123.4 µs/iter   (31 iters x 4 samples)
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id rendered as the bare parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    samples: usize,
+    /// Filled by [`Bencher::iter`]: (mean seconds per iteration, iterations per sample).
+    result: Option<(f64, usize)>,
+}
+
+impl Bencher {
+    /// Measures `routine`, averaging over adaptively chosen iteration counts.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that takes ≥ ~5 ms.
+        let mut iters = 1usize;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 4;
+        };
+        let _ = per_iter;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            total += start.elapsed();
+        }
+        let mean = total.as_secs_f64() / (self.samples * iters) as f64;
+        self.result = Some((mean, iters));
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, iters)) => {
+            let (value, unit) = if mean >= 1.0 {
+                (mean, "s")
+            } else if mean >= 1e-3 {
+                (mean * 1e3, "ms")
+            } else if mean >= 1e-6 {
+                (mean * 1e6, "µs")
+            } else {
+                (mean * 1e9, "ns")
+            };
+            println!(
+                "{label:<48} time: {value:>10.2} {unit}/iter   ({iters} iters x {samples} samples)"
+            );
+        }
+        None => println!("{label:<48} (no measurement recorded)"),
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.samples.min(10), &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.samples.min(10), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), 10, &mut f);
+        self
+    }
+}
+
+/// Declares a function running the given benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_positive_mean() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("a", 3).to_string(), "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for `crossbeam`, implementing the `thread::scope` API the
+//! workspace uses on top of `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Differences from real crossbeam: a panic in a spawned thread propagates
+//! out of [`thread::scope`] (via std's scope semantics) instead of being
+//! collected into the returned `Result`, so the `Err` arm is never taken.
+//! Every call site in the workspace immediately `.expect()`s the result, so
+//! the observable behavior — abort with a panic message — is identical.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of joining a scoped thread, mirroring `std::thread::Result`.
+    pub type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; wraps [`std::thread::Scope`] so spawned closures can
+    /// receive a `&Scope` argument the way crossbeam's do.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result.
+        pub fn join(self) -> ThreadResult<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives a scope handle so it
+        /// can spawn further threads, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning scoped threads; all threads are joined
+    /// before this returns.
+    pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        let total = thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let counter = &counter;
+                    scope.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        i * 10
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        assert_eq!(total, 10 + 20 + 30);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let hit = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            scope.spawn(|inner_scope| {
+                inner_scope.spawn(|_| {
+                    hit.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+}

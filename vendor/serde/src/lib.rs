@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides just enough surface for the workspace to compile without network
+//! access: marker traits named `Serialize` / `Deserialize` and re-exported
+//! no-op derive macros of the same names.  No serialization is performed
+//! anywhere in the workspace; see `vendor/serde_derive` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; nothing in the
+/// workspace serializes values).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The repository vendors its external dependencies because it must build
+//! without network access.  Nothing in the workspace serializes values —
+//! the `#[derive(Serialize, Deserialize)]` attributes on the IR types only
+//! exist so that downstream users *could* serialize reports — so the derive
+//! macros here expand to nothing.  Swap in the real `serde`/`serde_derive`
+//! by editing `vendor/` out of the workspace if JSON output is ever needed.
+
+use proc_macro::TokenStream;
+
+/// Derive macro for `serde::Serialize`; expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive macro for `serde::Deserialize`; expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
