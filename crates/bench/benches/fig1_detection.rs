@@ -19,12 +19,10 @@ fn bench_detection(c: &mut Criterion) {
         group.bench_function(&input.name, |b| {
             b.iter(|| {
                 let report = parallelize_source(&input.name, &input.source).unwrap();
-                assert!(
-                    report
-                        .loop_report(ss_ir::LoopId(input.target_loop))
-                        .unwrap()
-                        .parallel
-                );
+                assert!(report
+                    .loop_report(ss_ir::LoopId(input.target_loop))
+                    .unwrap()
+                    .is_parallelizable());
             })
         });
     }

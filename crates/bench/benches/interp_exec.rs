@@ -1,14 +1,22 @@
 //! Interpreter execution cost: the Figure 9 product kernel executed by the
-//! serial reference engine, by the parallel engine (compile-time verdicts,
-//! zero runtime analysis), and — for the runtime-machinery comparison the
-//! paper argues against — by the native inspector/executor driver on the
-//! same CSR data.
+//! compiled (slot-resolved) serial engine, by the tree-walking serial
+//! engine it replaced, by the parallel engine (compile-time verdicts, zero
+//! runtime analysis), and — for the runtime-machinery comparison the paper
+//! argues against — by the native inspector/executor driver on the same
+//! CSR data.
+//!
+//! The compiled-vs-ast pair is the per-iteration interpretation-cost
+//! measurement: identical program, identical inputs, identical single
+//! thread — the only difference is slot-addressed frames vs name-keyed
+//! tree walking.
 //!
 //! Run with `cargo bench -p ss-bench --bench interp_exec`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ss_inspector::executor::{run_range_partitioned, Mode};
-use ss_interp::{run_parallel, run_serial, synthesize_inputs, ExecOptions, InputSpec};
+use ss_interp::{
+    run_parallel, run_serial_with, synthesize_inputs, EngineChoice, ExecOptions, InputSpec,
+};
 use ss_npb::kernels::fig9;
 use ss_runtime::{hardware_threads, CsrMatrix};
 
@@ -27,9 +35,19 @@ fn bench_interp(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("interp_exec_fig9");
     group.sample_size(10);
-    group.bench_function("serial_engine", |b| {
-        b.iter(|| run_serial(&program, initial.clone()).unwrap())
-    });
+    for (label, engine) in [
+        ("serial_engine_compiled", EngineChoice::Compiled),
+        ("serial_engine_ast", EngineChoice::Ast),
+    ] {
+        let opts = ExecOptions {
+            threads: 1,
+            engine,
+            ..ExecOptions::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| run_serial_with(&program, initial.clone(), &opts).unwrap())
+        });
+    }
     for threads in [2usize, 4] {
         if threads > hardware_threads() * 2 {
             continue;

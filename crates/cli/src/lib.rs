@@ -21,7 +21,9 @@
 #![warn(missing_docs)]
 
 use ss_aggregation::analyze_program;
-use ss_interp::{synthesize_inputs, validate, ExecMode, ExecOptions, InputSpec, ScheduleChoice};
+use ss_interp::{
+    synthesize_inputs, validate, EngineChoice, ExecMode, ExecOptions, InputSpec, ScheduleChoice,
+};
 use ss_ir::{parse_program, LoopId};
 use ss_parallelizer::{parallelize, parallelize_source, run_study, StudyInput};
 
@@ -96,9 +98,11 @@ pub fn usage() -> String {
      \u{20}   --threads <N>           worker threads (default: all hardware threads)\n\
      \u{20}   --n <SIZE>              input scale: loop bounds / data modulus (default 256)\n\
      \u{20}   --seed <S>              input data seed (default 1)\n\
-     \u{20}   --validate              assert serial and parallel heaps are identical\n\
+     \u{20}   --validate              assert serial-ast, serial and parallel heaps are identical\n\
      \u{20}   --baseline inspector    run the runtime-inspector baseline on serial loops\n\
-     \u{20}   --schedule <auto|static|dynamic>  scheduling of parallel loops (default auto)\n"
+     \u{20}   --schedule <auto|static|dynamic>  scheduling of parallel loops (default auto)\n\
+     \u{20}   --engine <compiled|ast> compiled (slot-resolved) execution or the\n\
+     \u{20}                           tree-walking reference engine (default compiled)\n"
         .to_string()
 }
 
@@ -162,6 +166,8 @@ pub struct RunOptions {
     pub baseline_inspector: bool,
     /// Scheduling of dispatched loops.
     pub schedule: ScheduleChoice,
+    /// Execution engine (compiled slots or tree-walking reference).
+    pub engine: EngineChoice,
 }
 
 impl Default for RunOptions {
@@ -173,6 +179,7 @@ impl Default for RunOptions {
             validate: false,
             baseline_inspector: false,
             schedule: ScheduleChoice::Auto,
+            engine: EngineChoice::Compiled,
         }
     }
 }
@@ -249,6 +256,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             Some(&"auto") => ScheduleChoice::Auto,
                             Some(&"static") => ScheduleChoice::Static,
                             Some(&"dynamic") => ScheduleChoice::Dynamic,
+                            _ => return Err(CliError::Usage(usage())),
+                        };
+                        i += 2;
+                    }
+                    "--engine" => {
+                        options.engine = match rest.get(i + 1) {
+                            Some(&"compiled") => EngineChoice::Compiled,
+                            Some(&"ast") => EngineChoice::Ast,
                             _ => return Err(CliError::Usage(usage())),
                         };
                         i += 2;
@@ -362,7 +377,22 @@ fn analyze_text(
     let mut out = String::new();
     out.push_str(&format!("== {name}: per-loop verdicts ==\n"));
     for l in &report.loops {
-        let verdict = if l.parallel { "PARALLEL" } else { "serial" };
+        let reduction_verdict;
+        let verdict = if l.parallel {
+            "PARALLEL"
+        } else if !l.reductions.is_empty() {
+            reduction_verdict = format!(
+                "PARALLEL (reduction {})",
+                l.reductions
+                    .iter()
+                    .map(|r| format!("{}:{}", r.op.symbol(), r.var))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            reduction_verdict.as_str()
+        } else {
+            "serial"
+        };
         out.push_str(&format!(
             "loop {:<3} (depth {}, index '{}'): {}\n",
             l.loop_id.0, l.depth, l.index_var, verdict
@@ -453,15 +483,27 @@ fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, Cl
     let exec_opts = ExecOptions {
         threads,
         schedule: options.schedule,
+        engine: options.engine,
         baseline_inspector: options.baseline_inspector,
         ..ExecOptions::default()
     };
     let outcome = validate(&program, &report, &initial, &exec_opts)
         .map_err(|e| CliError::Exec(e.to_string()))?;
 
+    // The inspector baseline's recording store is a tree-walker feature:
+    // run_parallel uses the AST engine whenever it is requested, so report
+    // the engine that actually executed.
+    let engine_name = if options.baseline_inspector {
+        "ast (inspector baseline)"
+    } else {
+        match options.engine {
+            EngineChoice::Compiled => "compiled",
+            EngineChoice::Ast => "ast",
+        }
+    };
     let mut out = String::new();
     out.push_str(&format!(
-        "== {name}: executed with scale n={} seed={} on {threads} thread(s) ==\n\n",
+        "== {name}: executed with scale n={} seed={} on {threads} thread(s), {engine_name} engine ==\n\n",
         options.scale, options.seed
     ));
     out.push_str(&format!(
@@ -469,7 +511,13 @@ fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, Cl
         "loop", "index", "verdict", "execution", "serial s", "parallel s", "speedup"
     ));
     for l in &report.loops {
-        let verdict = if l.parallel { "PARALLEL" } else { "serial" };
+        let verdict = if l.parallel {
+            "PARALLEL"
+        } else if !l.reductions.is_empty() {
+            "REDUCTION"
+        } else {
+            "serial"
+        };
         let (mode, inspected) = match outcome.parallel.loops.get(&l.loop_id) {
             Some(s) => (
                 match s.mode {
@@ -525,7 +573,9 @@ fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, Cl
     ));
     if options.validate {
         if outcome.heaps_match {
-            out.push_str("validation: PASS (serial and parallel heaps are bit-identical)\n");
+            out.push_str(
+                "validation: PASS (serial-ast, serial and parallel heaps are bit-identical)\n",
+            );
         } else {
             return Err(CliError::Validation(format!(
                 "{name}: serial and parallel heaps diverge:\n  {}",
@@ -723,7 +773,9 @@ mod tests {
                 "--baseline",
                 "inspector",
                 "--schedule",
-                "dynamic"
+                "dynamic",
+                "--engine",
+                "ast"
             ]))
             .unwrap(),
             Command::Run {
@@ -735,6 +787,7 @@ mod tests {
                     validate: true,
                     baseline_inspector: true,
                     schedule: ScheduleChoice::Dynamic,
+                    engine: EngineChoice::Ast,
                 },
             }
         );
@@ -752,6 +805,8 @@ mod tests {
             vec!["run", "k.c", "--n", "0"],
             vec!["run", "k.c", "--baseline", "lrpd"],
             vec!["run", "k.c", "--schedule", "guided"],
+            vec!["run", "k.c", "--engine", "jit"],
+            vec!["run", "k.c", "--engine"],
         ] {
             assert!(
                 matches!(parse_args(&args(&bad)), Err(CliError::Usage(_))),
@@ -781,6 +836,60 @@ mod tests {
         assert!(out.contains("threads"));
         assert!(out.contains("validation: PASS"));
         assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn run_validates_under_both_engines() {
+        let reader = MapReader(HashMap::new());
+        for engine in ["compiled", "ast"] {
+            let out = run(
+                &args(&[
+                    "run",
+                    "--kernel",
+                    "fig9_csr_product",
+                    "--threads",
+                    "2",
+                    "--n",
+                    "120",
+                    "--engine",
+                    engine,
+                    "--validate",
+                ]),
+                &reader,
+            )
+            .unwrap();
+            assert!(out.contains(&format!("{engine} engine")), "{out}");
+            assert!(out.contains("validation: PASS"), "{engine}: {out}");
+        }
+    }
+
+    #[test]
+    fn analyze_and_run_report_reduction_verdicts() {
+        let reader = MapReader(HashMap::new());
+        let out = run(
+            &args(&["analyze", "--kernel", "cg_norm_reduction"]),
+            &reader,
+        )
+        .unwrap();
+        assert!(out.contains("PARALLEL (reduction +:total)"), "{out}");
+        assert!(out.contains("#pragma omp parallel for reduction(+:total)"));
+
+        let out = run(
+            &args(&[
+                "run",
+                "--kernel",
+                "cg_norm_reduction",
+                "--threads",
+                "2",
+                "--n",
+                "100",
+                "--validate",
+            ]),
+            &reader,
+        )
+        .unwrap();
+        assert!(out.contains("REDUCTION"), "{out}");
+        assert!(out.contains("validation: PASS"));
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The analysis pipeline: parse → aggregate → dependence-test → annotate.
 
+use crate::reduction::{recognize_reductions, ReductionInfo};
 use ss_aggregation::{analyze_program, ProgramAnalysis};
 use ss_deptest::{test_loop, LoopVerdict, RangeTestConfig};
 use ss_ir::loops::LoopTree;
+use ss_ir::slots::SlotMap;
 use ss_ir::{parse_program, print_program_with, LoopId, PrintOptions, Program};
 use ss_properties::PropertyDatabase;
 
@@ -31,6 +33,21 @@ pub struct LoopReport {
     pub reasons: Vec<String>,
     /// What blocked parallelization (empty when parallel).
     pub blockers: Vec<String>,
+    /// Recognized reduction accumulators.  Non-empty exactly when the loop
+    /// is parallelizable *as a reduction*: every dependence blocker was a
+    /// carried scalar, and every carried scalar is a well-formed
+    /// accumulator (`+`, `min` or `max`).  Such loops have
+    /// `parallel == false` (they are not independence-parallel) but are
+    /// dispatched by executors with per-thread partials and a combiner.
+    pub reductions: Vec<ReductionInfo>,
+}
+
+impl LoopReport {
+    /// True when an executor may run the loop's iterations concurrently —
+    /// either fully independent (`parallel`) or via reduction dispatch.
+    pub fn is_parallelizable(&self) -> bool {
+        self.parallel || !self.reductions.is_empty()
+    }
 }
 
 /// The full report for a program.
@@ -73,22 +90,23 @@ impl ParallelizationReport {
             .collect()
     }
 
-    /// True if the loop is parallel and no enclosing loop is — the loops an
-    /// executor actually dispatches to threads (inner parallel loops run
-    /// serially inside their parallel ancestor, exactly as the `#pragma`
-    /// annotation logic avoids nesting OpenMP regions).
+    /// True if the loop is parallelizable (independence- or
+    /// reduction-parallel) and no enclosing loop is — the loops an executor
+    /// actually dispatches to threads (inner parallel loops run serially
+    /// inside their parallel ancestor, exactly as the `#pragma` annotation
+    /// logic avoids nesting OpenMP regions).
     pub fn is_outermost_parallel(&self, id: LoopId) -> bool {
         let Some(report) = self.loop_report(id) else {
             return false;
         };
-        if !report.parallel {
+        if !report.is_parallelizable() {
             return false;
         }
         let mut parent = report.parent;
         while let Some(p) = parent {
             match self.loop_report(p) {
                 Some(anc) => {
-                    if anc.parallel {
+                    if anc.is_parallelizable() {
                         return false;
                     }
                     parent = anc.parent;
@@ -116,9 +134,15 @@ impl ParallelizationReport {
         let mut out = String::new();
         out.push_str(&format!("program {}\n", self.name));
         for l in &self.loops {
+            let reduction_status;
             let status = match (l.parallel, l.baseline_parallel) {
                 (true, true) => "parallel (also without properties)",
                 (true, false) => "PARALLEL (enabled by index-array properties)",
+                (false, _) if !l.reductions.is_empty() => {
+                    reduction_status =
+                        format!("PARALLEL (reduction {})", reduction_clause(&l.reductions));
+                    reduction_status.as_str()
+                }
                 (false, _) => "serial",
             };
             out.push_str(&format!(
@@ -146,6 +170,7 @@ pub fn parallelize_source(name: &str, src: &str) -> Result<ParallelizationReport
 pub fn parallelize(program: &Program) -> ParallelizationReport {
     let analysis: ProgramAnalysis = analyze_program(program);
     let tree = LoopTree::build(program);
+    let slots = SlotMap::build(program);
     let extended_cfg = RangeTestConfig::default();
     let baseline_cfg = RangeTestConfig::baseline();
     let mut loops = Vec::new();
@@ -153,6 +178,33 @@ pub fn parallelize(program: &Program) -> ParallelizationReport {
         let db = analysis.db_for_loop(info.id);
         let extended: LoopVerdict = test_loop(program, &tree, info.id, db, &extended_cfg);
         let baseline: LoopVerdict = test_loop(program, &tree, info.id, db, &baseline_cfg);
+        // A loop blocked *only* by carried scalars that all turn out to be
+        // well-formed accumulators is reduction-parallel.
+        let reductions = if !extended.parallel
+            && !extended.carried_scalars.is_empty()
+            && extended.blockers.len() == extended.carried_scalars.len()
+        {
+            let recognized = recognize_reductions(program, info.id, &slots);
+            if extended
+                .carried_scalars
+                .iter()
+                .all(|s| recognized.iter().any(|r| r.var == *s))
+            {
+                recognized
+            } else {
+                Vec::new()
+            }
+        } else {
+            Vec::new()
+        };
+        let mut reasons = extended.reasons;
+        for r in &reductions {
+            reasons.push(format!(
+                "scalar '{}' is a {} reduction (dispatched with per-thread partials)",
+                r.var,
+                r.op.symbol()
+            ));
+        }
         loops.push(LoopReport {
             loop_id: info.id,
             index_var: info.var.clone(),
@@ -164,8 +216,13 @@ pub fn parallelize(program: &Program) -> ParallelizationReport {
             manually_parallel: info.manually_parallel(),
             parallel: extended.parallel,
             baseline_parallel: baseline.parallel,
-            reasons: extended.reasons,
-            blockers: extended.blockers,
+            reasons,
+            blockers: if reductions.is_empty() {
+                extended.blockers
+            } else {
+                Vec::new()
+            },
+            reductions,
         });
     }
     // Annotate outermost parallel loops.
@@ -177,11 +234,28 @@ pub fn parallelize(program: &Program) -> ParallelizationReport {
     };
     let mut opts = PrintOptions::default();
     for id in report.outermost_parallel_loops() {
-        opts.extra_pragmas
-            .insert(id.0, vec!["omp parallel for".to_string()]);
+        let l = report.loop_report(id).expect("outermost loop has a report");
+        let pragma = if l.reductions.is_empty() {
+            "omp parallel for".to_string()
+        } else {
+            format!(
+                "omp parallel for reduction({})",
+                reduction_clause(&l.reductions)
+            )
+        };
+        opts.extra_pragmas.insert(id.0, vec![pragma]);
     }
     report.annotated_source = print_program_with(program, &opts);
     report
+}
+
+/// Renders reductions as an OpenMP-style clause body: `+:total,min:best`.
+fn reduction_clause(reductions: &[ReductionInfo]) -> String {
+    reductions
+        .iter()
+        .map(|r| format!("{}:{}", r.op.symbol(), r.var))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 #[cfg(test)]
@@ -282,6 +356,53 @@ mod tests {
         assert!(report.is_outermost_parallel(LoopId(0)));
         assert!(!report.is_outermost_parallel(LoopId(1)));
         assert!(!report.is_outermost_parallel(LoopId(99)));
+    }
+
+    #[test]
+    fn sum_reduction_loops_are_scheduled_parallel_with_a_combiner() {
+        let report = parallelize_source(
+            "sum",
+            r#"
+            total = 0;
+            for (k = 0; k < n; k++) {
+                total += a[k];
+            }
+        "#,
+        )
+        .unwrap();
+        let l = report.loop_report(LoopId(0)).unwrap();
+        assert!(!l.parallel, "a reduction is not independence-parallel");
+        assert!(l.is_parallelizable());
+        assert_eq!(l.reductions.len(), 1);
+        assert_eq!(l.reductions[0].var, "total");
+        assert_eq!(l.reductions[0].op, crate::reduction::ReductionOp::Add);
+        assert!(l.blockers.is_empty());
+        assert!(report.outermost_parallel_loops().contains(&LoopId(0)));
+        assert!(report
+            .annotated_source
+            .contains("#pragma omp parallel for reduction(+:total)"));
+        assert!(report.summary().contains("reduction"));
+    }
+
+    #[test]
+    fn reduction_plus_array_dependence_stays_serial() {
+        // The histogram write blocks the loop regardless of the recognized
+        // accumulator shape on `total`.
+        let report = parallelize_source(
+            "mix",
+            r#"
+            total = 0;
+            for (i = 0; i < n; i++) {
+                hist[idx[i]] = i;
+                total += idx[i];
+            }
+        "#,
+        )
+        .unwrap();
+        let l = report.loop_report(LoopId(0)).unwrap();
+        assert!(!l.is_parallelizable());
+        assert!(l.reductions.is_empty());
+        assert!(report.outermost_parallel_loops().is_empty());
     }
 
     #[test]

@@ -1,0 +1,433 @@
+//! Reduction recognition: turning carried scalar dependences into parallel
+//! verdicts.
+//!
+//! A loop like `for (k = 0; k < n; k++) { total += value[k]; }` fails the
+//! privatization test — `total` is read before written in every iteration —
+//! yet it is parallelizable with per-thread partial accumulators merged by
+//! the operator.  This pass recognizes the accumulation shapes the executor
+//! can dispatch *exactly* (integer `+`/`-` wrap, `min`/`max` are idempotent,
+//! so any partition of the iteration space reproduces the serial result
+//! bit for bit):
+//!
+//! * **sum** — `acc += e`, `acc -= e`, `acc = acc + e`, `acc = e + acc`,
+//!   `acc = acc - e`;
+//! * **min** — `if (e < acc) { acc = e; }` (any of the four orientations of
+//!   the comparison, strict or not);
+//! * **max** — the mirror image.
+//!
+//! A scalar qualifies only when **every** mention of it in the loop body is
+//! one of these update statements (all of the same operator) and the term
+//! `e` never reads the accumulator — any other read or write would make the
+//! intermediate value observable and the combiner merge unsound.  The
+//! loop's own bound/step must not read the accumulator either (dispatch
+//! evaluates them once, up front).
+
+use ss_ir::ast::{AExpr, AssignOp, BinOp, LoopId, Program, Stmt};
+use ss_ir::slots::{ScalarSlot, SlotMap};
+
+/// The combiner of a recognized reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReductionOp {
+    /// Sum (covers `+=` and `-=`: wrapping addition commutes either way).
+    Add,
+    /// Minimum (guarded compare-and-assign).
+    Min,
+    /// Maximum (guarded compare-and-assign).
+    Max,
+}
+
+impl ReductionOp {
+    /// The identity element partial accumulators start from.
+    pub fn identity(self) -> i64 {
+        match self {
+            ReductionOp::Add => 0,
+            ReductionOp::Min => i64::MAX,
+            ReductionOp::Max => i64::MIN,
+        }
+    }
+
+    /// Merges two partial results.
+    pub fn combine(self, a: i64, b: i64) -> i64 {
+        match self {
+            ReductionOp::Add => a.wrapping_add(b),
+            ReductionOp::Min => a.min(b),
+            ReductionOp::Max => a.max(b),
+        }
+    }
+
+    /// OpenMP-style clause symbol (`+`, `min`, `max`).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ReductionOp::Add => "+",
+            ReductionOp::Min => "min",
+            ReductionOp::Max => "max",
+        }
+    }
+}
+
+/// One recognized reduction accumulator of a loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReductionInfo {
+    /// The accumulator's slot in the program's [`SlotMap`] (what the
+    /// compiled executor indexes its dense frame with).
+    pub slot: ScalarSlot,
+    /// The accumulator's name (for reports and the AST reference engine).
+    pub var: String,
+    /// The combiner.
+    pub op: ReductionOp,
+}
+
+/// Recognizes the reduction accumulators of a `for` loop.  Returns one
+/// [`ReductionInfo`] per scalar whose every mention in the body is a
+/// well-formed update of a single operator; scalars that fail the shape
+/// test are simply absent (the caller decides whether the remaining
+/// blockers still forbid parallel execution).
+pub fn recognize_reductions(program: &Program, id: LoopId, slots: &SlotMap) -> Vec<ReductionInfo> {
+    let Some(Stmt::For {
+        var,
+        init,
+        bound,
+        step,
+        body,
+        ..
+    }) = program.find_loop(id)
+    else {
+        return Vec::new();
+    };
+    let mut accumulators = Vec::new();
+    for name in assigned_scalars(body) {
+        if name == *var {
+            continue;
+        }
+        // Dispatch evaluates the loop header once; an accumulator feeding
+        // its own loop's bound would change the trip count mid-loop.
+        if expr_mentions(init, &name) || expr_mentions(bound, &name) || expr_mentions(step, &name) {
+            continue;
+        }
+        if let Some(op) = classify(body, &name) {
+            let Some(slot) = slots.scalar_slot(&name) else {
+                continue;
+            };
+            accumulators.push(ReductionInfo {
+                slot,
+                var: name,
+                op,
+            });
+        }
+    }
+    accumulators
+}
+
+/// All scalars assigned anywhere in the statement list (including inner
+/// loop index variables and declarations).
+fn assigned_scalars(stmts: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk(stmts: &[Stmt], out: &mut Vec<String>) {
+        for s in stmts {
+            match s {
+                Stmt::Assign { target, .. }
+                    if target.is_scalar() && !out.contains(&target.name) =>
+                {
+                    out.push(target.name.clone());
+                }
+                Stmt::Decl { name, dims, .. } if dims.is_empty() && !out.contains(name) => {
+                    out.push(name.clone());
+                }
+                Stmt::For { var, .. } if !out.contains(var) => {
+                    out.push(var.clone());
+                }
+                _ => {}
+            }
+            for block in s.child_blocks() {
+                walk(block, out);
+            }
+        }
+    }
+    walk(stmts, &mut out);
+    out
+}
+
+fn expr_mentions(e: &AExpr, name: &str) -> bool {
+    let mut found = false;
+    e.for_each(&mut |x| {
+        if matches!(x, AExpr::Var(v) if v == name) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn is_var(e: &AExpr, name: &str) -> bool {
+    matches!(e, AExpr::Var(v) if v == name)
+}
+
+/// Classifies `acc` over the whole body: `Some(op)` iff every statement
+/// mentioning `acc` is an update of that operator, and at least one update
+/// exists.
+fn classify(body: &[Stmt], acc: &str) -> Option<ReductionOp> {
+    let mut op: Option<ReductionOp> = None;
+    let mut updates = 0usize;
+    if !scan(body, acc, &mut op, &mut updates) {
+        return None;
+    }
+    if updates == 0 {
+        return None;
+    }
+    op
+}
+
+fn scan(stmts: &[Stmt], acc: &str, op: &mut Option<ReductionOp>, updates: &mut usize) -> bool {
+    for s in stmts {
+        if let Some(kind) = match_update(s, acc) {
+            match *op {
+                None => *op = Some(kind),
+                Some(existing) if existing == kind => {}
+                Some(_) => return false,
+            }
+            *updates += 1;
+            continue;
+        }
+        // Not an update: the statement must not touch `acc` at all.
+        match s {
+            Stmt::Decl { name, dims, init } => {
+                if name == acc && dims.is_empty() {
+                    return false;
+                }
+                if dims.iter().any(|d| expr_mentions(d, acc)) {
+                    return false;
+                }
+                if init.as_ref().is_some_and(|e| expr_mentions(e, acc)) {
+                    return false;
+                }
+            }
+            Stmt::Assign { target, value, .. } => {
+                if target.is_scalar() && target.name == acc {
+                    return false;
+                }
+                if expr_mentions(value, acc) || target.indices.iter().any(|i| expr_mentions(i, acc))
+                {
+                    return false;
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if expr_mentions(cond, acc) {
+                    return false;
+                }
+                if !scan(then_branch, acc, op, updates) || !scan(else_branch, acc, op, updates) {
+                    return false;
+                }
+            }
+            Stmt::For {
+                var,
+                init,
+                bound,
+                step,
+                body,
+                ..
+            } => {
+                if var == acc
+                    || expr_mentions(init, acc)
+                    || expr_mentions(bound, acc)
+                    || expr_mentions(step, acc)
+                {
+                    return false;
+                }
+                if !scan(body, acc, op, updates) {
+                    return false;
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                if expr_mentions(cond, acc) {
+                    return false;
+                }
+                if !scan(body, acc, op, updates) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Matches one statement as a reduction update of `acc`.
+fn match_update(s: &Stmt, acc: &str) -> Option<ReductionOp> {
+    match s {
+        // acc += e / acc -= e / acc = acc + e / acc = e + acc / acc = acc - e
+        Stmt::Assign { target, op, value } if target.is_scalar() && target.name == acc => {
+            match op {
+                AssignOp::AddAssign | AssignOp::SubAssign => {
+                    (!expr_mentions(value, acc)).then_some(ReductionOp::Add)
+                }
+                AssignOp::MulAssign => None,
+                AssignOp::Assign => {
+                    let AExpr::Binary(bop, a, b) = value else {
+                        return None;
+                    };
+                    match bop {
+                        BinOp::Add => ((is_var(a, acc) && !expr_mentions(b, acc))
+                            || (is_var(b, acc) && !expr_mentions(a, acc)))
+                        .then_some(ReductionOp::Add),
+                        BinOp::Sub if is_var(a, acc) && !expr_mentions(b, acc) => {
+                            Some(ReductionOp::Add)
+                        }
+                        _ => None,
+                    }
+                }
+            }
+        }
+        // if (e REL acc) { acc = e; }   — min/max update
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } if else_branch.is_empty() && then_branch.len() == 1 => {
+            let Stmt::Assign {
+                target,
+                op: AssignOp::Assign,
+                value,
+            } = &then_branch[0]
+            else {
+                return None;
+            };
+            if !target.is_scalar() || target.name != acc || expr_mentions(value, acc) {
+                return None;
+            }
+            let AExpr::Binary(rel, a, b) = cond else {
+                return None;
+            };
+            // `value REL acc` orientation…
+            if **a == *value && is_var(b, acc) {
+                return match rel {
+                    BinOp::Lt | BinOp::Le => Some(ReductionOp::Min),
+                    BinOp::Gt | BinOp::Ge => Some(ReductionOp::Max),
+                    _ => None,
+                };
+            }
+            // …or `acc REL value`.
+            if is_var(a, acc) && **b == *value {
+                return match rel {
+                    BinOp::Gt | BinOp::Ge => Some(ReductionOp::Min),
+                    BinOp::Lt | BinOp::Le => Some(ReductionOp::Max),
+                    _ => None,
+                };
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_ir::parse_program;
+
+    fn recognize(src: &str, loop_id: u32) -> Vec<ReductionInfo> {
+        let p = parse_program("t", src).unwrap();
+        let slots = SlotMap::build(&p);
+        recognize_reductions(&p, LoopId(loop_id), &slots)
+    }
+
+    #[test]
+    fn sum_forms_are_recognized() {
+        for src in [
+            "total = 0; for (k = 0; k < n; k++) { total += a[k]; }",
+            "total = 0; for (k = 0; k < n; k++) { total = total + a[k]; }",
+            "total = 0; for (k = 0; k < n; k++) { total = a[k] + total; }",
+            "total = 0; for (k = 0; k < n; k++) { total = total - a[k]; }",
+            "total = 0; for (k = 0; k < n; k++) { total -= a[k]; }",
+        ] {
+            let r = recognize(src, 0);
+            assert_eq!(r.len(), 1, "{src}");
+            assert_eq!(r[0].var, "total");
+            assert_eq!(r[0].op, ReductionOp::Add);
+        }
+    }
+
+    #[test]
+    fn min_and_max_updates_are_recognized() {
+        let r = recognize(
+            "for (k = 0; k < n; k++) { if (a[k] < best) { best = a[k]; } }",
+            0,
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].op, ReductionOp::Min);
+        let r = recognize(
+            "for (k = 0; k < n; k++) { if (best < a[k]) { best = a[k]; } }",
+            0,
+        );
+        assert_eq!(r[0].op, ReductionOp::Max);
+        let r = recognize(
+            "for (k = 0; k < n; k++) { if (a[k] >= hi) { hi = a[k]; } }",
+            0,
+        );
+        assert_eq!(r[0].op, ReductionOp::Max);
+    }
+
+    #[test]
+    fn non_reductions_are_rejected() {
+        // The accumulator is read outside its update.
+        assert!(recognize(
+            "for (k = 0; k < n; k++) { total += a[k]; out[k] = total; }",
+            0
+        )
+        .is_empty());
+        // Mixed operators.
+        assert!(recognize(
+            "for (k = 0; k < n; k++) { x += a[k]; if (a[k] < x) { x = a[k]; } }",
+            0
+        )
+        .is_empty());
+        // Multiplicative accumulation is not dispatched (kept serial).
+        assert!(recognize("for (k = 0; k < n; k++) { x *= a[k]; }", 0).is_empty());
+        // The term reads the accumulator.
+        assert!(recognize("for (k = 0; k < n; k++) { x = x + x; }", 0).is_empty());
+        // Plain overwrite: privatizable, not a reduction.
+        assert!(recognize("for (k = 0; k < n; k++) { x = a[k]; }", 0).is_empty());
+        // Histogram: the compound update targets an array element, never a
+        // scalar accumulator.
+        assert!(recognize("for (i = 0; i < n; i++) { hist[a[i]] += 1; }", 0).is_empty());
+        // Accumulator in the loop bound.
+        assert!(recognize("for (k = 0; k < x; k++) { x += a[k]; }", 0).is_empty());
+    }
+
+    #[test]
+    fn nested_updates_and_multiple_accumulators() {
+        let src = r#"
+            total = 0;
+            cnt = 0;
+            for (i = 0; i < n; i++) {
+                for (k = r[i]; k < r[i+1]; k++) {
+                    total += v[k];
+                    cnt += 1;
+                }
+            }
+        "#;
+        let r = recognize(src, 0);
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|x| x.op == ReductionOp::Add));
+        let names: Vec<&str> = r.iter().map(|x| x.var.as_str()).collect();
+        assert!(names.contains(&"total") && names.contains(&"cnt"));
+        // The inner loop sees the same accumulators.
+        let r = recognize(src, 1);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn identities_and_combiners() {
+        assert_eq!(ReductionOp::Add.identity(), 0);
+        assert_eq!(ReductionOp::Add.combine(3, -5), -2);
+        assert_eq!(ReductionOp::Min.combine(ReductionOp::Min.identity(), 7), 7);
+        assert_eq!(
+            ReductionOp::Max.combine(ReductionOp::Max.identity(), -7),
+            -7
+        );
+        assert_eq!(ReductionOp::Add.symbol(), "+");
+        assert_eq!(ReductionOp::Min.symbol(), "min");
+        assert_eq!(ReductionOp::Max.symbol(), "max");
+    }
+}

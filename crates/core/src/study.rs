@@ -121,7 +121,7 @@ pub fn run_study(kernels: &[StudyInput]) -> StudyTable {
             program: k.program.clone(),
             suite: k.suite.clone(),
             pattern: k.pattern.clone(),
-            detected: target.map(|l| l.parallel).unwrap_or(false),
+            detected: target.map(|l| l.is_parallelizable()).unwrap_or(false),
             baseline_detected: target.map(|l| l.baseline_parallel).unwrap_or(false),
             reasons: target.map(|l| l.reasons.clone()).unwrap_or_default(),
         });

@@ -66,6 +66,10 @@ pub struct LoopVerdict {
     pub reasons: Vec<String>,
     /// What blocked parallelization.
     pub blockers: Vec<String>,
+    /// Scalars with a carried dependence (read before written in an
+    /// iteration); each contributes exactly one entry to `blockers`.  A
+    /// later pass may still recognize these as reduction accumulators.
+    pub carried_scalars: Vec<String>,
 }
 
 impl LoopVerdict {
@@ -75,6 +79,7 @@ impl LoopVerdict {
             parallel: false,
             reasons: Vec::new(),
             blockers: vec![blocker.into()],
+            carried_scalars: Vec::new(),
         }
     }
 }
@@ -108,6 +113,7 @@ pub fn test_loop(
         parallel: true,
         reasons: Vec::new(),
         blockers: Vec::new(),
+        carried_scalars: Vec::new(),
     };
 
     // Scalar dependences: every scalar assigned in the body must be
@@ -116,13 +122,26 @@ pub fn test_loop(
         verdict.blockers.push(format!(
             "scalar '{name}' is read before written (carried scalar dependence)"
         ));
+        verdict.carried_scalars.push(name);
     }
 
-    // Array dependences.
+    // Array dependences.  Arrays declared at the top of the loop body are
+    // re-initialized by every iteration before any use, so they are
+    // per-iteration private — like privatizable scalars, they carry no
+    // cross-iteration dependence and are excluded from the test.
+    let private_arrays = loop_private_arrays(body);
     let descriptors = collect_iteration_accesses(info, body, tree);
     let mut asm = Assumptions::new();
     asm.assume_range(info.var.clone(), info.index_range());
     for array in descriptors.written_arrays() {
+        if private_arrays.contains(&array) {
+            let reason =
+                format!("array '{array}' is declared in the loop body (private per iteration)");
+            if !verdict.reasons.contains(&reason) {
+                verdict.reasons.push(reason);
+            }
+            continue;
+        }
         check_array(&descriptors, &array, info, db, &asm, &mut verdict);
     }
 
@@ -446,6 +465,106 @@ fn decompose_single_array_term(p: &Expr, var: &str) -> (i64, Option<(String, Exp
     (coeff, aref, rest_ok)
 }
 
+/// Arrays whose first mention in the loop body is an *unconditional,
+/// top-level* declaration: each iteration allocates fresh zeroed storage
+/// before any access, so no value flows between iterations.  Arrays first
+/// touched elsewhere (or declared only inside a branch or nested loop) do
+/// not qualify — an access before the declaration would read the previous
+/// iteration's storage.
+fn loop_private_arrays(body: &[Stmt]) -> Vec<String> {
+    use std::collections::HashSet;
+
+    fn note_expr(e: &ss_ir::ast::AExpr, mentioned: &mut HashSet<String>) {
+        e.for_each(&mut |x| {
+            if let ss_ir::ast::AExpr::Index(a, _) = x {
+                mentioned.insert(a.clone());
+            }
+        });
+    }
+
+    fn note_stmt(s: &Stmt, mentioned: &mut HashSet<String>) {
+        match s {
+            Stmt::Decl { name, dims, init } => {
+                for d in dims {
+                    note_expr(d, mentioned);
+                }
+                if let Some(e) = init {
+                    note_expr(e, mentioned);
+                }
+                if !dims.is_empty() {
+                    mentioned.insert(name.clone());
+                }
+            }
+            Stmt::Assign { target, value, .. } => {
+                note_expr(value, mentioned);
+                for idx in &target.indices {
+                    note_expr(idx, mentioned);
+                }
+                if !target.is_scalar() {
+                    mentioned.insert(target.name.clone());
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                note_expr(cond, mentioned);
+                for t in then_branch {
+                    note_stmt(t, mentioned);
+                }
+                for e in else_branch {
+                    note_stmt(e, mentioned);
+                }
+            }
+            Stmt::For {
+                init,
+                bound,
+                step,
+                body,
+                ..
+            } => {
+                note_expr(init, mentioned);
+                note_expr(bound, mentioned);
+                note_expr(step, mentioned);
+                for b in body {
+                    note_stmt(b, mentioned);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                note_expr(cond, mentioned);
+                for b in body {
+                    note_stmt(b, mentioned);
+                }
+            }
+        }
+    }
+
+    let mut mentioned: HashSet<String> = HashSet::new();
+    let mut private = Vec::new();
+    for s in body {
+        if let Stmt::Decl { name, dims, init } = s {
+            if !dims.is_empty() {
+                // Extent / initializer expressions are evaluated before the
+                // declaration takes effect.
+                for d in dims {
+                    note_expr(d, &mut mentioned);
+                }
+                if let Some(e) = init {
+                    note_expr(e, &mut mentioned);
+                }
+                if !mentioned.contains(name) && !private.contains(name) {
+                    private.push(name.clone());
+                }
+                mentioned.insert(name.clone());
+                continue;
+            }
+        }
+        note_stmt(s, &mut mentioned);
+    }
+    private
+}
+
 /// Scalars assigned in the loop body that are (possibly) read before being
 /// written in an iteration — these carry values across iterations and block
 /// parallelization (they are not privatizable).
@@ -602,6 +721,61 @@ mod tests {
             &RangeTestConfig::baseline(),
         );
         (extended, baseline)
+    }
+
+    #[test]
+    fn loop_local_array_declarations_are_private() {
+        // scratch is re-declared every iteration: its writes repeat the same
+        // indices across iterations but carry no dependence.
+        let src = r#"
+            for (i = 0; i < n; i++) {
+                int scratch[8];
+                for (t = 0; t < 8; t++) {
+                    scratch[t] = dense[i][t] * 2;
+                }
+                for (t = 0; t < 8; t++) {
+                    out[i * 8 + t] = scratch[t] + 1;
+                }
+            }
+        "#;
+        let (extended, baseline) = verdicts(src, 0);
+        assert!(extended.parallel, "blockers: {:?}", extended.blockers);
+        assert!(extended
+            .reasons
+            .iter()
+            .any(|r| r.contains("scratch") && r.contains("private")));
+        // Privatization is conventional compiler technology, available to
+        // the baseline too.
+        assert!(baseline.parallel);
+    }
+
+    #[test]
+    fn arrays_touched_before_their_declaration_are_not_private() {
+        // The first mention reads the previous iteration's storage: a real
+        // cross-iteration flow the test must keep.
+        let src = r#"
+            for (i = 0; i < n; i++) {
+                out[i] = scratch[0];
+                int scratch[8];
+                for (t = 0; t < 8; t++) { scratch[t] = i; }
+            }
+        "#;
+        let (extended, _) = verdicts(src, 0);
+        assert!(!extended.parallel);
+        assert!(extended.blockers.iter().any(|b| b.contains("scratch")));
+
+        // Declared only inside a branch: not unconditional, not private.
+        let src = r#"
+            for (i = 0; i < n; i++) {
+                if (i % 2 == 0) {
+                    int scratch[4];
+                    scratch[0] = i;
+                }
+                out[i] = i;
+            }
+        "#;
+        let (extended, _) = verdicts(src, 0);
+        assert!(!extended.parallel);
     }
 
     #[test]

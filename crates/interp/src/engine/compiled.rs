@@ -1,0 +1,774 @@
+//! The compiled engines: slot-addressed execution over dense frames.
+//!
+//! [`ss_ir::slots`] resolves every name once, at compile time; these
+//! engines then execute [`CompiledBody`] op sequences against a [`Frame`]
+//! whose scalars are a plain `Vec<i64>` — no hashing, no per-loop
+//! free-variable analysis, no per-iteration snapshot construction.  The
+//! parallel engine dispatches every outermost loop the report licenses:
+//!
+//! * **independent** loops run exactly like the AST engine's dispatch
+//!   (shared arrays, private scalar frames, last-writing-iteration merge),
+//!   but the scalar snapshot is a dense `Vec` clone and the merge a dense
+//!   scan;
+//! * **reduction** loops run with per-worker partial accumulators started
+//!   at the operator's identity and merged by the combiner
+//!   ([`ss_runtime::parallel_reduce`]) — integer `+`/`min`/`max` are
+//!   associative and commutative, so the merged result is bit-identical to
+//!   the serial one;
+//! * loops whose bodies **declare arrays** give those arrays worker-private
+//!   storage, re-zeroed per iteration exactly like the serial engines, and
+//!   merge back the storage of the globally last iteration.
+//!
+//! Semantics mirror the tree walker operation for operation (same
+//! evaluation order, same wrapping arithmetic, same error points), so final
+//! heaps are bit-identical across engines — `validate` asserts exactly
+//! that.
+
+use super::serial::{apply_assign, apply_binop, compare};
+use super::store::elem_at;
+use super::{ExecEnvTiming, ExecError, ExecMode, ExecOptions, ExecOutcome, ExecStats};
+use crate::heap::{row_major_flat, ArrayVal, Heap};
+use ss_ir::ast::{AssignOp, BinOp, LoopId, UnOp};
+use ss_ir::slots::{
+    compile_program, ArraySlot, CExpr, CompiledBody, CompiledFor, Op, ScalarSlot, SlotMap,
+};
+use ss_ir::Program;
+use ss_parallelizer::{ParallelizationReport, ReductionInfo};
+use ss_runtime::{parallel_reduce, Schedule};
+use std::collections::HashMap;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Slot stores.
+// ---------------------------------------------------------------------------
+
+/// Where slot-addressed accesses land.
+trait SlotStore {
+    fn scalar(&self, s: ScalarSlot) -> i64;
+    fn set_scalar(&mut self, s: ScalarSlot, v: i64);
+    fn read_elem(&mut self, a: ArraySlot, indices: &[i64]) -> Result<i64, ExecError>;
+    fn write_elem(&mut self, a: ArraySlot, indices: &[i64], v: i64) -> Result<(), ExecError>;
+    fn declare_array(&mut self, a: ArraySlot, dims: Vec<usize>);
+}
+
+/// The spine store: dense scalar and array slots, materialized from (and
+/// back into) a [`Heap`].  `defined` tracks which scalar slots the program
+/// actually wrote (or the initial heap supplied) so the final heap contains
+/// exactly the names the tree walker would produce.
+struct Frame<'m> {
+    slots: &'m SlotMap,
+    scalars: Vec<i64>,
+    defined: Vec<bool>,
+    arrays: Vec<Option<ArrayVal>>,
+}
+
+impl<'m> Frame<'m> {
+    /// Moves the slotted portion of `heap` into a dense frame (arrays are
+    /// taken, not cloned; unslotted heap entries stay in `heap`).
+    fn from_heap(heap: &mut Heap, slots: &'m SlotMap) -> Frame<'m> {
+        let mut scalars = vec![0i64; slots.scalar_count()];
+        let mut defined = vec![false; slots.scalar_count()];
+        for (i, name) in slots.scalar_names().iter().enumerate() {
+            if let Some(&v) = heap.scalars.get(name) {
+                scalars[i] = v;
+                defined[i] = true;
+            }
+        }
+        let arrays = slots
+            .array_names()
+            .iter()
+            .map(|name| heap.arrays.remove(name))
+            .collect();
+        Frame {
+            slots,
+            scalars,
+            defined,
+            arrays,
+        }
+    }
+
+    /// Writes defined scalars and live arrays back into `heap`.
+    fn into_heap(self, heap: &mut Heap) {
+        for (i, name) in self.slots.scalar_names().iter().enumerate() {
+            if self.defined[i] {
+                heap.scalars.insert(name.clone(), self.scalars[i]);
+            }
+        }
+        for (i, arr) in self.arrays.into_iter().enumerate() {
+            if let Some(a) = arr {
+                heap.arrays.insert(self.slots.array_names()[i].clone(), a);
+            }
+        }
+    }
+}
+
+impl SlotStore for Frame<'_> {
+    #[inline]
+    fn scalar(&self, s: ScalarSlot) -> i64 {
+        self.scalars[s.index()]
+    }
+
+    #[inline]
+    fn set_scalar(&mut self, s: ScalarSlot, v: i64) {
+        self.scalars[s.index()] = v;
+        self.defined[s.index()] = true;
+    }
+
+    fn read_elem(&mut self, a: ArraySlot, indices: &[i64]) -> Result<i64, ExecError> {
+        let name = self.slots.array_name(a);
+        let arr = self.arrays[a.index()]
+            .as_ref()
+            .ok_or_else(|| ExecError::UndefinedArray(name.to_string()))?;
+        elem_at(name, arr, indices).map(|flat| arr.data[flat])
+    }
+
+    fn write_elem(&mut self, a: ArraySlot, indices: &[i64], v: i64) -> Result<(), ExecError> {
+        let name = self.slots.array_name(a);
+        let arr = self.arrays[a.index()]
+            .as_mut()
+            .ok_or_else(|| ExecError::UndefinedArray(name.to_string()))?;
+        let flat = elem_at(name, arr, indices)?;
+        arr.data[flat] = v;
+        Ok(())
+    }
+
+    fn declare_array(&mut self, a: ArraySlot, dims: Vec<usize>) {
+        self.arrays[a.index()] = Some(ArrayVal::zeros(dims));
+    }
+}
+
+/// Raw views of the frame's shared arrays, one per array slot (`None` for
+/// worker-private or absent slots).
+struct SharedSlots {
+    arrs: Vec<Option<SharedSlotArray>>,
+}
+
+struct SharedSlotArray {
+    /// `*mut i64` smuggled as usize for `Send`.
+    ptr: usize,
+    dims: Vec<usize>,
+    len: usize,
+}
+
+// SAFETY: workers only access disjoint elements (the dispatched loop's
+// proven property); the Vec storage is neither grown nor freed while
+// workers run.
+unsafe impl Sync for SharedSlots {}
+
+impl SharedSlots {
+    fn capture(frame: &mut Frame<'_>, local: &[bool]) -> SharedSlots {
+        let arrs = frame
+            .arrays
+            .iter_mut()
+            .enumerate()
+            .map(|(i, a)| match a {
+                Some(arr) if !local[i] => Some(SharedSlotArray {
+                    ptr: arr.data.as_mut_ptr() as usize,
+                    dims: arr.dims.clone(),
+                    len: arr.data.len(),
+                }),
+                _ => None,
+            })
+            .collect();
+        SharedSlots { arrs }
+    }
+}
+
+const NOT_WRITTEN: usize = usize::MAX;
+
+/// Per-worker store of the compiled parallel engine: shared raw-pointer
+/// array views, a private dense scalar frame with last-write iterations,
+/// and private storage for loop-local arrays.
+struct CompiledWorker<'s> {
+    slots: &'s SlotMap,
+    shared: &'s SharedSlots,
+    local: &'s [bool],
+    scalars: Vec<i64>,
+    write_iter: Vec<usize>,
+    locals: Vec<Option<ArrayVal>>,
+    local_write_iter: Vec<usize>,
+    current_iter: usize,
+}
+
+impl SlotStore for CompiledWorker<'_> {
+    #[inline]
+    fn scalar(&self, s: ScalarSlot) -> i64 {
+        self.scalars[s.index()]
+    }
+
+    #[inline]
+    fn set_scalar(&mut self, s: ScalarSlot, v: i64) {
+        self.scalars[s.index()] = v;
+        self.write_iter[s.index()] = self.current_iter;
+    }
+
+    fn read_elem(&mut self, a: ArraySlot, indices: &[i64]) -> Result<i64, ExecError> {
+        let i = a.index();
+        if self.local[i] {
+            let name = self.slots.array_name(a);
+            let arr = self.locals[i]
+                .as_ref()
+                .ok_or_else(|| ExecError::UndefinedArray(name.to_string()))?;
+            return elem_at(name, arr, indices).map(|flat| arr.data[flat]);
+        }
+        let (ptr, flat) = self.shared_flat(a, indices)?;
+        // SAFETY: flat is bounds-checked; disjointness across workers is
+        // the dispatched loop's proven property.
+        Ok(unsafe { *(ptr as *const i64).add(flat) })
+    }
+
+    fn write_elem(&mut self, a: ArraySlot, indices: &[i64], v: i64) -> Result<(), ExecError> {
+        let i = a.index();
+        if self.local[i] {
+            let name = self.slots.array_name(a);
+            let arr = self.locals[i]
+                .as_mut()
+                .ok_or_else(|| ExecError::UndefinedArray(name.to_string()))?;
+            let flat = elem_at(name, arr, indices)?;
+            arr.data[flat] = v;
+            self.local_write_iter[i] = self.current_iter;
+            return Ok(());
+        }
+        let (ptr, flat) = self.shared_flat(a, indices)?;
+        // SAFETY: as above.
+        unsafe {
+            *(ptr as *mut i64).add(flat) = v;
+        }
+        Ok(())
+    }
+
+    fn declare_array(&mut self, a: ArraySlot, dims: Vec<usize>) {
+        // Every declaration inside a dispatched body targets a local slot
+        // (that is how `local_arrays` is computed).
+        let i = a.index();
+        self.locals[i] = Some(ArrayVal::zeros(dims));
+        self.local_write_iter[i] = self.current_iter;
+    }
+}
+
+impl CompiledWorker<'_> {
+    fn shared_flat(&self, a: ArraySlot, indices: &[i64]) -> Result<(usize, usize), ExecError> {
+        let name = || self.slots.array_name(a).to_string();
+        let Some(arr) = &self.shared.arrs[a.index()] else {
+            return Err(ExecError::UndefinedArray(name()));
+        };
+        if indices.len() != arr.dims.len() {
+            return Err(ExecError::ArityMismatch {
+                array: name(),
+                expected: arr.dims.len(),
+                got: indices.len(),
+            });
+        }
+        let flat = row_major_flat(&arr.dims, indices).ok_or_else(|| ExecError::OutOfBounds {
+            array: name(),
+            indices: indices.to_vec(),
+            dims: arr.dims.clone(),
+        })?;
+        debug_assert!(flat < arr.len);
+        Ok((arr.ptr, flat))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The op executor.
+// ---------------------------------------------------------------------------
+
+fn eval<S: SlotStore>(st: &mut S, e: &CExpr) -> Result<i64, ExecError> {
+    match e {
+        CExpr::Int(v) => Ok(*v),
+        CExpr::Scalar(s) => Ok(st.scalar(*s)),
+        CExpr::Load { array, indices } => {
+            // Rank-1 fast path: no index vector allocation.
+            if let [ie] = indices.as_ref() {
+                let idx = [eval(st, ie)?];
+                return st.read_elem(*array, &idx);
+            }
+            let mut idxs = Vec::with_capacity(indices.len());
+            for ie in indices.iter() {
+                idxs.push(eval(st, ie)?);
+            }
+            st.read_elem(*array, &idxs)
+        }
+        CExpr::Binary(op, a, b) => {
+            match op {
+                BinOp::And => {
+                    return Ok(if eval(st, a)? != 0 && eval(st, b)? != 0 {
+                        1
+                    } else {
+                        0
+                    })
+                }
+                BinOp::Or => {
+                    return Ok(if eval(st, a)? != 0 || eval(st, b)? != 0 {
+                        1
+                    } else {
+                        0
+                    })
+                }
+                _ => {}
+            }
+            let x = eval(st, a)?;
+            let y = eval(st, b)?;
+            apply_binop(*op, x, y)
+        }
+        CExpr::Unary(op, a) => {
+            let x = eval(st, a)?;
+            Ok(match op {
+                UnOp::Neg => x.wrapping_neg(),
+                UnOp::Not => (x == 0) as i64,
+            })
+        }
+    }
+}
+
+/// Decides what happens when the executor reaches a compiled `for` loop.
+trait CompiledPolicy<S: SlotStore> {
+    fn try_dispatch(
+        &mut self,
+        st: &mut S,
+        f: &CompiledFor,
+        env: &mut ExecEnvTiming<'_>,
+    ) -> Result<bool, ExecError>;
+}
+
+/// Policy that never dispatches (serial engine, workers).
+struct NoDispatchC;
+
+impl<S: SlotStore> CompiledPolicy<S> for NoDispatchC {
+    fn try_dispatch(
+        &mut self,
+        _st: &mut S,
+        _f: &CompiledFor,
+        _env: &mut ExecEnvTiming<'_>,
+    ) -> Result<bool, ExecError> {
+        Ok(false)
+    }
+}
+
+fn exec_body<S: SlotStore, P: CompiledPolicy<S>>(
+    st: &mut S,
+    body: &CompiledBody,
+    pol: &mut P,
+    env: &mut ExecEnvTiming<'_>,
+) -> Result<(), ExecError> {
+    let ops = &body.ops;
+    let mut pc = 0usize;
+    while pc < ops.len() {
+        match &ops[pc] {
+            Op::SetScalar { slot, op, value } => {
+                let rhs = eval(st, value)?;
+                let v = match op {
+                    AssignOp::Assign => rhs,
+                    _ => apply_assign(*op, st.scalar(*slot), rhs),
+                };
+                st.set_scalar(*slot, v);
+            }
+            Op::StoreElem {
+                array,
+                indices,
+                op,
+                value,
+            } => {
+                // Same order as the tree walker: value, then indices, then
+                // (for compound ops) the element read.
+                let rhs = eval(st, value)?;
+                if let [ie] = indices.as_ref() {
+                    let idx = [eval(st, ie)?];
+                    let v = match op {
+                        AssignOp::Assign => rhs,
+                        _ => apply_assign(*op, st.read_elem(*array, &idx)?, rhs),
+                    };
+                    st.write_elem(*array, &idx, v)?;
+                } else {
+                    let mut idxs = Vec::with_capacity(indices.len());
+                    for ie in indices.iter() {
+                        idxs.push(eval(st, ie)?);
+                    }
+                    let v = match op {
+                        AssignOp::Assign => rhs,
+                        _ => apply_assign(*op, st.read_elem(*array, &idxs)?, rhs),
+                    };
+                    st.write_elem(*array, &idxs, v)?;
+                }
+            }
+            Op::DeclArray { array, dims } => {
+                let mut extents = Vec::with_capacity(dims.len());
+                for d in dims.iter() {
+                    extents.push(eval(st, d)?.max(0) as usize);
+                }
+                st.declare_array(*array, extents);
+            }
+            Op::BranchIfZero { cond, target } => {
+                if eval(st, cond)? == 0 {
+                    pc = *target;
+                    continue;
+                }
+            }
+            Op::Jump { target } => {
+                pc = *target;
+                continue;
+            }
+            Op::For(f) => exec_for(st, f, pol, env)?,
+            Op::While { id, cond, body } => {
+                let start = env.timing.then(Instant::now);
+                let mut iter: u64 = 0;
+                while eval(st, cond)? != 0 {
+                    if iter >= env.while_cap {
+                        return Err(ExecError::NonTerminating {
+                            loop_id: *id,
+                            cap: env.while_cap,
+                        });
+                    }
+                    exec_body(st, body, pol, env)?;
+                    iter += 1;
+                }
+                if let Some(t) = start {
+                    env.stats
+                        .record(*id, iter, t.elapsed().as_secs_f64(), ExecMode::Serial);
+                }
+            }
+        }
+        pc += 1;
+    }
+    Ok(())
+}
+
+fn exec_for<S: SlotStore, P: CompiledPolicy<S>>(
+    st: &mut S,
+    f: &CompiledFor,
+    pol: &mut P,
+    env: &mut ExecEnvTiming<'_>,
+) -> Result<(), ExecError> {
+    if pol.try_dispatch(st, f, env)? {
+        return Ok(());
+    }
+    let start = env.timing.then(Instant::now);
+    let v0 = eval(st, &f.init)?;
+    st.set_scalar(f.var, v0);
+    let mut iter: u64 = 0;
+    loop {
+        let v = st.scalar(f.var);
+        let b = eval(st, &f.bound)?;
+        if !compare(f.cond_op, v, b) {
+            break;
+        }
+        if iter >= env.while_cap {
+            return Err(ExecError::NonTerminating {
+                loop_id: f.id,
+                cap: env.while_cap,
+            });
+        }
+        exec_body(st, &f.body, pol, env)?;
+        let sv = eval(st, &f.step)?;
+        let cur = st.scalar(f.var);
+        st.set_scalar(f.var, cur.wrapping_add(sv));
+        iter += 1;
+    }
+    if let Some(t) = start {
+        env.stats
+            .record(f.id, iter, t.elapsed().as_secs_f64(), ExecMode::Serial);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The parallel dispatch policy.
+// ---------------------------------------------------------------------------
+
+/// One worker chunk's contribution, folded over the chunks a worker steals
+/// and merged across workers by [`ChunkAcc::combine`].
+#[derive(Clone)]
+struct ChunkAcc {
+    err: Option<ExecError>,
+    /// Last write per scalar slot: `(iteration, value)`.
+    scalar_writes: Vec<Option<(usize, i64)>>,
+    /// Reduction partials, aligned with the loop's `ReductionInfo` list.
+    partials: Vec<i64>,
+    /// Loop-local array state of the latest iteration seen, aligned with
+    /// `CompiledFor::local_arrays`.
+    locals: Vec<Option<(usize, ArrayVal)>>,
+}
+
+impl ChunkAcc {
+    fn identity(nscalars: usize, reductions: &[ReductionInfo], nlocals: usize) -> ChunkAcc {
+        ChunkAcc {
+            err: None,
+            scalar_writes: vec![None; nscalars],
+            partials: reductions.iter().map(|r| r.op.identity()).collect(),
+            locals: vec![None; nlocals],
+        }
+    }
+
+    fn combine(mut self, other: ChunkAcc, reductions: &[ReductionInfo]) -> ChunkAcc {
+        if self.err.is_none() {
+            self.err = other.err;
+        }
+        for (mine, theirs) in self.scalar_writes.iter_mut().zip(other.scalar_writes) {
+            match (&mine, &theirs) {
+                (Some((a, _)), Some((b, _))) if *a >= *b => {}
+                (_, Some(_)) => *mine = theirs,
+                _ => {}
+            }
+        }
+        for ((mine, theirs), r) in self.partials.iter_mut().zip(other.partials).zip(reductions) {
+            *mine = r.op.combine(*mine, theirs);
+        }
+        for (mine, theirs) in self.locals.iter_mut().zip(other.locals) {
+            match (&mine, &theirs) {
+                (Some((a, _)), Some((b, _))) if *a >= *b => {}
+                (_, Some(_)) => *mine = theirs,
+                _ => {}
+            }
+        }
+        self
+    }
+}
+
+struct CompiledDispatch<'r> {
+    /// Outermost dispatchable loops with their (possibly empty) reductions.
+    dispatchable: &'r HashMap<LoopId, Vec<ReductionInfo>>,
+    opts: &'r ExecOptions,
+}
+
+impl CompiledPolicy<Frame<'_>> for CompiledDispatch<'_> {
+    fn try_dispatch(
+        &mut self,
+        st: &mut Frame<'_>,
+        f: &CompiledFor,
+        env: &mut ExecEnvTiming<'_>,
+    ) -> Result<bool, ExecError> {
+        let Some(reductions) = self.dispatchable.get(&f.id) else {
+            return Ok(false);
+        };
+        if self.opts.threads <= 1 {
+            return Ok(false);
+        }
+        if reductions.iter().any(|r| !st.defined[r.slot.index()]) {
+            // An accumulator nobody initialized: the serial run may never
+            // write it at all (a guarded min/max whose guard never fires
+            // against the implicit 0), so its name must stay absent from
+            // the final heap — something a combiner merge-back cannot
+            // reproduce.  Run such loops serially; every real reduction
+            // initializes its accumulator (and synthesized inputs bind all
+            // free scalars).
+            return Ok(false);
+        }
+        if !f.local_arrays.is_empty() && !f.locals_dominated {
+            // A worker could observe pre-declaration storage the serial
+            // execution would not; keep such loops serial.
+            return Ok(false);
+        }
+        // Materialize the iteration space (bound and step of a dispatchable
+        // loop are invariant under its body).
+        let v0 = eval(st, &f.init)?;
+        let bound = eval(st, &f.bound)?;
+        let step = eval(st, &f.step)?;
+        let (values, exit_value) =
+            super::materialize_iteration_space(v0, bound, step, f.cond_op, f.id, env.while_cap)?;
+        let n = values.len();
+        if n < self.opts.min_parallel_trip {
+            return Ok(false);
+        }
+
+        let start = Instant::now();
+        let threads = self.opts.threads;
+        let schedule = super::choose_schedule(self.opts.schedule, f.skewed, n, threads);
+        let dynamic = matches!(schedule, Schedule::Dynamic { .. });
+
+        let nscalars = st.scalars.len();
+        let narrays = st.arrays.len();
+        let mut local = vec![false; narrays];
+        for a in &f.local_arrays {
+            local[a.index()] = true;
+        }
+        // The one resolved slot table serves every iteration of every
+        // invocation: the per-dispatch setup is a dense clone, not a
+        // name-keyed snapshot rebuilt from free variables.
+        let mut snapshot = st.scalars.clone();
+        for r in reductions {
+            snapshot[r.slot.index()] = r.op.identity();
+        }
+        let mut is_reduction = vec![false; nscalars];
+        for r in reductions {
+            is_reduction[r.slot.index()] = true;
+        }
+        let shared = SharedSlots::capture(st, &local);
+        let slots = st.slots;
+        let while_cap = env.while_cap;
+        let values = &values;
+        let local_ref = &local;
+        let snapshot_ref = &snapshot;
+        let is_reduction_ref = &is_reduction;
+
+        let acc = parallel_reduce(
+            threads,
+            n,
+            schedule,
+            ChunkAcc::identity(nscalars, reductions, f.local_arrays.len()),
+            |range, mut acc| {
+                if acc.err.is_some() {
+                    return acc;
+                }
+                let mut ws = CompiledWorker {
+                    slots,
+                    shared: &shared,
+                    local: local_ref,
+                    scalars: snapshot_ref.clone(),
+                    write_iter: vec![NOT_WRITTEN; nscalars],
+                    locals: vec![None; narrays],
+                    local_write_iter: vec![NOT_WRITTEN; narrays],
+                    current_iter: 0,
+                };
+                let mut scratch_stats = ExecStats::default();
+                let mut wenv = ExecEnvTiming {
+                    stats: &mut scratch_stats,
+                    timing: false,
+                    while_cap,
+                };
+                for k in range {
+                    ws.current_iter = k;
+                    ws.set_scalar(f.var, values[k]);
+                    if let Err(e) = exec_body(&mut ws, &f.body, &mut NoDispatchC, &mut wenv) {
+                        acc.err = Some(e);
+                        break;
+                    }
+                }
+                // Fold the worker's state into the accumulator.
+                for (slot, &iter) in ws.write_iter.iter().enumerate() {
+                    if iter == NOT_WRITTEN || is_reduction_ref[slot] {
+                        continue;
+                    }
+                    match acc.scalar_writes[slot] {
+                        Some((best, _)) if best >= iter => {}
+                        _ => acc.scalar_writes[slot] = Some((iter, ws.scalars[slot])),
+                    }
+                }
+                for (i, r) in reductions.iter().enumerate() {
+                    acc.partials[i] = r.op.combine(acc.partials[i], ws.scalars[r.slot.index()]);
+                }
+                for (i, a) in f.local_arrays.iter().enumerate() {
+                    let iter = ws.local_write_iter[a.index()];
+                    if iter == NOT_WRITTEN {
+                        continue;
+                    }
+                    if let Some(arr) = ws.locals[a.index()].take() {
+                        match &acc.locals[i] {
+                            Some((best, _)) if *best >= iter => {}
+                            _ => acc.locals[i] = Some((iter, arr)),
+                        }
+                    }
+                }
+                acc
+            },
+            |a, b| a.combine(b, reductions),
+        );
+
+        let ChunkAcc {
+            err,
+            scalar_writes,
+            partials,
+            locals,
+        } = acc;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        // Merge back: last-writing iteration for ordinary scalars, combiner
+        // against the pre-loop value for reduction accumulators, the
+        // globally last iteration's storage for loop-local arrays.
+        for (slot, w) in scalar_writes.into_iter().enumerate() {
+            if let Some((_, value)) = w {
+                st.scalars[slot] = value;
+                st.defined[slot] = true;
+            }
+        }
+        for (r, partial) in reductions.iter().zip(partials) {
+            let merged = r.op.combine(st.scalars[r.slot.index()], partial);
+            st.set_scalar(r.slot, merged);
+        }
+        for (a, entry) in f.local_arrays.iter().zip(locals) {
+            if let Some((_, arr)) = entry {
+                st.arrays[a.index()] = Some(arr);
+            }
+        }
+        st.set_scalar(f.var, exit_value);
+
+        env.stats.record(
+            f.id,
+            n as u64,
+            start.elapsed().as_secs_f64(),
+            ExecMode::Parallel { threads, dynamic },
+        );
+        Ok(true)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engines.
+// ---------------------------------------------------------------------------
+
+/// The compiled serial engine.
+pub(crate) fn run_serial_compiled(
+    program: &Program,
+    mut heap: Heap,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    let compiled = compile_program(program);
+    let mut stats = ExecStats::default();
+    let start = Instant::now();
+    let mut frame = Frame::from_heap(&mut heap, &compiled.slots);
+    {
+        let mut env = ExecEnvTiming {
+            stats: &mut stats,
+            timing: true,
+            while_cap: opts.while_cap,
+        };
+        exec_body(&mut frame, &compiled.body, &mut NoDispatchC, &mut env)?;
+    }
+    frame.into_heap(&mut heap);
+    stats.total_seconds = start.elapsed().as_secs_f64();
+    Ok(ExecOutcome { heap, stats })
+}
+
+/// The compiled parallel engine: dispatches every outermost parallelizable
+/// loop of `report` — independent loops, reduction loops (with combiner
+/// merge) and loops with body-local array declarations (with per-worker
+/// private storage).
+pub(crate) fn run_parallel_compiled(
+    program: &Program,
+    report: &ParallelizationReport,
+    mut heap: Heap,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    let compiled = compile_program(program);
+    let dispatchable: HashMap<LoopId, Vec<ReductionInfo>> = report
+        .outermost_parallel_loops()
+        .into_iter()
+        .map(|id| {
+            (
+                id,
+                report
+                    .loop_report(id)
+                    .map(|l| l.reductions.clone())
+                    .unwrap_or_default(),
+            )
+        })
+        .collect();
+    let mut stats = ExecStats::default();
+    let start = Instant::now();
+    let mut frame = Frame::from_heap(&mut heap, &compiled.slots);
+    {
+        let mut policy = CompiledDispatch {
+            dispatchable: &dispatchable,
+            opts,
+        };
+        let mut env = ExecEnvTiming {
+            stats: &mut stats,
+            timing: true,
+            while_cap: opts.while_cap,
+        };
+        exec_body(&mut frame, &compiled.body, &mut policy, &mut env)?;
+    }
+    frame.into_heap(&mut heap);
+    stats.total_seconds = start.elapsed().as_secs_f64();
+    Ok(ExecOutcome { heap, stats })
+}

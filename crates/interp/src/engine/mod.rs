@@ -1,0 +1,822 @@
+//! The execution engines.
+//!
+//! Two execution strategies share one set of verdicts:
+//!
+//! * the **compiled** engines ([`compiled`]) execute the slot-resolved
+//!   [`ss_ir::CompiledProgram`] over dense frames — name resolution happens
+//!   once, before the first iteration, so the hot path pays no hashing and
+//!   no per-entry free-variable analysis.  This is the default, and the
+//!   only engine that dispatches reduction loops (per-thread partials
+//!   merged by the combiner) and loops with loop-local array declarations
+//!   (per-iteration private storage);
+//! * the **tree-walking** engines ([`serial`], [`dispatch`]) interpret the
+//!   AST directly against the name-keyed heap.  They are kept as the
+//!   differential reference (`--engine ast`): compiled-vs-ast agreement is
+//!   itself a validation axis, on top of serial-vs-parallel.
+//!
+//! Module layout: [`store`] holds the tree-walker's pluggable stores (whole
+//! heap, recording inspector, shared-array worker views); [`serial`] the
+//! statement walker and serial engine; [`dispatch`] the AST parallel
+//! engine; [`compiled`] the slot-addressed engines.
+
+pub mod compiled;
+pub mod dispatch;
+pub mod serial;
+pub mod store;
+
+use crate::heap::Heap;
+use ss_ir::ast::LoopId;
+use ss_ir::Program;
+use ss_parallelizer::ParallelizationReport;
+use std::collections::BTreeMap;
+
+/// A runtime failure of the interpreted program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// An array was accessed that the heap does not contain.
+    UndefinedArray(String),
+    /// An array was accessed with the wrong number of subscripts.
+    ArityMismatch {
+        /// The array.
+        array: String,
+        /// Its rank.
+        expected: usize,
+        /// Subscripts supplied.
+        got: usize,
+    },
+    /// A subscript fell outside the array's extents (or was negative).
+    OutOfBounds {
+        /// The array.
+        array: String,
+        /// The offending subscript vector.
+        indices: Vec<i64>,
+        /// The array's extents.
+        dims: Vec<usize>,
+    },
+    /// Division or remainder by zero (or `i64::MIN / -1`).
+    DivisionByZero,
+    /// A loop exceeded the iteration cap (runaway `while`, zero step, …).
+    NonTerminating {
+        /// The loop.
+        loop_id: LoopId,
+        /// The cap it exceeded.
+        cap: u64,
+    },
+    /// An array was declared inside a parallel worker of the tree-walking
+    /// engine (the compiled engine gives such arrays private storage; the
+    /// AST engine leaves such loops serial).
+    ArrayDeclInWorker(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UndefinedArray(a) => write!(f, "undefined array '{a}'"),
+            ExecError::ArityMismatch {
+                array,
+                expected,
+                got,
+            } => write!(
+                f,
+                "array '{array}' has rank {expected} but was subscripted with {got} index(es)"
+            ),
+            ExecError::OutOfBounds {
+                array,
+                indices,
+                dims,
+            } => write!(
+                f,
+                "subscript {indices:?} out of bounds for '{array}' with extents {dims:?}"
+            ),
+            ExecError::DivisionByZero => write!(f, "division by zero"),
+            ExecError::NonTerminating { loop_id, cap } => {
+                write!(f, "loop {loop_id} exceeded {cap} iterations")
+            }
+            ExecError::ArrayDeclInWorker(a) => {
+                write!(f, "array '{a}' declared inside a parallel loop body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// How a loop was executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Ran on one thread.
+    #[default]
+    Serial,
+    /// Dispatched onto worker threads.
+    Parallel {
+        /// Worker count.
+        threads: usize,
+        /// True under chunk-stealing (dynamic) scheduling.
+        dynamic: bool,
+    },
+}
+
+/// Accumulated execution facts for one loop.
+#[derive(Debug, Clone, Default)]
+pub struct LoopStats {
+    /// Times the loop was entered.
+    pub invocations: u64,
+    /// Total iterations across invocations.
+    pub iterations: u64,
+    /// Wall-clock seconds inside the loop (nested loop time included).
+    pub seconds: f64,
+    /// How the loop ran (last invocation).
+    pub mode: ExecMode,
+    /// For serial loops run under the inspector baseline: whether a runtime
+    /// inspector would have licensed parallel execution (AND over
+    /// invocations); `None` when not inspected.
+    pub inspector_conflict_free: Option<bool>,
+}
+
+/// Execution statistics for one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Per-loop statistics (only loops executed at the spine level; loops
+    /// inside dispatched bodies are accounted to their dispatched ancestor).
+    pub loops: BTreeMap<LoopId, LoopStats>,
+    /// Wall-clock seconds for the whole program.
+    pub total_seconds: f64,
+}
+
+impl ExecStats {
+    /// Loops that were dispatched to threads in this run.
+    pub fn parallel_loops(&self) -> Vec<LoopId> {
+        self.loops
+            .iter()
+            .filter(|(_, s)| matches!(s.mode, ExecMode::Parallel { .. }))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    pub(crate) fn record(&mut self, id: LoopId, iterations: u64, seconds: f64, mode: ExecMode) {
+        let s = self.loops.entry(id).or_default();
+        s.invocations += 1;
+        s.iterations += iterations;
+        s.seconds += seconds;
+        s.mode = mode;
+    }
+
+    pub(crate) fn record_inspection(&mut self, id: LoopId, conflict_free: bool) {
+        let s = self.loops.entry(id).or_default();
+        s.inspector_conflict_free =
+            Some(s.inspector_conflict_free.unwrap_or(true) && conflict_free);
+    }
+}
+
+/// Walker state shared down the recursion of both engines: per-loop stats,
+/// whether to record wall times (off inside workers: the dispatching spine
+/// times the whole loop instead), and the runaway-loop cap.
+pub(crate) struct ExecEnvTiming<'a> {
+    pub stats: &'a mut ExecStats,
+    pub timing: bool,
+    pub while_cap: u64,
+}
+
+/// Materializes the iteration values of a dispatchable loop from its
+/// once-evaluated header (initial value, bound, step): the per-iteration
+/// index values plus the index variable's exit value.  Shared by both
+/// parallel dispatchers so the termination rules (iteration cap, zero
+/// step) cannot diverge between engines.
+pub(crate) fn materialize_iteration_space(
+    v0: i64,
+    bound: i64,
+    step: i64,
+    cond_op: ss_ir::ast::BinOp,
+    loop_id: LoopId,
+    while_cap: u64,
+) -> Result<(Vec<i64>, i64), ExecError> {
+    let mut values = Vec::new();
+    let mut v = v0;
+    while serial::compare(cond_op, v, bound) {
+        if values.len() as u64 >= while_cap {
+            return Err(ExecError::NonTerminating {
+                loop_id,
+                cap: while_cap,
+            });
+        }
+        values.push(v);
+        v = v.wrapping_add(step);
+        if step == 0 {
+            return Err(ExecError::NonTerminating {
+                loop_id,
+                cap: while_cap,
+            });
+        }
+    }
+    Ok((values, v))
+}
+
+/// Maps the user's schedule choice (plus the loop's skew fact) onto a
+/// concrete runtime schedule — the other half of dispatch both engines
+/// must agree on.
+pub(crate) fn choose_schedule(
+    choice: ScheduleChoice,
+    skewed: bool,
+    n: usize,
+    threads: usize,
+) -> ss_runtime::Schedule {
+    use ss_runtime::Schedule;
+    match choice {
+        ScheduleChoice::Static => Schedule::Static,
+        ScheduleChoice::Dynamic => Schedule::dynamic_for(n, threads),
+        ScheduleChoice::Auto => {
+            if skewed {
+                Schedule::dynamic_for(n, threads)
+            } else {
+                Schedule::Static
+            }
+        }
+    }
+}
+
+/// Result of an engine run: the final heap plus statistics.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Program state after execution.
+    pub heap: Heap,
+    /// Per-loop and total timing/mode facts.
+    pub stats: ExecStats,
+}
+
+/// Which schedule the parallel engine uses for dispatched loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleChoice {
+    /// Static for uniform iteration spaces, dynamic for skewed ones (loops
+    /// whose nested bounds go through an index array, the CSR row shape).
+    #[default]
+    Auto,
+    /// Always static chunking.
+    Static,
+    /// Always dynamic (chunk-stealing).
+    Dynamic,
+}
+
+/// Which execution strategy runs the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// Slot-resolved compiled execution over dense frames (the default).
+    #[default]
+    Compiled,
+    /// The tree-walking reference engine (name-keyed heap, AST walker).
+    Ast,
+}
+
+/// Knobs of the engines.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker threads for dispatched loops.
+    pub threads: usize,
+    /// Scheduling of dispatched loops.
+    pub schedule: ScheduleChoice,
+    /// Compiled or tree-walking execution (see [`EngineChoice`]).
+    pub engine: EngineChoice,
+    /// Run the runtime-inspector baseline on loops the compile-time analysis
+    /// left serial, recording whether an inspector/executor scheme would
+    /// have parallelized them (see [`LoopStats::inspector_conflict_free`]).
+    /// The recording store is a tree-walker feature: a parallel run with
+    /// this flag set uses the AST engine regardless of `engine`.
+    pub baseline_inspector: bool,
+    /// Loops with fewer iterations than this run serially (dispatch would
+    /// cost more than it buys).
+    pub min_parallel_trip: usize,
+    /// Iteration cap per loop invocation, against runaway `while` loops.
+    pub while_cap: u64,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            threads: ss_runtime::hardware_threads(),
+            schedule: ScheduleChoice::Auto,
+            engine: EngineChoice::Compiled,
+            baseline_inspector: false,
+            min_parallel_trip: 2,
+            while_cap: 100_000_000,
+        }
+    }
+}
+
+/// Executes the program serially with the default options (compiled
+/// engine).  `heap` is the initial program state (see
+/// [`crate::inputs::synthesize_inputs`]).
+pub fn run_serial(program: &Program, heap: Heap) -> Result<ExecOutcome, ExecError> {
+    run_serial_with(program, heap, &ExecOptions::default())
+}
+
+/// [`run_serial`] with explicit options (`engine` selects the strategy,
+/// `while_cap` bounds loops).
+pub fn run_serial_with(
+    program: &Program,
+    heap: Heap,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    match opts.engine {
+        EngineChoice::Compiled => compiled::run_serial_compiled(program, heap, opts),
+        EngineChoice::Ast => serial::run_serial_ast(program, heap, opts),
+    }
+}
+
+/// Executes the program with the parallel engine: loops the `report` proved
+/// parallelizable (outermost ones) are dispatched onto `ss_runtime` worker
+/// threads; everything else runs serially.
+///
+/// The compiled engine (default) additionally dispatches reduction loops
+/// (per-thread partial accumulators merged by the recognized combiner) and
+/// loops whose bodies declare arrays (per-iteration private storage).  The
+/// AST engine (`engine: Ast`, or any run with `baseline_inspector` set)
+/// leaves both classes serial.
+pub fn run_parallel(
+    program: &Program,
+    report: &ParallelizationReport,
+    heap: Heap,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    if opts.baseline_inspector || opts.engine == EngineChoice::Ast {
+        dispatch::run_parallel_ast(program, report, heap, opts)
+    } else {
+        compiled::run_parallel_compiled(program, report, heap, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_ir::parse_program;
+    use ss_parallelizer::parallelize;
+
+    fn opts(threads: usize) -> ExecOptions {
+        ExecOptions {
+            threads,
+            ..ExecOptions::default()
+        }
+    }
+
+    fn engine_opts(threads: usize, engine: EngineChoice) -> ExecOptions {
+        ExecOptions {
+            threads,
+            engine,
+            ..ExecOptions::default()
+        }
+    }
+
+    const BOTH: [EngineChoice; 2] = [EngineChoice::Compiled, EngineChoice::Ast];
+
+    #[test]
+    fn serial_engines_run_a_prefix_sum() {
+        let p = parse_program(
+            "t",
+            r#"
+            s[0] = 0;
+            for (i = 1; i <= n; i++) {
+                s[i] = s[i-1] + i;
+            }
+        "#,
+        )
+        .unwrap();
+        let heap = Heap::new()
+            .with_scalar("n", 10)
+            .with_array("s", vec![0; 11]);
+        for engine in BOTH {
+            let out = run_serial_with(&p, heap.clone(), &engine_opts(1, engine)).unwrap();
+            assert_eq!(out.heap.arrays["s"].data[10], 55, "{engine:?}");
+            assert_eq!(out.heap.scalars["i"], 11);
+            assert_eq!(out.stats.loops[&LoopId(0)].iterations, 10);
+        }
+    }
+
+    #[test]
+    fn conditionals_compound_ops_and_short_circuit() {
+        let p = parse_program(
+            "t",
+            r#"
+            x = 0;
+            for (i = 0; i < 10; i++) {
+                if (i % 2 == 0 && i != 4) {
+                    x += i;
+                } else {
+                    x -= 1;
+                }
+            }
+            y = !x;
+            z = -x;
+        "#,
+        )
+        .unwrap();
+        for engine in BOTH {
+            let out = run_serial_with(&p, Heap::new(), &engine_opts(1, engine)).unwrap();
+            // even, not 4: 0+2+6+8 = 16; five odd iterations and i==4 subtract 6.
+            assert_eq!(out.heap.scalars["x"], 10, "{engine:?}");
+            assert_eq!(out.heap.scalars["y"], 0);
+            assert_eq!(out.heap.scalars["z"], -10);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_identically_by_both_engines() {
+        for engine in BOTH {
+            let o = engine_opts(1, engine);
+            let p = parse_program("t", "x = a[5];").unwrap();
+            let heap = Heap::new().with_array("a", vec![0; 3]);
+            assert!(matches!(
+                run_serial_with(&p, heap, &o),
+                Err(ExecError::OutOfBounds { .. })
+            ));
+
+            let p = parse_program("t", "x = a[0];").unwrap();
+            assert!(matches!(
+                run_serial_with(&p, Heap::new(), &o),
+                Err(ExecError::UndefinedArray(_))
+            ));
+
+            let p = parse_program("t", "x = 1 / y;").unwrap();
+            assert!(matches!(
+                run_serial_with(&p, Heap::new(), &o),
+                Err(ExecError::DivisionByZero)
+            ));
+
+            let p = parse_program("t", "while (1) { x = 0; }").unwrap();
+            let capped = ExecOptions {
+                while_cap: 1000,
+                ..o.clone()
+            };
+            assert!(matches!(
+                run_serial_with(&p, Heap::new(), &capped),
+                Err(ExecError::NonTerminating { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn compiled_and_ast_serial_heaps_are_bit_identical() {
+        // Declarations, shadowing loop-local arrays, while loops, nested
+        // conditionals, undefined-scalar reads — the shapes where an
+        // engine-semantics divergence would hide.
+        let src = r#"
+            int g[4];
+            g[2] = 7;
+            total = undefined_scalar + 1;
+            for (i = 0; i < 6; i++) {
+                int g[3];
+                g[i % 3] = i;
+                out[i] = g[i % 3] + total;
+            }
+            w = 0;
+            while (w < 4) {
+                if (w % 2 == 0) { evens += w; } else { odds += w; }
+                w = w + 1;
+            }
+        "#;
+        let p = parse_program("tricky", src).unwrap();
+        let heap = Heap::new().with_array("out", vec![0; 6]);
+        let ast = run_serial_with(&p, heap.clone(), &engine_opts(1, EngineChoice::Ast)).unwrap();
+        let compiled = run_serial_with(&p, heap, &engine_opts(1, EngineChoice::Compiled)).unwrap();
+        assert_eq!(ast.heap, compiled.heap);
+        // The loop-local array's final state is the last iteration's.
+        assert_eq!(compiled.heap.arrays["g"].dims, vec![3]);
+    }
+
+    #[test]
+    fn parallel_engines_match_serial_on_figure2() {
+        let src = r#"
+            for (e = 0; e < nelt; e++) { mt_to_id[e] = nelt - 1 - e; }
+            for (miel = 0; miel < nelt; miel++) {
+                iel = mt_to_id[miel];
+                id_to_mt[iel] = miel;
+            }
+        "#;
+        let p = parse_program("fig2", src).unwrap();
+        let report = parallelize(&p);
+        assert!(report.loop_report(LoopId(1)).unwrap().parallel);
+        let n = 5000;
+        let heap = Heap::new()
+            .with_scalar("nelt", n)
+            .with_array("mt_to_id", vec![0; n as usize])
+            .with_array("id_to_mt", vec![0; n as usize]);
+        let serial = run_serial(&p, heap.clone()).unwrap();
+        for engine in BOTH {
+            for threads in [2, 4] {
+                let par =
+                    run_parallel(&p, &report, heap.clone(), &engine_opts(threads, engine)).unwrap();
+                assert_eq!(par.heap, serial.heap, "{engine:?} threads={threads}");
+                assert_eq!(
+                    par.stats.loops[&LoopId(1)].mode,
+                    ExecMode::Parallel {
+                        threads,
+                        dynamic: false
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_loop_is_never_dispatched() {
+        let p = parse_program("hist", "for (i = 0; i < n; i++) { h[idx[i]] = i; }").unwrap();
+        let report = parallelize(&p);
+        assert!(report.outermost_parallel_loops().is_empty());
+        let heap = Heap::new()
+            .with_scalar("n", 100)
+            .with_array("idx", (0..100).map(|i| i % 7).collect())
+            .with_array("h", vec![-1; 7]);
+        for engine in BOTH {
+            let par = run_parallel(&p, &report, heap.clone(), &engine_opts(4, engine)).unwrap();
+            assert!(par.stats.parallel_loops().is_empty());
+            assert_eq!(par.stats.loops[&LoopId(0)].mode, ExecMode::Serial);
+            assert_eq!(par.heap, run_serial(&p, heap.clone()).unwrap().heap);
+        }
+    }
+
+    #[test]
+    fn inspector_baseline_judges_serial_loops() {
+        // Histogram (conflicting): inspector must refuse it.
+        let p = parse_program("hist", "for (i = 0; i < n; i++) { h[idx[i]] = i; }").unwrap();
+        let report = parallelize(&p);
+        let heap = Heap::new()
+            .with_scalar("n", 100)
+            .with_array("idx", (0..100).map(|i| i % 7).collect())
+            .with_array("h", vec![-1; 7]);
+        let o = ExecOptions {
+            baseline_inspector: true,
+            ..opts(4)
+        };
+        let out = run_parallel(&p, &report, heap, &o).unwrap();
+        assert_eq!(
+            out.stats.loops[&LoopId(0)].inspector_conflict_free,
+            Some(false)
+        );
+
+        // Permutation scatter via an opaque input array: the compile-time
+        // analysis cannot prove it, but this input is injective so the
+        // runtime inspector licenses it.
+        let p = parse_program("scatter", "for (i = 0; i < n; i++) { x[p[i]] = i; }").unwrap();
+        let report = parallelize(&p);
+        assert!(report.outermost_parallel_loops().is_empty());
+        let n = 50i64;
+        let heap = Heap::new()
+            .with_scalar("n", n)
+            .with_array("p", (0..n).rev().collect())
+            .with_array("x", vec![0; n as usize]);
+        let out = run_parallel(&p, &report, heap, &o).unwrap();
+        assert_eq!(
+            out.stats.loops[&LoopId(0)].inspector_conflict_free,
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn inspector_gives_no_verdict_for_loops_containing_dispatched_work() {
+        // The outer serial loop rewrites the same x[] elements every
+        // iteration, but the writes happen inside the dispatched inner
+        // loop, invisible to the recording — the inspector must answer
+        // "uninspected" (None), never "conflict-free".
+        let src = r#"
+            for (t = 0; t < reps; t++) {
+                for (i = 0; i < n; i++) {
+                    x[i] = t;
+                }
+            }
+        "#;
+        let p = parse_program("rewrite", src).unwrap();
+        let report = parallelize(&p);
+        assert!(report.outermost_parallel_loops().contains(&LoopId(1)));
+        assert!(!report.loop_report(LoopId(0)).unwrap().parallel);
+        let heap = Heap::new()
+            .with_scalar("reps", 3)
+            .with_scalar("n", 100)
+            .with_array("x", vec![0; 100]);
+        let o = ExecOptions {
+            baseline_inspector: true,
+            ..opts(4)
+        };
+        let out = run_parallel(&p, &report, heap.clone(), &o).unwrap();
+        assert!(out.stats.parallel_loops().contains(&LoopId(1)));
+        assert_eq!(
+            out.stats.loops[&LoopId(0)].inspector_conflict_free,
+            None,
+            "a frame blind to worker accesses must not claim conflict-freedom"
+        );
+        assert_eq!(out.heap, run_serial(&p, heap).unwrap().heap);
+    }
+
+    #[test]
+    fn skewed_bodies_choose_dynamic_scheduling_under_auto() {
+        // Figure 9 shape: count → prefix-sum → per-row traversal, where the
+        // monotonicity of rowptr is derived from the filling code.
+        let src = r#"
+            for (i = 0; i < n; i++) {
+                cnt = 0;
+                for (t = 0; t < 5; t++) {
+                    if (w[i][t] != 0) { cnt++; }
+                }
+                rowsize[i] = cnt;
+            }
+            rowptr[0] = 0;
+            for (i = 1; i <= n; i++) { rowptr[i] = rowptr[i-1] + rowsize[i-1]; }
+            for (i = 0; i < n; i++) {
+                for (j = rowptr[i]; j < rowptr[i+1]; j++) {
+                    out[j] = v[j] * 2;
+                }
+            }
+        "#;
+        let p = parse_program("csr", src).unwrap();
+        let report = parallelize(&p);
+        // Loop 3 is the outer traversal; the properties enable it.
+        assert!(report.outermost_parallel_loops().contains(&LoopId(3)));
+        let heap = crate::inputs::synthesize_inputs(
+            &p,
+            &crate::inputs::InputSpec {
+                scale: 200,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let serial = run_serial(&p, heap.clone()).unwrap();
+        for engine in BOTH {
+            let par = run_parallel(&p, &report, heap.clone(), &engine_opts(4, engine)).unwrap();
+            assert_eq!(par.heap, serial.heap, "{engine:?}");
+            // Auto picks dynamic scheduling because the dispatched loop's
+            // inner bounds go through the rowptr index array.
+            assert_eq!(
+                par.stats.loops[&LoopId(3)].mode,
+                ExecMode::Parallel {
+                    threads: 4,
+                    dynamic: true
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_merge_back_reproduces_serial_last_iteration_values() {
+        // `last` is written under a condition met only by some iterations;
+        // the merged value must come from the globally last writing
+        // iteration, wherever its chunk ran.
+        let src = r#"
+            for (i = 0; i < n; i++) {
+                t = i * 2;
+                out[i] = t;
+                if (i % 10 == 3) {
+                    last = i;
+                }
+            }
+        "#;
+        let p = parse_program("t", src).unwrap();
+        let report = parallelize(&p);
+        assert!(!report.outermost_parallel_loops().is_empty());
+        let n = 1000;
+        let heap = Heap::new()
+            .with_scalar("n", n)
+            .with_array("out", vec![0; n as usize]);
+        let serial = run_serial(&p, heap.clone()).unwrap();
+        assert_eq!(serial.heap.scalars["last"], 993);
+        for engine in BOTH {
+            for threads in [2, 3, 8] {
+                let par =
+                    run_parallel(&p, &report, heap.clone(), &engine_opts(threads, engine)).unwrap();
+                assert_eq!(par.heap, serial.heap, "{engine:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_errors_propagate() {
+        let p = parse_program("t", "for (i = 0; i < n; i++) { out[i] = i; }").unwrap();
+        let report = parallelize(&p);
+        assert!(!report.outermost_parallel_loops().is_empty());
+        for engine in BOTH {
+            let heap = Heap::new()
+                .with_scalar("n", 100)
+                .with_array("out", vec![0; 50]); // too small on purpose
+            let err = run_parallel(&p, &report, heap, &engine_opts(4, engine)).unwrap_err();
+            assert!(matches!(err, ExecError::OutOfBounds { .. }), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn loop_local_arrays_dispatch_with_private_storage() {
+        // scratch is declared per iteration; the compiled engine dispatches
+        // the loop with worker-private storage, the AST engine keeps it
+        // serial — both must match the serial heap (including scratch's
+        // final, last-iteration state).
+        let src = r#"
+            for (i = 0; i < n; i++) {
+                int scratch[8];
+                for (t = 0; t < 8; t++) {
+                    scratch[t] = dense[i][t] * 2;
+                }
+                for (t = 0; t < 8; t++) {
+                    out[i * 8 + t] = scratch[t] + 1;
+                }
+            }
+        "#;
+        let p = parse_program("scratch", src).unwrap();
+        let report = parallelize(&p);
+        assert!(report.loop_report(LoopId(0)).unwrap().parallel);
+        let heap =
+            crate::inputs::synthesize_inputs(&p, &crate::inputs::InputSpec { scale: 96, seed: 4 })
+                .unwrap();
+        let serial = run_serial(&p, heap.clone()).unwrap();
+        for threads in [2, 3, 8] {
+            let par = run_parallel(
+                &p,
+                &report,
+                heap.clone(),
+                &engine_opts(threads, EngineChoice::Compiled),
+            )
+            .unwrap();
+            assert_eq!(par.heap, serial.heap, "threads={threads}");
+            assert!(par.stats.parallel_loops().contains(&LoopId(0)));
+        }
+        // AST engine: correct but serial.
+        let ast = run_parallel(&p, &report, heap, &engine_opts(4, EngineChoice::Ast)).unwrap();
+        assert_eq!(ast.heap, serial.heap);
+        assert!(ast.stats.parallel_loops().is_empty());
+    }
+
+    #[test]
+    fn reduction_loops_dispatch_with_combiner_merge() {
+        let src = r#"
+            total = 5;
+            best = 1000000;
+            hi = 0 - 1000000;
+            for (k = 0; k < n; k++) {
+                total += a[k];
+                if (a[k] < best) { best = a[k]; }
+                if (a[k] > hi) { hi = a[k]; }
+            }
+        "#;
+        let p = parse_program("red", src).unwrap();
+        let report = parallelize(&p);
+        assert!(report.outermost_parallel_loops().contains(&LoopId(0)));
+        assert_eq!(report.loop_report(LoopId(0)).unwrap().reductions.len(), 3);
+        let n = 10_000i64;
+        let data: Vec<i64> = (0..n).map(|i| (i * 37) % 1001 - 500).collect();
+        let heap = Heap::new().with_scalar("n", n).with_array("a", data);
+        let serial = run_serial(&p, heap.clone()).unwrap();
+        for threads in [2, 3, 8] {
+            let par = run_parallel(
+                &p,
+                &report,
+                heap.clone(),
+                &engine_opts(threads, EngineChoice::Compiled),
+            )
+            .unwrap();
+            assert_eq!(par.heap, serial.heap, "threads={threads}");
+            assert_eq!(
+                par.stats.loops[&LoopId(0)].mode,
+                ExecMode::Parallel {
+                    threads,
+                    dynamic: false
+                }
+            );
+        }
+        // The AST engine must not dispatch a reduction loop (it has no
+        // combiner merge) — but still compute the right answer serially.
+        let ast = run_parallel(&p, &report, heap, &engine_opts(4, EngineChoice::Ast)).unwrap();
+        assert_eq!(ast.heap, serial.heap);
+        assert!(ast.stats.parallel_loops().is_empty());
+    }
+
+    #[test]
+    fn compilation_happens_once_per_run_not_per_iteration() {
+        // The dispatched loop is entered `reps` times with many iterations
+        // each; the whole run must compile the program exactly once —
+        // the slot table is resolved up front and reused, never recomputed
+        // per loop entry or per iteration.
+        let src = r#"
+            for (r = 0; r < reps; r++) {
+                for (i = 0; i < n; i++) {
+                    out[i] = out[i] + r;
+                }
+            }
+        "#;
+        let p = parse_program("reuse", src).unwrap();
+        let report = parallelize(&p);
+        assert!(report.outermost_parallel_loops().contains(&LoopId(1)));
+        let heap = Heap::new()
+            .with_scalar("reps", 20)
+            .with_scalar("n", 500)
+            .with_array("out", vec![0; 500]);
+        let before = ss_ir::slots::compilation_count();
+        let par = run_parallel(
+            &p,
+            &report,
+            heap.clone(),
+            &engine_opts(4, EngineChoice::Compiled),
+        )
+        .unwrap();
+        assert_eq!(
+            ss_ir::slots::compilation_count(),
+            before + 1,
+            "one compilation per run, regardless of loop entries"
+        );
+        assert_eq!(par.stats.loops[&LoopId(1)].invocations, 20);
+        assert_eq!(par.stats.loops[&LoopId(1)].iterations, 20 * 500);
+        assert_eq!(par.heap, run_serial(&p, heap).unwrap().heap);
+    }
+}

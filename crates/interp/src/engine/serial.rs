@@ -1,0 +1,320 @@
+//! The tree-walking statement walker and the serial reference engine.
+//!
+//! Evaluation and statement execution are written once, generic over a
+//! [`Store`] (where accesses land) and a [`LoopPolicy`] (what happens when a
+//! `for` loop is reached).  The serial engine, the AST parallel workers and
+//! the input-discovery pass all instantiate this walker; the AST parallel
+//! spine adds a dispatching policy in [`super::dispatch`].
+
+use super::store::{HeapStore, Store};
+use super::{ExecEnvTiming, ExecError, ExecMode, ExecOptions, ExecOutcome, ExecStats};
+use crate::heap::Heap;
+use ss_ir::ast::{AExpr, AssignOp, BinOp, LoopId, Stmt, UnOp};
+use ss_ir::Program;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Expression evaluation (C semantics: wrapping arithmetic, 0/1 booleans,
+// short-circuit && and ||, truncating division).
+// ---------------------------------------------------------------------------
+
+pub(crate) fn eval<S: Store>(st: &mut S, e: &AExpr) -> Result<i64, ExecError> {
+    match e {
+        AExpr::IntLit(v) => Ok(*v),
+        AExpr::Var(name) => Ok(st.scalar(name)),
+        AExpr::Index(array, idx_exprs) => {
+            let mut idxs = Vec::with_capacity(idx_exprs.len());
+            for ie in idx_exprs {
+                idxs.push(eval(st, ie)?);
+            }
+            st.read_elem(array, &idxs)
+        }
+        AExpr::Binary(op, a, b) => {
+            // Short-circuit operators first.
+            match op {
+                BinOp::And => {
+                    return Ok(if eval(st, a)? != 0 && eval(st, b)? != 0 {
+                        1
+                    } else {
+                        0
+                    })
+                }
+                BinOp::Or => {
+                    return Ok(if eval(st, a)? != 0 || eval(st, b)? != 0 {
+                        1
+                    } else {
+                        0
+                    })
+                }
+                _ => {}
+            }
+            let x = eval(st, a)?;
+            let y = eval(st, b)?;
+            apply_binop(*op, x, y)
+        }
+        AExpr::Unary(op, a) => {
+            let x = eval(st, a)?;
+            Ok(match op {
+                UnOp::Neg => x.wrapping_neg(),
+                UnOp::Not => (x == 0) as i64,
+            })
+        }
+    }
+}
+
+/// One non-short-circuit binary operation (shared with the compiled
+/// engine's evaluator so both fail and wrap identically).
+pub(crate) fn apply_binop(op: BinOp, x: i64, y: i64) -> Result<i64, ExecError> {
+    Ok(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => x.checked_div(y).ok_or(ExecError::DivisionByZero)?,
+        BinOp::Mod => x.checked_rem(y).ok_or(ExecError::DivisionByZero)?,
+        BinOp::Lt => (x < y) as i64,
+        BinOp::Le => (x <= y) as i64,
+        BinOp::Gt => (x > y) as i64,
+        BinOp::Ge => (x >= y) as i64,
+        BinOp::Eq => (x == y) as i64,
+        BinOp::Ne => (x != y) as i64,
+        BinOp::And | BinOp::Or => unreachable!("short-circuit ops handled by the caller"),
+    })
+}
+
+pub(crate) fn compare(op: BinOp, a: i64, b: i64) -> bool {
+    match op {
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        // The parser only produces comparison exit tests; treat anything
+        // else as an immediately false condition rather than panicking.
+        _ => false,
+    }
+}
+
+/// The compound-assignment combine step, shared by both engines.
+pub(crate) fn apply_assign(op: AssignOp, current: i64, rhs: i64) -> i64 {
+    match op {
+        AssignOp::Assign => rhs,
+        AssignOp::AddAssign => current.wrapping_add(rhs),
+        AssignOp::SubAssign => current.wrapping_sub(rhs),
+        AssignOp::MulAssign => current.wrapping_mul(rhs),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The statement walker.
+// ---------------------------------------------------------------------------
+
+/// Borrowed view of a `Stmt::For`'s parts, handed to loop policies.
+pub(crate) struct ForLoop<'p> {
+    pub id: LoopId,
+    pub var: &'p str,
+    pub init: &'p AExpr,
+    pub cond_op: BinOp,
+    pub bound: &'p AExpr,
+    pub step: &'p AExpr,
+    pub body: &'p [Stmt],
+}
+
+/// Decides what happens when the walker reaches a `for` loop.
+pub(crate) trait LoopPolicy<S: Store> {
+    /// Returns `Ok(true)` if the loop was fully executed by the policy
+    /// (e.g. dispatched in parallel); `Ok(false)` to run it serially.
+    fn try_dispatch(
+        &mut self,
+        st: &mut S,
+        f: &ForLoop<'_>,
+        env: &mut ExecEnv<'_>,
+    ) -> Result<bool, ExecError>;
+}
+
+/// Policy that never dispatches (serial engine, workers, discovery).
+pub(crate) struct NoDispatch;
+
+impl<S: Store> LoopPolicy<S> for NoDispatch {
+    fn try_dispatch(
+        &mut self,
+        _st: &mut S,
+        _f: &ForLoop<'_>,
+        _env: &mut ExecEnv<'_>,
+    ) -> Result<bool, ExecError> {
+        Ok(false)
+    }
+}
+
+/// Walker state shared down the recursion.
+pub(crate) type ExecEnv<'a> = ExecEnvTiming<'a>;
+
+pub(crate) fn exec_stmts<S: Store, P: LoopPolicy<S>>(
+    st: &mut S,
+    stmts: &[Stmt],
+    pol: &mut P,
+    env: &mut ExecEnv<'_>,
+) -> Result<(), ExecError> {
+    for s in stmts {
+        exec_stmt(st, s, pol, env)?;
+    }
+    Ok(())
+}
+
+fn exec_stmt<S: Store, P: LoopPolicy<S>>(
+    st: &mut S,
+    s: &Stmt,
+    pol: &mut P,
+    env: &mut ExecEnv<'_>,
+) -> Result<(), ExecError> {
+    match s {
+        Stmt::Decl { name, dims, init } => {
+            if dims.is_empty() {
+                let v = match init {
+                    Some(e) => eval(st, e)?,
+                    None => 0,
+                };
+                st.set_scalar(name, v);
+            } else {
+                let mut extents = Vec::with_capacity(dims.len());
+                for d in dims {
+                    let v = eval(st, d)?;
+                    extents.push(v.max(0) as usize);
+                }
+                st.declare_array(name, extents)?;
+            }
+            Ok(())
+        }
+        Stmt::Assign { target, op, value } => {
+            let rhs = eval(st, value)?;
+            if target.is_scalar() {
+                let v = match op {
+                    AssignOp::Assign => rhs,
+                    _ => apply_assign(*op, st.scalar(&target.name), rhs),
+                };
+                st.set_scalar(&target.name, v);
+            } else {
+                let mut idxs = Vec::with_capacity(target.indices.len());
+                for ie in &target.indices {
+                    idxs.push(eval(st, ie)?);
+                }
+                let v = match op {
+                    AssignOp::Assign => rhs,
+                    _ => apply_assign(*op, st.read_elem(&target.name, &idxs)?, rhs),
+                };
+                st.write_elem(&target.name, &idxs, v)?;
+            }
+            Ok(())
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            if eval(st, cond)? != 0 {
+                exec_stmts(st, then_branch, pol, env)
+            } else {
+                exec_stmts(st, else_branch, pol, env)
+            }
+        }
+        Stmt::For {
+            id,
+            var,
+            init,
+            cond_op,
+            bound,
+            step,
+            body,
+            ..
+        } => {
+            let f = ForLoop {
+                id: *id,
+                var,
+                init,
+                cond_op: *cond_op,
+                bound,
+                step,
+                body,
+            };
+            if pol.try_dispatch(st, &f, env)? {
+                return Ok(());
+            }
+            let start = env.timing.then(Instant::now);
+            st.loop_enter(*id);
+            let v0 = eval(st, init)?;
+            st.set_scalar(var, v0);
+            let mut iter: u64 = 0;
+            loop {
+                let v = st.scalar(var);
+                let b = eval(st, bound)?;
+                if !compare(*cond_op, v, b) {
+                    break;
+                }
+                if iter >= env.while_cap {
+                    return Err(ExecError::NonTerminating {
+                        loop_id: *id,
+                        cap: env.while_cap,
+                    });
+                }
+                st.loop_iter(*id, iter as usize);
+                exec_stmts(st, body, pol, env)?;
+                let sv = eval(st, step)?;
+                let cur = st.scalar(var);
+                st.set_scalar(var, cur.wrapping_add(sv));
+                iter += 1;
+            }
+            let verdict = st.loop_exit(*id);
+            let seconds = start.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
+            if env.timing {
+                env.stats.record(*id, iter, seconds, ExecMode::Serial);
+            }
+            if let Some(conflict_free) = verdict {
+                env.stats.record_inspection(*id, conflict_free);
+            }
+            Ok(())
+        }
+        Stmt::While { id, cond, body } => {
+            let start = env.timing.then(Instant::now);
+            let mut iter: u64 = 0;
+            while eval(st, cond)? != 0 {
+                if iter >= env.while_cap {
+                    return Err(ExecError::NonTerminating {
+                        loop_id: *id,
+                        cap: env.while_cap,
+                    });
+                }
+                exec_stmts(st, body, pol, env)?;
+                iter += 1;
+            }
+            if let Some(t) = start {
+                env.stats
+                    .record(*id, iter, t.elapsed().as_secs_f64(), ExecMode::Serial);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The serial reference engine: tree-walks the whole program against the
+/// heap (what `run_serial_with` runs under `EngineChoice::Ast`).
+pub(crate) fn run_serial_ast(
+    program: &Program,
+    mut heap: Heap,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    let mut stats = ExecStats::default();
+    let start = Instant::now();
+    {
+        // Record under the same baseline flag as the parallel engine so
+        // that per-loop timings of the two runs are like-for-like.
+        let mut store = HeapStore::new(&mut heap, opts.baseline_inspector);
+        let mut env = ExecEnv {
+            stats: &mut stats,
+            timing: true,
+            while_cap: opts.while_cap,
+        };
+        exec_stmts(&mut store, &program.body, &mut NoDispatch, &mut env)?;
+    }
+    stats.total_seconds = start.elapsed().as_secs_f64();
+    Ok(ExecOutcome { heap, stats })
+}

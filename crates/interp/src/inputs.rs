@@ -21,7 +21,9 @@
 //! discovery did, with no out-of-bounds surprises and no second source of
 //! randomness.
 
-use crate::exec::{exec_stmts, ExecEnv, ExecError, ExecOptions, ExecStats, NoDispatch, Store};
+use crate::engine::serial::{exec_stmts, ExecEnv, NoDispatch};
+use crate::engine::store::Store;
+use crate::engine::{ExecError, ExecOptions, ExecStats};
 use crate::heap::{ArrayVal, Heap};
 use ss_ir::{free_scalars, Program};
 use std::collections::HashMap;
@@ -208,7 +210,7 @@ fn fill_with_input_values(a: &mut ArrayVal, name: &str, dims: &[usize], spec: &I
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::run_serial;
+    use crate::engine::run_serial;
     use ss_ir::parse_program;
 
     #[test]

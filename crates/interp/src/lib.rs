@@ -6,20 +6,25 @@
 //! crate *runs* them, closing the analyze → prove → execute → validate loop
 //! for arbitrary inputs:
 //!
-//! * [`heap`] — the typed heap both engines execute against (integer
+//! * [`heap`] — the typed heap all engines execute against (integer
 //!   scalars, dense row-major arrays);
-//! * [`exec`] — a tree-walking execution core with two engines: a serial
-//!   reference engine, and a parallel engine that consumes the
+//! * [`engine`] — the execution engines: a **compiled** engine (default)
+//!   that executes slot-resolved op sequences over dense frames, and the
+//!   **tree-walking** reference engine behind
+//!   [`EngineChoice::Ast`](crate::EngineChoice).  Both consume the
 //!   [`ParallelizationReport`](ss_parallelizer::ParallelizationReport) and
-//!   dispatches every proven-parallel loop onto `ss_runtime` worker threads
-//!   (static or chunk-stealing dynamic scheduling), with an optional
-//!   runtime-inspector baseline on the loops the analysis left serial;
+//!   dispatch every proven-parallel loop onto `ss_runtime` worker threads
+//!   (static or chunk-stealing dynamic scheduling); the compiled engine
+//!   additionally dispatches reduction loops (per-thread partials merged by
+//!   the combiner) and loops with body-local array declarations (private
+//!   per-iteration storage).  An optional runtime-inspector baseline runs
+//!   on the loops the analysis left serial;
 //! * [`inputs`] — reproducible input synthesis for any program via a
 //!   discovery pass (sizes arrays by observation, fills them with
 //!   deterministic pseudo-random data);
-//! * [`validate`] — the differential harness asserting serial ≡ parallel
-//!   final heaps, which turns every compile-time "parallel" verdict into a
-//!   tested claim.
+//! * [`validate`] — the differential harness asserting serial-ast ≡
+//!   serial-compiled ≡ parallel final heaps, which turns every compile-time
+//!   verdict — and the compilation pass itself — into a tested claim.
 //!
 //! ```
 //! use ss_interp::{validate_source, ExecOptions, InputSpec};
@@ -43,14 +48,14 @@
 
 #![warn(missing_docs)]
 
-pub mod exec;
+pub mod engine;
 pub mod heap;
 pub mod inputs;
 pub mod validate;
 
-pub use exec::{
-    run_parallel, run_serial, run_serial_with, ExecError, ExecMode, ExecOptions, ExecOutcome,
-    ExecStats, LoopStats, ScheduleChoice,
+pub use engine::{
+    run_parallel, run_serial, run_serial_with, EngineChoice, ExecError, ExecMode, ExecOptions,
+    ExecOutcome, ExecStats, LoopStats, ScheduleChoice,
 };
 pub use heap::{ArrayVal, Heap};
 pub use inputs::{input_value, synthesize_inputs, InputSpec};

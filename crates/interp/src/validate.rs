@@ -1,14 +1,17 @@
-//! The differential-validation harness: every compile-time verdict becomes a
-//! tested claim.
+//! The differential-validation harness: every compile-time verdict — and
+//! the compilation pass itself — becomes a tested claim.
 //!
 //! For a given program the harness (1) runs the compile-time analysis,
-//! (2) synthesizes inputs, (3) executes the program with the serial
-//! reference engine and with the parallel engine, and (4) asserts the final
-//! heaps are bit-identical.  A mismatch means the analysis proved a loop
-//! parallel whose parallel execution changed observable state — exactly the
-//! soundness bug class the paper's approach must exclude.
+//! (2) synthesizes inputs, (3) executes the program three ways — with the
+//! tree-walking serial reference engine, with the compiled serial engine,
+//! and with the parallel engine — and (4) asserts all final heaps are
+//! bit-identical.  A serial-vs-parallel mismatch means the analysis proved
+//! a loop parallel whose parallel execution changed observable state —
+//! exactly the soundness bug class the paper's approach must exclude; an
+//! ast-vs-compiled mismatch means the slot-resolution/compilation pass
+//! changed program semantics.
 
-use crate::exec::{run_parallel, run_serial_with, ExecOptions, ExecStats};
+use crate::engine::{run_parallel, run_serial_with, EngineChoice, ExecOptions, ExecStats};
 use crate::heap::Heap;
 use crate::inputs::{synthesize_inputs, InputSpec};
 use ss_ir::{parse_program, IrError, LoopId, Program};
@@ -51,19 +54,22 @@ impl From<crate::ExecError> for ValidationError {
 pub struct ValidationOutcome {
     /// Program name.
     pub program: String,
-    /// Loops the analysis proved parallel (outermost-parallel ones).
+    /// Loops the analysis proved parallelizable (outermost ones, reduction
+    /// loops included).
     pub proven_parallel: Vec<LoopId>,
     /// Loops the parallel engine actually dispatched to threads.
     pub dispatched: Vec<LoopId>,
-    /// Statistics of the serial reference run.
+    /// Statistics of the serial run with the requested engine.
     pub serial: ExecStats,
     /// Statistics of the parallel run.
     pub parallel: ExecStats,
-    /// True when the two final heaps were bit-identical.
+    /// True when all final heaps (serial-ast, serial with the requested
+    /// engine, parallel) were bit-identical.
     pub heaps_match: bool,
-    /// Human-readable differences when they were not (bounded per array).
+    /// Human-readable differences when they were not (bounded per array),
+    /// each prefixed with the comparison that produced it.
     pub mismatches: Vec<String>,
-    /// The final heap of the serial (reference) run.
+    /// The final heap of the serial tree-walking (reference) run.
     pub final_heap: Heap,
 }
 
@@ -75,30 +81,53 @@ impl ValidationOutcome {
 }
 
 /// Runs the differential harness on an already-analyzed program against an
-/// explicit initial heap.
+/// explicit initial heap: serial-ast vs serial (requested engine) vs
+/// parallel, all three heaps compared bit for bit.
 pub fn validate(
     program: &Program,
     report: &ParallelizationReport,
     initial: &Heap,
     opts: &ExecOptions,
 ) -> Result<ValidationOutcome, crate::ExecError> {
-    let serial = run_serial_with(program, initial.clone(), opts)?;
+    let ast_opts = ExecOptions {
+        engine: EngineChoice::Ast,
+        ..opts.clone()
+    };
+    let reference = run_serial_with(program, initial.clone(), &ast_opts)?;
+    // A second serial run only when the requested engine differs from the
+    // reference (the ast-vs-ast comparison would be the same execution
+    // twice).
+    let serial = if opts.engine == EngineChoice::Ast {
+        None
+    } else {
+        Some(run_serial_with(program, initial.clone(), opts)?)
+    };
     let parallel = run_parallel(program, report, initial.clone(), opts)?;
-    let mismatches = serial.heap.diff(&parallel.heap);
+    let mut mismatches = Vec::new();
+    if let Some(serial) = &serial {
+        for m in reference.heap.diff(&serial.heap) {
+            mismatches.push(format!("serial-ast vs serial-compiled: {m}"));
+        }
+    }
+    for m in reference.heap.diff(&parallel.heap) {
+        mismatches.push(format!("serial vs parallel: {m}"));
+    }
     Ok(ValidationOutcome {
         program: program.name.clone(),
         proven_parallel: report.outermost_parallel_loops(),
         dispatched: parallel.stats.parallel_loops(),
         heaps_match: mismatches.is_empty(),
         mismatches,
-        serial: serial.stats,
+        serial: serial
+            .map(|s| s.stats)
+            .unwrap_or_else(|| reference.stats.clone()),
         parallel: parallel.stats,
-        final_heap: serial.heap,
+        final_heap: reference.heap,
     })
 }
 
 /// Parses, analyzes, synthesizes inputs and validates a mini-C source — the
-/// full analyze → prove → execute → validate loop in one call.
+/// full analyze → prove → compile → execute → validate loop in one call.
 pub fn validate_source(
     name: &str,
     source: &str,
@@ -144,6 +173,30 @@ mod tests {
         assert!(out.heaps_match, "{:?}", out.mismatches);
         assert_eq!(out.proven_parallel, vec![LoopId(0), LoopId(1)]);
         assert_eq!(out.dispatched, vec![LoopId(0), LoopId(1)]);
+    }
+
+    #[test]
+    fn validation_covers_both_engines() {
+        // Validate with the AST engine requested for the parallel run too:
+        // all three executions must still agree.
+        let out = validate_source(
+            "fig2",
+            r#"
+                for (e = 0; e < nelt; e++) { mt_to_id[e] = nelt - 1 - e; }
+                for (miel = 0; miel < nelt; miel++) {
+                    iel = mt_to_id[miel];
+                    id_to_mt[iel] = miel;
+                }
+            "#,
+            &InputSpec { scale: 64, seed: 9 },
+            &ExecOptions {
+                engine: EngineChoice::Ast,
+                ..opts(3)
+            },
+        )
+        .unwrap();
+        assert!(out.heaps_match, "{:?}", out.mismatches);
+        assert!(!out.dispatched.is_empty());
     }
 
     #[test]

@@ -318,6 +318,56 @@ pub fn study_kernels() -> Vec<StudyKernel> {
             target_loop: 1,
         },
         StudyKernel {
+            name: "cg_norm_reduction",
+            program: "CG (NPB 3.3)",
+            suite: Suite::Npb,
+            class: PatternClass::Monotonicity,
+            source: r#"
+                for (i = 0; i < nrows; i++) {
+                    cnt = 0;
+                    for (t = 0; t < ncols; t++) {
+                        if (dense[i][t] != 0) { cnt++; }
+                    }
+                    rowcount[i] = cnt;
+                }
+                rowstr[0] = 0;
+                for (r = 1; r <= nrows; r++) {
+                    rowstr[r] = rowstr[r-1] + rowcount[r-1];
+                }
+                total = 0;
+                for (j = 0; j < nrows; j++) {
+                    for (k = rowstr[j]; k < rowstr[j+1]; k++) {
+                        prod[k] = aval[k] * 3;
+                        total += prod[k];
+                    }
+                }
+            "#,
+            target_loop: 3,
+        },
+        StudyKernel {
+            name: "ua_refine_scratch",
+            program: "UA (NPB 3.3)",
+            suite: Suite::Npb,
+            class: PatternClass::DisjointInjectiveExpressions,
+            source: r#"
+                front[0] = 1;
+                for (f = 1; f < num_refine; f++) {
+                    front[f] = front[f-1] + 1;
+                }
+                for (idx = 0; idx < num_refine; idx++) {
+                    int scratch[8];
+                    nelt = (front[idx] - 1) * 8;
+                    for (t = 0; t < 8; t++) {
+                        scratch[t] = dense[idx][t] * 3;
+                    }
+                    for (t = 0; t < 8; t++) {
+                        tree[nelt + t] = scratch[t] + idx;
+                    }
+                }
+            "#,
+            target_loop: 1,
+        },
+        StudyKernel {
             name: "csparse_symperm_cols",
             program: "CSparse (SuiteSparse 5.4)",
             suite: Suite::SuiteSparse,

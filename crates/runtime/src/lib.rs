@@ -11,7 +11,7 @@ pub mod timer;
 
 pub use pool::{
     chunk_ranges, hardware_threads, parallel_for, parallel_for_mut, parallel_for_schedule,
-    parallel_sum, Schedule,
+    parallel_reduce, parallel_sum, Schedule,
 };
 pub use sparse::CsrMatrix;
 pub use timer::{time_it, Timer};

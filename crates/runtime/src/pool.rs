@@ -146,6 +146,86 @@ where
     .expect("worker thread panicked");
 }
 
+/// A general parallel reduction over `0..n` under the given [`Schedule`]:
+/// every worker folds the ranges it executes into a private partial
+/// accumulator starting from `identity`, and the partials are merged with
+/// `combine` once all workers have joined.
+///
+/// `body(range, acc)` must fold every iteration of `range` into `acc` and
+/// return the updated accumulator.  For the merge to reproduce the serial
+/// result exactly, `combine` must be associative and commutative over the
+/// values `body` produces — integer wrapping `+`, `min` and `max` qualify,
+/// which is precisely the set of scalar reductions the compile-time
+/// analysis licenses for dispatch.
+///
+/// Under `Schedule::Static` each thread folds one contiguous range; under
+/// `Schedule::Dynamic` idle workers steal fixed-size chunks, and each
+/// worker still maintains a single private partial across all the chunks
+/// it steals (one `combine` per worker, not per chunk).
+pub fn parallel_reduce<T, F, C>(
+    threads: usize,
+    n: usize,
+    schedule: Schedule,
+    identity: T,
+    body: F,
+    combine: C,
+) -> T
+where
+    T: Clone + Send,
+    F: Fn(std::ops::Range<usize>, T) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
+    if threads <= 1 || n == 0 {
+        return body(0..n, identity);
+    }
+    let partials: Vec<T> = match schedule {
+        Schedule::Static => {
+            let ranges = chunk_ranges(n, threads);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .map(|r| {
+                        let body = &body;
+                        let id = identity.clone();
+                        scope.spawn(move |_| body(r, id))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("worker thread panicked")
+        }
+        Schedule::Dynamic { chunk } => {
+            let chunk = chunk.max(1);
+            let next = AtomicUsize::new(0);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let body = &body;
+                        let next = &next;
+                        let id = identity.clone();
+                        scope.spawn(move |_| {
+                            let mut acc = id;
+                            loop {
+                                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                                if start >= n {
+                                    break;
+                                }
+                                acc = body(start..(start + chunk).min(n), acc);
+                            }
+                            acc
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("worker thread panicked")
+        }
+    };
+    let mut it = partials.into_iter();
+    let first = it.next().expect("at least one worker");
+    it.fold(first, combine)
+}
+
 /// A parallel sum reduction over `0..n`.
 pub fn parallel_sum<F>(threads: usize, n: usize, term: F) -> f64
 where
@@ -254,6 +334,69 @@ mod tests {
     #[test]
     fn hardware_threads_is_positive() {
         assert!(hardware_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_reduce_matches_serial_for_sum_min_and_max() {
+        let n = 10_000usize;
+        let term = |i: usize| ((i as i64).wrapping_mul(0x9e37) % 1001) - 500;
+        let expected_sum: i64 = (0..n).map(term).sum();
+        let expected_min: i64 = (0..n).map(term).min().unwrap();
+        let expected_max: i64 = (0..n).map(term).max().unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            for schedule in [
+                Schedule::Static,
+                Schedule::Dynamic { chunk: 7 },
+                Schedule::dynamic_for(n, threads),
+            ] {
+                let sum = parallel_reduce(
+                    threads,
+                    n,
+                    schedule,
+                    0i64,
+                    |r, acc| r.fold(acc, |a, i| a.wrapping_add(term(i))),
+                    |a, b| a.wrapping_add(b),
+                );
+                assert_eq!(sum, expected_sum, "threads={threads} {schedule:?}");
+                let min = parallel_reduce(
+                    threads,
+                    n,
+                    schedule,
+                    i64::MAX,
+                    |r, acc| r.fold(acc, |a, i| a.min(term(i))),
+                    |a: i64, b| a.min(b),
+                );
+                assert_eq!(min, expected_min);
+                let max = parallel_reduce(
+                    threads,
+                    n,
+                    schedule,
+                    i64::MIN,
+                    |r, acc| r.fold(acc, |a, i| a.max(term(i))),
+                    |a: i64, b| a.max(b),
+                );
+                assert_eq!(max, expected_max);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_handles_empty_and_degenerate_spaces() {
+        assert_eq!(
+            parallel_reduce(4, 0, Schedule::Static, 42i64, |_, acc| acc, |a, b| a + b),
+            42
+        );
+        assert_eq!(
+            parallel_reduce(
+                4,
+                1,
+                Schedule::Dynamic { chunk: 16 },
+                0i64,
+                |r, acc| acc + r.len() as i64,
+                |a, b| a + b
+            ),
+            1
+        );
     }
 
     #[test]

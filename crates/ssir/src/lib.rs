@@ -11,7 +11,9 @@
 //! * [`loops`] — normalized loop descriptions and the loop tree (inside-out
 //!   traversal order of the paper's algorithm);
 //! * [`visit`] — array access collection with guard conditions;
-//! * [`convert`] — lowering of AST arithmetic to [`ss_symbolic::Expr`].
+//! * [`convert`] — lowering of AST arithmetic to [`ss_symbolic::Expr`];
+//! * [`slots`] — name interning and compilation to flat, slot-addressed op
+//!   sequences (what the `ss-interp` compiled engines execute).
 //!
 //! ```
 //! use ss_ir::parser::parse_program;
@@ -36,6 +38,7 @@ pub mod lexer;
 pub mod loops;
 pub mod parser;
 pub mod printer;
+pub mod slots;
 pub mod token;
 pub mod visit;
 
@@ -45,6 +48,10 @@ pub use errors::{IrError, Result};
 pub use loops::{LoopInfo, LoopTree};
 pub use parser::{parse_expr, parse_program};
 pub use printer::{print_expr, print_program, print_program_with, PrintOptions};
+pub use slots::{
+    compile_program, ArraySlot, CExpr, CompiledBody, CompiledFor, CompiledProgram, Op, ScalarSlot,
+    SlotMap,
+};
 pub use visit::{
     accesses_in_loop, collect_accesses, free_arrays, free_scalars, AccessKind, ArrayAccess,
 };

@@ -1,13 +1,14 @@
-//! Runs every catalogue kernel through the full analyze → prove → execute →
-//! validate loop and prints one line per kernel: which loops were
-//! dispatched, whether serial and parallel heaps agreed, and the measured
-//! speedup.
+//! Runs every catalogue kernel through the full analyze → prove → compile →
+//! execute → validate loop, under both execution engines, and prints one
+//! line per (kernel, engine): which loops were dispatched, whether all
+//! heaps agreed (serial-ast ≡ serial ≡ parallel), and the measured speedup.
+//! Exits nonzero on any validation failure, so CI can gate on it.
 //!
 //! ```text
 //! cargo run --release --example run_interpreter [-- <scale> [threads]]
 //! ```
 
-use ss_interp::{validate_source, ExecOptions, InputSpec};
+use ss_interp::{validate_source, EngineChoice, ExecOptions, InputSpec};
 use ss_runtime::hardware_threads;
 
 fn main() {
@@ -20,39 +21,55 @@ fn main() {
 
     println!("interpreting the kernel catalogue: scale n={scale}, {threads} thread(s)\n");
     println!(
-        "{:<24} {:>10} {:>12} {:>12} {:>9}  validation",
-        "kernel", "dispatched", "serial s", "parallel s", "speedup"
+        "{:<24} {:<8} {:>10} {:>12} {:>12} {:>9}  validation",
+        "kernel", "engine", "dispatched", "serial s", "parallel s", "speedup"
     );
-    let opts = ExecOptions {
-        threads,
-        ..ExecOptions::default()
-    };
     let spec = InputSpec { scale, seed: 42 };
-    for kernel in ss_npb::study_kernels() {
-        match validate_source(kernel.name, kernel.source, &spec, &opts) {
-            Ok(out) => {
-                let dispatched: Vec<String> =
-                    out.dispatched.iter().map(|l| l.to_string()).collect();
-                println!(
-                    "{:<24} {:>10} {:>12.6} {:>12.6} {:>8.2}x  {}",
-                    kernel.name,
-                    dispatched.join(","),
-                    out.serial.total_seconds,
-                    out.parallel.total_seconds,
-                    out.speedup(),
-                    if out.heaps_match {
-                        "PASS (serial == parallel)"
-                    } else {
-                        "FAIL"
-                    }
-                );
-                if !out.heaps_match {
-                    for m in out.mismatches.iter().take(5) {
-                        println!("    {m}");
+    let mut failures = 0usize;
+    for (engine, engine_name) in [
+        (EngineChoice::Compiled, "compiled"),
+        (EngineChoice::Ast, "ast"),
+    ] {
+        let opts = ExecOptions {
+            threads,
+            engine,
+            ..ExecOptions::default()
+        };
+        for kernel in ss_npb::study_kernels() {
+            match validate_source(kernel.name, kernel.source, &spec, &opts) {
+                Ok(out) => {
+                    let dispatched: Vec<String> =
+                        out.dispatched.iter().map(|l| l.to_string()).collect();
+                    println!(
+                        "{:<24} {:<8} {:>10} {:>12.6} {:>12.6} {:>8.2}x  {}",
+                        kernel.name,
+                        engine_name,
+                        dispatched.join(","),
+                        out.serial.total_seconds,
+                        out.parallel.total_seconds,
+                        out.speedup(),
+                        if out.heaps_match {
+                            "PASS (serial-ast == serial == parallel)"
+                        } else {
+                            "FAIL"
+                        }
+                    );
+                    if !out.heaps_match {
+                        failures += 1;
+                        for m in out.mismatches.iter().take(5) {
+                            println!("    {m}");
+                        }
                     }
                 }
+                Err(e) => {
+                    failures += 1;
+                    println!("{:<24} {:<8} error: {e}", kernel.name, engine_name);
+                }
             }
-            Err(e) => println!("{:<24} error: {e}", kernel.name),
         }
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} kernel/engine combination(s) FAILED validation");
+        std::process::exit(1);
     }
 }

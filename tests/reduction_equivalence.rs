@@ -1,0 +1,223 @@
+//! Equivalence suite for reduction dispatch: `+`, `min` and `max`
+//! accumulator loops must produce bit-identical heaps across the serial
+//! tree-walking engine, the serial compiled engine and the parallel
+//! compiled engine (which dispatches them with per-thread partials merged
+//! by the combiner), over arbitrary inputs, thread counts and schedules.
+//! Plus the regressions that keep recognition honest: a histogram's
+//! compound array update is *not* a scalar reduction, and an accumulator
+//! read outside its update disqualifies the loop.
+
+use proptest::prelude::*;
+use ss_interp::{
+    run_parallel, run_serial, validate_source, EngineChoice, ExecOptions, Heap, InputSpec,
+    ScheduleChoice,
+};
+use ss_ir::{parse_program, LoopId};
+use ss_parallelizer::{parallelize, ReductionOp};
+
+fn opts(threads: usize, schedule: ScheduleChoice) -> ExecOptions {
+    ExecOptions {
+        threads,
+        schedule,
+        ..ExecOptions::default()
+    }
+}
+
+/// `sum += a[k] - 3` starting from a nonzero initial value.
+const SUM_KERNEL: &str = r#"
+    total = 7;
+    for (k = 0; k < n; k++) {
+        total += a[k] - 3;
+    }
+"#;
+
+/// Guarded compare-and-assign minimum over an opaque input array.
+const MIN_KERNEL: &str = r#"
+    for (k = 0; k < n; k++) {
+        if (a[k] < best) { best = a[k]; }
+    }
+"#;
+
+/// The mirror maximum, with the accumulator on the left of the comparison.
+const MAX_KERNEL: &str = r#"
+    for (k = 0; k < n; k++) {
+        if (hi < a[k]) { hi = a[k]; }
+    }
+"#;
+
+#[test]
+fn reduction_kernels_are_recognized_with_the_right_operator() {
+    for (src, var, op) in [
+        (SUM_KERNEL, "total", ReductionOp::Add),
+        (MIN_KERNEL, "best", ReductionOp::Min),
+        (MAX_KERNEL, "hi", ReductionOp::Max),
+    ] {
+        let p = parse_program("red", src).unwrap();
+        let report = parallelize(&p);
+        let ids = p.loop_ids();
+        let target = *ids.last().unwrap();
+        let l = report.loop_report(target).unwrap();
+        assert_eq!(l.reductions.len(), 1, "{src}");
+        assert_eq!(l.reductions[0].var, var);
+        assert_eq!(l.reductions[0].op, op);
+        assert!(report.outermost_parallel_loops().contains(&target));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Each reduction kernel validates serial-ast ≡ serial-compiled ≡
+    /// parallel-compiled and is actually dispatched, for arbitrary input
+    /// scales, seeds, thread counts and schedules.
+    #[test]
+    fn reduction_kernels_validate_across_engines(
+        scale in 2i64..400,
+        seed in 0u64..1000,
+        threads in 2usize..6,
+        dynamic in 0u8..2,
+    ) {
+        let schedule = if dynamic == 1 { ScheduleChoice::Dynamic } else { ScheduleChoice::Static };
+        for (name, src) in [("sum", SUM_KERNEL), ("min", MIN_KERNEL), ("max", MAX_KERNEL)] {
+            let outcome = validate_source(
+                name,
+                src,
+                &InputSpec { scale, seed },
+                &opts(threads, schedule),
+            ).unwrap();
+            prop_assert!(outcome.heaps_match, "{name}: {:?}", outcome.mismatches);
+            prop_assert!(
+                !outcome.dispatched.is_empty(),
+                "{name}: reduction loop was not dispatched"
+            );
+        }
+    }
+
+    /// The combiner merge is exact for negative values, wrapping sums and
+    /// duplicated minima — explicit heaps, no synthesis in the way.
+    #[test]
+    fn explicit_sum_and_min_merges_are_exact(
+        n in 2i64..2000,
+        bias in -1000i64..1000,
+        threads in 2usize..8,
+    ) {
+        let src = r#"
+            total = 0;
+            for (k = 0; k < n; k++) {
+                total += v[k];
+                if (v[k] < lo) { lo = v[k]; }
+            }
+        "#;
+        let p = parse_program("exact", src).unwrap();
+        let report = parallelize(&p);
+        prop_assert!(report.outermost_parallel_loops().contains(&LoopId(0)));
+        let data: Vec<i64> = (0..n).map(|i| (i * 131) % 601 - 300 + bias).collect();
+        let heap = Heap::new()
+            .with_scalar("n", n)
+            .with_scalar("lo", 1 << 40)
+            .with_array("v", data);
+        let serial = run_serial(&p, heap.clone()).unwrap();
+        let par = run_parallel(&p, &report, heap, &opts(threads, ScheduleChoice::Static)).unwrap();
+        prop_assert_eq!(&par.heap, &serial.heap);
+        prop_assert!(par.stats.parallel_loops().contains(&LoopId(0)));
+    }
+}
+
+/// Regression: a histogram loop's `hist[a[i]] += 1` is a compound *array*
+/// update, not a scalar reduction — the loop stays serial in every engine
+/// and still computes the right histogram.
+#[test]
+fn histogram_compound_update_is_not_a_scalar_reduction() {
+    let src = "for (i = 0; i < n; i++) { hist[a[i]] += 1; }";
+    let p = parse_program("hist", src).unwrap();
+    let report = parallelize(&p);
+    let l = report.loop_report(LoopId(0)).unwrap();
+    assert!(l.reductions.is_empty(), "must not classify as a reduction");
+    assert!(!l.parallel);
+    assert!(report.outermost_parallel_loops().is_empty());
+
+    let outcome = validate_source(
+        "hist",
+        src,
+        &InputSpec { scale: 64, seed: 3 },
+        &opts(4, ScheduleChoice::Auto),
+    )
+    .unwrap();
+    assert!(outcome.heaps_match, "{:?}", outcome.mismatches);
+    assert!(outcome.dispatched.is_empty(), "histogram must stay serial");
+}
+
+/// Regression: reading the accumulator outside its update disqualifies the
+/// loop (the intermediate value is observable), and the run is still
+/// correct under every engine.
+#[test]
+fn observable_accumulator_reads_disqualify_reduction() {
+    let src = r#"
+        total = 0;
+        for (k = 0; k < n; k++) {
+            total += a[k];
+            trace[k] = total;
+        }
+    "#;
+    let p = parse_program("prefix", src).unwrap();
+    let report = parallelize(&p);
+    assert!(report.loop_report(LoopId(0)).unwrap().reductions.is_empty());
+    assert!(report.outermost_parallel_loops().is_empty());
+    let outcome = validate_source(
+        "prefix",
+        src,
+        &InputSpec { scale: 80, seed: 5 },
+        &opts(4, ScheduleChoice::Auto),
+    )
+    .unwrap();
+    assert!(outcome.heaps_match);
+    assert!(outcome.dispatched.is_empty());
+}
+
+/// Regression: a guarded min over non-negative data with an *uninitialized*
+/// accumulator never writes it serially (the guard never fires against the
+/// implicit 0), so the scalar must stay absent from the final heap.  A
+/// combiner merge-back cannot reproduce that, so the engine declines to
+/// dispatch — and the heaps still match bit for bit.
+#[test]
+fn uninitialized_accumulator_declines_dispatch_and_stays_bit_identical() {
+    let src = "for (k = 0; k < n; k++) { if (v[k] < best) { best = v[k]; } }";
+    let p = parse_program("umin", src).unwrap();
+    let report = parallelize(&p);
+    assert!(report.outermost_parallel_loops().contains(&LoopId(0)));
+    // `best` deliberately absent from the heap; every v[k] >= 0.
+    let heap = Heap::new()
+        .with_scalar("n", 200)
+        .with_array("v", (0..200).map(|i| (i * 13) % 101).collect());
+    let serial = run_serial(&p, heap.clone()).unwrap();
+    assert!(
+        !serial.heap.scalars.contains_key("best"),
+        "serial never writes best"
+    );
+    let par = run_parallel(&p, &report, heap, &opts(4, ScheduleChoice::Static)).unwrap();
+    assert_eq!(par.heap, serial.heap);
+    assert!(
+        par.stats.parallel_loops().is_empty(),
+        "undefined accumulator must not be dispatched"
+    );
+}
+
+/// The AST engine is a valid reference for reduction programs too: it
+/// refuses to dispatch them (no combiner) but computes identical heaps.
+#[test]
+fn ast_engine_runs_reduction_programs_serially_and_identically() {
+    let p = parse_program("red", SUM_KERNEL).unwrap();
+    let report = parallelize(&p);
+    let heap = Heap::new()
+        .with_scalar("n", 500)
+        .with_array("a", (0..500).map(|i| (i * 7) % 97).collect());
+    let serial = run_serial(&p, heap.clone()).unwrap();
+    let ast_opts = ExecOptions {
+        engine: EngineChoice::Ast,
+        threads: 4,
+        ..ExecOptions::default()
+    };
+    let ast_par = run_parallel(&p, &report, heap, &ast_opts).unwrap();
+    assert_eq!(ast_par.heap, serial.heap);
+    assert!(ast_par.stats.parallel_loops().is_empty());
+}
