@@ -1,14 +1,15 @@
 //! Interpreter execution cost: the Figure 9 product kernel executed by the
-//! compiled (slot-resolved) serial engine, by the tree-walking serial
-//! engine it replaced, by the parallel engine (compile-time verdicts, zero
-//! runtime analysis), and — for the runtime-machinery comparison the paper
-//! argues against — by the native inspector/executor driver on the same
-//! CSR data.
+//! bytecode (register-machine) serial engine, by the compiled
+//! (slot-resolved) serial engine, by the tree-walking serial engine they
+//! replaced, by the parallel engine (compile-time verdicts, zero runtime
+//! analysis), and — for the runtime-machinery comparison the paper argues
+//! against — by the native inspector/executor driver on the same CSR data.
 //!
-//! The compiled-vs-ast pair is the per-iteration interpretation-cost
-//! measurement: identical program, identical inputs, identical single
-//! thread — the only difference is slot-addressed frames vs name-keyed
-//! tree walking.
+//! The three serial engines form the interpretation-cost ladder: identical
+//! program, identical inputs, identical single thread — the only
+//! difference is name-keyed tree walking vs slot-addressed tree walking vs
+//! a flat instruction stream.  The bytecode-vs-compiled pair is the
+//! expression-flattening win this layer exists for.
 //!
 //! Run with `cargo bench -p ss-bench --bench interp_exec`.
 
@@ -36,6 +37,7 @@ fn bench_interp(c: &mut Criterion) {
     let mut group = c.benchmark_group("interp_exec_fig9");
     group.sample_size(10);
     for (label, engine) in [
+        ("serial_engine_bytecode", EngineChoice::Bytecode),
         ("serial_engine_compiled", EngineChoice::Compiled),
         ("serial_engine_ast", EngineChoice::Ast),
     ] {
@@ -48,19 +50,23 @@ fn bench_interp(c: &mut Criterion) {
             b.iter(|| run_serial_with(&program, initial.clone(), &opts).unwrap())
         });
     }
-    for threads in [2usize, 4] {
-        if threads > hardware_threads() * 2 {
-            continue;
+    for (label, engine) in [
+        ("parallel_engine_bytecode", EngineChoice::Bytecode),
+        ("parallel_engine_compiled", EngineChoice::Compiled),
+    ] {
+        for threads in [2usize, 4] {
+            if threads > hardware_threads() * 2 {
+                continue;
+            }
+            let opts = ExecOptions {
+                threads,
+                engine,
+                ..ExecOptions::default()
+            };
+            group.bench_with_input(BenchmarkId::new(label, threads), &opts, |b, opts| {
+                b.iter(|| run_parallel(&program, &report, initial.clone(), opts).unwrap())
+            });
         }
-        let opts = ExecOptions {
-            threads,
-            ..ExecOptions::default()
-        };
-        group.bench_with_input(
-            BenchmarkId::new("parallel_engine", threads),
-            &opts,
-            |b, opts| b.iter(|| run_parallel(&program, &report, initial.clone(), opts).unwrap()),
-        );
     }
     group.finish();
 }

@@ -25,7 +25,7 @@ use ss_interp::{
     synthesize_inputs, validate, EngineChoice, ExecMode, ExecOptions, InputSpec, ScheduleChoice,
 };
 use ss_ir::{parse_program, LoopId};
-use ss_parallelizer::{parallelize, parallelize_source, run_study, StudyInput};
+use ss_parallelizer::{parallelize, run_study, StudyInput};
 
 /// Errors the CLI reports to the user (exit status 1 or 2).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,8 +70,8 @@ pub fn usage() -> String {
     "sspar — compile-time parallelization of subscripted subscript patterns\n\
      \n\
      USAGE:\n\
-     \u{20}   sspar analyze <file.c> [--baseline] [--no-source]\n\
-     \u{20}   sspar analyze --kernel <name>  [--baseline] [--no-source]\n\
+     \u{20}   sspar analyze <file.c> [--baseline] [--no-source] [--dump-bytecode]\n\
+     \u{20}   sspar analyze --kernel <name>  [--baseline] [--no-source] [--dump-bytecode]\n\
      \u{20}   sspar trace   <file.c>\n\
      \u{20}   sspar trace   --kernel <name>\n\
      \u{20}   sspar run     <file.c> [run options]\n\
@@ -93,6 +93,7 @@ pub fn usage() -> String {
      \u{20}   --kernel <name>  use a built-in catalogue kernel instead of a file\n\
      \u{20}   --baseline       analyze: also show the property-free baseline verdicts\n\
      \u{20}   --no-source      analyze: omit the annotated source from the output\n\
+     \u{20}   --dump-bytecode  analyze: print the register-machine bytecode listing\n\
      \n\
      RUN OPTIONS:\n\
      \u{20}   --threads <N>           worker threads (default: all hardware threads)\n\
@@ -101,8 +102,9 @@ pub fn usage() -> String {
      \u{20}   --validate              assert serial-ast, serial and parallel heaps are identical\n\
      \u{20}   --baseline inspector    run the runtime-inspector baseline on serial loops\n\
      \u{20}   --schedule <auto|static|dynamic>  scheduling of parallel loops (default auto)\n\
-     \u{20}   --engine <compiled|ast> compiled (slot-resolved) execution or the\n\
-     \u{20}                           tree-walking reference engine (default compiled)\n"
+     \u{20}   --engine <bytecode|compiled|ast>  register-machine bytecode (default),\n\
+     \u{20}                           slot-resolved compiled execution, or the\n\
+     \u{20}                           tree-walking reference engine\n"
         .to_string()
 }
 
@@ -132,6 +134,8 @@ pub enum Command {
         baseline: bool,
         /// Omit the annotated source.
         no_source: bool,
+        /// Print the register-machine bytecode listing.
+        dump_bytecode: bool,
     },
     /// `sspar trace …`
     Trace {
@@ -179,7 +183,7 @@ impl Default for RunOptions {
             validate: false,
             baseline_inspector: false,
             schedule: ScheduleChoice::Auto,
-            engine: EngineChoice::Compiled,
+            engine: EngineChoice::Bytecode,
         }
     }
 }
@@ -262,6 +266,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--engine" => {
                         options.engine = match rest.get(i + 1) {
+                            Some(&"bytecode") => EngineChoice::Bytecode,
                             Some(&"compiled") => EngineChoice::Compiled,
                             Some(&"ast") => EngineChoice::Ast,
                             _ => return Err(CliError::Usage(usage())),
@@ -283,6 +288,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut input: Option<Input> = None;
             let mut baseline = false;
             let mut no_source = false;
+            let mut dump_bytecode = false;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i] {
@@ -299,6 +305,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         no_source = true;
                         i += 1;
                     }
+                    "--dump-bytecode" if cmd == "analyze" => {
+                        dump_bytecode = true;
+                        i += 1;
+                    }
                     other if !other.starts_with("--") && input.is_none() => {
                         input = Some(Input::File(other.to_string()));
                         i += 1;
@@ -312,6 +322,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     input,
                     baseline,
                     no_source,
+                    dump_bytecode,
                 })
             } else {
                 Ok(Command::Trace { input })
@@ -334,9 +345,10 @@ pub fn execute(cmd: &Command, reader: &dyn SourceReader) -> Result<String, CliEr
             input,
             baseline,
             no_source,
+            dump_bytecode,
         } => {
             let (name, source) = resolve_input(input, reader)?;
-            analyze_text(&name, &source, *baseline, *no_source)
+            analyze_text(&name, &source, *baseline, *no_source, *dump_bytecode)
         }
         Command::Trace { input } => {
             let (name, source) = resolve_input(input, reader)?;
@@ -372,8 +384,12 @@ fn analyze_text(
     source: &str,
     baseline: bool,
     no_source: bool,
+    dump_bytecode: bool,
 ) -> Result<String, CliError> {
-    let report = parallelize_source(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
+    // One parse feeds both the analysis and the bytecode dump, so the
+    // L<n> loop ids in the listing always match the verdict table.
+    let program = parse_program(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
+    let report = parallelize(&program);
     let mut out = String::new();
     out.push_str(&format!("== {name}: per-loop verdicts ==\n"));
     for l in &report.loops {
@@ -422,6 +438,11 @@ fn analyze_text(
         if !report.annotated_source.ends_with('\n') {
             out.push('\n');
         }
+    }
+    if dump_bytecode {
+        let bc = ss_ir::bytecode::compile_bytecode(&ss_ir::slots::compile_program(&program));
+        out.push_str("\n== register-machine bytecode ==\n");
+        out.push_str(&bc.disassemble());
     }
     Ok(out)
 }
@@ -497,6 +518,7 @@ fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, Cl
         "ast (inspector baseline)"
     } else {
         match options.engine {
+            EngineChoice::Bytecode => "bytecode",
             EngineChoice::Compiled => "compiled",
             EngineChoice::Ast => "ast",
         }
@@ -574,7 +596,7 @@ fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, Cl
     if options.validate {
         if outcome.heaps_match {
             out.push_str(
-                "validation: PASS (serial-ast, serial and parallel heaps are bit-identical)\n",
+                "validation: PASS (ast, compiled, bytecode and parallel heaps are bit-identical)\n",
             );
         } else {
             return Err(CliError::Validation(format!(
@@ -656,7 +678,8 @@ mod tests {
             Command::Analyze {
                 input: Input::File("k.c".into()),
                 baseline: false,
-                no_source: false
+                no_source: false,
+                dump_bytecode: false
             }
         );
         assert_eq!(
@@ -665,13 +688,15 @@ mod tests {
                 "--kernel",
                 "fig9_csr_product",
                 "--baseline",
-                "--no-source"
+                "--no-source",
+                "--dump-bytecode"
             ]))
             .unwrap(),
             Command::Analyze {
                 input: Input::Catalogue("fig9_csr_product".into()),
                 baseline: true,
-                no_source: true
+                no_source: true,
+                dump_bytecode: true
             }
         );
         assert_eq!(
@@ -734,6 +759,33 @@ mod tests {
         assert!(out.contains("PARALLEL"));
         let err = run(&args(&["analyze", "--kernel", "not_a_kernel"]), &reader).unwrap_err();
         assert!(matches!(err, CliError::UnknownKernel(_)));
+    }
+
+    #[test]
+    fn dump_bytecode_prints_the_register_machine_listing() {
+        let reader = MapReader(HashMap::new());
+        let out = run(
+            &args(&[
+                "analyze",
+                "--kernel",
+                "fig9_csr_product",
+                "--no-source",
+                "--dump-bytecode",
+            ]),
+            &reader,
+        )
+        .unwrap();
+        assert!(out.contains("== register-machine bytecode =="), "{out}");
+        assert!(out.contains("const["), "{out}");
+        assert!(out.contains("for      L"), "{out}");
+        // trace does not accept the flag
+        assert!(matches!(
+            run(
+                &args(&["trace", "--kernel", "fig9_csr_product", "--dump-bytecode"]),
+                &reader
+            ),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -839,9 +891,9 @@ mod tests {
     }
 
     #[test]
-    fn run_validates_under_both_engines() {
+    fn run_validates_under_every_engine() {
         let reader = MapReader(HashMap::new());
-        for engine in ["compiled", "ast"] {
+        for engine in ["bytecode", "compiled", "ast"] {
             let out = run(
                 &args(&[
                     "run",

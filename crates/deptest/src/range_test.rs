@@ -116,6 +116,20 @@ pub fn test_loop(
         carried_scalars: Vec::new(),
     };
 
+    // The index variable is excluded from the privatization test (every
+    // iteration writes it by construction) — but only while the *header*
+    // is its sole writer.  A body that assigns its own index makes the
+    // iteration space non-affine: the next iteration depends on this
+    // iteration's write, and a dispatcher that materialized the space from
+    // the header would execute different iterations than the serial run
+    // (found by the cross-engine fuzz harness, `tests/engine_fuzz.rs`).
+    if body_assigns_scalar(body, &info.var) {
+        verdict.blockers.push(format!(
+            "loop index '{}' is assigned in the body (non-affine iteration space)",
+            info.var
+        ));
+    }
+
     // Scalar dependences: every scalar assigned in the body must be
     // privatizable (written before read in each iteration).
     for name in non_private_scalars(body, &info.var) {
@@ -568,6 +582,22 @@ fn loop_private_arrays(body: &[Stmt]) -> Vec<String> {
 /// Scalars assigned in the loop body that are (possibly) read before being
 /// written in an iteration — these carry values across iterations and block
 /// parallelization (they are not privatizable).
+/// True when any statement of `body` (transitively) assigns the scalar
+/// `name` — including a nested `for` header reusing it as an index.
+fn body_assigns_scalar(body: &[Stmt], name: &str) -> bool {
+    body.iter().any(|s| match s {
+        Stmt::Assign { target, .. } => target.is_scalar() && target.name == name,
+        Stmt::Decl { name: n, dims, .. } => dims.is_empty() && n == name,
+        Stmt::For { var, body, .. } => var == name || body_assigns_scalar(body, name),
+        Stmt::While { body, .. } => body_assigns_scalar(body, name),
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => body_assigns_scalar(then_branch, name) || body_assigns_scalar(else_branch, name),
+    })
+}
+
 fn non_private_scalars(body: &[Stmt], loop_var: &str) -> Vec<String> {
     use std::collections::HashSet;
     let written_first: HashSet<String> = HashSet::new();
@@ -678,12 +708,22 @@ fn non_private_scalars(body: &[Stmt], loop_var: &str) -> Vec<String> {
                     note_reads(init, assigned, written, read_first);
                     note_reads(bound, assigned, written, read_first);
                     note_reads(step, assigned, written, read_first);
+                    // The header init always runs, the body may run zero
+                    // times: the index var counts as written, the body's
+                    // writes do not dominate anything after the loop.
+                    // Exposed reads inside the body are still detected
+                    // against a scratch copy (found by the cross-engine
+                    // fuzz harness: a plain write buried in a 0-trip inner
+                    // loop must not make a later compound read look
+                    // privatizable).
                     written.insert(var.clone());
-                    walk(body, assigned, written, read_first);
+                    let mut inner = written.clone();
+                    walk(body, assigned, &mut inner, read_first);
                 }
                 Stmt::While { cond, body, .. } => {
                     note_reads(cond, assigned, written, read_first);
-                    walk(body, assigned, written, read_first);
+                    let mut inner = written.clone();
+                    walk(body, assigned, &mut inner, read_first);
                 }
             }
         }

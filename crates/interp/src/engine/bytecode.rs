@@ -1,0 +1,712 @@
+//! The bytecode engines: flat register-machine execution (the default).
+//!
+//! [`ss_ir::bytecode`] flattens the slot pass's expression trees into a
+//! linear instruction stream; these engines execute that stream over a
+//! dense register file whose low registers alias the scalar slots — per
+//! iteration the hot path is one `match` per *instruction*, with no
+//! recursion and no `Box` chasing per expression node.
+//!
+//! Array state lives exactly where the compiled engine keeps it: dense
+//! per-slot frames on the spine, shared raw views plus worker-private
+//! local storage inside dispatched workers ([`super::compiled::SharedSlots`]
+//! and [`super::compiled::ChunkAcc`] are reused verbatim, so the two
+//! parallel engines cannot drift apart in their merge semantics).  The
+//! parallel dispatcher accepts the same verdict classes as the compiled
+//! one — independent loops, reduction loops, loops with body-local array
+//! declarations — but runs its workers on a **persistent**
+//! [`ss_runtime::ThreadTeam`]: the team is spawned at the first dispatched
+//! loop of a run and every subsequent region of that run reuses it, so
+//! adjacent parallel loops pay no spawn/join cycle.
+//!
+//! Semantics mirror the tree walker operation for operation (evaluation
+//! order, wrapping arithmetic, error points, undefined-value handling), so
+//! final heaps are bit-identical across all three engines — `validate` and
+//! the generative fuzz harness (`tests/engine_fuzz.rs`) assert exactly
+//! that.
+
+use super::compiled::{ChunkAcc, SharedSlots, NOT_WRITTEN};
+use super::serial::{apply_assign, apply_binop, compare};
+use super::store::elem_at;
+use super::{ExecEnvTiming, ExecError, ExecMode, ExecOptions, ExecOutcome, ExecStats};
+use crate::heap::{ArrayVal, Heap};
+use ss_ir::bytecode::{compile_bytecode, BcExpr, BcFor, BytecodeProgram, Instr, Reg};
+use ss_ir::slots::{compile_program, ArraySlot, SlotMap};
+use ss_ir::{LoopId, Program};
+use ss_parallelizer::{ParallelizationReport, ReductionInfo};
+use ss_runtime::{team_parallel_reduce, Schedule, ThreadTeam};
+use std::cell::OnceCell;
+use std::collections::HashMap;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// The register machine and its array stores.
+// ---------------------------------------------------------------------------
+
+/// The register file: scalars in the low registers, expression temporaries
+/// above, plus the bookkeeping both the serial spine and the workers need
+/// (defined-ness for heap write-back, last-write iterations for the
+/// parallel scalar merge).
+struct Machine<'a> {
+    regs: Vec<i64>,
+    defined: Vec<bool>,
+    write_iter: Vec<usize>,
+    current_iter: usize,
+    nscalars: usize,
+    consts: &'a [i64],
+}
+
+impl<'a> Machine<'a> {
+    fn new(bc: &'a BytecodeProgram) -> Machine<'a> {
+        let nscalars = bc.slots.scalar_count();
+        Machine {
+            regs: vec![0; bc.nregs],
+            defined: vec![false; nscalars],
+            write_iter: vec![NOT_WRITTEN; nscalars],
+            current_iter: 0,
+            nscalars,
+            consts: &bc.consts,
+        }
+    }
+
+    #[inline]
+    fn get(&self, r: Reg) -> i64 {
+        self.regs[r.index()]
+    }
+
+    #[inline]
+    fn set(&mut self, r: Reg, v: i64) {
+        let i = r.index();
+        self.regs[i] = v;
+        if i < self.nscalars {
+            self.defined[i] = true;
+            self.write_iter[i] = self.current_iter;
+        }
+    }
+
+    /// Loads the heap's scalars into the register file.
+    fn load_scalars(&mut self, heap: &Heap, slots: &SlotMap) {
+        for (i, name) in slots.scalar_names().iter().enumerate() {
+            if let Some(&v) = heap.scalars.get(name) {
+                self.regs[i] = v;
+                self.defined[i] = true;
+            }
+        }
+    }
+
+    /// Writes defined scalars back into the heap.
+    fn store_scalars(&self, heap: &mut Heap, slots: &SlotMap) {
+        for (i, name) in slots.scalar_names().iter().enumerate() {
+            if self.defined[i] {
+                heap.scalars.insert(name.clone(), self.regs[i]);
+            }
+        }
+    }
+}
+
+/// Where the machine's array traffic lands.
+trait BcArrays {
+    fn read(&mut self, a: ArraySlot, indices: &[i64]) -> Result<i64, ExecError>;
+    fn write(&mut self, a: ArraySlot, indices: &[i64], v: i64) -> Result<(), ExecError>;
+    fn declare(&mut self, a: ArraySlot, dims: Vec<usize>);
+}
+
+/// The spine's array store: one dense `Option<ArrayVal>` per slot, moved
+/// out of (and back into) the heap — the array half of the compiled
+/// engine's `Frame`.
+struct SpineArrays<'m> {
+    slots: &'m SlotMap,
+    arrays: Vec<Option<ArrayVal>>,
+}
+
+impl<'m> SpineArrays<'m> {
+    fn from_heap(heap: &mut Heap, slots: &'m SlotMap) -> SpineArrays<'m> {
+        let arrays = slots
+            .array_names()
+            .iter()
+            .map(|name| heap.arrays.remove(name))
+            .collect();
+        SpineArrays { slots, arrays }
+    }
+
+    fn into_heap(self, heap: &mut Heap) {
+        for (i, arr) in self.arrays.into_iter().enumerate() {
+            if let Some(a) = arr {
+                heap.arrays.insert(self.slots.array_names()[i].clone(), a);
+            }
+        }
+    }
+}
+
+impl BcArrays for SpineArrays<'_> {
+    fn read(&mut self, a: ArraySlot, indices: &[i64]) -> Result<i64, ExecError> {
+        let name = self.slots.array_name(a);
+        let arr = self.arrays[a.index()]
+            .as_ref()
+            .ok_or_else(|| ExecError::UndefinedArray(name.to_string()))?;
+        elem_at(name, arr, indices).map(|flat| arr.data[flat])
+    }
+
+    fn write(&mut self, a: ArraySlot, indices: &[i64], v: i64) -> Result<(), ExecError> {
+        let name = self.slots.array_name(a);
+        let arr = self.arrays[a.index()]
+            .as_mut()
+            .ok_or_else(|| ExecError::UndefinedArray(name.to_string()))?;
+        let flat = elem_at(name, arr, indices)?;
+        arr.data[flat] = v;
+        Ok(())
+    }
+
+    fn declare(&mut self, a: ArraySlot, dims: Vec<usize>) {
+        self.arrays[a.index()] = Some(ArrayVal::zeros(dims));
+    }
+}
+
+/// A worker's array store: shared raw views for the heap arrays, private
+/// storage for the dispatched loop's local arrays — the array half of the
+/// compiled engine's worker.
+struct WorkerArrays<'s> {
+    slots: &'s SlotMap,
+    shared: &'s SharedSlots,
+    local: &'s [bool],
+    locals: Vec<Option<ArrayVal>>,
+    local_write_iter: Vec<usize>,
+    current_iter: usize,
+}
+
+impl BcArrays for WorkerArrays<'_> {
+    fn read(&mut self, a: ArraySlot, indices: &[i64]) -> Result<i64, ExecError> {
+        let i = a.index();
+        if self.local[i] {
+            let name = self.slots.array_name(a);
+            let arr = self.locals[i]
+                .as_ref()
+                .ok_or_else(|| ExecError::UndefinedArray(name.to_string()))?;
+            return elem_at(name, arr, indices).map(|flat| arr.data[flat]);
+        }
+        let (ptr, flat) = self.shared.flat(self.slots, a, indices)?;
+        // SAFETY: flat is bounds-checked; disjointness across workers is
+        // the dispatched loop's proven property.
+        Ok(unsafe { *(ptr as *const i64).add(flat) })
+    }
+
+    fn write(&mut self, a: ArraySlot, indices: &[i64], v: i64) -> Result<(), ExecError> {
+        let i = a.index();
+        if self.local[i] {
+            let name = self.slots.array_name(a);
+            let arr = self.locals[i]
+                .as_mut()
+                .ok_or_else(|| ExecError::UndefinedArray(name.to_string()))?;
+            let flat = elem_at(name, arr, indices)?;
+            arr.data[flat] = v;
+            self.local_write_iter[i] = self.current_iter;
+            return Ok(());
+        }
+        let (ptr, flat) = self.shared.flat(self.slots, a, indices)?;
+        // SAFETY: as above.
+        unsafe {
+            *(ptr as *mut i64).add(flat) = v;
+        }
+        Ok(())
+    }
+
+    fn declare(&mut self, a: ArraySlot, dims: Vec<usize>) {
+        // Declarations inside a dispatched body always target local slots
+        // (that is how `local_arrays` is computed).
+        let i = a.index();
+        self.locals[i] = Some(ArrayVal::zeros(dims));
+        self.local_write_iter[i] = self.current_iter;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The instruction interpreter.
+// ---------------------------------------------------------------------------
+
+/// Decides what happens when the interpreter reaches a `For` instruction.
+trait BcPolicy<A: BcArrays> {
+    fn try_dispatch(
+        &mut self,
+        m: &mut Machine<'_>,
+        arrays: &mut A,
+        f: &BcFor,
+        env: &mut ExecEnvTiming<'_>,
+    ) -> Result<bool, ExecError>;
+}
+
+/// Policy that never dispatches (serial engine, workers).
+struct NoDispatchB;
+
+impl<A: BcArrays> BcPolicy<A> for NoDispatchB {
+    fn try_dispatch(
+        &mut self,
+        _m: &mut Machine<'_>,
+        _arrays: &mut A,
+        _f: &BcFor,
+        _env: &mut ExecEnvTiming<'_>,
+    ) -> Result<bool, ExecError> {
+        Ok(false)
+    }
+}
+
+/// One active flattened-`while` guard: iteration counter plus wall-clock
+/// start (when timing).
+struct WhileGuard {
+    id: LoopId,
+    iters: u64,
+    start: Option<Instant>,
+}
+
+/// Runs a flat expression block and returns its value.
+fn eval_block<A: BcArrays>(
+    m: &mut Machine<'_>,
+    arrays: &mut A,
+    e: &BcExpr,
+    env: &mut ExecEnvTiming<'_>,
+) -> Result<i64, ExecError> {
+    // Expression blocks contain no loops, so the no-dispatch policy is
+    // exact, not an approximation.
+    exec_code(m, arrays, &e.code, &mut NoDispatchB, env)?;
+    Ok(m.get(e.result))
+}
+
+fn exec_code<A: BcArrays, P: BcPolicy<A>>(
+    m: &mut Machine<'_>,
+    arrays: &mut A,
+    code: &[Instr],
+    pol: &mut P,
+    env: &mut ExecEnvTiming<'_>,
+) -> Result<(), ExecError> {
+    let mut guards: Vec<WhileGuard> = Vec::new();
+    let mut pc = 0usize;
+    while pc < code.len() {
+        match &code[pc] {
+            Instr::Const { dst, pool } => {
+                let v = m.consts[*pool as usize];
+                m.set(*dst, v);
+            }
+            Instr::Copy { dst, src } => {
+                let v = m.get(*src);
+                m.set(*dst, v);
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let v = apply_binop(*op, m.get(*a), m.get(*b))?;
+                m.set(*dst, v);
+            }
+            Instr::Accum { op, dst, src } => {
+                let v = apply_assign(*op, m.get(*dst), m.get(*src));
+                m.set(*dst, v);
+            }
+            Instr::Neg { dst, src } => {
+                let v = m.get(*src).wrapping_neg();
+                m.set(*dst, v);
+            }
+            Instr::Not { dst, src } => {
+                let v = (m.get(*src) == 0) as i64;
+                m.set(*dst, v);
+            }
+            Instr::Load {
+                dst,
+                array,
+                idx,
+                rank,
+            } => {
+                let v = with_indices(m, *idx, *rank, |idxs| arrays.read(*array, idxs))?;
+                m.set(*dst, v);
+            }
+            Instr::Store {
+                array,
+                idx,
+                rank,
+                src,
+            } => {
+                let v = m.get(*src);
+                with_indices(m, *idx, *rank, |idxs| arrays.write(*array, idxs, v))?;
+            }
+            Instr::DeclArray { array, dims, rank } => {
+                let mut extents = Vec::with_capacity(*rank as usize);
+                for k in 0..*rank {
+                    extents.push(m.get(Reg(dims.0 + k as u32)).max(0) as usize);
+                }
+                arrays.declare(*array, extents);
+            }
+            Instr::Jz { cond, target } => {
+                if m.get(*cond) == 0 {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Instr::Jnz { cond, target } => {
+                if m.get(*cond) != 0 {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Instr::Jump { target } => {
+                pc = *target as usize;
+                continue;
+            }
+            Instr::For(f) => exec_for(m, arrays, f, pol, env)?,
+            Instr::WhileEnter { id } => {
+                guards.push(WhileGuard {
+                    id: *id,
+                    iters: 0,
+                    start: env.timing.then(Instant::now),
+                });
+            }
+            Instr::WhileIter { id } => {
+                let g = guards.last_mut().expect("unbalanced while guard");
+                debug_assert_eq!(g.id, *id);
+                if g.iters >= env.while_cap {
+                    return Err(ExecError::NonTerminating {
+                        loop_id: *id,
+                        cap: env.while_cap,
+                    });
+                }
+                g.iters += 1;
+            }
+            Instr::WhileExit { id } => {
+                let g = guards.pop().expect("unbalanced while guard");
+                debug_assert_eq!(g.id, *id);
+                if let Some(t) = g.start {
+                    env.stats
+                        .record(*id, g.iters, t.elapsed().as_secs_f64(), ExecMode::Serial);
+                }
+            }
+        }
+        pc += 1;
+    }
+    Ok(())
+}
+
+/// Gathers `rank` subscripts from consecutive registers without a heap
+/// allocation (for any realistic rank) and hands them to `f`.
+#[inline]
+fn with_indices<R>(m: &Machine<'_>, first: Reg, rank: u8, f: impl FnOnce(&[i64]) -> R) -> R {
+    let rank = rank as usize;
+    if rank <= 8 {
+        let mut buf = [0i64; 8];
+        for (k, b) in buf.iter_mut().take(rank).enumerate() {
+            *b = m.regs[first.index() + k];
+        }
+        f(&buf[..rank])
+    } else {
+        let idxs: Vec<i64> = (0..rank).map(|k| m.regs[first.index() + k]).collect();
+        f(&idxs)
+    }
+}
+
+fn exec_for<A: BcArrays, P: BcPolicy<A>>(
+    m: &mut Machine<'_>,
+    arrays: &mut A,
+    f: &BcFor,
+    pol: &mut P,
+    env: &mut ExecEnvTiming<'_>,
+) -> Result<(), ExecError> {
+    if pol.try_dispatch(m, arrays, f, env)? {
+        return Ok(());
+    }
+    let start = env.timing.then(Instant::now);
+    let v0 = eval_block(m, arrays, &f.init, env)?;
+    m.set(f.var, v0);
+    let mut iter: u64 = 0;
+    loop {
+        let v = m.get(f.var);
+        let b = eval_block(m, arrays, &f.bound, env)?;
+        if !compare(f.cond_op, v, b) {
+            break;
+        }
+        if iter >= env.while_cap {
+            return Err(ExecError::NonTerminating {
+                loop_id: f.id,
+                cap: env.while_cap,
+            });
+        }
+        exec_code(m, arrays, &f.body, pol, env)?;
+        let sv = eval_block(m, arrays, &f.step, env)?;
+        let cur = m.get(f.var);
+        m.set(f.var, cur.wrapping_add(sv));
+        iter += 1;
+    }
+    if let Some(t) = start {
+        env.stats
+            .record(f.id, iter, t.elapsed().as_secs_f64(), ExecMode::Serial);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The parallel dispatch policy.
+// ---------------------------------------------------------------------------
+
+struct BcDispatch<'r> {
+    /// Outermost dispatchable loops with their (possibly empty) reductions.
+    dispatchable: &'r HashMap<LoopId, Vec<ReductionInfo>>,
+    opts: &'r ExecOptions,
+    /// The run's persistent worker team, spawned at the first dispatched
+    /// loop and reused by every later one (parallel-region fusion).
+    team: &'r OnceCell<ThreadTeam>,
+}
+
+impl BcPolicy<SpineArrays<'_>> for BcDispatch<'_> {
+    fn try_dispatch(
+        &mut self,
+        m: &mut Machine<'_>,
+        arrays: &mut SpineArrays<'_>,
+        f: &BcFor,
+        env: &mut ExecEnvTiming<'_>,
+    ) -> Result<bool, ExecError> {
+        let Some(reductions) = self.dispatchable.get(&f.id) else {
+            return Ok(false);
+        };
+        if self.opts.threads <= 1 {
+            return Ok(false);
+        }
+        if reductions.iter().any(|r| !m.defined[r.slot.index()]) {
+            // Same rule as the compiled engine: an uninitialized
+            // accumulator must stay absent from the final heap when the
+            // loop never writes it, which a combiner merge cannot
+            // reproduce.
+            return Ok(false);
+        }
+        if !f.local_arrays.is_empty() && !f.locals_dominated {
+            return Ok(false);
+        }
+        let v0 = eval_block(m, arrays, &f.init, env)?;
+        let bound = eval_block(m, arrays, &f.bound, env)?;
+        let step = eval_block(m, arrays, &f.step, env)?;
+        let (values, exit_value) =
+            super::materialize_iteration_space(v0, bound, step, f.cond_op, f.id, env.while_cap)?;
+        let n = values.len();
+        if n < self.opts.min_parallel_trip {
+            return Ok(false);
+        }
+
+        let start = Instant::now();
+        let threads = self.opts.threads;
+        let schedule = super::choose_schedule(self.opts.schedule, f.skewed, n, threads);
+        let dynamic = matches!(schedule, Schedule::Dynamic { .. });
+
+        let nscalars = m.nscalars;
+        let narrays = arrays.arrays.len();
+        let mut local = vec![false; narrays];
+        for a in &f.local_arrays {
+            local[a.index()] = true;
+        }
+        // Worker register files start from a snapshot of the spine's; the
+        // accumulator registers are re-seeded with the operator identity so
+        // partials merge exactly.
+        let mut snapshot = m.regs.clone();
+        for r in reductions {
+            snapshot[r.slot.index()] = r.op.identity();
+        }
+        let mut is_reduction = vec![false; nscalars];
+        for r in reductions {
+            is_reduction[r.slot.index()] = true;
+        }
+        let shared = SharedSlots::capture(&mut arrays.arrays, &local);
+        let slots = arrays.slots;
+        let consts = m.consts;
+        let nregs = m.regs.len();
+        let while_cap = env.while_cap;
+        let values = &values;
+        let local_ref = &local;
+        let snapshot_ref = &snapshot;
+        let is_reduction_ref = &is_reduction;
+        let team = self.team.get_or_init(|| ThreadTeam::new(threads));
+
+        let acc = team_parallel_reduce(
+            team,
+            n,
+            schedule,
+            ChunkAcc::identity(nscalars, reductions, f.local_arrays.len()),
+            |range, mut acc| {
+                if acc.err.is_some() {
+                    return acc;
+                }
+                let mut wm = Machine {
+                    regs: snapshot_ref.clone(),
+                    defined: vec![false; nscalars],
+                    write_iter: vec![NOT_WRITTEN; nscalars],
+                    current_iter: 0,
+                    nscalars,
+                    consts,
+                };
+                debug_assert_eq!(wm.regs.len(), nregs);
+                let mut wa = WorkerArrays {
+                    slots,
+                    shared: &shared,
+                    local: local_ref,
+                    locals: vec![None; narrays],
+                    local_write_iter: vec![NOT_WRITTEN; narrays],
+                    current_iter: 0,
+                };
+                let mut scratch_stats = ExecStats::default();
+                let mut wenv = ExecEnvTiming {
+                    stats: &mut scratch_stats,
+                    timing: false,
+                    while_cap,
+                };
+                for k in range {
+                    wm.current_iter = k;
+                    wa.current_iter = k;
+                    wm.set(f.var, values[k]);
+                    if let Err(e) =
+                        exec_code(&mut wm, &mut wa, &f.body, &mut NoDispatchB, &mut wenv)
+                    {
+                        acc.err = Some(e);
+                        break;
+                    }
+                }
+                for (slot, &iter) in wm.write_iter.iter().enumerate() {
+                    if iter == NOT_WRITTEN || is_reduction_ref[slot] {
+                        continue;
+                    }
+                    match acc.scalar_writes[slot] {
+                        Some((best, _)) if best >= iter => {}
+                        _ => acc.scalar_writes[slot] = Some((iter, wm.regs[slot])),
+                    }
+                }
+                for (i, r) in reductions.iter().enumerate() {
+                    acc.partials[i] = r.op.combine(acc.partials[i], wm.regs[r.slot.index()]);
+                }
+                for (i, a) in f.local_arrays.iter().enumerate() {
+                    let iter = wa.local_write_iter[a.index()];
+                    if iter == NOT_WRITTEN {
+                        continue;
+                    }
+                    if let Some(arr) = wa.locals[a.index()].take() {
+                        match &acc.locals[i] {
+                            Some((best, _)) if *best >= iter => {}
+                            _ => acc.locals[i] = Some((iter, arr)),
+                        }
+                    }
+                }
+                acc
+            },
+            |a, b| a.combine(b, reductions),
+        );
+
+        let ChunkAcc {
+            err,
+            scalar_writes,
+            partials,
+            locals,
+        } = acc;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        // Merge back exactly like the compiled dispatcher: last-writing
+        // iteration for ordinary scalars, combiner against the pre-loop
+        // value for accumulators, globally last iteration's storage for
+        // loop-local arrays.
+        for (slot, w) in scalar_writes.into_iter().enumerate() {
+            if let Some((_, value)) = w {
+                m.regs[slot] = value;
+                m.defined[slot] = true;
+            }
+        }
+        for (r, partial) in reductions.iter().zip(partials) {
+            let merged = r.op.combine(m.regs[r.slot.index()], partial);
+            m.set(Reg(r.slot.0), merged);
+        }
+        for (a, entry) in f.local_arrays.iter().zip(locals) {
+            if let Some((_, arr)) = entry {
+                arrays.arrays[a.index()] = Some(arr);
+            }
+        }
+        m.set(f.var, exit_value);
+
+        env.stats.record(
+            f.id,
+            n as u64,
+            start.elapsed().as_secs_f64(),
+            ExecMode::Parallel { threads, dynamic },
+        );
+        Ok(true)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engines.
+// ---------------------------------------------------------------------------
+
+/// The serial bytecode engine.
+pub(crate) fn run_serial_bytecode(
+    program: &Program,
+    mut heap: Heap,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    let compiled = compile_program(program);
+    let bc = compile_bytecode(&compiled);
+    let mut stats = ExecStats::default();
+    let start = Instant::now();
+    let mut machine = Machine::new(&bc);
+    machine.load_scalars(&heap, &bc.slots);
+    let mut arrays = SpineArrays::from_heap(&mut heap, &bc.slots);
+    {
+        let mut env = ExecEnvTiming {
+            stats: &mut stats,
+            timing: true,
+            while_cap: opts.while_cap,
+        };
+        exec_code(
+            &mut machine,
+            &mut arrays,
+            &bc.main,
+            &mut NoDispatchB,
+            &mut env,
+        )?;
+    }
+    arrays.into_heap(&mut heap);
+    machine.store_scalars(&mut heap, &bc.slots);
+    stats.total_seconds = start.elapsed().as_secs_f64();
+    Ok(ExecOutcome { heap, stats })
+}
+
+/// The parallel bytecode engine: same dispatch classes as the compiled
+/// engine, executed as bytecode on a persistent worker team.
+pub(crate) fn run_parallel_bytecode(
+    program: &Program,
+    report: &ParallelizationReport,
+    mut heap: Heap,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    let compiled = compile_program(program);
+    let bc = compile_bytecode(&compiled);
+    let dispatchable: HashMap<LoopId, Vec<ReductionInfo>> = report
+        .outermost_parallel_loops()
+        .into_iter()
+        .map(|id| {
+            (
+                id,
+                report
+                    .loop_report(id)
+                    .map(|l| l.reductions.clone())
+                    .unwrap_or_default(),
+            )
+        })
+        .collect();
+    let mut stats = ExecStats::default();
+    let start = Instant::now();
+    let mut machine = Machine::new(&bc);
+    machine.load_scalars(&heap, &bc.slots);
+    let mut arrays = SpineArrays::from_heap(&mut heap, &bc.slots);
+    let team: OnceCell<ThreadTeam> = OnceCell::new();
+    {
+        let mut policy = BcDispatch {
+            dispatchable: &dispatchable,
+            opts,
+            team: &team,
+        };
+        let mut env = ExecEnvTiming {
+            stats: &mut stats,
+            timing: true,
+            while_cap: opts.while_cap,
+        };
+        exec_code(&mut machine, &mut arrays, &bc.main, &mut policy, &mut env)?;
+    }
+    arrays.into_heap(&mut heap);
+    machine.store_scalars(&mut heap, &bc.slots);
+    stats.total_seconds = start.elapsed().as_secs_f64();
+    Ok(ExecOutcome { heap, stats })
+}

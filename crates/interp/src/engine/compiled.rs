@@ -138,8 +138,9 @@ impl SlotStore for Frame<'_> {
 }
 
 /// Raw views of the frame's shared arrays, one per array slot (`None` for
-/// worker-private or absent slots).
-struct SharedSlots {
+/// worker-private or absent slots).  Shared with the bytecode engine, whose
+/// workers need exactly the same views.
+pub(super) struct SharedSlots {
     arrs: Vec<Option<SharedSlotArray>>,
 }
 
@@ -156,9 +157,8 @@ struct SharedSlotArray {
 unsafe impl Sync for SharedSlots {}
 
 impl SharedSlots {
-    fn capture(frame: &mut Frame<'_>, local: &[bool]) -> SharedSlots {
-        let arrs = frame
-            .arrays
+    pub(super) fn capture(arrays: &mut [Option<ArrayVal>], local: &[bool]) -> SharedSlots {
+        let arrs = arrays
             .iter_mut()
             .enumerate()
             .map(|(i, a)| match a {
@@ -172,9 +172,37 @@ impl SharedSlots {
             .collect();
         SharedSlots { arrs }
     }
+
+    /// Bounds-checked flat offset into the shared view of `a`, plus the raw
+    /// storage pointer (as usize).  Same error points as the heap path.
+    pub(super) fn flat(
+        &self,
+        slots: &SlotMap,
+        a: ArraySlot,
+        indices: &[i64],
+    ) -> Result<(usize, usize), ExecError> {
+        let name = || slots.array_name(a).to_string();
+        let Some(arr) = &self.arrs[a.index()] else {
+            return Err(ExecError::UndefinedArray(name()));
+        };
+        if indices.len() != arr.dims.len() {
+            return Err(ExecError::ArityMismatch {
+                array: name(),
+                expected: arr.dims.len(),
+                got: indices.len(),
+            });
+        }
+        let flat = row_major_flat(&arr.dims, indices).ok_or_else(|| ExecError::OutOfBounds {
+            array: name(),
+            indices: indices.to_vec(),
+            dims: arr.dims.clone(),
+        })?;
+        debug_assert!(flat < arr.len);
+        Ok((arr.ptr, flat))
+    }
 }
 
-const NOT_WRITTEN: usize = usize::MAX;
+pub(super) const NOT_WRITTEN: usize = usize::MAX;
 
 /// Per-worker store of the compiled parallel engine: shared raw-pointer
 /// array views, a private dense scalar frame with last-write iterations,
@@ -248,24 +276,7 @@ impl SlotStore for CompiledWorker<'_> {
 
 impl CompiledWorker<'_> {
     fn shared_flat(&self, a: ArraySlot, indices: &[i64]) -> Result<(usize, usize), ExecError> {
-        let name = || self.slots.array_name(a).to_string();
-        let Some(arr) = &self.shared.arrs[a.index()] else {
-            return Err(ExecError::UndefinedArray(name()));
-        };
-        if indices.len() != arr.dims.len() {
-            return Err(ExecError::ArityMismatch {
-                array: name(),
-                expected: arr.dims.len(),
-                got: indices.len(),
-            });
-        }
-        let flat = row_major_flat(&arr.dims, indices).ok_or_else(|| ExecError::OutOfBounds {
-            array: name(),
-            indices: indices.to_vec(),
-            dims: arr.dims.clone(),
-        })?;
-        debug_assert!(flat < arr.len);
-        Ok((arr.ptr, flat))
+        self.shared.flat(self.slots, a, indices)
     }
 }
 
@@ -476,21 +487,27 @@ fn exec_for<S: SlotStore, P: CompiledPolicy<S>>(
 // ---------------------------------------------------------------------------
 
 /// One worker chunk's contribution, folded over the chunks a worker steals
-/// and merged across workers by [`ChunkAcc::combine`].
+/// and merged across workers by [`ChunkAcc::combine`].  The merge is
+/// engine-agnostic (slot indices, iteration numbers, array values), so the
+/// bytecode dispatcher reuses it as-is.
 #[derive(Clone)]
-struct ChunkAcc {
-    err: Option<ExecError>,
+pub(super) struct ChunkAcc {
+    pub(super) err: Option<ExecError>,
     /// Last write per scalar slot: `(iteration, value)`.
-    scalar_writes: Vec<Option<(usize, i64)>>,
+    pub(super) scalar_writes: Vec<Option<(usize, i64)>>,
     /// Reduction partials, aligned with the loop's `ReductionInfo` list.
-    partials: Vec<i64>,
+    pub(super) partials: Vec<i64>,
     /// Loop-local array state of the latest iteration seen, aligned with
     /// `CompiledFor::local_arrays`.
-    locals: Vec<Option<(usize, ArrayVal)>>,
+    pub(super) locals: Vec<Option<(usize, ArrayVal)>>,
 }
 
 impl ChunkAcc {
-    fn identity(nscalars: usize, reductions: &[ReductionInfo], nlocals: usize) -> ChunkAcc {
+    pub(super) fn identity(
+        nscalars: usize,
+        reductions: &[ReductionInfo],
+        nlocals: usize,
+    ) -> ChunkAcc {
         ChunkAcc {
             err: None,
             scalar_writes: vec![None; nscalars],
@@ -499,7 +516,7 @@ impl ChunkAcc {
         }
     }
 
-    fn combine(mut self, other: ChunkAcc, reductions: &[ReductionInfo]) -> ChunkAcc {
+    pub(super) fn combine(mut self, other: ChunkAcc, reductions: &[ReductionInfo]) -> ChunkAcc {
         if self.err.is_none() {
             self.err = other.err;
         }
@@ -592,7 +609,7 @@ impl CompiledPolicy<Frame<'_>> for CompiledDispatch<'_> {
         for r in reductions {
             is_reduction[r.slot.index()] = true;
         }
-        let shared = SharedSlots::capture(st, &local);
+        let shared = SharedSlots::capture(&mut st.arrays, &local);
         let slots = st.slots;
         let while_cap = env.while_cap;
         let values = &values;

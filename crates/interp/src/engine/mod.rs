@@ -1,24 +1,35 @@
 //! The execution engines.
 //!
-//! Two execution strategies share one set of verdicts:
+//! Three execution strategies share one set of verdicts:
 //!
+//! * the **bytecode** engines ([`bytecode`]) execute the flat
+//!   register-machine stream of [`ss_ir::bytecode`] — no per-expression
+//!   tree walking at all, and the parallel dispatcher runs its workers on
+//!   a persistent thread team.  This is the default;
 //! * the **compiled** engines ([`compiled`]) execute the slot-resolved
 //!   [`ss_ir::CompiledProgram`] over dense frames — name resolution happens
 //!   once, before the first iteration, so the hot path pays no hashing and
-//!   no per-entry free-variable analysis.  This is the default, and the
-//!   only engine that dispatches reduction loops (per-thread partials
-//!   merged by the combiner) and loops with loop-local array declarations
-//!   (per-iteration private storage);
+//!   no per-entry free-variable analysis, but expressions are still walked
+//!   as (slot-addressed) trees.  Kept as the mid-level differential stage;
 //! * the **tree-walking** engines ([`serial`], [`dispatch`]) interpret the
-//!   AST directly against the name-keyed heap.  They are kept as the
-//!   differential reference (`--engine ast`): compiled-vs-ast agreement is
-//!   itself a validation axis, on top of serial-vs-parallel.
+//!   AST directly against the name-keyed heap.  They are the semantic
+//!   reference (`--engine ast`).
+//!
+//! Cross-engine agreement is itself a validation axis, on top of
+//! serial-vs-parallel: `validate` asserts ast ≡ compiled ≡ bytecode ≡
+//! parallel bit-identical final heaps, and `tests/engine_fuzz.rs` asserts
+//! the same over generated programs.  The bytecode and compiled engines
+//! both dispatch reduction loops (per-thread partials merged by the
+//! combiner) and loops with loop-local array declarations (per-iteration
+//! private storage); the AST engine leaves those serial.
 //!
 //! Module layout: [`store`] holds the tree-walker's pluggable stores (whole
 //! heap, recording inspector, shared-array worker views); [`serial`] the
 //! statement walker and serial engine; [`dispatch`] the AST parallel
-//! engine; [`compiled`] the slot-addressed engines.
+//! engine; [`compiled`] the slot-addressed engines; [`bytecode`] the
+//! register-machine engines.
 
+pub mod bytecode;
 pub mod compiled;
 pub mod dispatch;
 pub mod serial;
@@ -259,8 +270,11 @@ pub enum ScheduleChoice {
 /// Which execution strategy runs the program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineChoice {
-    /// Slot-resolved compiled execution over dense frames (the default).
+    /// Flat register-machine bytecode over a dense register file (the
+    /// default; parallel loops run on a persistent thread team).
     #[default]
+    Bytecode,
+    /// Slot-resolved compiled execution over dense frames.
     Compiled,
     /// The tree-walking reference engine (name-keyed heap, AST walker).
     Ast,
@@ -293,7 +307,7 @@ impl Default for ExecOptions {
         ExecOptions {
             threads: ss_runtime::hardware_threads(),
             schedule: ScheduleChoice::Auto,
-            engine: EngineChoice::Compiled,
+            engine: EngineChoice::Bytecode,
             baseline_inspector: false,
             min_parallel_trip: 2,
             while_cap: 100_000_000,
@@ -301,7 +315,7 @@ impl Default for ExecOptions {
     }
 }
 
-/// Executes the program serially with the default options (compiled
+/// Executes the program serially with the default options (bytecode
 /// engine).  `heap` is the initial program state (see
 /// [`crate::inputs::synthesize_inputs`]).
 pub fn run_serial(program: &Program, heap: Heap) -> Result<ExecOutcome, ExecError> {
@@ -316,6 +330,7 @@ pub fn run_serial_with(
     opts: &ExecOptions,
 ) -> Result<ExecOutcome, ExecError> {
     match opts.engine {
+        EngineChoice::Bytecode => bytecode::run_serial_bytecode(program, heap, opts),
         EngineChoice::Compiled => compiled::run_serial_compiled(program, heap, opts),
         EngineChoice::Ast => serial::run_serial_ast(program, heap, opts),
     }
@@ -325,11 +340,13 @@ pub fn run_serial_with(
 /// parallelizable (outermost ones) are dispatched onto `ss_runtime` worker
 /// threads; everything else runs serially.
 ///
-/// The compiled engine (default) additionally dispatches reduction loops
-/// (per-thread partial accumulators merged by the recognized combiner) and
-/// loops whose bodies declare arrays (per-iteration private storage).  The
-/// AST engine (`engine: Ast`, or any run with `baseline_inspector` set)
-/// leaves both classes serial.
+/// The bytecode engine (default) and the compiled engine additionally
+/// dispatch reduction loops (per-thread partial accumulators merged by the
+/// recognized combiner) and loops whose bodies declare arrays
+/// (per-iteration private storage); the bytecode engine runs its workers
+/// on a persistent thread team reused across adjacent parallel regions.
+/// The AST engine (`engine: Ast`, or any run with `baseline_inspector`
+/// set) leaves both classes serial.
 pub fn run_parallel(
     program: &Program,
     report: &ParallelizationReport,
@@ -338,8 +355,10 @@ pub fn run_parallel(
 ) -> Result<ExecOutcome, ExecError> {
     if opts.baseline_inspector || opts.engine == EngineChoice::Ast {
         dispatch::run_parallel_ast(program, report, heap, opts)
-    } else {
+    } else if opts.engine == EngineChoice::Compiled {
         compiled::run_parallel_compiled(program, report, heap, opts)
+    } else {
+        bytecode::run_parallel_bytecode(program, report, heap, opts)
     }
 }
 
@@ -364,7 +383,15 @@ mod tests {
         }
     }
 
-    const BOTH: [EngineChoice; 2] = [EngineChoice::Compiled, EngineChoice::Ast];
+    const ENGINES: [EngineChoice; 3] = [
+        EngineChoice::Bytecode,
+        EngineChoice::Compiled,
+        EngineChoice::Ast,
+    ];
+
+    /// The engines whose parallel dispatcher handles reductions and
+    /// loop-local arrays.
+    const DISPATCHING: [EngineChoice; 2] = [EngineChoice::Bytecode, EngineChoice::Compiled];
 
     #[test]
     fn serial_engines_run_a_prefix_sum() {
@@ -381,7 +408,7 @@ mod tests {
         let heap = Heap::new()
             .with_scalar("n", 10)
             .with_array("s", vec![0; 11]);
-        for engine in BOTH {
+        for engine in ENGINES {
             let out = run_serial_with(&p, heap.clone(), &engine_opts(1, engine)).unwrap();
             assert_eq!(out.heap.arrays["s"].data[10], 55, "{engine:?}");
             assert_eq!(out.heap.scalars["i"], 11);
@@ -407,7 +434,7 @@ mod tests {
         "#,
         )
         .unwrap();
-        for engine in BOTH {
+        for engine in ENGINES {
             let out = run_serial_with(&p, Heap::new(), &engine_opts(1, engine)).unwrap();
             // even, not 4: 0+2+6+8 = 16; five odd iterations and i==4 subtract 6.
             assert_eq!(out.heap.scalars["x"], 10, "{engine:?}");
@@ -418,7 +445,7 @@ mod tests {
 
     #[test]
     fn errors_are_reported_identically_by_both_engines() {
-        for engine in BOTH {
+        for engine in ENGINES {
             let o = engine_opts(1, engine);
             let p = parse_program("t", "x = a[5];").unwrap();
             let heap = Heap::new().with_array("a", vec![0; 3]);
@@ -474,8 +501,11 @@ mod tests {
         let p = parse_program("tricky", src).unwrap();
         let heap = Heap::new().with_array("out", vec![0; 6]);
         let ast = run_serial_with(&p, heap.clone(), &engine_opts(1, EngineChoice::Ast)).unwrap();
-        let compiled = run_serial_with(&p, heap, &engine_opts(1, EngineChoice::Compiled)).unwrap();
+        let compiled =
+            run_serial_with(&p, heap.clone(), &engine_opts(1, EngineChoice::Compiled)).unwrap();
+        let bytecode = run_serial_with(&p, heap, &engine_opts(1, EngineChoice::Bytecode)).unwrap();
         assert_eq!(ast.heap, compiled.heap);
+        assert_eq!(ast.heap, bytecode.heap);
         // The loop-local array's final state is the last iteration's.
         assert_eq!(compiled.heap.arrays["g"].dims, vec![3]);
     }
@@ -498,7 +528,7 @@ mod tests {
             .with_array("mt_to_id", vec![0; n as usize])
             .with_array("id_to_mt", vec![0; n as usize]);
         let serial = run_serial(&p, heap.clone()).unwrap();
-        for engine in BOTH {
+        for engine in ENGINES {
             for threads in [2, 4] {
                 let par =
                     run_parallel(&p, &report, heap.clone(), &engine_opts(threads, engine)).unwrap();
@@ -523,7 +553,7 @@ mod tests {
             .with_scalar("n", 100)
             .with_array("idx", (0..100).map(|i| i % 7).collect())
             .with_array("h", vec![-1; 7]);
-        for engine in BOTH {
+        for engine in ENGINES {
             let par = run_parallel(&p, &report, heap.clone(), &engine_opts(4, engine)).unwrap();
             assert!(par.stats.parallel_loops().is_empty());
             assert_eq!(par.stats.loops[&LoopId(0)].mode, ExecMode::Serial);
@@ -636,7 +666,7 @@ mod tests {
         )
         .unwrap();
         let serial = run_serial(&p, heap.clone()).unwrap();
-        for engine in BOTH {
+        for engine in ENGINES {
             let par = run_parallel(&p, &report, heap.clone(), &engine_opts(4, engine)).unwrap();
             assert_eq!(par.heap, serial.heap, "{engine:?}");
             // Auto picks dynamic scheduling because the dispatched loop's
@@ -674,7 +704,7 @@ mod tests {
             .with_array("out", vec![0; n as usize]);
         let serial = run_serial(&p, heap.clone()).unwrap();
         assert_eq!(serial.heap.scalars["last"], 993);
-        for engine in BOTH {
+        for engine in ENGINES {
             for threads in [2, 3, 8] {
                 let par =
                     run_parallel(&p, &report, heap.clone(), &engine_opts(threads, engine)).unwrap();
@@ -688,7 +718,7 @@ mod tests {
         let p = parse_program("t", "for (i = 0; i < n; i++) { out[i] = i; }").unwrap();
         let report = parallelize(&p);
         assert!(!report.outermost_parallel_loops().is_empty());
-        for engine in BOTH {
+        for engine in ENGINES {
             let heap = Heap::new()
                 .with_scalar("n", 100)
                 .with_array("out", vec![0; 50]); // too small on purpose
@@ -699,10 +729,10 @@ mod tests {
 
     #[test]
     fn loop_local_arrays_dispatch_with_private_storage() {
-        // scratch is declared per iteration; the compiled engine dispatches
-        // the loop with worker-private storage, the AST engine keeps it
-        // serial — both must match the serial heap (including scratch's
-        // final, last-iteration state).
+        // scratch is declared per iteration; the bytecode and compiled
+        // engines dispatch the loop with worker-private storage, the AST
+        // engine keeps it serial — all must match the serial heap
+        // (including scratch's final, last-iteration state).
         let src = r#"
             for (i = 0; i < n; i++) {
                 int scratch[8];
@@ -721,16 +751,13 @@ mod tests {
             crate::inputs::synthesize_inputs(&p, &crate::inputs::InputSpec { scale: 96, seed: 4 })
                 .unwrap();
         let serial = run_serial(&p, heap.clone()).unwrap();
-        for threads in [2, 3, 8] {
-            let par = run_parallel(
-                &p,
-                &report,
-                heap.clone(),
-                &engine_opts(threads, EngineChoice::Compiled),
-            )
-            .unwrap();
-            assert_eq!(par.heap, serial.heap, "threads={threads}");
-            assert!(par.stats.parallel_loops().contains(&LoopId(0)));
+        for engine in DISPATCHING {
+            for threads in [2, 3, 8] {
+                let par =
+                    run_parallel(&p, &report, heap.clone(), &engine_opts(threads, engine)).unwrap();
+                assert_eq!(par.heap, serial.heap, "{engine:?} threads={threads}");
+                assert!(par.stats.parallel_loops().contains(&LoopId(0)));
+            }
         }
         // AST engine: correct but serial.
         let ast = run_parallel(&p, &report, heap, &engine_opts(4, EngineChoice::Ast)).unwrap();
@@ -758,65 +785,24 @@ mod tests {
         let data: Vec<i64> = (0..n).map(|i| (i * 37) % 1001 - 500).collect();
         let heap = Heap::new().with_scalar("n", n).with_array("a", data);
         let serial = run_serial(&p, heap.clone()).unwrap();
-        for threads in [2, 3, 8] {
-            let par = run_parallel(
-                &p,
-                &report,
-                heap.clone(),
-                &engine_opts(threads, EngineChoice::Compiled),
-            )
-            .unwrap();
-            assert_eq!(par.heap, serial.heap, "threads={threads}");
-            assert_eq!(
-                par.stats.loops[&LoopId(0)].mode,
-                ExecMode::Parallel {
-                    threads,
-                    dynamic: false
-                }
-            );
+        for engine in DISPATCHING {
+            for threads in [2, 3, 8] {
+                let par =
+                    run_parallel(&p, &report, heap.clone(), &engine_opts(threads, engine)).unwrap();
+                assert_eq!(par.heap, serial.heap, "{engine:?} threads={threads}");
+                assert_eq!(
+                    par.stats.loops[&LoopId(0)].mode,
+                    ExecMode::Parallel {
+                        threads,
+                        dynamic: false
+                    }
+                );
+            }
         }
         // The AST engine must not dispatch a reduction loop (it has no
         // combiner merge) — but still compute the right answer serially.
         let ast = run_parallel(&p, &report, heap, &engine_opts(4, EngineChoice::Ast)).unwrap();
         assert_eq!(ast.heap, serial.heap);
         assert!(ast.stats.parallel_loops().is_empty());
-    }
-
-    #[test]
-    fn compilation_happens_once_per_run_not_per_iteration() {
-        // The dispatched loop is entered `reps` times with many iterations
-        // each; the whole run must compile the program exactly once —
-        // the slot table is resolved up front and reused, never recomputed
-        // per loop entry or per iteration.
-        let src = r#"
-            for (r = 0; r < reps; r++) {
-                for (i = 0; i < n; i++) {
-                    out[i] = out[i] + r;
-                }
-            }
-        "#;
-        let p = parse_program("reuse", src).unwrap();
-        let report = parallelize(&p);
-        assert!(report.outermost_parallel_loops().contains(&LoopId(1)));
-        let heap = Heap::new()
-            .with_scalar("reps", 20)
-            .with_scalar("n", 500)
-            .with_array("out", vec![0; 500]);
-        let before = ss_ir::slots::compilation_count();
-        let par = run_parallel(
-            &p,
-            &report,
-            heap.clone(),
-            &engine_opts(4, EngineChoice::Compiled),
-        )
-        .unwrap();
-        assert_eq!(
-            ss_ir::slots::compilation_count(),
-            before + 1,
-            "one compilation per run, regardless of loop entries"
-        );
-        assert_eq!(par.stats.loops[&LoopId(1)].invocations, 20);
-        assert_eq!(par.stats.loops[&LoopId(1)].iterations, 20 * 500);
-        assert_eq!(par.heap, run_serial(&p, heap).unwrap().heap);
     }
 }

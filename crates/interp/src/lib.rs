@@ -8,23 +8,28 @@
 //!
 //! * [`heap`] — the typed heap all engines execute against (integer
 //!   scalars, dense row-major arrays);
-//! * [`engine`] — the execution engines: a **compiled** engine (default)
-//!   that executes slot-resolved op sequences over dense frames, and the
-//!   **tree-walking** reference engine behind
-//!   [`EngineChoice::Ast`](crate::EngineChoice).  Both consume the
+//! * [`engine`] — the execution engines: a **bytecode** engine (default)
+//!   that executes the flat register-machine stream of `ss_ir::bytecode`
+//!   (parallel loops run on a persistent thread team), a **compiled**
+//!   engine executing slot-resolved op sequences over dense frames, and
+//!   the **tree-walking** reference engine behind
+//!   [`EngineChoice::Ast`](crate::EngineChoice).  All consume the
 //!   [`ParallelizationReport`](ss_parallelizer::ParallelizationReport) and
 //!   dispatch every proven-parallel loop onto `ss_runtime` worker threads
-//!   (static or chunk-stealing dynamic scheduling); the compiled engine
-//!   additionally dispatches reduction loops (per-thread partials merged by
-//!   the combiner) and loops with body-local array declarations (private
-//!   per-iteration storage).  An optional runtime-inspector baseline runs
-//!   on the loops the analysis left serial;
+//!   (static or chunk-stealing dynamic scheduling); the bytecode and
+//!   compiled engines additionally dispatch reduction loops (per-thread
+//!   partials merged by the combiner) and loops with body-local array
+//!   declarations (private per-iteration storage).  An optional
+//!   runtime-inspector baseline runs on the loops the analysis left
+//!   serial;
 //! * [`inputs`] — reproducible input synthesis for any program via a
 //!   discovery pass (sizes arrays by observation, fills them with
 //!   deterministic pseudo-random data);
-//! * [`validate`] — the differential harness asserting serial-ast ≡
-//!   serial-compiled ≡ parallel final heaps, which turns every compile-time
-//!   verdict — and the compilation pass itself — into a tested claim.
+//! * [`validate`] — the differential harness asserting ast ≡ compiled ≡
+//!   bytecode ≡ parallel final heaps, which turns every compile-time
+//!   verdict — and both compilation passes — into a tested claim.  The
+//!   generative counterpart is `tests/engine_fuzz.rs` at the workspace
+//!   root, which asserts the same over randomly generated programs.
 //!
 //! ```
 //! use ss_interp::{validate_source, ExecOptions, InputSpec};

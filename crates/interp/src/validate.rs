@@ -1,15 +1,16 @@
 //! The differential-validation harness: every compile-time verdict — and
-//! the compilation pass itself — becomes a tested claim.
+//! both compilation passes — becomes a tested claim.
 //!
 //! For a given program the harness (1) runs the compile-time analysis,
-//! (2) synthesizes inputs, (3) executes the program three ways — with the
+//! (2) synthesizes inputs, (3) executes the program four ways — with the
 //! tree-walking serial reference engine, with the compiled serial engine,
-//! and with the parallel engine — and (4) asserts all final heaps are
-//! bit-identical.  A serial-vs-parallel mismatch means the analysis proved
-//! a loop parallel whose parallel execution changed observable state —
-//! exactly the soundness bug class the paper's approach must exclude; an
-//! ast-vs-compiled mismatch means the slot-resolution/compilation pass
-//! changed program semantics.
+//! with the bytecode serial engine, and with the parallel engine (the
+//! requested one) — and (4) asserts all final heaps are bit-identical
+//! (ast ≡ compiled ≡ bytecode ≡ parallel).  A serial-vs-parallel mismatch
+//! means the analysis proved a loop parallel whose parallel execution
+//! changed observable state — exactly the soundness bug class the paper's
+//! approach must exclude; an ast-vs-compiled or ast-vs-bytecode mismatch
+//! means a compilation pass changed program semantics.
 
 use crate::engine::{run_parallel, run_serial_with, EngineChoice, ExecOptions, ExecStats};
 use crate::heap::Heap;
@@ -63,8 +64,8 @@ pub struct ValidationOutcome {
     pub serial: ExecStats,
     /// Statistics of the parallel run.
     pub parallel: ExecStats,
-    /// True when all final heaps (serial-ast, serial with the requested
-    /// engine, parallel) were bit-identical.
+    /// True when all final heaps (serial-ast, serial-compiled,
+    /// serial-bytecode, parallel) were bit-identical.
     pub heaps_match: bool,
     /// Human-readable differences when they were not (bounded per array),
     /// each prefixed with the comparison that produced it.
@@ -81,8 +82,9 @@ impl ValidationOutcome {
 }
 
 /// Runs the differential harness on an already-analyzed program against an
-/// explicit initial heap: serial-ast vs serial (requested engine) vs
-/// parallel, all three heaps compared bit for bit.
+/// explicit initial heap: the serial tree-walking reference, the serial
+/// compiled engine, the serial bytecode engine and the parallel engine
+/// (with the requested strategy), all final heaps compared bit for bit.
 pub fn validate(
     program: &Program,
     report: &ParallelizationReport,
@@ -94,21 +96,27 @@ pub fn validate(
         ..opts.clone()
     };
     let reference = run_serial_with(program, initial.clone(), &ast_opts)?;
-    // A second serial run only when the requested engine differs from the
-    // reference (the ast-vs-ast comparison would be the same execution
-    // twice).
-    let serial = if opts.engine == EngineChoice::Ast {
-        None
-    } else {
-        Some(run_serial_with(program, initial.clone(), opts)?)
-    };
-    let parallel = run_parallel(program, report, initial.clone(), opts)?;
     let mut mismatches = Vec::new();
-    if let Some(serial) = &serial {
-        for m in reference.heap.diff(&serial.heap) {
-            mismatches.push(format!("serial-ast vs serial-compiled: {m}"));
+    // Every non-reference serial engine runs and is diffed; the requested
+    // engine's stats are the ones reported.
+    let mut serial = None;
+    for (engine, label) in [
+        (EngineChoice::Compiled, "serial-ast vs serial-compiled"),
+        (EngineChoice::Bytecode, "serial-ast vs serial-bytecode"),
+    ] {
+        let engine_opts = ExecOptions {
+            engine,
+            ..opts.clone()
+        };
+        let out = run_serial_with(program, initial.clone(), &engine_opts)?;
+        for m in reference.heap.diff(&out.heap) {
+            mismatches.push(format!("{label}: {m}"));
+        }
+        if engine == opts.engine {
+            serial = Some(out);
         }
     }
+    let parallel = run_parallel(program, report, initial.clone(), opts)?;
     for m in reference.heap.diff(&parallel.heap) {
         mismatches.push(format!("serial vs parallel: {m}"));
     }

@@ -1,0 +1,110 @@
+//! Compile-once and spawn-once guarantees, asserted through the
+//! process-wide counters.
+//!
+//! These assertions diff global counters around a single run, so they live
+//! in their own test binary and serialize on a shared lock — inside the
+//! unit-test binary any concurrently running engine test would perturb the
+//! counts.
+
+use ss_interp::{run_parallel, run_serial, EngineChoice, ExecOptions, Heap};
+use ss_ir::parse_program;
+use ss_parallelizer::parallelize;
+use std::sync::Mutex;
+
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+const SRC: &str = r#"
+    for (r = 0; r < reps; r++) {
+        for (i = 0; i < n; i++) {
+            out[i] = out[i] + r;
+        }
+    }
+"#;
+
+fn heap(reps: i64) -> Heap {
+    Heap::new()
+        .with_scalar("reps", reps)
+        .with_scalar("n", 500)
+        .with_array("out", vec![0; 500])
+}
+
+fn opts(threads: usize, engine: EngineChoice) -> ExecOptions {
+    ExecOptions {
+        threads,
+        engine,
+        ..ExecOptions::default()
+    }
+}
+
+#[test]
+fn compiled_engine_compiles_once_per_run_not_per_iteration() {
+    // The dispatched loop is entered `reps` times with many iterations
+    // each; the whole run must compile the program exactly once — the slot
+    // table is resolved up front and reused, never recomputed per loop
+    // entry or per iteration.
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let p = parse_program("reuse", SRC).unwrap();
+    let report = parallelize(&p);
+    assert!(!report.outermost_parallel_loops().is_empty());
+    let before = ss_ir::slots::compilation_count();
+    let par = run_parallel(&p, &report, heap(20), &opts(4, EngineChoice::Compiled)).unwrap();
+    assert_eq!(
+        ss_ir::slots::compilation_count(),
+        before + 1,
+        "one compilation per run, regardless of loop entries"
+    );
+    let id = ss_ir::LoopId(1);
+    assert_eq!(par.stats.loops[&id].invocations, 20);
+    assert_eq!(par.stats.loops[&id].iterations, 20 * 500);
+    assert_eq!(par.heap, run_serial(&p, heap(20)).unwrap().heap);
+}
+
+#[test]
+fn bytecode_engine_compiles_once_and_spawns_one_team_per_run() {
+    // 30 adjacent dispatched regions: one slot compilation, one bytecode
+    // compilation, and exactly `threads` spawned workers for the whole run
+    // (the persistent team is reused region to region).
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let p = parse_program("reuse", SRC).unwrap();
+    let report = parallelize(&p);
+    assert!(!report.outermost_parallel_loops().is_empty());
+    let slots_before = ss_ir::slots::compilation_count();
+    let bc_before = ss_ir::bytecode::bytecode_compilation_count();
+    let spawned_before = ss_runtime::team_threads_spawned();
+    let threads = 3;
+    let par = run_parallel(
+        &p,
+        &report,
+        heap(30),
+        &opts(threads, EngineChoice::Bytecode),
+    )
+    .unwrap();
+    assert_eq!(ss_ir::slots::compilation_count(), slots_before + 1);
+    assert_eq!(
+        ss_ir::bytecode::bytecode_compilation_count(),
+        bc_before + 1,
+        "one bytecode compilation per run"
+    );
+    assert_eq!(
+        ss_runtime::team_threads_spawned(),
+        spawned_before + threads as u64,
+        "30 adjacent parallel regions must reuse one persistent team"
+    );
+    let id = ss_ir::LoopId(1);
+    assert_eq!(par.stats.loops[&id].invocations, 30);
+    assert_eq!(par.heap, run_serial(&p, heap(30)).unwrap().heap);
+}
+
+#[test]
+fn serial_bytecode_runs_compile_both_passes_exactly_once() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let p = parse_program("serial", "for (i = 0; i < n; i++) { out[i] = i * 2; }").unwrap();
+    let slots_before = ss_ir::slots::compilation_count();
+    let bc_before = ss_ir::bytecode::bytecode_compilation_count();
+    let heap = Heap::new()
+        .with_scalar("n", 100)
+        .with_array("out", vec![0; 100]);
+    let _ = run_serial(&p, heap).unwrap();
+    assert_eq!(ss_ir::slots::compilation_count(), slots_before + 1);
+    assert_eq!(ss_ir::bytecode::bytecode_compilation_count(), bc_before + 1);
+}

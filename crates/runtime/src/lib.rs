@@ -7,6 +7,7 @@
 
 pub mod pool;
 pub mod sparse;
+pub mod team;
 pub mod timer;
 
 pub use pool::{
@@ -14,4 +15,7 @@ pub use pool::{
     parallel_reduce, parallel_sum, Schedule,
 };
 pub use sparse::CsrMatrix;
+pub use team::{
+    team_parallel_for_schedule, team_parallel_reduce, team_threads_spawned, ThreadTeam,
+};
 pub use timer::{time_it, Timer};

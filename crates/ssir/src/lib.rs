@@ -13,7 +13,10 @@
 //! * [`visit`] — array access collection with guard conditions;
 //! * [`convert`] — lowering of AST arithmetic to [`ss_symbolic::Expr`];
 //! * [`slots`] — name interning and compilation to flat, slot-addressed op
-//!   sequences (what the `ss-interp` compiled engines execute).
+//!   sequences (what the `ss-interp` compiled engines execute);
+//! * [`bytecode`] — a second lowering from slot-resolved ops to a flat
+//!   register-machine instruction stream (what the `ss-interp` bytecode
+//!   engines, the default, execute).
 //!
 //! ```
 //! use ss_ir::parser::parse_program;
@@ -32,6 +35,7 @@
 
 pub mod ast;
 pub mod builder;
+pub mod bytecode;
 pub mod convert;
 pub mod errors;
 pub mod lexer;
@@ -44,6 +48,7 @@ pub mod visit;
 
 pub use ast::{AExpr, AssignOp, BinOp, LValue, LoopId, Program, Stmt, UnOp};
 pub use builder::ProgramBuilder;
+pub use bytecode::{compile_bytecode, BcExpr, BcFor, BytecodeProgram, Instr, Reg};
 pub use errors::{IrError, Result};
 pub use loops::{LoopInfo, LoopTree};
 pub use parser::{parse_expr, parse_program};

@@ -1,8 +1,8 @@
 //! Runs every catalogue kernel through the full analyze → prove → compile →
-//! execute → validate loop, under both execution engines, and prints one
-//! line per (kernel, engine): which loops were dispatched, whether all
-//! heaps agreed (serial-ast ≡ serial ≡ parallel), and the measured speedup.
-//! Exits nonzero on any validation failure, so CI can gate on it.
+//! execute → validate loop, under all three execution engines, and prints
+//! one line per (kernel, engine): which loops were dispatched, whether all
+//! heaps agreed (ast ≡ compiled ≡ bytecode ≡ parallel), and the measured
+//! speedup.  Exits nonzero on any validation failure, so CI can gate on it.
 //!
 //! ```text
 //! cargo run --release --example run_interpreter [-- <scale> [threads]]
@@ -27,6 +27,7 @@ fn main() {
     let spec = InputSpec { scale, seed: 42 };
     let mut failures = 0usize;
     for (engine, engine_name) in [
+        (EngineChoice::Bytecode, "bytecode"),
         (EngineChoice::Compiled, "compiled"),
         (EngineChoice::Ast, "ast"),
     ] {

@@ -1,0 +1,91 @@
+//! Golden disassembly snapshots for the bytecode compiler.
+//!
+//! Instruction selection is easy to regress silently — an extra copy per
+//! subscript, a constant that stops pooling, a branch target off by one —
+//! and such regressions rarely change *results*, only speed and shape.
+//! These tests pin the full register-machine listing of two catalogue
+//! kernels (the Figure 6 block-counting fill and the Figure 9 CSR
+//! product), so any change to the emitted stream shows up as a readable
+//! line diff in review.
+//!
+//! To bless an intentional change:
+//! `UPDATE_GOLDEN=1 cargo test --test bytecode_disasm`.
+
+use ss_ir::bytecode::compile_bytecode;
+use ss_ir::parse_program;
+use ss_ir::slots::compile_program;
+use std::path::Path;
+
+fn disassemble_kernel(name: &str) -> String {
+    let kernel = ss_npb::study_kernels()
+        .into_iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("no catalogue kernel named {name}"));
+    let program = parse_program(kernel.name, kernel.source).expect("catalogue kernel parses");
+    compile_bytecode(&compile_program(&program)).disassemble()
+}
+
+fn check_golden(kernel: &str) {
+    let got = disassemble_kernel(kernel);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{kernel}.bytecode.txt"));
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e} (run with UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    if got != want {
+        // Pad the shorter side so pure appends/truncations still diff.
+        let (w_lines, g_lines): (Vec<&str>, Vec<&str>) =
+            (want.lines().collect(), got.lines().collect());
+        let diff: Vec<String> = (0..w_lines.len().max(g_lines.len()))
+            .filter_map(|k| {
+                let w = w_lines.get(k).copied().unwrap_or("<absent>");
+                let g = g_lines.get(k).copied().unwrap_or("<absent>");
+                (w != g).then(|| format!("line {:>4}:\n  -{w}\n  +{g}", k + 1))
+            })
+            .take(12)
+            .collect();
+        panic!(
+            "bytecode disassembly of {kernel} changed ({} vs {} lines).\n\
+             First differing lines:\n{}\n\
+             If the new instruction selection is intentional, bless it with\n\
+             UPDATE_GOLDEN=1 cargo test --test bytecode_disasm\n",
+            want.lines().count(),
+            got.lines().count(),
+            diff.join("\n")
+        );
+    }
+}
+
+#[test]
+fn fig6_block_fill_disassembly_is_stable() {
+    check_golden("fig6_csparse_blocks");
+}
+
+#[test]
+fn fig9_csr_product_disassembly_is_stable() {
+    check_golden("fig9_csr_product");
+}
+
+#[test]
+fn disassembly_reflects_dispatch_facts() {
+    // The listing carries the dispatch-relevant loop facts, so a fact
+    // regression is visible in the same diff channel.
+    let d = disassemble_kernel("fig9_csr_product");
+    assert!(
+        d.contains("[skewed]"),
+        "CSR traversal loop lost its skew fact:\n{d}"
+    );
+    let d = disassemble_kernel("ua_refine_scratch");
+    assert!(
+        d.contains("[locals dominated]") && d.contains("[locals:"),
+        "scratch kernel lost its loop-local array facts:\n{d}"
+    );
+}

@@ -1,0 +1,726 @@
+//! Generative differential fuzzing of the execution engines.
+//!
+//! Everything else in this repo tests the engines kernel by kernel; this
+//! harness *generates* SS-IR programs — random nested loops, conditionals,
+//! subscripted subscripts, compound assignments, reduction shapes,
+//! loop-local array declarations, `while` loops, deliberately unsafe
+//! accesses — and differentially executes every program under all three
+//! engines (`ast`, `compiled`, `bytecode`) serially and in parallel:
+//!
+//! * when the tree-walking reference succeeds, every other execution must
+//!   succeed with a **bit-identical final heap**;
+//! * when the reference fails, the other serial engines must fail with the
+//!   **identical error**, and the parallel engines must fail too (workers
+//!   may observe a different failing iteration first, so only the error
+//!   *kind-agnostic* fact is asserted for them).
+//!
+//! Failures shrink: the harness greedily deletes statements (at any
+//! nesting depth) while the divergence persists and reports the minimal
+//! failing program together with the generator seed, so a red case pastes
+//! straight into a regression test.
+//!
+//! Case count defaults to 256 (the CI floor) and scales with the
+//! `ENGINE_FUZZ_CASES` environment variable for long local hunts.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use ss_interp::{run_parallel, run_serial_with, EngineChoice, ExecOptions, Heap};
+use ss_ir::parse_program;
+use ss_parallelizer::parallelize;
+
+// ---------------------------------------------------------------------------
+// Program model.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Arr {
+    name: String,
+    dims: Vec<i64>,
+}
+
+#[derive(Clone, Debug)]
+enum GExpr {
+    Const(i64),
+    Var(String),
+    Read(String, Vec<GExpr>),
+    Bin(&'static str, Box<GExpr>, Box<GExpr>),
+    Un(&'static str, Box<GExpr>),
+}
+
+impl GExpr {
+    fn render(&self, out: &mut String) {
+        match self {
+            GExpr::Const(v) => {
+                if *v < 0 {
+                    out.push_str(&format!("(0 - {})", -v));
+                } else {
+                    out.push_str(&v.to_string());
+                }
+            }
+            GExpr::Var(n) => out.push_str(n),
+            GExpr::Read(a, idx) => {
+                out.push_str(a);
+                for e in idx {
+                    out.push('[');
+                    e.render(out);
+                    out.push(']');
+                }
+            }
+            GExpr::Bin(op, a, b) => {
+                out.push('(');
+                a.render(out);
+                out.push_str(&format!(" {op} "));
+                b.render(out);
+                out.push(')');
+            }
+            GExpr::Un(op, a) => {
+                out.push_str(&format!("{op}("));
+                a.render(out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum GStmt {
+    /// `name op= expr;`
+    Scalar(String, &'static str, GExpr),
+    /// `arr[idx…] op= expr;`
+    Store(String, Vec<GExpr>, &'static str, GExpr),
+    /// `if (cond) { … } else { … }` (else possibly empty).
+    If(GExpr, Vec<GStmt>, Vec<GStmt>),
+    /// `for (var = 0; var < trip; var++) { [int local[dim];] … }`
+    For {
+        var: String,
+        trip: i64,
+        local: Option<(String, i64)>,
+        body: Vec<GStmt>,
+    },
+    /// `var = 0; while (var < trip) { … var = var + 1; }`
+    While {
+        var: String,
+        trip: i64,
+        body: Vec<GStmt>,
+    },
+}
+
+fn render_block(stmts: &[GStmt], indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    for s in stmts {
+        match s {
+            GStmt::Scalar(name, op, e) => {
+                out.push_str(&format!("{pad}{name} {op} "));
+                e.render(out);
+                out.push_str(";\n");
+            }
+            GStmt::Store(arr, idx, op, e) => {
+                out.push_str(&format!("{pad}{arr}"));
+                for i in idx {
+                    out.push('[');
+                    i.render(out);
+                    out.push(']');
+                }
+                out.push_str(&format!(" {op} "));
+                e.render(out);
+                out.push_str(";\n");
+            }
+            GStmt::If(c, t, f) => {
+                out.push_str(&format!("{pad}if ("));
+                c.render(out);
+                out.push_str(") {\n");
+                render_block(t, indent + 1, out);
+                if f.is_empty() {
+                    out.push_str(&format!("{pad}}}\n"));
+                } else {
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    render_block(f, indent + 1, out);
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+            }
+            GStmt::For {
+                var,
+                trip,
+                local,
+                body,
+            } => {
+                out.push_str(&format!(
+                    "{pad}for ({var} = 0; {var} < {trip}; {var}++) {{\n"
+                ));
+                if let Some((name, dim)) = local {
+                    out.push_str(&format!("{pad}    int {name}[{dim}];\n"));
+                }
+                render_block(body, indent + 1, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            GStmt::While { var, trip, body } => {
+                out.push_str(&format!("{pad}{var} = 0;\n"));
+                out.push_str(&format!("{pad}while ({var} < {trip}) {{\n"));
+                render_block(body, indent + 1, out);
+                out.push_str(&format!("{pad}    {var} = {var} + 1;\n"));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generation.
+// ---------------------------------------------------------------------------
+
+const SCALARS: [&str; 5] = ["x", "y", "z", "s", "t"];
+/// Read-only scalars nobody initializes: undefined-value reads must agree
+/// across engines too.
+const UNDEFINED: [&str; 2] = ["u0", "u1"];
+
+struct Gen {
+    rng: TestRng,
+    arrays: Vec<Arr>,
+    loop_vars: Vec<String>,
+    next_loop_var: usize,
+    next_local: usize,
+    stmt_budget: usize,
+}
+
+impl Gen {
+    fn chance(&mut self, percent: usize) -> bool {
+        self.rng.below(100) < percent
+    }
+
+    fn small_const(&mut self) -> i64 {
+        self.rng.below(9) as i64 - 2
+    }
+
+    /// An expression guaranteed non-negative given non-negative scope vars
+    /// (loop counters, the prelude-filled `idx` contents): safe to reduce
+    /// `% dim` into a valid subscript.
+    fn nonneg_atom(&mut self) -> GExpr {
+        if !self.loop_vars.is_empty() && self.chance(70) {
+            let v = self.loop_vars[self.rng.below(self.loop_vars.len())].clone();
+            if self.chance(40) {
+                GExpr::Bin(
+                    "+",
+                    Box::new(GExpr::Var(v)),
+                    Box::new(GExpr::Const(self.rng.below(4) as i64)),
+                )
+            } else {
+                GExpr::Var(v)
+            }
+        } else {
+            GExpr::Const(self.rng.below(8) as i64)
+        }
+    }
+
+    /// A subscript expression for extent `dim`: mostly in-bounds shapes
+    /// (`v % dim`, `idx[v % 16] % dim` — the subscripted-subscript
+    /// pattern), occasionally an arbitrary value expression so
+    /// out-of-bounds error agreement is exercised too.
+    fn index_expr(&mut self, dim: i64, depth: usize) -> GExpr {
+        if self.chance(8) {
+            return self.value_expr(depth.min(1));
+        }
+        let base = if self.chance(35) {
+            let inner = self.nonneg_atom();
+            GExpr::Read(
+                "idx".into(),
+                vec![GExpr::Bin("%", Box::new(inner), Box::new(GExpr::Const(16)))],
+            )
+        } else {
+            self.nonneg_atom()
+        };
+        GExpr::Bin("%", Box::new(base), Box::new(GExpr::Const(dim)))
+    }
+
+    fn array_read(&mut self, depth: usize) -> GExpr {
+        let arr = self.arrays[self.rng.below(self.arrays.len())].clone();
+        let idx = arr
+            .dims
+            .iter()
+            .map(|&d| self.index_expr(d, depth))
+            .collect();
+        GExpr::Read(arr.name, idx)
+    }
+
+    fn value_expr(&mut self, depth: usize) -> GExpr {
+        if depth == 0 || self.chance(30) {
+            return match self.rng.below(10) {
+                0..=3 => GExpr::Const(self.small_const()),
+                4..=6 => {
+                    let v = if !self.loop_vars.is_empty() && self.chance(50) {
+                        self.loop_vars[self.rng.below(self.loop_vars.len())].clone()
+                    } else if self.chance(12) {
+                        UNDEFINED[self.rng.below(UNDEFINED.len())].to_string()
+                    } else {
+                        SCALARS[self.rng.below(SCALARS.len())].to_string()
+                    };
+                    GExpr::Var(v)
+                }
+                _ => self.array_read(0),
+            };
+        }
+        match self.rng.below(12) {
+            0..=6 => {
+                let ops = ["+", "-", "*", "<", "<=", "==", "!=", "&&", "||"];
+                let op = ops[self.rng.below(ops.len())];
+                GExpr::Bin(
+                    op,
+                    Box::new(self.value_expr(depth - 1)),
+                    Box::new(self.value_expr(depth - 1)),
+                )
+            }
+            7 | 8 => {
+                // Division and remainder: usually by a non-zero constant,
+                // sometimes by an arbitrary expression (division-by-zero
+                // agreement).
+                let op = if self.chance(50) { "/" } else { "%" };
+                let rhs = if self.chance(80) {
+                    GExpr::Const([1, 2, 3, 5, 7][self.rng.below(5)])
+                } else {
+                    self.value_expr(depth - 1)
+                };
+                GExpr::Bin(op, Box::new(self.value_expr(depth - 1)), Box::new(rhs))
+            }
+            9 => GExpr::Un(
+                if self.chance(50) { "-" } else { "!" },
+                Box::new(self.value_expr(depth - 1)),
+            ),
+            _ => self.array_read(depth - 1),
+        }
+    }
+
+    fn assign_op(&mut self) -> &'static str {
+        match self.rng.below(10) {
+            0..=5 => "=",
+            6 | 7 => "+=",
+            8 => "-=",
+            _ => "*=",
+        }
+    }
+
+    fn stmt(&mut self, nest: usize) -> GStmt {
+        if self.stmt_budget > 0 {
+            self.stmt_budget -= 1;
+        }
+        let roll = self.rng.below(100);
+        match roll {
+            // Scalar assignment (rarely to a live loop counter, which
+            // exercises runaway-loop caps and step semantics).
+            0..=24 => {
+                let name = if !self.loop_vars.is_empty() && self.chance(4) {
+                    self.loop_vars[self.rng.below(self.loop_vars.len())].clone()
+                } else if self.chance(8) {
+                    // Occasionally target a never-initialized scalar: the
+                    // defined-flag/heap-write-back semantics (is the name
+                    // present in the final heap at all?) must agree across
+                    // engines, including self-assignment shapes like
+                    // `u0 = u0;`.
+                    UNDEFINED[self.rng.below(UNDEFINED.len())].to_string()
+                } else {
+                    SCALARS[self.rng.below(SCALARS.len())].to_string()
+                };
+                let e = if self.chance(6) {
+                    GExpr::Var(name.clone())
+                } else {
+                    self.value_expr(2)
+                };
+                GStmt::Scalar(name, self.assign_op(), e)
+            }
+            // Array store.
+            25..=54 => {
+                let arr = self.arrays[self.rng.below(self.arrays.len())].clone();
+                let idx = arr.dims.iter().map(|&d| self.index_expr(d, 1)).collect();
+                let e = self.value_expr(2);
+                GStmt::Store(arr.name, idx, self.assign_op(), e)
+            }
+            // Conditional.
+            55..=69 => {
+                let c = self.value_expr(2);
+                let t = self.block(nest + 1);
+                let f = if self.chance(40) {
+                    self.block(nest + 1)
+                } else {
+                    Vec::new()
+                };
+                GStmt::If(c, t, f)
+            }
+            // Counted loop, possibly with a loop-local array.
+            70..=92 if nest < 3 => {
+                let var = format!("i{}", self.next_loop_var);
+                self.next_loop_var += 1;
+                // Include the 0- and 1-trip edge cases.
+                let trip = match self.rng.below(10) {
+                    0 => 0,
+                    1 => 1,
+                    n => 2 + (n as i64 * 3) % 15,
+                };
+                let local = if nest == 0 && self.chance(30) {
+                    let name = format!("g{}", self.next_local);
+                    self.next_local += 1;
+                    let dim = 2 + self.rng.below(5) as i64;
+                    Some((name, dim))
+                } else {
+                    None
+                };
+                self.loop_vars.push(var.clone());
+                if let Some((name, dim)) = &local {
+                    self.arrays.push(Arr {
+                        name: name.clone(),
+                        dims: vec![*dim],
+                    });
+                }
+                let mut body = self.block(nest + 1);
+                // Reduction shape, sometimes: s += term / guarded min.
+                if self.chance(35) {
+                    let term = self.value_expr(1);
+                    body.push(GStmt::Scalar("s".into(), "+=", term));
+                }
+                if local.is_some() {
+                    self.arrays.pop();
+                }
+                self.loop_vars.pop();
+                GStmt::For {
+                    var,
+                    trip,
+                    local,
+                    body,
+                }
+            }
+            // While loop (bounded by construction; the body may still stall
+            // the counter by rewriting it, which the iteration cap catches).
+            _ if nest < 3 => {
+                let var = format!("w{}", self.next_loop_var);
+                self.next_loop_var += 1;
+                let trip = 1 + self.rng.below(5) as i64;
+                self.loop_vars.push(var.clone());
+                let body = self.block(nest + 1);
+                self.loop_vars.pop();
+                GStmt::While { var, trip, body }
+            }
+            _ => {
+                let e = self.value_expr(1);
+                GStmt::Scalar(SCALARS[self.rng.below(SCALARS.len())].to_string(), "=", e)
+            }
+        }
+    }
+
+    fn block(&mut self, nest: usize) -> Vec<GStmt> {
+        let want = 1 + self.rng.below(3);
+        let mut out = Vec::new();
+        for _ in 0..want {
+            if self.stmt_budget == 0 {
+                break;
+            }
+            out.push(self.stmt(nest));
+        }
+        out
+    }
+}
+
+#[derive(Clone, Debug)]
+struct GProgram {
+    seed: u64,
+    threads: usize,
+    body: Vec<GStmt>,
+}
+
+impl GProgram {
+    fn generate(seed: u64) -> GProgram {
+        let mut g = Gen {
+            rng: TestRng::from_seed(seed),
+            arrays: vec![
+                Arr {
+                    name: "a".into(),
+                    dims: vec![16],
+                },
+                Arr {
+                    name: "b".into(),
+                    dims: vec![16],
+                },
+                Arr {
+                    name: "idx".into(),
+                    dims: vec![16],
+                },
+                Arr {
+                    name: "out".into(),
+                    dims: vec![32],
+                },
+                Arr {
+                    name: "m".into(),
+                    dims: vec![4, 8],
+                },
+            ],
+            loop_vars: Vec::new(),
+            next_loop_var: 0,
+            next_local: 0,
+            stmt_budget: 22,
+        };
+        let threads = 2 + g.rng.below(3);
+        let mut body = Vec::new();
+        while g.stmt_budget > 0 {
+            body.push(g.stmt(0));
+        }
+        GProgram {
+            seed,
+            threads,
+            body,
+        }
+    }
+
+    /// The prelude declares and fills every array (so programs are
+    /// self-contained: the initial heap is empty) and initializes the named
+    /// scalars; `u0`/`u1` stay deliberately undefined.
+    fn source(&self) -> String {
+        let mut out = String::new();
+        let c1 = 1 + (self.seed % 7) as i64;
+        let c2 = (self.seed / 7 % 5) as i64;
+        out.push_str("int a[16]; int b[16]; int idx[16]; int out[32]; int m[4][8];\n");
+        out.push_str(&format!(
+            "for (p0 = 0; p0 < 16; p0++) {{\n    a[p0] = p0 * {c1} - 7;\n    b[p0] = p0 + {c2};\n    idx[p0] = (p0 * {c1} + {c2}) % 16;\n}}\n"
+        ));
+        out.push_str(
+            "for (p1 = 0; p1 < 4; p1++) {\n    for (p2 = 0; p2 < 8; p2++) {\n        m[p1][p2] = p1 * 8 + p2;\n    }\n}\n",
+        );
+        out.push_str("x = 1; y = 2; z = 3; s = 4; t = 5;\n");
+        render_block(&self.body, 0, &mut out);
+        out
+    }
+
+    /// Runs the full differential matrix; `Some(description)` on the first
+    /// divergence.
+    fn check(&self) -> Option<String> {
+        check_source(&self.source(), self.threads)
+    }
+}
+
+fn opts(threads: usize, engine: EngineChoice) -> ExecOptions {
+    ExecOptions {
+        threads,
+        engine,
+        // Small cap so generated runaway loops fail fast — and all engines
+        // must agree on the NonTerminating verdict.
+        while_cap: 5_000,
+        ..ExecOptions::default()
+    }
+}
+
+/// The differential matrix for one source program: serial {ast, compiled,
+/// bytecode} must agree exactly (heap or error), parallel {ast, compiled,
+/// bytecode} must reproduce the serial heap whenever the serial run
+/// succeeds.
+fn check_source(src: &str, threads: usize) -> Option<String> {
+    let program = match parse_program("fuzz", src) {
+        Ok(p) => p,
+        Err(e) => return Some(format!("generated program failed to parse: {e}")),
+    };
+    let report = parallelize(&program);
+    let reference = run_serial_with(&program, Heap::new(), &opts(1, EngineChoice::Ast));
+
+    for engine in [EngineChoice::Compiled, EngineChoice::Bytecode] {
+        let got = run_serial_with(&program, Heap::new(), &opts(1, engine));
+        match (&reference, &got) {
+            (Ok(r), Ok(g)) => {
+                let diffs = r.heap.diff(&g.heap);
+                if !diffs.is_empty() {
+                    return Some(format!(
+                        "serial {engine:?} heap diverges from serial Ast:\n  {}",
+                        diffs.join("\n  ")
+                    ));
+                }
+            }
+            (Err(re), Err(ge)) => {
+                if re != ge {
+                    return Some(format!(
+                        "serial {engine:?} error {ge:?} != serial Ast error {re:?}"
+                    ));
+                }
+            }
+            (Ok(_), Err(ge)) => {
+                return Some(format!(
+                    "serial {engine:?} failed ({ge:?}) where serial Ast succeeded"
+                ));
+            }
+            (Err(re), Ok(_)) => {
+                return Some(format!(
+                    "serial {engine:?} succeeded where serial Ast failed ({re:?})"
+                ));
+            }
+        }
+    }
+
+    for engine in [
+        EngineChoice::Ast,
+        EngineChoice::Compiled,
+        EngineChoice::Bytecode,
+    ] {
+        let got = run_parallel(&program, &report, Heap::new(), &opts(threads, engine));
+        match (&reference, &got) {
+            (Ok(r), Ok(g)) => {
+                let diffs = r.heap.diff(&g.heap);
+                if !diffs.is_empty() {
+                    return Some(format!(
+                        "parallel {engine:?} (threads={threads}) heap diverges from serial:\n  {}",
+                        diffs.join("\n  ")
+                    ));
+                }
+            }
+            // Workers may hit a different failing iteration first, so only
+            // the failure itself must agree for parallel runs.
+            (Err(_), Err(_)) => {}
+            (Ok(_), Err(ge)) => {
+                return Some(format!(
+                    "parallel {engine:?} failed ({ge:?}) where serial succeeded"
+                ));
+            }
+            (Err(re), Ok(_)) => {
+                return Some(format!(
+                    "parallel {engine:?} succeeded where serial failed ({re:?})"
+                ));
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking.
+// ---------------------------------------------------------------------------
+
+/// Every statement position in the tree, as a path of child indices.
+fn collect_paths(stmts: &[GStmt], prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    for (k, s) in stmts.iter().enumerate() {
+        prefix.push(k);
+        out.push(prefix.clone());
+        match s {
+            GStmt::If(_, t, f) => {
+                prefix.push(0);
+                collect_paths(t, prefix, out);
+                prefix.pop();
+                prefix.push(1);
+                collect_paths(f, prefix, out);
+                prefix.pop();
+            }
+            GStmt::For { body, .. } | GStmt::While { body, .. } => {
+                prefix.push(0);
+                collect_paths(body, prefix, out);
+                prefix.pop();
+            }
+            _ => {}
+        }
+        prefix.pop();
+    }
+}
+
+/// Removes the statement at `path` (paths alternate statement index and
+/// branch selector, mirroring `collect_paths`).
+fn remove_at(stmts: &[GStmt], path: &[usize]) -> Vec<GStmt> {
+    let mut out = stmts.to_vec();
+    if path.len() == 1 {
+        out.remove(path[0]);
+        return out;
+    }
+    let (k, rest) = (path[0], &path[1..]);
+    match &mut out[k] {
+        GStmt::If(_, t, f) => {
+            let (branch, rest) = (rest[0], &rest[1..]);
+            if branch == 0 {
+                *t = remove_at(t, rest);
+            } else {
+                *f = remove_at(f, rest);
+            }
+        }
+        GStmt::For { body, .. } | GStmt::While { body, .. } => {
+            *body = remove_at(body, &rest[1..]);
+        }
+        _ => unreachable!("path descends into a leaf"),
+    }
+    out
+}
+
+/// Greedy statement deletion: keeps removing any single statement (at any
+/// depth) while the divergence persists.  With no upstream shrinking in
+/// the vendored proptest, this is the harness's own minimizer.
+fn shrink(program: &GProgram) -> GProgram {
+    let mut current = program.clone();
+    loop {
+        let mut paths = Vec::new();
+        collect_paths(&current.body, &mut Vec::new(), &mut paths);
+        // Longest paths first: empty nested bodies before their parents.
+        paths.sort_by_key(|p| std::cmp::Reverse(p.len()));
+        let mut reduced = false;
+        for path in paths {
+            let candidate = GProgram {
+                body: remove_at(&current.body, &path),
+                ..current.clone()
+            };
+            if candidate.check().is_some() {
+                current = candidate;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return current;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The property.
+// ---------------------------------------------------------------------------
+
+fn fuzz_cases() -> u32 {
+    std::env::var("ENGINE_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
+
+    #[test]
+    fn all_engines_agree_on_generated_programs(seed in 0u64..u64::MAX) {
+        let program = GProgram::generate(seed);
+        if let Some(msg) = program.check() {
+            let minimal = shrink(&program);
+            let why = minimal.check().unwrap_or_else(|| msg.clone());
+            prop_assert!(
+                false,
+                "cross-engine divergence (seed {seed}, threads {}):\n{why}\n\
+                 minimal failing program:\n{}",
+                minimal.threads,
+                minimal.source()
+            );
+        }
+    }
+}
+
+/// Regression seeds: shapes the generator has produced that exercise the
+/// trickiest agreed-upon semantics (undefined scalars feeding stores,
+/// loop-local shadowing, runaway-loop caps).  Kept as plain sources so a
+/// generator change cannot silently retire them.
+#[test]
+fn regression_shapes_stay_in_agreement() {
+    let cases = [
+        // Undefined scalar read flows into a store and a reduction.
+        "int out[8];\nfor (i0 = 0; i0 < 8; i0++) { out[i0] = u0 + i0; s += u1; }\n",
+        // Loop-local array shadows a global; last-iteration state survives.
+        "int g[4];\ng[1] = 9;\nint out[6];\nfor (i0 = 0; i0 < 6; i0++) {\n    int g[3];\n    g[i0 % 3] = i0;\n    out[i0] = g[i0 % 3];\n}\n",
+        // Loop counter rewritten inside the body: the cap must fire
+        // identically everywhere.
+        "for (i0 = 0; i0 < 4; i0++) { i0 = 0; x += 1; }\n",
+        // Zero-trip and one-trip loops around a while.
+        "w0 = 0;\nwhile (w0 < 3) {\n    for (i0 = 0; i0 < 0; i0++) { x = 99; }\n    w0 = w0 + 1;\n}\n",
+        // Division by a value that becomes zero mid-loop.
+        "y = 2;\nfor (i0 = 0; i0 < 5; i0++) { y = y - 1; x = 10 / y; }\n",
+        // Self-assignment of a heap-absent scalar: every engine must
+        // materialize `q` (as 0) in the final heap — the bytecode compiler
+        // once elided the no-op copy and dropped the definition.
+        "if (x < 0) { q = 1; }\nq = q;\n",
+    ];
+    for (k, src) in cases.iter().enumerate() {
+        if let Some(msg) = check_source(src, 3) {
+            panic!("regression case {k} diverged:\n{msg}\nsource:\n{src}");
+        }
+    }
+}
