@@ -1,24 +1,30 @@
 //! Interpreter execution cost: the Figure 9 product kernel executed by the
-//! bytecode (register-machine) serial engine, by the compiled
-//! (slot-resolved) serial engine, by the tree-walking serial engine they
-//! replaced, by the parallel engine (compile-time verdicts, zero runtime
-//! analysis), and — for the runtime-machinery comparison the paper argues
-//! against — by the native inspector/executor driver on the same CSR data.
+//! bytecode (register-machine) serial engine at both `--opt-level`s, by
+//! the compiled (slot-resolved) serial engine, by the tree-walking serial
+//! engine they replaced, by the parallel engine (compile-time verdicts,
+//! zero runtime analysis), and — for the runtime-machinery comparison the
+//! paper argues against — by the native inspector/executor driver on the
+//! same CSR data.
 //!
-//! The three serial engines form the interpretation-cost ladder: identical
+//! The serial engines form the interpretation-cost ladder: identical
 //! program, identical inputs, identical single thread — the only
 //! difference is name-keyed tree walking vs slot-addressed tree walking vs
-//! a flat instruction stream.  The bytecode-vs-compiled pair is the
-//! expression-flattening win this layer exists for.
+//! a flat instruction stream vs the *optimized* flat stream.  The
+//! O1-vs-O0 pair is the superinstruction/peephole win the optimizer
+//! exists for; bytecode-vs-compiled is the expression-flattening win
+//! below it.  The pipeline compiles **once**, outside the timed loops, so
+//! every number is pure execution cost.
 //!
 //! Run with `cargo bench -p ss-bench --bench interp_exec`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ss_inspector::executor::{run_range_partitioned, Mode};
 use ss_interp::{
-    run_parallel, run_serial_with, synthesize_inputs, EngineChoice, ExecOptions, InputSpec,
+    run_parallel_artifacts, run_serial_artifacts, synthesize_inputs, EngineChoice, ExecOptions,
+    InputSpec, OptLevel,
 };
 use ss_npb::kernels::fig9;
+use ss_parallelizer::Artifacts;
 use ss_runtime::{hardware_threads, CsrMatrix};
 
 fn bench_interp(c: &mut Criterion) {
@@ -26,28 +32,41 @@ fn bench_interp(c: &mut Criterion) {
         .into_iter()
         .find(|k| k.name == "fig9_csr_product")
         .expect("catalogue kernel");
-    let program = ss_ir::parse_program(kernel.name, kernel.source).unwrap();
-    let report = ss_parallelizer::parallelize(&program);
+    let artifacts = Artifacts::compile_source(kernel.name, kernel.source).unwrap();
     let spec = InputSpec {
         scale: 200,
         seed: 7,
     };
-    let initial = synthesize_inputs(&program, &spec).unwrap();
+    let initial = synthesize_inputs(&artifacts.program, &spec).unwrap();
 
     let mut group = c.benchmark_group("interp_exec_fig9");
     group.sample_size(10);
-    for (label, engine) in [
-        ("serial_engine_bytecode", EngineChoice::Bytecode),
-        ("serial_engine_compiled", EngineChoice::Compiled),
-        ("serial_engine_ast", EngineChoice::Ast),
+    for (label, engine, opt_level) in [
+        (
+            "serial_engine_bytecode_o1",
+            EngineChoice::Bytecode,
+            OptLevel::O1,
+        ),
+        (
+            "serial_engine_bytecode_o0",
+            EngineChoice::Bytecode,
+            OptLevel::O0,
+        ),
+        (
+            "serial_engine_compiled",
+            EngineChoice::Compiled,
+            OptLevel::O1,
+        ),
+        ("serial_engine_ast", EngineChoice::Ast, OptLevel::O1),
     ] {
         let opts = ExecOptions {
             threads: 1,
             engine,
+            opt_level,
             ..ExecOptions::default()
         };
         group.bench_function(label, |b| {
-            b.iter(|| run_serial_with(&program, initial.clone(), &opts).unwrap())
+            b.iter(|| run_serial_artifacts(&artifacts, initial.clone(), &opts).unwrap())
         });
     }
     for (label, engine) in [
@@ -64,7 +83,7 @@ fn bench_interp(c: &mut Criterion) {
                 ..ExecOptions::default()
             };
             group.bench_with_input(BenchmarkId::new(label, threads), &opts, |b, opts| {
-                b.iter(|| run_parallel(&program, &report, initial.clone(), opts).unwrap())
+                b.iter(|| run_parallel_artifacts(&artifacts, initial.clone(), opts).unwrap())
             });
         }
     }

@@ -22,10 +22,11 @@
 
 use ss_aggregation::analyze_program;
 use ss_interp::{
-    synthesize_inputs, validate, EngineChoice, ExecMode, ExecOptions, InputSpec, ScheduleChoice,
+    synthesize_inputs, validate, EngineChoice, ExecMode, ExecOptions, InputSpec, OptLevel,
+    ScheduleChoice,
 };
 use ss_ir::{parse_program, LoopId};
-use ss_parallelizer::{parallelize, run_study, StudyInput};
+use ss_parallelizer::{run_study, Artifacts, StudyInput};
 
 /// Errors the CLI reports to the user (exit status 1 or 2).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,8 +71,8 @@ pub fn usage() -> String {
     "sspar — compile-time parallelization of subscripted subscript patterns\n\
      \n\
      USAGE:\n\
-     \u{20}   sspar analyze <file.c> [--baseline] [--no-source] [--dump-bytecode]\n\
-     \u{20}   sspar analyze --kernel <name>  [--baseline] [--no-source] [--dump-bytecode]\n\
+     \u{20}   sspar analyze <file.c> [--baseline] [--no-source] [--dump-bytecode] [--opt-level 0|1]\n\
+     \u{20}   sspar analyze --kernel <name>  [--baseline] [--no-source] [--dump-bytecode] [--opt-level 0|1]\n\
      \u{20}   sspar trace   <file.c>\n\
      \u{20}   sspar trace   --kernel <name>\n\
      \u{20}   sspar run     <file.c> [run options]\n\
@@ -94,6 +95,9 @@ pub fn usage() -> String {
      \u{20}   --baseline       analyze: also show the property-free baseline verdicts\n\
      \u{20}   --no-source      analyze: omit the annotated source from the output\n\
      \u{20}   --dump-bytecode  analyze: print the register-machine bytecode listing\n\
+     \u{20}   --opt-level <0|1>  which bytecode stream to use: the base compiler's (0)\n\
+     \u{20}                    or the optimized one (1, default — fused subscripted-\n\
+     \u{20}                    subscript loads, compare-and-branch, constant folding)\n\
      \n\
      RUN OPTIONS:\n\
      \u{20}   --threads <N>           worker threads (default: all hardware threads)\n\
@@ -104,7 +108,8 @@ pub fn usage() -> String {
      \u{20}   --schedule <auto|static|dynamic>  scheduling of parallel loops (default auto)\n\
      \u{20}   --engine <bytecode|compiled|ast>  register-machine bytecode (default),\n\
      \u{20}                           slot-resolved compiled execution, or the\n\
-     \u{20}                           tree-walking reference engine\n"
+     \u{20}                           tree-walking reference engine\n\
+     \u{20}   --opt-level <0|1>       bytecode engine: run the O0 or O1 stream (default 1)\n"
         .to_string()
 }
 
@@ -136,6 +141,8 @@ pub enum Command {
         no_source: bool,
         /// Print the register-machine bytecode listing.
         dump_bytecode: bool,
+        /// Which bytecode stream `--dump-bytecode` prints.
+        opt_level: OptLevel,
     },
     /// `sspar trace …`
     Trace {
@@ -172,6 +179,8 @@ pub struct RunOptions {
     pub schedule: ScheduleChoice,
     /// Execution engine (compiled slots or tree-walking reference).
     pub engine: EngineChoice,
+    /// Bytecode stream the bytecode engine runs (`--opt-level`).
+    pub opt_level: OptLevel,
 }
 
 impl Default for RunOptions {
@@ -184,6 +193,7 @@ impl Default for RunOptions {
             baseline_inspector: false,
             schedule: ScheduleChoice::Auto,
             engine: EngineChoice::Bytecode,
+            opt_level: OptLevel::O1,
         }
     }
 }
@@ -273,6 +283,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         };
                         i += 2;
                     }
+                    "--opt-level" => {
+                        options.opt_level = rest
+                            .get(i + 1)
+                            .and_then(|v| OptLevel::from_flag(v))
+                            .ok_or_else(|| CliError::Usage(usage()))?;
+                        i += 2;
+                    }
                     other if !other.starts_with("--") && input.is_none() => {
                         input = Some(Input::File(other.to_string()));
                         i += 1;
@@ -289,6 +306,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut baseline = false;
             let mut no_source = false;
             let mut dump_bytecode = false;
+            let mut opt_level = OptLevel::O1;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i] {
@@ -309,6 +327,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         dump_bytecode = true;
                         i += 1;
                     }
+                    "--opt-level" if cmd == "analyze" => {
+                        opt_level = rest
+                            .get(i + 1)
+                            .and_then(|v| OptLevel::from_flag(v))
+                            .ok_or_else(|| CliError::Usage(usage()))?;
+                        i += 2;
+                    }
                     other if !other.starts_with("--") && input.is_none() => {
                         input = Some(Input::File(other.to_string()));
                         i += 1;
@@ -323,6 +348,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     baseline,
                     no_source,
                     dump_bytecode,
+                    opt_level,
                 })
             } else {
                 Ok(Command::Trace { input })
@@ -346,9 +372,17 @@ pub fn execute(cmd: &Command, reader: &dyn SourceReader) -> Result<String, CliEr
             baseline,
             no_source,
             dump_bytecode,
+            opt_level,
         } => {
             let (name, source) = resolve_input(input, reader)?;
-            analyze_text(&name, &source, *baseline, *no_source, *dump_bytecode)
+            analyze_text(
+                &name,
+                &source,
+                *baseline,
+                *no_source,
+                *dump_bytecode,
+                *opt_level,
+            )
         }
         Command::Trace { input } => {
             let (name, source) = resolve_input(input, reader)?;
@@ -385,11 +419,14 @@ fn analyze_text(
     baseline: bool,
     no_source: bool,
     dump_bytecode: bool,
+    opt_level: OptLevel,
 ) -> Result<String, CliError> {
-    // One parse feeds both the analysis and the bytecode dump, so the
-    // L<n> loop ids in the listing always match the verdict table.
-    let program = parse_program(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
-    let report = parallelize(&program);
+    // One pipeline invocation feeds the verdict table, the facts and the
+    // bytecode dump, so the L<n> loop ids in the listing always match —
+    // and nothing below recompiles.
+    let artifacts =
+        Artifacts::compile_source(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
+    let report = &artifacts.report;
     let mut out = String::new();
     out.push_str(&format!("== {name}: per-loop verdicts ==\n"));
     for l in &report.loops {
@@ -432,6 +469,10 @@ fn analyze_text(
     }
     out.push_str("\n== derived index-array facts ==\n");
     out.push_str(&format!("{}\n", report.final_db));
+    out.push_str(&format!(
+        "\n== pipeline stages (analyze -> slots -> bytecode -> opt) ==\n{}\n",
+        artifacts.stage_summary()
+    ));
     if !no_source {
         out.push_str("\n== annotated source ==\n");
         out.push_str(&report.annotated_source);
@@ -440,9 +481,10 @@ fn analyze_text(
         }
     }
     if dump_bytecode {
-        let bc = ss_ir::bytecode::compile_bytecode(&ss_ir::slots::compile_program(&program));
-        out.push_str("\n== register-machine bytecode ==\n");
-        out.push_str(&bc.disassemble());
+        out.push_str(&format!(
+            "\n== register-machine bytecode ({opt_level}) ==\n"
+        ));
+        out.push_str(&artifacts.bytecode_at(opt_level).disassemble());
     }
     Ok(out)
 }
@@ -493,34 +535,39 @@ fn trace_text(name: &str, source: &str) -> Result<String, CliError> {
 }
 
 fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, CliError> {
-    let program = parse_program(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
-    let report = parallelize(&program);
+    // One pipeline invocation produces the artifacts every engine of the
+    // validation matrix consumes — nothing below recompiles.
+    let artifacts =
+        Artifacts::compile_source(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
+    let report = &artifacts.report;
     let spec = InputSpec {
         scale: options.scale,
         seed: options.seed,
     };
-    let initial = synthesize_inputs(&program, &spec).map_err(|e| CliError::Exec(e.to_string()))?;
+    let initial =
+        synthesize_inputs(&artifacts.program, &spec).map_err(|e| CliError::Exec(e.to_string()))?;
     let threads = options.threads.unwrap_or_else(ss_runtime::hardware_threads);
     let exec_opts = ExecOptions {
         threads,
         schedule: options.schedule,
         engine: options.engine,
+        opt_level: options.opt_level,
         baseline_inspector: options.baseline_inspector,
         ..ExecOptions::default()
     };
-    let outcome = validate(&program, &report, &initial, &exec_opts)
-        .map_err(|e| CliError::Exec(e.to_string()))?;
+    let outcome =
+        validate(&artifacts, &initial, &exec_opts).map_err(|e| CliError::Exec(e.to_string()))?;
 
     // The inspector baseline's recording store is a tree-walker feature:
     // run_parallel uses the AST engine whenever it is requested, so report
     // the engine that actually executed.
     let engine_name = if options.baseline_inspector {
-        "ast (inspector baseline)"
+        "ast (inspector baseline)".to_string()
     } else {
         match options.engine {
-            EngineChoice::Bytecode => "bytecode",
-            EngineChoice::Compiled => "compiled",
-            EngineChoice::Ast => "ast",
+            EngineChoice::Bytecode => format!("bytecode ({})", options.opt_level),
+            EngineChoice::Compiled => "compiled".to_string(),
+            EngineChoice::Ast => "ast".to_string(),
         }
     };
     let mut out = String::new();
@@ -596,7 +643,7 @@ fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, Cl
     if options.validate {
         if outcome.heaps_match {
             out.push_str(
-                "validation: PASS (ast, compiled, bytecode and parallel heaps are bit-identical)\n",
+                "validation: PASS (ast, compiled, bytecode O0, bytecode O1 and parallel heaps are bit-identical)\n",
             );
         } else {
             return Err(CliError::Validation(format!(
@@ -679,7 +726,8 @@ mod tests {
                 input: Input::File("k.c".into()),
                 baseline: false,
                 no_source: false,
-                dump_bytecode: false
+                dump_bytecode: false,
+                opt_level: OptLevel::O1
             }
         );
         assert_eq!(
@@ -689,14 +737,17 @@ mod tests {
                 "fig9_csr_product",
                 "--baseline",
                 "--no-source",
-                "--dump-bytecode"
+                "--dump-bytecode",
+                "--opt-level",
+                "0"
             ]))
             .unwrap(),
             Command::Analyze {
                 input: Input::Catalogue("fig9_csr_product".into()),
                 baseline: true,
                 no_source: true,
-                dump_bytecode: true
+                dump_bytecode: true,
+                opt_level: OptLevel::O0
             }
         );
         assert_eq!(
@@ -775,17 +826,55 @@ mod tests {
             &reader,
         )
         .unwrap();
-        assert!(out.contains("== register-machine bytecode =="), "{out}");
+        assert!(
+            out.contains("== register-machine bytecode (O1) =="),
+            "{out}"
+        );
         assert!(out.contains("const["), "{out}");
         assert!(out.contains("for      L"), "{out}");
-        // trace does not accept the flag
-        assert!(matches!(
-            run(
-                &args(&["trace", "--kernel", "fig9_csr_product", "--dump-bytecode"]),
-                &reader
-            ),
-            Err(CliError::Usage(_))
-        ));
+        // The default (O1) listing carries the fused superinstructions; the
+        // O0 listing carries none.
+        assert!(out.contains("cmpbr"), "{out}");
+        let o0 = run(
+            &args(&[
+                "analyze",
+                "--kernel",
+                "fig9_csr_product",
+                "--no-source",
+                "--dump-bytecode",
+                "--opt-level",
+                "0",
+            ]),
+            &reader,
+        )
+        .unwrap();
+        assert!(o0.contains("== register-machine bytecode (O0) =="), "{o0}");
+        assert!(!o0.contains("cmpbr"), "{o0}");
+        assert!(!o0.contains("load2"), "{o0}");
+        // trace does not accept the flags
+        for flag in ["--dump-bytecode", "--opt-level"] {
+            assert!(matches!(
+                run(
+                    &args(&["trace", "--kernel", "fig9_csr_product", flag]),
+                    &reader
+                ),
+                Err(CliError::Usage(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn analyze_prints_the_pipeline_stage_trace() {
+        let reader = MapReader(HashMap::new());
+        let out = run(
+            &args(&["analyze", "--kernel", "fig9_csr_product", "--no-source"]),
+            &reader,
+        )
+        .unwrap();
+        assert!(out.contains("== pipeline stages"), "{out}");
+        for stage in ["analyze", "slots", "bytecode", "opt"] {
+            assert!(out.contains(stage), "{out}");
+        }
     }
 
     #[test]
@@ -827,7 +916,9 @@ mod tests {
                 "--schedule",
                 "dynamic",
                 "--engine",
-                "ast"
+                "ast",
+                "--opt-level",
+                "0"
             ]))
             .unwrap(),
             Command::Run {
@@ -840,6 +931,7 @@ mod tests {
                     baseline_inspector: true,
                     schedule: ScheduleChoice::Dynamic,
                     engine: EngineChoice::Ast,
+                    opt_level: OptLevel::O0,
                 },
             }
         );
@@ -859,6 +951,8 @@ mod tests {
             vec!["run", "k.c", "--schedule", "guided"],
             vec!["run", "k.c", "--engine", "jit"],
             vec!["run", "k.c", "--engine"],
+            vec!["run", "k.c", "--opt-level", "2"],
+            vec!["run", "k.c", "--opt-level"],
         ] {
             assert!(
                 matches!(parse_args(&args(&bad)), Err(CliError::Usage(_))),
@@ -891,27 +985,31 @@ mod tests {
     }
 
     #[test]
-    fn run_validates_under_every_engine() {
+    fn run_validates_under_every_engine_and_opt_level() {
         let reader = MapReader(HashMap::new());
-        for engine in ["bytecode", "compiled", "ast"] {
-            let out = run(
-                &args(&[
-                    "run",
-                    "--kernel",
-                    "fig9_csr_product",
-                    "--threads",
-                    "2",
-                    "--n",
-                    "120",
-                    "--engine",
-                    engine,
-                    "--validate",
-                ]),
-                &reader,
-            )
-            .unwrap();
-            assert!(out.contains(&format!("{engine} engine")), "{out}");
-            assert!(out.contains("validation: PASS"), "{engine}: {out}");
+        for (engine_args, shown) in [
+            (vec!["--engine", "bytecode"], "bytecode (O1) engine"),
+            (
+                vec!["--engine", "bytecode", "--opt-level", "0"],
+                "bytecode (O0) engine",
+            ),
+            (vec!["--engine", "compiled"], "compiled engine"),
+            (vec!["--engine", "ast"], "ast engine"),
+        ] {
+            let mut a = vec![
+                "run",
+                "--kernel",
+                "fig9_csr_product",
+                "--threads",
+                "2",
+                "--n",
+                "120",
+                "--validate",
+            ];
+            a.extend(engine_args);
+            let out = run(&args(&a), &reader).unwrap();
+            assert!(out.contains(shown), "{out}");
+            assert!(out.contains("validation: PASS"), "{shown}: {out}");
         }
     }
 

@@ -29,6 +29,8 @@ pub mod pipeline;
 pub mod reduction;
 pub mod study;
 
-pub use pipeline::{parallelize, parallelize_source, LoopReport, ParallelizationReport};
+pub use pipeline::{
+    parallelize, parallelize_source, Artifacts, LoopReport, ParallelizationReport, StageTiming,
+};
 pub use reduction::{recognize_reductions, ReductionInfo, ReductionOp};
 pub use study::{run_study, StudyInput, StudyRow, StudyTable};

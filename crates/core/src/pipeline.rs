@@ -1,12 +1,26 @@
-//! The analysis pipeline: parse → aggregate → dependence-test → annotate.
+//! The staged compilation pipeline: parse → analyze → slots → bytecode →
+//! opt, with every stage's output carried in one typed [`Artifacts`] store.
+//!
+//! The first half of this module is the *analysis* pipeline (aggregate →
+//! dependence-test → annotate, producing a [`ParallelizationReport`]); the
+//! second half is the [`Artifacts`] store that runs the analysis **and**
+//! both compilation passes exactly once and hands every downstream
+//! consumer — all execution engines, the CLI, the benches, the fuzz
+//! harness — the same compiled products.  Engines never compile
+//! independently: the compile-once counters of `ss_ir::slots` and
+//! `ss_ir::bytecode` are pipeline invariants, asserted in
+//! `crates/interp/tests/compile_once.rs`.
 
 use crate::reduction::{recognize_reductions, ReductionInfo};
 use ss_aggregation::{analyze_program, ProgramAnalysis};
 use ss_deptest::{test_loop, LoopVerdict, RangeTestConfig};
+use ss_ir::bytecode::{compile_bytecode, BytecodeProgram};
 use ss_ir::loops::LoopTree;
-use ss_ir::slots::SlotMap;
-use ss_ir::{parse_program, print_program_with, LoopId, PrintOptions, Program};
+use ss_ir::opt::{optimize, OptLevel};
+use ss_ir::slots::{compile_program as compile_slots, CompiledProgram, SlotMap};
+use ss_ir::{parse_program, print_program_with, IrError, LoopId, PrintOptions, Program};
 use ss_properties::PropertyDatabase;
+use std::time::Instant;
 
 /// The result for one loop: both the extended verdict and the baseline one.
 #[derive(Debug, Clone)]
@@ -258,6 +272,114 @@ fn reduction_clause(reductions: &[ReductionInfo]) -> String {
         .join(",")
 }
 
+// ---------------------------------------------------------------------------
+// The staged compilation pipeline.
+// ---------------------------------------------------------------------------
+
+/// Wall-clock cost of one pipeline stage.
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    /// Stage name (one of [`Artifacts::STAGES`]).
+    pub stage: &'static str,
+    /// Seconds spent in the stage.
+    pub seconds: f64,
+}
+
+/// Everything one pipeline invocation produces, typed per stage (the
+/// parse that yields [`Artifacts::program`] happens upstream, in
+/// [`Artifacts::compile_source`] or at the caller; the four *timed*
+/// stages are listed in [`Artifacts::STAGES`]):
+///
+/// | stage      | artifact                                      |
+/// |------------|-----------------------------------------------|
+/// | `analyze`  | [`Artifacts::report`] (dependence, privatization and reduction facts) |
+/// | `slots`    | [`Artifacts::compiled`] (slot-resolved `CompiledBody`s) |
+/// | `bytecode` | [`Artifacts::bytecode`] (the O0 register-machine stream) |
+/// | `opt`      | [`Artifacts::optimized`] (the O1 stream)      |
+///
+/// Compilation happens **once** here, for the whole run: every engine (and
+/// the disassembler, the benches, the fuzz harness) reads these fields
+/// instead of recompiling at its own call site.  O0 and O1 streams are both
+/// kept so differential consumers can execute either; `--opt-level` picks
+/// which one an engine runs.
+#[derive(Debug, Clone)]
+pub struct Artifacts {
+    /// The parsed program (the `parse` stage happens in
+    /// [`Artifacts::compile_source`]; [`Artifacts::compile`] accepts an
+    /// already-parsed AST).
+    pub program: Program,
+    /// Per-loop verdicts, reductions and index-array facts.
+    pub report: ParallelizationReport,
+    /// Slot-resolved op sequences (what the compiled engine executes).
+    pub compiled: CompiledProgram,
+    /// The unoptimized (`O0`) register-machine stream.
+    pub bytecode: BytecodeProgram,
+    /// The optimized (`O1`) stream: constant folding, superinstruction
+    /// fusion, dead-store elimination (see `ss_ir::opt`).
+    pub optimized: BytecodeProgram,
+    /// Wall-clock cost per stage, in [`Artifacts::STAGES`] order.
+    pub stages: Vec<StageTiming>,
+}
+
+impl Artifacts {
+    /// The named stages of the pipeline, in execution order.
+    pub const STAGES: [&'static str; 4] = ["analyze", "slots", "bytecode", "opt"];
+
+    /// Runs the full pipeline on an already-parsed program.
+    pub fn compile(program: &Program) -> Artifacts {
+        let mut stages = Vec::with_capacity(Self::STAGES.len());
+        let mut timed = |stage: &'static str, start: Instant| {
+            stages.push(StageTiming {
+                stage,
+                seconds: start.elapsed().as_secs_f64(),
+            });
+        };
+        let t = Instant::now();
+        let report = parallelize(program);
+        timed("analyze", t);
+        let t = Instant::now();
+        let compiled = compile_slots(program);
+        timed("slots", t);
+        let t = Instant::now();
+        let bytecode = compile_bytecode(&compiled);
+        timed("bytecode", t);
+        let t = Instant::now();
+        let optimized = optimize(&bytecode, OptLevel::O1);
+        timed("opt", t);
+        Artifacts {
+            program: program.clone(),
+            report,
+            compiled,
+            bytecode,
+            optimized,
+            stages,
+        }
+    }
+
+    /// Parses `src` and runs the pipeline (`parse` included).
+    pub fn compile_source(name: &str, src: &str) -> Result<Artifacts, IrError> {
+        Ok(Artifacts::compile(&parse_program(name, src)?))
+    }
+
+    /// The bytecode stream an engine runs at `level`.
+    pub fn bytecode_at(&self, level: OptLevel) -> &BytecodeProgram {
+        match level {
+            OptLevel::O0 => &self.bytecode,
+            OptLevel::O1 => &self.optimized,
+        }
+    }
+
+    /// One line per stage: `analyze 0.000123s · slots …` (what
+    /// `sspar analyze` prints as the pipeline trace).
+    pub fn stage_summary(&self) -> String {
+        self.stages
+            .iter()
+            .map(|s| format!("{} {:.6}s", s.stage, s.seconds))
+            .collect::<Vec<_>>()
+            .join(" · ")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,5 +530,60 @@ mod tests {
     #[test]
     fn parse_errors_are_propagated() {
         assert!(parallelize_source("bad", "for (i = 0 i < n; i++) {}").is_err());
+        assert!(Artifacts::compile_source("bad", "for (i = 0 i < n; i++) {}").is_err());
+    }
+
+    #[test]
+    fn artifacts_carry_every_stage_product() {
+        let art = Artifacts::compile_source(
+            "fig2",
+            r#"
+            for (e = 0; e < nelt; e++) { mt_to_id[e] = e; }
+            for (miel = 0; miel < nelt; miel++) {
+                iel = mt_to_id[miel];
+                id_to_mt[iel] = miel;
+            }
+        "#,
+        )
+        .unwrap();
+        // One invocation, every stage's artifact present and consistent.
+        let names: Vec<&str> = art.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(names, Artifacts::STAGES);
+        assert!(art.report.loop_report(LoopId(1)).unwrap().parallel);
+        assert_eq!(
+            art.compiled.slots.scalar_count(),
+            art.bytecode.slots.scalar_count()
+        );
+        assert_eq!(
+            art.optimized.slots.scalar_count(),
+            art.bytecode.slots.scalar_count()
+        );
+        // The O1 stream fused the subscripted-subscript load, so it is
+        // strictly shorter than O0 here.
+        fn count(code: &[ss_ir::Instr]) -> usize {
+            code.iter()
+                .map(|i| match i {
+                    ss_ir::Instr::For(f) => {
+                        1 + count(&f.init.code)
+                            + count(&f.bound.code)
+                            + count(&f.step.code)
+                            + count(&f.body)
+                    }
+                    _ => 1,
+                })
+                .sum()
+        }
+        assert!(count(&art.optimized.main) <= count(&art.bytecode.main));
+        // A temp-consumed subscripted subscript does fuse and shrink.
+        let fused =
+            Artifacts::compile_source("gather", "for (i = 0; i < n; i++) { out[i] = a[b[i]]; }")
+                .unwrap();
+        assert!(count(&fused.optimized.main) < count(&fused.bytecode.main));
+        assert_eq!(art.bytecode_at(OptLevel::O0).main, art.bytecode.main);
+        assert_eq!(art.bytecode_at(OptLevel::O1).main, art.optimized.main);
+        let summary = art.stage_summary();
+        for stage in Artifacts::STAGES {
+            assert!(summary.contains(stage), "{summary}");
+        }
     }
 }

@@ -5,12 +5,15 @@
 //! privatization test — `total` is read before written in every iteration —
 //! yet it is parallelizable with per-thread partial accumulators merged by
 //! the operator.  This pass recognizes the accumulation shapes the executor
-//! can dispatch *exactly* (integer `+`/`-` wrap, `min`/`max` are idempotent,
-//! so any partition of the iteration space reproduces the serial result
-//! bit for bit):
+//! can dispatch *exactly* (integer `+`/`-`/`*` wrap — wrapping addition and
+//! multiplication are associative and commutative — and `min`/`max` are
+//! idempotent, so any partition of the iteration space reproduces the
+//! serial result bit for bit):
 //!
 //! * **sum** — `acc += e`, `acc -= e`, `acc = acc + e`, `acc = e + acc`,
 //!   `acc = acc - e`;
+//! * **product** — `acc *= e`, `acc = acc * e`, `acc = e * acc`
+//!   (identity 1);
 //! * **min** — `if (e < acc) { acc = e; }` (any of the four orientations of
 //!   the comparison, strict or not);
 //! * **max** — the mirror image.
@@ -30,6 +33,9 @@ use ss_ir::slots::{ScalarSlot, SlotMap};
 pub enum ReductionOp {
     /// Sum (covers `+=` and `-=`: wrapping addition commutes either way).
     Add,
+    /// Product (`*=`; identity 1 — wrapping multiplication is associative
+    /// and commutative, so partial products merge exactly).
+    Mul,
     /// Minimum (guarded compare-and-assign).
     Min,
     /// Maximum (guarded compare-and-assign).
@@ -41,6 +47,7 @@ impl ReductionOp {
     pub fn identity(self) -> i64 {
         match self {
             ReductionOp::Add => 0,
+            ReductionOp::Mul => 1,
             ReductionOp::Min => i64::MAX,
             ReductionOp::Max => i64::MIN,
         }
@@ -50,15 +57,17 @@ impl ReductionOp {
     pub fn combine(self, a: i64, b: i64) -> i64 {
         match self {
             ReductionOp::Add => a.wrapping_add(b),
+            ReductionOp::Mul => a.wrapping_mul(b),
             ReductionOp::Min => a.min(b),
             ReductionOp::Max => a.max(b),
         }
     }
 
-    /// OpenMP-style clause symbol (`+`, `min`, `max`).
+    /// OpenMP-style clause symbol (`+`, `*`, `min`, `max`).
     pub fn symbol(self) -> &'static str {
         match self {
             ReductionOp::Add => "+",
+            ReductionOp::Mul => "*",
             ReductionOp::Min => "min",
             ReductionOp::Max => "max",
         }
@@ -256,13 +265,14 @@ fn scan(stmts: &[Stmt], acc: &str, op: &mut Option<ReductionOp>, updates: &mut u
 /// Matches one statement as a reduction update of `acc`.
 fn match_update(s: &Stmt, acc: &str) -> Option<ReductionOp> {
     match s {
-        // acc += e / acc -= e / acc = acc + e / acc = e + acc / acc = acc - e
+        // acc += e / acc -= e / acc *= e / acc = acc + e / acc = e + acc /
+        // acc = acc - e / acc = acc * e / acc = e * acc
         Stmt::Assign { target, op, value } if target.is_scalar() && target.name == acc => {
             match op {
                 AssignOp::AddAssign | AssignOp::SubAssign => {
                     (!expr_mentions(value, acc)).then_some(ReductionOp::Add)
                 }
-                AssignOp::MulAssign => None,
+                AssignOp::MulAssign => (!expr_mentions(value, acc)).then_some(ReductionOp::Mul),
                 AssignOp::Assign => {
                     let AExpr::Binary(bop, a, b) = value else {
                         return None;
@@ -274,6 +284,9 @@ fn match_update(s: &Stmt, acc: &str) -> Option<ReductionOp> {
                         BinOp::Sub if is_var(a, acc) && !expr_mentions(b, acc) => {
                             Some(ReductionOp::Add)
                         }
+                        BinOp::Mul => ((is_var(a, acc) && !expr_mentions(b, acc))
+                            || (is_var(b, acc) && !expr_mentions(a, acc)))
+                        .then_some(ReductionOp::Mul),
                         _ => None,
                     }
                 }
@@ -349,6 +362,23 @@ mod tests {
     }
 
     #[test]
+    fn product_forms_are_recognized() {
+        for src in [
+            "prod = 1; for (k = 0; k < n; k++) { prod *= a[k]; }",
+            "prod = 1; for (k = 0; k < n; k++) { prod = prod * a[k]; }",
+            "prod = 1; for (k = 0; k < n; k++) { prod = a[k] * prod; }",
+        ] {
+            let r = recognize(src, 0);
+            assert_eq!(r.len(), 1, "{src}");
+            assert_eq!(r[0].var, "prod");
+            assert_eq!(r[0].op, ReductionOp::Mul);
+        }
+        // The term must not read the accumulator.
+        assert!(recognize("for (k = 0; k < n; k++) { x = x * x; }", 0).is_empty());
+        assert!(recognize("for (k = 0; k < n; k++) { x *= x + 1; }", 0).is_empty());
+    }
+
+    #[test]
     fn min_and_max_updates_are_recognized() {
         let r = recognize(
             "for (k = 0; k < n; k++) { if (a[k] < best) { best = a[k]; } }",
@@ -382,8 +412,7 @@ mod tests {
             0
         )
         .is_empty());
-        // Multiplicative accumulation is not dispatched (kept serial).
-        assert!(recognize("for (k = 0; k < n; k++) { x *= a[k]; }", 0).is_empty());
+        assert!(recognize("for (k = 0; k < n; k++) { x *= a[k]; x += 1; }", 0).is_empty());
         // The term reads the accumulator.
         assert!(recognize("for (k = 0; k < n; k++) { x = x + x; }", 0).is_empty());
         // Plain overwrite: privatizable, not a reduction.
@@ -421,6 +450,14 @@ mod tests {
     fn identities_and_combiners() {
         assert_eq!(ReductionOp::Add.identity(), 0);
         assert_eq!(ReductionOp::Add.combine(3, -5), -2);
+        assert_eq!(ReductionOp::Mul.identity(), 1);
+        assert_eq!(ReductionOp::Mul.combine(3, -5), -15);
+        assert_eq!(
+            ReductionOp::Mul.combine(i64::MAX, 2),
+            i64::MAX.wrapping_mul(2),
+            "partial products wrap exactly like the serial accumulation"
+        );
+        assert_eq!(ReductionOp::Mul.symbol(), "*");
         assert_eq!(ReductionOp::Min.combine(ReductionOp::Min.identity(), 7), 7);
         assert_eq!(
             ReductionOp::Max.combine(ReductionOp::Max.identity(), -7),

@@ -13,10 +13,12 @@
 //! parallel engines cannot drift apart in their merge semantics).  The
 //! parallel dispatcher accepts the same verdict classes as the compiled
 //! one — independent loops, reduction loops, loops with body-local array
-//! declarations — but runs its workers on a **persistent**
-//! [`ss_runtime::ThreadTeam`]: the team is spawned at the first dispatched
-//! loop of a run and every subsequent region of that run reuses it, so
-//! adjacent parallel loops pay no spawn/join cycle.
+//! declarations — but runs its workers on a **persistent, process-wide**
+//! [`ss_runtime::ThreadTeam`] (`ss_runtime::with_shared_team`): the team
+//! is spawned at the first dispatched loop of the first run and every
+//! subsequent region — of that run or of any later run in the same
+//! process — reuses it, so repeated `sspar run` invocations in-process pay
+//! exactly one spawn per thread count, ever.
 //!
 //! Semantics mirror the tree walker operation for operation (evaluation
 //! order, wrapping arithmetic, error points, undefined-value handling), so
@@ -29,12 +31,11 @@ use super::serial::{apply_assign, apply_binop, compare};
 use super::store::elem_at;
 use super::{ExecEnvTiming, ExecError, ExecMode, ExecOptions, ExecOutcome, ExecStats};
 use crate::heap::{ArrayVal, Heap};
-use ss_ir::bytecode::{compile_bytecode, BcExpr, BcFor, BytecodeProgram, Instr, Reg};
-use ss_ir::slots::{compile_program, ArraySlot, SlotMap};
-use ss_ir::{LoopId, Program};
+use ss_ir::bytecode::{BcExpr, BcFor, BytecodeProgram, HeaderFast, Instr, Reg};
+use ss_ir::slots::{ArraySlot, SlotMap};
+use ss_ir::LoopId;
 use ss_parallelizer::{ParallelizationReport, ReductionInfo};
-use ss_runtime::{team_parallel_reduce, Schedule, ThreadTeam};
-use std::cell::OnceCell;
+use ss_runtime::{team_parallel_reduce, with_shared_team, Schedule};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -269,6 +270,25 @@ fn eval_block<A: BcArrays>(
     Ok(m.get(e.result))
 }
 
+/// A loop-header value through its O1 fast path when the optimizer derived
+/// one (plain register read, compile-time constant), else by running the
+/// block — the hot per-iteration `bound`/`step` evaluations go through
+/// here.
+#[inline]
+fn header_value<A: BcArrays>(
+    m: &mut Machine<'_>,
+    arrays: &mut A,
+    block: &BcExpr,
+    fast: HeaderFast,
+    env: &mut ExecEnvTiming<'_>,
+) -> Result<i64, ExecError> {
+    match fast {
+        HeaderFast::Const(v) => Ok(v),
+        HeaderFast::Reg(r) => Ok(m.get(r)),
+        HeaderFast::Eval => eval_block(m, arrays, block, env),
+    }
+}
+
 fn exec_code<A: BcArrays, P: BcPolicy<A>>(
     m: &mut Machine<'_>,
     arrays: &mut A,
@@ -372,6 +392,41 @@ fn exec_code<A: BcArrays, P: BcPolicy<A>>(
                         .record(*id, g.iters, t.elapsed().as_secs_f64(), ExecMode::Serial);
                 }
             }
+            Instr::LoadLoad {
+                dst,
+                outer,
+                inner,
+                idx,
+            } => {
+                // Same order and error points as the two loads it fused:
+                // the inner (index-array) read first, then the outer.
+                let i = m.get(*idx);
+                let inner_v = arrays.read(*inner, &[i])?;
+                let v = arrays.read(*outer, &[inner_v])?;
+                m.set(*dst, v);
+            }
+            Instr::CmpBranch {
+                op,
+                a,
+                b,
+                target,
+                jump_if,
+            } => {
+                if compare(*op, m.get(*a), m.get(*b)) == *jump_if {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Instr::Load2 { dst, array, i0, i1 } => {
+                let idxs = [m.get(*i0), m.get(*i1)];
+                let v = arrays.read(*array, &idxs)?;
+                m.set(*dst, v);
+            }
+            Instr::Store2 { array, i0, i1, src } => {
+                let v = m.get(*src);
+                let idxs = [m.get(*i0), m.get(*i1)];
+                arrays.write(*array, &idxs, v)?;
+            }
         }
         pc += 1;
     }
@@ -406,12 +461,12 @@ fn exec_for<A: BcArrays, P: BcPolicy<A>>(
         return Ok(());
     }
     let start = env.timing.then(Instant::now);
-    let v0 = eval_block(m, arrays, &f.init, env)?;
+    let v0 = header_value(m, arrays, &f.init, f.init_fast, env)?;
     m.set(f.var, v0);
     let mut iter: u64 = 0;
     loop {
         let v = m.get(f.var);
-        let b = eval_block(m, arrays, &f.bound, env)?;
+        let b = header_value(m, arrays, &f.bound, f.bound_fast, env)?;
         if !compare(f.cond_op, v, b) {
             break;
         }
@@ -422,7 +477,7 @@ fn exec_for<A: BcArrays, P: BcPolicy<A>>(
             });
         }
         exec_code(m, arrays, &f.body, pol, env)?;
-        let sv = eval_block(m, arrays, &f.step, env)?;
+        let sv = header_value(m, arrays, &f.step, f.step_fast, env)?;
         let cur = m.get(f.var);
         m.set(f.var, cur.wrapping_add(sv));
         iter += 1;
@@ -442,9 +497,6 @@ struct BcDispatch<'r> {
     /// Outermost dispatchable loops with their (possibly empty) reductions.
     dispatchable: &'r HashMap<LoopId, Vec<ReductionInfo>>,
     opts: &'r ExecOptions,
-    /// The run's persistent worker team, spawned at the first dispatched
-    /// loop and reused by every later one (parallel-region fusion).
-    team: &'r OnceCell<ThreadTeam>,
 }
 
 impl BcPolicy<SpineArrays<'_>> for BcDispatch<'_> {
@@ -512,79 +564,82 @@ impl BcPolicy<SpineArrays<'_>> for BcDispatch<'_> {
         let local_ref = &local;
         let snapshot_ref = &snapshot;
         let is_reduction_ref = &is_reduction;
-        let team = self.team.get_or_init(|| ThreadTeam::new(threads));
 
-        let acc = team_parallel_reduce(
-            team,
-            n,
-            schedule,
-            ChunkAcc::identity(nscalars, reductions, f.local_arrays.len()),
-            |range, mut acc| {
-                if acc.err.is_some() {
-                    return acc;
-                }
-                let mut wm = Machine {
-                    regs: snapshot_ref.clone(),
-                    defined: vec![false; nscalars],
-                    write_iter: vec![NOT_WRITTEN; nscalars],
-                    current_iter: 0,
-                    nscalars,
-                    consts,
-                };
-                debug_assert_eq!(wm.regs.len(), nregs);
-                let mut wa = WorkerArrays {
-                    slots,
-                    shared: &shared,
-                    local: local_ref,
-                    locals: vec![None; narrays],
-                    local_write_iter: vec![NOT_WRITTEN; narrays],
-                    current_iter: 0,
-                };
-                let mut scratch_stats = ExecStats::default();
-                let mut wenv = ExecEnvTiming {
-                    stats: &mut scratch_stats,
-                    timing: false,
-                    while_cap,
-                };
-                for k in range {
-                    wm.current_iter = k;
-                    wa.current_iter = k;
-                    wm.set(f.var, values[k]);
-                    if let Err(e) =
-                        exec_code(&mut wm, &mut wa, &f.body, &mut NoDispatchB, &mut wenv)
-                    {
-                        acc.err = Some(e);
-                        break;
+        // The process-wide team: spawned by the first dispatched region of
+        // the first run, reused by every region of every later run.
+        let acc = with_shared_team(threads, |team| {
+            team_parallel_reduce(
+                team,
+                n,
+                schedule,
+                ChunkAcc::identity(nscalars, reductions, f.local_arrays.len()),
+                |range, mut acc| {
+                    if acc.err.is_some() {
+                        return acc;
                     }
-                }
-                for (slot, &iter) in wm.write_iter.iter().enumerate() {
-                    if iter == NOT_WRITTEN || is_reduction_ref[slot] {
-                        continue;
-                    }
-                    match acc.scalar_writes[slot] {
-                        Some((best, _)) if best >= iter => {}
-                        _ => acc.scalar_writes[slot] = Some((iter, wm.regs[slot])),
-                    }
-                }
-                for (i, r) in reductions.iter().enumerate() {
-                    acc.partials[i] = r.op.combine(acc.partials[i], wm.regs[r.slot.index()]);
-                }
-                for (i, a) in f.local_arrays.iter().enumerate() {
-                    let iter = wa.local_write_iter[a.index()];
-                    if iter == NOT_WRITTEN {
-                        continue;
-                    }
-                    if let Some(arr) = wa.locals[a.index()].take() {
-                        match &acc.locals[i] {
-                            Some((best, _)) if *best >= iter => {}
-                            _ => acc.locals[i] = Some((iter, arr)),
+                    let mut wm = Machine {
+                        regs: snapshot_ref.clone(),
+                        defined: vec![false; nscalars],
+                        write_iter: vec![NOT_WRITTEN; nscalars],
+                        current_iter: 0,
+                        nscalars,
+                        consts,
+                    };
+                    debug_assert_eq!(wm.regs.len(), nregs);
+                    let mut wa = WorkerArrays {
+                        slots,
+                        shared: &shared,
+                        local: local_ref,
+                        locals: vec![None; narrays],
+                        local_write_iter: vec![NOT_WRITTEN; narrays],
+                        current_iter: 0,
+                    };
+                    let mut scratch_stats = ExecStats::default();
+                    let mut wenv = ExecEnvTiming {
+                        stats: &mut scratch_stats,
+                        timing: false,
+                        while_cap,
+                    };
+                    for k in range {
+                        wm.current_iter = k;
+                        wa.current_iter = k;
+                        wm.set(f.var, values[k]);
+                        if let Err(e) =
+                            exec_code(&mut wm, &mut wa, &f.body, &mut NoDispatchB, &mut wenv)
+                        {
+                            acc.err = Some(e);
+                            break;
                         }
                     }
-                }
-                acc
-            },
-            |a, b| a.combine(b, reductions),
-        );
+                    for (slot, &iter) in wm.write_iter.iter().enumerate() {
+                        if iter == NOT_WRITTEN || is_reduction_ref[slot] {
+                            continue;
+                        }
+                        match acc.scalar_writes[slot] {
+                            Some((best, _)) if best >= iter => {}
+                            _ => acc.scalar_writes[slot] = Some((iter, wm.regs[slot])),
+                        }
+                    }
+                    for (i, r) in reductions.iter().enumerate() {
+                        acc.partials[i] = r.op.combine(acc.partials[i], wm.regs[r.slot.index()]);
+                    }
+                    for (i, a) in f.local_arrays.iter().enumerate() {
+                        let iter = wa.local_write_iter[a.index()];
+                        if iter == NOT_WRITTEN {
+                            continue;
+                        }
+                        if let Some(arr) = wa.locals[a.index()].take() {
+                            match &acc.locals[i] {
+                                Some((best, _)) if *best >= iter => {}
+                                _ => acc.locals[i] = Some((iter, arr)),
+                            }
+                        }
+                    }
+                    acc
+                },
+                |a, b| a.combine(b, reductions),
+            )
+        });
 
         let ChunkAcc {
             err,
@@ -630,17 +685,16 @@ impl BcPolicy<SpineArrays<'_>> for BcDispatch<'_> {
 // Engines.
 // ---------------------------------------------------------------------------
 
-/// The serial bytecode engine.
+/// The serial bytecode engine.  `bc` comes precompiled from the pipeline
+/// ([`ss_parallelizer::Artifacts`]); this function never compiles.
 pub(crate) fn run_serial_bytecode(
-    program: &Program,
+    bc: &BytecodeProgram,
     mut heap: Heap,
     opts: &ExecOptions,
 ) -> Result<ExecOutcome, ExecError> {
-    let compiled = compile_program(program);
-    let bc = compile_bytecode(&compiled);
     let mut stats = ExecStats::default();
     let start = Instant::now();
-    let mut machine = Machine::new(&bc);
+    let mut machine = Machine::new(bc);
     machine.load_scalars(&heap, &bc.slots);
     let mut arrays = SpineArrays::from_heap(&mut heap, &bc.slots);
     {
@@ -664,15 +718,14 @@ pub(crate) fn run_serial_bytecode(
 }
 
 /// The parallel bytecode engine: same dispatch classes as the compiled
-/// engine, executed as bytecode on a persistent worker team.
+/// engine, executed as bytecode on a persistent worker team.  `bc` comes
+/// precompiled from the pipeline.
 pub(crate) fn run_parallel_bytecode(
-    program: &Program,
+    bc: &BytecodeProgram,
     report: &ParallelizationReport,
     mut heap: Heap,
     opts: &ExecOptions,
 ) -> Result<ExecOutcome, ExecError> {
-    let compiled = compile_program(program);
-    let bc = compile_bytecode(&compiled);
     let dispatchable: HashMap<LoopId, Vec<ReductionInfo>> = report
         .outermost_parallel_loops()
         .into_iter()
@@ -688,15 +741,13 @@ pub(crate) fn run_parallel_bytecode(
         .collect();
     let mut stats = ExecStats::default();
     let start = Instant::now();
-    let mut machine = Machine::new(&bc);
+    let mut machine = Machine::new(bc);
     machine.load_scalars(&heap, &bc.slots);
     let mut arrays = SpineArrays::from_heap(&mut heap, &bc.slots);
-    let team: OnceCell<ThreadTeam> = OnceCell::new();
     {
         let mut policy = BcDispatch {
             dispatchable: &dispatchable,
             opts,
-            team: &team,
         };
         let mut env = ExecEnvTiming {
             stats: &mut stats,

@@ -30,9 +30,8 @@ use super::{ExecEnvTiming, ExecError, ExecMode, ExecOptions, ExecOutcome, ExecSt
 use crate::heap::{row_major_flat, ArrayVal, Heap};
 use ss_ir::ast::{AssignOp, BinOp, LoopId, UnOp};
 use ss_ir::slots::{
-    compile_program, ArraySlot, CExpr, CompiledBody, CompiledFor, Op, ScalarSlot, SlotMap,
+    ArraySlot, CExpr, CompiledBody, CompiledFor, CompiledProgram, Op, ScalarSlot, SlotMap,
 };
-use ss_ir::Program;
 use ss_parallelizer::{ParallelizationReport, ReductionInfo};
 use ss_runtime::{parallel_reduce, Schedule};
 use std::collections::HashMap;
@@ -723,13 +722,13 @@ impl CompiledPolicy<Frame<'_>> for CompiledDispatch<'_> {
 // Engines.
 // ---------------------------------------------------------------------------
 
-/// The compiled serial engine.
+/// The compiled serial engine.  `compiled` comes precompiled from the
+/// pipeline ([`ss_parallelizer::Artifacts`]); this function never compiles.
 pub(crate) fn run_serial_compiled(
-    program: &Program,
+    compiled: &CompiledProgram,
     mut heap: Heap,
     opts: &ExecOptions,
 ) -> Result<ExecOutcome, ExecError> {
-    let compiled = compile_program(program);
     let mut stats = ExecStats::default();
     let start = Instant::now();
     let mut frame = Frame::from_heap(&mut heap, &compiled.slots);
@@ -749,14 +748,13 @@ pub(crate) fn run_serial_compiled(
 /// The compiled parallel engine: dispatches every outermost parallelizable
 /// loop of `report` — independent loops, reduction loops (with combiner
 /// merge) and loops with body-local array declarations (with per-worker
-/// private storage).
+/// private storage).  `compiled` comes precompiled from the pipeline.
 pub(crate) fn run_parallel_compiled(
-    program: &Program,
+    compiled: &CompiledProgram,
     report: &ParallelizationReport,
     mut heap: Heap,
     opts: &ExecOptions,
 ) -> Result<ExecOutcome, ExecError> {
-    let compiled = compile_program(program);
     let dispatchable: HashMap<LoopId, Vec<ReductionInfo>> = report
         .outermost_parallel_loops()
         .into_iter()

@@ -37,8 +37,9 @@ pub mod store;
 
 use crate::heap::Heap;
 use ss_ir::ast::LoopId;
+use ss_ir::opt::OptLevel;
 use ss_ir::Program;
-use ss_parallelizer::ParallelizationReport;
+use ss_parallelizer::{Artifacts, ParallelizationReport};
 use std::collections::BTreeMap;
 
 /// A runtime failure of the interpreted program.
@@ -289,6 +290,11 @@ pub struct ExecOptions {
     pub schedule: ScheduleChoice,
     /// Compiled or tree-walking execution (see [`EngineChoice`]).
     pub engine: EngineChoice,
+    /// Which bytecode stream the bytecode engine executes: the base
+    /// compiler's (`O0`) or the optimized one (`O1`, the default).  Both
+    /// are produced by the one pipeline invocation and are bit-identical
+    /// in observable behavior — `validate` asserts it.
+    pub opt_level: OptLevel,
     /// Run the runtime-inspector baseline on loops the compile-time analysis
     /// left serial, recording whether an inspector/executor scheme would
     /// have parallelized them (see [`LoopStats::inspector_conflict_free`]).
@@ -308,10 +314,52 @@ impl Default for ExecOptions {
             threads: ss_runtime::hardware_threads(),
             schedule: ScheduleChoice::Auto,
             engine: EngineChoice::Bytecode,
+            opt_level: OptLevel::O1,
             baseline_inspector: false,
             min_parallel_trip: 2,
             while_cap: 100_000_000,
         }
+    }
+}
+
+/// Executes a program off precompiled pipeline [`Artifacts`], serially.
+/// This is the canonical entry point: the pipeline compiled exactly once
+/// and every engine — the tree walker included — reads the same store.
+/// `opts.engine` selects the strategy; for the bytecode engine
+/// `opts.opt_level` selects the O0 or O1 stream.
+pub fn run_serial_artifacts(
+    artifacts: &Artifacts,
+    heap: Heap,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    match opts.engine {
+        EngineChoice::Bytecode => {
+            bytecode::run_serial_bytecode(artifacts.bytecode_at(opts.opt_level), heap, opts)
+        }
+        EngineChoice::Compiled => compiled::run_serial_compiled(&artifacts.compiled, heap, opts),
+        EngineChoice::Ast => serial::run_serial_ast(&artifacts.program, heap, opts),
+    }
+}
+
+/// Executes a program off precompiled pipeline [`Artifacts`] with the
+/// parallel engine; the dispatch schedule comes from the artifacts' own
+/// analysis report.  See [`run_parallel`] for the engine semantics.
+pub fn run_parallel_artifacts(
+    artifacts: &Artifacts,
+    heap: Heap,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    if opts.baseline_inspector || opts.engine == EngineChoice::Ast {
+        dispatch::run_parallel_ast(&artifacts.program, &artifacts.report, heap, opts)
+    } else if opts.engine == EngineChoice::Compiled {
+        compiled::run_parallel_compiled(&artifacts.compiled, &artifacts.report, heap, opts)
+    } else {
+        bytecode::run_parallel_bytecode(
+            artifacts.bytecode_at(opts.opt_level),
+            &artifacts.report,
+            heap,
+            opts,
+        )
     }
 }
 
@@ -324,14 +372,32 @@ pub fn run_serial(program: &Program, heap: Heap) -> Result<ExecOutcome, ExecErro
 
 /// [`run_serial`] with explicit options (`engine` selects the strategy,
 /// `while_cap` bounds loops).
+///
+/// Convenience wrapper over [`run_serial_artifacts`] for one-shot runs: it
+/// compiles what the selected engine needs at the call site.  Anything
+/// running more than one engine (or more than once) should build
+/// [`Artifacts`] and use the artifacts entry points instead, which compile
+/// exactly once for the whole run.
 pub fn run_serial_with(
     program: &Program,
     heap: Heap,
     opts: &ExecOptions,
 ) -> Result<ExecOutcome, ExecError> {
     match opts.engine {
-        EngineChoice::Bytecode => bytecode::run_serial_bytecode(program, heap, opts),
-        EngineChoice::Compiled => compiled::run_serial_compiled(program, heap, opts),
+        EngineChoice::Bytecode => {
+            let compiled = ss_ir::slots::compile_program(program);
+            let bc = ss_ir::bytecode::compile_bytecode(&compiled);
+            // O0 executes the base stream as compiled; only O1 rewrites.
+            let bc = match opts.opt_level {
+                OptLevel::O0 => bc,
+                OptLevel::O1 => ss_ir::opt::optimize(&bc, OptLevel::O1),
+            };
+            bytecode::run_serial_bytecode(&bc, heap, opts)
+        }
+        EngineChoice::Compiled => {
+            let compiled = ss_ir::slots::compile_program(program);
+            compiled::run_serial_compiled(&compiled, heap, opts)
+        }
         EngineChoice::Ast => serial::run_serial_ast(program, heap, opts),
     }
 }
@@ -344,9 +410,12 @@ pub fn run_serial_with(
 /// dispatch reduction loops (per-thread partial accumulators merged by the
 /// recognized combiner) and loops whose bodies declare arrays
 /// (per-iteration private storage); the bytecode engine runs its workers
-/// on a persistent thread team reused across adjacent parallel regions.
-/// The AST engine (`engine: Ast`, or any run with `baseline_inspector`
-/// set) leaves both classes serial.
+/// on a persistent, process-wide thread team reused across parallel
+/// regions — and across whole runs.  The AST engine (`engine: Ast`, or any
+/// run with `baseline_inspector` set) leaves both classes serial.
+///
+/// Like [`run_serial_with`], this compiles at the call site; prefer
+/// [`run_parallel_artifacts`] wherever a pipeline invocation is available.
 pub fn run_parallel(
     program: &Program,
     report: &ParallelizationReport,
@@ -356,9 +425,16 @@ pub fn run_parallel(
     if opts.baseline_inspector || opts.engine == EngineChoice::Ast {
         dispatch::run_parallel_ast(program, report, heap, opts)
     } else if opts.engine == EngineChoice::Compiled {
-        compiled::run_parallel_compiled(program, report, heap, opts)
+        let compiled = ss_ir::slots::compile_program(program);
+        compiled::run_parallel_compiled(&compiled, report, heap, opts)
     } else {
-        bytecode::run_parallel_bytecode(program, report, heap, opts)
+        let compiled = ss_ir::slots::compile_program(program);
+        let bc = ss_ir::bytecode::compile_bytecode(&compiled);
+        let bc = match opts.opt_level {
+            OptLevel::O0 => bc,
+            OptLevel::O1 => ss_ir::opt::optimize(&bc, OptLevel::O1),
+        };
+        bytecode::run_parallel_bytecode(&bc, report, heap, opts)
     }
 }
 

@@ -59,9 +59,11 @@ pub mod inputs;
 pub mod validate;
 
 pub use engine::{
-    run_parallel, run_serial, run_serial_with, EngineChoice, ExecError, ExecMode, ExecOptions,
-    ExecOutcome, ExecStats, LoopStats, ScheduleChoice,
+    run_parallel, run_parallel_artifacts, run_serial, run_serial_artifacts, run_serial_with,
+    EngineChoice, ExecError, ExecMode, ExecOptions, ExecOutcome, ExecStats, LoopStats,
+    ScheduleChoice,
 };
 pub use heap::{ArrayVal, Heap};
 pub use inputs::{input_value, synthesize_inputs, InputSpec};
+pub use ss_ir::opt::OptLevel;
 pub use validate::{validate, validate_source, ValidationError, ValidationOutcome};

@@ -1,22 +1,28 @@
-//! The differential-validation harness: every compile-time verdict — and
-//! both compilation passes — becomes a tested claim.
+//! The differential-validation harness: every compile-time verdict — every
+//! compilation pass, the optimizer included — becomes a tested claim.
 //!
-//! For a given program the harness (1) runs the compile-time analysis,
-//! (2) synthesizes inputs, (3) executes the program four ways — with the
-//! tree-walking serial reference engine, with the compiled serial engine,
-//! with the bytecode serial engine, and with the parallel engine (the
-//! requested one) — and (4) asserts all final heaps are bit-identical
-//! (ast ≡ compiled ≡ bytecode ≡ parallel).  A serial-vs-parallel mismatch
-//! means the analysis proved a loop parallel whose parallel execution
-//! changed observable state — exactly the soundness bug class the paper's
-//! approach must exclude; an ast-vs-compiled or ast-vs-bytecode mismatch
-//! means a compilation pass changed program semantics.
+//! For a given program the harness (1) runs the staged pipeline **once**
+//! ([`ss_parallelizer::Artifacts`]: analyze → slots → bytecode → opt),
+//! (2) synthesizes inputs, (3) executes the program five ways off those
+//! same artifacts — tree-walking serial reference, compiled serial,
+//! bytecode serial at `O0`, bytecode serial at `O1`, and the parallel
+//! engine (the requested one) — and (4) asserts all final heaps are
+//! bit-identical (ast ≡ compiled ≡ bytecode-O0 ≡ bytecode-O1 ≡ parallel).
+//! A serial-vs-parallel mismatch means the analysis proved a loop parallel
+//! whose parallel execution changed observable state — exactly the
+//! soundness bug class the paper's approach must exclude; an
+//! ast-vs-compiled or ast-vs-bytecode mismatch means a compilation pass
+//! changed program semantics; an O0-vs-O1 mismatch means the optimizer
+//! did.
 
-use crate::engine::{run_parallel, run_serial_with, EngineChoice, ExecOptions, ExecStats};
+use crate::engine::{
+    run_parallel_artifacts, run_serial_artifacts, EngineChoice, ExecOptions, ExecStats,
+};
 use crate::heap::Heap;
 use crate::inputs::{synthesize_inputs, InputSpec};
-use ss_ir::{parse_program, IrError, LoopId, Program};
-use ss_parallelizer::{parallelize, ParallelizationReport};
+use ss_ir::opt::OptLevel;
+use ss_ir::{IrError, LoopId};
+use ss_parallelizer::Artifacts;
 
 /// Everything that can go wrong running the harness.
 #[derive(Debug)]
@@ -81,13 +87,14 @@ impl ValidationOutcome {
     }
 }
 
-/// Runs the differential harness on an already-analyzed program against an
-/// explicit initial heap: the serial tree-walking reference, the serial
-/// compiled engine, the serial bytecode engine and the parallel engine
-/// (with the requested strategy), all final heaps compared bit for bit.
+/// Runs the differential harness on one pipeline invocation's
+/// [`Artifacts`] against an explicit initial heap: the serial tree-walking
+/// reference, the serial compiled engine, the serial bytecode engine at
+/// **both** opt levels, and the parallel engine (with the requested
+/// strategy), all final heaps compared bit for bit.  No engine compiles
+/// anything — every execution reads the same artifacts.
 pub fn validate(
-    program: &Program,
-    report: &ParallelizationReport,
+    artifacts: &Artifacts,
     initial: &Heap,
     opts: &ExecOptions,
 ) -> Result<ValidationOutcome, crate::ExecError> {
@@ -95,34 +102,50 @@ pub fn validate(
         engine: EngineChoice::Ast,
         ..opts.clone()
     };
-    let reference = run_serial_with(program, initial.clone(), &ast_opts)?;
+    let reference = run_serial_artifacts(artifacts, initial.clone(), &ast_opts)?;
     let mut mismatches = Vec::new();
-    // Every non-reference serial engine runs and is diffed; the requested
-    // engine's stats are the ones reported.
+    // Every non-reference serial engine (and both bytecode streams) runs
+    // and is diffed; the requested engine's stats are the ones reported.
     let mut serial = None;
-    for (engine, label) in [
-        (EngineChoice::Compiled, "serial-ast vs serial-compiled"),
-        (EngineChoice::Bytecode, "serial-ast vs serial-bytecode"),
+    for (engine, opt_level, label) in [
+        (
+            EngineChoice::Compiled,
+            opts.opt_level,
+            "serial-ast vs serial-compiled",
+        ),
+        (
+            EngineChoice::Bytecode,
+            OptLevel::O0,
+            "serial-ast vs serial-bytecode-O0",
+        ),
+        (
+            EngineChoice::Bytecode,
+            OptLevel::O1,
+            "serial-ast vs serial-bytecode-O1",
+        ),
     ] {
         let engine_opts = ExecOptions {
             engine,
+            opt_level,
             ..opts.clone()
         };
-        let out = run_serial_with(program, initial.clone(), &engine_opts)?;
+        let out = run_serial_artifacts(artifacts, initial.clone(), &engine_opts)?;
         for m in reference.heap.diff(&out.heap) {
             mismatches.push(format!("{label}: {m}"));
         }
-        if engine == opts.engine {
+        if engine == opts.engine
+            && (engine != EngineChoice::Bytecode || opt_level == opts.opt_level)
+        {
             serial = Some(out);
         }
     }
-    let parallel = run_parallel(program, report, initial.clone(), opts)?;
+    let parallel = run_parallel_artifacts(artifacts, initial.clone(), opts)?;
     for m in reference.heap.diff(&parallel.heap) {
         mismatches.push(format!("serial vs parallel: {m}"));
     }
     Ok(ValidationOutcome {
-        program: program.name.clone(),
-        proven_parallel: report.outermost_parallel_loops(),
+        program: artifacts.program.name.clone(),
+        proven_parallel: artifacts.report.outermost_parallel_loops(),
         dispatched: parallel.stats.parallel_loops(),
         heaps_match: mismatches.is_empty(),
         mismatches,
@@ -134,18 +157,18 @@ pub fn validate(
     })
 }
 
-/// Parses, analyzes, synthesizes inputs and validates a mini-C source — the
-/// full analyze → prove → compile → execute → validate loop in one call.
+/// Parses, compiles the full pipeline, synthesizes inputs and validates a
+/// mini-C source — the analyze → prove → compile → execute → validate loop
+/// in one call (one pipeline invocation feeding every engine).
 pub fn validate_source(
     name: &str,
     source: &str,
     spec: &InputSpec,
     opts: &ExecOptions,
 ) -> Result<ValidationOutcome, ValidationError> {
-    let program = parse_program(name, source)?;
-    let report = parallelize(&program);
-    let initial = synthesize_inputs(&program, spec)?;
-    Ok(validate(&program, &report, &initial, opts)?)
+    let artifacts = Artifacts::compile_source(name, source)?;
+    let initial = synthesize_inputs(&artifacts.program, spec)?;
+    Ok(validate(&artifacts, &initial, opts)?)
 }
 
 #[cfg(test)]

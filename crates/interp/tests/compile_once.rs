@@ -1,14 +1,21 @@
 //! Compile-once and spawn-once guarantees, asserted through the
-//! process-wide counters.
+//! process-wide counters — now *pipeline invariants*: one
+//! [`Artifacts`](ss_parallelizer::Artifacts) invocation compiles each pass
+//! exactly once, every engine consumes the same artifacts without
+//! recompiling, and one process-wide thread team serves all parallel
+//! regions of all runs.
 //!
-//! These assertions diff global counters around a single run, so they live
-//! in their own test binary and serialize on a shared lock — inside the
+//! These assertions diff global counters around runs, so they live in
+//! their own test binary and serialize on a shared lock — inside the
 //! unit-test binary any concurrently running engine test would perturb the
 //! counts.
 
-use ss_interp::{run_parallel, run_serial, EngineChoice, ExecOptions, Heap};
+use ss_interp::{
+    run_parallel, run_parallel_artifacts, run_serial, run_serial_artifacts, EngineChoice,
+    ExecOptions, Heap, OptLevel,
+};
 use ss_ir::parse_program;
-use ss_parallelizer::parallelize;
+use ss_parallelizer::{parallelize, Artifacts};
 use std::sync::Mutex;
 
 static COUNTER_LOCK: Mutex<()> = Mutex::new(());
@@ -42,7 +49,7 @@ fn compiled_engine_compiles_once_per_run_not_per_iteration() {
     // each; the whole run must compile the program exactly once — the slot
     // table is resolved up front and reused, never recomputed per loop
     // entry or per iteration.
-    let _guard = COUNTER_LOCK.lock().unwrap();
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let p = parse_program("reuse", SRC).unwrap();
     let report = parallelize(&p);
     assert!(!report.outermost_parallel_loops().is_empty());
@@ -60,11 +67,12 @@ fn compiled_engine_compiles_once_per_run_not_per_iteration() {
 }
 
 #[test]
-fn bytecode_engine_compiles_once_and_spawns_one_team_per_run() {
+fn bytecode_engine_compiles_once_and_runs_on_the_shared_team() {
     // 30 adjacent dispatched regions: one slot compilation, one bytecode
-    // compilation, and exactly `threads` spawned workers for the whole run
-    // (the persistent team is reused region to region).
-    let _guard = COUNTER_LOCK.lock().unwrap();
+    // compilation, and at most one team's worth of spawned workers — zero
+    // if an earlier test in this process already registered a team of this
+    // size (the team is process-wide, not per-run).
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let p = parse_program("reuse", SRC).unwrap();
     let report = parallelize(&p);
     assert!(!report.outermost_parallel_loops().is_empty());
@@ -85,10 +93,11 @@ fn bytecode_engine_compiles_once_and_spawns_one_team_per_run() {
         bc_before + 1,
         "one bytecode compilation per run"
     );
-    assert_eq!(
-        ss_runtime::team_threads_spawned(),
-        spawned_before + threads as u64,
-        "30 adjacent parallel regions must reuse one persistent team"
+    let spawned = ss_runtime::team_threads_spawned() - spawned_before;
+    assert!(
+        spawned <= threads as u64,
+        "30 adjacent parallel regions must reuse one persistent team \
+         (spawned {spawned} workers)"
     );
     let id = ss_ir::LoopId(1);
     assert_eq!(par.stats.loops[&id].invocations, 30);
@@ -96,8 +105,32 @@ fn bytecode_engine_compiles_once_and_spawns_one_team_per_run() {
 }
 
 #[test]
+fn one_team_serves_repeated_runs_in_process() {
+    // The ROADMAP item this pins: repeated `sspar run`-style invocations in
+    // one process share the CLI/pipeline-level team.  Whatever the first
+    // run had to spawn, the runs after it spawn *nothing*.
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let p = parse_program("reuse", SRC).unwrap();
+    let report = parallelize(&p);
+    let threads = 3;
+    let o = opts(threads, EngineChoice::Bytecode);
+    let first = run_parallel(&p, &report, heap(5), &o).unwrap();
+    assert!(!first.stats.parallel_loops().is_empty());
+    let spawned_after_first = ss_runtime::team_threads_spawned();
+    for _ in 0..5 {
+        let again = run_parallel(&p, &report, heap(5), &o).unwrap();
+        assert_eq!(again.heap, first.heap);
+    }
+    assert_eq!(
+        ss_runtime::team_threads_spawned(),
+        spawned_after_first,
+        "runs after the first must not spawn a single worker"
+    );
+}
+
+#[test]
 fn serial_bytecode_runs_compile_both_passes_exactly_once() {
-    let _guard = COUNTER_LOCK.lock().unwrap();
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let p = parse_program("serial", "for (i = 0; i < n; i++) { out[i] = i * 2; }").unwrap();
     let slots_before = ss_ir::slots::compilation_count();
     let bc_before = ss_ir::bytecode::bytecode_compilation_count();
@@ -107,4 +140,61 @@ fn serial_bytecode_runs_compile_both_passes_exactly_once() {
     let _ = run_serial(&p, heap).unwrap();
     assert_eq!(ss_ir::slots::compilation_count(), slots_before + 1);
     assert_eq!(ss_ir::bytecode::bytecode_compilation_count(), bc_before + 1);
+}
+
+#[test]
+fn one_pipeline_invocation_feeds_every_engine_without_recompiling() {
+    // The tentpole invariant: Artifacts::compile is the only compile of the
+    // run.  Afterwards the AST, compiled and bytecode engines (serial and
+    // parallel, both opt levels) all execute with the counters frozen.
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let p = parse_program("pipeline", SRC).unwrap();
+    let reference = run_serial(&p, heap(6)).unwrap();
+    let slots_before = ss_ir::slots::compilation_count();
+    let bc_before = ss_ir::bytecode::bytecode_compilation_count();
+    let artifacts = Artifacts::compile(&p);
+    assert_eq!(
+        ss_ir::slots::compilation_count(),
+        slots_before + 1,
+        "the pipeline runs the slot pass exactly once"
+    );
+    assert_eq!(
+        ss_ir::bytecode::bytecode_compilation_count(),
+        bc_before + 1,
+        "the pipeline runs the bytecode pass exactly once (the optimizer \
+         rewrites, it does not recompile)"
+    );
+
+    let mut outs = Vec::new();
+    for engine in [
+        EngineChoice::Ast,
+        EngineChoice::Compiled,
+        EngineChoice::Bytecode,
+    ] {
+        for opt_level in [OptLevel::O0, OptLevel::O1] {
+            let o = ExecOptions {
+                opt_level,
+                ..opts(1, engine)
+            };
+            outs.push(run_serial_artifacts(&artifacts, heap(6), &o).unwrap());
+            let par = ExecOptions {
+                opt_level,
+                ..opts(4, engine)
+            };
+            outs.push(run_parallel_artifacts(&artifacts, heap(6), &par).unwrap());
+        }
+    }
+    for out in &outs {
+        assert_eq!(out.heap, reference.heap);
+    }
+    assert_eq!(
+        ss_ir::slots::compilation_count(),
+        slots_before + 1,
+        "engines consuming artifacts must not recompile the slot pass"
+    );
+    assert_eq!(
+        ss_ir::bytecode::bytecode_compilation_count(),
+        bc_before + 1,
+        "engines consuming artifacts must not recompile the bytecode pass"
+    );
 }

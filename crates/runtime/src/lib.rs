@@ -16,6 +16,7 @@ pub use pool::{
 };
 pub use sparse::CsrMatrix;
 pub use team::{
-    team_parallel_for_schedule, team_parallel_reduce, team_threads_spawned, ThreadTeam,
+    team_parallel_for_schedule, team_parallel_reduce, team_threads_spawned, with_shared_team,
+    ThreadTeam,
 };
 pub use timer::{time_it, Timer};

@@ -20,10 +20,11 @@
 //! respawning.
 
 use crate::pool::{chunk_ranges, Schedule};
+use std::collections::HashMap;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 static TEAM_THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
@@ -181,6 +182,37 @@ fn worker_loop(shared: &TeamShared, index: usize) {
             shared.done.notify_one();
         }
     }
+}
+
+/// The process-wide team registry behind [`with_shared_team`], one
+/// persistent team per requested size.
+static SHARED_TEAMS: OnceLock<Mutex<HashMap<usize, Arc<Mutex<ThreadTeam>>>>> = OnceLock::new();
+
+/// Runs `f` against a **process-wide** persistent team of `size` workers.
+///
+/// The first caller for a given size spawns the team; every later caller —
+/// including later *runs* in the same process, e.g. repeated `sspar run`
+/// invocations through the library — reuses it, so no parallel region
+/// after the first pays a spawn/join cycle ([`team_threads_spawned`] stays
+/// flat).  Teams park between regions and live for the process lifetime.
+///
+/// Each team is guarded by its own mutex for the duration of `f`
+/// (a [`ThreadTeam`] runs one region at a time): concurrent callers
+/// wanting the same size serialize on that team, while callers of
+/// different sizes proceed in parallel.  A panic inside `f` (e.g. a
+/// propagated worker panic) poisons neither invariant: the team survives
+/// panicked regions by construction, so the lock is simply recovered.
+pub fn with_shared_team<R>(size: usize, f: impl FnOnce(&ThreadTeam) -> R) -> R {
+    let registry = SHARED_TEAMS.get_or_init(|| Mutex::new(HashMap::new()));
+    let team = {
+        let mut map = registry.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(size.max(1))
+                .or_insert_with(|| Arc::new(Mutex::new(ThreadTeam::new(size)))),
+        )
+    };
+    let guard = team.lock().unwrap_or_else(|e| e.into_inner());
+    f(&guard)
 }
 
 /// [`crate::pool::parallel_for_schedule`] on a persistent team: runs
@@ -399,6 +431,49 @@ mod tests {
                 assert_eq!(got, expected, "threads={threads} {schedule:?}");
             }
         }
+    }
+
+    #[test]
+    fn shared_teams_are_reused_across_calls_and_survive_panics() {
+        // Use an unusual size so no other test in this binary registers it.
+        let size = 5;
+        let before = team_threads_spawned();
+        let first = with_shared_team(size, |t| {
+            assert_eq!(t.size(), size);
+            team_threads_spawned()
+        });
+        assert_eq!(first, before + size as u64, "first caller spawns the team");
+        for _ in 0..10 {
+            let sum = with_shared_team(size, |t| {
+                team_parallel_reduce(
+                    t,
+                    1000,
+                    Schedule::Static,
+                    0i64,
+                    |r, acc| r.fold(acc, |a, i| a + i as i64),
+                    |a, b| a + b,
+                )
+            });
+            assert_eq!(sum, (0..1000i64).sum::<i64>());
+        }
+        assert_eq!(
+            team_threads_spawned(),
+            first,
+            "every later caller reuses the registered team"
+        );
+        // A panicked region must not wedge the registry or the team.
+        let r = std::panic::catch_unwind(|| {
+            with_shared_team(size, |t| t.run(&|_| panic!("boom")));
+        });
+        assert!(r.is_err());
+        let hits = AtomicU32::new(0);
+        with_shared_team(size, |t| {
+            t.run(&|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), size as u32);
+        assert_eq!(team_threads_spawned(), first);
     }
 
     #[test]

@@ -182,6 +182,60 @@ pub enum Instr {
         /// Loop id.
         id: LoopId,
     },
+    /// `dst = outer[inner[idx]]` — the fused subscripted-subscript load.
+    /// Emitted only by the [`crate::opt`] O1 pass (never by the base
+    /// compiler); evaluation order and error points match the two loads it
+    /// replaces: the inner read first, then the outer.
+    LoadLoad {
+        /// Destination register.
+        dst: Reg,
+        /// The outer array (`a` in `a[b[i]]`).
+        outer: ArraySlot,
+        /// The inner (index) array (`b` in `a[b[i]]`).
+        inner: ArraySlot,
+        /// Subscript register of the inner load.
+        idx: Reg,
+    },
+    /// Fused compare-and-branch (O1): jump to `target` when
+    /// `(a op b) == jump_if`.  `op` is always a relational operator, so the
+    /// fused form cannot fail where the `Bin` + `Jz`/`Jnz` pair could not.
+    CmpBranch {
+        /// Relational operator (`<`, `<=`, `>`, `>=`, `==`, `!=`).
+        op: BinOp,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand register.
+        b: Reg,
+        /// Absolute instruction index.
+        target: u32,
+        /// Jump when the comparison is true (`Jnz` shape) or false (`Jz`).
+        jump_if: bool,
+    },
+    /// `dst = array[r(i0), r(i1)]` — rank-2 load whose subscripts come from
+    /// two *arbitrary* registers (O1: elides the consecutive-register
+    /// subscript copies the base compiler emits).
+    Load2 {
+        /// Destination register.
+        dst: Reg,
+        /// The array.
+        array: ArraySlot,
+        /// First subscript register.
+        i0: Reg,
+        /// Second subscript register.
+        i1: Reg,
+    },
+    /// `array[r(i0), r(i1)] = src` — the rank-2 store counterpart of
+    /// [`Instr::Load2`].
+    Store2 {
+        /// The array.
+        array: ArraySlot,
+        /// First subscript register.
+        i0: Reg,
+        /// Second subscript register.
+        i1: Reg,
+        /// Value register.
+        src: Reg,
+    },
 }
 
 /// A flat expression block: executing `code` leaves the value in `result`.
@@ -191,6 +245,23 @@ pub struct BcExpr {
     pub code: Vec<Instr>,
     /// Register holding the value afterwards.
     pub result: Reg,
+}
+
+/// How an executor may obtain a loop-header value (`init`/`bound`/`step`)
+/// without running its expression block.  The base compiler always emits
+/// [`HeaderFast::Eval`]; the O1 optimizer upgrades blocks it can prove
+/// trivial — an empty block whose result is a plain register read, or a
+/// single constant load.  Both shapes are side-effect- and error-free, so
+/// skipping the block execution is unobservable; the block's code is kept
+/// alongside, and executing it instead is always still correct.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HeaderFast {
+    /// Execute the expression block every time (the O0 behavior).
+    Eval,
+    /// The block is empty: the value is a read of this register.
+    Reg(Reg),
+    /// The block is one constant load: the value is this constant.
+    Const(i64),
 }
 
 /// A compiled counted loop: flat header expressions, flat body, and the
@@ -209,6 +280,12 @@ pub struct BcFor {
     pub bound: BcExpr,
     /// Step block.
     pub step: BcExpr,
+    /// Fast path for the init value (O1-derived; `Eval` in O0 streams).
+    pub init_fast: HeaderFast,
+    /// Fast path for the per-iteration bound (O1-derived).
+    pub bound_fast: HeaderFast,
+    /// Fast path for the per-iteration step (O1-derived).
+    pub step_fast: HeaderFast,
     /// Loop body.
     pub body: Vec<Instr>,
     /// Arrays declared (transitively) inside the body — dispatched workers
@@ -457,6 +534,9 @@ fn compile_for(f: &CompiledFor, cx: &mut Cx) -> BcFor {
         cond_op: f.cond_op,
         bound,
         step,
+        init_fast: HeaderFast::Eval,
+        bound_fast: HeaderFast::Eval,
+        step_fast: HeaderFast::Eval,
         body,
         local_arrays: f.local_arrays.clone(),
         locals_dominated: f.locals_dominated,
@@ -635,6 +715,14 @@ impl BytecodeProgram {
         }
     }
 
+    fn fast_note(&self, fast: HeaderFast) -> String {
+        match fast {
+            HeaderFast::Eval => String::new(),
+            HeaderFast::Reg(r) => format!(" [fast: {}]", self.reg_name(r)),
+            HeaderFast::Const(v) => format!(" [fast: const {v}]"),
+        }
+    }
+
     fn regs_run(&self, first: Reg, rank: u8) -> String {
         (0..rank)
             .map(|k| self.reg_name(Reg(first.0 + k as u32)))
@@ -674,18 +762,21 @@ fn disasm_block(code: &[Instr], p: &BytecodeProgram, depth: usize, out: &mut Str
                     },
                 ));
                 out.push_str(&format!(
-                    "{pad}      .init -> {}\n",
-                    p.reg_name(f.init.result)
+                    "{pad}      .init -> {}{}\n",
+                    p.reg_name(f.init.result),
+                    p.fast_note(f.init_fast)
                 ));
                 disasm_block(&f.init.code, p, depth + 2, out);
                 out.push_str(&format!(
-                    "{pad}      .bound -> {}\n",
-                    p.reg_name(f.bound.result)
+                    "{pad}      .bound -> {}{}\n",
+                    p.reg_name(f.bound.result),
+                    p.fast_note(f.bound_fast)
                 ));
                 disasm_block(&f.bound.code, p, depth + 2, out);
                 out.push_str(&format!(
-                    "{pad}      .step -> {}\n",
-                    p.reg_name(f.step.result)
+                    "{pad}      .step -> {}{}\n",
+                    p.reg_name(f.step.result),
+                    p.fast_note(f.step_fast)
                 ));
                 disasm_block(&f.step.code, p, depth + 2, out);
                 out.push_str(&format!("{pad}      .body\n"));
@@ -784,6 +875,46 @@ fn disasm_instr(i: &Instr, p: &BytecodeProgram) -> String {
         Instr::WhileEnter { id } => format!("w.enter  L{}", id.0),
         Instr::WhileIter { id } => format!("w.iter   L{}", id.0),
         Instr::WhileExit { id } => format!("w.exit   L{}", id.0),
+        Instr::LoadLoad {
+            dst,
+            outer,
+            inner,
+            idx,
+        } => format!(
+            "ldld     {} <- {}[{}[{}]]",
+            p.reg_name(*dst),
+            p.slots.array_name(*outer),
+            p.slots.array_name(*inner),
+            p.reg_name(*idx)
+        ),
+        Instr::CmpBranch {
+            op,
+            a,
+            b,
+            target,
+            jump_if,
+        } => format!(
+            "cmpbr    {} {} {} -> {:04} (on {})",
+            p.reg_name(*a),
+            op_symbol(*op),
+            p.reg_name(*b),
+            target,
+            if *jump_if { "true" } else { "false" }
+        ),
+        Instr::Load2 { dst, array, i0, i1 } => format!(
+            "load2    {} <- {}[{}, {}]",
+            p.reg_name(*dst),
+            p.slots.array_name(*array),
+            p.reg_name(*i0),
+            p.reg_name(*i1)
+        ),
+        Instr::Store2 { array, i0, i1, src } => format!(
+            "store2   {}[{}, {}] <- {}",
+            p.slots.array_name(*array),
+            p.reg_name(*i0),
+            p.reg_name(*i1),
+            p.reg_name(*src)
+        ),
         Instr::For(_) => unreachable!("structured loops are rendered by the block printer"),
     }
 }

@@ -16,7 +16,11 @@
 //!   sequences (what the `ss-interp` compiled engines execute);
 //! * [`bytecode`] — a second lowering from slot-resolved ops to a flat
 //!   register-machine instruction stream (what the `ss-interp` bytecode
-//!   engines, the default, execute).
+//!   engines, the default, execute);
+//! * [`opt`] — the optimizing bytecode pass behind `--opt-level`: constant
+//!   folding, superinstruction fusion (fused subscripted-subscript loads,
+//!   compare-and-branch, copy-free rank-2 accesses) and dead-store
+//!   elimination, all semantics-preserving (O0 ≡ O1 bit-identical heaps).
 //!
 //! ```
 //! use ss_ir::parser::parse_program;
@@ -40,6 +44,7 @@ pub mod convert;
 pub mod errors;
 pub mod lexer;
 pub mod loops;
+pub mod opt;
 pub mod parser;
 pub mod printer;
 pub mod slots;
@@ -48,9 +53,10 @@ pub mod visit;
 
 pub use ast::{AExpr, AssignOp, BinOp, LValue, LoopId, Program, Stmt, UnOp};
 pub use builder::ProgramBuilder;
-pub use bytecode::{compile_bytecode, BcExpr, BcFor, BytecodeProgram, Instr, Reg};
+pub use bytecode::{compile_bytecode, BcExpr, BcFor, BytecodeProgram, HeaderFast, Instr, Reg};
 pub use errors::{IrError, Result};
 pub use loops::{LoopInfo, LoopTree};
+pub use opt::{optimize, OptLevel};
 pub use parser::{parse_expr, parse_program};
 pub use printer::{print_expr, print_program, print_program_with, PrintOptions};
 pub use slots::{

@@ -1,0 +1,908 @@
+//! The optimizing bytecode pass: peephole and superinstruction fusion over
+//! the register-machine stream of [`crate::bytecode`].
+//!
+//! The base compiler ([`crate::bytecode::compile_bytecode`]) is a faithful
+//! lowering: one instruction per slot-pass operation, subscripts copied
+//! into consecutive registers, every comparison materialized before its
+//! branch.  This pass — gated behind [`OptLevel::O1`], the default — runs
+//! three rewrites to a fixed point over every straight-line block:
+//!
+//! * **constant folding** — a per-block constant lattice (reset at every
+//!   jump target, and after structured loops) turns `Const`-fed `Copy`,
+//!   `Bin`, `Neg` and `Not` instructions into pool loads.  Arithmetic folds
+//!   go through [`ss_symbolic`]'s checked evaluator, whose overflow and
+//!   division-by-zero *errors* simply veto the fold — the instruction stays
+//!   and fails (or wraps) at runtime exactly like the unoptimized stream;
+//! * **superinstruction fusion** — three shapes the interpreter otherwise
+//!   pays one dispatch each for:
+//!   [`Instr::LoadLoad`] (`a[b[i]]`, the paper's subscripted subscript, as
+//!   one instruction), [`Instr::CmpBranch`] (compare feeding an adjacent
+//!   conditional jump), and [`Instr::Load2`]/[`Instr::Store2`] (rank-2
+//!   accesses reading two arbitrary registers, eliding the
+//!   consecutive-register subscript copies);
+//! * **dead-store elimination** — pure instructions (`Const`, `Copy`,
+//!   `Neg`, `Not`, non-dividing `Bin`) whose destination is an expression
+//!   temporary nobody reads are dropped.  Writes to *scalar* registers are
+//!   never dropped: they are observable (defined-ness tracking, final-heap
+//!   write-back).
+//!
+//! Every rewrite preserves semantics instruction for instruction —
+//! evaluation order, error points, wrapping arithmetic, defined-flag
+//! effects — so O0 and O1 streams produce bit-identical heaps (and
+//! identical errors), which `ss-interp`'s `validate` and the cross-engine
+//! fuzz harness assert on every run.  Deleting and fusing instructions
+//! renumbers the stream, so all absolute jump targets are remapped through
+//! an old-index → new-index table; a fusion never consumes an instruction
+//! that is itself a jump target.  A final pass compacts the constant pool
+//! to the surviving `Const` loads.
+
+use crate::ast::BinOp;
+use crate::bytecode::{BcExpr, BcFor, BytecodeProgram, HeaderFast, Instr, Reg};
+use std::collections::HashMap;
+
+/// How much optimization the pipeline's `opt` stage applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum OptLevel {
+    /// The base compiler's stream, untouched.
+    O0,
+    /// Constant folding, superinstruction fusion and dead-store
+    /// elimination (the default).
+    #[default]
+    O1,
+}
+
+impl OptLevel {
+    /// Parses a `--opt-level` flag value (`"0"` or `"1"`).
+    pub fn from_flag(s: &str) -> Option<OptLevel> {
+        match s {
+            "0" => Some(OptLevel::O0),
+            "1" => Some(OptLevel::O1),
+            _ => None,
+        }
+    }
+
+    /// `"O0"` / `"O1"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "O0",
+            OptLevel::O1 => "O1",
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Optimizes a bytecode program at `level`.  [`OptLevel::O0`] returns the
+/// input unchanged; [`OptLevel::O1`] rewrites every block (the top-level
+/// stream and, recursively, every structured loop's header blocks and
+/// body) and compacts the constant pool.
+pub fn optimize(bc: &BytecodeProgram, level: OptLevel) -> BytecodeProgram {
+    if level == OptLevel::O0 {
+        return bc.clone();
+    }
+    let mut o = Optimizer {
+        consts: bc.consts.clone(),
+        const_ids: bc
+            .consts
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| (v, k as u32))
+            .collect(),
+        nscalars: bc.slots.scalar_count(),
+        nregs: bc.nregs,
+    };
+    let main = o.opt_code(&bc.main, None);
+    let mut out = BytecodeProgram {
+        main,
+        consts: o.consts,
+        nregs: bc.nregs,
+        slots: bc.slots.clone(),
+    };
+    compact_pool(&mut out);
+    out
+}
+
+struct Optimizer {
+    consts: Vec<i64>,
+    const_ids: HashMap<i64, u32>,
+    nscalars: usize,
+    nregs: usize,
+}
+
+/// Per-instruction liveness of the *temporary* registers (scalar registers
+/// are always observable and never touched by DSE or fusion).  Computed by
+/// a backward fixpoint over the block's instruction-level control flow, so
+/// a temporary consumed on a jump path counts as live at the jump — no
+/// reliance on the compiler's def-before-use convention.
+struct Liveness {
+    nscalars: u32,
+    words: usize,
+    /// `live_in[pc]`; index `len` is the block exit (holding the protected
+    /// result register of expression blocks).
+    live_in: Vec<u64>,
+}
+
+impl Liveness {
+    fn compute(code: &[Instr], nscalars: usize, nregs: usize, protected: Option<Reg>) -> Liveness {
+        let ntemps = nregs.saturating_sub(nscalars).max(1);
+        let words = ntemps.div_ceil(64);
+        let n = code.len();
+        let mut lv = Liveness {
+            nscalars: nscalars as u32,
+            words,
+            live_in: vec![0u64; (n + 1) * words],
+        };
+        if let Some(r) = protected {
+            if let Some((w, bit)) = lv.temp_bit(r) {
+                lv.live_in[n * words + w] |= bit;
+            }
+        }
+        let mut reads: Vec<Reg> = Vec::new();
+        loop {
+            let mut changed = false;
+            for pc in (0..n).rev() {
+                let mut row = lv.out_row(code, pc);
+                // Kill the write, add the reads.
+                if let Some(dst) = instr_write(&code[pc]) {
+                    if let Some((w, bit)) = lv.temp_bit(dst) {
+                        row[w] &= !bit;
+                    }
+                }
+                if matches!(code[pc], Instr::For(_)) {
+                    // A structured loop's inner blocks recycle the whole
+                    // temporary file: it clobbers every temp and reads none
+                    // from the enclosing block.
+                    row.iter_mut().for_each(|w| *w = 0);
+                }
+                reads.clear();
+                instr_reads(&code[pc], &mut reads);
+                for r in &reads {
+                    if let Some((w, bit)) = lv.temp_bit(*r) {
+                        row[w] |= bit;
+                    }
+                }
+                let slot = &mut lv.live_in[pc * words..(pc + 1) * words];
+                if slot != row.as_slice() {
+                    slot.copy_from_slice(&row);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return lv;
+            }
+        }
+    }
+
+    fn temp_bit(&self, r: Reg) -> Option<(usize, u64)> {
+        let t = r.0.checked_sub(self.nscalars)? as usize;
+        Some((t / 64, 1u64 << (t % 64)))
+    }
+
+    /// `live_out[pc]` = union of `live_in` over the successors.
+    fn out_row(&self, code: &[Instr], pc: usize) -> Vec<u64> {
+        let mut row = vec![0u64; self.words];
+        let mut add = |succ: usize| {
+            let s = &self.live_in[succ * self.words..(succ + 1) * self.words];
+            row.iter_mut().zip(s).for_each(|(a, b)| *a |= b);
+        };
+        match &code[pc] {
+            Instr::Jump { target } => add(*target as usize),
+            Instr::Jz { target, .. }
+            | Instr::Jnz { target, .. }
+            | Instr::CmpBranch { target, .. } => {
+                add(*target as usize);
+                add(pc + 1);
+            }
+            _ => add(pc + 1),
+        }
+        row
+    }
+
+    /// True when the temporary `r` is dead after instruction `pc` (on every
+    /// outgoing path).  Scalar registers are never dead.
+    fn dead_after(&self, code: &[Instr], pc: usize, r: Reg) -> bool {
+        match self.temp_bit(r) {
+            Some((w, bit)) => self.out_row(code, pc)[w] & bit == 0,
+            None => false,
+        }
+    }
+}
+
+impl Optimizer {
+    fn pool(&mut self, v: i64) -> u32 {
+        if let Some(&id) = self.const_ids.get(&v) {
+            return id;
+        }
+        let id = self.consts.len() as u32;
+        self.consts.push(v);
+        self.const_ids.insert(v, id);
+        id
+    }
+
+    fn is_temp(&self, r: Reg) -> bool {
+        r.index() >= self.nscalars
+    }
+
+    /// Optimizes one flat block.  `protected` is the block's result
+    /// register (for expression blocks): it counts as live at block exit.
+    fn opt_code(&mut self, code: &[Instr], protected: Option<Reg>) -> Vec<Instr> {
+        // Structured loops first, so the passes below see them as opaque.
+        let mut code: Vec<Instr> = code
+            .iter()
+            .map(|i| match i {
+                Instr::For(f) => Instr::For(Box::new(self.opt_for(f))),
+                other => other.clone(),
+            })
+            .collect();
+        loop {
+            let mut changed = self.fold_pass(&mut code);
+            let (fused, ch) = self.fuse_pass(code, protected);
+            code = fused;
+            changed |= ch;
+            let (swept, ch) = self.dse_pass(code, protected);
+            code = swept;
+            changed |= ch;
+            if !changed {
+                return code;
+            }
+        }
+    }
+
+    fn opt_for(&mut self, f: &BcFor) -> BcFor {
+        let init = self.opt_expr(&f.init);
+        let bound = self.opt_expr(&f.bound);
+        let step = self.opt_expr(&f.step);
+        let init_fast = self.header_fast(&init);
+        let bound_fast = self.header_fast(&bound);
+        let step_fast = self.header_fast(&step);
+        BcFor {
+            id: f.id,
+            var: f.var,
+            init,
+            cond_op: f.cond_op,
+            bound,
+            step,
+            init_fast,
+            bound_fast,
+            step_fast,
+            body: self.opt_code(&f.body, None),
+            local_arrays: f.local_arrays.clone(),
+            locals_dominated: f.locals_dominated,
+            skewed: f.skewed,
+        }
+    }
+
+    /// Derives the header fast path of an optimized expression block: an
+    /// empty block is a plain register read, a single constant load is the
+    /// constant itself.  Both are side-effect- and error-free, so the
+    /// executor may skip the block — the code stays alongside, and running
+    /// it instead is always still correct.
+    fn header_fast(&self, e: &BcExpr) -> HeaderFast {
+        match e.code.as_slice() {
+            [] => HeaderFast::Reg(e.result),
+            [Instr::Const { dst, pool }] if *dst == e.result => {
+                HeaderFast::Const(self.consts[*pool as usize])
+            }
+            _ => HeaderFast::Eval,
+        }
+    }
+
+    fn opt_expr(&mut self, e: &BcExpr) -> BcExpr {
+        BcExpr {
+            code: self.opt_code(&e.code, Some(e.result)),
+            result: e.result,
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Constant folding.
+    // -----------------------------------------------------------------------
+
+    fn fold_pass(&mut self, code: &mut [Instr]) -> bool {
+        let targets = jump_targets(code);
+        let mut known: HashMap<u32, i64> = HashMap::new();
+        let mut changed = false;
+        for pc in 0..code.len() {
+            if targets[pc] {
+                known.clear();
+            }
+            match code[pc].clone() {
+                Instr::Const { dst, pool } => {
+                    known.insert(dst.0, self.consts[pool as usize]);
+                }
+                Instr::Copy { dst, src } => match known.get(&src.0).copied() {
+                    Some(v) => {
+                        let pool = self.pool(v);
+                        if code[pc] != (Instr::Const { dst, pool }) {
+                            code[pc] = Instr::Const { dst, pool };
+                            changed = true;
+                        }
+                        known.insert(dst.0, v);
+                    }
+                    None => {
+                        known.remove(&dst.0);
+                    }
+                },
+                Instr::Bin { op, dst, a, b } => {
+                    match (known.get(&a.0).copied(), known.get(&b.0).copied()) {
+                        (Some(x), Some(y)) => match fold_binop(op, x, y) {
+                            Some(v) => {
+                                let pool = self.pool(v);
+                                code[pc] = Instr::Const { dst, pool };
+                                known.insert(dst.0, v);
+                                changed = true;
+                            }
+                            None => {
+                                known.remove(&dst.0);
+                            }
+                        },
+                        _ => {
+                            known.remove(&dst.0);
+                        }
+                    }
+                }
+                Instr::Neg { dst, src } => match known.get(&src.0).copied() {
+                    // i64::MIN negates to itself under wrapping; folding it
+                    // is still exact, so no guard is needed.
+                    Some(v) => {
+                        let pool = self.pool(v.wrapping_neg());
+                        code[pc] = Instr::Const { dst, pool };
+                        known.insert(dst.0, v.wrapping_neg());
+                        changed = true;
+                    }
+                    None => {
+                        known.remove(&dst.0);
+                    }
+                },
+                Instr::Not { dst, src } => match known.get(&src.0).copied() {
+                    Some(v) => {
+                        let folded = (v == 0) as i64;
+                        let pool = self.pool(folded);
+                        code[pc] = Instr::Const { dst, pool };
+                        known.insert(dst.0, folded);
+                        changed = true;
+                    }
+                    None => {
+                        known.remove(&dst.0);
+                    }
+                },
+                // A structured loop writes its index variable and whatever
+                // its body touches: forget everything.
+                Instr::For(_) => known.clear(),
+                other => {
+                    if let Some(dst) = instr_write(&other) {
+                        known.remove(&dst.0);
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    // -----------------------------------------------------------------------
+    // Superinstruction fusion.
+    // -----------------------------------------------------------------------
+
+    fn fuse_pass(&mut self, code: Vec<Instr>, protected: Option<Reg>) -> (Vec<Instr>, bool) {
+        let targets = jump_targets(&code);
+        let live = Liveness::compute(&code, self.nscalars, self.nregs, protected);
+        // A temporary written at `def` and consumed at `consumer` may be
+        // elided iff nothing can read it after the consumer.
+        let consumed =
+            |consumer: usize, t: Reg| self.is_temp(t) && live.dead_after(&code, consumer, t);
+        let mut out = Vec::with_capacity(code.len());
+        let mut map = vec![0u32; code.len() + 1];
+        let mut i = 0usize;
+        while i < code.len() {
+            let pos = out.len() as u32;
+            // a[b[i]]: inner rank-1 load into a temp consumed only by the
+            // adjacent outer rank-1 load.
+            if i + 1 < code.len() && !targets[i + 1] {
+                if let (
+                    Instr::Load {
+                        dst: t,
+                        array: inner,
+                        idx: r,
+                        rank: 1,
+                    },
+                    Instr::Load {
+                        dst,
+                        array: outer,
+                        idx,
+                        rank: 1,
+                    },
+                ) = (&code[i], &code[i + 1])
+                {
+                    if idx == t && consumed(i + 1, *t) {
+                        out.push(Instr::LoadLoad {
+                            dst: *dst,
+                            outer: *outer,
+                            inner: *inner,
+                            idx: *r,
+                        });
+                        map[i] = pos;
+                        map[i + 1] = pos;
+                        i += 2;
+                        continue;
+                    }
+                }
+                // Relational compare feeding the adjacent conditional jump.
+                if let Instr::Bin { op, dst: t, a, b } = &code[i] {
+                    if is_relational(*op) && consumed(i + 1, *t) {
+                        let fused = match &code[i + 1] {
+                            Instr::Jz { cond, target } if cond == t => Some((*target, false)),
+                            Instr::Jnz { cond, target } if cond == t => Some((*target, true)),
+                            _ => None,
+                        };
+                        if let Some((target, jump_if)) = fused {
+                            out.push(Instr::CmpBranch {
+                                op: *op,
+                                a: *a,
+                                b: *b,
+                                target,
+                                jump_if,
+                            });
+                            map[i] = pos;
+                            map[i + 1] = pos;
+                            i += 2;
+                            continue;
+                        }
+                    }
+                }
+            }
+            // Rank-2 access whose two subscript copies exist only to make
+            // the registers consecutive.  The alias checks exclude the
+            // ordering hazards the fusion would otherwise introduce: a copy
+            // source aliasing the other copy's destination (the fused form
+            // reads both sources at access time, after both copies would
+            // have run), or the store's value register aliasing an elided
+            // destination.
+            if i + 2 < code.len() && !targets[i + 1] && !targets[i + 2] {
+                if let (Instr::Copy { dst: t0, src: s0 }, Instr::Copy { dst: t1, src: s1 }) =
+                    (&code[i], &code[i + 1])
+                {
+                    if t1.0 == t0.0 + 1
+                        && s0 != t1
+                        && s1 != t0
+                        && consumed(i + 2, *t0)
+                        && consumed(i + 2, *t1)
+                    {
+                        let fused = match &code[i + 2] {
+                            Instr::Load {
+                                dst,
+                                array,
+                                idx,
+                                rank: 2,
+                            } if idx == t0 => Some(Instr::Load2 {
+                                dst: *dst,
+                                array: *array,
+                                i0: *s0,
+                                i1: *s1,
+                            }),
+                            Instr::Store {
+                                array,
+                                idx,
+                                rank: 2,
+                                src,
+                            } if idx == t0 && src != t0 && src != t1 => Some(Instr::Store2 {
+                                array: *array,
+                                i0: *s0,
+                                i1: *s1,
+                                src: *src,
+                            }),
+                            _ => None,
+                        };
+                        if let Some(instr) = fused {
+                            out.push(instr);
+                            map[i] = pos;
+                            map[i + 1] = pos;
+                            map[i + 2] = pos;
+                            i += 3;
+                            continue;
+                        }
+                    }
+                }
+            }
+            map[i] = pos;
+            out.push(code[i].clone());
+            i += 1;
+        }
+        map[code.len()] = out.len() as u32;
+        let changed = out.len() != code.len();
+        if changed {
+            retarget(&mut out, &map);
+        }
+        (out, changed)
+    }
+
+    // -----------------------------------------------------------------------
+    // Dead-store elimination.
+    // -----------------------------------------------------------------------
+
+    fn dse_pass(&mut self, code: Vec<Instr>, protected: Option<Reg>) -> (Vec<Instr>, bool) {
+        let live = Liveness::compute(&code, self.nscalars, self.nregs, protected);
+        let removable = |pc: usize, i: &Instr| -> bool {
+            let pure = match i {
+                Instr::Const { .. }
+                | Instr::Copy { .. }
+                | Instr::Neg { .. }
+                | Instr::Not { .. } => true,
+                // Division and remainder can fail at runtime; every other
+                // operator is total.
+                Instr::Bin { op, .. } => !matches!(op, BinOp::Div | BinOp::Mod),
+                _ => false,
+            };
+            pure && instr_write(i)
+                .is_some_and(|dst| self.is_temp(dst) && live.dead_after(&code, pc, dst))
+        };
+        if !code.iter().enumerate().any(|(pc, i)| removable(pc, i)) {
+            return (code, false);
+        }
+        let mut out = Vec::with_capacity(code.len());
+        let mut map = vec![0u32; code.len() + 1];
+        for (k, instr) in code.iter().enumerate() {
+            map[k] = out.len() as u32;
+            if !removable(k, instr) {
+                out.push(instr.clone());
+            }
+        }
+        map[code.len()] = out.len() as u32;
+        retarget(&mut out, &map);
+        (out, true)
+    }
+}
+
+/// Folds one non-short-circuit binary operation, or `None` when the fold
+/// would change runtime behavior (overflow wraps at runtime, division by
+/// zero errors at runtime).  Arithmetic goes through `ss_symbolic`'s
+/// checked evaluator: any evaluation error vetoes the fold.
+fn fold_binop(op: BinOp, x: i64, y: i64) -> Option<i64> {
+    use ss_symbolic::{Expr, Valuation};
+    let v = Valuation::new();
+    let (a, b) = (Expr::int(x), Expr::int(y));
+    match op {
+        BinOp::Add => v.eval(&Expr::add(a, b)).ok(),
+        BinOp::Sub => v.eval(&Expr::sub(a, b)).ok(),
+        BinOp::Mul => v.eval(&Expr::mul(a, b)).ok(),
+        // i64::MIN / -1 overflows: leave it to the runtime's checked path.
+        BinOp::Div if y != 0 && !(x == i64::MIN && y == -1) => v.eval(&Expr::div(a, b)).ok(),
+        BinOp::Mod if y != 0 && !(x == i64::MIN && y == -1) => v.eval(&Expr::modulo(a, b)).ok(),
+        BinOp::Div | BinOp::Mod => None,
+        BinOp::Lt => Some((x < y) as i64),
+        BinOp::Le => Some((x <= y) as i64),
+        BinOp::Gt => Some((x > y) as i64),
+        BinOp::Ge => Some((x >= y) as i64),
+        BinOp::Eq => Some((x == y) as i64),
+        BinOp::Ne => Some((x != y) as i64),
+        BinOp::And | BinOp::Or => None,
+    }
+}
+
+fn is_relational(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+    )
+}
+
+/// Which instruction indices are jump targets (index `len` = block end).
+fn jump_targets(code: &[Instr]) -> Vec<bool> {
+    let mut t = vec![false; code.len() + 1];
+    for i in code {
+        match i {
+            Instr::Jz { target, .. }
+            | Instr::Jnz { target, .. }
+            | Instr::Jump { target }
+            | Instr::CmpBranch { target, .. } => t[*target as usize] = true,
+            _ => {}
+        }
+    }
+    t
+}
+
+/// Rewrites every absolute jump target through the old-index → new-index
+/// map.  A target landing on a removed instruction retargets to the next
+/// surviving one, which is exact: removed instructions are dead on every
+/// path, and fused instructions map both halves to the fusion.
+fn retarget(code: &mut [Instr], map: &[u32]) {
+    for i in code {
+        match i {
+            Instr::Jz { target, .. }
+            | Instr::Jnz { target, .. }
+            | Instr::Jump { target }
+            | Instr::CmpBranch { target, .. } => *target = map[*target as usize],
+            _ => {}
+        }
+    }
+}
+
+/// The registers an instruction reads.  Structured loops read no
+/// *temporaries* from the enclosing block (their liveness treats them as
+/// clobbering the whole temporary file), and scalar reads are irrelevant
+/// to the temp-only analyses, but scalars are reported anyway — the
+/// liveness bitset simply ignores them.
+fn instr_reads(i: &Instr, out: &mut Vec<Reg>) {
+    match i {
+        Instr::Const { .. }
+        | Instr::Jump { .. }
+        | Instr::For(_)
+        | Instr::WhileEnter { .. }
+        | Instr::WhileIter { .. }
+        | Instr::WhileExit { .. } => {}
+        Instr::Copy { src, .. } | Instr::Neg { src, .. } | Instr::Not { src, .. } => out.push(*src),
+        Instr::Bin { a, b, .. } => {
+            out.push(*a);
+            out.push(*b);
+        }
+        Instr::Accum { dst, src, .. } => {
+            out.push(*dst);
+            out.push(*src);
+        }
+        Instr::Load { idx, rank, .. } => {
+            for k in 0..*rank {
+                out.push(Reg(idx.0 + k as u32));
+            }
+        }
+        Instr::Store { idx, rank, src, .. } => {
+            for k in 0..*rank {
+                out.push(Reg(idx.0 + k as u32));
+            }
+            out.push(*src);
+        }
+        Instr::DeclArray { dims, rank, .. } => {
+            for k in 0..*rank {
+                out.push(Reg(dims.0 + k as u32));
+            }
+        }
+        Instr::Jz { cond, .. } | Instr::Jnz { cond, .. } => out.push(*cond),
+        Instr::LoadLoad { idx, .. } => out.push(*idx),
+        Instr::CmpBranch { a, b, .. } => {
+            out.push(*a);
+            out.push(*b);
+        }
+        Instr::Load2 { i0, i1, .. } => {
+            out.push(*i0);
+            out.push(*i1);
+        }
+        Instr::Store2 { i0, i1, src, .. } => {
+            out.push(*i0);
+            out.push(*i1);
+            out.push(*src);
+        }
+    }
+}
+
+/// The register an instruction writes, if any.
+fn instr_write(i: &Instr) -> Option<Reg> {
+    match i {
+        Instr::Const { dst, .. }
+        | Instr::Copy { dst, .. }
+        | Instr::Bin { dst, .. }
+        | Instr::Accum { dst, .. }
+        | Instr::Neg { dst, .. }
+        | Instr::Not { dst, .. }
+        | Instr::Load { dst, .. }
+        | Instr::LoadLoad { dst, .. }
+        | Instr::Load2 { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Constant-pool compaction.
+// ---------------------------------------------------------------------------
+
+/// Rebuilds the pool around the `Const` loads that survived optimization,
+/// so the disassembly lists no orphaned constants.
+fn compact_pool(bc: &mut BytecodeProgram) {
+    let mut used: Vec<u32> = Vec::new();
+    collect_pools(&bc.main, &mut used);
+    used.sort_unstable();
+    used.dedup();
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    let mut consts = Vec::with_capacity(used.len());
+    for old in used {
+        remap.insert(old, consts.len() as u32);
+        consts.push(bc.consts[old as usize]);
+    }
+    remap_pools(&mut bc.main, &remap);
+    bc.consts = consts;
+}
+
+fn collect_pools(code: &[Instr], out: &mut Vec<u32>) {
+    for i in code {
+        match i {
+            Instr::Const { pool, .. } => out.push(*pool),
+            Instr::For(f) => {
+                collect_pools(&f.init.code, out);
+                collect_pools(&f.bound.code, out);
+                collect_pools(&f.step.code, out);
+                collect_pools(&f.body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn remap_pools(code: &mut [Instr], remap: &HashMap<u32, u32>) {
+    for i in code {
+        match i {
+            Instr::Const { pool, .. } => *pool = remap[pool],
+            Instr::For(f) => {
+                remap_pools(&mut f.init.code, remap);
+                remap_pools(&mut f.bound.code, remap);
+                remap_pools(&mut f.step.code, remap);
+                remap_pools(&mut f.body, remap);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::compile_bytecode;
+    use crate::parser::parse_program;
+    use crate::slots::compile_program;
+
+    fn o1(src: &str) -> BytecodeProgram {
+        let bc = compile_bytecode(&compile_program(&parse_program("t", src).unwrap()));
+        optimize(&bc, OptLevel::O1)
+    }
+
+    fn count<F: Fn(&Instr) -> bool>(code: &[Instr], f: F) -> usize {
+        fn walk<F: Fn(&Instr) -> bool>(code: &[Instr], f: &F, n: &mut usize) {
+            for i in code {
+                if f(i) {
+                    *n += 1;
+                }
+                if let Instr::For(fr) = i {
+                    walk(&fr.init.code, f, n);
+                    walk(&fr.bound.code, f, n);
+                    walk(&fr.step.code, f, n);
+                    walk(&fr.body, f, n);
+                }
+            }
+        }
+        let mut n = 0;
+        walk(code, &f, &mut n);
+        n
+    }
+
+    #[test]
+    fn o0_is_the_identity() {
+        let bc = compile_bytecode(&compile_program(
+            &parse_program("t", "x = 1 + 2; if (x < y) { z = a[b[0]]; }").unwrap(),
+        ));
+        let same = optimize(&bc, OptLevel::O0);
+        assert_eq!(same.main, bc.main);
+        assert_eq!(same.consts, bc.consts);
+    }
+
+    #[test]
+    fn subscripted_subscript_loads_fuse() {
+        let p = o1("x = a[b[i]];");
+        assert_eq!(count(&p.main, |i| matches!(i, Instr::LoadLoad { .. })), 1);
+        assert_eq!(count(&p.main, |i| matches!(i, Instr::Load { .. })), 0);
+        assert!(p.disassemble().contains("ldld     %x <- a[b[%i]]"));
+    }
+
+    #[test]
+    fn compares_fuse_into_their_branches() {
+        let p = o1("if (x < y) { z = 1; } else { z = 2; }");
+        assert_eq!(count(&p.main, |i| matches!(i, Instr::CmpBranch { .. })), 1);
+        assert_eq!(
+            count(&p.main, |i| matches!(i, Instr::Bin { op: BinOp::Lt, .. })),
+            0
+        );
+        // The fused branch falls into the then-branch and jumps (on false)
+        // to the else-branch; every target stays in range.
+        for i in &p.main {
+            if let Instr::CmpBranch {
+                target, jump_if, ..
+            } = i
+            {
+                assert!(!*jump_if);
+                assert!((*target as usize) <= p.main.len());
+            }
+        }
+    }
+
+    #[test]
+    fn rank2_accesses_elide_their_subscript_copies() {
+        let p = o1("m[i][j] = 7; x = m[i][j];");
+        assert_eq!(count(&p.main, |i| matches!(i, Instr::Store2 { .. })), 1);
+        assert_eq!(count(&p.main, |i| matches!(i, Instr::Load2 { .. })), 1);
+        assert_eq!(count(&p.main, |i| matches!(i, Instr::Copy { .. })), 0);
+    }
+
+    #[test]
+    fn constants_fold_and_the_pool_compacts() {
+        let p = o1("x = 2 + 3; y = x;");
+        // x = 5 directly; y = x stays a copy (x is a runtime register).
+        assert!(matches!(p.main[0], Instr::Const { .. }));
+        assert_eq!(p.consts, vec![5]);
+        // Within one straight line the lattice also knows x == 5.
+        assert!(matches!(p.main[1], Instr::Const { .. }));
+    }
+
+    #[test]
+    fn division_by_zero_is_never_folded() {
+        let p = o1("x = 1 / 0; y = 7 % 0;");
+        assert_eq!(
+            count(&p.main, |i| matches!(
+                i,
+                Instr::Bin {
+                    op: BinOp::Div | BinOp::Mod,
+                    ..
+                }
+            )),
+            2
+        );
+    }
+
+    #[test]
+    fn overflow_is_never_folded() {
+        let src = format!("x = {} + 1; y = {} * 2;", i64::MAX, i64::MAX);
+        let p = o1(&src);
+        assert_eq!(count(&p.main, |i| matches!(i, Instr::Bin { .. })), 2);
+    }
+
+    #[test]
+    fn scalar_writes_are_never_deleted() {
+        // Nothing reads x, but its write must survive (defined-ness and
+        // final-heap contents are observable).
+        let p = o1("x = 5;");
+        assert_eq!(p.main.len(), 1);
+        assert!(matches!(p.main[0], Instr::Const { dst: Reg(0), .. }));
+    }
+
+    #[test]
+    fn loop_header_blocks_and_bodies_are_optimized() {
+        let p = o1("for (i = 0; i < n; i++) { out[i] = a[b[i]]; if (i < 3) { x = 1 + 1; } }");
+        assert_eq!(count(&p.main, |i| matches!(i, Instr::LoadLoad { .. })), 1);
+        assert_eq!(count(&p.main, |i| matches!(i, Instr::CmpBranch { .. })), 1);
+        // `1 + 1` folded somewhere inside the loop body.
+        assert!(p.consts.contains(&2));
+    }
+
+    #[test]
+    fn while_loops_keep_their_guards_and_backward_jumps() {
+        let p = o1("w = 0; while (w < 3) { w = w + 1; }");
+        assert_eq!(count(&p.main, |i| matches!(i, Instr::WhileEnter { .. })), 1);
+        assert_eq!(count(&p.main, |i| matches!(i, Instr::WhileIter { .. })), 1);
+        assert_eq!(count(&p.main, |i| matches!(i, Instr::WhileExit { .. })), 1);
+        // The loop's compare fused with its exit test; the backward jump
+        // still lands on the condition head (right after WhileEnter).
+        let enter_at = p
+            .main
+            .iter()
+            .position(|i| matches!(i, Instr::WhileEnter { .. }))
+            .unwrap();
+        let back = p
+            .main
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Jump { target } => Some(*target),
+                _ => None,
+            })
+            .min()
+            .unwrap();
+        assert_eq!(back as usize, enter_at + 1);
+    }
+
+    #[test]
+    fn opt_level_parses_and_prints() {
+        assert_eq!(OptLevel::from_flag("0"), Some(OptLevel::O0));
+        assert_eq!(OptLevel::from_flag("1"), Some(OptLevel::O1));
+        assert_eq!(OptLevel::from_flag("2"), None);
+        assert_eq!(OptLevel::default(), OptLevel::O1);
+        assert_eq!(OptLevel::O0.to_string(), "O0");
+        assert_eq!(OptLevel::O1.label(), "O1");
+    }
+}

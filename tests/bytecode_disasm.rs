@@ -1,35 +1,46 @@
-//! Golden disassembly snapshots for the bytecode compiler.
+//! Golden disassembly snapshots for the bytecode compiler — and for the
+//! `--opt-level 1` optimizer.
 //!
 //! Instruction selection is easy to regress silently — an extra copy per
-//! subscript, a constant that stops pooling, a branch target off by one —
-//! and such regressions rarely change *results*, only speed and shape.
-//! These tests pin the full register-machine listing of two catalogue
-//! kernels (the Figure 6 block-counting fill and the Figure 9 CSR
-//! product), so any change to the emitted stream shows up as a readable
-//! line diff in review.
+//! subscript, a constant that stops pooling, a branch target off by one, a
+//! fusion that stops firing — and such regressions rarely change
+//! *results*, only speed and shape.  These tests pin the full
+//! register-machine listing of two catalogue kernels (the Figure 6
+//! block-counting fill and the Figure 9 CSR product) at **both** opt
+//! levels (`<kernel>.bytecode.txt` for O0, `<kernel>.O1.bytecode.txt` for
+//! the optimized stream), so any change to either emitted stream shows up
+//! as a readable line diff in review.
 //!
 //! To bless an intentional change:
 //! `UPDATE_GOLDEN=1 cargo test --test bytecode_disasm`.
 
-use ss_ir::bytecode::compile_bytecode;
+use ss_ir::opt::{optimize, OptLevel};
 use ss_ir::parse_program;
-use ss_ir::slots::compile_program;
+use ss_parallelizer::Artifacts;
 use std::path::Path;
 
-fn disassemble_kernel(name: &str) -> String {
+fn kernel_artifacts(name: &str) -> Artifacts {
     let kernel = ss_npb::study_kernels()
         .into_iter()
         .find(|k| k.name == name)
         .unwrap_or_else(|| panic!("no catalogue kernel named {name}"));
     let program = parse_program(kernel.name, kernel.source).expect("catalogue kernel parses");
-    compile_bytecode(&compile_program(&program)).disassemble()
+    Artifacts::compile(&program)
 }
 
-fn check_golden(kernel: &str) {
-    let got = disassemble_kernel(kernel);
+fn disassemble_kernel(name: &str, level: OptLevel) -> String {
+    kernel_artifacts(name).bytecode_at(level).disassemble()
+}
+
+fn check_golden(kernel: &str, level: OptLevel) {
+    let got = disassemble_kernel(kernel, level);
+    let suffix = match level {
+        OptLevel::O0 => "bytecode.txt",
+        OptLevel::O1 => "O1.bytecode.txt",
+    };
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
-        .join(format!("{kernel}.bytecode.txt"));
+        .join(format!("{kernel}.{suffix}"));
     if std::env::var("UPDATE_GOLDEN").is_ok() {
         std::fs::write(&path, &got).expect("write golden file");
         return;
@@ -66,26 +77,55 @@ fn check_golden(kernel: &str) {
 
 #[test]
 fn fig6_block_fill_disassembly_is_stable() {
-    check_golden("fig6_csparse_blocks");
+    check_golden("fig6_csparse_blocks", OptLevel::O0);
+    check_golden("fig6_csparse_blocks", OptLevel::O1);
 }
 
 #[test]
 fn fig9_csr_product_disassembly_is_stable() {
-    check_golden("fig9_csr_product");
+    check_golden("fig9_csr_product", OptLevel::O0);
+    check_golden("fig9_csr_product", OptLevel::O1);
 }
 
 #[test]
 fn disassembly_reflects_dispatch_facts() {
     // The listing carries the dispatch-relevant loop facts, so a fact
-    // regression is visible in the same diff channel.
-    let d = disassemble_kernel("fig9_csr_product");
+    // regression is visible in the same diff channel — at both levels (the
+    // optimizer must carry the facts through unchanged).
+    for level in [OptLevel::O0, OptLevel::O1] {
+        let d = disassemble_kernel("fig9_csr_product", level);
+        assert!(
+            d.contains("[skewed]"),
+            "CSR traversal loop lost its skew fact at {level}:\n{d}"
+        );
+        let d = disassemble_kernel("ua_refine_scratch", level);
+        assert!(
+            d.contains("[locals dominated]") && d.contains("[locals:"),
+            "scratch kernel lost its loop-local array facts at {level}:\n{d}"
+        );
+    }
+}
+
+#[test]
+fn optimized_stream_carries_the_fused_superinstructions() {
+    // The O1 listing of the fig9 fill loop must show the fused shapes the
+    // optimizer exists for; the O0 listing must show none of them.
+    let o1 = disassemble_kernel("fig9_csr_product", OptLevel::O1);
+    assert!(o1.contains("load2"), "rank-2 copy elision regressed:\n{o1}");
     assert!(
-        d.contains("[skewed]"),
-        "CSR traversal loop lost its skew fact:\n{d}"
+        o1.contains("cmpbr"),
+        "compare-and-branch fusion regressed:\n{o1}"
     );
-    let d = disassemble_kernel("ua_refine_scratch");
-    assert!(
-        d.contains("[locals dominated]") && d.contains("[locals:"),
-        "scratch kernel lost its loop-local array facts:\n{d}"
-    );
+    let o0 = disassemble_kernel("fig9_csr_product", OptLevel::O0);
+    for fused in ["load2", "store2", "cmpbr", "ldld"] {
+        assert!(
+            !o0.contains(fused),
+            "O0 stream must stay unoptimized:\n{o0}"
+        );
+    }
+    // The optimizer is idempotent on its own output.
+    let art = kernel_artifacts("fig9_csr_product");
+    let again = optimize(&art.optimized, OptLevel::O1);
+    assert_eq!(again.main, art.optimized.main);
+    assert_eq!(again.consts, art.optimized.consts);
 }

@@ -1,18 +1,26 @@
-//! Generative differential fuzzing of the execution engines.
+//! Generative differential fuzzing of the execution engines — and of the
+//! analysis itself.
 //!
 //! Everything else in this repo tests the engines kernel by kernel; this
 //! harness *generates* SS-IR programs — random nested loops, conditionals,
-//! subscripted subscripts, compound assignments, reduction shapes,
-//! loop-local array declarations, `while` loops, deliberately unsafe
-//! accesses — and differentially executes every program under all three
-//! engines (`ast`, `compiled`, `bytecode`) serially and in parallel:
+//! subscripted subscripts, compound assignments, reduction shapes (`+` and
+//! `*`), loop-local array declarations, `while` loops, deliberately unsafe
+//! accesses — compiles each one through the staged pipeline **once**
+//! ([`ss_parallelizer::Artifacts`]), and differentially executes it under
+//! all three engines (`ast`, `compiled`, `bytecode`) serially and in
+//! parallel, the bytecode engine at **both** `--opt-level`s:
 //!
 //! * when the tree-walking reference succeeds, every other execution must
-//!   succeed with a **bit-identical final heap**;
+//!   succeed with a **bit-identical final heap** (O0 ≡ O1 included — the
+//!   optimizer is on trial here too);
 //! * when the reference fails, the other serial engines must fail with the
 //!   **identical error**, and the parallel engines must fail too (workers
 //!   may observe a different failing iteration first, so only the error
-//!   *kind-agnostic* fact is asserted for them).
+//!   *kind-agnostic* fact is asserted for them);
+//! * the analysis itself is fuzzed for monotonicity: every loop the
+//!   property-free **baseline** proves parallel must also be proven by the
+//!   **extended** test (index-array properties only ever add facts —
+//!   baseline verdicts ⊆ extended verdicts).
 //!
 //! Failures shrink: the harness greedily deletes statements (at any
 //! nesting depth) while the divergence persists and reports the minimal
@@ -24,9 +32,10 @@
 
 use proptest::prelude::*;
 use proptest::TestRng;
-use ss_interp::{run_parallel, run_serial_with, EngineChoice, ExecOptions, Heap};
-use ss_ir::parse_program;
-use ss_parallelizer::parallelize;
+use ss_interp::{
+    run_parallel_artifacts, run_serial_artifacts, EngineChoice, ExecOptions, Heap, OptLevel,
+};
+use ss_parallelizer::Artifacts;
 
 // ---------------------------------------------------------------------------
 // Program model.
@@ -369,10 +378,16 @@ impl Gen {
                     });
                 }
                 let mut body = self.block(nest + 1);
-                // Reduction shape, sometimes: s += term / guarded min.
+                // Reduction shapes, sometimes: s += term, and (rarer) the
+                // product accumulator t *= term — when nothing else in the
+                // body touches t the loop dispatches as a `*` reduction.
                 if self.chance(35) {
                     let term = self.value_expr(1);
                     body.push(GStmt::Scalar("s".into(), "+=", term));
+                }
+                if self.chance(20) {
+                    let term = self.value_expr(1);
+                    body.push(GStmt::Scalar("t".into(), "*=", term));
                 }
                 if local.is_some() {
                     self.arrays.pop();
@@ -492,10 +507,11 @@ impl GProgram {
     }
 }
 
-fn opts(threads: usize, engine: EngineChoice) -> ExecOptions {
+fn opts(threads: usize, engine: EngineChoice, opt_level: OptLevel) -> ExecOptions {
     ExecOptions {
         threads,
         engine,
+        opt_level,
         // Small cap so generated runaway loops fail fast — and all engines
         // must agree on the NonTerminating verdict.
         while_cap: 5_000,
@@ -503,26 +519,58 @@ fn opts(threads: usize, engine: EngineChoice) -> ExecOptions {
     }
 }
 
-/// The differential matrix for one source program: serial {ast, compiled,
-/// bytecode} must agree exactly (heap or error), parallel {ast, compiled,
-/// bytecode} must reproduce the serial heap whenever the serial run
-/// succeeds.
+/// Serial matrix rows: (engine, opt level, label).  The bytecode engine
+/// runs both streams of the one compiled artifact store.
+const SERIAL_MATRIX: [(EngineChoice, OptLevel, &str); 3] = [
+    (EngineChoice::Compiled, OptLevel::O1, "Compiled"),
+    (EngineChoice::Bytecode, OptLevel::O0, "Bytecode-O0"),
+    (EngineChoice::Bytecode, OptLevel::O1, "Bytecode-O1"),
+];
+
+const PARALLEL_MATRIX: [(EngineChoice, OptLevel, &str); 4] = [
+    (EngineChoice::Ast, OptLevel::O1, "Ast"),
+    (EngineChoice::Compiled, OptLevel::O1, "Compiled"),
+    (EngineChoice::Bytecode, OptLevel::O0, "Bytecode-O0"),
+    (EngineChoice::Bytecode, OptLevel::O1, "Bytecode-O1"),
+];
+
+/// The differential matrix for one source program, off **one** pipeline
+/// invocation: serial {ast, compiled, bytecode-O0, bytecode-O1} must agree
+/// exactly (heap or error), parallel {ast, compiled, bytecode-O0,
+/// bytecode-O1} must reproduce the serial heap whenever the serial run
+/// succeeds — and the analysis verdicts must be monotone (baseline ⊆
+/// extended).
 fn check_source(src: &str, threads: usize) -> Option<String> {
-    let program = match parse_program("fuzz", src) {
-        Ok(p) => p,
+    let artifacts = match Artifacts::compile_source("fuzz", src) {
+        Ok(a) => a,
         Err(e) => return Some(format!("generated program failed to parse: {e}")),
     };
-    let report = parallelize(&program);
-    let reference = run_serial_with(&program, Heap::new(), &opts(1, EngineChoice::Ast));
+    // Fuzz the analysis itself: index-array properties only ever *add*
+    // facts, so a loop the property-free baseline proves parallel must
+    // stay parallel under the extended test.
+    for l in &artifacts.report.loops {
+        if l.baseline_parallel && !l.parallel {
+            return Some(format!(
+                "analysis monotonicity violated: loop {} is baseline-parallel \
+                 but extended-serial (blockers: {:?})",
+                l.loop_id.0, l.blockers
+            ));
+        }
+    }
+    let reference = run_serial_artifacts(
+        &artifacts,
+        Heap::new(),
+        &opts(1, EngineChoice::Ast, OptLevel::O1),
+    );
 
-    for engine in [EngineChoice::Compiled, EngineChoice::Bytecode] {
-        let got = run_serial_with(&program, Heap::new(), &opts(1, engine));
+    for (engine, opt_level, label) in SERIAL_MATRIX {
+        let got = run_serial_artifacts(&artifacts, Heap::new(), &opts(1, engine, opt_level));
         match (&reference, &got) {
             (Ok(r), Ok(g)) => {
                 let diffs = r.heap.diff(&g.heap);
                 if !diffs.is_empty() {
                     return Some(format!(
-                        "serial {engine:?} heap diverges from serial Ast:\n  {}",
+                        "serial {label} heap diverges from serial Ast:\n  {}",
                         diffs.join("\n  ")
                     ));
                 }
@@ -530,35 +578,32 @@ fn check_source(src: &str, threads: usize) -> Option<String> {
             (Err(re), Err(ge)) => {
                 if re != ge {
                     return Some(format!(
-                        "serial {engine:?} error {ge:?} != serial Ast error {re:?}"
+                        "serial {label} error {ge:?} != serial Ast error {re:?}"
                     ));
                 }
             }
             (Ok(_), Err(ge)) => {
                 return Some(format!(
-                    "serial {engine:?} failed ({ge:?}) where serial Ast succeeded"
+                    "serial {label} failed ({ge:?}) where serial Ast succeeded"
                 ));
             }
             (Err(re), Ok(_)) => {
                 return Some(format!(
-                    "serial {engine:?} succeeded where serial Ast failed ({re:?})"
+                    "serial {label} succeeded where serial Ast failed ({re:?})"
                 ));
             }
         }
     }
 
-    for engine in [
-        EngineChoice::Ast,
-        EngineChoice::Compiled,
-        EngineChoice::Bytecode,
-    ] {
-        let got = run_parallel(&program, &report, Heap::new(), &opts(threads, engine));
+    for (engine, opt_level, label) in PARALLEL_MATRIX {
+        let got =
+            run_parallel_artifacts(&artifacts, Heap::new(), &opts(threads, engine, opt_level));
         match (&reference, &got) {
             (Ok(r), Ok(g)) => {
                 let diffs = r.heap.diff(&g.heap);
                 if !diffs.is_empty() {
                     return Some(format!(
-                        "parallel {engine:?} (threads={threads}) heap diverges from serial:\n  {}",
+                        "parallel {label} (threads={threads}) heap diverges from serial:\n  {}",
                         diffs.join("\n  ")
                     ));
                 }
@@ -568,12 +613,12 @@ fn check_source(src: &str, threads: usize) -> Option<String> {
             (Err(_), Err(_)) => {}
             (Ok(_), Err(ge)) => {
                 return Some(format!(
-                    "parallel {engine:?} failed ({ge:?}) where serial succeeded"
+                    "parallel {label} failed ({ge:?}) where serial succeeded"
                 ));
             }
             (Err(re), Ok(_)) => {
                 return Some(format!(
-                    "parallel {engine:?} succeeded where serial failed ({re:?})"
+                    "parallel {label} succeeded where serial failed ({re:?})"
                 ));
             }
         }
@@ -717,6 +762,16 @@ fn regression_shapes_stay_in_agreement() {
         // materialize `q` (as 0) in the final heap — the bytecode compiler
         // once elided the no-op copy and dropped the definition.
         "if (x < 0) { q = 1; }\nq = q;\n",
+        // Product reduction: dispatched with identity-1 partials merged by
+        // wrapping multiplication; must match the serial product exactly
+        // (including the wrap for larger n).
+        "int a[16];\nfor (p = 0; p < 16; p++) { a[p] = p - 7; }\nprod = 3;\nfor (i0 = 0; i0 < 16; i0++) { prod *= a[i0] * 2 + 1; }\n",
+        // The O1 superinstruction shapes in one program: a fused
+        // subscripted-subscript load, a compare-and-branch, rank-2 accesses
+        // (copy-elided), a constant fold and a division kept unfolded
+        // because it traps — O0 and O1 must agree bit for bit, errors
+        // included.
+        "int a[16]; int b[16]; int m[4][8];\nfor (p = 0; p < 16; p++) { a[p] = p; b[p] = 15 - p; }\nfor (i0 = 0; i0 < 4; i0++) {\n    for (i1 = 0; i1 < 8; i1++) {\n        m[i0][i1] = a[b[i0 + i1]] + (2 + 3);\n        if (m[i0][i1] != 0) { x += m[i0][i1] / (i1 - 3); }\n    }\n}\n",
     ];
     for (k, src) in cases.iter().enumerate() {
         if let Some(msg) = check_source(src, 3) {

@@ -1,4 +1,4 @@
-//! Equivalence suite for reduction dispatch: `+`, `min` and `max`
+//! Equivalence suite for reduction dispatch: `+`, `*`, `min` and `max`
 //! accumulator loops must produce bit-identical heaps across the serial
 //! tree-walking engine, the serial compiled engine and the parallel
 //! compiled engine (which dispatches them with per-thread partials merged
@@ -31,6 +31,15 @@ const SUM_KERNEL: &str = r#"
     }
 "#;
 
+/// `prod *= 1 + a[k] % 3` starting from a nonzero initial value (the terms
+/// stay small-ish but wrap for large n — wrapping products merge exactly).
+const PROD_KERNEL: &str = r#"
+    prod = 2;
+    for (k = 0; k < n; k++) {
+        prod *= 1 + a[k] % 3;
+    }
+"#;
+
 /// Guarded compare-and-assign minimum over an opaque input array.
 const MIN_KERNEL: &str = r#"
     for (k = 0; k < n; k++) {
@@ -49,6 +58,7 @@ const MAX_KERNEL: &str = r#"
 fn reduction_kernels_are_recognized_with_the_right_operator() {
     for (src, var, op) in [
         (SUM_KERNEL, "total", ReductionOp::Add),
+        (PROD_KERNEL, "prod", ReductionOp::Mul),
         (MIN_KERNEL, "best", ReductionOp::Min),
         (MAX_KERNEL, "hi", ReductionOp::Max),
     ] {
@@ -78,7 +88,12 @@ proptest! {
         dynamic in 0u8..2,
     ) {
         let schedule = if dynamic == 1 { ScheduleChoice::Dynamic } else { ScheduleChoice::Static };
-        for (name, src) in [("sum", SUM_KERNEL), ("min", MIN_KERNEL), ("max", MAX_KERNEL)] {
+        for (name, src) in [
+            ("sum", SUM_KERNEL),
+            ("prod", PROD_KERNEL),
+            ("min", MIN_KERNEL),
+            ("max", MAX_KERNEL),
+        ] {
             let outcome = validate_source(
                 name,
                 src,
@@ -93,25 +108,31 @@ proptest! {
         }
     }
 
-    /// The combiner merge is exact for negative values, wrapping sums and
-    /// duplicated minima — explicit heaps, no synthesis in the way.
+    /// The combiner merge is exact for negative values, wrapping sums,
+    /// wrapping products and duplicated minima — explicit heaps, no
+    /// synthesis in the way.
     #[test]
-    fn explicit_sum_and_min_merges_are_exact(
+    fn explicit_sum_prod_and_min_merges_are_exact(
         n in 2i64..2000,
         bias in -1000i64..1000,
         threads in 2usize..8,
     ) {
         let src = r#"
             total = 0;
+            prod = 3;
             for (k = 0; k < n; k++) {
                 total += v[k];
+                prod *= v[k];
                 if (v[k] < lo) { lo = v[k]; }
             }
         "#;
         let p = parse_program("exact", src).unwrap();
         let report = parallelize(&p);
         prop_assert!(report.outermost_parallel_loops().contains(&LoopId(0)));
-        let data: Vec<i64> = (0..n).map(|i| (i * 131) % 601 - 300 + bias).collect();
+        prop_assert_eq!(report.loop_report(LoopId(0)).unwrap().reductions.len(), 3);
+        // Odd values only, so the product never collapses to 0 (or a huge
+        // power of two) and keeps wrapping non-trivially as n grows.
+        let data: Vec<i64> = (0..n).map(|i| ((i * 131) % 601 - 300 + bias) | 1).collect();
         let heap = Heap::new()
             .with_scalar("n", n)
             .with_scalar("lo", 1 << 40)
