@@ -1,10 +1,8 @@
-//! Interpreter execution cost: the Figure 9 product kernel executed by the
-//! bytecode (register-machine) serial engine at both `--opt-level`s, by
-//! the compiled (slot-resolved) serial engine, by the tree-walking serial
-//! engine they replaced, by the parallel engine (compile-time verdicts,
-//! zero runtime analysis), and — for the runtime-machinery comparison the
-//! paper argues against — by the native inspector/executor driver on the
-//! same CSR data.
+//! Interpreter execution cost: the Figure 9 product kernel executed by
+//! every registered serial engine (the bytecode engine at both
+//! `--opt-level`s), by the parallel engines, and — for the
+//! runtime-machinery comparison the paper argues against — by the native
+//! inspector/executor driver on the same CSR data.
 //!
 //! The serial engines form the interpretation-cost ladder: identical
 //! program, identical inputs, identical single thread — the only
@@ -12,19 +10,16 @@
 //! a flat instruction stream vs the *optimized* flat stream.  The
 //! O1-vs-O0 pair is the superinstruction/peephole win the optimizer
 //! exists for; bytecode-vs-compiled is the expression-flattening win
-//! below it.  The pipeline compiles **once**, outside the timed loops, so
-//! every number is pure execution cost.
+//! below it.  The session compiles **once**, outside the timed loops (the
+//! engine handles come from its registry), so every number is pure
+//! execution cost.
 //!
 //! Run with `cargo bench -p ss-bench --bench interp_exec`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ss_inspector::executor::{run_range_partitioned, Mode};
-use ss_interp::{
-    run_parallel_artifacts, run_serial_artifacts, synthesize_inputs, EngineChoice, ExecOptions,
-    InputSpec, OptLevel,
-};
+use ss_interp::{engine_label, synthesize_inputs, ExecOptions, InputSpec, Session};
 use ss_npb::kernels::fig9;
-use ss_parallelizer::Artifacts;
 use ss_runtime::{hardware_threads, CsrMatrix};
 
 fn bench_interp(c: &mut Criterion) {
@@ -32,7 +27,9 @@ fn bench_interp(c: &mut Criterion) {
         .into_iter()
         .find(|k| k.name == "fig9_csr_product")
         .expect("catalogue kernel");
-    let artifacts = Artifacts::compile_source(kernel.name, kernel.source).unwrap();
+    let session = Session::new();
+    // Compile once, up front; the timed loops below only execute.
+    let artifacts = session.artifacts(kernel.name, kernel.source).unwrap();
     let spec = InputSpec {
         scale: 200,
         seed: 7,
@@ -41,49 +38,49 @@ fn bench_interp(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("interp_exec_fig9");
     group.sample_size(10);
-    for (label, engine, opt_level) in [
-        (
-            "serial_engine_bytecode_o1",
-            EngineChoice::Bytecode,
-            OptLevel::O1,
-        ),
-        (
-            "serial_engine_bytecode_o0",
-            EngineChoice::Bytecode,
-            OptLevel::O0,
-        ),
-        (
-            "serial_engine_compiled",
-            EngineChoice::Compiled,
-            OptLevel::O1,
-        ),
-        ("serial_engine_ast", EngineChoice::Ast, OptLevel::O1),
-    ] {
-        let opts = ExecOptions {
-            threads: 1,
-            engine,
-            opt_level,
-            ..ExecOptions::default()
-        };
-        group.bench_function(label, |b| {
-            b.iter(|| run_serial_artifacts(&artifacts, initial.clone(), &opts).unwrap())
-        });
+    // Every registered engine, at every opt level it distinguishes —
+    // adding an engine to the registry adds its ladder rung here.
+    for engine in session.registry().iter() {
+        for &opt_level in engine.caps().opt_levels {
+            let label = format!("serial_engine_{}", engine_label(engine.as_ref(), opt_level))
+                .replace('@', "_")
+                .to_lowercase();
+            let opts = ExecOptions {
+                threads: 1,
+                opt_level,
+                ..ExecOptions::default()
+            };
+            let engine = engine.clone();
+            group.bench_function(&label, |b| {
+                b.iter(|| {
+                    engine
+                        .run_serial(&artifacts, initial.clone(), &opts)
+                        .unwrap()
+                })
+            });
+        }
     }
-    for (label, engine) in [
-        ("parallel_engine_bytecode", EngineChoice::Bytecode),
-        ("parallel_engine_compiled", EngineChoice::Compiled),
-    ] {
+    for engine in session.registry().iter() {
+        let caps = engine.caps();
+        if !(caps.reductions && caps.local_arrays) {
+            continue; // only the dispatching engines are worth the sweep
+        }
+        let label = format!("parallel_engine_{}", engine.name());
         for threads in [2usize, 4] {
             if threads > hardware_threads() * 2 {
                 continue;
             }
             let opts = ExecOptions {
                 threads,
-                engine,
                 ..ExecOptions::default()
             };
-            group.bench_with_input(BenchmarkId::new(label, threads), &opts, |b, opts| {
-                b.iter(|| run_parallel_artifacts(&artifacts, initial.clone(), opts).unwrap())
+            let engine = engine.clone();
+            group.bench_with_input(BenchmarkId::new(&label, threads), &opts, |b, opts| {
+                b.iter(|| {
+                    engine
+                        .run_parallel(&artifacts, initial.clone(), opts)
+                        .unwrap()
+                })
             });
         }
     }

@@ -8,62 +8,42 @@
 //!
 //! ```text
 //! sspar analyze kernel.c          # verdicts + facts + annotated source
+//! sspar analyze kernel.c --format json   # the same, machine-readable
 //! sspar trace   kernel.c          # Phase 1 / Phase 2 summaries per loop
 //! sspar study                     # the Figure-1 catalogue study table
 //! sspar kernels                   # list the built-in catalogue kernels
+//! sspar engines                   # list the registered execution engines
 //! sspar analyze --kernel fig9_csr_product   # analyze a catalogue kernel
 //! ```
 //!
+//! The CLI is a thin shell over the library API: every command drives one
+//! process-wide [`ss_interp::Session`] (so repeated in-process invocations
+//! share the content-addressed artifact cache), engines are whatever that
+//! session's [`EngineRegistry`](ss_interp::EngineRegistry) holds — the CLI
+//! never names an engine itself — and every failure is an
+//! [`SsError`] whose [`exit_code`](SsError::exit_code) the binary exits
+//! with.
+//!
 //! The command logic lives in [`run`], which is a pure function from
-//! arguments (plus an abstract file reader) to output text, so the whole CLI
-//! is unit-testable without touching the file system.
+//! arguments (plus an abstract file reader) to output text, so the whole
+//! CLI is unit-testable without touching the file system.
 
 #![warn(missing_docs)]
 
 use ss_aggregation::analyze_program;
 use ss_interp::{
-    synthesize_inputs, validate, EngineChoice, ExecMode, ExecOptions, InputSpec, OptLevel,
-    ScheduleChoice,
+    analysis_json, registry_json, ExecMode, OptLevel, RunRequest, ScheduleChoice, Session, SsError,
+    ValidationMode,
 };
 use ss_ir::{parse_program, LoopId};
-use ss_parallelizer::{run_study, Artifacts, StudyInput};
+use ss_parallelizer::{run_study, StudyInput, VerdictKind};
+use std::sync::OnceLock;
 
-/// Errors the CLI reports to the user (exit status 1 or 2).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CliError {
-    /// The arguments did not form a valid command; the string is the usage
-    /// text to print.
-    Usage(String),
-    /// A file could not be read.
-    Io(String),
-    /// The kernel source could not be parsed.
-    Parse(String),
-    /// An unknown catalogue kernel was requested.
-    UnknownKernel(String),
-    /// The program failed while executing (out of bounds, division by zero,
-    /// runaway loop, …).
-    Exec(String),
-    /// `sspar run --validate` found the parallel heap diverging from the
-    /// serial one.
-    Validation(String),
-}
-
-impl std::fmt::Display for CliError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CliError::Usage(u) => write!(f, "{u}"),
-            CliError::Io(e) => write!(f, "error: {e}"),
-            CliError::Parse(e) => write!(f, "parse error: {e}"),
-            CliError::UnknownKernel(k) => {
-                write!(
-                    f,
-                    "error: no catalogue kernel named '{k}' (try `sspar kernels`)"
-                )
-            }
-            CliError::Exec(e) => write!(f, "execution error: {e}"),
-            CliError::Validation(e) => write!(f, "validation FAILED: {e}"),
-        }
-    }
+/// The process-wide session: one artifact cache and one engine registry
+/// serve every command of every in-process invocation.
+fn session() -> &'static Session {
+    static SESSION: OnceLock<Session> = OnceLock::new();
+    SESSION.get_or_init(Session::new)
 }
 
 /// The usage text.
@@ -71,14 +51,15 @@ pub fn usage() -> String {
     "sspar — compile-time parallelization of subscripted subscript patterns\n\
      \n\
      USAGE:\n\
-     \u{20}   sspar analyze <file.c> [--baseline] [--no-source] [--dump-bytecode] [--opt-level 0|1]\n\
-     \u{20}   sspar analyze --kernel <name>  [--baseline] [--no-source] [--dump-bytecode] [--opt-level 0|1]\n\
+     \u{20}   sspar analyze <file.c> [--baseline] [--no-source] [--dump-bytecode] [--opt-level 0|1] [--format text|json]\n\
+     \u{20}   sspar analyze --kernel <name>  [same options]\n\
      \u{20}   sspar trace   <file.c>\n\
      \u{20}   sspar trace   --kernel <name>\n\
      \u{20}   sspar run     <file.c> [run options]\n\
      \u{20}   sspar run     --kernel <name> [run options]\n\
      \u{20}   sspar study\n\
      \u{20}   sspar kernels\n\
+     \u{20}   sspar engines [--format text|json]\n\
      \n\
      COMMANDS:\n\
      \u{20}   analyze   run the full pipeline and print per-loop verdicts,\n\
@@ -89,6 +70,8 @@ pub fn usage() -> String {
      \u{20}             serially and in parallel, and print per-loop timings\n\
      \u{20}   study     run the Figure-1 study over the built-in catalogue\n\
      \u{20}   kernels   list the built-in catalogue kernels\n\
+     \u{20}   engines   list the registered execution engines and their\n\
+     \u{20}             capabilities (exactly what --engine accepts)\n\
      \n\
      OPTIONS:\n\
      \u{20}   --kernel <name>  use a built-in catalogue kernel instead of a file\n\
@@ -98,19 +81,25 @@ pub fn usage() -> String {
      \u{20}   --opt-level <0|1>  which bytecode stream to use: the base compiler's (0)\n\
      \u{20}                    or the optimized one (1, default — fused subscripted-\n\
      \u{20}                    subscript loads, compare-and-branch, constant folding)\n\
+     \u{20}   --format <text|json>  analyze/engines/run: output format (default text);\n\
+     \u{20}                    JSON schemas are stable for downstream tooling\n\
      \n\
      RUN OPTIONS:\n\
      \u{20}   --threads <N>           worker threads (default: all hardware threads)\n\
      \u{20}   --n <SIZE>              input scale: loop bounds / data modulus (default 256)\n\
      \u{20}   --seed <S>              input data seed (default 1)\n\
-     \u{20}   --validate              assert serial-ast, serial and parallel heaps are identical\n\
+     \u{20}   --validate              exit nonzero unless all engines' heaps are identical\n\
      \u{20}   --baseline inspector    run the runtime-inspector baseline on serial loops\n\
      \u{20}   --schedule <auto|static|dynamic>  scheduling of parallel loops (default auto)\n\
-     \u{20}   --engine <bytecode|compiled|ast>  register-machine bytecode (default),\n\
-     \u{20}                           slot-resolved compiled execution, or the\n\
-     \u{20}                           tree-walking reference engine\n\
-     \u{20}   --opt-level <0|1>       bytecode engine: run the O0 or O1 stream (default 1)\n"
+     \u{20}   --engine <name>         execution engine, from `sspar engines`\n\
+     \u{20}                           (default: the registry default)\n\
+     \u{20}   --opt-level <0|1>       bytecode engine: run the O0 or O1 stream (default 1)\n\
+     \u{20}   --format <text|json>    print the structured run outcome as JSON\n"
         .to_string()
+}
+
+fn usage_err() -> SsError {
+    SsError::Usage(usage())
 }
 
 /// How the CLI obtains file contents; tests substitute an in-memory reader.
@@ -124,8 +113,18 @@ pub struct FsReader;
 
 impl SourceReader for FsReader {
     fn read(&self, path: &str) -> Result<String, String> {
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+        std::fs::read_to_string(path).map_err(|e| e.to_string())
     }
+}
+
+/// Output format of machine-readable-capable commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable tables (the default).
+    #[default]
+    Text,
+    /// Stable JSON for downstream tooling.
+    Json,
 }
 
 /// Parsed command line.
@@ -143,6 +142,8 @@ pub enum Command {
         dump_bytecode: bool,
         /// Which bytecode stream `--dump-bytecode` prints.
         opt_level: OptLevel,
+        /// Text or JSON output.
+        format: OutputFormat,
     },
     /// `sspar trace …`
     Trace {
@@ -160,6 +161,11 @@ pub enum Command {
     Study,
     /// `sspar kernels`
     Kernels,
+    /// `sspar engines`
+    Engines {
+        /// Text or JSON output.
+        format: OutputFormat,
+    },
 }
 
 /// Options of `sspar run`.
@@ -171,16 +177,18 @@ pub struct RunOptions {
     pub scale: i64,
     /// Input seed.
     pub seed: u64,
-    /// Assert serial ≡ parallel heaps; non-zero exit on divergence.
+    /// Exit nonzero unless all engines' final heaps are bit-identical.
     pub validate: bool,
     /// Run the runtime-inspector baseline on serial loops.
     pub baseline_inspector: bool,
     /// Scheduling of dispatched loops.
     pub schedule: ScheduleChoice,
-    /// Execution engine (compiled slots or tree-walking reference).
-    pub engine: EngineChoice,
-    /// Bytecode stream the bytecode engine runs (`--opt-level`).
+    /// Execution engine by registry name (`None` = registry default).
+    pub engine: Option<String>,
+    /// Bytecode stream opt-level-sensitive engines run (`--opt-level`).
     pub opt_level: OptLevel,
+    /// Text or JSON output.
+    pub format: OutputFormat,
 }
 
 impl Default for RunOptions {
@@ -192,8 +200,9 @@ impl Default for RunOptions {
             validate: false,
             baseline_inspector: false,
             schedule: ScheduleChoice::Auto,
-            engine: EngineChoice::Bytecode,
+            engine: None,
             opt_level: OptLevel::O1,
+            format: OutputFormat::Text,
         }
     }
 }
@@ -207,51 +216,72 @@ pub enum Input {
     Catalogue(String),
 }
 
+fn parse_format(v: Option<&&str>) -> Result<OutputFormat, SsError> {
+    match v {
+        Some(&"text") => Ok(OutputFormat::Text),
+        Some(&"json") => Ok(OutputFormat::Json),
+        _ => Err(usage_err()),
+    }
+}
+
 /// Parses the argument vector (without the program name).
-pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+pub fn parse_args(args: &[String]) -> Result<Command, SsError> {
     let mut it = args.iter().map(String::as_str);
-    let cmd = it.next().ok_or_else(|| CliError::Usage(usage()))?;
+    let cmd = it.next().ok_or_else(usage_err)?;
     match cmd {
         "study" => Ok(Command::Study),
         "kernels" => Ok(Command::Kernels),
+        "engines" => {
+            let rest: Vec<&str> = it.collect();
+            let mut format = OutputFormat::Text;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--format" => {
+                        format = parse_format(rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    _ => return Err(usage_err()),
+                }
+            }
+            Ok(Command::Engines { format })
+        }
         "run" => {
             let rest: Vec<&str> = it.collect();
             let mut input: Option<Input> = None;
             let mut options = RunOptions::default();
             let mut i = 0;
-            let parse_num = |rest: &[&str], i: usize| -> Result<String, CliError> {
-                rest.get(i + 1)
-                    .map(|s| s.to_string())
-                    .ok_or_else(|| CliError::Usage(usage()))
+            let parse_val = |rest: &[&str], i: usize| -> Result<String, SsError> {
+                rest.get(i + 1).map(|s| s.to_string()).ok_or_else(usage_err)
             };
             while i < rest.len() {
                 match rest[i] {
                     "--kernel" => {
-                        let name = parse_num(&rest, i)?;
+                        let name = parse_val(&rest, i)?;
                         input = Some(Input::Catalogue(name));
                         i += 2;
                     }
                     "--threads" => {
-                        let v = parse_num(&rest, i)?;
-                        let threads: usize = v.parse().map_err(|_| CliError::Usage(usage()))?;
+                        let v = parse_val(&rest, i)?;
+                        let threads: usize = v.parse().map_err(|_| usage_err())?;
                         if threads < 1 {
-                            return Err(CliError::Usage(usage()));
+                            return Err(usage_err());
                         }
                         options.threads = Some(threads);
                         i += 2;
                     }
                     "--n" => {
-                        let v = parse_num(&rest, i)?;
-                        let scale: i64 = v.parse().map_err(|_| CliError::Usage(usage()))?;
+                        let v = parse_val(&rest, i)?;
+                        let scale: i64 = v.parse().map_err(|_| usage_err())?;
                         if scale < 1 {
-                            return Err(CliError::Usage(usage()));
+                            return Err(usage_err());
                         }
                         options.scale = scale;
                         i += 2;
                     }
                     "--seed" => {
-                        let v = parse_num(&rest, i)?;
-                        options.seed = v.parse().map_err(|_| CliError::Usage(usage()))?;
+                        let v = parse_val(&rest, i)?;
+                        options.seed = v.parse().map_err(|_| usage_err())?;
                         i += 2;
                     }
                     "--validate" => {
@@ -261,7 +291,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--baseline" => {
                         match rest.get(i + 1) {
                             Some(&"inspector") => options.baseline_inspector = true,
-                            _ => return Err(CliError::Usage(usage())),
+                            _ => return Err(usage_err()),
                         }
                         i += 2;
                     }
@@ -270,34 +300,40 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             Some(&"auto") => ScheduleChoice::Auto,
                             Some(&"static") => ScheduleChoice::Static,
                             Some(&"dynamic") => ScheduleChoice::Dynamic,
-                            _ => return Err(CliError::Usage(usage())),
+                            _ => return Err(usage_err()),
                         };
                         i += 2;
                     }
                     "--engine" => {
-                        options.engine = match rest.get(i + 1) {
-                            Some(&"bytecode") => EngineChoice::Bytecode,
-                            Some(&"compiled") => EngineChoice::Compiled,
-                            Some(&"ast") => EngineChoice::Ast,
-                            _ => return Err(CliError::Usage(usage())),
-                        };
+                        // Any name is accepted here; the registry decides at
+                        // execution time (unknown names exit with code 5 and
+                        // the list of what is registered).
+                        let name = rest.get(i + 1).ok_or_else(usage_err)?;
+                        if name.starts_with("--") {
+                            return Err(usage_err());
+                        }
+                        options.engine = Some(name.to_string());
                         i += 2;
                     }
                     "--opt-level" => {
                         options.opt_level = rest
                             .get(i + 1)
                             .and_then(|v| OptLevel::from_flag(v))
-                            .ok_or_else(|| CliError::Usage(usage()))?;
+                            .ok_or_else(usage_err)?;
+                        i += 2;
+                    }
+                    "--format" => {
+                        options.format = parse_format(rest.get(i + 1))?;
                         i += 2;
                     }
                     other if !other.starts_with("--") && input.is_none() => {
                         input = Some(Input::File(other.to_string()));
                         i += 1;
                     }
-                    _ => return Err(CliError::Usage(usage())),
+                    _ => return Err(usage_err()),
                 }
             }
-            let input = input.ok_or_else(|| CliError::Usage(usage()))?;
+            let input = input.ok_or_else(usage_err)?;
             Ok(Command::Run { input, options })
         }
         "analyze" | "trace" => {
@@ -307,11 +343,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let mut no_source = false;
             let mut dump_bytecode = false;
             let mut opt_level = OptLevel::O1;
+            let mut format = OutputFormat::Text;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i] {
                     "--kernel" => {
-                        let name = rest.get(i + 1).ok_or_else(|| CliError::Usage(usage()))?;
+                        let name = rest.get(i + 1).ok_or_else(usage_err)?;
                         input = Some(Input::Catalogue(name.to_string()));
                         i += 2;
                     }
@@ -331,17 +368,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         opt_level = rest
                             .get(i + 1)
                             .and_then(|v| OptLevel::from_flag(v))
-                            .ok_or_else(|| CliError::Usage(usage()))?;
+                            .ok_or_else(usage_err)?;
+                        i += 2;
+                    }
+                    "--format" if cmd == "analyze" => {
+                        format = parse_format(rest.get(i + 1))?;
                         i += 2;
                     }
                     other if !other.starts_with("--") && input.is_none() => {
                         input = Some(Input::File(other.to_string()));
                         i += 1;
                     }
-                    _ => return Err(CliError::Usage(usage())),
+                    _ => return Err(usage_err()),
                 }
             }
-            let input = input.ok_or_else(|| CliError::Usage(usage()))?;
+            let input = input.ok_or_else(usage_err)?;
             if cmd == "analyze" {
                 Ok(Command::Analyze {
                     input,
@@ -349,13 +390,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     no_source,
                     dump_bytecode,
                     opt_level,
+                    format,
                 })
             } else {
                 Ok(Command::Trace { input })
             }
         }
-        "--help" | "-h" | "help" => Err(CliError::Usage(usage())),
-        other => Err(CliError::Usage(format!(
+        "--help" | "-h" | "help" => Err(usage_err()),
+        other => Err(SsError::Usage(format!(
             "unknown command '{other}'\n\n{}",
             usage()
         ))),
@@ -363,16 +405,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 }
 
 /// Runs the parsed command, returning the text to print.
-pub fn execute(cmd: &Command, reader: &dyn SourceReader) -> Result<String, CliError> {
+pub fn execute(cmd: &Command, reader: &dyn SourceReader) -> Result<String, SsError> {
     match cmd {
         Command::Study => Ok(study_text()),
         Command::Kernels => Ok(kernels_text()),
+        Command::Engines { format } => Ok(engines_text(*format)),
         Command::Analyze {
             input,
             baseline,
             no_source,
             dump_bytecode,
             opt_level,
+            format,
         } => {
             let (name, source) = resolve_input(input, reader)?;
             analyze_text(
@@ -382,6 +426,7 @@ pub fn execute(cmd: &Command, reader: &dyn SourceReader) -> Result<String, CliEr
                 *no_source,
                 *dump_bytecode,
                 *opt_level,
+                *format,
             )
         }
         Command::Trace { input } => {
@@ -395,24 +440,44 @@ pub fn execute(cmd: &Command, reader: &dyn SourceReader) -> Result<String, CliEr
     }
 }
 
-/// Parses the arguments and runs the command in one step (what `main` does).
-pub fn run(args: &[String], reader: &dyn SourceReader) -> Result<String, CliError> {
+/// Parses the arguments and runs the command in one step (what `main`
+/// does).  Exit through [`SsError::exit_code`] on `Err`.
+pub fn run(args: &[String], reader: &dyn SourceReader) -> Result<String, SsError> {
     execute(&parse_args(args)?, reader)
 }
 
-fn resolve_input(input: &Input, reader: &dyn SourceReader) -> Result<(String, String), CliError> {
+fn resolve_input(input: &Input, reader: &dyn SourceReader) -> Result<(String, String), SsError> {
     match input {
-        Input::File(path) => Ok((path.clone(), reader.read(path).map_err(CliError::Io)?)),
+        Input::File(path) => Ok((
+            path.clone(),
+            reader.read(path).map_err(|message| SsError::Io {
+                path: path.clone(),
+                message,
+            })?,
+        )),
         Input::Catalogue(name) => {
             let kernel = ss_npb::study_kernels()
                 .into_iter()
                 .find(|k| k.name == name)
-                .ok_or_else(|| CliError::UnknownKernel(name.clone()))?;
+                .ok_or_else(|| SsError::UnknownKernel(name.clone()))?;
             Ok((kernel.name.to_string(), kernel.source.to_string()))
         }
     }
 }
 
+/// The verdict column of the text tables, derived from the report's own
+/// classification.
+fn verdict_cell(l: &ss_parallelizer::LoopReport) -> String {
+    match l.verdict() {
+        VerdictKind::Parallel => "PARALLEL".to_string(),
+        VerdictKind::Reduction => {
+            format!("PARALLEL (reduction {})", l.reduction_clause())
+        }
+        VerdictKind::Serial => "serial".to_string(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn analyze_text(
     name: &str,
     source: &str,
@@ -420,35 +485,28 @@ fn analyze_text(
     no_source: bool,
     dump_bytecode: bool,
     opt_level: OptLevel,
-) -> Result<String, CliError> {
-    // One pipeline invocation feeds the verdict table, the facts and the
-    // bytecode dump, so the L<n> loop ids in the listing always match —
-    // and nothing below recompiles.
-    let artifacts =
-        Artifacts::compile_source(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
+    format: OutputFormat,
+) -> Result<String, SsError> {
+    // One pipeline invocation — served from the session cache when this
+    // process has compiled the identical source before — feeds the verdict
+    // table, the facts and the bytecode dump, so the L<n> loop ids in the
+    // listing always match and nothing below recompiles.
+    let artifacts = session().artifacts(name, source)?;
+    if format == OutputFormat::Json {
+        let mut out = analysis_json(&artifacts);
+        out.push('\n');
+        return Ok(out);
+    }
     let report = &artifacts.report;
     let mut out = String::new();
     out.push_str(&format!("== {name}: per-loop verdicts ==\n"));
     for l in &report.loops {
-        let reduction_verdict;
-        let verdict = if l.parallel {
-            "PARALLEL"
-        } else if !l.reductions.is_empty() {
-            reduction_verdict = format!(
-                "PARALLEL (reduction {})",
-                l.reductions
-                    .iter()
-                    .map(|r| format!("{}:{}", r.op.symbol(), r.var))
-                    .collect::<Vec<_>>()
-                    .join(",")
-            );
-            reduction_verdict.as_str()
-        } else {
-            "serial"
-        };
         out.push_str(&format!(
             "loop {:<3} (depth {}, index '{}'): {}\n",
-            l.loop_id.0, l.depth, l.index_var, verdict
+            l.loop_id.0,
+            l.depth,
+            l.index_var,
+            verdict_cell(l)
         ));
         if baseline {
             out.push_str(&format!(
@@ -489,8 +547,8 @@ fn analyze_text(
     Ok(out)
 }
 
-fn trace_text(name: &str, source: &str) -> Result<String, CliError> {
-    let program = parse_program(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
+fn trace_text(name: &str, source: &str) -> Result<String, SsError> {
+    let program = parse_program(name, source)?;
     let analysis = analyze_program(&program);
     let mut out = String::new();
     out.push_str(&format!("== {name}: Phase 1 / Phase 2 trace ==\n"));
@@ -534,60 +592,67 @@ fn trace_text(name: &str, source: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, CliError> {
-    // One pipeline invocation produces the artifacts every engine of the
-    // validation matrix consumes — nothing below recompiles.
-    let artifacts =
-        Artifacts::compile_source(name, source).map_err(|e| CliError::Parse(e.to_string()))?;
-    let report = &artifacts.report;
-    let spec = InputSpec {
-        scale: options.scale,
-        seed: options.seed,
-    };
-    let initial =
-        synthesize_inputs(&artifacts.program, &spec).map_err(|e| CliError::Exec(e.to_string()))?;
-    let threads = options.threads.unwrap_or_else(ss_runtime::hardware_threads);
-    let exec_opts = ExecOptions {
-        threads,
-        schedule: options.schedule,
-        engine: options.engine,
-        opt_level: options.opt_level,
-        baseline_inspector: options.baseline_inspector,
-        ..ExecOptions::default()
-    };
-    let outcome =
-        validate(&artifacts, &initial, &exec_opts).map_err(|e| CliError::Exec(e.to_string()))?;
+fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, SsError> {
+    // One session request runs the whole differential matrix off one
+    // (cached) pipeline invocation — nothing below recompiles.
+    let mut request = RunRequest::new(name, source)
+        .scale(options.scale)
+        .seed(options.seed)
+        .schedule(options.schedule)
+        .opt_level(options.opt_level)
+        .baseline_inspector(options.baseline_inspector)
+        .validation(ValidationMode::Differential);
+    if let Some(engine) = &options.engine {
+        request = request.engine(engine.clone());
+    }
+    if let Some(threads) = options.threads {
+        request = request.threads(threads);
+    }
+    let outcome = session().run(&request)?;
+    if options.validate {
+        outcome.ensure_validated()?;
+    }
+    if options.format == OutputFormat::Json {
+        let mut out = outcome.to_json();
+        out.push('\n');
+        return Ok(out);
+    }
 
-    // The inspector baseline's recording store is a tree-walker feature:
-    // run_parallel uses the AST engine whenever it is requested, so report
-    // the engine that actually executed.
+    // Report the engine that actually executed: the parallel leg is
+    // redirected under the inspector baseline, and opt-level-sensitive
+    // engines show which stream they ran.
+    let resolved = session().registry().get(&outcome.engine)?;
     let engine_name = if options.baseline_inspector {
-        "ast (inspector baseline)".to_string()
+        format!(
+            "{} (inspector baseline)",
+            outcome.parallel_engine.as_deref().unwrap_or("?")
+        )
+    } else if resolved.caps().opt_levels.len() > 1 {
+        format!("{} ({})", outcome.engine, outcome.opt_level)
     } else {
-        match options.engine {
-            EngineChoice::Bytecode => format!("bytecode ({})", options.opt_level),
-            EngineChoice::Compiled => "compiled".to_string(),
-            EngineChoice::Ast => "ast".to_string(),
-        }
+        outcome.engine.clone()
     };
+    let serial_stats = outcome.serial.as_ref().expect("differential runs serially");
+    let parallel_stats = outcome
+        .parallel
+        .as_ref()
+        .expect("differential runs in parallel");
     let mut out = String::new();
     out.push_str(&format!(
-        "== {name}: executed with scale n={} seed={} on {threads} thread(s), {engine_name} engine ==\n\n",
-        options.scale, options.seed
+        "== {name}: executed with scale n={} seed={} on {} thread(s), {engine_name} engine ==\n\n",
+        options.scale, options.seed, outcome.threads
     ));
     out.push_str(&format!(
         "{:<6} {:<7} {:<10} {:<18} {:>12} {:>12} {:>9}\n",
         "loop", "index", "verdict", "execution", "serial s", "parallel s", "speedup"
     ));
-    for l in &report.loops {
-        let verdict = if l.parallel {
-            "PARALLEL"
-        } else if !l.reductions.is_empty() {
-            "REDUCTION"
-        } else {
-            "serial"
+    for v in &outcome.verdicts {
+        let verdict = match v.verdict {
+            VerdictKind::Parallel => "PARALLEL",
+            VerdictKind::Reduction => "REDUCTION",
+            VerdictKind::Serial => "serial",
         };
-        let (mode, inspected) = match outcome.parallel.loops.get(&l.loop_id) {
+        let (mode, inspected) = match parallel_stats.loops.get(&v.loop_id) {
             Some(s) => (
                 match s.mode {
                     ExecMode::Serial => "serial".to_string(),
@@ -602,26 +667,24 @@ fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, Cl
             // dispatched ancestor.
             None => ("(inside parallel)".to_string(), None),
         };
-        let serial_s = outcome
-            .serial
+        let serial_s = serial_stats
             .loops
-            .get(&l.loop_id)
+            .get(&v.loop_id)
             .map(|s| s.seconds)
             .unwrap_or(0.0);
-        let parallel_s = outcome
-            .parallel
+        let parallel_s = parallel_stats
             .loops
-            .get(&l.loop_id)
+            .get(&v.loop_id)
             .map(|s| s.seconds)
             .unwrap_or(0.0);
-        let speedup = if parallel_s > 0.0 && outcome.parallel.loops.contains_key(&l.loop_id) {
+        let speedup = if parallel_s > 0.0 && parallel_stats.loops.contains_key(&v.loop_id) {
             format!("{:.2}x", serial_s / parallel_s)
         } else {
             "-".to_string()
         };
         out.push_str(&format!(
             "L{:<5} {:<7} {:<10} {:<18} {:>12.6} {:>12.6} {:>9}\n",
-            l.loop_id.0, l.index_var, verdict, mode, serial_s, parallel_s, speedup
+            v.loop_id.0, v.index_var, verdict, mode, serial_s, parallel_s, speedup
         ));
         if let Some(cf) = inspected {
             out.push_str(&format!(
@@ -636,23 +699,75 @@ fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, Cl
     }
     out.push_str(&format!(
         "\ntotal: serial {:.6}s, parallel {:.6}s, speedup {:.2}x\n",
-        outcome.serial.total_seconds,
-        outcome.parallel.total_seconds,
-        outcome.speedup()
+        serial_stats.total_seconds,
+        parallel_stats.total_seconds,
+        outcome.speedup().unwrap_or(0.0)
     ));
-    if options.validate {
-        if outcome.heaps_match {
-            out.push_str(
-                "validation: PASS (ast, compiled, bytecode O0, bytecode O1 and parallel heaps are bit-identical)\n",
-            );
+    if let Some(v) = &outcome.validation {
+        if v.heaps_match {
+            out.push_str(&format!(
+                "validation: PASS (reference and {} final heaps are bit-identical)\n",
+                v.compared.join(", ")
+            ));
         } else {
-            return Err(CliError::Validation(format!(
-                "{name}: serial and parallel heaps diverge:\n  {}",
-                outcome.mismatches.join("\n  ")
-            )));
+            out.push_str(
+                "validation: FAIL (heaps diverge; rerun with --validate to exit nonzero)\n",
+            );
+            for m in &v.mismatches {
+                out.push_str(&format!("  {m}\n"));
+            }
         }
     }
     Ok(out)
+}
+
+fn engines_text(format: OutputFormat) -> String {
+    let registry = session().registry();
+    if format == OutputFormat::Json {
+        let mut out = registry_json(registry);
+        out.push('\n');
+        return out;
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:<8} {:<55} capabilities\n",
+        "engine", "default", "description"
+    ));
+    for (i, e) in registry.iter().enumerate() {
+        let caps = e.caps();
+        let mut flags = Vec::new();
+        if caps.reference {
+            flags.push("reference".to_string());
+        }
+        if caps.reductions {
+            flags.push("reductions".to_string());
+        }
+        if caps.local_arrays {
+            flags.push("local-arrays".to_string());
+        }
+        if caps.inspector_baseline {
+            flags.push("inspector-baseline".to_string());
+        }
+        if caps.persistent_team {
+            flags.push("persistent-team".to_string());
+        }
+        flags.push(format!(
+            "opt-levels:{}",
+            caps.opt_levels
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join("/")
+        ));
+        out.push_str(&format!(
+            "{:<10} {:<8} {:<55} {}\n",
+            e.name(),
+            if i == 0 { "*" } else { "" },
+            e.description(),
+            flags.join(", ")
+        ));
+    }
+    out
 }
 
 fn study_text() -> String {
@@ -721,13 +836,26 @@ mod tests {
         assert_eq!(parse_args(&args(&["study"])).unwrap(), Command::Study);
         assert_eq!(parse_args(&args(&["kernels"])).unwrap(), Command::Kernels);
         assert_eq!(
+            parse_args(&args(&["engines"])).unwrap(),
+            Command::Engines {
+                format: OutputFormat::Text
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["engines", "--format", "json"])).unwrap(),
+            Command::Engines {
+                format: OutputFormat::Json
+            }
+        );
+        assert_eq!(
             parse_args(&args(&["analyze", "k.c"])).unwrap(),
             Command::Analyze {
                 input: Input::File("k.c".into()),
                 baseline: false,
                 no_source: false,
                 dump_bytecode: false,
-                opt_level: OptLevel::O1
+                opt_level: OptLevel::O1,
+                format: OutputFormat::Text,
             }
         );
         assert_eq!(
@@ -739,7 +867,9 @@ mod tests {
                 "--no-source",
                 "--dump-bytecode",
                 "--opt-level",
-                "0"
+                "0",
+                "--format",
+                "json"
             ]))
             .unwrap(),
             Command::Analyze {
@@ -747,7 +877,8 @@ mod tests {
                 baseline: true,
                 no_source: true,
                 dump_bytecode: true,
-                opt_level: OptLevel::O0
+                opt_level: OptLevel::O0,
+                format: OutputFormat::Json,
             }
         );
         assert_eq!(
@@ -760,26 +891,34 @@ mod tests {
 
     #[test]
     fn parse_args_rejects_bad_invocations() {
-        assert!(matches!(parse_args(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&[]), Err(SsError::Usage(_))));
         assert!(matches!(
             parse_args(&args(&["frobnicate"])),
-            Err(CliError::Usage(_))
+            Err(SsError::Usage(_))
         ));
         assert!(matches!(
             parse_args(&args(&["analyze"])),
-            Err(CliError::Usage(_))
+            Err(SsError::Usage(_))
         ));
         assert!(matches!(
             parse_args(&args(&["analyze", "--kernel"])),
-            Err(CliError::Usage(_))
+            Err(SsError::Usage(_))
         ));
         assert!(matches!(
             parse_args(&args(&["analyze", "k.c", "--bogus"])),
-            Err(CliError::Usage(_))
+            Err(SsError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["analyze", "k.c", "--format", "yaml"])),
+            Err(SsError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["engines", "--bogus"])),
+            Err(SsError::Usage(_))
         ));
         assert!(matches!(
             parse_args(&args(&["--help"])),
-            Err(CliError::Usage(_))
+            Err(SsError::Usage(_))
         ));
     }
 
@@ -792,6 +931,45 @@ mod tests {
         assert!(out.contains("baseline (no index-array properties): serial"));
         assert!(out.contains("#pragma omp parallel for"));
         assert!(out.contains("mt_to_id"));
+    }
+
+    #[test]
+    fn analyze_format_json_emits_the_stable_schema() {
+        let reader = MapReader(HashMap::from([("fig2.c".to_string(), FIG2.to_string())]));
+        let out = run(&args(&["analyze", "fig2.c", "--format", "json"]), &reader).unwrap();
+        for key in [
+            "\"program\":\"fig2.c\"",
+            "\"verdicts\":[",
+            "\"verdict\":\"parallel\"",
+            "\"newly_enabled\":true",
+            "\"stages\":[{\"stage\":\"analyze\"",
+            "\"annotated_source\":",
+            "#pragma omp parallel for",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        assert!(out.ends_with('\n'));
+        // No text-table artifacts in the JSON output.
+        assert!(!out.contains("== "));
+    }
+
+    #[test]
+    fn engines_lists_the_registry_with_capabilities() {
+        let reader = MapReader(HashMap::new());
+        let out = run(&args(&["engines"]), &reader).unwrap();
+        // Every registered engine appears, flagged from its own caps —
+        // the list cannot drift from what --engine accepts.
+        for e in session().registry().iter() {
+            assert!(out.contains(e.name()), "{out}");
+            assert!(out.contains(e.description()), "{out}");
+        }
+        assert!(out.contains("reference"));
+        assert!(out.contains("persistent-team"));
+        assert!(out.contains("opt-levels:O0/O1"));
+        let json = run(&args(&["engines", "--format", "json"]), &reader).unwrap();
+        assert!(json.contains("\"engines\":["), "{json}");
+        assert!(json.contains("\"default\":true"), "{json}");
+        assert!(json.contains("\"opt_levels\":[\"O0\",\"O1\"]"), "{json}");
     }
 
     #[test]
@@ -809,7 +987,7 @@ mod tests {
         assert!(out.contains("rowptr"));
         assert!(out.contains("PARALLEL"));
         let err = run(&args(&["analyze", "--kernel", "not_a_kernel"]), &reader).unwrap_err();
-        assert!(matches!(err, CliError::UnknownKernel(_)));
+        assert!(matches!(err, SsError::UnknownKernel(_)));
     }
 
     #[test]
@@ -858,7 +1036,7 @@ mod tests {
                     &args(&["trace", "--kernel", "fig9_csr_product", flag]),
                     &reader
                 ),
-                Err(CliError::Usage(_))
+                Err(SsError::Usage(_))
             ));
         }
     }
@@ -918,7 +1096,9 @@ mod tests {
                 "--engine",
                 "ast",
                 "--opt-level",
-                "0"
+                "0",
+                "--format",
+                "json"
             ]))
             .unwrap(),
             Command::Run {
@@ -930,8 +1110,9 @@ mod tests {
                     validate: true,
                     baseline_inspector: true,
                     schedule: ScheduleChoice::Dynamic,
-                    engine: EngineChoice::Ast,
+                    engine: Some("ast".into()),
                     opt_level: OptLevel::O0,
+                    format: OutputFormat::Json,
                 },
             }
         );
@@ -949,13 +1130,14 @@ mod tests {
             vec!["run", "k.c", "--n", "0"],
             vec!["run", "k.c", "--baseline", "lrpd"],
             vec!["run", "k.c", "--schedule", "guided"],
-            vec!["run", "k.c", "--engine", "jit"],
             vec!["run", "k.c", "--engine"],
+            vec!["run", "k.c", "--engine", "--validate"],
             vec!["run", "k.c", "--opt-level", "2"],
             vec!["run", "k.c", "--opt-level"],
+            vec!["run", "k.c", "--format", "xml"],
         ] {
             assert!(
-                matches!(parse_args(&args(&bad)), Err(CliError::Usage(_))),
+                matches!(parse_args(&args(&bad)), Err(SsError::Usage(_))),
                 "{bad:?}"
             );
         }
@@ -1014,6 +1196,60 @@ mod tests {
     }
 
     #[test]
+    fn run_rejects_unknown_engines_with_the_registered_list() {
+        let reader = MapReader(HashMap::new());
+        let err = run(
+            &args(&["run", "--kernel", "fig2_ua_transfer", "--engine", "jit"]),
+            &reader,
+        )
+        .unwrap_err();
+        match &err {
+            SsError::UnknownEngine { name, available } => {
+                assert_eq!(name, "jit");
+                assert_eq!(
+                    available,
+                    &session()
+                        .registry()
+                        .names()
+                        .iter()
+                        .map(|n| n.to_string())
+                        .collect::<Vec<_>>()
+                );
+            }
+            other => panic!("expected UnknownEngine, got {other:?}"),
+        }
+        assert_eq!(err.exit_code(), 5);
+    }
+
+    #[test]
+    fn run_format_json_emits_the_run_outcome() {
+        let reader = MapReader(HashMap::new());
+        let out = run(
+            &args(&[
+                "run",
+                "--kernel",
+                "fig2_ua_transfer",
+                "--threads",
+                "2",
+                "--n",
+                "64",
+                "--format",
+                "json",
+            ]),
+            &reader,
+        )
+        .unwrap();
+        for key in [
+            "\"program\":\"fig2_ua_transfer\"",
+            "\"engine\":\"bytecode\"",
+            "\"validation\":{\"heaps_match\":true",
+            "\"dispatched\":[",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+    }
+
+    #[test]
     fn analyze_and_run_report_reduction_verdicts() {
         let reader = MapReader(HashMap::new());
         let out = run(
@@ -1062,6 +1298,7 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("runtime inspector baseline"));
+        assert!(out.contains("(inspector baseline)"));
         assert!(out.contains("validation: PASS"));
     }
 
@@ -1073,7 +1310,7 @@ mod tests {
         )]));
         assert!(matches!(
             run(&args(&["run", "oob.c"]), &reader),
-            Err(CliError::Exec(_))
+            Err(SsError::Runtime(_))
         ));
     }
 
@@ -1085,15 +1322,45 @@ mod tests {
         )]));
         assert!(matches!(
             run(&args(&["analyze", "nope.c"]), &reader),
-            Err(CliError::Io(_))
+            Err(SsError::Io { .. })
         ));
         assert!(matches!(
             run(&args(&["analyze", "bad.c"]), &reader),
-            Err(CliError::Parse(_))
+            Err(SsError::Parse(_))
         ));
         assert!(matches!(
             run(&args(&["trace", "bad.c"]), &reader),
-            Err(CliError::Parse(_))
+            Err(SsError::Parse(_))
         ));
+    }
+
+    /// The satellite fix this PR pins: every failure class exits with its
+    /// own stable code, parse errors and runtime errors included — they
+    /// used to share exit 1.
+    #[test]
+    fn exit_codes_are_routed_through_ss_error() {
+        let reader = MapReader(HashMap::from([
+            ("bad.c".to_string(), "for (i = 0 i < n; i++) {}".to_string()),
+            ("oob.c".to_string(), "x = a[0 - 5];".to_string()),
+        ]));
+        let cases: Vec<(Vec<&str>, i32)> = vec![
+            (vec!["frobnicate"], 2),                  // usage
+            (vec!["analyze", "nope.c"], 3),           // io
+            (vec!["analyze", "bad.c"], 4),            // parse
+            (vec!["run", "bad.c"], 4),                // parse via run
+            (vec!["analyze", "--kernel", "nope"], 5), // unknown kernel
+            (
+                vec!["run", "--kernel", "fig2_ua_transfer", "--engine", "jit"],
+                5,
+            ), // unknown engine
+            (vec!["run", "oob.c"], 7),                // runtime
+        ];
+        for (argv, code) in cases {
+            let err = run(&args(&argv), &reader).unwrap_err();
+            assert_eq!(err.exit_code(), code, "{argv:?} -> {err}");
+        }
+        // A parse error's span survives to the CLI surface.
+        let err = run(&args(&["analyze", "bad.c"]), &reader).unwrap_err();
+        assert!(err.span().is_some());
     }
 }

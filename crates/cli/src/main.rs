@@ -1,18 +1,21 @@
-//! The `sspar` binary: thin wrapper around [`ss_cli::run`].
+//! The `sspar` binary: thin wrapper around [`ss_cli::run`], exiting with
+//! the stable per-class codes of
+//! [`SsError::exit_code`](ss_interp::SsError::exit_code).
 
-use ss_cli::{run, CliError, FsReader};
+use ss_cli::{run, FsReader};
+use ss_interp::SsError;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args, &FsReader) {
         Ok(text) => print!("{text}"),
-        Err(CliError::Usage(u)) => {
+        Err(SsError::Usage(u)) => {
             eprint!("{u}");
-            std::process::exit(2);
+            std::process::exit(SsError::Usage(String::new()).exit_code());
         }
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -31,6 +31,7 @@ pub mod study;
 
 pub use pipeline::{
     parallelize, parallelize_source, Artifacts, LoopReport, ParallelizationReport, StageTiming,
+    VerdictKind,
 };
 pub use reduction::{recognize_reductions, ReductionInfo, ReductionOp};
 pub use study::{run_study, StudyInput, StudyRow, StudyTable};

@@ -62,6 +62,48 @@ impl LoopReport {
     pub fn is_parallelizable(&self) -> bool {
         self.parallel || !self.reductions.is_empty()
     }
+
+    /// The verdict class of the loop — the one classification every
+    /// consumer (CLI tables, JSON output, the session API) renders from.
+    pub fn verdict(&self) -> VerdictKind {
+        if self.parallel {
+            VerdictKind::Parallel
+        } else if !self.reductions.is_empty() {
+            VerdictKind::Reduction
+        } else {
+            VerdictKind::Serial
+        }
+    }
+
+    /// The loop's reductions rendered as an OpenMP-style clause body
+    /// (`+:total,min:best`); empty for non-reduction loops.
+    pub fn reduction_clause(&self) -> String {
+        reduction_clause(&self.reductions)
+    }
+}
+
+/// How a loop may legally execute, as proven at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictKind {
+    /// Iterations are independent: dispatch freely.
+    Parallel,
+    /// Iterations carry only well-formed accumulators: dispatch with
+    /// per-thread partials and a combiner.
+    Reduction,
+    /// A dependence blocks concurrent execution.
+    Serial,
+}
+
+impl VerdictKind {
+    /// Stable lower-case label (`parallel` / `reduction` / `serial`) used
+    /// by machine-readable output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VerdictKind::Parallel => "parallel",
+            VerdictKind::Reduction => "reduction",
+            VerdictKind::Serial => "serial",
+        }
+    }
 }
 
 /// The full report for a program.

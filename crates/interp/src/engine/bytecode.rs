@@ -8,8 +8,8 @@
 //!
 //! Array state lives exactly where the compiled engine keeps it: dense
 //! per-slot frames on the spine, shared raw views plus worker-private
-//! local storage inside dispatched workers ([`super::compiled::SharedSlots`]
-//! and [`super::compiled::ChunkAcc`] are reused verbatim, so the two
+//! local storage inside dispatched workers (`super::compiled::SharedSlots`
+//! and `super::compiled::ChunkAcc` are reused verbatim, so the two
 //! parallel engines cannot drift apart in their merge semantics).  The
 //! parallel dispatcher accepts the same verdict classes as the compiled
 //! one — independent loops, reduction loops, loops with body-local array

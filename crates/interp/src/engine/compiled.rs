@@ -1,7 +1,7 @@
 //! The compiled engines: slot-addressed execution over dense frames.
 //!
 //! [`ss_ir::slots`] resolves every name once, at compile time; these
-//! engines then execute [`CompiledBody`] op sequences against a [`Frame`]
+//! engines then execute [`CompiledBody`] op sequences against a `Frame`
 //! whose scalars are a plain `Vec<i64>` — no hashing, no per-loop
 //! free-variable analysis, no per-iteration snapshot construction.  The
 //! parallel engine dispatches every outermost loop the report licenses:

@@ -1,46 +1,55 @@
 //! The execution engines.
 //!
-//! Three execution strategies share one set of verdicts:
+//! Three execution strategies share one set of verdicts, each behind the
+//! object-safe [`Engine`] trait and enumerable through the
+//! [`EngineRegistry`] (consumers resolve engines by name or capability,
+//! never by pattern-matching):
 //!
-//! * the **bytecode** engines ([`bytecode`]) execute the flat
-//!   register-machine stream of [`ss_ir::bytecode`] — no per-expression
-//!   tree walking at all, and the parallel dispatcher runs its workers on
-//!   a persistent thread team.  This is the default;
-//! * the **compiled** engines ([`compiled`]) execute the slot-resolved
-//!   [`ss_ir::CompiledProgram`] over dense frames — name resolution happens
-//!   once, before the first iteration, so the hot path pays no hashing and
-//!   no per-entry free-variable analysis, but expressions are still walked
-//!   as (slot-addressed) trees.  Kept as the mid-level differential stage;
-//! * the **tree-walking** engines ([`serial`], [`dispatch`]) interpret the
-//!   AST directly against the name-keyed heap.  They are the semantic
-//!   reference (`--engine ast`).
+//! * the **bytecode** engine ([`bytecode`], [`registry::BytecodeEngine`])
+//!   executes the flat register-machine stream of [`ss_ir::bytecode`] — no
+//!   per-expression tree walking at all, and the parallel dispatcher runs
+//!   its workers on a persistent thread team.  This is the default;
+//! * the **compiled** engine ([`compiled`], [`registry::CompiledEngine`])
+//!   executes the slot-resolved [`ss_ir::CompiledProgram`] over dense
+//!   frames — name resolution happens once, before the first iteration, so
+//!   the hot path pays no hashing and no per-entry free-variable analysis,
+//!   but expressions are still walked as (slot-addressed) trees.  Kept as
+//!   the mid-level differential stage;
+//! * the **tree-walking** engine ([`serial`], [`dispatch`],
+//!   [`registry::AstEngine`]) interprets the AST directly against the
+//!   name-keyed heap.  It is the semantic reference
+//!   ([`EngineCaps::reference`]).
 //!
 //! Cross-engine agreement is itself a validation axis, on top of
-//! serial-vs-parallel: `validate` asserts ast ≡ compiled ≡ bytecode ≡
-//! parallel bit-identical final heaps, and `tests/engine_fuzz.rs` asserts
-//! the same over generated programs.  The bytecode and compiled engines
-//! both dispatch reduction loops (per-thread partials merged by the
-//! combiner) and loops with loop-local array declarations (per-iteration
-//! private storage); the AST engine leaves those serial.
+//! serial-vs-parallel: the [`Session`](crate::Session) differential mode
+//! asserts ast ≡ compiled ≡ bytecode ≡ parallel bit-identical final heaps,
+//! and `tests/engine_fuzz.rs` asserts the same over generated programs.
+//! The bytecode and compiled engines both dispatch reduction loops
+//! (per-thread partials merged by the combiner) and loops with loop-local
+//! array declarations (per-iteration private storage); the AST engine
+//! leaves those serial — all recorded as [`EngineCaps`] flags, which is
+//! what consumers branch on.
 //!
-//! Module layout: [`store`] holds the tree-walker's pluggable stores (whole
-//! heap, recording inspector, shared-array worker views); [`serial`] the
-//! statement walker and serial engine; [`dispatch`] the AST parallel
-//! engine; [`compiled`] the slot-addressed engines; [`bytecode`] the
-//! register-machine engines.
+//! Module layout: [`registry`] holds the [`Engine`] trait, the built-in
+//! implementations and the [`EngineRegistry`]; [`store`] the tree-walker's
+//! pluggable stores (whole heap, recording inspector, shared-array worker
+//! views); [`serial`] the statement walker and serial engine; [`dispatch`]
+//! the AST parallel engine; [`compiled`] the slot-addressed engines;
+//! [`bytecode`] the register-machine engines.
 
 pub mod bytecode;
 pub mod compiled;
 pub mod dispatch;
+pub mod registry;
 pub mod serial;
 pub mod store;
 
 use crate::heap::Heap;
 use ss_ir::ast::LoopId;
 use ss_ir::opt::OptLevel;
-use ss_ir::Program;
-use ss_parallelizer::{Artifacts, ParallelizationReport};
 use std::collections::BTreeMap;
+
+pub use registry::{Engine, EngineCaps, EngineRegistry};
 
 /// A runtime failure of the interpreted program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -268,38 +277,28 @@ pub enum ScheduleChoice {
     Dynamic,
 }
 
-/// Which execution strategy runs the program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum EngineChoice {
-    /// Flat register-machine bytecode over a dense register file (the
-    /// default; parallel loops run on a persistent thread team).
-    #[default]
-    Bytecode,
-    /// Slot-resolved compiled execution over dense frames.
-    Compiled,
-    /// The tree-walking reference engine (name-keyed heap, AST walker).
-    Ast,
-}
-
-/// Knobs of the engines.
+/// Knobs of the engines.  Which *engine* runs is no longer in here: pick
+/// one from the [`EngineRegistry`] (or let
+/// [`Session`](crate::Session)/[`RunRequest`](crate::RunRequest) resolve
+/// it by name) and hand it these options.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Worker threads for dispatched loops.
     pub threads: usize,
     /// Scheduling of dispatched loops.
     pub schedule: ScheduleChoice,
-    /// Compiled or tree-walking execution (see [`EngineChoice`]).
-    pub engine: EngineChoice,
     /// Which bytecode stream the bytecode engine executes: the base
     /// compiler's (`O0`) or the optimized one (`O1`, the default).  Both
     /// are produced by the one pipeline invocation and are bit-identical
-    /// in observable behavior — `validate` asserts it.
+    /// in observable behavior — differential validation asserts it.
+    /// Engines that do not consume the bytecode stream ignore this.
     pub opt_level: OptLevel,
     /// Run the runtime-inspector baseline on loops the compile-time analysis
     /// left serial, recording whether an inspector/executor scheme would
     /// have parallelized them (see [`LoopStats::inspector_conflict_free`]).
-    /// The recording store is a tree-walker feature: a parallel run with
-    /// this flag set uses the AST engine regardless of `engine`.
+    /// Only engines with [`EngineCaps::inspector_baseline`] accept this for
+    /// parallel runs; others refuse with
+    /// [`SsError::Unsupported`](crate::SsError::Unsupported).
     pub baseline_inspector: bool,
     /// Loops with fewer iterations than this run serially (dispatch would
     /// cost more than it buys).
@@ -313,7 +312,6 @@ impl Default for ExecOptions {
         ExecOptions {
             threads: ss_runtime::hardware_threads(),
             schedule: ScheduleChoice::Auto,
-            engine: EngineChoice::Bytecode,
             opt_level: OptLevel::O1,
             baseline_inspector: false,
             min_parallel_trip: 2,
@@ -322,127 +320,12 @@ impl Default for ExecOptions {
     }
 }
 
-/// Executes a program off precompiled pipeline [`Artifacts`], serially.
-/// This is the canonical entry point: the pipeline compiled exactly once
-/// and every engine — the tree walker included — reads the same store.
-/// `opts.engine` selects the strategy; for the bytecode engine
-/// `opts.opt_level` selects the O0 or O1 stream.
-pub fn run_serial_artifacts(
-    artifacts: &Artifacts,
-    heap: Heap,
-    opts: &ExecOptions,
-) -> Result<ExecOutcome, ExecError> {
-    match opts.engine {
-        EngineChoice::Bytecode => {
-            bytecode::run_serial_bytecode(artifacts.bytecode_at(opts.opt_level), heap, opts)
-        }
-        EngineChoice::Compiled => compiled::run_serial_compiled(&artifacts.compiled, heap, opts),
-        EngineChoice::Ast => serial::run_serial_ast(&artifacts.program, heap, opts),
-    }
-}
-
-/// Executes a program off precompiled pipeline [`Artifacts`] with the
-/// parallel engine; the dispatch schedule comes from the artifacts' own
-/// analysis report.  See [`run_parallel`] for the engine semantics.
-pub fn run_parallel_artifacts(
-    artifacts: &Artifacts,
-    heap: Heap,
-    opts: &ExecOptions,
-) -> Result<ExecOutcome, ExecError> {
-    if opts.baseline_inspector || opts.engine == EngineChoice::Ast {
-        dispatch::run_parallel_ast(&artifacts.program, &artifacts.report, heap, opts)
-    } else if opts.engine == EngineChoice::Compiled {
-        compiled::run_parallel_compiled(&artifacts.compiled, &artifacts.report, heap, opts)
-    } else {
-        bytecode::run_parallel_bytecode(
-            artifacts.bytecode_at(opts.opt_level),
-            &artifacts.report,
-            heap,
-            opts,
-        )
-    }
-}
-
-/// Executes the program serially with the default options (bytecode
-/// engine).  `heap` is the initial program state (see
-/// [`crate::inputs::synthesize_inputs`]).
-pub fn run_serial(program: &Program, heap: Heap) -> Result<ExecOutcome, ExecError> {
-    run_serial_with(program, heap, &ExecOptions::default())
-}
-
-/// [`run_serial`] with explicit options (`engine` selects the strategy,
-/// `while_cap` bounds loops).
-///
-/// Convenience wrapper over [`run_serial_artifacts`] for one-shot runs: it
-/// compiles what the selected engine needs at the call site.  Anything
-/// running more than one engine (or more than once) should build
-/// [`Artifacts`] and use the artifacts entry points instead, which compile
-/// exactly once for the whole run.
-pub fn run_serial_with(
-    program: &Program,
-    heap: Heap,
-    opts: &ExecOptions,
-) -> Result<ExecOutcome, ExecError> {
-    match opts.engine {
-        EngineChoice::Bytecode => {
-            let compiled = ss_ir::slots::compile_program(program);
-            let bc = ss_ir::bytecode::compile_bytecode(&compiled);
-            // O0 executes the base stream as compiled; only O1 rewrites.
-            let bc = match opts.opt_level {
-                OptLevel::O0 => bc,
-                OptLevel::O1 => ss_ir::opt::optimize(&bc, OptLevel::O1),
-            };
-            bytecode::run_serial_bytecode(&bc, heap, opts)
-        }
-        EngineChoice::Compiled => {
-            let compiled = ss_ir::slots::compile_program(program);
-            compiled::run_serial_compiled(&compiled, heap, opts)
-        }
-        EngineChoice::Ast => serial::run_serial_ast(program, heap, opts),
-    }
-}
-
-/// Executes the program with the parallel engine: loops the `report` proved
-/// parallelizable (outermost ones) are dispatched onto `ss_runtime` worker
-/// threads; everything else runs serially.
-///
-/// The bytecode engine (default) and the compiled engine additionally
-/// dispatch reduction loops (per-thread partial accumulators merged by the
-/// recognized combiner) and loops whose bodies declare arrays
-/// (per-iteration private storage); the bytecode engine runs its workers
-/// on a persistent, process-wide thread team reused across parallel
-/// regions — and across whole runs.  The AST engine (`engine: Ast`, or any
-/// run with `baseline_inspector` set) leaves both classes serial.
-///
-/// Like [`run_serial_with`], this compiles at the call site; prefer
-/// [`run_parallel_artifacts`] wherever a pipeline invocation is available.
-pub fn run_parallel(
-    program: &Program,
-    report: &ParallelizationReport,
-    heap: Heap,
-    opts: &ExecOptions,
-) -> Result<ExecOutcome, ExecError> {
-    if opts.baseline_inspector || opts.engine == EngineChoice::Ast {
-        dispatch::run_parallel_ast(program, report, heap, opts)
-    } else if opts.engine == EngineChoice::Compiled {
-        let compiled = ss_ir::slots::compile_program(program);
-        compiled::run_parallel_compiled(&compiled, report, heap, opts)
-    } else {
-        let compiled = ss_ir::slots::compile_program(program);
-        let bc = ss_ir::bytecode::compile_bytecode(&compiled);
-        let bc = match opts.opt_level {
-            OptLevel::O0 => bc,
-            OptLevel::O1 => ss_ir::opt::optimize(&bc, OptLevel::O1),
-        };
-        bytecode::run_parallel_bytecode(&bc, report, heap, opts)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use ss_ir::parse_program;
-    use ss_parallelizer::parallelize;
+    use ss_parallelizer::Artifacts;
+    use std::sync::Arc;
 
     fn opts(threads: usize) -> ExecOptions {
         ExecOptions {
@@ -451,27 +334,30 @@ mod tests {
         }
     }
 
-    fn engine_opts(threads: usize, engine: EngineChoice) -> ExecOptions {
-        ExecOptions {
-            threads,
-            engine,
-            ..ExecOptions::default()
-        }
+    fn compile(name: &str, src: &str) -> Artifacts {
+        Artifacts::compile(&parse_program(name, src).unwrap())
     }
 
-    const ENGINES: [EngineChoice; 3] = [
-        EngineChoice::Bytecode,
-        EngineChoice::Compiled,
-        EngineChoice::Ast,
-    ];
+    fn engines() -> Vec<Arc<dyn Engine>> {
+        EngineRegistry::builtin().iter().cloned().collect()
+    }
 
     /// The engines whose parallel dispatcher handles reductions and
-    /// loop-local arrays.
-    const DISPATCHING: [EngineChoice; 2] = [EngineChoice::Bytecode, EngineChoice::Compiled];
+    /// loop-local arrays, per their own capability flags.
+    fn dispatching() -> Vec<Arc<dyn Engine>> {
+        engines()
+            .into_iter()
+            .filter(|e| e.caps().reductions && e.caps().local_arrays)
+            .collect()
+    }
+
+    fn reference_engine() -> Arc<dyn Engine> {
+        EngineRegistry::builtin().reference().unwrap()
+    }
 
     #[test]
     fn serial_engines_run_a_prefix_sum() {
-        let p = parse_program(
+        let art = compile(
             "t",
             r#"
             s[0] = 0;
@@ -479,14 +365,13 @@ mod tests {
                 s[i] = s[i-1] + i;
             }
         "#,
-        )
-        .unwrap();
+        );
         let heap = Heap::new()
             .with_scalar("n", 10)
             .with_array("s", vec![0; 11]);
-        for engine in ENGINES {
-            let out = run_serial_with(&p, heap.clone(), &engine_opts(1, engine)).unwrap();
-            assert_eq!(out.heap.arrays["s"].data[10], 55, "{engine:?}");
+        for engine in engines() {
+            let out = engine.run_serial(&art, heap.clone(), &opts(1)).unwrap();
+            assert_eq!(out.heap.arrays["s"].data[10], 55, "{}", engine.name());
             assert_eq!(out.heap.scalars["i"], 11);
             assert_eq!(out.stats.loops[&LoopId(0)].iterations, 10);
         }
@@ -494,7 +379,7 @@ mod tests {
 
     #[test]
     fn conditionals_compound_ops_and_short_circuit() {
-        let p = parse_program(
+        let art = compile(
             "t",
             r#"
             x = 0;
@@ -508,54 +393,54 @@ mod tests {
             y = !x;
             z = -x;
         "#,
-        )
-        .unwrap();
-        for engine in ENGINES {
-            let out = run_serial_with(&p, Heap::new(), &engine_opts(1, engine)).unwrap();
+        );
+        for engine in engines() {
+            let out = engine.run_serial(&art, Heap::new(), &opts(1)).unwrap();
             // even, not 4: 0+2+6+8 = 16; five odd iterations and i==4 subtract 6.
-            assert_eq!(out.heap.scalars["x"], 10, "{engine:?}");
+            assert_eq!(out.heap.scalars["x"], 10, "{}", engine.name());
             assert_eq!(out.heap.scalars["y"], 0);
             assert_eq!(out.heap.scalars["z"], -10);
         }
     }
 
     #[test]
-    fn errors_are_reported_identically_by_both_engines() {
-        for engine in ENGINES {
-            let o = engine_opts(1, engine);
-            let p = parse_program("t", "x = a[5];").unwrap();
+    fn errors_are_reported_identically_by_every_engine() {
+        use crate::error::SsError;
+        for engine in engines() {
+            let o = opts(1);
+            let art = compile("t", "x = a[5];");
             let heap = Heap::new().with_array("a", vec![0; 3]);
             assert!(matches!(
-                run_serial_with(&p, heap, &o),
-                Err(ExecError::OutOfBounds { .. })
+                engine.run_serial(&art, heap, &o),
+                Err(SsError::Runtime(ExecError::OutOfBounds { .. }))
             ));
 
-            let p = parse_program("t", "x = a[0];").unwrap();
+            let art = compile("t", "x = a[0];");
             assert!(matches!(
-                run_serial_with(&p, Heap::new(), &o),
-                Err(ExecError::UndefinedArray(_))
+                engine.run_serial(&art, Heap::new(), &o),
+                Err(SsError::Runtime(ExecError::UndefinedArray(_)))
             ));
 
-            let p = parse_program("t", "x = 1 / y;").unwrap();
+            let art = compile("t", "x = 1 / y;");
             assert!(matches!(
-                run_serial_with(&p, Heap::new(), &o),
-                Err(ExecError::DivisionByZero)
+                engine.run_serial(&art, Heap::new(), &o),
+                Err(SsError::Runtime(ExecError::DivisionByZero))
             ));
 
-            let p = parse_program("t", "while (1) { x = 0; }").unwrap();
+            let art = compile("t", "while (1) { x = 0; }");
             let capped = ExecOptions {
                 while_cap: 1000,
                 ..o.clone()
             };
             assert!(matches!(
-                run_serial_with(&p, Heap::new(), &capped),
-                Err(ExecError::NonTerminating { .. })
+                engine.run_serial(&art, Heap::new(), &capped),
+                Err(SsError::Runtime(ExecError::NonTerminating { .. }))
             ));
         }
     }
 
     #[test]
-    fn compiled_and_ast_serial_heaps_are_bit_identical() {
+    fn serial_heaps_are_bit_identical_across_engines() {
         // Declarations, shadowing loop-local arrays, while loops, nested
         // conditionals, undefined-scalar reads — the shapes where an
         // engine-semantics divergence would hide.
@@ -574,16 +459,17 @@ mod tests {
                 w = w + 1;
             }
         "#;
-        let p = parse_program("tricky", src).unwrap();
+        let art = compile("tricky", src);
         let heap = Heap::new().with_array("out", vec![0; 6]);
-        let ast = run_serial_with(&p, heap.clone(), &engine_opts(1, EngineChoice::Ast)).unwrap();
-        let compiled =
-            run_serial_with(&p, heap.clone(), &engine_opts(1, EngineChoice::Compiled)).unwrap();
-        let bytecode = run_serial_with(&p, heap, &engine_opts(1, EngineChoice::Bytecode)).unwrap();
-        assert_eq!(ast.heap, compiled.heap);
-        assert_eq!(ast.heap, bytecode.heap);
-        // The loop-local array's final state is the last iteration's.
-        assert_eq!(compiled.heap.arrays["g"].dims, vec![3]);
+        let reference = reference_engine()
+            .run_serial(&art, heap.clone(), &opts(1))
+            .unwrap();
+        for engine in engines() {
+            let out = engine.run_serial(&art, heap.clone(), &opts(1)).unwrap();
+            assert_eq!(reference.heap, out.heap, "{}", engine.name());
+            // The loop-local array's final state is the last iteration's.
+            assert_eq!(out.heap.arrays["g"].dims, vec![3]);
+        }
     }
 
     #[test]
@@ -595,20 +481,22 @@ mod tests {
                 id_to_mt[iel] = miel;
             }
         "#;
-        let p = parse_program("fig2", src).unwrap();
-        let report = parallelize(&p);
-        assert!(report.loop_report(LoopId(1)).unwrap().parallel);
+        let art = compile("fig2", src);
+        assert!(art.report.loop_report(LoopId(1)).unwrap().parallel);
         let n = 5000;
         let heap = Heap::new()
             .with_scalar("nelt", n)
             .with_array("mt_to_id", vec![0; n as usize])
             .with_array("id_to_mt", vec![0; n as usize]);
-        let serial = run_serial(&p, heap.clone()).unwrap();
-        for engine in ENGINES {
+        let serial = reference_engine()
+            .run_serial(&art, heap.clone(), &opts(1))
+            .unwrap();
+        for engine in engines() {
             for threads in [2, 4] {
-                let par =
-                    run_parallel(&p, &report, heap.clone(), &engine_opts(threads, engine)).unwrap();
-                assert_eq!(par.heap, serial.heap, "{engine:?} threads={threads}");
+                let par = engine
+                    .run_parallel(&art, heap.clone(), &opts(threads))
+                    .unwrap();
+                assert_eq!(par.heap, serial.heap, "{} threads={threads}", engine.name());
                 assert_eq!(
                     par.stats.loops[&LoopId(1)].mode,
                     ExecMode::Parallel {
@@ -622,26 +510,28 @@ mod tests {
 
     #[test]
     fn histogram_loop_is_never_dispatched() {
-        let p = parse_program("hist", "for (i = 0; i < n; i++) { h[idx[i]] = i; }").unwrap();
-        let report = parallelize(&p);
-        assert!(report.outermost_parallel_loops().is_empty());
+        let art = compile("hist", "for (i = 0; i < n; i++) { h[idx[i]] = i; }");
+        assert!(art.report.outermost_parallel_loops().is_empty());
         let heap = Heap::new()
             .with_scalar("n", 100)
             .with_array("idx", (0..100).map(|i| i % 7).collect())
             .with_array("h", vec![-1; 7]);
-        for engine in ENGINES {
-            let par = run_parallel(&p, &report, heap.clone(), &engine_opts(4, engine)).unwrap();
+        let serial = reference_engine()
+            .run_serial(&art, heap.clone(), &opts(1))
+            .unwrap();
+        for engine in engines() {
+            let par = engine.run_parallel(&art, heap.clone(), &opts(4)).unwrap();
             assert!(par.stats.parallel_loops().is_empty());
             assert_eq!(par.stats.loops[&LoopId(0)].mode, ExecMode::Serial);
-            assert_eq!(par.heap, run_serial(&p, heap.clone()).unwrap().heap);
+            assert_eq!(par.heap, serial.heap);
         }
     }
 
     #[test]
     fn inspector_baseline_judges_serial_loops() {
+        let inspector = EngineRegistry::builtin().inspector_capable().unwrap();
         // Histogram (conflicting): inspector must refuse it.
-        let p = parse_program("hist", "for (i = 0; i < n; i++) { h[idx[i]] = i; }").unwrap();
-        let report = parallelize(&p);
+        let art = compile("hist", "for (i = 0; i < n; i++) { h[idx[i]] = i; }");
         let heap = Heap::new()
             .with_scalar("n", 100)
             .with_array("idx", (0..100).map(|i| i % 7).collect())
@@ -650,7 +540,7 @@ mod tests {
             baseline_inspector: true,
             ..opts(4)
         };
-        let out = run_parallel(&p, &report, heap, &o).unwrap();
+        let out = inspector.run_parallel(&art, heap, &o).unwrap();
         assert_eq!(
             out.stats.loops[&LoopId(0)].inspector_conflict_free,
             Some(false)
@@ -659,19 +549,43 @@ mod tests {
         // Permutation scatter via an opaque input array: the compile-time
         // analysis cannot prove it, but this input is injective so the
         // runtime inspector licenses it.
-        let p = parse_program("scatter", "for (i = 0; i < n; i++) { x[p[i]] = i; }").unwrap();
-        let report = parallelize(&p);
-        assert!(report.outermost_parallel_loops().is_empty());
+        let art = compile("scatter", "for (i = 0; i < n; i++) { x[p[i]] = i; }");
+        assert!(art.report.outermost_parallel_loops().is_empty());
         let n = 50i64;
         let heap = Heap::new()
             .with_scalar("n", n)
             .with_array("p", (0..n).rev().collect())
             .with_array("x", vec![0; n as usize]);
-        let out = run_parallel(&p, &report, heap, &o).unwrap();
+        let out = inspector.run_parallel(&art, heap, &o).unwrap();
         assert_eq!(
             out.stats.loops[&LoopId(0)].inspector_conflict_free,
             Some(true)
         );
+    }
+
+    #[test]
+    fn engines_without_the_capability_refuse_the_inspector_baseline() {
+        use crate::error::SsError;
+        let art = compile("t", "for (i = 0; i < n; i++) { out[i] = i; }");
+        let heap = Heap::new()
+            .with_scalar("n", 8)
+            .with_array("out", vec![0; 8]);
+        let o = ExecOptions {
+            baseline_inspector: true,
+            ..opts(2)
+        };
+        for engine in engines() {
+            let got = engine.run_parallel(&art, heap.clone(), &o);
+            if engine.caps().inspector_baseline {
+                assert!(got.is_ok(), "{}", engine.name());
+            } else {
+                assert!(
+                    matches!(got, Err(SsError::Unsupported { .. })),
+                    "{} must refuse the inspector baseline",
+                    engine.name()
+                );
+            }
+        }
     }
 
     #[test]
@@ -687,10 +601,9 @@ mod tests {
                 }
             }
         "#;
-        let p = parse_program("rewrite", src).unwrap();
-        let report = parallelize(&p);
-        assert!(report.outermost_parallel_loops().contains(&LoopId(1)));
-        assert!(!report.loop_report(LoopId(0)).unwrap().parallel);
+        let art = compile("rewrite", src);
+        assert!(art.report.outermost_parallel_loops().contains(&LoopId(1)));
+        assert!(!art.report.loop_report(LoopId(0)).unwrap().parallel);
         let heap = Heap::new()
             .with_scalar("reps", 3)
             .with_scalar("n", 100)
@@ -699,14 +612,16 @@ mod tests {
             baseline_inspector: true,
             ..opts(4)
         };
-        let out = run_parallel(&p, &report, heap.clone(), &o).unwrap();
+        let inspector = EngineRegistry::builtin().inspector_capable().unwrap();
+        let out = inspector.run_parallel(&art, heap.clone(), &o).unwrap();
         assert!(out.stats.parallel_loops().contains(&LoopId(1)));
         assert_eq!(
             out.stats.loops[&LoopId(0)].inspector_conflict_free,
             None,
             "a frame blind to worker accesses must not claim conflict-freedom"
         );
-        assert_eq!(out.heap, run_serial(&p, heap).unwrap().heap);
+        let serial = reference_engine().run_serial(&art, heap, &opts(1)).unwrap();
+        assert_eq!(out.heap, serial.heap);
     }
 
     #[test]
@@ -729,22 +644,23 @@ mod tests {
                 }
             }
         "#;
-        let p = parse_program("csr", src).unwrap();
-        let report = parallelize(&p);
+        let art = compile("csr", src);
         // Loop 3 is the outer traversal; the properties enable it.
-        assert!(report.outermost_parallel_loops().contains(&LoopId(3)));
+        assert!(art.report.outermost_parallel_loops().contains(&LoopId(3)));
         let heap = crate::inputs::synthesize_inputs(
-            &p,
+            &art.program,
             &crate::inputs::InputSpec {
                 scale: 200,
                 seed: 5,
             },
         )
         .unwrap();
-        let serial = run_serial(&p, heap.clone()).unwrap();
-        for engine in ENGINES {
-            let par = run_parallel(&p, &report, heap.clone(), &engine_opts(4, engine)).unwrap();
-            assert_eq!(par.heap, serial.heap, "{engine:?}");
+        let serial = reference_engine()
+            .run_serial(&art, heap.clone(), &opts(1))
+            .unwrap();
+        for engine in engines() {
+            let par = engine.run_parallel(&art, heap.clone(), &opts(4)).unwrap();
+            assert_eq!(par.heap, serial.heap, "{}", engine.name());
             // Auto picks dynamic scheduling because the dispatched loop's
             // inner bounds go through the rowptr index array.
             assert_eq!(
@@ -771,43 +687,49 @@ mod tests {
                 }
             }
         "#;
-        let p = parse_program("t", src).unwrap();
-        let report = parallelize(&p);
-        assert!(!report.outermost_parallel_loops().is_empty());
+        let art = compile("t", src);
+        assert!(!art.report.outermost_parallel_loops().is_empty());
         let n = 1000;
         let heap = Heap::new()
             .with_scalar("n", n)
             .with_array("out", vec![0; n as usize]);
-        let serial = run_serial(&p, heap.clone()).unwrap();
+        let serial = reference_engine()
+            .run_serial(&art, heap.clone(), &opts(1))
+            .unwrap();
         assert_eq!(serial.heap.scalars["last"], 993);
-        for engine in ENGINES {
+        for engine in engines() {
             for threads in [2, 3, 8] {
-                let par =
-                    run_parallel(&p, &report, heap.clone(), &engine_opts(threads, engine)).unwrap();
-                assert_eq!(par.heap, serial.heap, "{engine:?} threads={threads}");
+                let par = engine
+                    .run_parallel(&art, heap.clone(), &opts(threads))
+                    .unwrap();
+                assert_eq!(par.heap, serial.heap, "{} threads={threads}", engine.name());
             }
         }
     }
 
     #[test]
     fn worker_errors_propagate() {
-        let p = parse_program("t", "for (i = 0; i < n; i++) { out[i] = i; }").unwrap();
-        let report = parallelize(&p);
-        assert!(!report.outermost_parallel_loops().is_empty());
-        for engine in ENGINES {
+        use crate::error::SsError;
+        let art = compile("t", "for (i = 0; i < n; i++) { out[i] = i; }");
+        assert!(!art.report.outermost_parallel_loops().is_empty());
+        for engine in engines() {
             let heap = Heap::new()
                 .with_scalar("n", 100)
                 .with_array("out", vec![0; 50]); // too small on purpose
-            let err = run_parallel(&p, &report, heap, &engine_opts(4, engine)).unwrap_err();
-            assert!(matches!(err, ExecError::OutOfBounds { .. }), "{engine:?}");
+            let err = engine.run_parallel(&art, heap, &opts(4)).unwrap_err();
+            assert!(
+                matches!(err, SsError::Runtime(ExecError::OutOfBounds { .. })),
+                "{}",
+                engine.name()
+            );
         }
     }
 
     #[test]
     fn loop_local_arrays_dispatch_with_private_storage() {
-        // scratch is declared per iteration; the bytecode and compiled
-        // engines dispatch the loop with worker-private storage, the AST
-        // engine keeps it serial — all must match the serial heap
+        // scratch is declared per iteration; engines with the local_arrays
+        // capability dispatch the loop with worker-private storage, the
+        // others keep it serial — all must match the serial heap
         // (including scratch's final, last-iteration state).
         let src = r#"
             for (i = 0; i < n; i++) {
@@ -820,23 +742,29 @@ mod tests {
                 }
             }
         "#;
-        let p = parse_program("scratch", src).unwrap();
-        let report = parallelize(&p);
-        assert!(report.loop_report(LoopId(0)).unwrap().parallel);
-        let heap =
-            crate::inputs::synthesize_inputs(&p, &crate::inputs::InputSpec { scale: 96, seed: 4 })
-                .unwrap();
-        let serial = run_serial(&p, heap.clone()).unwrap();
-        for engine in DISPATCHING {
+        let art = compile("scratch", src);
+        assert!(art.report.loop_report(LoopId(0)).unwrap().parallel);
+        let heap = crate::inputs::synthesize_inputs(
+            &art.program,
+            &crate::inputs::InputSpec { scale: 96, seed: 4 },
+        )
+        .unwrap();
+        let serial = reference_engine()
+            .run_serial(&art, heap.clone(), &opts(1))
+            .unwrap();
+        for engine in dispatching() {
             for threads in [2, 3, 8] {
-                let par =
-                    run_parallel(&p, &report, heap.clone(), &engine_opts(threads, engine)).unwrap();
-                assert_eq!(par.heap, serial.heap, "{engine:?} threads={threads}");
+                let par = engine
+                    .run_parallel(&art, heap.clone(), &opts(threads))
+                    .unwrap();
+                assert_eq!(par.heap, serial.heap, "{} threads={threads}", engine.name());
                 assert!(par.stats.parallel_loops().contains(&LoopId(0)));
             }
         }
-        // AST engine: correct but serial.
-        let ast = run_parallel(&p, &report, heap, &engine_opts(4, EngineChoice::Ast)).unwrap();
+        // The reference engine: correct but serial.
+        let ast = reference_engine()
+            .run_parallel(&art, heap, &opts(4))
+            .unwrap();
         assert_eq!(ast.heap, serial.heap);
         assert!(ast.stats.parallel_loops().is_empty());
     }
@@ -853,19 +781,24 @@ mod tests {
                 if (a[k] > hi) { hi = a[k]; }
             }
         "#;
-        let p = parse_program("red", src).unwrap();
-        let report = parallelize(&p);
-        assert!(report.outermost_parallel_loops().contains(&LoopId(0)));
-        assert_eq!(report.loop_report(LoopId(0)).unwrap().reductions.len(), 3);
+        let art = compile("red", src);
+        assert!(art.report.outermost_parallel_loops().contains(&LoopId(0)));
+        assert_eq!(
+            art.report.loop_report(LoopId(0)).unwrap().reductions.len(),
+            3
+        );
         let n = 10_000i64;
         let data: Vec<i64> = (0..n).map(|i| (i * 37) % 1001 - 500).collect();
         let heap = Heap::new().with_scalar("n", n).with_array("a", data);
-        let serial = run_serial(&p, heap.clone()).unwrap();
-        for engine in DISPATCHING {
+        let serial = reference_engine()
+            .run_serial(&art, heap.clone(), &opts(1))
+            .unwrap();
+        for engine in dispatching() {
             for threads in [2, 3, 8] {
-                let par =
-                    run_parallel(&p, &report, heap.clone(), &engine_opts(threads, engine)).unwrap();
-                assert_eq!(par.heap, serial.heap, "{engine:?} threads={threads}");
+                let par = engine
+                    .run_parallel(&art, heap.clone(), &opts(threads))
+                    .unwrap();
+                assert_eq!(par.heap, serial.heap, "{} threads={threads}", engine.name());
                 assert_eq!(
                     par.stats.loops[&LoopId(0)].mode,
                     ExecMode::Parallel {
@@ -875,9 +808,11 @@ mod tests {
                 );
             }
         }
-        // The AST engine must not dispatch a reduction loop (it has no
-        // combiner merge) — but still compute the right answer serially.
-        let ast = run_parallel(&p, &report, heap, &engine_opts(4, EngineChoice::Ast)).unwrap();
+        // The reference engine must not dispatch a reduction loop (it has
+        // no combiner merge) — but still compute the right answer serially.
+        let ast = reference_engine()
+            .run_parallel(&art, heap, &opts(4))
+            .unwrap();
         assert_eq!(ast.heap, serial.heap);
         assert!(ast.stats.parallel_loops().is_empty());
     }

@@ -1,0 +1,464 @@
+//! The pluggable engine registry: every execution strategy behind one
+//! object-safe [`Engine`] trait, enumerated — never pattern-matched — by
+//! every consumer.
+//!
+//! The CLI's `--engine` flag, the differential validator, the generative
+//! fuzz harness and the benches all resolve engines through an
+//! [`EngineRegistry`]; adding an execution strategy (the planned
+//! register-allocated engine, say) means implementing [`Engine`] and
+//! registering it — no consumer changes, and surfaces like
+//! `sspar engines` can never drift from what is actually runnable.
+//!
+//! Engines execute **precompiled** [`Artifacts`] only: compilation happens
+//! once, in the pipeline, and [`Engine::prepare`] is each engine's hook to
+//! veto an artifact store it cannot run (today's engines accept
+//! everything; a future engine with narrower capabilities refuses here
+//! instead of failing mid-run).
+
+use crate::engine::{bytecode, compiled, dispatch, serial, ExecOptions, ExecOutcome};
+use crate::error::SsError;
+use crate::heap::Heap;
+use ss_ir::opt::OptLevel;
+use ss_parallelizer::Artifacts;
+use std::sync::Arc;
+
+/// What an engine can do, as data — consumers branch on these flags, not
+/// on engine names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCaps {
+    /// The parallel dispatcher runs reduction loops with per-thread
+    /// partials merged by the recognized combiner.
+    pub reductions: bool,
+    /// The parallel dispatcher gives loop-local array declarations
+    /// worker-private storage.
+    pub local_arrays: bool,
+    /// Parallel runs can record the runtime-inspector baseline on loops
+    /// the compile-time analysis left serial.
+    pub inspector_baseline: bool,
+    /// Workers run on the persistent process-wide thread team.
+    pub persistent_team: bool,
+    /// This engine is the semantic reference: differential validation
+    /// diffs every other engine against its final heap.
+    pub reference: bool,
+    /// The `--opt-level`s that select *distinct* prepared programs for
+    /// this engine.  Engines that do not consume the bytecode stream
+    /// report a single level (the default); the differential matrix runs
+    /// each engine once per listed level.
+    pub opt_levels: &'static [OptLevel],
+}
+
+/// One execution strategy over pipeline [`Artifacts`].
+///
+/// Implementations are stateless handles (`Send + Sync`): all per-program
+/// state lives in the artifacts, all per-run state in [`ExecOptions`] and
+/// the heap.  Register implementations with
+/// [`EngineRegistry::register`] — or obtain the built-in three via
+/// [`EngineRegistry::builtin`].
+pub trait Engine: Send + Sync + std::fmt::Debug {
+    /// The stable name consumers select the engine by (`--engine <name>`).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description for `sspar engines`.
+    fn description(&self) -> &'static str;
+
+    /// Capability flags (see [`EngineCaps`]).
+    fn caps(&self) -> EngineCaps;
+
+    /// Checks that `artifacts` carry everything this engine needs; called
+    /// once per (session, program) before the first execution.  The
+    /// default accepts everything.
+    fn prepare(&self, artifacts: &Artifacts) -> Result<(), SsError> {
+        let _ = artifacts;
+        Ok(())
+    }
+
+    /// Executes the whole program on one thread.
+    fn run_serial(
+        &self,
+        artifacts: &Artifacts,
+        heap: Heap,
+        opts: &ExecOptions,
+    ) -> Result<ExecOutcome, SsError>;
+
+    /// Executes the program with proven-parallelizable loops dispatched
+    /// onto worker threads (per the artifacts' own analysis report).
+    fn run_parallel(
+        &self,
+        artifacts: &Artifacts,
+        heap: Heap,
+        opts: &ExecOptions,
+    ) -> Result<ExecOutcome, SsError>;
+}
+
+// ---------------------------------------------------------------------------
+// The built-in engines.
+// ---------------------------------------------------------------------------
+
+/// The register-machine bytecode engine (default): executes the flat
+/// instruction stream of `ss_ir::bytecode`, O0 or O1 per
+/// [`ExecOptions::opt_level`]; parallel workers run on the persistent
+/// process-wide thread team.
+#[derive(Debug, Default)]
+pub struct BytecodeEngine;
+
+impl Engine for BytecodeEngine {
+    fn name(&self) -> &'static str {
+        "bytecode"
+    }
+
+    fn description(&self) -> &'static str {
+        "flat register-machine stream (O0/O1), persistent thread team"
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            reductions: true,
+            local_arrays: true,
+            inspector_baseline: false,
+            persistent_team: true,
+            reference: false,
+            opt_levels: &[OptLevel::O0, OptLevel::O1],
+        }
+    }
+
+    fn run_serial(
+        &self,
+        artifacts: &Artifacts,
+        heap: Heap,
+        opts: &ExecOptions,
+    ) -> Result<ExecOutcome, SsError> {
+        Ok(bytecode::run_serial_bytecode(
+            artifacts.bytecode_at(opts.opt_level),
+            heap,
+            opts,
+        )?)
+    }
+
+    fn run_parallel(
+        &self,
+        artifacts: &Artifacts,
+        heap: Heap,
+        opts: &ExecOptions,
+    ) -> Result<ExecOutcome, SsError> {
+        if opts.baseline_inspector {
+            return Err(self.no_inspector());
+        }
+        Ok(bytecode::run_parallel_bytecode(
+            artifacts.bytecode_at(opts.opt_level),
+            &artifacts.report,
+            heap,
+            opts,
+        )?)
+    }
+}
+
+/// The slot-resolved compiled engine: walks slot-addressed op trees over
+/// dense frames — the mid-level differential stage between the tree
+/// walker and the bytecode stream.
+#[derive(Debug, Default)]
+pub struct CompiledEngine;
+
+impl Engine for CompiledEngine {
+    fn name(&self) -> &'static str {
+        "compiled"
+    }
+
+    fn description(&self) -> &'static str {
+        "slot-resolved op trees over dense frames"
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            reductions: true,
+            local_arrays: true,
+            inspector_baseline: false,
+            persistent_team: false,
+            reference: false,
+            opt_levels: &[OptLevel::O1],
+        }
+    }
+
+    fn run_serial(
+        &self,
+        artifacts: &Artifacts,
+        heap: Heap,
+        opts: &ExecOptions,
+    ) -> Result<ExecOutcome, SsError> {
+        Ok(compiled::run_serial_compiled(
+            &artifacts.compiled,
+            heap,
+            opts,
+        )?)
+    }
+
+    fn run_parallel(
+        &self,
+        artifacts: &Artifacts,
+        heap: Heap,
+        opts: &ExecOptions,
+    ) -> Result<ExecOutcome, SsError> {
+        if opts.baseline_inspector {
+            return Err(self.no_inspector());
+        }
+        Ok(compiled::run_parallel_compiled(
+            &artifacts.compiled,
+            &artifacts.report,
+            heap,
+            opts,
+        )?)
+    }
+}
+
+/// The tree-walking reference engine: interprets the AST against the
+/// name-keyed heap.  Semantically authoritative (everything else is
+/// diffed against it) and the only engine whose recording store supports
+/// the runtime-inspector baseline.
+#[derive(Debug, Default)]
+pub struct AstEngine;
+
+impl Engine for AstEngine {
+    fn name(&self) -> &'static str {
+        "ast"
+    }
+
+    fn description(&self) -> &'static str {
+        "tree-walking reference over the name-keyed heap"
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            reductions: false,
+            local_arrays: false,
+            inspector_baseline: true,
+            persistent_team: false,
+            reference: true,
+            opt_levels: &[OptLevel::O1],
+        }
+    }
+
+    fn run_serial(
+        &self,
+        artifacts: &Artifacts,
+        heap: Heap,
+        opts: &ExecOptions,
+    ) -> Result<ExecOutcome, SsError> {
+        Ok(serial::run_serial_ast(&artifacts.program, heap, opts)?)
+    }
+
+    fn run_parallel(
+        &self,
+        artifacts: &Artifacts,
+        heap: Heap,
+        opts: &ExecOptions,
+    ) -> Result<ExecOutcome, SsError> {
+        Ok(dispatch::run_parallel_ast(
+            &artifacts.program,
+            &artifacts.report,
+            heap,
+            opts,
+        )?)
+    }
+}
+
+trait NoInspector: Engine {
+    fn no_inspector(&self) -> SsError {
+        SsError::Unsupported {
+            engine: self.name().to_string(),
+            reason: "the runtime-inspector baseline records through the tree-walking \
+                     store; use an engine with the inspector_baseline capability"
+                .to_string(),
+        }
+    }
+}
+
+impl NoInspector for BytecodeEngine {}
+impl NoInspector for CompiledEngine {}
+
+// ---------------------------------------------------------------------------
+// The registry.
+// ---------------------------------------------------------------------------
+
+/// An ordered collection of [`Engine`]s, resolved by name.  The first
+/// registered engine is the default.
+#[derive(Clone)]
+pub struct EngineRegistry {
+    engines: Vec<Arc<dyn Engine>>,
+}
+
+impl EngineRegistry {
+    /// The built-in engines, default first: `bytecode`, `compiled`, `ast`.
+    pub fn builtin() -> EngineRegistry {
+        let mut r = EngineRegistry::empty();
+        r.register(Arc::new(BytecodeEngine));
+        r.register(Arc::new(CompiledEngine));
+        r.register(Arc::new(AstEngine));
+        r
+    }
+
+    /// A registry with no engines (build custom sets with
+    /// [`register`](Self::register)).
+    pub fn empty() -> EngineRegistry {
+        EngineRegistry {
+            engines: Vec::new(),
+        }
+    }
+
+    /// Registers an engine.  A same-named engine is replaced in place (its
+    /// position — and default status, if first — is preserved).
+    pub fn register(&mut self, engine: Arc<dyn Engine>) {
+        match self.engines.iter_mut().find(|e| e.name() == engine.name()) {
+            Some(slot) => *slot = engine,
+            None => self.engines.push(engine),
+        }
+    }
+
+    /// Resolves an engine by name.
+    pub fn get(&self, name: &str) -> Result<Arc<dyn Engine>, SsError> {
+        self.engines
+            .iter()
+            .find(|e| e.name() == name)
+            .cloned()
+            .ok_or_else(|| SsError::UnknownEngine {
+                name: name.to_string(),
+                available: self.names().iter().map(|n| n.to_string()).collect(),
+            })
+    }
+
+    /// The default engine (the first registered one).
+    ///
+    /// # Panics
+    /// On an [`empty`](Self::empty) registry.
+    pub fn default_engine(&self) -> Arc<dyn Engine> {
+        self.engines
+            .first()
+            .cloned()
+            .expect("engine registry is empty")
+    }
+
+    /// The semantic-reference engine (first with [`EngineCaps::reference`]),
+    /// if one is registered.
+    pub fn reference(&self) -> Option<Arc<dyn Engine>> {
+        self.engines.iter().find(|e| e.caps().reference).cloned()
+    }
+
+    /// The first engine able to record the runtime-inspector baseline.
+    pub fn inspector_capable(&self) -> Option<Arc<dyn Engine>> {
+        self.engines
+            .iter()
+            .find(|e| e.caps().inspector_baseline)
+            .cloned()
+    }
+
+    /// Engines in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn Engine>> {
+        self.engines.iter()
+    }
+
+    /// Registered names, in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.engines.iter().map(|e| e.name()).collect()
+    }
+
+    /// Number of registered engines.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// True when no engine is registered.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+}
+
+impl std::fmt::Debug for EngineRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineRegistry")
+            .field("engines", &self.names())
+            .finish()
+    }
+}
+
+impl Default for EngineRegistry {
+    fn default() -> EngineRegistry {
+        EngineRegistry::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_has_the_three_engines_default_first() {
+        let r = EngineRegistry::builtin();
+        assert_eq!(r.names(), vec!["bytecode", "compiled", "ast"]);
+        assert_eq!(r.default_engine().name(), "bytecode");
+        assert_eq!(r.reference().unwrap().name(), "ast");
+        assert_eq!(r.inspector_capable().unwrap().name(), "ast");
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn unknown_names_list_what_is_registered() {
+        let r = EngineRegistry::builtin();
+        match r.get("jit") {
+            Err(SsError::UnknownEngine { name, available }) => {
+                assert_eq!(name, "jit");
+                assert_eq!(available, vec!["bytecode", "compiled", "ast"]);
+            }
+            other => panic!("expected UnknownEngine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registering_a_same_named_engine_replaces_it_in_place() {
+        #[derive(Debug)]
+        struct FakeBytecode;
+        impl Engine for FakeBytecode {
+            fn name(&self) -> &'static str {
+                "bytecode"
+            }
+            fn description(&self) -> &'static str {
+                "fake"
+            }
+            fn caps(&self) -> EngineCaps {
+                AstEngine.caps()
+            }
+            fn run_serial(
+                &self,
+                a: &Artifacts,
+                h: Heap,
+                o: &ExecOptions,
+            ) -> Result<ExecOutcome, SsError> {
+                AstEngine.run_serial(a, h, o)
+            }
+            fn run_parallel(
+                &self,
+                a: &Artifacts,
+                h: Heap,
+                o: &ExecOptions,
+            ) -> Result<ExecOutcome, SsError> {
+                AstEngine.run_parallel(a, h, o)
+            }
+        }
+        let mut r = EngineRegistry::builtin();
+        r.register(Arc::new(FakeBytecode));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.default_engine().name(), "bytecode");
+        assert_eq!(r.default_engine().description(), "fake");
+    }
+
+    #[test]
+    fn capability_flags_describe_the_builtin_engines() {
+        let r = EngineRegistry::builtin();
+        let bc = r.get("bytecode").unwrap();
+        assert!(bc.caps().reductions && bc.caps().local_arrays);
+        assert!(bc.caps().persistent_team);
+        assert_eq!(bc.caps().opt_levels, &[OptLevel::O0, OptLevel::O1]);
+        let ast = r.get("ast").unwrap();
+        assert!(ast.caps().reference && ast.caps().inspector_baseline);
+        assert!(!ast.caps().reductions);
+        assert_eq!(ast.caps().opt_levels.len(), 1);
+    }
+}

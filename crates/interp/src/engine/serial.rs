@@ -1,7 +1,7 @@
 //! The tree-walking statement walker and the serial reference engine.
 //!
 //! Evaluation and statement execution are written once, generic over a
-//! [`Store`] (where accesses land) and a [`LoopPolicy`] (what happens when a
+//! `Store` (where accesses land) and a `LoopPolicy` (what happens when a
 //! `for` loop is reached).  The serial engine, the AST parallel workers and
 //! the input-discovery pass all instantiate this walker; the AST parallel
 //! spine adds a dispatching policy in [`super::dispatch`].
@@ -296,7 +296,7 @@ fn exec_stmt<S: Store, P: LoopPolicy<S>>(
 }
 
 /// The serial reference engine: tree-walks the whole program against the
-/// heap (what `run_serial_with` runs under `EngineChoice::Ast`).
+/// heap (what `registry::AstEngine::run_serial` executes).
 pub(crate) fn run_serial_ast(
     program: &Program,
     mut heap: Heap,

@@ -3,8 +3,8 @@
 //!
 //! | store           | used by                       | backing            |
 //! |-----------------|-------------------------------|--------------------|
-//! | [`HeapStore`]   | serial engine, parallel spine | whole heap (+ inspector recording) |
-//! | [`WorkerStore`] | AST parallel workers          | shared arrays + private scalars |
+//! | `HeapStore`   | serial engine, parallel spine | whole heap (+ inspector recording) |
+//! | `WorkerStore` | AST parallel workers          | shared arrays + private scalars |
 //! | discovery store | input synthesis               | growable recording heap (in `inputs`) |
 
 use super::ExecError;

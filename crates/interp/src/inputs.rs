@@ -148,9 +148,9 @@ impl Store for DiscoveryStore {
 
 /// Runs the discovery pass and builds the initial heap for `program`.
 ///
-/// The returned heap is what both engines should start from; feeding clones
-/// of it to [`crate::run_serial`] and [`crate::run_parallel`] guarantees the
-/// two runs observe identical initial memory.
+/// The returned heap is what every engine should start from; feeding
+/// clones of it to each [`Engine`](crate::Engine) run guarantees all
+/// executions observe identical initial memory.
 pub fn synthesize_inputs(program: &Program, spec: &InputSpec) -> Result<Heap, ExecError> {
     let mut store = DiscoveryStore {
         scalars: free_scalars(program)
@@ -210,8 +210,19 @@ fn fill_with_input_values(a: &mut ArrayVal, name: &str, dims: &[usize], spec: &I
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::run_serial;
+    use crate::engine::{EngineRegistry, ExecOutcome};
     use ss_ir::parse_program;
+
+    /// Runs `p` serially on the default registry engine (off a one-shot
+    /// pipeline invocation).
+    fn run_serial(p: &Program, heap: Heap) -> Result<ExecOutcome, crate::SsError> {
+        let artifacts = ss_parallelizer::Artifacts::compile(p);
+        EngineRegistry::builtin().default_engine().run_serial(
+            &artifacts,
+            heap,
+            &ExecOptions::default(),
+        )
+    }
 
     #[test]
     fn discovery_sizes_arrays_from_observed_extents() {

@@ -1,0 +1,89 @@
+//! Minimal JSON emission (the vendored `serde` is a no-op stand-in, so
+//! machine-readable output is rendered by hand here).
+//!
+//! Only what the stable output schemas of [`crate::session`] need: string
+//! escaping per RFC 8259 and finite-number formatting.
+
+/// Escapes `s` as the *contents* of a JSON string (no surrounding quotes).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A quoted, escaped JSON string literal.
+pub(crate) fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// A JSON number for `v`, or `null` when it is not finite (JSON has no
+/// NaN/Infinity).
+pub(crate) fn number(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` round-trips f64 (shortest representation) and always
+        // parses as a JSON number.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// `[a,b,c]` from already-rendered JSON values.
+pub(crate) fn array(items: impl IntoIterator<Item = String>) -> String {
+    let body: Vec<String> = items.into_iter().collect();
+    format!("[{}]", body.join(","))
+}
+
+/// An array of string literals.
+pub(crate) fn string_array<'a>(items: impl IntoIterator<Item = &'a str>) -> String {
+    array(items.into_iter().map(string))
+}
+
+/// `{"k":v,…}` from already-rendered JSON values.
+pub(crate) fn object<'a>(fields: impl IntoIterator<Item = (&'a str, String)>) -> String {
+    let body: Vec<String> = fields
+        .into_iter()
+        .map(|(k, v)| format!("{}:{v}", string(k)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_newlines_and_control_chars() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("x\ny\tz"), "x\\ny\\tz");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(string("hi"), "\"hi\"");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_nonfinite_becomes_null() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(0.0), "0.0");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn composites_render() {
+        assert_eq!(
+            object([("a", "1".to_string()), ("b", string_array(["x"]))]),
+            r#"{"a":1,"b":["x"]}"#
+        );
+        assert_eq!(array(["1".to_string(), "2".to_string()]), "[1,2]");
+    }
+}

@@ -3,67 +3,81 @@
 //! The paper's central claim is that compile-time analysis of the code that
 //! fills index arrays licenses parallel execution with **zero** runtime
 //! machinery.  The rest of this workspace *analyzes* mini-C programs; this
-//! crate *runs* them, closing the analyze → prove → execute → validate loop
-//! for arbitrary inputs:
+//! crate *runs* them — and exposes the stable, embeddable API every
+//! consumer (the `sspar` CLI, the fuzz harness, the benches, embedders)
+//! drives:
 //!
+//! * [`session`] — [`Session`], the long-lived facade: a content-addressed
+//!   artifact cache (compile once per program per process, with hit/miss
+//!   counters), builder-style [`RunRequest`]s, structured [`RunOutcome`]s
+//!   (final heap, stage timings, verdict summary, stable JSON), and the
+//!   differential validation mode asserting every engine produces
+//!   bit-identical final heaps;
+//! * [`engine`] — the [`Engine`] trait and [`EngineRegistry`]: execution
+//!   strategies as pluggable trait objects with capability flags.  Built
+//!   in: the **bytecode** engine (default) executing the flat
+//!   register-machine stream of `ss_ir::bytecode` on a persistent thread
+//!   team, the **compiled** engine executing slot-resolved op sequences
+//!   over dense frames, and the **tree-walking** reference engine.  All
+//!   consume precompiled [`Artifacts`](ss_parallelizer::Artifacts) and
+//!   dispatch every proven-parallel loop onto `ss_runtime` worker threads;
+//! * [`error`] — [`SsError`], the unified error spanning parse, analysis,
+//!   compilation, execution and validation, with stable
+//!   [`exit_code`](SsError::exit_code)s;
 //! * [`heap`] — the typed heap all engines execute against (integer
 //!   scalars, dense row-major arrays);
-//! * [`engine`] — the execution engines: a **bytecode** engine (default)
-//!   that executes the flat register-machine stream of `ss_ir::bytecode`
-//!   (parallel loops run on a persistent thread team), a **compiled**
-//!   engine executing slot-resolved op sequences over dense frames, and
-//!   the **tree-walking** reference engine behind
-//!   [`EngineChoice::Ast`](crate::EngineChoice).  All consume the
-//!   [`ParallelizationReport`](ss_parallelizer::ParallelizationReport) and
-//!   dispatch every proven-parallel loop onto `ss_runtime` worker threads
-//!   (static or chunk-stealing dynamic scheduling); the bytecode and
-//!   compiled engines additionally dispatch reduction loops (per-thread
-//!   partials merged by the combiner) and loops with body-local array
-//!   declarations (private per-iteration storage).  An optional
-//!   runtime-inspector baseline runs on the loops the analysis left
-//!   serial;
 //! * [`inputs`] — reproducible input synthesis for any program via a
 //!   discovery pass (sizes arrays by observation, fills them with
-//!   deterministic pseudo-random data);
-//! * [`validate`] — the differential harness asserting ast ≡ compiled ≡
-//!   bytecode ≡ parallel final heaps, which turns every compile-time
-//!   verdict — and both compilation passes — into a tested claim.  The
-//!   generative counterpart is `tests/engine_fuzz.rs` at the workspace
-//!   root, which asserts the same over randomly generated programs.
+//!   deterministic pseudo-random data).
+//!
+//! The generative counterpart of the differential mode is
+//! `tests/engine_fuzz.rs` at the workspace root, which asserts the same
+//! cross-engine agreement over randomly generated programs.
 //!
 //! ```
-//! use ss_interp::{validate_source, ExecOptions, InputSpec};
+//! use ss_interp::{RunRequest, Session, ValidationMode};
 //!
-//! let outcome = validate_source(
-//!     "fig2",
-//!     r#"
-//!         for (e = 0; e < nelt; e++) { mt_to_id[e] = e; }
-//!         for (miel = 0; miel < nelt; miel++) {
-//!             iel = mt_to_id[miel];
-//!             id_to_mt[iel] = miel;
-//!         }
-//!     "#,
-//!     &InputSpec { scale: 256, seed: 1 },
-//!     &ExecOptions { threads: 4, ..ExecOptions::default() },
-//! )
-//! .unwrap();
-//! assert!(outcome.heaps_match);
+//! let session = Session::new();
+//! let outcome = session
+//!     .run(
+//!         &RunRequest::new(
+//!             "fig2",
+//!             r#"
+//!                 for (e = 0; e < nelt; e++) { mt_to_id[e] = e; }
+//!                 for (miel = 0; miel < nelt; miel++) {
+//!                     iel = mt_to_id[miel];
+//!                     id_to_mt[iel] = miel;
+//!                 }
+//!             "#,
+//!         )
+//!         .threads(4)
+//!         .validation(ValidationMode::Differential),
+//!     )
+//!     .unwrap();
+//! assert!(outcome.heaps_match());
 //! assert!(!outcome.dispatched.is_empty());
+//! assert_eq!(session.cache_stats().misses, 1);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod heap;
 pub mod inputs;
-pub mod validate;
+mod json;
+pub mod session;
 
 pub use engine::{
-    run_parallel, run_parallel_artifacts, run_serial, run_serial_artifacts, run_serial_with,
-    EngineChoice, ExecError, ExecMode, ExecOptions, ExecOutcome, ExecStats, LoopStats,
-    ScheduleChoice,
+    Engine, EngineCaps, EngineRegistry, ExecError, ExecMode, ExecOptions, ExecOutcome, ExecStats,
+    LoopStats, ScheduleChoice,
 };
+pub use error::SsError;
 pub use heap::{ArrayVal, Heap};
 pub use inputs::{input_value, synthesize_inputs, InputSpec};
+pub use session::{
+    analysis_json, engine_label, registry_json, verdict_summary, CacheStats, ExecutionMode,
+    InputSource, LoopVerdictSummary, RunOutcome, RunRequest, Session, ValidationMode,
+    ValidationSummary,
+};
 pub use ss_ir::opt::OptLevel;
-pub use validate::{validate, validate_source, ValidationError, ValidationOutcome};

@@ -1,21 +1,18 @@
 //! Compile-once and spawn-once guarantees, asserted through the
-//! process-wide counters — now *pipeline invariants*: one
+//! process-wide counters — now *session invariants*: one
 //! [`Artifacts`](ss_parallelizer::Artifacts) invocation compiles each pass
 //! exactly once, every engine consumes the same artifacts without
-//! recompiling, and one process-wide thread team serves all parallel
-//! regions of all runs.
+//! recompiling, a [`Session`] compiles each distinct program at most once
+//! per process (the content-addressed cache), and one process-wide thread
+//! team serves all parallel regions of all runs.
 //!
 //! These assertions diff global counters around runs, so they live in
 //! their own test binary and serialize on a shared lock — inside the
 //! unit-test binary any concurrently running engine test would perturb the
 //! counts.
 
-use ss_interp::{
-    run_parallel, run_parallel_artifacts, run_serial, run_serial_artifacts, EngineChoice,
-    ExecOptions, Heap, OptLevel,
-};
-use ss_ir::parse_program;
-use ss_parallelizer::{parallelize, Artifacts};
+use ss_interp::{EngineRegistry, ExecOptions, Heap, OptLevel, RunRequest, Session, ValidationMode};
+use ss_parallelizer::Artifacts;
 use std::sync::Mutex;
 
 static COUNTER_LOCK: Mutex<()> = Mutex::new(());
@@ -35,35 +32,46 @@ fn heap(reps: i64) -> Heap {
         .with_array("out", vec![0; 500])
 }
 
-fn opts(threads: usize, engine: EngineChoice) -> ExecOptions {
+fn opts(threads: usize) -> ExecOptions {
     ExecOptions {
         threads,
-        engine,
         ..ExecOptions::default()
     }
 }
 
 #[test]
-fn compiled_engine_compiles_once_per_run_not_per_iteration() {
+fn compiled_engine_runs_do_not_recompile_per_loop_entry() {
     // The dispatched loop is entered `reps` times with many iterations
-    // each; the whole run must compile the program exactly once — the slot
+    // each; the pipeline compiles the program exactly once — the slot
     // table is resolved up front and reused, never recomputed per loop
     // entry or per iteration.
     let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let p = parse_program("reuse", SRC).unwrap();
-    let report = parallelize(&p);
-    assert!(!report.outermost_parallel_loops().is_empty());
+    let registry = EngineRegistry::builtin();
     let before = ss_ir::slots::compilation_count();
-    let par = run_parallel(&p, &report, heap(20), &opts(4, EngineChoice::Compiled)).unwrap();
+    let artifacts = Artifacts::compile_source("reuse", SRC).unwrap();
+    assert!(!artifacts.report.outermost_parallel_loops().is_empty());
     assert_eq!(
         ss_ir::slots::compilation_count(),
         before + 1,
-        "one compilation per run, regardless of loop entries"
+        "one slot compilation per pipeline invocation"
+    );
+    let compiled = registry.get("compiled").unwrap();
+    let par = compiled
+        .run_parallel(&artifacts, heap(20), &opts(4))
+        .unwrap();
+    assert_eq!(
+        ss_ir::slots::compilation_count(),
+        before + 1,
+        "executions never recompile, regardless of loop entries"
     );
     let id = ss_ir::LoopId(1);
     assert_eq!(par.stats.loops[&id].invocations, 20);
     assert_eq!(par.stats.loops[&id].iterations, 20 * 500);
-    assert_eq!(par.heap, run_serial(&p, heap(20)).unwrap().heap);
+    let reference = registry.reference().unwrap();
+    let serial = reference
+        .run_serial(&artifacts, heap(20), &opts(1))
+        .unwrap();
+    assert_eq!(par.heap, serial.heap);
 }
 
 #[test]
@@ -73,26 +81,25 @@ fn bytecode_engine_compiles_once_and_runs_on_the_shared_team() {
     // if an earlier test in this process already registered a team of this
     // size (the team is process-wide, not per-run).
     let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let p = parse_program("reuse", SRC).unwrap();
-    let report = parallelize(&p);
-    assert!(!report.outermost_parallel_loops().is_empty());
+    let registry = EngineRegistry::builtin();
     let slots_before = ss_ir::slots::compilation_count();
     let bc_before = ss_ir::bytecode::bytecode_compilation_count();
-    let spawned_before = ss_runtime::team_threads_spawned();
-    let threads = 3;
-    let par = run_parallel(
-        &p,
-        &report,
-        heap(30),
-        &opts(threads, EngineChoice::Bytecode),
-    )
-    .unwrap();
+    let artifacts = Artifacts::compile_source("reuse", SRC).unwrap();
     assert_eq!(ss_ir::slots::compilation_count(), slots_before + 1);
     assert_eq!(
         ss_ir::bytecode::bytecode_compilation_count(),
         bc_before + 1,
-        "one bytecode compilation per run"
+        "one bytecode compilation per pipeline invocation"
     );
+    let spawned_before = ss_runtime::team_threads_spawned();
+    let threads = 3;
+    let bytecode = registry.default_engine();
+    assert_eq!(bytecode.name(), "bytecode");
+    let par = bytecode
+        .run_parallel(&artifacts, heap(30), &opts(threads))
+        .unwrap();
+    assert_eq!(ss_ir::slots::compilation_count(), slots_before + 1);
+    assert_eq!(ss_ir::bytecode::bytecode_compilation_count(), bc_before + 1);
     let spawned = ss_runtime::team_threads_spawned() - spawned_before;
     assert!(
         spawned <= threads as u64,
@@ -101,24 +108,32 @@ fn bytecode_engine_compiles_once_and_runs_on_the_shared_team() {
     );
     let id = ss_ir::LoopId(1);
     assert_eq!(par.stats.loops[&id].invocations, 30);
-    assert_eq!(par.heap, run_serial(&p, heap(30)).unwrap().heap);
+    let serial = registry
+        .reference()
+        .unwrap()
+        .run_serial(&artifacts, heap(30), &opts(1))
+        .unwrap();
+    assert_eq!(par.heap, serial.heap);
 }
 
 #[test]
 fn one_team_serves_repeated_runs_in_process() {
-    // The ROADMAP item this pins: repeated `sspar run`-style invocations in
-    // one process share the CLI/pipeline-level team.  Whatever the first
-    // run had to spawn, the runs after it spawn *nothing*.
+    // Repeated `sspar run`-style invocations in one process share the
+    // process-wide team.  Whatever the first run had to spawn, the runs
+    // after it spawn *nothing*.
     let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let p = parse_program("reuse", SRC).unwrap();
-    let report = parallelize(&p);
+    let artifacts = Artifacts::compile_source("reuse", SRC).unwrap();
     let threads = 3;
-    let o = opts(threads, EngineChoice::Bytecode);
-    let first = run_parallel(&p, &report, heap(5), &o).unwrap();
+    let bytecode = EngineRegistry::builtin().default_engine();
+    let first = bytecode
+        .run_parallel(&artifacts, heap(5), &opts(threads))
+        .unwrap();
     assert!(!first.stats.parallel_loops().is_empty());
     let spawned_after_first = ss_runtime::team_threads_spawned();
     for _ in 0..5 {
-        let again = run_parallel(&p, &report, heap(5), &o).unwrap();
+        let again = bytecode
+            .run_parallel(&artifacts, heap(5), &opts(threads))
+            .unwrap();
         assert_eq!(again.heap, first.heap);
     }
     assert_eq!(
@@ -129,64 +144,97 @@ fn one_team_serves_repeated_runs_in_process() {
 }
 
 #[test]
-fn serial_bytecode_runs_compile_both_passes_exactly_once() {
+fn session_cache_makes_compilation_once_per_program_per_process() {
+    // The tentpole invariant of the Session API: the *first* run of a
+    // source compiles (counters advance by exactly one per pass); every
+    // later run of the identical source — any engine, any opt level, any
+    // validation mode — hits the content-addressed cache and the counters
+    // stay frozen.
     let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let p = parse_program("serial", "for (i = 0; i < n; i++) { out[i] = i * 2; }").unwrap();
+    let session = Session::new();
     let slots_before = ss_ir::slots::compilation_count();
     let bc_before = ss_ir::bytecode::bytecode_compilation_count();
-    let heap = Heap::new()
-        .with_scalar("n", 100)
-        .with_array("out", vec![0; 100]);
-    let _ = run_serial(&p, heap).unwrap();
+
+    let base = RunRequest::new("cached", SRC)
+        .initial_heap(heap(6))
+        .threads(2);
+    let first = session.run(&base.clone()).unwrap();
+    assert!(!first.cache_hit);
     assert_eq!(ss_ir::slots::compilation_count(), slots_before + 1);
     assert_eq!(ss_ir::bytecode::bytecode_compilation_count(), bc_before + 1);
-}
 
-#[test]
-fn one_pipeline_invocation_feeds_every_engine_without_recompiling() {
-    // The tentpole invariant: Artifacts::compile is the only compile of the
-    // run.  Afterwards the AST, compiled and bytecode engines (serial and
-    // parallel, both opt levels) all execute with the counters frozen.
-    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let p = parse_program("pipeline", SRC).unwrap();
-    let reference = run_serial(&p, heap(6)).unwrap();
-    let slots_before = ss_ir::slots::compilation_count();
-    let bc_before = ss_ir::bytecode::bytecode_compilation_count();
-    let artifacts = Artifacts::compile(&p);
+    // 2 engines × 2 opt levels × differential validation: many executions,
+    // zero compilations.
+    for engine in ["bytecode", "compiled", "ast"] {
+        for level in [OptLevel::O0, OptLevel::O1] {
+            let out = session
+                .run(
+                    &base
+                        .clone()
+                        .engine(engine)
+                        .opt_level(level)
+                        .validation(ValidationMode::Differential),
+                )
+                .unwrap();
+            assert!(out.cache_hit, "{engine} {level}");
+            assert!(
+                out.heaps_match(),
+                "{engine} {level}: {:?}",
+                out.mismatches()
+            );
+            assert_eq!(out.heap, first.heap);
+        }
+    }
     assert_eq!(
         ss_ir::slots::compilation_count(),
         slots_before + 1,
-        "the pipeline runs the slot pass exactly once"
+        "cache hits must not recompile the slot pass"
     );
     assert_eq!(
         ss_ir::bytecode::bytecode_compilation_count(),
         bc_before + 1,
-        "the pipeline runs the bytecode pass exactly once (the optimizer \
-         rewrites, it does not recompile)"
+        "cache hits must not recompile the bytecode pass"
     );
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 6);
+    assert_eq!(stats.entries, 1);
+}
 
-    let mut outs = Vec::new();
-    for engine in [
-        EngineChoice::Ast,
-        EngineChoice::Compiled,
-        EngineChoice::Bytecode,
-    ] {
-        for opt_level in [OptLevel::O0, OptLevel::O1] {
+#[test]
+fn one_pipeline_invocation_feeds_every_engine_without_recompiling() {
+    // Registry-wide: Artifacts::compile is the only compile of the run.
+    // Afterwards every registered engine (serial and parallel, every opt
+    // level it distinguishes) executes with the counters frozen.
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let registry = EngineRegistry::builtin();
+    let reference = registry.reference().unwrap();
+    let slots_before = ss_ir::slots::compilation_count();
+    let bc_before = ss_ir::bytecode::bytecode_compilation_count();
+    let artifacts = Artifacts::compile_source("pipeline", SRC).unwrap();
+    assert_eq!(ss_ir::slots::compilation_count(), slots_before + 1);
+    assert_eq!(ss_ir::bytecode::bytecode_compilation_count(), bc_before + 1);
+
+    let expected = reference.run_serial(&artifacts, heap(6), &opts(1)).unwrap();
+    let mut executions = 0;
+    for engine in registry.iter() {
+        for &level in engine.caps().opt_levels {
             let o = ExecOptions {
-                opt_level,
-                ..opts(1, engine)
+                opt_level: level,
+                ..opts(1)
             };
-            outs.push(run_serial_artifacts(&artifacts, heap(6), &o).unwrap());
-            let par = ExecOptions {
-                opt_level,
-                ..opts(4, engine)
+            let serial = engine.run_serial(&artifacts, heap(6), &o).unwrap();
+            assert_eq!(serial.heap, expected.heap);
+            let par_opts = ExecOptions {
+                opt_level: level,
+                ..opts(4)
             };
-            outs.push(run_parallel_artifacts(&artifacts, heap(6), &par).unwrap());
+            let par = engine.run_parallel(&artifacts, heap(6), &par_opts).unwrap();
+            assert_eq!(par.heap, expected.heap);
+            executions += 2;
         }
     }
-    for out in &outs {
-        assert_eq!(out.heap, reference.heap);
-    }
+    assert!(executions >= 8, "matrix covered {executions} executions");
     assert_eq!(
         ss_ir::slots::compilation_count(),
         slots_before + 1,

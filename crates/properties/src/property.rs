@@ -31,7 +31,8 @@ pub enum ArrayProperty {
 
 impl ArrayProperty {
     /// Properties directly implied by `self` (one step of the implication
-    /// relation; use [`closure`] for the transitive closure).
+    /// relation; inserting into a `PropertySet` applies the transitive
+    /// closure).
     pub fn direct_implications(&self) -> &'static [ArrayProperty] {
         use ArrayProperty::*;
         match self {

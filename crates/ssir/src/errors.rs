@@ -41,6 +41,17 @@ impl IrError {
     pub fn parse(line: usize, col: usize, message: String) -> IrError {
         IrError::Parse { line, col, message }
     }
+
+    /// The 1-based `(line, column)` source position of the error, when it
+    /// has one (semantic restrictions are not anchored to a single token).
+    pub fn position(&self) -> Option<(usize, usize)> {
+        match self {
+            IrError::Lex { line, col, .. } | IrError::Parse { line, col, .. } => {
+                Some((*line, *col))
+            }
+            IrError::Semantic(_) => None,
+        }
+    }
 }
 
 impl fmt::Display for IrError {
@@ -69,5 +80,12 @@ mod tests {
         assert_eq!(format!("{e}"), "parse error at 3:14: expected ';'");
         let e = IrError::Semantic("oops".into());
         assert_eq!(format!("{e}"), "semantic error: oops");
+    }
+
+    #[test]
+    fn position_exposes_the_span() {
+        assert_eq!(IrError::parse(3, 14, "x".into()).position(), Some((3, 14)));
+        assert_eq!(IrError::lex(1, 2, "x".into()).position(), Some((1, 2)));
+        assert_eq!(IrError::Semantic("x".into()).position(), None);
     }
 }

@@ -13,7 +13,7 @@
 //! * symbolic array element references such as `rowptr[i - 1]`, which are the
 //!   key ingredient for recognizing the recurrence patterns of Section 3.4.
 //!
-//! Expressions are plain trees ([`Expr`]); the [`crate::simplify`] module
+//! Expressions are plain trees ([`Expr`]); the [`mod@crate::simplify`] module
 //! brings them into a canonical sum-of-products form so that structurally
 //! different but equal expressions compare equal.
 

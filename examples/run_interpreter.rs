@@ -1,14 +1,19 @@
 //! Runs every catalogue kernel through the full analyze → prove → compile →
-//! execute → validate loop, under all three execution engines, and prints
-//! one line per (kernel, engine): which loops were dispatched, whether all
-//! heaps agreed (ast ≡ compiled ≡ bytecode ≡ parallel), and the measured
-//! speedup.  Exits nonzero on any validation failure, so CI can gate on it.
+//! execute → validate loop, under **every registered execution engine**,
+//! and prints one line per (kernel, engine): which loops were dispatched,
+//! whether all heaps agreed (the Session's differential mode diffs the
+//! reference against every engine at every opt level, plus the parallel
+//! leg), and the measured speedup.  Exits nonzero on any validation
+//! failure, so CI can gate on it.
+//!
+//! Each kernel compiles **once** for the whole engine sweep — the session's
+//! content-addressed artifact cache serves every run after the first.
 //!
 //! ```text
 //! cargo run --release --example run_interpreter [-- <scale> [threads]]
 //! ```
 
-use ss_interp::{validate_source, EngineChoice, ExecOptions, InputSpec};
+use ss_interp::{RunRequest, Session, ValidationMode};
 use ss_runtime::hardware_threads;
 
 fn main() {
@@ -24,20 +29,18 @@ fn main() {
         "{:<24} {:<8} {:>10} {:>12} {:>12} {:>9}  validation",
         "kernel", "engine", "dispatched", "serial s", "parallel s", "speedup"
     );
-    let spec = InputSpec { scale, seed: 42 };
+    let session = Session::new();
+    let engines = session.registry().names();
     let mut failures = 0usize;
-    for (engine, engine_name) in [
-        (EngineChoice::Bytecode, "bytecode"),
-        (EngineChoice::Compiled, "compiled"),
-        (EngineChoice::Ast, "ast"),
-    ] {
-        let opts = ExecOptions {
-            threads,
-            engine,
-            ..ExecOptions::default()
-        };
+    for engine_name in engines {
         for kernel in ss_npb::study_kernels() {
-            match validate_source(kernel.name, kernel.source, &spec, &opts) {
+            let request = RunRequest::new(kernel.name, kernel.source)
+                .engine(engine_name)
+                .threads(threads)
+                .scale(scale)
+                .seed(42)
+                .validation(ValidationMode::Differential);
+            match session.run(&request) {
                 Ok(out) => {
                     let dispatched: Vec<String> =
                         out.dispatched.iter().map(|l| l.to_string()).collect();
@@ -46,18 +49,21 @@ fn main() {
                         kernel.name,
                         engine_name,
                         dispatched.join(","),
-                        out.serial.total_seconds,
-                        out.parallel.total_seconds,
-                        out.speedup(),
-                        if out.heaps_match {
-                            "PASS (serial-ast == serial == parallel)"
+                        out.serial.as_ref().map(|s| s.total_seconds).unwrap_or(0.0),
+                        out.parallel
+                            .as_ref()
+                            .map(|s| s.total_seconds)
+                            .unwrap_or(0.0),
+                        out.speedup().unwrap_or(0.0),
+                        if out.heaps_match() {
+                            "PASS (reference == every engine == parallel)"
                         } else {
                             "FAIL"
                         }
                     );
-                    if !out.heaps_match {
+                    if !out.heaps_match() {
                         failures += 1;
-                        for m in out.mismatches.iter().take(5) {
+                        for m in out.mismatches().iter().take(5) {
                             println!("    {m}");
                         }
                     }
@@ -69,6 +75,11 @@ fn main() {
             }
         }
     }
+    let stats = session.cache_stats();
+    println!(
+        "\nartifact cache: {} programs compiled once, {} cache hits",
+        stats.misses, stats.hits
+    );
     if failures > 0 {
         eprintln!("\n{failures} kernel/engine combination(s) FAILED validation");
         std::process::exit(1);

@@ -4,6 +4,15 @@
 //! in `tests/`, the runnable examples in `examples/` and downstream users
 //! have a single dependency to point at.  See the README for the crate
 //! graph; each `ss_*` module below is an independently usable crate.
+//!
+//! The stable embeddable surface — [`Session`], [`RunRequest`],
+//! [`RunOutcome`], the [`Engine`] registry and the unified [`SsError`] —
+//! is re-exported at the root: `use subscripted_subscripts::Session;` is
+//! all an embedder needs.
+
+pub use ss_interp::{
+    Engine, EngineCaps, EngineRegistry, RunOutcome, RunRequest, Session, SsError, ValidationMode,
+};
 
 pub use ss_aggregation as aggregation;
 pub use ss_bench as bench;

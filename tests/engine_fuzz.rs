@@ -5,12 +5,14 @@
 //! harness *generates* SS-IR programs — random nested loops, conditionals,
 //! subscripted subscripts, compound assignments, reduction shapes (`+` and
 //! `*`), loop-local array declarations, `while` loops, deliberately unsafe
-//! accesses — compiles each one through the staged pipeline **once**
-//! ([`ss_parallelizer::Artifacts`]), and differentially executes it under
-//! all three engines (`ast`, `compiled`, `bytecode`) serially and in
-//! parallel, the bytecode engine at **both** `--opt-level`s:
+//! accesses — compiles each one through the staged pipeline **once** (the
+//! shared [`Session`]'s content-addressed cache), and differentially
+//! executes it under **every engine in the registry**, serially and in
+//! parallel, at every `--opt-level` the engine distinguishes (today: ast,
+//! compiled, bytecode-O0, bytecode-O1 — registering a new engine enrolls
+//! it in the hunt automatically):
 //!
-//! * when the tree-walking reference succeeds, every other execution must
+//! * when the reference engine succeeds, every other execution must
 //!   succeed with a **bit-identical final heap** (O0 ≡ O1 included — the
 //!   optimizer is on trial here too);
 //! * when the reference fails, the other serial engines must fail with the
@@ -32,10 +34,16 @@
 
 use proptest::prelude::*;
 use proptest::TestRng;
-use ss_interp::{
-    run_parallel_artifacts, run_serial_artifacts, EngineChoice, ExecOptions, Heap, OptLevel,
-};
-use ss_parallelizer::Artifacts;
+use ss_interp::{engine_label, ExecOptions, Heap, Session};
+use std::sync::OnceLock;
+
+/// One session for the whole hunt: every generated program compiles once
+/// (the matrix and the shrinker re-resolve through the cache), bounded so
+/// a 200k-case hunt keeps memory flat.
+fn session() -> &'static Session {
+    static SESSION: OnceLock<Session> = OnceLock::new();
+    SESSION.get_or_init(|| Session::new().with_cache_capacity(256))
+}
 
 // ---------------------------------------------------------------------------
 // Program model.
@@ -507,10 +515,9 @@ impl GProgram {
     }
 }
 
-fn opts(threads: usize, engine: EngineChoice, opt_level: OptLevel) -> ExecOptions {
+fn opts(threads: usize, opt_level: ss_interp::OptLevel) -> ExecOptions {
     ExecOptions {
         threads,
-        engine,
         opt_level,
         // Small cap so generated runaway loops fail fast — and all engines
         // must agree on the NonTerminating verdict.
@@ -519,29 +526,15 @@ fn opts(threads: usize, engine: EngineChoice, opt_level: OptLevel) -> ExecOption
     }
 }
 
-/// Serial matrix rows: (engine, opt level, label).  The bytecode engine
-/// runs both streams of the one compiled artifact store.
-const SERIAL_MATRIX: [(EngineChoice, OptLevel, &str); 3] = [
-    (EngineChoice::Compiled, OptLevel::O1, "Compiled"),
-    (EngineChoice::Bytecode, OptLevel::O0, "Bytecode-O0"),
-    (EngineChoice::Bytecode, OptLevel::O1, "Bytecode-O1"),
-];
-
-const PARALLEL_MATRIX: [(EngineChoice, OptLevel, &str); 4] = [
-    (EngineChoice::Ast, OptLevel::O1, "Ast"),
-    (EngineChoice::Compiled, OptLevel::O1, "Compiled"),
-    (EngineChoice::Bytecode, OptLevel::O0, "Bytecode-O0"),
-    (EngineChoice::Bytecode, OptLevel::O1, "Bytecode-O1"),
-];
-
 /// The differential matrix for one source program, off **one** pipeline
-/// invocation: serial {ast, compiled, bytecode-O0, bytecode-O1} must agree
-/// exactly (heap or error), parallel {ast, compiled, bytecode-O0,
-/// bytecode-O1} must reproduce the serial heap whenever the serial run
-/// succeeds — and the analysis verdicts must be monotone (baseline ⊆
-/// extended).
+/// invocation (the session cache): every registry engine at every opt
+/// level it distinguishes must agree with the reference serially (heap or
+/// error), every parallel execution must reproduce the serial heap
+/// whenever the serial run succeeds — and the analysis verdicts must be
+/// monotone (baseline ⊆ extended).
 fn check_source(src: &str, threads: usize) -> Option<String> {
-    let artifacts = match Artifacts::compile_source("fuzz", src) {
+    let registry = session().registry();
+    let artifacts = match session().artifacts("fuzz", src) {
         Ok(a) => a,
         Err(e) => return Some(format!("generated program failed to parse: {e}")),
     };
@@ -557,69 +550,76 @@ fn check_source(src: &str, threads: usize) -> Option<String> {
             ));
         }
     }
-    let reference = run_serial_artifacts(
-        &artifacts,
-        Heap::new(),
-        &opts(1, EngineChoice::Ast, OptLevel::O1),
-    );
+    let reference_engine = registry.reference().expect("a reference engine");
+    let ref_level = reference_engine.caps().opt_levels[0];
+    let reference = reference_engine.run_serial(&artifacts, Heap::new(), &opts(1, ref_level));
+    let ref_name = reference_engine.name();
 
-    for (engine, opt_level, label) in SERIAL_MATRIX {
-        let got = run_serial_artifacts(&artifacts, Heap::new(), &opts(1, engine, opt_level));
-        match (&reference, &got) {
-            (Ok(r), Ok(g)) => {
-                let diffs = r.heap.diff(&g.heap);
-                if !diffs.is_empty() {
+    for engine in registry.iter() {
+        for &level in engine.caps().opt_levels {
+            if engine.name() == ref_name {
+                continue;
+            }
+            let label = engine_label(engine.as_ref(), level);
+            let got = engine.run_serial(&artifacts, Heap::new(), &opts(1, level));
+            match (&reference, &got) {
+                (Ok(r), Ok(g)) => {
+                    let diffs = r.heap.diff(&g.heap);
+                    if !diffs.is_empty() {
+                        return Some(format!(
+                            "serial {label} heap diverges from serial {ref_name}:\n  {}",
+                            diffs.join("\n  ")
+                        ));
+                    }
+                }
+                (Err(re), Err(ge)) => {
+                    if re != ge {
+                        return Some(format!(
+                            "serial {label} error {ge:?} != serial {ref_name} error {re:?}"
+                        ));
+                    }
+                }
+                (Ok(_), Err(ge)) => {
                     return Some(format!(
-                        "serial {label} heap diverges from serial Ast:\n  {}",
-                        diffs.join("\n  ")
+                        "serial {label} failed ({ge:?}) where serial {ref_name} succeeded"
                     ));
                 }
-            }
-            (Err(re), Err(ge)) => {
-                if re != ge {
+                (Err(re), Ok(_)) => {
                     return Some(format!(
-                        "serial {label} error {ge:?} != serial Ast error {re:?}"
+                        "serial {label} succeeded where serial {ref_name} failed ({re:?})"
                     ));
                 }
-            }
-            (Ok(_), Err(ge)) => {
-                return Some(format!(
-                    "serial {label} failed ({ge:?}) where serial Ast succeeded"
-                ));
-            }
-            (Err(re), Ok(_)) => {
-                return Some(format!(
-                    "serial {label} succeeded where serial Ast failed ({re:?})"
-                ));
             }
         }
     }
 
-    for (engine, opt_level, label) in PARALLEL_MATRIX {
-        let got =
-            run_parallel_artifacts(&artifacts, Heap::new(), &opts(threads, engine, opt_level));
-        match (&reference, &got) {
-            (Ok(r), Ok(g)) => {
-                let diffs = r.heap.diff(&g.heap);
-                if !diffs.is_empty() {
+    for engine in registry.iter() {
+        for &level in engine.caps().opt_levels {
+            let label = engine_label(engine.as_ref(), level);
+            let got = engine.run_parallel(&artifacts, Heap::new(), &opts(threads, level));
+            match (&reference, &got) {
+                (Ok(r), Ok(g)) => {
+                    let diffs = r.heap.diff(&g.heap);
+                    if !diffs.is_empty() {
+                        return Some(format!(
+                            "parallel {label} (threads={threads}) heap diverges from serial:\n  {}",
+                            diffs.join("\n  ")
+                        ));
+                    }
+                }
+                // Workers may hit a different failing iteration first, so
+                // only the failure itself must agree for parallel runs.
+                (Err(_), Err(_)) => {}
+                (Ok(_), Err(ge)) => {
                     return Some(format!(
-                        "parallel {label} (threads={threads}) heap diverges from serial:\n  {}",
-                        diffs.join("\n  ")
+                        "parallel {label} failed ({ge:?}) where serial succeeded"
                     ));
                 }
-            }
-            // Workers may hit a different failing iteration first, so only
-            // the failure itself must agree for parallel runs.
-            (Err(_), Err(_)) => {}
-            (Ok(_), Err(ge)) => {
-                return Some(format!(
-                    "parallel {label} failed ({ge:?}) where serial succeeded"
-                ));
-            }
-            (Err(re), Ok(_)) => {
-                return Some(format!(
-                    "parallel {label} succeeded where serial failed ({re:?})"
-                ));
+                (Err(re), Ok(_)) => {
+                    return Some(format!(
+                        "parallel {label} succeeded where serial failed ({re:?})"
+                    ));
+                }
             }
         }
     }

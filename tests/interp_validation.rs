@@ -3,23 +3,26 @@
 //! serial reference engine and the parallel engine, over the whole built-in
 //! catalogue and over randomly generated inputs for the Figure 2 / 5 / 9
 //! patterns.  This is the test that turns compile-time verdicts into tested
-//! claims.
+//! claims — all of it driven through the [`Session`] API.
 
 use proptest::prelude::*;
 use ss_interp::{
-    run_parallel, run_serial, synthesize_inputs, validate_source, ExecOptions, Heap, InputSpec,
-    ScheduleChoice,
+    ExecMode, ExecutionMode, Heap, RunRequest, ScheduleChoice, Session, ValidationMode,
 };
-use ss_ir::{parse_program, LoopId};
-use ss_parallelizer::parallelize;
+use ss_ir::LoopId;
 use ss_runtime::hardware_threads;
+use std::sync::OnceLock;
 
-fn opts(threads: usize, schedule: ScheduleChoice) -> ExecOptions {
-    ExecOptions {
-        threads,
-        schedule,
-        ..ExecOptions::default()
-    }
+fn session() -> &'static Session {
+    static SESSION: OnceLock<Session> = OnceLock::new();
+    SESSION.get_or_init(Session::new)
+}
+
+fn differential(name: &str, src: &str, threads: usize, schedule: ScheduleChoice) -> RunRequest {
+    RunRequest::new(name, src)
+        .threads(threads)
+        .schedule(schedule)
+        .validation(ValidationMode::Differential)
 }
 
 /// Every catalogue kernel: the analysis proves its target loop, the parallel
@@ -28,21 +31,18 @@ fn opts(threads: usize, schedule: ScheduleChoice) -> ExecOptions {
 #[test]
 fn whole_catalogue_validates_serial_equals_parallel() {
     for kernel in ss_npb::study_kernels() {
-        let spec = InputSpec {
-            scale: 48,
-            seed: 11,
-        };
-        let outcome = validate_source(
-            kernel.name,
-            kernel.source,
-            &spec,
-            &opts(3, ScheduleChoice::Auto),
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        let outcome = session()
+            .run(
+                &differential(kernel.name, kernel.source, 3, ScheduleChoice::Auto)
+                    .scale(48)
+                    .seed(11),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
         assert!(
-            outcome.heaps_match,
+            outcome.heaps_match(),
             "{}: serial and parallel heaps diverge: {:?}",
-            kernel.name, outcome.mismatches
+            kernel.name,
+            outcome.mismatches()
         );
         let target = LoopId(kernel.target_loop);
         assert!(
@@ -77,20 +77,18 @@ fn some_kernel_shows_parallel_speedup_on_multicore() {
             .into_iter()
             .find(|k| k.name == kernel)
             .unwrap();
-        let outcome = validate_source(
-            k.name,
-            k.source,
-            &InputSpec {
-                scale: 400,
-                seed: 2,
-            },
-            &opts(threads, ScheduleChoice::Auto),
-        )
-        .unwrap();
-        assert!(outcome.heaps_match);
-        for (id, par) in &outcome.parallel.loops {
-            if let Some(ser) = outcome.serial.loops.get(id) {
-                if matches!(par.mode, ss_interp::ExecMode::Parallel { .. }) && par.seconds > 0.0 {
+        let outcome = session()
+            .run(
+                &differential(k.name, k.source, threads, ScheduleChoice::Auto)
+                    .scale(400)
+                    .seed(2),
+            )
+            .unwrap();
+        assert!(outcome.heaps_match());
+        let serial = outcome.serial.as_ref().unwrap();
+        for (id, par) in &outcome.parallel.as_ref().unwrap().loops {
+            if let Some(ser) = serial.loops.get(id) {
+                if matches!(par.mode, ExecMode::Parallel { .. }) && par.seconds > 0.0 {
                     best = best.max(ser.seconds / par.seconds);
                 }
             }
@@ -108,20 +106,19 @@ fn some_kernel_shows_parallel_speedup_on_multicore() {
 #[test]
 fn non_parallel_histogram_is_not_scheduled_parallel() {
     let src = "for (i = 0; i < n; i++) { hist[idx[i]] = i; }";
-    let program = parse_program("hist", src).unwrap();
-    let report = parallelize(&program);
-    assert!(!report.loop_report(LoopId(0)).unwrap().parallel);
-    assert!(report.outermost_parallel_loops().is_empty());
+    let artifacts = session().artifacts("hist", src).unwrap();
+    assert!(!artifacts.report.loop_report(LoopId(0)).unwrap().parallel);
+    assert!(artifacts.report.outermost_parallel_loops().is_empty());
 
-    let outcome = validate_source(
-        "hist",
-        src,
-        &InputSpec { scale: 96, seed: 5 },
-        &opts(4, ScheduleChoice::Auto),
-    )
-    .unwrap();
+    let outcome = session()
+        .run(
+            &differential("hist", src, 4, ScheduleChoice::Auto)
+                .scale(96)
+                .seed(5),
+        )
+        .unwrap();
     assert!(outcome.dispatched.is_empty(), "histogram must stay serial");
-    assert!(outcome.heaps_match);
+    assert!(outcome.heaps_match());
 }
 
 const FIG2_PATTERN: &str = r#"
@@ -190,13 +187,10 @@ proptest! {
         dynamic in 0u8..2,
     ) {
         let schedule = if dynamic == 1 { ScheduleChoice::Dynamic } else { ScheduleChoice::Static };
-        let outcome = validate_source(
-            "fig2p",
-            FIG2_PATTERN,
-            &InputSpec { scale, seed },
-            &opts(threads, schedule),
+        let outcome = session().run(
+            &differential("fig2p", FIG2_PATTERN, threads, schedule).scale(scale).seed(seed),
         ).unwrap();
-        prop_assert!(outcome.heaps_match, "{:?}", outcome.mismatches);
+        prop_assert!(outcome.heaps_match(), "{:?}", outcome.mismatches());
         prop_assert!(outcome.dispatched.contains(&LoopId(1)));
     }
 
@@ -208,13 +202,12 @@ proptest! {
         seed in 0u64..1000,
         threads in 2usize..6,
     ) {
-        let outcome = validate_source(
-            "fig5p",
-            FIG5_PATTERN,
-            &InputSpec { scale, seed },
-            &opts(threads, ScheduleChoice::Auto),
+        let outcome = session().run(
+            &differential("fig5p", FIG5_PATTERN, threads, ScheduleChoice::Auto)
+                .scale(scale)
+                .seed(seed),
         ).unwrap();
-        prop_assert!(outcome.heaps_match, "{:?}", outcome.mismatches);
+        prop_assert!(outcome.heaps_match(), "{:?}", outcome.mismatches());
         prop_assert!(outcome.dispatched.contains(&LoopId(1)));
     }
 
@@ -227,13 +220,12 @@ proptest! {
         seed in 0u64..1000,
         threads in 2usize..6,
     ) {
-        let outcome = validate_source(
-            "fig9p",
-            FIG9_PATTERN,
-            &InputSpec { scale, seed },
-            &opts(threads, ScheduleChoice::Auto),
+        let outcome = session().run(
+            &differential("fig9p", FIG9_PATTERN, threads, ScheduleChoice::Auto)
+                .scale(scale)
+                .seed(seed),
         ).unwrap();
-        prop_assert!(outcome.heaps_match, "{:?}", outcome.mismatches);
+        prop_assert!(outcome.heaps_match(), "{:?}", outcome.mismatches());
         // Loop 3 is the outer product loop (0/1 construction, 2 prefix sum).
         prop_assert!(outcome.dispatched.contains(&LoopId(3)));
     }
@@ -250,17 +242,17 @@ proptest! {
             for (k = 0; k < n; k++) { p[k] = (k + rot) % n; }
             for (k = 0; k < n; k++) { x[p[k]] = b[k]; }
         "#;
-        let program = parse_program("ipvec_rot", src).unwrap();
-        let report = parallelize(&program);
         let heap = Heap::new()
             .with_scalar("n", n)
             .with_scalar("rot", rot)
             .with_array("p", vec![0; n as usize])
             .with_array("b", (0..n).map(|i| i * 3 + 1).collect())
             .with_array("x", vec![-1; n as usize]);
-        let serial = run_serial(&program, heap.clone()).unwrap();
-        let parallel = run_parallel(&program, &report, heap, &opts(threads, ScheduleChoice::Static)).unwrap();
-        prop_assert_eq!(&serial.heap, &parallel.heap);
+        let outcome = session().run(
+            &differential("ipvec_rot", src, threads, ScheduleChoice::Static)
+                .initial_heap(heap),
+        ).unwrap();
+        prop_assert!(outcome.heaps_match(), "{:?}", outcome.mismatches());
     }
 }
 
@@ -270,37 +262,48 @@ proptest! {
 /// both refuse.
 #[test]
 fn inspector_baseline_three_way_comparison() {
-    let opts = ExecOptions {
-        threads: 4,
-        baseline_inspector: true,
-        ..ExecOptions::default()
-    };
-
-    let scatter = parse_program(
-        "opaque_scatter",
-        "for (i = 0; i < n; i++) { x[perm[i]] = i; }",
-    )
-    .unwrap();
-    let report = parallelize(&scatter);
-    assert!(report.outermost_parallel_loops().is_empty());
+    let scatter_src = "for (i = 0; i < n; i++) { x[perm[i]] = i; }";
+    let artifacts = session().artifacts("opaque_scatter", scatter_src).unwrap();
+    assert!(artifacts.report.outermost_parallel_loops().is_empty());
     let n = 64i64;
     let heap = Heap::new()
         .with_scalar("n", n)
         .with_array("perm", (0..n).rev().collect())
         .with_array("x", vec![0; n as usize]);
-    let out = run_parallel(&scatter, &report, heap, &opts).unwrap();
+    let out = session()
+        .run(
+            &RunRequest::new("opaque_scatter", scatter_src)
+                .initial_heap(heap)
+                .threads(4)
+                .baseline_inspector(true)
+                .mode(ExecutionMode::Parallel),
+        )
+        .unwrap();
+    // The parallel leg ran on the inspector-capable engine, not the default.
+    assert_ne!(
+        out.parallel_engine.as_deref(),
+        Some(out.engine.as_str()),
+        "inspector requests redirect the parallel leg"
+    );
     assert_eq!(
-        out.stats.loops[&LoopId(0)].inspector_conflict_free,
+        out.parallel.as_ref().unwrap().loops[&LoopId(0)].inspector_conflict_free,
         Some(true),
         "inspector sees the permutation is injective"
     );
 
-    let hist = parse_program("hist", "for (i = 0; i < n; i++) { h[k[i]] = i; }").unwrap();
-    let report = parallelize(&hist);
-    let heap = synthesize_inputs(&hist, &InputSpec { scale: 64, seed: 9 }).unwrap();
-    let out = run_parallel(&hist, &report, heap, &opts).unwrap();
+    let hist_src = "for (i = 0; i < n; i++) { h[k[i]] = i; }";
+    let out = session()
+        .run(
+            &RunRequest::new("hist", hist_src)
+                .scale(64)
+                .seed(9)
+                .threads(4)
+                .baseline_inspector(true)
+                .mode(ExecutionMode::Parallel),
+        )
+        .unwrap();
     assert_eq!(
-        out.stats.loops[&LoopId(0)].inspector_conflict_free,
+        out.parallel.as_ref().unwrap().loops[&LoopId(0)].inspector_conflict_free,
         Some(false),
         "inspector observes write conflicts on the histogram"
     );

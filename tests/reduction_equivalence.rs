@@ -1,26 +1,28 @@
 //! Equivalence suite for reduction dispatch: `+`, `*`, `min` and `max`
-//! accumulator loops must produce bit-identical heaps across the serial
-//! tree-walking engine, the serial compiled engine and the parallel
-//! compiled engine (which dispatches them with per-thread partials merged
-//! by the combiner), over arbitrary inputs, thread counts and schedules.
-//! Plus the regressions that keep recognition honest: a histogram's
-//! compound array update is *not* a scalar reduction, and an accumulator
-//! read outside its update disqualifies the loop.
+//! accumulator loops must produce bit-identical heaps across every engine
+//! in the registry, serial and parallel (the dispatching engines run them
+//! with per-thread partials merged by the combiner), over arbitrary
+//! inputs, thread counts and schedules — all driven through the
+//! [`Session`] API.  Plus the regressions that keep recognition honest: a
+//! histogram's compound array update is *not* a scalar reduction, and an
+//! accumulator read outside its update disqualifies the loop.
 
 use proptest::prelude::*;
-use ss_interp::{
-    run_parallel, run_serial, validate_source, EngineChoice, ExecOptions, Heap, InputSpec,
-    ScheduleChoice,
-};
+use ss_interp::{ExecutionMode, Heap, RunRequest, ScheduleChoice, Session, ValidationMode};
 use ss_ir::{parse_program, LoopId};
 use ss_parallelizer::{parallelize, ReductionOp};
+use std::sync::OnceLock;
 
-fn opts(threads: usize, schedule: ScheduleChoice) -> ExecOptions {
-    ExecOptions {
-        threads,
-        schedule,
-        ..ExecOptions::default()
-    }
+fn session() -> &'static Session {
+    static SESSION: OnceLock<Session> = OnceLock::new();
+    SESSION.get_or_init(Session::new)
+}
+
+fn differential(name: &str, src: &str, threads: usize, schedule: ScheduleChoice) -> RunRequest {
+    RunRequest::new(name, src)
+        .threads(threads)
+        .schedule(schedule)
+        .validation(ValidationMode::Differential)
 }
 
 /// `sum += a[k] - 3` starting from a nonzero initial value.
@@ -77,9 +79,9 @@ fn reduction_kernels_are_recognized_with_the_right_operator() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Each reduction kernel validates serial-ast ≡ serial-compiled ≡
-    /// parallel-compiled and is actually dispatched, for arbitrary input
-    /// scales, seeds, thread counts and schedules.
+    /// Each reduction kernel validates reference ≡ every serial engine ≡
+    /// parallel and is actually dispatched, for arbitrary input scales,
+    /// seeds, thread counts and schedules.
     #[test]
     fn reduction_kernels_validate_across_engines(
         scale in 2i64..400,
@@ -94,13 +96,10 @@ proptest! {
             ("min", MIN_KERNEL),
             ("max", MAX_KERNEL),
         ] {
-            let outcome = validate_source(
-                name,
-                src,
-                &InputSpec { scale, seed },
-                &opts(threads, schedule),
+            let outcome = session().run(
+                &differential(name, src, threads, schedule).scale(scale).seed(seed),
             ).unwrap();
-            prop_assert!(outcome.heaps_match, "{name}: {:?}", outcome.mismatches);
+            prop_assert!(outcome.heaps_match(), "{name}: {:?}", outcome.mismatches());
             prop_assert!(
                 !outcome.dispatched.is_empty(),
                 "{name}: reduction loop was not dispatched"
@@ -126,10 +125,9 @@ proptest! {
                 if (v[k] < lo) { lo = v[k]; }
             }
         "#;
-        let p = parse_program("exact", src).unwrap();
-        let report = parallelize(&p);
-        prop_assert!(report.outermost_parallel_loops().contains(&LoopId(0)));
-        prop_assert_eq!(report.loop_report(LoopId(0)).unwrap().reductions.len(), 3);
+        let artifacts = session().artifacts("exact", src).unwrap();
+        prop_assert!(artifacts.report.outermost_parallel_loops().contains(&LoopId(0)));
+        prop_assert_eq!(artifacts.report.loop_report(LoopId(0)).unwrap().reductions.len(), 3);
         // Odd values only, so the product never collapses to 0 (or a huge
         // power of two) and keeps wrapping non-trivially as n grows.
         let data: Vec<i64> = (0..n).map(|i| ((i * 131) % 601 - 300 + bias) | 1).collect();
@@ -137,10 +135,12 @@ proptest! {
             .with_scalar("n", n)
             .with_scalar("lo", 1 << 40)
             .with_array("v", data);
-        let serial = run_serial(&p, heap.clone()).unwrap();
-        let par = run_parallel(&p, &report, heap, &opts(threads, ScheduleChoice::Static)).unwrap();
-        prop_assert_eq!(&par.heap, &serial.heap);
-        prop_assert!(par.stats.parallel_loops().contains(&LoopId(0)));
+        let outcome = session().run(
+            &differential("exact", src, threads, ScheduleChoice::Static)
+                .initial_heap(heap),
+        ).unwrap();
+        prop_assert!(outcome.heaps_match(), "{:?}", outcome.mismatches());
+        prop_assert!(outcome.dispatched.contains(&LoopId(0)));
     }
 }
 
@@ -150,21 +150,20 @@ proptest! {
 #[test]
 fn histogram_compound_update_is_not_a_scalar_reduction() {
     let src = "for (i = 0; i < n; i++) { hist[a[i]] += 1; }";
-    let p = parse_program("hist", src).unwrap();
-    let report = parallelize(&p);
-    let l = report.loop_report(LoopId(0)).unwrap();
+    let artifacts = session().artifacts("hist", src).unwrap();
+    let l = artifacts.report.loop_report(LoopId(0)).unwrap();
     assert!(l.reductions.is_empty(), "must not classify as a reduction");
     assert!(!l.parallel);
-    assert!(report.outermost_parallel_loops().is_empty());
+    assert!(artifacts.report.outermost_parallel_loops().is_empty());
 
-    let outcome = validate_source(
-        "hist",
-        src,
-        &InputSpec { scale: 64, seed: 3 },
-        &opts(4, ScheduleChoice::Auto),
-    )
-    .unwrap();
-    assert!(outcome.heaps_match, "{:?}", outcome.mismatches);
+    let outcome = session()
+        .run(
+            &differential("hist", src, 4, ScheduleChoice::Auto)
+                .scale(64)
+                .seed(3),
+        )
+        .unwrap();
+    assert!(outcome.heaps_match(), "{:?}", outcome.mismatches());
     assert!(outcome.dispatched.is_empty(), "histogram must stay serial");
 }
 
@@ -180,18 +179,22 @@ fn observable_accumulator_reads_disqualify_reduction() {
             trace[k] = total;
         }
     "#;
-    let p = parse_program("prefix", src).unwrap();
-    let report = parallelize(&p);
-    assert!(report.loop_report(LoopId(0)).unwrap().reductions.is_empty());
-    assert!(report.outermost_parallel_loops().is_empty());
-    let outcome = validate_source(
-        "prefix",
-        src,
-        &InputSpec { scale: 80, seed: 5 },
-        &opts(4, ScheduleChoice::Auto),
-    )
-    .unwrap();
-    assert!(outcome.heaps_match);
+    let artifacts = session().artifacts("prefix", src).unwrap();
+    assert!(artifacts
+        .report
+        .loop_report(LoopId(0))
+        .unwrap()
+        .reductions
+        .is_empty());
+    assert!(artifacts.report.outermost_parallel_loops().is_empty());
+    let outcome = session()
+        .run(
+            &differential("prefix", src, 4, ScheduleChoice::Auto)
+                .scale(80)
+                .seed(5),
+        )
+        .unwrap();
+    assert!(outcome.heaps_match());
     assert!(outcome.dispatched.is_empty());
 }
 
@@ -203,42 +206,73 @@ fn observable_accumulator_reads_disqualify_reduction() {
 #[test]
 fn uninitialized_accumulator_declines_dispatch_and_stays_bit_identical() {
     let src = "for (k = 0; k < n; k++) { if (v[k] < best) { best = v[k]; } }";
-    let p = parse_program("umin", src).unwrap();
-    let report = parallelize(&p);
-    assert!(report.outermost_parallel_loops().contains(&LoopId(0)));
+    let artifacts = session().artifacts("umin", src).unwrap();
+    assert!(artifacts
+        .report
+        .outermost_parallel_loops()
+        .contains(&LoopId(0)));
     // `best` deliberately absent from the heap; every v[k] >= 0.
     let heap = Heap::new()
         .with_scalar("n", 200)
         .with_array("v", (0..200).map(|i| (i * 13) % 101).collect());
-    let serial = run_serial(&p, heap.clone()).unwrap();
+    let serial = session()
+        .run(
+            &RunRequest::new("umin", src)
+                .initial_heap(heap.clone())
+                .mode(ExecutionMode::Serial),
+        )
+        .unwrap();
     assert!(
         !serial.heap.scalars.contains_key("best"),
         "serial never writes best"
     );
-    let par = run_parallel(&p, &report, heap, &opts(4, ScheduleChoice::Static)).unwrap();
+    let par = session()
+        .run(
+            &RunRequest::new("umin", src)
+                .initial_heap(heap)
+                .threads(4)
+                .schedule(ScheduleChoice::Static)
+                .mode(ExecutionMode::Parallel),
+        )
+        .unwrap();
     assert_eq!(par.heap, serial.heap);
     assert!(
-        par.stats.parallel_loops().is_empty(),
+        par.dispatched.is_empty(),
         "undefined accumulator must not be dispatched"
     );
 }
 
-/// The AST engine is a valid reference for reduction programs too: it
-/// refuses to dispatch them (no combiner) but computes identical heaps.
+/// The reference engine is valid for reduction programs too: it refuses to
+/// dispatch them (no combiner capability) but computes identical heaps.
 #[test]
-fn ast_engine_runs_reduction_programs_serially_and_identically() {
-    let p = parse_program("red", SUM_KERNEL).unwrap();
-    let report = parallelize(&p);
+fn reference_engine_runs_reduction_programs_serially_and_identically() {
+    let reference = session().registry().reference().unwrap();
+    assert!(!reference.caps().reductions);
     let heap = Heap::new()
         .with_scalar("n", 500)
         .with_array("a", (0..500).map(|i| (i * 7) % 97).collect());
-    let serial = run_serial(&p, heap.clone()).unwrap();
-    let ast_opts = ExecOptions {
-        engine: EngineChoice::Ast,
-        threads: 4,
-        ..ExecOptions::default()
-    };
-    let ast_par = run_parallel(&p, &report, heap, &ast_opts).unwrap();
+    let serial = session()
+        .run(
+            &RunRequest::new("red", SUM_KERNEL)
+                .initial_heap(heap.clone())
+                .mode(ExecutionMode::Serial),
+        )
+        .unwrap();
+    let ast_par = session()
+        .run(
+            &RunRequest::new("red", SUM_KERNEL)
+                .engine(reference.name())
+                .initial_heap(heap)
+                .threads(4)
+                .mode(ExecutionMode::Parallel),
+        )
+        .unwrap();
     assert_eq!(ast_par.heap, serial.heap);
-    assert!(ast_par.stats.parallel_loops().is_empty());
+    assert!(ast_par.dispatched.is_empty());
+    // The whole suite above ran off one compilation per distinct source.
+    let stats = session().cache_stats();
+    assert!(
+        stats.hits >= stats.misses,
+        "repeated runs should be cache hits ({stats:?})"
+    );
 }

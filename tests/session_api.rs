@@ -1,0 +1,272 @@
+//! API-level integration suite for the embeddable [`Session`] surface: the
+//! whole kernel catalogue through `Session::run` across **every registered
+//! engine × every opt level it distinguishes**, asserting bit-identical
+//! final heaps — plus the cache contract (a second run of the same source
+//! must not recompile), the registry contract (capabilities, default,
+//! unknown names) and the stability of the JSON output.
+
+use ss_interp::{
+    engine_label, EngineRegistry, ExecutionMode, Heap, OptLevel, RunRequest, Session, SsError,
+    ValidationMode,
+};
+use ss_parallelizer::VerdictKind;
+
+/// Every catalogue kernel × every registered engine × every opt level:
+/// serial heaps are bit-identical to the reference engine's, through the
+/// public Session API only.
+#[test]
+fn catalogue_heaps_are_bit_identical_across_every_engine_and_level() {
+    let session = Session::new();
+    let engines: Vec<_> = session.registry().iter().cloned().collect();
+    for kernel in ss_npb::study_kernels() {
+        let reference = session
+            .run(
+                &RunRequest::new(kernel.name, kernel.source)
+                    .scale(40)
+                    .seed(17)
+                    .engine(session.registry().reference().unwrap().name())
+                    .mode(ExecutionMode::Serial),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        for engine in &engines {
+            for &level in engine.caps().opt_levels {
+                let label = engine_label(engine.as_ref(), level);
+                // Serial leg.
+                let serial = session
+                    .run(
+                        &RunRequest::new(kernel.name, kernel.source)
+                            .scale(40)
+                            .seed(17)
+                            .engine(engine.name())
+                            .opt_level(level)
+                            .mode(ExecutionMode::Serial),
+                    )
+                    .unwrap_or_else(|e| panic!("{}/{label}: {e}", kernel.name));
+                assert!(
+                    serial.cache_hit,
+                    "{}/{label} must reuse artifacts",
+                    kernel.name
+                );
+                assert_eq!(
+                    serial.heap, reference.heap,
+                    "{}/{label}: serial heap diverges",
+                    kernel.name
+                );
+                // Parallel leg.
+                let parallel = session
+                    .run(
+                        &RunRequest::new(kernel.name, kernel.source)
+                            .scale(40)
+                            .seed(17)
+                            .engine(engine.name())
+                            .opt_level(level)
+                            .threads(3)
+                            .mode(ExecutionMode::Parallel),
+                    )
+                    .unwrap_or_else(|e| panic!("{}/{label}: {e}", kernel.name));
+                assert_eq!(
+                    parallel.heap, reference.heap,
+                    "{}/{label}: parallel heap diverges",
+                    kernel.name
+                );
+            }
+        }
+    }
+    // One compilation per kernel for the entire matrix.
+    let stats = session.cache_stats();
+    assert_eq!(
+        stats.misses as usize,
+        ss_npb::study_kernels().len(),
+        "every kernel compiles exactly once across the whole sweep"
+    );
+    assert!(
+        stats.hits > stats.misses * 4,
+        "the matrix runs off cache hits"
+    );
+}
+
+/// The cache satellite pinned end-to-end: a second run of the same source
+/// is a hit, counters say so, and the process-wide compilation counters
+/// stay frozen.
+#[test]
+fn second_run_of_the_same_source_does_not_recompile() {
+    let session = Session::new();
+    let src = "for (i = 0; i < n; i++) { out[i] = i * 3; }";
+    let req = RunRequest::new("twice", src).scale(64).threads(2);
+    let first = session.run(&req).unwrap();
+    assert!(!first.cache_hit);
+    let slots_after_first = ss_ir::slots::compilation_count();
+    let bc_after_first = ss_ir::bytecode::bytecode_compilation_count();
+    let second = session.run(&req).unwrap();
+    assert!(second.cache_hit);
+    assert_eq!(second.heap, first.heap);
+    assert_eq!(
+        ss_ir::slots::compilation_count(),
+        slots_after_first,
+        "second run of the same source must not run the slot pass"
+    );
+    assert_eq!(
+        ss_ir::bytecode::bytecode_compilation_count(),
+        bc_after_first,
+        "second run of the same source must not run the bytecode pass"
+    );
+    let stats = session.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    assert_eq!(stats.evictions, 0);
+
+    // Same source under a different name is a different content address.
+    let renamed = session
+        .run(&RunRequest::new("other", src).scale(64))
+        .unwrap();
+    assert!(!renamed.cache_hit);
+    assert_eq!(session.cache_stats().entries, 2);
+}
+
+/// Differential validation over the catalogue through the Session API: the
+/// matrix labels cover every non-reference engine × level plus the
+/// parallel leg, and all heaps match.
+#[test]
+fn differential_mode_compares_the_whole_registry() {
+    let session = Session::new();
+    let expected_comparisons: usize = session
+        .registry()
+        .iter()
+        .map(|e| {
+            if e.caps().reference {
+                0
+            } else {
+                e.caps().opt_levels.len()
+            }
+        })
+        .sum::<usize>()
+        + 1; // the parallel leg
+    for kernel in ss_npb::study_kernels().into_iter().take(4) {
+        let outcome = session
+            .run(
+                &RunRequest::new(kernel.name, kernel.source)
+                    .scale(32)
+                    .seed(5)
+                    .threads(2)
+                    .validation(ValidationMode::Differential),
+            )
+            .unwrap();
+        assert!(
+            outcome.heaps_match(),
+            "{}: {:?}",
+            kernel.name,
+            outcome.mismatches()
+        );
+        let v = outcome.validation.as_ref().unwrap();
+        assert_eq!(
+            v.compared.len(),
+            expected_comparisons,
+            "{}: {:?}",
+            kernel.name,
+            v.compared
+        );
+        assert!(outcome.ensure_validated().is_ok());
+    }
+}
+
+/// Custom registries plug straight into a session: a registry restricted
+/// to the reference engine still validates (the matrix degenerates to
+/// reference + parallel), and an engine-free registry is unusable in a
+/// controlled way.
+#[test]
+fn custom_registries_drive_sessions() {
+    let full = EngineRegistry::builtin();
+    let mut only_reference = EngineRegistry::empty();
+    only_reference.register(full.reference().unwrap());
+    let session = Session::with_registry(only_reference);
+    assert_eq!(session.registry().len(), 1);
+    let outcome = session
+        .run(
+            &RunRequest::new("t", "for (i = 0; i < n; i++) { out[i] = i; }")
+                .scale(32)
+                .threads(2)
+                .validation(ValidationMode::Differential),
+        )
+        .unwrap();
+    assert!(outcome.heaps_match());
+    assert_eq!(outcome.validation.as_ref().unwrap().compared.len(), 1);
+    // Unknown engine names name what exists.
+    let err = session
+        .run(&RunRequest::new("t", "x = 1;").engine("bytecode"))
+        .unwrap_err();
+    match err {
+        SsError::UnknownEngine { available, .. } => {
+            assert_eq!(available.len(), 1);
+        }
+        other => panic!("expected UnknownEngine, got {other:?}"),
+    }
+}
+
+/// The verdict summary carries the paper's headline classification
+/// (newly-enabled loops) through the stable API.
+#[test]
+fn verdict_summaries_expose_newly_enabled_loops() {
+    let session = Session::new();
+    let kernel = ss_npb::study_kernels()
+        .into_iter()
+        .find(|k| k.name == "fig9_csr_product")
+        .unwrap();
+    let outcome = session
+        .run(
+            &RunRequest::new(kernel.name, kernel.source)
+                .scale(64)
+                .threads(2)
+                .validation(ValidationMode::Differential),
+        )
+        .unwrap();
+    let target = outcome
+        .verdicts
+        .iter()
+        .find(|v| v.loop_id.0 == kernel.target_loop)
+        .unwrap();
+    assert_eq!(target.verdict, VerdictKind::Parallel);
+    assert!(
+        target.newly_enabled,
+        "fig9's product loop is the paper's win"
+    );
+    assert!(target.dispatched);
+    // JSON carries the same facts, machine-readably.
+    let j = outcome.to_json();
+    assert!(j.contains("\"newly_enabled\":true"), "{j}");
+    assert!(
+        j.contains(&format!("\"loop\":{}", kernel.target_loop)),
+        "{j}"
+    );
+}
+
+/// Explicit heaps round-trip through the API: what goes in verbatim comes
+/// out evolved, under both opt levels, bit-identically.
+#[test]
+fn explicit_heaps_run_identically_at_both_opt_levels() {
+    let session = Session::new();
+    let src = r#"
+        for (i = 0; i < n; i++) { perm[i] = n - 1 - i; }
+        for (i = 0; i < n; i++) { out[perm[i]] = v[i] * 2; }
+    "#;
+    let n = 128i64;
+    let heap = Heap::new()
+        .with_scalar("n", n)
+        .with_array("perm", vec![0; n as usize])
+        .with_array("v", (0..n).collect())
+        .with_array("out", vec![0; n as usize]);
+    let mut heaps = Vec::new();
+    for level in [OptLevel::O0, OptLevel::O1] {
+        let outcome = session
+            .run(
+                &RunRequest::new("roundtrip", src)
+                    .initial_heap(heap.clone())
+                    .opt_level(level)
+                    .threads(2)
+                    .validation(ValidationMode::Differential),
+            )
+            .unwrap();
+        assert!(outcome.heaps_match());
+        heaps.push(outcome.heap);
+    }
+    assert_eq!(heaps[0], heaps[1], "O0 and O1 runs must agree bit for bit");
+    assert_eq!(heaps[0].arrays["out"].data[0], (n - 1) * 2);
+}
