@@ -60,6 +60,8 @@ pub fn usage() -> String {
      \u{20}   sspar study\n\
      \u{20}   sspar kernels\n\
      \u{20}   sspar engines [--format text|json]\n\
+     \u{20}   sspar serve   [serve options]\n\
+     \u{20}   sspar request <json-line> [--addr <host:port>]\n\
      \n\
      COMMANDS:\n\
      \u{20}   analyze   run the full pipeline and print per-loop verdicts,\n\
@@ -72,6 +74,18 @@ pub fn usage() -> String {
      \u{20}   kernels   list the built-in catalogue kernels\n\
      \u{20}   engines   list the registered execution engines and their\n\
      \u{20}             capabilities (exactly what --engine accepts)\n\
+     \u{20}   serve     run the sspard daemon in-process (NDJSON over TCP)\n\
+     \u{20}             until a `shutdown` request drains it\n\
+     \u{20}   request   send one raw NDJSON request line to a running sspard\n\
+     \u{20}             and print the response line\n\
+     \n\
+     SERVE OPTIONS:\n\
+     \u{20}   --addr <host:port>      listen address (default 127.0.0.1:7878; :0 picks a port)\n\
+     \u{20}   --workers <N>           worker threads (default 4)\n\
+     \u{20}   --shards <N>            persistent thread-team shards (default 2)\n\
+     \u{20}   --queue <N>             bounded request-queue depth (default 64)\n\
+     \u{20}   --cache-capacity <N>    per-tenant artifact-cache entry bound (default unbounded)\n\
+     \u{20}   --cache-capacity-bytes <N>  per-tenant artifact-cache byte bound (default unbounded)\n\
      \n\
      OPTIONS:\n\
      \u{20}   --kernel <name>  use a built-in catalogue kernel instead of a file\n\
@@ -166,6 +180,49 @@ pub enum Command {
         /// Text or JSON output.
         format: OutputFormat,
     },
+    /// `sspar serve` — run the `sspard` daemon in-process until drained.
+    Serve {
+        /// Daemon knobs.
+        options: ServeOptions,
+    },
+    /// `sspar request` — one NDJSON request against a running daemon.
+    Request {
+        /// The raw request line (one JSON object).
+        line: String,
+        /// Daemon address.
+        addr: String,
+    },
+}
+
+/// Options of `sspar serve` (a subset of
+/// [`ss_daemon::DaemonConfig`](ss_daemon::server::DaemonConfig)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Listen address.
+    pub addr: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Persistent thread-team shards.
+    pub shards: usize,
+    /// Bounded request-queue depth.
+    pub queue: usize,
+    /// Per-tenant artifact-cache entry bound.
+    pub cache_capacity: Option<usize>,
+    /// Per-tenant artifact-cache byte bound.
+    pub cache_capacity_bytes: Option<usize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            shards: 2,
+            queue: 64,
+            cache_capacity: None,
+            cache_capacity_bytes: None,
+        }
+    }
 }
 
 /// Options of `sspar run`.
@@ -245,6 +302,67 @@ pub fn parse_args(args: &[String]) -> Result<Command, SsError> {
                 }
             }
             Ok(Command::Engines { format })
+        }
+        "serve" => {
+            let rest: Vec<&str> = it.collect();
+            let mut options = ServeOptions::default();
+            let parse_num = |rest: &[&str], i: usize| -> Result<usize, SsError> {
+                rest.get(i + 1)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .ok_or_else(usage_err)
+            };
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--addr" => {
+                        options.addr = rest.get(i + 1).ok_or_else(usage_err)?.to_string();
+                        i += 2;
+                    }
+                    "--workers" => {
+                        options.workers = parse_num(&rest, i)?.max(1);
+                        i += 2;
+                    }
+                    "--shards" => {
+                        options.shards = parse_num(&rest, i)?.max(1);
+                        i += 2;
+                    }
+                    "--queue" => {
+                        options.queue = parse_num(&rest, i)?.max(1);
+                        i += 2;
+                    }
+                    "--cache-capacity" => {
+                        options.cache_capacity = Some(parse_num(&rest, i)?);
+                        i += 2;
+                    }
+                    "--cache-capacity-bytes" => {
+                        options.cache_capacity_bytes = Some(parse_num(&rest, i)?);
+                        i += 2;
+                    }
+                    _ => return Err(usage_err()),
+                }
+            }
+            Ok(Command::Serve { options })
+        }
+        "request" => {
+            let rest: Vec<&str> = it.collect();
+            let mut line: Option<String> = None;
+            let mut addr = "127.0.0.1:7878".to_string();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--addr" => {
+                        addr = rest.get(i + 1).ok_or_else(usage_err)?.to_string();
+                        i += 2;
+                    }
+                    other if line.is_none() => {
+                        line = Some(other.to_string());
+                        i += 1;
+                    }
+                    _ => return Err(usage_err()),
+                }
+            }
+            let line = line.ok_or_else(usage_err)?;
+            Ok(Command::Request { line, addr })
         }
         "run" => {
             let rest: Vec<&str> = it.collect();
@@ -437,7 +555,43 @@ pub fn execute(cmd: &Command, reader: &dyn SourceReader) -> Result<String, SsErr
             let (name, source) = resolve_input(input, reader)?;
             run_text(&name, &source, options)
         }
+        Command::Serve { options } => serve_text(options),
+        Command::Request { line, addr } => request_text(line, addr),
     }
+}
+
+/// Runs the daemon in-process until a `shutdown` request drains it.  The
+/// bound address goes to stderr immediately (stdout is the command's
+/// *result*, which only exists once the daemon exits).
+fn serve_text(options: &ServeOptions) -> Result<String, SsError> {
+    let config = ss_daemon::DaemonConfig {
+        addr: options.addr.clone(),
+        workers: options.workers,
+        shards: options.shards,
+        queue: options.queue,
+        cache_capacity: options.cache_capacity,
+        cache_capacity_bytes: options.cache_capacity_bytes,
+        ..ss_daemon::DaemonConfig::default()
+    };
+    let mut daemon = ss_daemon::start(config).map_err(|e| SsError::Io {
+        path: options.addr.clone(),
+        message: e.to_string(),
+    })?;
+    let addr = daemon.local_addr();
+    eprintln!("sspard: listening on {addr}");
+    daemon.join();
+    Ok(format!("sspard: drained, listener {addr} closed\n"))
+}
+
+/// Sends one raw NDJSON line to a running daemon, returning the response
+/// line (the op's stable JSON envelope) with a trailing newline.
+fn request_text(line: &str, addr: &str) -> Result<String, SsError> {
+    let mut response = ss_daemon::request(addr, line).map_err(|e| SsError::Io {
+        path: addr.to_string(),
+        message: e.to_string(),
+    })?;
+    response.push('\n');
+    Ok(response)
 }
 
 /// Parses the arguments and runs the command in one step (what `main`
@@ -1074,6 +1228,116 @@ mod tests {
         let kernels = run(&args(&["kernels"]), &reader).unwrap();
         assert!(kernels.contains("csparse_ipvec"));
         assert!(kernels.contains("is_bucket_traversal"));
+    }
+
+    #[test]
+    fn parse_args_recognizes_serve_and_request() {
+        assert_eq!(
+            parse_args(&args(&["serve"])).unwrap(),
+            Command::Serve {
+                options: ServeOptions::default()
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--shards",
+                "4",
+                "--queue",
+                "8",
+                "--cache-capacity",
+                "16",
+                "--cache-capacity-bytes",
+                "1048576",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                options: ServeOptions {
+                    addr: "127.0.0.1:0".into(),
+                    workers: 2,
+                    shards: 4,
+                    queue: 8,
+                    cache_capacity: Some(16),
+                    cache_capacity_bytes: Some(1048576),
+                }
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "request",
+                r#"{"op":"stats"}"#,
+                "--addr",
+                "127.0.0.1:9"
+            ]))
+            .unwrap(),
+            Command::Request {
+                line: r#"{"op":"stats"}"#.into(),
+                addr: "127.0.0.1:9".into(),
+            }
+        );
+        for bad in [
+            vec!["serve", "--workers"],
+            vec!["serve", "--workers", "x"],
+            vec!["serve", "--bogus"],
+            vec!["request"],
+            vec!["request", "{}", "{}"],
+            vec!["request", "{}", "--addr"],
+        ] {
+            assert!(
+                matches!(parse_args(&args(&bad)), Err(SsError::Usage(_))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn request_round_trips_against_a_live_daemon() {
+        let daemon = ss_daemon::start(ss_daemon::DaemonConfig::default()).expect("bind");
+        let addr = daemon.local_addr().to_string();
+        let reader = MapReader(HashMap::new());
+        let out = run(
+            &args(&["request", r#"{"op":"engines"}"#, "--addr", &addr]),
+            &reader,
+        )
+        .unwrap();
+        assert!(out.starts_with(r#"{"ok":true"#), "{out}");
+        assert!(out.contains("\"bytecode\""), "{out}");
+        assert!(out.ends_with('\n'));
+
+        // The daemon's run response and `sspar run --format json` emit
+        // the same schema through the same serializer.
+        let daemon_run = run(
+            &args(&[
+                "request",
+                r#"{"op":"run","kernel":"fig2_ua_transfer","threads":2,"scale":64}"#,
+                "--addr",
+                &addr,
+            ]),
+            &reader,
+        )
+        .unwrap();
+        for key in [
+            "\"program\":\"fig2_ua_transfer\"",
+            "\"engine\":\"bytecode\"",
+            "\"stages\":[",
+            "\"dispatched\":[",
+        ] {
+            assert!(daemon_run.contains(key), "missing {key} in {daemon_run}");
+        }
+
+        // Unreachable daemons surface as Io with exit code 3.
+        drop(daemon);
+        let err = run(
+            &args(&["request", r#"{"op":"stats"}"#, "--addr", "127.0.0.1:1"]),
+            &reader,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SsError::Io { .. }));
+        assert_eq!(err.exit_code(), 3);
     }
 
     #[test]

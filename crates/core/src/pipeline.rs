@@ -411,6 +411,24 @@ impl Artifacts {
         }
     }
 
+    /// Approximate in-memory footprint of these artifacts in bytes: both
+    /// bytecode streams (instructions, constant pools, interned names),
+    /// the annotated source, and a fixed allowance per analyzed loop for
+    /// the report and the compiled op trees.  This is the per-entry
+    /// accounting a byte-bounded artifact cache
+    /// (`Session::with_cache_capacity_bytes`) charges — deliberately an
+    /// estimate: it only has to be monotone in program size, not exact.
+    pub fn approx_bytes(&self) -> usize {
+        /// Per-loop allowance covering the `LoopReport` (reasons, blockers,
+        /// facts) and the slot-compiled op trees, which are not walked.
+        const PER_LOOP_OVERHEAD: usize = 4096;
+        std::mem::size_of::<Artifacts>()
+            + self.bytecode.approx_bytes()
+            + self.optimized.approx_bytes()
+            + 2 * self.report.annotated_source.len()
+            + self.report.loops.len() * PER_LOOP_OVERHEAD
+    }
+
     /// One line per stage: `analyze 0.000123s · slots …` (what
     /// `sspar analyze` prints as the pipeline trace).
     pub fn stage_summary(&self) -> String {

@@ -1,0 +1,110 @@
+//! `sspar-load` — closed-loop load generator for `sspard`.
+//!
+//! Replays the study-kernel catalogue × every registered engine × its
+//! opt levels at a configurable concurrency and prints a throughput /
+//! latency table.  With `--spawn` it hosts an in-process daemon for the
+//! duration of the run — a self-contained smoke/benchmark mode for CI.
+
+use ss_daemon::load::{self, LoadConfig};
+use ss_daemon::server::{self, DaemonConfig};
+
+const USAGE: &str = "\
+sspar-load — load generator for sspard (catalogue × engines × opt levels)
+
+USAGE:
+    sspar-load [OPTIONS]
+
+OPTIONS:
+    --addr <host:port>   daemon to drive [default: 127.0.0.1:7878]
+    --spawn              start an in-process daemon instead (ignores --addr)
+    --concurrency <n>    concurrent client connections [default: 4]
+    --iters <n>          repetitions of the full matrix [default: 3]
+    --scale <n>          input-synthesis scale per run [default: 64]
+    --threads <n>        worker threads requested per run [default: 2]
+    --engine <name>      restrict to one engine (repeatable) [default: all]
+    -h, --help           print this help";
+
+struct Args {
+    load: LoadConfig,
+    spawn: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        load: LoadConfig::default(),
+        spawn: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => parsed.load.addr = value("--addr")?,
+            "--spawn" => parsed.spawn = true,
+            "--concurrency" => {
+                parsed.load.concurrency = parse_num(&value("--concurrency")?, "--concurrency")?
+            }
+            "--iters" => parsed.load.iters = parse_num(&value("--iters")?, "--iters")?,
+            "--scale" => parsed.load.scale = parse_num(&value("--scale")?, "--scale")? as i64,
+            "--threads" => parsed.load.threads = parse_num(&value("--threads")?, "--threads")?,
+            "--engine" => parsed.load.engines.push(value("--engine")?),
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
+    text.parse::<usize>()
+        .map_err(|_| format!("{flag} needs a non-negative integer, got '{text}'"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = match parse_args(&args) {
+        Ok(args) => args,
+        Err(message) => {
+            if message.is_empty() {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            eprintln!("error: {message}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let spawned = if args.spawn {
+        match server::start(DaemonConfig::default()) {
+            Ok(daemon) => {
+                args.load.addr = daemon.local_addr().to_string();
+                Some(daemon)
+            }
+            Err(e) => {
+                eprintln!("error: cannot spawn daemon: {e}");
+                std::process::exit(3);
+            }
+        }
+    } else {
+        None
+    };
+
+    let outcome = load::run_load(&args.load);
+    if let Some(mut daemon) = spawned {
+        let _ = server::request(&args.load.addr, r#"{"op":"shutdown"}"#);
+        daemon.join();
+    }
+    match outcome {
+        Ok(report) => {
+            println!("{report}");
+            std::process::exit(if report.total_errors == 0 { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("error: load run failed: {e}");
+            std::process::exit(3);
+        }
+    }
+}

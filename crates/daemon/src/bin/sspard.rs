@@ -1,0 +1,101 @@
+//! `sspard` — the subscripted-subscript analysis/execution daemon.
+//!
+//! Serves the newline-delimited JSON protocol of `ss_daemon::protocol`
+//! over TCP until a `shutdown` request drains it.  Run `sspard --help`
+//! for the knobs.
+
+use ss_daemon::server::{self, DaemonConfig};
+use std::time::Duration;
+
+const USAGE: &str = "\
+sspard — long-running analysis/execution daemon (NDJSON over TCP)
+
+USAGE:
+    sspard [OPTIONS]
+
+OPTIONS:
+    --addr <host:port>          listen address [default: 127.0.0.1:7878; :0 picks a port]
+    --workers <n>               worker threads executing requests [default: 4]
+    --shards <n>                persistent thread-team shards [default: 2]
+    --queue <n>                 bounded request-queue depth [default: 64]
+    --max-line-bytes <n>        request-line byte cap [default: 1048576]
+    --idle-timeout-ms <n>       idle-connection timeout [default: 30000]
+    --cache-capacity <n>        per-tenant artifact-cache entry bound [default: unbounded]
+    --cache-capacity-bytes <n>  per-tenant artifact-cache byte bound [default: unbounded]
+    -h, --help                  print this help
+
+The daemon prints `listening on <addr>` once ready and exits 0 after a
+graceful drain (the `shutdown` op).";
+
+fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
+    let mut config = DaemonConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..DaemonConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => config.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--shards" => config.shards = parse_num(&value("--shards")?, "--shards")?,
+            "--queue" => config.queue = parse_num(&value("--queue")?, "--queue")?,
+            "--max-line-bytes" => {
+                config.max_line_bytes = parse_num(&value("--max-line-bytes")?, "--max-line-bytes")?
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = Duration::from_millis(parse_num(
+                    &value("--idle-timeout-ms")?,
+                    "--idle-timeout-ms",
+                )? as u64)
+            }
+            "--cache-capacity" => {
+                config.cache_capacity =
+                    Some(parse_num(&value("--cache-capacity")?, "--cache-capacity")?)
+            }
+            "--cache-capacity-bytes" => {
+                config.cache_capacity_bytes = Some(parse_num(
+                    &value("--cache-capacity-bytes")?,
+                    "--cache-capacity-bytes",
+                )?)
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(config)
+}
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
+    text.parse::<usize>()
+        .map_err(|_| format!("{flag} needs a non-negative integer, got '{text}'"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            if message.is_empty() {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            eprintln!("error: {message}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut daemon = match server::start(config) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("error: cannot start daemon: {e}");
+            std::process::exit(3);
+        }
+    };
+    println!("listening on {}", daemon.local_addr());
+    daemon.join();
+    println!("drained; exiting");
+}

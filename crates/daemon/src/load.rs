@@ -1,0 +1,293 @@
+//! `sspar-load`: a closed-loop load generator replaying the study-kernel
+//! catalogue against a running `sspard`.
+//!
+//! The request mix is enumerated from the daemon itself: the `engines`
+//! endpoint lists every engine and its distinguished opt levels, and the
+//! catalogue names come from `ss_npb::study_kernels` — so the matrix is
+//! catalogue × engines × opt levels by construction, never a hardcoded
+//! list that can drift.  Each concurrent client owns one connection and
+//! replays its share of the matrix `iters` times; the report aggregates
+//! throughput and latency percentiles per (engine, opt level) row.
+
+use crate::jsonin::{self, Value};
+use crate::server::Client;
+use crate::stats::percentile_micros;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub concurrency: usize,
+    /// Times each (kernel, engine, opt level) cell is requested.
+    pub iters: usize,
+    /// Input-synthesis scale sent with every `run`.
+    pub scale: i64,
+    /// Worker threads requested per run.
+    pub threads: usize,
+    /// Restrict to these engines (empty = all registered engines).
+    pub engines: Vec<String>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            concurrency: 4,
+            iters: 3,
+            scale: 64,
+            threads: 2,
+            engines: Vec::new(),
+        }
+    }
+}
+
+/// Aggregated results for one (engine, opt level) row of the matrix.
+#[derive(Debug, Clone)]
+pub struct LoadRow {
+    /// `engine@O<n>` label.
+    pub label: String,
+    /// Requests issued.
+    pub requests: usize,
+    /// Requests answered with `"ok":false` or a transport error.
+    pub errors: usize,
+    /// Completed requests per second of wall-clock.
+    pub throughput: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// The whole load run: per-row aggregates plus the overall request rate.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// One row per (engine, opt level), engine order as registered.
+    pub rows: Vec<LoadRow>,
+    /// Total requests issued.
+    pub total_requests: usize,
+    /// Total failed requests.
+    pub total_errors: usize,
+    /// Wall-clock of the whole run, seconds.
+    pub wall_seconds: f64,
+}
+
+impl LoadReport {
+    /// Requests per second over the whole run.
+    pub fn overall_throughput(&self) -> f64 {
+        self.total_requests as f64 / self.wall_seconds.max(1e-9)
+    }
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<14} {:>8} {:>7} {:>10} {:>9} {:>9} {:>9}",
+            "engine", "requests", "errors", "req/s", "p50 ms", "p95 ms", "p99 ms"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>8} {:>7} {:>10.1} {:>9.2} {:>9.2} {:>9.2}",
+                row.label,
+                row.requests,
+                row.errors,
+                row.throughput,
+                row.p50_ms,
+                row.p95_ms,
+                row.p99_ms
+            )?;
+        }
+        write!(
+            f,
+            "total: {} requests, {} errors, {:.2}s wall, {:.1} req/s",
+            self.total_requests,
+            self.total_errors,
+            self.wall_seconds,
+            self.overall_throughput()
+        )
+    }
+}
+
+/// One cell of the request matrix.
+#[derive(Debug, Clone)]
+struct Cell {
+    kernel: String,
+    engine: String,
+    opt_level: u8,
+}
+
+impl Cell {
+    fn label(&self) -> String {
+        format!("{}@O{}", self.engine, self.opt_level)
+    }
+
+    fn request_line(&self, cfg: &LoadConfig) -> String {
+        use ss_interp::json;
+        json::object([
+            ("op", json::string("run")),
+            ("kernel", json::string(&self.kernel)),
+            ("engine", json::string(&self.engine)),
+            ("opt_level", self.opt_level.to_string()),
+            ("threads", cfg.threads.to_string()),
+            ("scale", cfg.scale.to_string()),
+        ])
+    }
+}
+
+/// Asks the daemon's `engines` endpoint for the (engine, opt level)
+/// pairs, keeping `only` (all when empty).
+fn enumerate_engines(addr: &str, only: &[String]) -> std::io::Result<Vec<(String, u8)>> {
+    let response = crate::server::request(addr, r#"{"op":"engines"}"#)?;
+    let parsed = jsonin::parse(&response)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let engines = parsed
+        .get("result")
+        .and_then(|r| r.get("engines"))
+        .and_then(Value::as_arr)
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "no engines in response")
+        })?;
+    let mut pairs = Vec::new();
+    for engine in engines {
+        let Some(name) = engine.get("name").and_then(Value::as_str) else {
+            continue;
+        };
+        if !only.is_empty() && !only.iter().any(|o| o == name) {
+            continue;
+        }
+        let levels = engine
+            .get("opt_levels")
+            .and_then(Value::as_arr)
+            .map(|l| l.to_vec())
+            .unwrap_or_default();
+        for level in levels {
+            // Levels are rendered "O0"/"O1" by the registry surface.
+            if let Some(n) = level.as_str().and_then(|s| s.strip_prefix('O')) {
+                if let Ok(n) = n.parse::<u8>() {
+                    pairs.push((name.to_string(), n));
+                }
+            }
+        }
+    }
+    Ok(pairs)
+}
+
+/// Runs the load: catalogue × engines × opt levels, `iters` times each,
+/// spread over `concurrency` connections.
+pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
+    let engines = enumerate_engines(&cfg.addr, &cfg.engines)?;
+    let kernels: Vec<String> = ss_npb::study_kernels()
+        .into_iter()
+        .map(|k| k.name.to_string())
+        .collect();
+
+    let mut cells = Vec::new();
+    for _ in 0..cfg.iters.max(1) {
+        for kernel in &kernels {
+            for (engine, opt_level) in &engines {
+                cells.push(Cell {
+                    kernel: kernel.clone(),
+                    engine: engine.clone(),
+                    opt_level: *opt_level,
+                });
+            }
+        }
+    }
+
+    let concurrency = cfg.concurrency.max(1);
+    let started = Instant::now();
+    let results: Vec<(String, u64, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|worker| {
+                let cells = &cells;
+                scope.spawn(move || {
+                    let mut client = match Client::connect(&cfg.addr) {
+                        Ok(c) => c,
+                        Err(_) => {
+                            // Whole-connection failure: report every
+                            // assigned cell as errored.
+                            return cells
+                                .iter()
+                                .skip(worker)
+                                .step_by(concurrency)
+                                .map(|c| (c.label(), 0, false))
+                                .collect::<Vec<_>>();
+                        }
+                    };
+                    cells
+                        .iter()
+                        .skip(worker)
+                        .step_by(concurrency)
+                        .map(|cell| {
+                            let line = cell.request_line(cfg);
+                            let cell_started = Instant::now();
+                            let ok = match client.call(&line) {
+                                Ok(response) => jsonin::parse(&response)
+                                    .ok()
+                                    .and_then(|v| v.get("ok").and_then(Value::as_bool))
+                                    .unwrap_or(false),
+                                Err(_) => false,
+                            };
+                            let micros = cell_started.elapsed().as_micros() as u64;
+                            (cell.label(), micros, ok)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let mut by_label: BTreeMap<String, (Vec<u64>, usize)> = BTreeMap::new();
+    for (label, micros, ok) in &results {
+        let entry = by_label.entry(label.clone()).or_default();
+        entry.0.push(*micros);
+        if !ok {
+            entry.1 += 1;
+        }
+    }
+
+    // Rows in the matrix's engine order, not BTreeMap order.
+    let mut rows = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for (engine, opt_level) in &engines {
+        let label = format!("{engine}@O{opt_level}");
+        if !seen.insert(label.clone()) {
+            continue;
+        }
+        if let Some((latencies, errors)) = by_label.get(&label) {
+            let pct = |p: f64| {
+                percentile_micros(latencies, p)
+                    .map(|m| m as f64 / 1000.0)
+                    .unwrap_or(0.0)
+            };
+            rows.push(LoadRow {
+                label,
+                requests: latencies.len(),
+                errors: *errors,
+                throughput: latencies.len() as f64 / wall_seconds.max(1e-9),
+                p50_ms: pct(50.0),
+                p95_ms: pct(95.0),
+                p99_ms: pct(99.0),
+            });
+        }
+    }
+
+    Ok(LoadReport {
+        total_requests: results.len(),
+        total_errors: results.iter().filter(|(_, _, ok)| !ok).count(),
+        rows,
+        wall_seconds,
+    })
+}

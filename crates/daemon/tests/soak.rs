@@ -1,0 +1,370 @@
+//! In-process soak of `sspard`: concurrent clients replaying the full
+//! catalogue over real TCP against bit-exact expectations computed with
+//! a plain single-threaded [`Session`], plus protocol-robustness checks
+//! (malformed, oversized, idle-timeout, overload, graceful drain).
+//!
+//! Everything runs on loopback with OS-assigned ports, so the suite is
+//! safe under `cargo test`'s default parallelism.
+
+use ss_daemon::jsonin::{self, Value};
+use ss_daemon::server::{self, Client, DaemonConfig};
+use ss_interp::{heap_json, ExecutionMode, RunRequest, Session};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+const SCALE: i64 = 48;
+const SEED: u64 = 1234;
+const CLIENTS: usize = 8;
+
+fn start_daemon(config: DaemonConfig) -> (server::DaemonHandle, String) {
+    let daemon = server::start(config).expect("bind loopback");
+    let addr = daemon.local_addr().to_string();
+    (daemon, addr)
+}
+
+fn parse_ok(response: &str) -> Value {
+    let v = jsonin::parse(response).expect("response is valid JSON");
+    assert_eq!(
+        v.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "expected ok response, got: {response}"
+    );
+    v.get("result").cloned().expect("ok responses carry result")
+}
+
+fn parse_err(response: &str) -> (String, i64) {
+    let v = jsonin::parse(response).expect("response is valid JSON");
+    assert_eq!(
+        v.get("ok").and_then(Value::as_bool),
+        Some(false),
+        "expected error response, got: {response}"
+    );
+    let error = v.get("error").expect("error responses carry error");
+    (
+        error
+            .get("class")
+            .and_then(Value::as_str)
+            .expect("error class")
+            .to_string(),
+        error
+            .get("exit_code")
+            .and_then(Value::as_i64)
+            .expect("error exit_code"),
+    )
+}
+
+/// The reference heaps: one single-threaded serial run per catalogue
+/// kernel, same scale and seed the daemon requests will use.
+fn reference_heaps() -> BTreeMap<String, String> {
+    let session = Session::new();
+    ss_npb::study_kernels()
+        .into_iter()
+        .map(|k| {
+            let outcome = session
+                .run(
+                    &RunRequest::new(k.name, k.source)
+                        .scale(SCALE)
+                        .seed(SEED)
+                        .mode(ExecutionMode::Serial),
+                )
+                .expect("reference run");
+            (k.name.to_string(), heap_json(&outcome.heap))
+        })
+        .collect()
+}
+
+#[test]
+fn soak_concurrent_clients_get_bit_identical_heaps_and_monotone_counters() {
+    let (daemon, addr) = start_daemon(DaemonConfig {
+        workers: 4,
+        shards: 2,
+        ..DaemonConfig::default()
+    });
+    let expected = reference_heaps();
+    let kernels: Vec<String> = expected.keys().cloned().collect();
+
+    // Prewarm: compile every program once so the concurrent phase can
+    // assert exact cache counters (racing cold misses may each compile).
+    {
+        let mut client = Client::connect(&addr).expect("connect");
+        for kernel in &kernels {
+            parse_ok(
+                &client
+                    .call(&format!(r#"{{"op":"analyze","kernel":"{kernel}"}}"#))
+                    .expect("analyze"),
+            );
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let addr = &addr;
+            let expected = &expected;
+            let kernels = &kernels;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for kernel in kernels {
+                    let line = format!(
+                        r#"{{"op":"run","kernel":"{kernel}","threads":2,"scale":{SCALE},"seed":{SEED},"include_heap":true}}"#
+                    );
+                    let result = parse_ok(&client.call(&line).expect("run"));
+                    assert_eq!(result.get("cache_hit").and_then(Value::as_bool), Some(true));
+                    // The daemon's parallel heap must be bit-identical to
+                    // the local single-threaded reference.
+                    let heap = result.get("heap").expect("include_heap");
+                    let rendered = render(heap);
+                    assert_eq!(
+                        &rendered, &expected[kernel],
+                        "daemon heap diverged for {kernel}"
+                    );
+                }
+            });
+        }
+    });
+
+    // Compile-once per program per tenant: the prewarm produced exactly
+    // one miss per kernel, the soak produced only hits.
+    let stats = parse_ok(&server::request(&addr, r#"{"op":"stats"}"#).expect("stats"));
+    let tenant = stats
+        .get("tenants")
+        .and_then(|t| t.get("default"))
+        .expect("default tenant");
+    assert_eq!(
+        tenant.get("misses").and_then(Value::as_i64),
+        Some(kernels.len() as i64)
+    );
+    assert_eq!(
+        tenant.get("hits").and_then(Value::as_i64),
+        Some((CLIENTS * kernels.len()) as i64)
+    );
+    assert_eq!(tenant.get("evictions").and_then(Value::as_i64), Some(0));
+    assert!(tenant.get("bytes").and_then(Value::as_i64).unwrap() > 0);
+
+    // No admission rejections at this load.
+    let overloaded = stats
+        .get("metrics")
+        .and_then(|m| m.get("rejected"))
+        .and_then(|r| r.get("overloaded"))
+        .and_then(Value::as_i64);
+    assert_eq!(overloaded, Some(0));
+
+    let served = stats
+        .get("metrics")
+        .and_then(|m| m.get("endpoints"))
+        .and_then(|e| e.get("run"))
+        .expect("run endpoint stats");
+    assert_eq!(
+        served.get("count").and_then(Value::as_i64),
+        Some((CLIENTS * kernels.len()) as i64)
+    );
+    assert!(served.get("p99_ms").and_then(Value::as_f64).unwrap() >= 0.0);
+
+    drop(daemon); // drains + joins
+}
+
+/// Re-renders a parsed heap value back to the emitter's canonical form so
+/// it can be compared against `heap_json` output byte for byte.
+fn render(v: &Value) -> String {
+    use ss_interp::json;
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9.0e18 {
+                format!("{}", *n as i64)
+            } else {
+                json::number(*n)
+            }
+        }
+        Value::Str(s) => json::string(s),
+        Value::Arr(items) => json::array(items.iter().map(render)),
+        Value::Obj(fields) => json::object(fields.iter().map(|(k, val)| (k.as_str(), render(val)))),
+    }
+}
+
+#[test]
+fn tenants_are_isolated_and_sharded_runs_agree() {
+    let (_daemon, addr) = start_daemon(DaemonConfig {
+        workers: 2,
+        shards: 4,
+        ..DaemonConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    for tenant in ["alpha", "beta"] {
+        let line = format!(
+            r#"{{"op":"run","tenant":"{tenant}","kernel":"fig2_ua_transfer","threads":2,"scale":{SCALE},"seed":{SEED},"include_heap":true,"validate":true}}"#
+        );
+        let result = parse_ok(&client.call(&line).expect("run"));
+        assert_eq!(
+            result
+                .get("validation")
+                .and_then(|v| v.get("heaps_match"))
+                .and_then(Value::as_bool),
+            Some(true)
+        );
+    }
+    let stats = parse_ok(&server::request(&addr, r#"{"op":"stats"}"#).expect("stats"));
+    let tenants = stats.get("tenants").expect("tenants");
+    for tenant in ["alpha", "beta"] {
+        let t = tenants.get(tenant).expect("tenant entry");
+        assert_eq!(t.get("misses").and_then(Value::as_i64), Some(1));
+    }
+}
+
+#[test]
+fn overloaded_is_returned_only_when_the_queue_bound_is_exceeded() {
+    // One worker, queue depth one: a concurrent burst must overflow.
+    let (_daemon, addr) = start_daemon(DaemonConfig {
+        workers: 1,
+        queue: 1,
+        ..DaemonConfig::default()
+    });
+
+    // Sequential requests never see `overloaded`.
+    let mut client = Client::connect(&addr).expect("connect");
+    for _ in 0..5 {
+        parse_ok(
+            &client
+                .call(r#"{"op":"run","kernel":"fig2_ua_transfer","threads":2,"scale":32}"#)
+                .expect("run"),
+        );
+    }
+
+    // Bursts of concurrent clients against the 1-deep queue: keep going
+    // until admission control rejects at least one request (each burst of
+    // 8 against worker+queue capacity 2 makes that effectively certain).
+    let mut saw_overloaded = false;
+    let mut saw_success = false;
+    for _ in 0..20 {
+        let outcomes: Vec<Option<String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let addr = &addr;
+                    scope.spawn(move || {
+                        server::request(
+                            addr,
+                            r#"{"op":"run","kernel":"fig3_cg_colidx","threads":2,"scale":512,"validate":true}"#,
+                        )
+                        .ok()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().ok().flatten())
+                .collect()
+        });
+        for response in outcomes.into_iter().flatten() {
+            let v = jsonin::parse(&response).expect("valid JSON");
+            match v.get("ok").and_then(Value::as_bool) {
+                Some(true) => saw_success = true,
+                Some(false) => {
+                    let (class, code) = parse_err(&response);
+                    assert_eq!((class.as_str(), code), ("overloaded", 2));
+                    saw_overloaded = true;
+                }
+                None => panic!("response without ok: {response}"),
+            }
+        }
+        if saw_overloaded && saw_success {
+            break;
+        }
+    }
+    assert!(saw_overloaded, "queue bound was never exceeded");
+    assert!(saw_success, "no request ever succeeded under burst load");
+
+    let stats = parse_ok(&server::request(&addr, r#"{"op":"stats"}"#).expect("stats"));
+    let rejected = stats
+        .get("metrics")
+        .and_then(|m| m.get("rejected"))
+        .and_then(|r| r.get("overloaded"))
+        .and_then(Value::as_i64)
+        .unwrap();
+    assert!(rejected > 0);
+}
+
+#[test]
+fn malformed_lines_answer_structured_errors_and_keep_the_connection() {
+    let (_daemon, addr) = start_daemon(DaemonConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+
+    for (line, class) in [
+        ("this is not json", "malformed"),
+        (r#"{"op":"dance"}"#, "malformed"),
+        (r#"{"op":"run"}"#, "malformed"),
+        (r#"{"op":"run","kernel":"nope"}"#, "unknown_kernel"),
+        (r#"{"op":"run","source":"x = ","name":"bad"}"#, "parse"),
+        (
+            r#"{"op":"run","source":"x = 1;","engine":"warp9"}"#,
+            "unknown_engine",
+        ),
+    ] {
+        let (got, _code) = parse_err(&client.call(line).expect("still connected"));
+        assert_eq!(got, class, "for line {line}");
+    }
+
+    // The connection survived all of the above.
+    parse_ok(&client.call(r#"{"op":"engines"}"#).expect("alive"));
+}
+
+#[test]
+fn oversized_lines_are_rejected_and_the_connection_closed() {
+    let (_daemon, addr) = start_daemon(DaemonConfig {
+        max_line_bytes: 1024,
+        ..DaemonConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    let huge = format!(
+        r#"{{"op":"run","name":"big","source":"{}"}}"#,
+        "x = 1; ".repeat(1024)
+    );
+    let (class, code) = parse_err(&client.call(&huge).expect("error line before close"));
+    assert_eq!((class.as_str(), code), ("oversized", 2));
+    // The daemon closed the connection afterwards.
+    assert!(client.call(r#"{"op":"engines"}"#).is_err());
+}
+
+#[test]
+fn idle_connections_time_out_with_a_structured_error() {
+    let (_daemon, addr) = start_daemon(DaemonConfig {
+        idle_timeout: Duration::from_millis(300),
+        ..DaemonConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    // Send nothing; the daemon must answer with a timeout error and close.
+    let started = std::time::Instant::now();
+    let response = client.read_response();
+    let (class, _code) = parse_err(&response.expect("timeout line"));
+    assert_eq!(class, "timeout");
+    assert!(started.elapsed() >= Duration::from_millis(250));
+}
+
+#[test]
+fn shutdown_drains_gracefully_and_stops_accepting() {
+    let (mut daemon, addr) = start_daemon(DaemonConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    parse_ok(
+        &client
+            .call(r#"{"op":"run","kernel":"fig2_ua_transfer","scale":32}"#)
+            .expect("run"),
+    );
+    let ack = parse_ok(&client.call(r#"{"op":"shutdown"}"#).expect("shutdown"));
+    assert_eq!(ack.get("draining").and_then(Value::as_bool), Some(true));
+    assert!(daemon.is_draining());
+    daemon.join(); // acceptor + workers exit; would hang forever on a leak
+
+    // The listener is gone: new connections are refused (or reset).
+    std::thread::sleep(Duration::from_millis(50));
+    let refused = std::net::TcpStream::connect(&addr)
+        .map(|mut s| {
+            use std::io::{Read, Write};
+            // Port may be in TIME_WAIT tricks on some kernels; a write or
+            // read must fail promptly on a dead listener.
+            let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+            let _ = s.write_all(b"{\"op\":\"engines\"}\n");
+            let mut buf = [0u8; 16];
+            matches!(s.read(&mut buf), Ok(0) | Err(_))
+        })
+        .unwrap_or(true);
+    assert!(refused, "daemon kept serving after drain");
+}

@@ -35,7 +35,7 @@ use ss_ir::bytecode::{BcExpr, BcFor, BytecodeProgram, HeaderFast, Instr, Reg};
 use ss_ir::slots::{ArraySlot, SlotMap};
 use ss_ir::LoopId;
 use ss_parallelizer::{ParallelizationReport, ReductionInfo};
-use ss_runtime::{team_parallel_reduce, with_shared_team, Schedule};
+use ss_runtime::{team_parallel_reduce, with_shared_team_in, Schedule};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -565,9 +565,10 @@ impl BcPolicy<SpineArrays<'_>> for BcDispatch<'_> {
         let snapshot_ref = &snapshot;
         let is_reduction_ref = &is_reduction;
 
-        // The process-wide team: spawned by the first dispatched region of
-        // the first run, reused by every region of every later run.
-        let acc = with_shared_team(threads, |team| {
+        // The process-wide team of this run's group: spawned by the first
+        // dispatched region of the first run in the group, reused by every
+        // region of every later run.  Servers assign one group per shard.
+        let acc = with_shared_team_in(self.opts.team_group, threads, |team| {
             team_parallel_reduce(
                 team,
                 n,

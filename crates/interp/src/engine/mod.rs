@@ -305,6 +305,13 @@ pub struct ExecOptions {
     pub min_parallel_trip: usize,
     /// Iteration cap per loop invocation, against runaway `while` loops.
     pub while_cap: u64,
+    /// Which process-wide persistent-team group dispatched loops run in
+    /// (see `ss_runtime::with_shared_team_in`).  Group 0 — the default —
+    /// is the team every one-shot consumer shares; a server that shards
+    /// requests across independent teams assigns one group per shard so
+    /// concurrent runs never serialize on a single team's region mutex.
+    /// Only engines with [`EngineCaps::persistent_team`] consult this.
+    pub team_group: usize,
 }
 
 impl Default for ExecOptions {
@@ -316,6 +323,7 @@ impl Default for ExecOptions {
             baseline_inspector: false,
             min_parallel_trip: 2,
             while_cap: 100_000_000,
+            team_group: 0,
         }
     }
 }

@@ -65,7 +65,7 @@ pub mod engine;
 pub mod error;
 pub mod heap;
 pub mod inputs;
-mod json;
+pub mod json;
 pub mod session;
 
 pub use engine::{
@@ -75,6 +75,7 @@ pub use engine::{
 pub use error::SsError;
 pub use heap::{ArrayVal, Heap};
 pub use inputs::{input_value, synthesize_inputs, InputSpec};
+pub use json::heap_json;
 pub use session::{
     analysis_json, engine_label, registry_json, verdict_summary, CacheStats, ExecutionMode,
     InputSource, LoopVerdictSummary, RunOutcome, RunRequest, Session, ValidationMode,

@@ -133,6 +133,9 @@ pub struct RunRequest {
     pub baseline_inspector: bool,
     /// Iteration cap per loop invocation (`None` = engine default).
     pub while_cap: Option<u64>,
+    /// Persistent-team group dispatched loops run in (see
+    /// [`ExecOptions::team_group`]); servers map one group per shard.
+    pub team_group: usize,
 }
 
 impl RunRequest {
@@ -152,6 +155,7 @@ impl RunRequest {
             mode: ExecutionMode::default(),
             baseline_inspector: false,
             while_cap: None,
+            team_group: 0,
         }
     }
 
@@ -231,6 +235,14 @@ impl RunRequest {
         self
     }
 
+    /// Persistent-team group dispatched loops run in.  Distinct groups
+    /// hold independent thread teams, so a server can execute concurrent
+    /// requests on per-shard teams instead of serializing on one.
+    pub fn team_group(mut self, group: usize) -> RunRequest {
+        self.team_group = group;
+        self
+    }
+
     fn exec_options(&self) -> ExecOptions {
         let defaults = ExecOptions::default();
         ExecOptions {
@@ -239,6 +251,7 @@ impl RunRequest {
             opt_level: self.opt_level,
             baseline_inspector: self.baseline_inspector,
             while_cap: self.while_cap.unwrap_or(defaults.while_cap),
+            team_group: self.team_group,
             ..defaults
         }
     }
@@ -394,6 +407,18 @@ impl RunOutcome {
     /// embedded (it can be arbitrarily large); consumers needing state
     /// read [`RunOutcome::heap`].
     pub fn to_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    /// [`to_json`](Self::to_json) plus a trailing `"heap"` field rendered
+    /// by [`json::heap_json`] — the form the `sspard` daemon returns when
+    /// a client asks for final state (`include_heap`).  Same serializer
+    /// path, strictly additive schema.
+    pub fn to_json_with_heap(&self) -> String {
+        self.render_json(true)
+    }
+
+    fn render_json(&self, include_heap: bool) -> String {
         let mut fields = vec![
             ("program", json::string(&self.program)),
             ("engine", json::string(&self.engine)),
@@ -455,6 +480,9 @@ impl RunOutcome {
                 None => "null".to_string(),
             },
         ));
+        if include_heap {
+            fields.push(("heap", json::heap_json(&self.heap)));
+        }
         json::object(fields)
     }
 }
@@ -556,18 +584,28 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compile.
     pub misses: u64,
-    /// Entries dropped to respect the capacity bound.
+    /// Entries dropped to respect the capacity bounds (entry-count or
+    /// byte).
     pub evictions: u64,
     /// Programs currently cached.
     pub entries: usize,
-    /// Capacity bound (`None` = unbounded).
+    /// Entry-count capacity bound (`None` = unbounded).
     pub capacity: Option<usize>,
+    /// Approximate bytes currently held (sum of
+    /// [`Artifacts::approx_bytes`](ss_parallelizer::Artifacts::approx_bytes)
+    /// over cached entries).
+    pub bytes: usize,
+    /// Byte capacity bound (`None` = unbounded).
+    pub capacity_bytes: Option<usize>,
 }
 
 struct CacheState {
-    map: HashMap<u128, Arc<Artifacts>>,
-    /// Insertion order, for FIFO eviction under a capacity bound.
+    /// Cached artifacts plus each entry's approximate byte charge.
+    map: HashMap<u128, (Arc<Artifacts>, usize)>,
+    /// Insertion order, for FIFO eviction under the capacity bounds.
     order: VecDeque<u128>,
+    /// Sum of the byte charges of every entry in `map`.
+    bytes: usize,
 }
 
 /// The long-lived execution facade: engine registry + content-addressed
@@ -580,6 +618,7 @@ pub struct Session {
     registry: EngineRegistry,
     cache: Mutex<CacheState>,
     capacity: Option<usize>,
+    capacity_bytes: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -604,8 +643,10 @@ impl Session {
             cache: Mutex::new(CacheState {
                 map: HashMap::new(),
                 order: VecDeque::new(),
+                bytes: 0,
             }),
             capacity: None,
+            capacity_bytes: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -617,6 +658,18 @@ impl Session {
     /// flat).
     pub fn with_cache_capacity(mut self, capacity: usize) -> Session {
         self.capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Bounds the artifact cache to approximately `bytes` of cached
+    /// artifacts (each entry charged its
+    /// [`Artifacts::approx_bytes`](ss_parallelizer::Artifacts::approx_bytes);
+    /// FIFO eviction, composable with [`Session::with_cache_capacity`]
+    /// (Self::with_cache_capacity)).  The newest entry is never evicted,
+    /// so a single program larger than the bound still caches (and the
+    /// bound holds again as soon as anything else is inserted).
+    pub fn with_cache_capacity_bytes(mut self, bytes: usize) -> Session {
+        self.capacity_bytes = Some(bytes.max(1));
         self
     }
 
@@ -639,6 +692,8 @@ impl Session {
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: state.map.len(),
             capacity: self.capacity,
+            bytes: state.bytes,
+            capacity_bytes: self.capacity_bytes,
         }
     }
 
@@ -659,7 +714,7 @@ impl Session {
         let key = content_key(name, source);
         {
             let state = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(found) = state.map.get(&key) {
+            if let Some((found, _)) = state.map.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok((Arc::clone(found), true));
             }
@@ -669,16 +724,25 @@ impl Session {
         // and no caller ever blocks on another's compilation.
         let compiled = Arc::new(Artifacts::compile_source(name, source)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let charge = compiled.approx_bytes();
         let mut state = self.cache.lock().unwrap_or_else(|e| e.into_inner());
         if let std::collections::hash_map::Entry::Vacant(slot) = state.map.entry(key) {
-            slot.insert(Arc::clone(&compiled));
+            slot.insert((Arc::clone(&compiled), charge));
             state.order.push_back(key);
-            if let Some(cap) = self.capacity {
-                while state.map.len() > cap {
-                    if let Some(old) = state.order.pop_front() {
-                        state.map.remove(&old);
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
+            state.bytes += charge;
+            let over = |state: &CacheState| {
+                self.capacity.is_some_and(|cap| state.map.len() > cap)
+                    || self.capacity_bytes.is_some_and(|cap| state.bytes > cap)
+            };
+            // FIFO eviction under either bound; the newest entry (the one
+            // just inserted) is never evicted, so oversized singletons
+            // still cache.
+            while state.map.len() > 1 && over(&state) {
+                if let Some(old) = state.order.pop_front() {
+                    if let Some((_, freed)) = state.map.remove(&old) {
+                        state.bytes -= freed;
                     }
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -932,6 +996,41 @@ mod tests {
         // The oldest program was evicted: compiling it again is a miss.
         session.artifacts("p0", "x = 1;").unwrap();
         assert_eq!(session.cache_stats().misses, 4);
+    }
+
+    #[test]
+    fn byte_bounded_caches_evict_fifo_but_keep_the_newest_entry() {
+        // A 1-byte budget cannot hold any artifact, yet the newest entry is
+        // never evicted: each insert displaces the previous one.
+        let session = Session::new().with_cache_capacity_bytes(1);
+        session.artifacts("p0", "x = 1;").unwrap();
+        let first = session.cache_stats();
+        assert_eq!((first.entries, first.evictions), (1, 0));
+        assert!(first.bytes > 0);
+        assert_eq!(first.capacity_bytes, Some(1));
+
+        session.artifacts("p1", "x = 2;").unwrap();
+        let second = session.cache_stats();
+        assert_eq!((second.entries, second.evictions), (1, 1));
+        // The byte gauge reflects only the surviving entry.
+        assert!(second.bytes > 0 && second.bytes < first.bytes * 2);
+
+        // The survivor is still a hit; the evicted program recompiles.
+        session.artifacts("p1", "x = 2;").unwrap();
+        session.artifacts("p0", "x = 1;").unwrap();
+        let third = session.cache_stats();
+        assert_eq!((third.hits, third.misses), (1, 3));
+    }
+
+    #[test]
+    fn generous_byte_budget_keeps_everything() {
+        let session = Session::new().with_cache_capacity_bytes(64 << 20);
+        for (i, src) in ["x = 1;", "x = 2;", "x = 3;"].iter().enumerate() {
+            session.artifacts(&format!("p{i}"), src).unwrap();
+        }
+        let stats = session.cache_stats();
+        assert_eq!((stats.entries, stats.evictions), (3, 0));
+        assert!(stats.bytes > 0 && stats.bytes <= 64 << 20);
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub use pool::{
 };
 pub use sparse::CsrMatrix;
 pub use team::{
-    team_parallel_for_schedule, team_parallel_reduce, team_threads_spawned, with_shared_team,
-    ThreadTeam,
+    shared_team_count, team_parallel_for_schedule, team_parallel_reduce, team_threads_spawned,
+    with_shared_team, with_shared_team_in, ThreadTeam,
 };
 pub use timer::{time_it, Timer};

@@ -184,9 +184,10 @@ fn worker_loop(shared: &TeamShared, index: usize) {
     }
 }
 
-/// The process-wide team registry behind [`with_shared_team`], one
-/// persistent team per requested size.
-static SHARED_TEAMS: OnceLock<Mutex<HashMap<usize, Arc<Mutex<ThreadTeam>>>>> = OnceLock::new();
+/// The process-wide team registry behind [`with_shared_team`] and
+/// [`with_shared_team_in`]: one persistent team per `(group, size)` key.
+type TeamRegistry = Mutex<HashMap<(usize, usize), Arc<Mutex<ThreadTeam>>>>;
+static SHARED_TEAMS: OnceLock<TeamRegistry> = OnceLock::new();
 
 /// Runs `f` against a **process-wide** persistent team of `size` workers.
 ///
@@ -202,17 +203,46 @@ static SHARED_TEAMS: OnceLock<Mutex<HashMap<usize, Arc<Mutex<ThreadTeam>>>>> = O
 /// different sizes proceed in parallel.  A panic inside `f` (e.g. a
 /// propagated worker panic) poisons neither invariant: the team survives
 /// panicked regions by construction, so the lock is simply recovered.
+///
+/// This is [`with_shared_team_in`] for group 0 — callers that want
+/// several *independent* teams of the same size (one per shard of a
+/// server, say) pass distinct group keys there instead of serializing on
+/// this one.
 pub fn with_shared_team<R>(size: usize, f: impl FnOnce(&ThreadTeam) -> R) -> R {
+    with_shared_team_in(0, size, f)
+}
+
+/// Runs `f` against the process-wide persistent team keyed by
+/// `(group, size)`.
+///
+/// Distinct groups hold distinct teams even at equal sizes, so concurrent
+/// callers mapped to different groups never serialize on one team's
+/// region mutex — this is the sharding primitive `sspard` builds on (one
+/// team per shard, requests hashed to shards).  Within one group the
+/// semantics are exactly [`with_shared_team`]: spawn on first use, park
+/// between regions, survive panicked regions, live for the process
+/// lifetime.
+pub fn with_shared_team_in<R>(group: usize, size: usize, f: impl FnOnce(&ThreadTeam) -> R) -> R {
     let registry = SHARED_TEAMS.get_or_init(|| Mutex::new(HashMap::new()));
     let team = {
         let mut map = registry.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(
-            map.entry(size.max(1))
+            map.entry((group, size.max(1)))
                 .or_insert_with(|| Arc::new(Mutex::new(ThreadTeam::new(size)))),
         )
     };
     let guard = team.lock().unwrap_or_else(|e| e.into_inner());
     f(&guard)
+}
+
+/// Number of distinct persistent teams the process-wide registry holds
+/// (across all groups and sizes) — surfaced by long-running services'
+/// stats endpoints.
+pub fn shared_team_count() -> usize {
+    SHARED_TEAMS
+        .get()
+        .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()).len())
+        .unwrap_or(0)
 }
 
 /// [`crate::pool::parallel_for_schedule`] on a persistent team: runs
@@ -474,6 +504,35 @@ mod tests {
         });
         assert_eq!(hits.load(Ordering::Relaxed), size as u32);
         assert_eq!(team_threads_spawned(), first);
+    }
+
+    #[test]
+    fn distinct_groups_hold_distinct_teams_of_the_same_size() {
+        // Unusual size so no other test in this binary registers it.
+        let size = 6;
+        let before = team_threads_spawned();
+        with_shared_team_in(100, size, |t| assert_eq!(t.size(), size));
+        let after_first = team_threads_spawned();
+        assert_eq!(after_first, before + size as u64);
+        // A different group at the same size spawns its own team…
+        with_shared_team_in(101, size, |t| assert_eq!(t.size(), size));
+        assert_eq!(team_threads_spawned(), after_first + size as u64);
+        // …and both are reused thereafter.
+        for group in [100, 101] {
+            let sum = with_shared_team_in(group, size, |t| {
+                team_parallel_reduce(
+                    t,
+                    500,
+                    Schedule::Static,
+                    0i64,
+                    |r, acc| r.fold(acc, |a, i| a + i as i64),
+                    |a, b| a + b,
+                )
+            });
+            assert_eq!(sum, (0..500i64).sum::<i64>());
+        }
+        assert_eq!(team_threads_spawned(), after_first + size as u64);
+        assert!(shared_team_count() >= 2);
     }
 
     #[test]

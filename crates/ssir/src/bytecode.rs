@@ -688,7 +688,43 @@ fn patch_jump(code: &mut [Instr], at: usize, to: u32) {
 // Disassembly.
 // ---------------------------------------------------------------------------
 
+/// Recursively counts instructions, descending into [`Instr::For`] bodies
+/// and loop-header expression blocks.
+fn count_instrs(code: &[Instr]) -> usize {
+    code.iter()
+        .map(|i| match i {
+            Instr::For(f) => {
+                1 + count_instrs(&f.init.code)
+                    + count_instrs(&f.bound.code)
+                    + count_instrs(&f.step.code)
+                    + count_instrs(&f.body)
+            }
+            _ => 1,
+        })
+        .sum()
+}
+
 impl BytecodeProgram {
+    /// Total instruction count, nested loop bodies and header expression
+    /// blocks included.
+    pub fn instr_count(&self) -> usize {
+        count_instrs(&self.main)
+    }
+
+    /// Approximate in-memory footprint: instructions (nested included),
+    /// the constant pool, and the interned slot names.  An estimate for
+    /// byte-bounded artifact caches, not an exact measurement.
+    pub fn approx_bytes(&self) -> usize {
+        self.instr_count() * std::mem::size_of::<Instr>()
+            + self.consts.len() * std::mem::size_of::<i64>()
+            + self
+                .slots
+                .scalar_names()
+                .iter()
+                .map(|n| n.len() + std::mem::size_of::<String>())
+                .sum::<usize>()
+    }
+
     /// Renders the whole program as a readable listing: one instruction per
     /// line, scalar registers shown by name, nested loop blocks indented.
     /// The golden snapshot tests diff this output.

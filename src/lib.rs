@@ -17,6 +17,7 @@ pub use ss_interp::{
 pub use ss_aggregation as aggregation;
 pub use ss_bench as bench;
 pub use ss_cli as cli;
+pub use ss_daemon as daemon;
 pub use ss_deptest as deptest;
 pub use ss_inspector as inspector;
 pub use ss_interp as interp;
