@@ -32,7 +32,8 @@
 
 use ss_aggregation::analyze_program;
 use ss_interp::{
-    analysis_json, registry_json, ExecMode, OptLevel, RunRequest, ScheduleChoice, Session, SsError,
+    analysis_json, registry_json, reset_pair_counts, set_pair_profiling, top_instruction_pairs,
+    ExecMode, ExecutionMode, OptLevel, RunRequest, ScheduleChoice, Session, SsError,
     ValidationMode,
 };
 use ss_ir::{parse_program, LoopId};
@@ -92,6 +93,11 @@ pub fn usage() -> String {
      \u{20}   --baseline       analyze: also show the property-free baseline verdicts\n\
      \u{20}   --no-source      analyze: omit the annotated source from the output\n\
      \u{20}   --dump-bytecode  analyze: print the register-machine bytecode listing\n\
+     \u{20}   --profile        analyze: execute the program once (bytecode engine,\n\
+     \u{20}                    serial) with instruction-pair profiling on and print\n\
+     \u{20}                    the hottest dynamically adjacent pairs — the fusion\n\
+     \u{20}                    candidates for a profile-guided superinstruction pass\n\
+     \u{20}                    (SSPAR_PROFILE=1 implies it)\n\
      \u{20}   --opt-level <0|1>  which bytecode stream to use: the base compiler's (0)\n\
      \u{20}                    or the optimized one (1, default — fused subscripted-\n\
      \u{20}                    subscript loads, compare-and-branch, constant folding)\n\
@@ -154,7 +160,11 @@ pub enum Command {
         no_source: bool,
         /// Print the register-machine bytecode listing.
         dump_bytecode: bool,
-        /// Which bytecode stream `--dump-bytecode` prints.
+        /// Execute once with instruction-pair profiling and print the
+        /// hottest pairs.
+        profile: bool,
+        /// Which bytecode stream `--dump-bytecode` prints (and
+        /// `--profile` executes).
         opt_level: OptLevel,
         /// Text or JSON output.
         format: OutputFormat,
@@ -460,6 +470,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, SsError> {
             let mut baseline = false;
             let mut no_source = false;
             let mut dump_bytecode = false;
+            // The env flag serves wrappers that cannot edit the argument
+            // vector (bench scripts, CI harnesses).
+            let mut profile =
+                cmd == "analyze" && std::env::var("SSPAR_PROFILE").is_ok_and(|v| v != "0");
             let mut opt_level = OptLevel::O1;
             let mut format = OutputFormat::Text;
             let mut i = 0;
@@ -480,6 +494,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, SsError> {
                     }
                     "--dump-bytecode" if cmd == "analyze" => {
                         dump_bytecode = true;
+                        i += 1;
+                    }
+                    "--profile" if cmd == "analyze" => {
+                        profile = true;
                         i += 1;
                     }
                     "--opt-level" if cmd == "analyze" => {
@@ -507,6 +525,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, SsError> {
                     baseline,
                     no_source,
                     dump_bytecode,
+                    profile,
                     opt_level,
                     format,
                 })
@@ -533,6 +552,7 @@ pub fn execute(cmd: &Command, reader: &dyn SourceReader) -> Result<String, SsErr
             baseline,
             no_source,
             dump_bytecode,
+            profile,
             opt_level,
             format,
         } => {
@@ -543,6 +563,7 @@ pub fn execute(cmd: &Command, reader: &dyn SourceReader) -> Result<String, SsErr
                 *baseline,
                 *no_source,
                 *dump_bytecode,
+                *profile,
                 *opt_level,
                 *format,
             )
@@ -638,6 +659,7 @@ fn analyze_text(
     baseline: bool,
     no_source: bool,
     dump_bytecode: bool,
+    profile: bool,
     opt_level: OptLevel,
     format: OutputFormat,
 ) -> Result<String, SsError> {
@@ -697,6 +719,41 @@ fn analyze_text(
             "\n== register-machine bytecode ({opt_level}) ==\n"
         ));
         out.push_str(&artifacts.bytecode_at(opt_level).disassemble());
+    }
+    if profile {
+        out.push_str(&profile_text(name, source, opt_level)?);
+    }
+    Ok(out)
+}
+
+/// Executes the program once (bytecode engine, serial, synthesized
+/// inputs) with instruction-pair profiling on and renders the hottest
+/// dynamically adjacent pairs — the fusion candidates a profile-guided
+/// superinstruction pass would consider next.
+fn profile_text(name: &str, source: &str, opt_level: OptLevel) -> Result<String, SsError> {
+    const PROFILE_SCALE: i64 = 64;
+    const TOP_PAIRS: usize = 12;
+    reset_pair_counts();
+    set_pair_profiling(true);
+    let result = session().run(
+        &RunRequest::new(name, source)
+            .engine("bytecode")
+            .opt_level(opt_level)
+            .scale(PROFILE_SCALE)
+            .mode(ExecutionMode::Serial),
+    );
+    set_pair_profiling(false);
+    result?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\n== hottest instruction pairs ({opt_level}, dynamic order, n={PROFILE_SCALE}) ==\n"
+    ));
+    let pairs = top_instruction_pairs(TOP_PAIRS);
+    if pairs.is_empty() {
+        out.push_str("(no instruction pairs executed)\n");
+    }
+    for (prev, next, count) in pairs {
+        out.push_str(&format!("{count:>12}  {prev} -> {next}\n"));
     }
     Ok(out)
 }
@@ -1008,6 +1065,7 @@ mod tests {
                 baseline: false,
                 no_source: false,
                 dump_bytecode: false,
+                profile: false,
                 opt_level: OptLevel::O1,
                 format: OutputFormat::Text,
             }
@@ -1020,6 +1078,7 @@ mod tests {
                 "--baseline",
                 "--no-source",
                 "--dump-bytecode",
+                "--profile",
                 "--opt-level",
                 "0",
                 "--format",
@@ -1031,6 +1090,7 @@ mod tests {
                 baseline: true,
                 no_source: true,
                 dump_bytecode: true,
+                profile: true,
                 opt_level: OptLevel::O0,
                 format: OutputFormat::Json,
             }
@@ -1184,7 +1244,7 @@ mod tests {
         assert!(!o0.contains("cmpbr"), "{o0}");
         assert!(!o0.contains("load2"), "{o0}");
         // trace does not accept the flags
-        for flag in ["--dump-bytecode", "--opt-level"] {
+        for flag in ["--dump-bytecode", "--opt-level", "--profile"] {
             assert!(matches!(
                 run(
                     &args(&["trace", "--kernel", "fig9_csr_product", flag]),
@@ -1193,6 +1253,27 @@ mod tests {
                 Err(SsError::Usage(_))
             ));
         }
+    }
+
+    #[test]
+    fn profile_prints_the_hottest_instruction_pairs() {
+        let reader = MapReader(HashMap::new());
+        let out = run(
+            &args(&[
+                "analyze",
+                "--kernel",
+                "fig9_csr_product",
+                "--no-source",
+                "--profile",
+            ]),
+            &reader,
+        )
+        .unwrap();
+        assert!(out.contains("== hottest instruction pairs (O1"), "{out}");
+        // A counted loop's hot path necessarily executes adjacent pairs;
+        // at least one `prev -> next` line with a count must appear.
+        // (Counts are process-wide, so only presence is asserted.)
+        assert!(out.contains(" -> "), "{out}");
     }
 
     #[test]
@@ -1438,6 +1519,11 @@ mod tests {
             (
                 vec!["--engine", "bytecode", "--opt-level", "0"],
                 "bytecode (O0) engine",
+            ),
+            (vec!["--engine", "threaded"], "threaded (O1) engine"),
+            (
+                vec!["--engine", "threaded", "--opt-level", "0"],
+                "threaded (O0) engine",
             ),
             (vec!["--engine", "compiled"], "compiled engine"),
             (vec!["--engine", "ast"], "ast engine"),

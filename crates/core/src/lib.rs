@@ -30,8 +30,8 @@ pub mod reduction;
 pub mod study;
 
 pub use pipeline::{
-    parallelize, parallelize_source, Artifacts, LoopReport, ParallelizationReport, StageTiming,
-    VerdictKind,
+    parallelize, parallelize_source, Artifacts, EngineArtifact, ExtArtifacts, LoopReport,
+    ParallelizationReport, StageTiming, VerdictKind,
 };
 pub use reduction::{recognize_reductions, ReductionInfo, ReductionOp};
 pub use study::{run_study, StudyInput, StudyRow, StudyTable};

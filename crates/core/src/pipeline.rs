@@ -361,6 +361,57 @@ pub struct Artifacts {
     pub optimized: BytecodeProgram,
     /// Wall-clock cost per stage, in [`Artifacts::STAGES`] order.
     pub stages: Vec<StageTiming>,
+    /// Lazily-populated engine-private lowerings (see
+    /// [`Artifacts::engine_artifact`]), one slot per opt level.
+    pub ext: ExtArtifacts,
+}
+
+/// An engine-private lowering of the compiled program — e.g. the threaded
+/// tier's pre-resolved handler stream — attached to [`Artifacts`] so a
+/// Session artifact cache keyed by (program hash, opt level) naturally
+/// caches the lowering alongside everything else, with its footprint
+/// charged through [`EngineArtifact::approx_bytes`].
+pub trait EngineArtifact: std::any::Any + Send + Sync {
+    /// Approximate in-memory footprint in bytes (same contract as
+    /// [`Artifacts::approx_bytes`]: monotone in program size, not exact).
+    fn approx_bytes(&self) -> usize;
+    /// Downcasting hook so the owning engine can recover its concrete type.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// The per-opt-level lazy slots holding [`EngineArtifact`]s.  Cloning an
+/// [`Artifacts`] clones the `Arc`s (the lowering is shared, not redone);
+/// a slot is filled at most once per `Artifacts` value.
+#[derive(Default, Clone)]
+pub struct ExtArtifacts {
+    slots: [std::sync::OnceLock<std::sync::Arc<dyn EngineArtifact>>; 2],
+}
+
+impl std::fmt::Debug for ExtArtifacts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtArtifacts")
+            .field("o0", &self.slots[0].get().map(|a| a.approx_bytes()))
+            .field("o1", &self.slots[1].get().map(|a| a.approx_bytes()))
+            .finish()
+    }
+}
+
+impl ExtArtifacts {
+    fn index(level: OptLevel) -> usize {
+        match level {
+            OptLevel::O0 => 0,
+            OptLevel::O1 => 1,
+        }
+    }
+
+    /// Footprint of the populated slots.
+    pub fn approx_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(|s| s.get())
+            .map(|a| a.approx_bytes())
+            .sum()
+    }
 }
 
 impl Artifacts {
@@ -395,6 +446,7 @@ impl Artifacts {
             bytecode,
             optimized,
             stages,
+            ext: ExtArtifacts::default(),
         }
     }
 
@@ -409,6 +461,19 @@ impl Artifacts {
             OptLevel::O0 => &self.bytecode,
             OptLevel::O1 => &self.optimized,
         }
+    }
+
+    /// The engine-private lowering for `level`, creating it with `lower` on
+    /// first use.  Exactly one lowering per (Artifacts value, level) is
+    /// ever created — concurrent callers race on a `OnceLock`, and clones
+    /// of these artifacts share the `Arc` — so an engine that lowers here
+    /// pays the cost once per cached program, not once per run.
+    pub fn engine_artifact(
+        &self,
+        level: OptLevel,
+        lower: impl FnOnce() -> std::sync::Arc<dyn EngineArtifact>,
+    ) -> &std::sync::Arc<dyn EngineArtifact> {
+        self.ext.slots[ExtArtifacts::index(level)].get_or_init(lower)
     }
 
     /// Approximate in-memory footprint of these artifacts in bytes: both
@@ -427,6 +492,7 @@ impl Artifacts {
             + self.optimized.approx_bytes()
             + 2 * self.report.annotated_source.len()
             + self.report.loops.len() * PER_LOOP_OVERHEAD
+            + self.ext.approx_bytes()
     }
 
     /// One line per stage: `analyze 0.000123s · slots …` (what

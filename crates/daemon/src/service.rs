@@ -198,6 +198,7 @@ impl Service {
                             .map(|c| c.to_string())
                             .unwrap_or_else(|| "null".to_string()),
                     ),
+                    ("policy", json::string(cache.policy)),
                 ]),
             )
         }));

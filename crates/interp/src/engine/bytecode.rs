@@ -37,7 +37,89 @@ use ss_ir::LoopId;
 use ss_parallelizer::{ParallelizationReport, ReductionInfo};
 use ss_runtime::{team_parallel_reduce, with_shared_team_in, Schedule};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Opt-in instruction-pair hotness profiling.
+// ---------------------------------------------------------------------------
+
+/// Number of instruction kinds in the profiling matrix.
+const NKINDS: usize = 20;
+
+/// Kind names, indexed like [`instr_kind`]'s return value.
+const KIND_NAMES: [&str; NKINDS] = [
+    "const", "copy", "bin", "accum", "neg", "not", "load", "store", "decl", "jz", "jnz", "jump",
+    "for", "wenter", "witer", "wexit", "ldld", "cmpbr", "ld2", "st2",
+];
+
+/// Whether the bytecode loop records executed-instruction pairs.
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// The `NKINDS x NKINDS` pair matrix (`prev * NKINDS + next`).
+static PAIR_COUNTS: [AtomicU64; NKINDS * NKINDS] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    [ZERO; NKINDS * NKINDS]
+};
+
+fn instr_kind(i: &Instr) -> usize {
+    match i {
+        Instr::Const { .. } => 0,
+        Instr::Copy { .. } => 1,
+        Instr::Bin { .. } => 2,
+        Instr::Accum { .. } => 3,
+        Instr::Neg { .. } => 4,
+        Instr::Not { .. } => 5,
+        Instr::Load { .. } => 6,
+        Instr::Store { .. } => 7,
+        Instr::DeclArray { .. } => 8,
+        Instr::Jz { .. } => 9,
+        Instr::Jnz { .. } => 10,
+        Instr::Jump { .. } => 11,
+        Instr::For(_) => 12,
+        Instr::WhileEnter { .. } => 13,
+        Instr::WhileIter { .. } => 14,
+        Instr::WhileExit { .. } => 15,
+        Instr::LoadLoad { .. } => 16,
+        Instr::CmpBranch { .. } => 17,
+        Instr::Load2 { .. } => 18,
+        Instr::Store2 { .. } => 19,
+    }
+}
+
+/// Turns instruction-pair hotness profiling on or off (process-wide).
+/// While on, the bytecode interpreter counts every *executed* adjacent
+/// instruction pair — in dynamic order, so a pair spanning a taken branch
+/// counts the branch's actual successor.  The single flag load per block
+/// execution keeps the cost of the `off` state at zero.
+pub fn set_pair_profiling(on: bool) {
+    PROFILING.store(on, Ordering::SeqCst);
+}
+
+/// Resets all pair counters to zero.
+pub fn reset_pair_counts() {
+    for c in PAIR_COUNTS.iter() {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The hottest executed instruction pairs, descending, at most `n` —
+/// `(previous kind, next kind, count)`.  These are the fusion candidates a
+/// profile-guided superinstruction pass would consider next.
+pub fn top_instruction_pairs(n: usize) -> Vec<(&'static str, &'static str, u64)> {
+    let mut pairs: Vec<(&'static str, &'static str, u64)> = PAIR_COUNTS
+        .iter()
+        .enumerate()
+        .filter_map(|(k, c)| {
+            let count = c.load(Ordering::Relaxed);
+            (count > 0).then(|| (KIND_NAMES[k / NKINDS], KIND_NAMES[k % NKINDS], count))
+        })
+        .collect();
+    pairs.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)).then(a.1.cmp(b.1)));
+    pairs.truncate(n);
+    pairs
+}
 
 // ---------------------------------------------------------------------------
 // The register machine and its array stores.
@@ -46,14 +128,15 @@ use std::time::Instant;
 /// The register file: scalars in the low registers, expression temporaries
 /// above, plus the bookkeeping both the serial spine and the workers need
 /// (defined-ness for heap write-back, last-write iterations for the
-/// parallel scalar merge).
-struct Machine<'a> {
-    regs: Vec<i64>,
-    defined: Vec<bool>,
-    write_iter: Vec<usize>,
-    current_iter: usize,
-    nscalars: usize,
-    consts: &'a [i64],
+/// parallel scalar merge).  `pub(super)` so the threaded tier can hand its
+/// own register state to [`try_dispatch_parallel`].
+pub(super) struct Machine<'a> {
+    pub(super) regs: Vec<i64>,
+    pub(super) defined: Vec<bool>,
+    pub(super) write_iter: Vec<usize>,
+    pub(super) current_iter: usize,
+    pub(super) nscalars: usize,
+    pub(super) consts: &'a [i64],
 }
 
 impl<'a> Machine<'a> {
@@ -113,10 +196,10 @@ trait BcArrays {
 
 /// The spine's array store: one dense `Option<ArrayVal>` per slot, moved
 /// out of (and back into) the heap — the array half of the compiled
-/// engine's `Frame`.
-struct SpineArrays<'m> {
-    slots: &'m SlotMap,
-    arrays: Vec<Option<ArrayVal>>,
+/// engine's `Frame`.  `pub(super)` for the same reason as [`Machine`].
+pub(super) struct SpineArrays<'m> {
+    pub(super) slots: &'m SlotMap,
+    pub(super) arrays: Vec<Option<ArrayVal>>,
 }
 
 impl<'m> SpineArrays<'m> {
@@ -273,19 +356,32 @@ fn eval_block<A: BcArrays>(
 /// A loop-header value through its O1 fast path when the optimizer derived
 /// one (plain register read, compile-time constant), else by running the
 /// block — the hot per-iteration `bound`/`step` evaluations go through
-/// here.
+/// here.  `cache` holds the per-loop-entry memo for
+/// [`HeaderFast::EvalOnce`] blocks: the optimizer proved re-evaluation
+/// reproduces the first result bit for bit, so the first iteration runs
+/// the block (same program point, same value, same error as `Eval` would)
+/// and every later iteration reuses the value.
 #[inline]
 fn header_value<A: BcArrays>(
     m: &mut Machine<'_>,
     arrays: &mut A,
     block: &BcExpr,
     fast: HeaderFast,
+    cache: &mut Option<i64>,
     env: &mut ExecEnvTiming<'_>,
 ) -> Result<i64, ExecError> {
     match fast {
         HeaderFast::Const(v) => Ok(v),
         HeaderFast::Reg(r) => Ok(m.get(r)),
         HeaderFast::Eval => eval_block(m, arrays, block, env),
+        HeaderFast::EvalOnce => {
+            if let Some(v) = *cache {
+                return Ok(v);
+            }
+            let v = eval_block(m, arrays, block, env)?;
+            *cache = Some(v);
+            Ok(v)
+        }
     }
 }
 
@@ -297,8 +393,19 @@ fn exec_code<A: BcArrays, P: BcPolicy<A>>(
     env: &mut ExecEnvTiming<'_>,
 ) -> Result<(), ExecError> {
     let mut guards: Vec<WhileGuard> = Vec::new();
+    // One flag load per block execution: the hot path pays nothing while
+    // profiling is off.
+    let profiling = PROFILING.load(Ordering::Relaxed);
+    let mut prev_kind = NKINDS;
     let mut pc = 0usize;
     while pc < code.len() {
+        if profiling {
+            let kind = instr_kind(&code[pc]);
+            if prev_kind < NKINDS {
+                PAIR_COUNTS[prev_kind * NKINDS + kind].fetch_add(1, Ordering::Relaxed);
+            }
+            prev_kind = kind;
+        }
         match &code[pc] {
             Instr::Const { dst, pool } => {
                 let v = m.consts[*pool as usize];
@@ -461,12 +568,16 @@ fn exec_for<A: BcArrays, P: BcPolicy<A>>(
         return Ok(());
     }
     let start = env.timing.then(Instant::now);
-    let v0 = header_value(m, arrays, &f.init, f.init_fast, env)?;
+    let v0 = header_value(m, arrays, &f.init, f.init_fast, &mut None, env)?;
     m.set(f.var, v0);
+    // Per-loop-entry memo for `EvalOnce` headers; a fresh entry to the same
+    // loop re-evaluates (outer-loop state may have changed).
+    let mut bound_cache: Option<i64> = None;
+    let mut step_cache: Option<i64> = None;
     let mut iter: u64 = 0;
     loop {
         let v = m.get(f.var);
-        let b = header_value(m, arrays, &f.bound, f.bound_fast, env)?;
+        let b = header_value(m, arrays, &f.bound, f.bound_fast, &mut bound_cache, env)?;
         if !compare(f.cond_op, v, b) {
             break;
         }
@@ -477,7 +588,7 @@ fn exec_for<A: BcArrays, P: BcPolicy<A>>(
             });
         }
         exec_code(m, arrays, &f.body, pol, env)?;
-        let sv = header_value(m, arrays, &f.step, f.step_fast, env)?;
+        let sv = header_value(m, arrays, &f.step, f.step_fast, &mut step_cache, env)?;
         let cur = m.get(f.var);
         m.set(f.var, cur.wrapping_add(sv));
         iter += 1;
@@ -499,6 +610,27 @@ struct BcDispatch<'r> {
     opts: &'r ExecOptions,
 }
 
+/// The outermost proven-parallel loops of a report, keyed for O(1) lookup
+/// at each `For` instruction, with their (possibly empty) reduction lists.
+/// Shared by every engine that funnels into [`try_dispatch_parallel`].
+pub(super) fn dispatchable_map(
+    report: &ParallelizationReport,
+) -> HashMap<LoopId, Vec<ReductionInfo>> {
+    report
+        .outermost_parallel_loops()
+        .into_iter()
+        .map(|id| {
+            (
+                id,
+                report
+                    .loop_report(id)
+                    .map(|l| l.reductions.clone())
+                    .unwrap_or_default(),
+            )
+        })
+        .collect()
+}
+
 impl BcPolicy<SpineArrays<'_>> for BcDispatch<'_> {
     fn try_dispatch(
         &mut self,
@@ -507,10 +639,30 @@ impl BcPolicy<SpineArrays<'_>> for BcDispatch<'_> {
         f: &BcFor,
         env: &mut ExecEnvTiming<'_>,
     ) -> Result<bool, ExecError> {
-        let Some(reductions) = self.dispatchable.get(&f.id) else {
+        try_dispatch_parallel(self.dispatchable, self.opts, m, arrays, f, env)
+    }
+}
+
+/// Attempts to run one proven loop in parallel over the persistent team:
+/// the whole dispatch recipe (gating, header evaluation, iteration-space
+/// materialization, worker fan-out over [`SharedSlots`]/[`ChunkAcc`], and
+/// the last-writer/combiner merge-back).  Returns `Ok(false)` when the
+/// loop must run serially instead.  Shared between the bytecode engine's
+/// policy above and the threaded tier, whose workers execute the original
+/// bytecode body — the two parallel paths cannot drift apart.
+pub(super) fn try_dispatch_parallel(
+    dispatchable: &HashMap<LoopId, Vec<ReductionInfo>>,
+    opts: &ExecOptions,
+    m: &mut Machine<'_>,
+    arrays: &mut SpineArrays<'_>,
+    f: &BcFor,
+    env: &mut ExecEnvTiming<'_>,
+) -> Result<bool, ExecError> {
+    {
+        let Some(reductions) = dispatchable.get(&f.id) else {
             return Ok(false);
         };
-        if self.opts.threads <= 1 {
+        if opts.threads <= 1 {
             return Ok(false);
         }
         if reductions.iter().any(|r| !m.defined[r.slot.index()]) {
@@ -529,13 +681,13 @@ impl BcPolicy<SpineArrays<'_>> for BcDispatch<'_> {
         let (values, exit_value) =
             super::materialize_iteration_space(v0, bound, step, f.cond_op, f.id, env.while_cap)?;
         let n = values.len();
-        if n < self.opts.min_parallel_trip {
+        if n < opts.min_parallel_trip {
             return Ok(false);
         }
 
         let start = Instant::now();
-        let threads = self.opts.threads;
-        let schedule = super::choose_schedule(self.opts.schedule, f.skewed, n, threads);
+        let threads = opts.threads;
+        let schedule = super::choose_schedule(opts.schedule, f.skewed, n, threads);
         let dynamic = matches!(schedule, Schedule::Dynamic { .. });
 
         let nscalars = m.nscalars;
@@ -568,7 +720,7 @@ impl BcPolicy<SpineArrays<'_>> for BcDispatch<'_> {
         // The process-wide team of this run's group: spawned by the first
         // dispatched region of the first run in the group, reused by every
         // region of every later run.  Servers assign one group per shard.
-        let acc = with_shared_team_in(self.opts.team_group, threads, |team| {
+        let acc = with_shared_team_in(opts.team_group, threads, |team| {
             team_parallel_reduce(
                 team,
                 n,
@@ -727,19 +879,7 @@ pub(crate) fn run_parallel_bytecode(
     mut heap: Heap,
     opts: &ExecOptions,
 ) -> Result<ExecOutcome, ExecError> {
-    let dispatchable: HashMap<LoopId, Vec<ReductionInfo>> = report
-        .outermost_parallel_loops()
-        .into_iter()
-        .map(|id| {
-            (
-                id,
-                report
-                    .loop_report(id)
-                    .map(|l| l.reductions.clone())
-                    .unwrap_or_default(),
-            )
-        })
-        .collect();
+    let dispatchable = dispatchable_map(report);
     let mut stats = ExecStats::default();
     let start = Instant::now();
     let mut machine = Machine::new(bc);

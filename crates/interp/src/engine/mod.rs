@@ -1,6 +1,6 @@
 //! The execution engines.
 //!
-//! Three execution strategies share one set of verdicts, each behind the
+//! Four execution strategies share one set of verdicts, each behind the
 //! object-safe [`Engine`] trait and enumerable through the
 //! [`EngineRegistry`] (consumers resolve engines by name or capability,
 //! never by pattern-matching):
@@ -9,6 +9,11 @@
 //!   executes the flat register-machine stream of [`ss_ir::bytecode`] — no
 //!   per-expression tree walking at all, and the parallel dispatcher runs
 //!   its workers on a persistent thread team.  This is the default;
+//! * the **threaded** engine ([`threaded`], [`registry::ThreadedEngine`])
+//!   lowers that stream once more into a direct-threaded chain of
+//!   monomorphized handler pointers with pre-decoded operands — no opcode
+//!   decode per instruction, native counted loops for invariant headers —
+//!   and hands proven-parallel loops to the bytecode dispatcher;
 //! * the **compiled** engine ([`compiled`], [`registry::CompiledEngine`])
 //!   executes the slot-resolved [`ss_ir::CompiledProgram`] over dense
 //!   frames — name resolution happens once, before the first iteration, so
@@ -35,7 +40,8 @@
 //! pluggable stores (whole heap, recording inspector, shared-array worker
 //! views); [`serial`] the statement walker and serial engine; [`dispatch`]
 //! the AST parallel engine; [`compiled`] the slot-addressed engines;
-//! [`bytecode`] the register-machine engines.
+//! [`bytecode`] the register-machine engines; [`threaded`] the
+//! direct-threaded tier above them.
 
 pub mod bytecode;
 pub mod compiled;
@@ -43,6 +49,7 @@ pub mod dispatch;
 pub mod registry;
 pub mod serial;
 pub mod store;
+pub mod threaded;
 
 use crate::heap::Heap;
 use ss_ir::ast::LoopId;

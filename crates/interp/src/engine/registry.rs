@@ -15,7 +15,7 @@
 //! everything; a future engine with narrower capabilities refuses here
 //! instead of failing mid-run).
 
-use crate::engine::{bytecode, compiled, dispatch, serial, ExecOptions, ExecOutcome};
+use crate::engine::{bytecode, compiled, dispatch, serial, threaded, ExecOptions, ExecOutcome};
 use crate::error::SsError;
 use crate::heap::Heap;
 use ss_ir::opt::OptLevel;
@@ -152,6 +152,57 @@ impl Engine for BytecodeEngine {
     }
 }
 
+/// The direct-threaded engine: the bytecode stream lowered once into a
+/// pre-resolved chain of monomorphized handler pointers with pre-decoded
+/// operands (`crate::engine::threaded`), removing per-instruction opcode
+/// decode; counted loops with invariant headers run as native loops.
+/// Parallel dispatch reuses the bytecode engine's worker path on the
+/// persistent thread team.
+#[derive(Debug, Default)]
+pub struct ThreadedEngine;
+
+impl Engine for ThreadedEngine {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn description(&self) -> &'static str {
+        "direct-threaded handler chain lowered from bytecode (O0/O1), persistent thread team"
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            reductions: true,
+            local_arrays: true,
+            inspector_baseline: false,
+            persistent_team: true,
+            reference: false,
+            opt_levels: &[OptLevel::O0, OptLevel::O1],
+        }
+    }
+
+    fn run_serial(
+        &self,
+        artifacts: &Artifacts,
+        heap: Heap,
+        opts: &ExecOptions,
+    ) -> Result<ExecOutcome, SsError> {
+        Ok(threaded::run_serial_threaded(artifacts, heap, opts)?)
+    }
+
+    fn run_parallel(
+        &self,
+        artifacts: &Artifacts,
+        heap: Heap,
+        opts: &ExecOptions,
+    ) -> Result<ExecOutcome, SsError> {
+        if opts.baseline_inspector {
+            return Err(self.no_inspector());
+        }
+        Ok(threaded::run_parallel_threaded(artifacts, heap, opts)?)
+    }
+}
+
 /// The slot-resolved compiled engine: walks slot-addressed op trees over
 /// dense frames — the mid-level differential stage between the tree
 /// walker and the bytecode stream.
@@ -272,6 +323,7 @@ trait NoInspector: Engine {
 }
 
 impl NoInspector for BytecodeEngine {}
+impl NoInspector for ThreadedEngine {}
 impl NoInspector for CompiledEngine {}
 
 // ---------------------------------------------------------------------------
@@ -286,10 +338,12 @@ pub struct EngineRegistry {
 }
 
 impl EngineRegistry {
-    /// The built-in engines, default first: `bytecode`, `compiled`, `ast`.
+    /// The built-in engines, default first: `bytecode`, `threaded`,
+    /// `compiled`, `ast`.
     pub fn builtin() -> EngineRegistry {
         let mut r = EngineRegistry::empty();
         r.register(Arc::new(BytecodeEngine));
+        r.register(Arc::new(ThreadedEngine));
         r.register(Arc::new(CompiledEngine));
         r.register(Arc::new(AstEngine));
         r
@@ -389,13 +443,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn builtin_registry_has_the_three_engines_default_first() {
+    fn builtin_registry_has_the_four_engines_default_first() {
         let r = EngineRegistry::builtin();
-        assert_eq!(r.names(), vec!["bytecode", "compiled", "ast"]);
+        assert_eq!(r.names(), vec!["bytecode", "threaded", "compiled", "ast"]);
         assert_eq!(r.default_engine().name(), "bytecode");
         assert_eq!(r.reference().unwrap().name(), "ast");
         assert_eq!(r.inspector_capable().unwrap().name(), "ast");
-        assert_eq!(r.len(), 3);
+        assert_eq!(r.len(), 4);
         assert!(!r.is_empty());
     }
 
@@ -405,7 +459,7 @@ mod tests {
         match r.get("jit") {
             Err(SsError::UnknownEngine { name, available }) => {
                 assert_eq!(name, "jit");
-                assert_eq!(available, vec!["bytecode", "compiled", "ast"]);
+                assert_eq!(available, vec!["bytecode", "threaded", "compiled", "ast"]);
             }
             other => panic!("expected UnknownEngine, got {other:?}"),
         }
@@ -444,7 +498,7 @@ mod tests {
         }
         let mut r = EngineRegistry::builtin();
         r.register(Arc::new(FakeBytecode));
-        assert_eq!(r.len(), 3);
+        assert_eq!(r.len(), 4);
         assert_eq!(r.default_engine().name(), "bytecode");
         assert_eq!(r.default_engine().description(), "fake");
     }
@@ -456,6 +510,10 @@ mod tests {
         assert!(bc.caps().reductions && bc.caps().local_arrays);
         assert!(bc.caps().persistent_team);
         assert_eq!(bc.caps().opt_levels, &[OptLevel::O0, OptLevel::O1]);
+        let th = r.get("threaded").unwrap();
+        assert!(th.caps().reductions && th.caps().local_arrays);
+        assert!(th.caps().persistent_team && !th.caps().reference);
+        assert_eq!(th.caps().opt_levels, &[OptLevel::O0, OptLevel::O1]);
         let ast = r.get("ast").unwrap();
         assert!(ast.caps().reference && ast.caps().inspector_baseline);
         assert!(!ast.caps().reductions);

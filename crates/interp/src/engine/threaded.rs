@@ -1,0 +1,1487 @@
+//! The direct-threaded execution tier: bytecode lowered to a pre-resolved
+//! handler chain.
+//!
+//! The bytecode engines pay one `match` (opcode decode) per executed
+//! instruction.  This tier removes that cost: `lower` walks an
+//! [`ss_ir::bytecode`] stream **once** and emits a flat `ThOp` side
+//! table where every element carries a plain function pointer to a
+//! *monomorphized* handler (one per operator × operand shape) plus its
+//! pre-decoded operands — register offsets widened to `u32`, pool
+//! constants inlined as immediates, branch targets rewritten to indices
+//! in the lowered stream.  Execution is then a tight
+//! `pc = (op.run)(op, cx)?` chain with no decode step, the classic
+//! direct-threaded dispatch structure, in safe Rust.
+//!
+//! Beyond dispatch, the lowering exploits facts the O1 pass already
+//! proves:
+//!
+//! * **Constant fusion** — a `Const` into a temp consumed exactly once by
+//!   the next instruction folds into an immediate form of the consumer
+//!   (`x + 1`, `i < n`-style compares against literals, `sum += 1`), so
+//!   the pair costs one dispatch instead of two and no register traffic.
+//! * **Counted loops** — when a `for` header is register- or
+//!   constant-shaped ([`HeaderFast`]) and the body provably never writes
+//!   the induction variable, bound or step registers, the loop runs as a
+//!   native Rust `while` over a local induction value: no per-iteration
+//!   header block, no guard re-dispatch.  [`HeaderFast::EvalOnce`] bounds
+//!   (the hoisted `rowptr[i]` CSR shape) evaluate once per loop entry at
+//!   the same program point — and therefore the same error point — as the
+//!   bytecode engine's first bound evaluation.
+//! * **Superinstructions** — the O1 fused forms (`LoadLoad`,
+//!   `CmpBranch`, `Load2`/`Store2`, `Accum`) each get dedicated handlers;
+//!   rank-1 loads and stores skip the general subscript-buffer path.
+//!
+//! Semantics stay bit-identical to the bytecode engines: wrapping
+//! arithmetic, division/remainder error points, undefined-array and
+//! bounds errors, `while` iteration caps and loop statistics all mirror
+//! `super::bytecode` operation for operation, and the differential
+//! validator plus the generative fuzz harness assert exactly that.
+//!
+//! Parallel execution reuses the bytecode engine's dispatcher verbatim:
+//! at each lowered `For` the spine's state is handed to the bytecode
+//! engine's parallel dispatcher, whose workers execute the
+//! original bytecode body over the shared [`ss_runtime::ThreadTeam`] —
+//! the two engines cannot drift apart in merge semantics.  The lowered
+//! program itself is cached on the pipeline's [`Artifacts`] (one lowering
+//! per artifact and opt level, shared by clones and charged to the
+//! session cache through [`EngineArtifact::approx_bytes`]).
+
+use super::bytecode::{dispatchable_map, try_dispatch_parallel, Machine, SpineArrays};
+use super::compiled::NOT_WRITTEN;
+use super::store::elem_at;
+use super::{ExecEnvTiming, ExecError, ExecMode, ExecOptions, ExecOutcome, ExecStats};
+use crate::heap::{ArrayVal, Heap};
+use ss_ir::ast::{AssignOp, BinOp};
+use ss_ir::bytecode::{BcExpr, BcFor, BytecodeProgram, HeaderFast, Instr, Reg};
+use ss_ir::opt::OptLevel;
+use ss_ir::slots::{ArraySlot, SlotMap};
+use ss_ir::LoopId;
+use ss_parallelizer::{Artifacts, EngineArtifact, ReductionInfo};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+static THREADED_LOWERINGS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of `lower` invocations (the threaded-tier
+/// analogue of [`ss_ir::bytecode::bytecode_compilation_count`]): tests
+/// assert the lowering runs once per `(Artifacts, opt level)` and never
+/// per run.
+pub fn threaded_lowering_count() -> u64 {
+    THREADED_LOWERINGS.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// The lowered program.
+// ---------------------------------------------------------------------------
+
+/// A handler: executes one lowered op and returns the next op index.
+type Handler = fn(&ThOp, &mut ThCtx<'_>) -> Result<u32, ExecError>;
+
+/// One pre-decoded op: the handler pointer plus its flattened operands.
+/// `next` is the fall-through index (pre-stored so handlers never compute
+/// it); `ext` is the taken-branch target, loop/while table index, array
+/// slot or subscript rank depending on the handler.
+struct ThOp {
+    run: Handler,
+    a: u32,
+    b: u32,
+    c: u32,
+    imm: i64,
+    next: u32,
+    ext: u32,
+}
+
+/// A lowered instruction block; `result` is the register a header block
+/// leaves its value in (0 for statement blocks, which have none).
+struct ThBlock {
+    ops: Vec<ThOp>,
+    result: u32,
+}
+
+/// A lowered loop-header value source, pre-resolved from [`HeaderFast`].
+enum ThHeader {
+    /// Compile-time constant.
+    Imm(i64),
+    /// Plain register read.
+    Reg(u32),
+    /// Proven loop-invariant block: run once per loop entry, memoized.
+    Once(ThBlock),
+    /// Re-evaluated every iteration (the general case).
+    Every(ThBlock),
+}
+
+/// A lowered `for` loop.  `counted` marks loops whose bound/step are
+/// invariant register or immediate values and whose body never writes the
+/// induction variable: those run as native counted loops.  `bcfor` keeps
+/// the original bytecode so the parallel dispatcher's workers execute the
+/// exact stream the verdicts were proven against.
+struct ThLoop {
+    id: LoopId,
+    var: u32,
+    cond: fn(i64, i64) -> bool,
+    init: ThHeader,
+    bound: ThHeader,
+    step: ThHeader,
+    body: ThBlock,
+    counted: bool,
+    bcfor: BcFor,
+}
+
+/// A whole lowered program: the engine-private artifact the pipeline
+/// caches per opt level (see [`Artifacts::engine_artifact`]).
+pub(crate) struct ThProgram {
+    main: ThBlock,
+    loops: Vec<ThLoop>,
+    while_ids: Vec<LoopId>,
+    consts: Vec<i64>,
+    slots: SlotMap,
+    nregs: usize,
+    nscalars: usize,
+}
+
+impl EngineArtifact for ThProgram {
+    fn approx_bytes(&self) -> usize {
+        /// Allowance per loop for the header blocks' spines and the
+        /// retained bytecode body (not walked instruction by
+        /// instruction — the estimate only has to be monotone).
+        const PER_LOOP_OVERHEAD: usize = 1024;
+        fn block(b: &ThBlock) -> usize {
+            b.ops.len() * std::mem::size_of::<ThOp>()
+        }
+        fn header(h: &ThHeader) -> usize {
+            match h {
+                ThHeader::Once(b) | ThHeader::Every(b) => block(b),
+                _ => 0,
+            }
+        }
+        std::mem::size_of::<ThProgram>()
+            + block(&self.main)
+            + self
+                .loops
+                .iter()
+                .map(|l| {
+                    std::mem::size_of::<ThLoop>()
+                        + block(&l.body)
+                        + header(&l.init)
+                        + header(&l.bound)
+                        + header(&l.step)
+                        + l.bcfor.body.len() * std::mem::size_of::<Instr>()
+                        + PER_LOOP_OVERHEAD
+                })
+                .sum::<usize>()
+            + self.consts.len() * 8
+            + self.while_ids.len() * 8
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution state.
+// ---------------------------------------------------------------------------
+
+/// One active `while` guard (iteration cap + timing), mirroring the
+/// bytecode engine's guard stack.
+struct WGuard {
+    id: LoopId,
+    iters: u64,
+    start: Option<Instant>,
+}
+
+/// The parallel-dispatch hook: present only under `run_parallel`.
+pub(super) struct ThDispatch<'r> {
+    dispatchable: HashMap<LoopId, Vec<ReductionInfo>>,
+    opts: &'r ExecOptions,
+}
+
+/// The spine's execution context: the register frame (low registers alias
+/// scalar slots, exactly the bytecode numbering, so dispatched state can
+/// be handed over without translation), the dense array store, the
+/// `while` guard stack and the run's statistics.
+struct ThCtx<'p> {
+    prog: &'p ThProgram,
+    regs: Vec<i64>,
+    defined: Vec<bool>,
+    arrays: Vec<Option<ArrayVal>>,
+    guards: Vec<WGuard>,
+    stats: ExecStats,
+    timing: bool,
+    while_cap: u64,
+    nscalars: usize,
+    dispatch: Option<&'p ThDispatch<'p>>,
+}
+
+impl ThCtx<'_> {
+    #[inline(always)]
+    fn set(&mut self, r: u32, v: i64) {
+        let i = r as usize;
+        self.regs[i] = v;
+        if i < self.nscalars {
+            self.defined[i] = true;
+        }
+    }
+}
+
+/// The dispatch loop itself: no decode, just chase the handler chain.
+/// The final op's pre-stored `next` equals `ops.len()`, which ends the
+/// loop without a separate halt op.
+#[inline]
+fn exec_ops(ops: &[ThOp], cx: &mut ThCtx<'_>) -> Result<(), ExecError> {
+    let mut pc = 0u32;
+    while let Some(op) = ops.get(pc as usize) {
+        pc = (op.run)(op, cx)?;
+    }
+    Ok(())
+}
+
+#[inline]
+fn header_val(h: &ThHeader, cx: &mut ThCtx<'_>, cache: &mut Option<i64>) -> Result<i64, ExecError> {
+    match h {
+        ThHeader::Imm(v) => Ok(*v),
+        ThHeader::Reg(r) => Ok(cx.regs[*r as usize]),
+        ThHeader::Every(b) => {
+            exec_ops(&b.ops, cx)?;
+            Ok(cx.regs[b.result as usize])
+        }
+        ThHeader::Once(b) => {
+            if let Some(v) = *cache {
+                return Ok(v);
+            }
+            exec_ops(&b.ops, cx)?;
+            let v = cx.regs[b.result as usize];
+            *cache = Some(v);
+            Ok(v)
+        }
+    }
+}
+
+fn run_loop(lp: &ThLoop, cx: &mut ThCtx<'_>) -> Result<(), ExecError> {
+    if dispatch_loop(lp, cx)? {
+        return Ok(());
+    }
+    let start = cx.timing.then(Instant::now);
+    let v0 = header_val(&lp.init, cx, &mut None)?;
+    cx.set(lp.var, v0);
+    let iters = if lp.counted {
+        counted_loop(lp, cx, v0)?
+    } else {
+        generic_loop(lp, cx)?
+    };
+    if let Some(t) = start {
+        cx.stats
+            .record(lp.id, iters, t.elapsed().as_secs_f64(), ExecMode::Serial);
+    }
+    Ok(())
+}
+
+/// The native counted-loop fast path: bound and step are loop-invariant
+/// values (immediates, unwritten registers, or a memoized `EvalOnce`
+/// block), so the induction value lives in a local and the per-iteration
+/// work is one compare, one cap check and the body chain.  The bound is
+/// resolved at the same program point as the bytecode engine's
+/// first-iteration bound evaluation (after `init`, before the first
+/// test), so error points coincide.
+fn counted_loop(lp: &ThLoop, cx: &mut ThCtx<'_>, v0: i64) -> Result<u64, ExecError> {
+    let bound = header_val(&lp.bound, cx, &mut None)?;
+    let step = match &lp.step {
+        ThHeader::Imm(v) => *v,
+        ThHeader::Reg(r) => cx.regs[*r as usize],
+        _ => unreachable!("counted loops restrict the step to Imm/Reg"),
+    };
+    let var = lp.var as usize;
+    let cap = cx.while_cap;
+    let cond = lp.cond;
+    let mut v = v0;
+    let mut iters: u64 = 0;
+    while cond(v, bound) {
+        if iters >= cap {
+            return Err(ExecError::NonTerminating {
+                loop_id: lp.id,
+                cap,
+            });
+        }
+        cx.regs[var] = v;
+        exec_ops(&lp.body.ops, cx)?;
+        v = v.wrapping_add(step);
+        iters += 1;
+    }
+    cx.set(lp.var, v);
+    Ok(iters)
+}
+
+/// The general path: re-resolve bound and step per iteration, exactly
+/// like the bytecode engine's `exec_for` (step evaluated *after* the
+/// body; `EvalOnce` memos are per loop entry).
+fn generic_loop(lp: &ThLoop, cx: &mut ThCtx<'_>) -> Result<u64, ExecError> {
+    let mut bound_cache: Option<i64> = None;
+    let mut step_cache: Option<i64> = None;
+    let mut iters: u64 = 0;
+    loop {
+        let v = cx.regs[lp.var as usize];
+        let b = header_val(&lp.bound, cx, &mut bound_cache)?;
+        if !(lp.cond)(v, b) {
+            break;
+        }
+        if iters >= cx.while_cap {
+            return Err(ExecError::NonTerminating {
+                loop_id: lp.id,
+                cap: cx.while_cap,
+            });
+        }
+        exec_ops(&lp.body.ops, cx)?;
+        let sv = header_val(&lp.step, cx, &mut step_cache)?;
+        let cur = cx.regs[lp.var as usize];
+        cx.set(lp.var, cur.wrapping_add(sv));
+        iters += 1;
+    }
+    Ok(iters)
+}
+
+/// Hands one proven-parallel loop to the shared bytecode dispatcher: the
+/// spine's registers and arrays move into a [`Machine`]/[`SpineArrays`]
+/// pair (same numbering, no translation), the workers run the original
+/// bytecode body, and the merged state moves back.  Returns `Ok(false)`
+/// when the loop must run serially here instead.
+fn dispatch_loop(lp: &ThLoop, cx: &mut ThCtx<'_>) -> Result<bool, ExecError> {
+    let Some(d) = cx.dispatch else {
+        return Ok(false);
+    };
+    // Cheap pre-checks before marshalling any state.
+    if d.opts.threads <= 1 || !d.dispatchable.contains_key(&lp.id) {
+        return Ok(false);
+    }
+    let prog = cx.prog;
+    let mut m = Machine {
+        regs: std::mem::take(&mut cx.regs),
+        defined: std::mem::take(&mut cx.defined),
+        write_iter: vec![NOT_WRITTEN; cx.nscalars],
+        current_iter: 0,
+        nscalars: cx.nscalars,
+        consts: &prog.consts,
+    };
+    let mut sa = SpineArrays {
+        slots: &prog.slots,
+        arrays: std::mem::take(&mut cx.arrays),
+    };
+    let res = {
+        let mut env = ExecEnvTiming {
+            stats: &mut cx.stats,
+            timing: cx.timing,
+            while_cap: cx.while_cap,
+        };
+        try_dispatch_parallel(
+            &d.dispatchable,
+            d.opts,
+            &mut m,
+            &mut sa,
+            &lp.bcfor,
+            &mut env,
+        )
+    };
+    cx.regs = m.regs;
+    cx.defined = m.defined;
+    cx.arrays = sa.arrays;
+    res
+}
+
+// ---------------------------------------------------------------------------
+// Array access helpers (error construction identical to `SpineArrays`).
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn arr_read(cx: &ThCtx<'_>, slot: u32, idxs: &[i64]) -> Result<i64, ExecError> {
+    let name = cx.prog.slots.array_name(ArraySlot(slot));
+    let arr = cx.arrays[slot as usize]
+        .as_ref()
+        .ok_or_else(|| ExecError::UndefinedArray(name.to_string()))?;
+    elem_at(name, arr, idxs).map(|flat| arr.data[flat])
+}
+
+#[inline(always)]
+fn arr_write(cx: &mut ThCtx<'_>, slot: u32, idxs: &[i64], v: i64) -> Result<(), ExecError> {
+    let name = cx.prog.slots.array_name(ArraySlot(slot));
+    let arr = cx.arrays[slot as usize]
+        .as_mut()
+        .ok_or_else(|| ExecError::UndefinedArray(name.to_string()))?;
+    let flat = elem_at(name, arr, idxs)?;
+    arr.data[flat] = v;
+    Ok(())
+}
+
+/// Rank-1 read fast path: a defined rank-1 array with an in-range index
+/// hits `data` directly — no slot-name lookup, no rank-generic offset
+/// loop.  Anything else (undefined slot, rank mismatch, out of bounds)
+/// takes the slow path, whose error construction is the single source of
+/// truth.  For rank 1 the row-major flat offset *is* the index, and
+/// `data.len() == dims[0]`, so `data.get` is the whole bounds check.
+#[inline(always)]
+fn arr_read1(cx: &ThCtx<'_>, slot: u32, idx: i64) -> Result<i64, ExecError> {
+    if let Some(arr) = cx.arrays[slot as usize].as_ref() {
+        if arr.dims.len() == 1 && idx >= 0 {
+            if let Some(&v) = arr.data.get(idx as usize) {
+                return Ok(v);
+            }
+        }
+    }
+    arr_read(cx, slot, &[idx])
+}
+
+/// Rank-1 write fast path; see [`arr_read1`].
+#[inline(always)]
+fn arr_write1(cx: &mut ThCtx<'_>, slot: u32, idx: i64, v: i64) -> Result<(), ExecError> {
+    if let Some(arr) = cx.arrays[slot as usize].as_mut() {
+        if arr.dims.len() == 1 && idx >= 0 {
+            if let Some(e) = arr.data.get_mut(idx as usize) {
+                *e = v;
+                return Ok(());
+            }
+        }
+    }
+    arr_write(cx, slot, &[idx], v)
+}
+
+/// Rank-2 read fast path: both extents checked, row-major offset inlined.
+#[inline(always)]
+fn arr_read2(cx: &ThCtx<'_>, slot: u32, i: i64, j: i64) -> Result<i64, ExecError> {
+    if let Some(arr) = cx.arrays[slot as usize].as_ref() {
+        if let [d0, d1] = arr.dims[..] {
+            if i >= 0 && (i as usize) < d0 && j >= 0 && (j as usize) < d1 {
+                return Ok(arr.data[i as usize * d1 + j as usize]);
+            }
+        }
+    }
+    arr_read(cx, slot, &[i, j])
+}
+
+/// Rank-2 write fast path; see [`arr_read2`].
+#[inline(always)]
+fn arr_write2(cx: &mut ThCtx<'_>, slot: u32, i: i64, j: i64, v: i64) -> Result<(), ExecError> {
+    if let Some(arr) = cx.arrays[slot as usize].as_mut() {
+        if let [d0, d1] = arr.dims[..] {
+            if i >= 0 && (i as usize) < d0 && j >= 0 && (j as usize) < d1 {
+                arr.data[i as usize * d1 + j as usize] = v;
+                return Ok(());
+            }
+        }
+    }
+    arr_write(cx, slot, &[i, j], v)
+}
+
+// ---------------------------------------------------------------------------
+// Handlers.  One `fn` per operator × operand shape: the lowering resolves
+// the shape once so execution never re-inspects it.
+// ---------------------------------------------------------------------------
+
+/// Expands the three operand shapes (`rr` register/register, `ri`
+/// register/immediate, `ir` immediate/register) of one binary operator
+/// into dedicated handlers.
+macro_rules! bin_handlers {
+    ($rr:ident, $ri:ident, $ir:ident, |$x:ident, $y:ident| $body:expr) => {
+        fn $rr(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+            let $x = cx.regs[op.b as usize];
+            let $y = cx.regs[op.c as usize];
+            let v = $body;
+            cx.set(op.a, v);
+            Ok(op.next)
+        }
+        fn $ri(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+            let $x = cx.regs[op.b as usize];
+            let $y = op.imm;
+            let v = $body;
+            cx.set(op.a, v);
+            Ok(op.next)
+        }
+        fn $ir(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+            let $x = op.imm;
+            let $y = cx.regs[op.b as usize];
+            let v = $body;
+            cx.set(op.a, v);
+            Ok(op.next)
+        }
+    };
+}
+
+bin_handlers!(th_add_rr, th_add_ri, th_add_ir, |x, y| x.wrapping_add(y));
+bin_handlers!(th_sub_rr, th_sub_ri, th_sub_ir, |x, y| x.wrapping_sub(y));
+bin_handlers!(th_mul_rr, th_mul_ri, th_mul_ir, |x, y| x.wrapping_mul(y));
+bin_handlers!(th_div_rr, th_div_ri, th_div_ir, |x, y| x
+    .checked_div(y)
+    .ok_or(ExecError::DivisionByZero)?);
+bin_handlers!(th_mod_rr, th_mod_ri, th_mod_ir, |x, y| x
+    .checked_rem(y)
+    .ok_or(ExecError::DivisionByZero)?);
+bin_handlers!(th_lt_rr, th_lt_ri, th_lt_ir, |x, y| (x < y) as i64);
+bin_handlers!(th_le_rr, th_le_ri, th_le_ir, |x, y| (x <= y) as i64);
+bin_handlers!(th_gt_rr, th_gt_ri, th_gt_ir, |x, y| (x > y) as i64);
+bin_handlers!(th_ge_rr, th_ge_ri, th_ge_ir, |x, y| (x >= y) as i64);
+bin_handlers!(th_eq_rr, th_eq_ri, th_eq_ir, |x, y| (x == y) as i64);
+bin_handlers!(th_ne_rr, th_ne_ri, th_ne_ir, |x, y| (x != y) as i64);
+
+/// Expands the fused compare-and-branch shapes of one relational
+/// operator: a true comparison takes `ext`, a false one `next` (the
+/// lowering swaps which side carries the jump target for `jump_if =
+/// false` branches).
+macro_rules! cmpbr_handlers {
+    ($rr:ident, $ri:ident, $ir:ident, |$x:ident, $y:ident| $test:expr) => {
+        fn $rr(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+            let $x = cx.regs[op.b as usize];
+            let $y = cx.regs[op.c as usize];
+            Ok(if $test { op.ext } else { op.next })
+        }
+        fn $ri(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+            let $x = cx.regs[op.b as usize];
+            let $y = op.imm;
+            Ok(if $test { op.ext } else { op.next })
+        }
+        fn $ir(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+            let $x = op.imm;
+            let $y = cx.regs[op.b as usize];
+            Ok(if $test { op.ext } else { op.next })
+        }
+    };
+}
+
+cmpbr_handlers!(th_blt_rr, th_blt_ri, th_blt_ir, |x, y| x < y);
+cmpbr_handlers!(th_ble_rr, th_ble_ri, th_ble_ir, |x, y| x <= y);
+cmpbr_handlers!(th_bgt_rr, th_bgt_ri, th_bgt_ir, |x, y| x > y);
+cmpbr_handlers!(th_bge_rr, th_bge_ri, th_bge_ir, |x, y| x >= y);
+cmpbr_handlers!(th_beq_rr, th_beq_ri, th_beq_ir, |x, y| x == y);
+cmpbr_handlers!(th_bne_rr, th_bne_ri, th_bne_ir, |x, y| x != y);
+
+/// Expands the register and immediate shapes of one fused accumulate.
+macro_rules! accum_handlers {
+    ($rr:ident, $ri:ident, |$x:ident, $y:ident| $body:expr) => {
+        fn $rr(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+            let $x = cx.regs[op.a as usize];
+            let $y = cx.regs[op.b as usize];
+            let v = $body;
+            cx.set(op.a, v);
+            Ok(op.next)
+        }
+        fn $ri(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+            let $x = cx.regs[op.a as usize];
+            let $y = op.imm;
+            let v = $body;
+            cx.set(op.a, v);
+            Ok(op.next)
+        }
+    };
+}
+
+accum_handlers!(th_acc_add_rr, th_acc_add_ri, |x, y| x.wrapping_add(y));
+accum_handlers!(th_acc_sub_rr, th_acc_sub_ri, |x, y| x.wrapping_sub(y));
+accum_handlers!(th_acc_mul_rr, th_acc_mul_ri, |x, y| x.wrapping_mul(y));
+
+fn th_const(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    cx.set(op.a, op.imm);
+    Ok(op.next)
+}
+
+fn th_copy(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    let v = cx.regs[op.b as usize];
+    cx.set(op.a, v);
+    Ok(op.next)
+}
+
+fn th_neg(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    let v = cx.regs[op.b as usize].wrapping_neg();
+    cx.set(op.a, v);
+    Ok(op.next)
+}
+
+fn th_not(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    let v = (cx.regs[op.b as usize] == 0) as i64;
+    cx.set(op.a, v);
+    Ok(op.next)
+}
+
+fn th_load1(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    let i = cx.regs[op.c as usize];
+    let v = arr_read1(cx, op.b, i)?;
+    cx.set(op.a, v);
+    Ok(op.next)
+}
+
+fn th_load_n(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    let rank = op.ext as usize;
+    let base = op.c as usize;
+    let mut buf = [0i64; 4];
+    let v = if rank <= 4 {
+        buf[..rank].copy_from_slice(&cx.regs[base..base + rank]);
+        arr_read(cx, op.b, &buf[..rank])?
+    } else {
+        let idxs: Vec<i64> = cx.regs[base..base + rank].to_vec();
+        arr_read(cx, op.b, &idxs)?
+    };
+    cx.set(op.a, v);
+    Ok(op.next)
+}
+
+fn th_store1(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    let v = cx.regs[op.a as usize];
+    let i = cx.regs[op.c as usize];
+    arr_write1(cx, op.b, i, v)?;
+    Ok(op.next)
+}
+
+fn th_store_n(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    let rank = op.ext as usize;
+    let base = op.c as usize;
+    let v = cx.regs[op.a as usize];
+    let mut buf = [0i64; 4];
+    if rank <= 4 {
+        buf[..rank].copy_from_slice(&cx.regs[base..base + rank]);
+        arr_write(cx, op.b, &buf[..rank], v)?;
+    } else {
+        let idxs: Vec<i64> = cx.regs[base..base + rank].to_vec();
+        arr_write(cx, op.b, &idxs, v)?;
+    }
+    Ok(op.next)
+}
+
+fn th_decl(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    let rank = op.ext as usize;
+    let base = op.c as usize;
+    let dims: Vec<usize> = cx.regs[base..base + rank]
+        .iter()
+        .map(|&d| d.max(0) as usize)
+        .collect();
+    cx.arrays[op.b as usize] = Some(ArrayVal::zeros(dims));
+    Ok(op.next)
+}
+
+fn th_jz(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    Ok(if cx.regs[op.a as usize] == 0 {
+        op.ext
+    } else {
+        op.next
+    })
+}
+
+fn th_jnz(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    Ok(if cx.regs[op.a as usize] != 0 {
+        op.ext
+    } else {
+        op.next
+    })
+}
+
+fn th_jump(op: &ThOp, _cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    Ok(op.ext)
+}
+
+fn th_for(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    let prog = cx.prog;
+    run_loop(&prog.loops[op.ext as usize], cx)?;
+    Ok(op.next)
+}
+
+fn th_wenter(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    let id = cx.prog.while_ids[op.ext as usize];
+    let start = cx.timing.then(Instant::now);
+    cx.guards.push(WGuard {
+        id,
+        iters: 0,
+        start,
+    });
+    Ok(op.next)
+}
+
+fn th_witer(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    let cap = cx.while_cap;
+    let g = cx.guards.last_mut().expect("unbalanced while guards");
+    debug_assert_eq!(g.id, cx.prog.while_ids[op.ext as usize]);
+    if g.iters >= cap {
+        return Err(ExecError::NonTerminating { loop_id: g.id, cap });
+    }
+    g.iters += 1;
+    Ok(op.next)
+}
+
+fn th_wexit(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    let g = cx.guards.pop().expect("unbalanced while guards");
+    if let Some(t) = g.start {
+        cx.stats
+            .record(g.id, g.iters, t.elapsed().as_secs_f64(), ExecMode::Serial);
+    }
+    Ok(op.next)
+}
+
+fn th_ldld(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    // Inner read first, then the outer — the error order of the two loads
+    // the superinstruction replaced.
+    let i = cx.regs[op.c as usize];
+    let inner = arr_read1(cx, op.ext, i)?;
+    let v = arr_read1(cx, op.b, inner)?;
+    cx.set(op.a, v);
+    Ok(op.next)
+}
+
+fn th_load2(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    let v = arr_read2(cx, op.ext, cx.regs[op.b as usize], cx.regs[op.c as usize])?;
+    cx.set(op.a, v);
+    Ok(op.next)
+}
+
+fn th_store2(op: &ThOp, cx: &mut ThCtx<'_>) -> Result<u32, ExecError> {
+    let v = cx.regs[op.a as usize];
+    arr_write2(
+        cx,
+        op.ext,
+        cx.regs[op.b as usize],
+        cx.regs[op.c as usize],
+        v,
+    )?;
+    Ok(op.next)
+}
+
+/// Operand shape of a lowered binary operation.
+#[derive(Clone, Copy)]
+enum Shape {
+    /// Both operands in registers.
+    Rr,
+    /// Left register, right immediate.
+    Ri,
+    /// Left immediate, right register.
+    Ir,
+}
+
+fn bin_handler(op: BinOp, shape: Shape) -> Handler {
+    macro_rules! pick {
+        ($rr:ident, $ri:ident, $ir:ident) => {
+            match shape {
+                Shape::Rr => $rr,
+                Shape::Ri => $ri,
+                Shape::Ir => $ir,
+            }
+        };
+    }
+    match op {
+        BinOp::Add => pick!(th_add_rr, th_add_ri, th_add_ir),
+        BinOp::Sub => pick!(th_sub_rr, th_sub_ri, th_sub_ir),
+        BinOp::Mul => pick!(th_mul_rr, th_mul_ri, th_mul_ir),
+        BinOp::Div => pick!(th_div_rr, th_div_ri, th_div_ir),
+        BinOp::Mod => pick!(th_mod_rr, th_mod_ri, th_mod_ir),
+        BinOp::Lt => pick!(th_lt_rr, th_lt_ri, th_lt_ir),
+        BinOp::Le => pick!(th_le_rr, th_le_ri, th_le_ir),
+        BinOp::Gt => pick!(th_gt_rr, th_gt_ri, th_gt_ir),
+        BinOp::Ge => pick!(th_ge_rr, th_ge_ri, th_ge_ir),
+        BinOp::Eq => pick!(th_eq_rr, th_eq_ri, th_eq_ir),
+        BinOp::Ne => pick!(th_ne_rr, th_ne_ri, th_ne_ir),
+        BinOp::And | BinOp::Or => unreachable!("short-circuit ops compile to jumps"),
+    }
+}
+
+fn cmpbr_handler(op: BinOp, shape: Shape) -> Handler {
+    macro_rules! pick {
+        ($rr:ident, $ri:ident, $ir:ident) => {
+            match shape {
+                Shape::Rr => $rr,
+                Shape::Ri => $ri,
+                Shape::Ir => $ir,
+            }
+        };
+    }
+    match op {
+        BinOp::Lt => pick!(th_blt_rr, th_blt_ri, th_blt_ir),
+        BinOp::Le => pick!(th_ble_rr, th_ble_ri, th_ble_ir),
+        BinOp::Gt => pick!(th_bgt_rr, th_bgt_ri, th_bgt_ir),
+        BinOp::Ge => pick!(th_bge_rr, th_bge_ri, th_bge_ir),
+        BinOp::Eq => pick!(th_beq_rr, th_beq_ri, th_beq_ir),
+        BinOp::Ne => pick!(th_bne_rr, th_bne_ri, th_bne_ir),
+        _ => unreachable!("CmpBranch carries relational operators only"),
+    }
+}
+
+fn accum_handler(op: AssignOp, imm: bool) -> Handler {
+    match (op, imm) {
+        (AssignOp::AddAssign, false) => th_acc_add_rr,
+        (AssignOp::AddAssign, true) => th_acc_add_ri,
+        (AssignOp::SubAssign, false) => th_acc_sub_rr,
+        (AssignOp::SubAssign, true) => th_acc_sub_ri,
+        (AssignOp::MulAssign, false) => th_acc_mul_rr,
+        (AssignOp::MulAssign, true) => th_acc_mul_ri,
+        (AssignOp::Assign, _) => unreachable!("plain assignment never reaches Accum"),
+    }
+}
+
+fn cmp_fn(op: BinOp) -> fn(i64, i64) -> bool {
+    match op {
+        BinOp::Lt => |a, b| a < b,
+        BinOp::Le => |a, b| a <= b,
+        BinOp::Gt => |a, b| a > b,
+        BinOp::Ge => |a, b| a >= b,
+        BinOp::Eq => |a, b| a == b,
+        BinOp::Ne => |a, b| a != b,
+        // Mirror `serial::compare`: anything non-relational is an
+        // immediately false exit test, not a panic.
+        _ => |_, _| false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering.
+// ---------------------------------------------------------------------------
+
+/// Which pre-stored field of a lowered op holds a branch target awaiting
+/// index translation.
+enum PatchField {
+    Ext,
+    Next,
+}
+
+struct Lower<'b> {
+    bc: &'b BytecodeProgram,
+    nscalars: u32,
+    loops: Vec<ThLoop>,
+    while_ids: Vec<LoopId>,
+}
+
+fn push(out: &mut Vec<ThOp>, run: Handler) -> &mut ThOp {
+    let next = out.len() as u32 + 1;
+    out.push(ThOp {
+        run,
+        a: 0,
+        b: 0,
+        c: 0,
+        imm: 0,
+        next,
+        ext: 0,
+    });
+    out.last_mut().expect("just pushed")
+}
+
+/// Instruction indices that are branch targets (plus the end index).
+fn jump_targets(code: &[Instr]) -> Vec<bool> {
+    let mut t = vec![false; code.len() + 1];
+    for i in code {
+        match i {
+            Instr::Jz { target, .. }
+            | Instr::Jnz { target, .. }
+            | Instr::Jump { target }
+            | Instr::CmpBranch { target, .. } => t[*target as usize] = true,
+            _ => {}
+        }
+    }
+    t
+}
+
+/// Per-register read counts within one block (`For` headers and bodies
+/// are separate blocks with their own temps, so they contribute
+/// nothing): constant fusion requires the temp to have exactly one
+/// reader.
+fn read_counts(code: &[Instr]) -> HashMap<u32, u32> {
+    fn bump(n: &mut HashMap<u32, u32>, r: Reg) {
+        *n.entry(r.0).or_insert(0) += 1;
+    }
+    let mut n = HashMap::new();
+    for i in code {
+        match i {
+            Instr::Copy { src, .. } | Instr::Neg { src, .. } | Instr::Not { src, .. } => {
+                bump(&mut n, *src);
+            }
+            Instr::Bin { a, b, .. } => {
+                bump(&mut n, *a);
+                bump(&mut n, *b);
+            }
+            Instr::Accum { dst, src, .. } => {
+                bump(&mut n, *dst);
+                bump(&mut n, *src);
+            }
+            Instr::Load { idx, rank, .. } => {
+                for k in 0..*rank as u32 {
+                    bump(&mut n, Reg(idx.0 + k));
+                }
+            }
+            Instr::Store { idx, rank, src, .. } => {
+                for k in 0..*rank as u32 {
+                    bump(&mut n, Reg(idx.0 + k));
+                }
+                bump(&mut n, *src);
+            }
+            Instr::DeclArray { dims, rank, .. } => {
+                for k in 0..*rank as u32 {
+                    bump(&mut n, Reg(dims.0 + k));
+                }
+            }
+            Instr::Jz { cond, .. } | Instr::Jnz { cond, .. } => bump(&mut n, *cond),
+            Instr::LoadLoad { idx, .. } => bump(&mut n, *idx),
+            Instr::CmpBranch { a, b, .. } => {
+                bump(&mut n, *a);
+                bump(&mut n, *b);
+            }
+            Instr::Load2 { i0, i1, .. } => {
+                bump(&mut n, *i0);
+                bump(&mut n, *i1);
+            }
+            Instr::Store2 { i0, i1, src, .. } => {
+                bump(&mut n, *i0);
+                bump(&mut n, *i1);
+                bump(&mut n, *src);
+            }
+            Instr::Const { .. }
+            | Instr::Jump { .. }
+            | Instr::For(_)
+            | Instr::WhileEnter { .. }
+            | Instr::WhileIter { .. }
+            | Instr::WhileExit { .. } => {}
+        }
+    }
+    n
+}
+
+/// Every register any instruction in `code` writes, recursing through
+/// nested loops (headers, induction variables and bodies): the safety
+/// set for the counted-loop upgrade.
+fn collect_writes(code: &[Instr], out: &mut HashSet<u32>) {
+    for i in code {
+        match i {
+            Instr::Const { dst, .. }
+            | Instr::Copy { dst, .. }
+            | Instr::Bin { dst, .. }
+            | Instr::Accum { dst, .. }
+            | Instr::Neg { dst, .. }
+            | Instr::Not { dst, .. }
+            | Instr::Load { dst, .. }
+            | Instr::LoadLoad { dst, .. }
+            | Instr::Load2 { dst, .. } => {
+                out.insert(dst.0);
+            }
+            Instr::For(f) => {
+                out.insert(f.var.0);
+                collect_writes(&f.init.code, out);
+                collect_writes(&f.bound.code, out);
+                collect_writes(&f.step.code, out);
+                collect_writes(&f.body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Lower<'_> {
+    fn lower_block(&mut self, code: &[Instr], result: Option<Reg>) -> ThBlock {
+        let targets = jump_targets(code);
+        let reads = read_counts(code);
+        let mut out: Vec<ThOp> = Vec::with_capacity(code.len());
+        let mut map = vec![0u32; code.len() + 1];
+        let mut patches: Vec<(usize, u32, PatchField)> = Vec::new();
+        let mut i = 0usize;
+        while i < code.len() {
+            let pos = out.len() as u32;
+            map[i] = pos;
+            if let Instr::Const { dst: t, pool } = &code[i] {
+                // Constant fusion: a temp constant with exactly one
+                // reader directly below it (and no branch landing
+                // between the two) becomes the consumer's immediate.
+                if t.0 >= self.nscalars
+                    && reads.get(&t.0).copied() == Some(1)
+                    && result != Some(*t)
+                    && i + 1 < code.len()
+                    && !targets[i + 1]
+                {
+                    let imm = self.bc.consts[*pool as usize];
+                    if try_fuse(&code[i + 1], *t, imm, &mut out, &mut patches) {
+                        map[i + 1] = pos;
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            self.emit(&code[i], &mut out, &mut patches);
+            i += 1;
+        }
+        map[code.len()] = out.len() as u32;
+        for (idx, old, field) in patches {
+            let n = map[old as usize];
+            match field {
+                PatchField::Ext => out[idx].ext = n,
+                PatchField::Next => out[idx].next = n,
+            }
+        }
+        ThBlock {
+            ops: out,
+            result: result.map_or(0, |r| r.0),
+        }
+    }
+
+    fn emit(
+        &mut self,
+        ins: &Instr,
+        out: &mut Vec<ThOp>,
+        patches: &mut Vec<(usize, u32, PatchField)>,
+    ) {
+        let pos = out.len();
+        match ins {
+            Instr::Const { dst, pool } => {
+                let imm = self.bc.consts[*pool as usize];
+                let o = push(out, th_const);
+                o.a = dst.0;
+                o.imm = imm;
+            }
+            Instr::Copy { dst, src } => {
+                let o = push(out, th_copy);
+                o.a = dst.0;
+                o.b = src.0;
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let o = push(out, bin_handler(*op, Shape::Rr));
+                o.a = dst.0;
+                o.b = a.0;
+                o.c = b.0;
+            }
+            Instr::Accum { op, dst, src } => {
+                let o = push(out, accum_handler(*op, false));
+                o.a = dst.0;
+                o.b = src.0;
+            }
+            Instr::Neg { dst, src } => {
+                let o = push(out, th_neg);
+                o.a = dst.0;
+                o.b = src.0;
+            }
+            Instr::Not { dst, src } => {
+                let o = push(out, th_not);
+                o.a = dst.0;
+                o.b = src.0;
+            }
+            Instr::Load {
+                dst,
+                array,
+                idx,
+                rank,
+            } => {
+                let o = push(out, if *rank == 1 { th_load1 } else { th_load_n });
+                o.a = dst.0;
+                o.b = array.0;
+                o.c = idx.0;
+                o.ext = *rank as u32;
+            }
+            Instr::Store {
+                array,
+                idx,
+                rank,
+                src,
+            } => {
+                let o = push(out, if *rank == 1 { th_store1 } else { th_store_n });
+                o.a = src.0;
+                o.b = array.0;
+                o.c = idx.0;
+                o.ext = *rank as u32;
+            }
+            Instr::DeclArray { array, dims, rank } => {
+                let o = push(out, th_decl);
+                o.b = array.0;
+                o.c = dims.0;
+                o.ext = *rank as u32;
+            }
+            Instr::Jz { cond, target } => {
+                let o = push(out, th_jz);
+                o.a = cond.0;
+                patches.push((pos, *target, PatchField::Ext));
+            }
+            Instr::Jnz { cond, target } => {
+                let o = push(out, th_jnz);
+                o.a = cond.0;
+                patches.push((pos, *target, PatchField::Ext));
+            }
+            Instr::Jump { target } => {
+                push(out, th_jump);
+                patches.push((pos, *target, PatchField::Ext));
+            }
+            Instr::For(f) => {
+                let li = self.lower_for(f);
+                let o = push(out, th_for);
+                o.ext = li;
+            }
+            Instr::WhileEnter { id } => {
+                let wi = self.while_ids.len() as u32;
+                self.while_ids.push(*id);
+                let o = push(out, th_wenter);
+                o.ext = wi;
+            }
+            Instr::WhileIter { id } => {
+                let wi = self.while_ids.len() as u32;
+                self.while_ids.push(*id);
+                let o = push(out, th_witer);
+                o.ext = wi;
+            }
+            Instr::WhileExit { id } => {
+                let wi = self.while_ids.len() as u32;
+                self.while_ids.push(*id);
+                let o = push(out, th_wexit);
+                o.ext = wi;
+            }
+            Instr::LoadLoad {
+                dst,
+                outer,
+                inner,
+                idx,
+            } => {
+                let o = push(out, th_ldld);
+                o.a = dst.0;
+                o.b = outer.0;
+                o.c = idx.0;
+                o.ext = inner.0;
+            }
+            Instr::CmpBranch {
+                op,
+                a,
+                b,
+                target,
+                jump_if,
+            } => {
+                let o = push(out, cmpbr_handler(*op, Shape::Rr));
+                o.b = a.0;
+                o.c = b.0;
+                if *jump_if {
+                    patches.push((pos, *target, PatchField::Ext));
+                } else {
+                    o.ext = pos as u32 + 1;
+                    patches.push((pos, *target, PatchField::Next));
+                }
+            }
+            Instr::Load2 { dst, array, i0, i1 } => {
+                let o = push(out, th_load2);
+                o.a = dst.0;
+                o.b = i0.0;
+                o.c = i1.0;
+                o.ext = array.0;
+            }
+            Instr::Store2 { array, i0, i1, src } => {
+                let o = push(out, th_store2);
+                o.a = src.0;
+                o.b = i0.0;
+                o.c = i1.0;
+                o.ext = array.0;
+            }
+        }
+    }
+
+    fn lower_for(&mut self, f: &BcFor) -> u32 {
+        let init = self.lower_header(&f.init, f.init_fast);
+        let bound = self.lower_header(&f.bound, f.bound_fast);
+        let step = self.lower_header(&f.step, f.step_fast);
+        let body = self.lower_block(&f.body, None);
+        let mut writes = HashSet::new();
+        collect_writes(&f.body, &mut writes);
+        let inv = |r: u32| !writes.contains(&r) && r != f.var.0;
+        let step_ok = match &step {
+            ThHeader::Imm(_) => true,
+            ThHeader::Reg(r) => inv(*r),
+            _ => false,
+        };
+        let bound_ok = match &bound {
+            ThHeader::Imm(_) => true,
+            ThHeader::Reg(r) => inv(*r),
+            ThHeader::Once(_) => true,
+            ThHeader::Every(_) => false,
+        };
+        let counted = !writes.contains(&f.var.0) && step_ok && bound_ok;
+        let idx = self.loops.len() as u32;
+        self.loops.push(ThLoop {
+            id: f.id,
+            var: f.var.0,
+            cond: cmp_fn(f.cond_op),
+            init,
+            bound,
+            step,
+            body,
+            counted,
+            bcfor: f.clone(),
+        });
+        idx
+    }
+
+    fn lower_header(&mut self, e: &BcExpr, fast: HeaderFast) -> ThHeader {
+        match fast {
+            HeaderFast::Const(v) => ThHeader::Imm(v),
+            HeaderFast::Reg(r) => ThHeader::Reg(r.0),
+            HeaderFast::EvalOnce => ThHeader::Once(self.lower_block(&e.code, Some(e.result))),
+            HeaderFast::Eval => {
+                // O0 streams carry no fast facts; recover the two trivial
+                // shapes (header blocks only write temps, so skipping the
+                // block is unobservable and yields the same value).
+                if e.code.is_empty() {
+                    return ThHeader::Reg(e.result.0);
+                }
+                if let [Instr::Const { dst, pool }] = e.code.as_slice() {
+                    if *dst == e.result {
+                        return ThHeader::Imm(self.bc.consts[*pool as usize]);
+                    }
+                }
+                ThHeader::Every(self.lower_block(&e.code, Some(e.result)))
+            }
+        }
+    }
+}
+
+/// Emits the fused immediate form of `next` when it is a fusable
+/// single-reader consumer of the constant in `t`; returns `false` to fall
+/// back to plain emission.
+fn try_fuse(
+    next: &Instr,
+    t: Reg,
+    imm: i64,
+    out: &mut Vec<ThOp>,
+    patches: &mut Vec<(usize, u32, PatchField)>,
+) -> bool {
+    match next {
+        Instr::Bin { op, dst, a, b }
+            if (*a == t) != (*b == t) && !matches!(op, BinOp::And | BinOp::Or) =>
+        {
+            let (h, reg) = if *b == t {
+                (bin_handler(*op, Shape::Ri), a.0)
+            } else {
+                (bin_handler(*op, Shape::Ir), b.0)
+            };
+            let o = push(out, h);
+            o.a = dst.0;
+            o.b = reg;
+            o.imm = imm;
+            true
+        }
+        Instr::CmpBranch {
+            op,
+            a,
+            b,
+            target,
+            jump_if,
+        } if (*a == t) != (*b == t) => {
+            let (h, reg) = if *b == t {
+                (cmpbr_handler(*op, Shape::Ri), a.0)
+            } else {
+                (cmpbr_handler(*op, Shape::Ir), b.0)
+            };
+            let pos = out.len();
+            let o = push(out, h);
+            o.b = reg;
+            o.imm = imm;
+            if *jump_if {
+                patches.push((pos, *target, PatchField::Ext));
+            } else {
+                o.ext = pos as u32 + 1;
+                patches.push((pos, *target, PatchField::Next));
+            }
+            true
+        }
+        Instr::Accum { op, dst, src } if *src == t && *dst != t => {
+            let o = push(out, accum_handler(*op, true));
+            o.a = dst.0;
+            o.imm = imm;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Lowers one bytecode stream into its direct-threaded form.  Pure and
+/// deterministic; called once per `(Artifacts, opt level)` through
+/// [`Artifacts::engine_artifact`].
+pub(crate) fn lower(bc: &BytecodeProgram) -> ThProgram {
+    THREADED_LOWERINGS.fetch_add(1, Ordering::Relaxed);
+    let mut lw = Lower {
+        bc,
+        nscalars: bc.slots.scalar_count() as u32,
+        loops: Vec::new(),
+        while_ids: Vec::new(),
+    };
+    let main = lw.lower_block(&bc.main, None);
+    ThProgram {
+        main,
+        loops: lw.loops,
+        while_ids: lw.while_ids,
+        consts: bc.consts.clone(),
+        slots: bc.slots.clone(),
+        nregs: bc.nregs,
+        nscalars: bc.slots.scalar_count(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------------
+
+/// The lowered program for `level`, creating and caching it on the
+/// artifacts on first use.
+fn lowered(artifacts: &Artifacts, level: OptLevel) -> &ThProgram {
+    let arc = artifacts.engine_artifact(level, || Arc::new(lower(artifacts.bytecode_at(level))));
+    arc.as_any()
+        .downcast_ref::<ThProgram>()
+        .expect("the threaded engine owns the per-level artifact slots")
+}
+
+fn run_threaded<'p>(
+    prog: &'p ThProgram,
+    mut heap: Heap,
+    opts: &ExecOptions,
+    dispatch: Option<&'p ThDispatch<'p>>,
+) -> Result<ExecOutcome, ExecError> {
+    let start = Instant::now();
+    let mut cx = ThCtx {
+        prog,
+        regs: vec![0; prog.nregs],
+        defined: vec![false; prog.nscalars],
+        arrays: prog
+            .slots
+            .array_names()
+            .iter()
+            .map(|name| heap.arrays.remove(name))
+            .collect(),
+        guards: Vec::new(),
+        stats: ExecStats::default(),
+        timing: true,
+        while_cap: opts.while_cap,
+        nscalars: prog.nscalars,
+        dispatch,
+    };
+    for (i, name) in prog.slots.scalar_names().iter().enumerate() {
+        if let Some(&v) = heap.scalars.get(name) {
+            cx.regs[i] = v;
+            cx.defined[i] = true;
+        }
+    }
+    exec_ops(&prog.main.ops, &mut cx)?;
+    for (i, arr) in cx.arrays.into_iter().enumerate() {
+        if let Some(a) = arr {
+            heap.arrays.insert(prog.slots.array_names()[i].clone(), a);
+        }
+    }
+    for (i, name) in prog.slots.scalar_names().iter().enumerate() {
+        if cx.defined[i] {
+            heap.scalars.insert(name.clone(), cx.regs[i]);
+        }
+    }
+    cx.stats.total_seconds = start.elapsed().as_secs_f64();
+    Ok(ExecOutcome {
+        heap,
+        stats: cx.stats,
+    })
+}
+
+/// Serial execution through the threaded tier.
+pub(super) fn run_serial_threaded(
+    artifacts: &Artifacts,
+    heap: Heap,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    run_threaded(lowered(artifacts, opts.opt_level), heap, opts, None)
+}
+
+/// Parallel execution: the threaded spine with proven loops handed to the
+/// shared bytecode dispatcher.
+pub(super) fn run_parallel_threaded(
+    artifacts: &Artifacts,
+    heap: Heap,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    let d = ThDispatch {
+        dispatchable: dispatchable_map(&artifacts.report),
+        opts,
+    };
+    run_threaded(lowered(artifacts, opts.opt_level), heap, opts, Some(&d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifacts(src: &str) -> Artifacts {
+        Artifacts::compile_source("threaded-test", src).expect("test program compiles")
+    }
+
+    fn run_both(src: &str, heap: &Heap, level: OptLevel) -> (Heap, Heap) {
+        let art = artifacts(src);
+        let opts = ExecOptions {
+            opt_level: level,
+            ..ExecOptions::default()
+        };
+        let bc = super::super::bytecode::run_serial_bytecode(
+            art.bytecode_at(level),
+            heap.clone(),
+            &opts,
+        )
+        .expect("bytecode run succeeds");
+        let th = run_serial_threaded(&art, heap.clone(), &opts).expect("threaded run succeeds");
+        (bc.heap, th.heap)
+    }
+
+    #[test]
+    fn threaded_matches_bytecode_on_a_csr_style_kernel() {
+        let src = r#"
+            for (i = 0; i < nnz; i++) { col[i] = (i * 3) % n; val[i] = i + 1; }
+            for (i = 0; i < n; i++) { x[i] = i + 2; }
+            for (i = 0; i < n; i++) {
+                s = 0;
+                for (j = rowptr[i]; j < rowptr[i + 1]; j++) {
+                    s += val[j] * x[col[j]];
+                }
+                y[i] = s;
+            }
+        "#;
+        let heap = Heap::new()
+            .with_scalar("n", 4)
+            .with_scalar("nnz", 6)
+            .with_array("rowptr", vec![0, 2, 3, 5, 6])
+            .with_array("col", vec![0; 6])
+            .with_array("val", vec![0; 6])
+            .with_array("x", vec![0; 4])
+            .with_array("y", vec![0; 4]);
+        for level in [OptLevel::O0, OptLevel::O1] {
+            let (bc, th) = run_both(src, &heap, level);
+            assert_eq!(bc, th, "heaps diverge at {level:?}");
+        }
+    }
+
+    #[test]
+    fn threaded_matches_bytecode_on_branches_whiles_and_errors() {
+        let src = r#"
+            n = 10; acc = 0; i = 0;
+            while (i < n) {
+                if (i % 2 == 0) { acc += i * 3; } else { acc -= 1; }
+                i = i + 1;
+            }
+        "#;
+        for level in [OptLevel::O0, OptLevel::O1] {
+            let (bc, th) = run_both(src, &Heap::new(), level);
+            assert_eq!(bc, th, "heaps diverge at {level:?}");
+        }
+        // Division by zero faults identically.
+        let art = artifacts("a = 4; b = 0; c = a / b;");
+        let opts = ExecOptions::default();
+        let err = run_serial_threaded(&art, Heap::new(), &opts).unwrap_err();
+        assert!(matches!(err, ExecError::DivisionByZero));
+    }
+
+    #[test]
+    fn counted_loops_preserve_the_induction_value_after_exit() {
+        // The fast path keeps the induction value in a local; the
+        // post-loop register must still hold the first failing value.
+        let (bc, th) = run_both(
+            "k = 0; for (i = 3; i < 11; i = i + 2) { k += i; } m = i;",
+            &Heap::new(),
+            OptLevel::O1,
+        );
+        assert_eq!(bc, th);
+    }
+
+    #[test]
+    fn lowering_is_cached_per_artifact_and_level() {
+        // Pointer identity across runs: the artifact slot is filled once
+        // and reused (the process-wide counter assertion, which needs
+        // serialization against other tests, lives in the `compile_once`
+        // integration suite).
+        let art = artifacts("x = 1; y = x + 2;");
+        let opts = ExecOptions::default();
+        for _ in 0..3 {
+            run_serial_threaded(&art, Heap::new(), &opts).expect("runs");
+        }
+        let p1 = lowered(&art, OptLevel::O1) as *const ThProgram;
+        let p2 = lowered(&art, OptLevel::O1) as *const ThProgram;
+        assert_eq!(p1, p2);
+    }
+}

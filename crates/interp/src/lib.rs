@@ -68,6 +68,7 @@ pub mod inputs;
 pub mod json;
 pub mod session;
 
+pub use engine::bytecode::{reset_pair_counts, set_pair_profiling, top_instruction_pairs};
 pub use engine::{
     Engine, EngineCaps, EngineRegistry, ExecError, ExecMode, ExecOptions, ExecOutcome, ExecStats,
     LoopStats, ScheduleChoice,

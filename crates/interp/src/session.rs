@@ -597,12 +597,15 @@ pub struct CacheStats {
     pub bytes: usize,
     /// Byte capacity bound (`None` = unbounded).
     pub capacity_bytes: Option<usize>,
+    /// Eviction policy under the capacity bounds (`"lru"`).
+    pub policy: &'static str,
 }
 
 struct CacheState {
     /// Cached artifacts plus each entry's approximate byte charge.
     map: HashMap<u128, (Arc<Artifacts>, usize)>,
-    /// Insertion order, for FIFO eviction under the capacity bounds.
+    /// Recency order (front = least recently used): hits move an entry to
+    /// the back, eviction under the capacity bounds pops the front.
     order: VecDeque<u128>,
     /// Sum of the byte charges of every entry in `map`.
     bytes: usize,
@@ -653,9 +656,9 @@ impl Session {
         }
     }
 
-    /// Bounds the artifact cache to `capacity` programs (FIFO eviction;
+    /// Bounds the artifact cache to `capacity` programs (LRU eviction;
     /// long-running embedders and fuzz loops set this to keep memory
-    /// flat).
+    /// flat while their hot programs stay cached).
     pub fn with_cache_capacity(mut self, capacity: usize) -> Session {
         self.capacity = Some(capacity.max(1));
         self
@@ -663,11 +666,13 @@ impl Session {
 
     /// Bounds the artifact cache to approximately `bytes` of cached
     /// artifacts (each entry charged its
-    /// [`Artifacts::approx_bytes`](ss_parallelizer::Artifacts::approx_bytes);
-    /// FIFO eviction, composable with [`Session::with_cache_capacity`]
-    /// (Self::with_cache_capacity)).  The newest entry is never evicted,
-    /// so a single program larger than the bound still caches (and the
-    /// bound holds again as soon as anything else is inserted).
+    /// [`Artifacts::approx_bytes`](ss_parallelizer::Artifacts::approx_bytes),
+    /// refreshed on every hit so lazily attached engine lowerings are
+    /// accounted; LRU eviction, composable with
+    /// [`Session::with_cache_capacity`](Self::with_cache_capacity)).  The
+    /// most recently used entry is never evicted, so a single program
+    /// larger than the bound still caches (and the bound holds again as
+    /// soon as anything else is inserted).
     pub fn with_cache_capacity_bytes(mut self, bytes: usize) -> Session {
         self.capacity_bytes = Some(bytes.max(1));
         self
@@ -694,6 +699,7 @@ impl Session {
             capacity: self.capacity,
             bytes: state.bytes,
             capacity_bytes: self.capacity_bytes,
+            policy: "lru",
         }
     }
 
@@ -713,10 +719,26 @@ impl Session {
     ) -> Result<(Arc<Artifacts>, bool), SsError> {
         let key = content_key(name, source);
         {
-            let state = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some((found, _)) = state.map.get(&key) {
+            let mut state = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some((found, old_charge)) = state.map.get(&key).map(|(a, c)| (Arc::clone(a), *c))
+            {
+                // LRU: a hit moves the entry to the back of the recency
+                // order, and re-charges it — engine lowerings attach to
+                // `Artifacts` lazily after insertion, so the byte account
+                // is refreshed here.
+                if let Some(pos) = state.order.iter().position(|k| *k == key) {
+                    state.order.remove(pos);
+                }
+                state.order.push_back(key);
+                let new_charge = found.approx_bytes();
+                if new_charge != old_charge {
+                    state.bytes = state.bytes + new_charge - old_charge;
+                    if let Some(entry) = state.map.get_mut(&key) {
+                        entry.1 = new_charge;
+                    }
+                }
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok((Arc::clone(found), true));
+                return Ok((found, true));
             }
         }
         // Compile outside the lock: concurrent misses on the same key may
@@ -734,9 +756,9 @@ impl Session {
                 self.capacity.is_some_and(|cap| state.map.len() > cap)
                     || self.capacity_bytes.is_some_and(|cap| state.bytes > cap)
             };
-            // FIFO eviction under either bound; the newest entry (the one
-            // just inserted) is never evicted, so oversized singletons
-            // still cache.
+            // Evict least-recently-used entries under either bound; the
+            // entry just inserted is never evicted, so oversized
+            // singletons still cache.
             while state.map.len() > 1 && over(&state) {
                 if let Some(old) = state.order.pop_front() {
                     if let Some((_, freed)) = state.map.remove(&old) {
@@ -959,9 +981,12 @@ mod tests {
         assert!(outcome.serial.is_some() && outcome.parallel.is_some());
         assert!(outcome.speedup().unwrap() > 0.0);
         let v = outcome.validation.as_ref().unwrap();
-        // compiled + bytecode@O0 + bytecode@O1 serial legs, one parallel leg.
-        assert_eq!(v.compared.len(), 4, "{:?}", v.compared);
+        // compiled + bytecode@O0/O1 + threaded@O0/O1 serial legs, one
+        // parallel leg.
+        assert_eq!(v.compared.len(), 6, "{:?}", v.compared);
         assert!(v.compared.contains(&"bytecode@O0".to_string()));
+        assert!(v.compared.contains(&"threaded@O0".to_string()));
+        assert!(v.compared.contains(&"threaded@O1".to_string()));
         assert!(v.compared.contains(&"compiled".to_string()));
     }
 
@@ -984,22 +1009,28 @@ mod tests {
     }
 
     #[test]
-    fn bounded_caches_evict_fifo() {
+    fn bounded_caches_evict_the_least_recently_used_entry() {
         let session = Session::new().with_cache_capacity(2);
-        for (i, src) in ["x = 1;", "x = 2;", "x = 3;"].iter().enumerate() {
-            session.artifacts(&format!("p{i}"), src).unwrap();
-        }
+        session.artifacts("p0", "x = 1;").unwrap();
+        session.artifacts("p1", "x = 2;").unwrap();
+        // Touch p0: under LRU it is now the *most* recently used, so the
+        // next insert must evict p1 instead (FIFO would drop p0).
+        session.artifacts("p0", "x = 1;").unwrap();
+        session.artifacts("p2", "x = 3;").unwrap();
         let stats = session.cache_stats();
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.capacity, Some(2));
-        // The oldest program was evicted: compiling it again is a miss.
+        assert_eq!(stats.policy, "lru");
+        // p0 survived its hit; p1 was evicted and recompiles as a miss.
         session.artifacts("p0", "x = 1;").unwrap();
+        assert_eq!(session.cache_stats().hits, 2);
+        session.artifacts("p1", "x = 2;").unwrap();
         assert_eq!(session.cache_stats().misses, 4);
     }
 
     #[test]
-    fn byte_bounded_caches_evict_fifo_but_keep_the_newest_entry() {
+    fn byte_bounded_caches_evict_lru_but_keep_the_newest_entry() {
         // A 1-byte budget cannot hold any artifact, yet the newest entry is
         // never evicted: each insert displaces the previous one.
         let session = Session::new().with_cache_capacity_bytes(1);

@@ -163,9 +163,9 @@ fn session_cache_makes_compilation_once_per_program_per_process() {
     assert_eq!(ss_ir::slots::compilation_count(), slots_before + 1);
     assert_eq!(ss_ir::bytecode::bytecode_compilation_count(), bc_before + 1);
 
-    // 2 engines × 2 opt levels × differential validation: many executions,
+    // 4 engines × 2 opt levels × differential validation: many executions,
     // zero compilations.
-    for engine in ["bytecode", "compiled", "ast"] {
+    for engine in ["bytecode", "threaded", "compiled", "ast"] {
         for level in [OptLevel::O0, OptLevel::O1] {
             let out = session
                 .run(
@@ -197,8 +197,44 @@ fn session_cache_makes_compilation_once_per_program_per_process() {
     );
     let stats = session.cache_stats();
     assert_eq!(stats.misses, 1);
-    assert_eq!(stats.hits, 6);
+    assert_eq!(stats.hits, 8);
     assert_eq!(stats.entries, 1);
+}
+
+#[test]
+fn threaded_engine_lowers_once_per_artifact_and_level() {
+    // The threaded tier lowers the bytecode stream into its handler chain
+    // at most once per (artifacts, opt level) — repeated runs, serial or
+    // parallel, reuse the lowering cached in the artifact's
+    // engine-extension slot.
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let registry = EngineRegistry::builtin();
+    let threaded = registry.get("threaded").unwrap();
+    let artifacts = Artifacts::compile_source("lower-once", SRC).unwrap();
+    let before = ss_interp::engine::threaded::threaded_lowering_count();
+    let mut heaps = Vec::new();
+    for _ in 0..3 {
+        for &level in threaded.caps().opt_levels {
+            let serial = ExecOptions {
+                opt_level: level,
+                ..opts(1)
+            };
+            heaps.push(threaded.run_serial(&artifacts, heap(6), &serial).unwrap());
+            let par = ExecOptions {
+                opt_level: level,
+                ..opts(3)
+            };
+            heaps.push(threaded.run_parallel(&artifacts, heap(6), &par).unwrap());
+        }
+    }
+    assert_eq!(
+        ss_interp::engine::threaded::threaded_lowering_count(),
+        before + 2,
+        "one lowering per opt level, reused by every later run"
+    );
+    for outcome in &heaps {
+        assert_eq!(outcome.heap, heaps[0].heap);
+    }
 }
 
 #[test]
@@ -234,7 +270,7 @@ fn one_pipeline_invocation_feeds_every_engine_without_recompiling() {
             executions += 2;
         }
     }
-    assert!(executions >= 8, "matrix covered {executions} executions");
+    assert!(executions >= 12, "matrix covered {executions} executions");
     assert_eq!(
         ss_ir::slots::compilation_count(),
         slots_before + 1,

@@ -254,10 +254,22 @@ pub struct BcExpr {
 /// single constant load.  Both shapes are side-effect- and error-free, so
 /// skipping the block execution is unobservable; the block's code is kept
 /// alongside, and executing it instead is always still correct.
+///
+/// [`HeaderFast::EvalOnce`] is the cross-iteration loop-invariant upgrade:
+/// the block must still be executed (it may read arrays and can fault), but
+/// the optimizer has proven that nothing the loop body (or the sibling
+/// header blocks) writes feeds back into it, so one evaluation per loop
+/// *entry* yields the same value — and the same error, at the same program
+/// point, since the first evaluation happens exactly where `Eval` would
+/// perform it — as re-evaluating every iteration.  This is what turns the
+/// CSR-traversal bound `rowptr[i + 1]` into a hoisted load.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum HeaderFast {
     /// Execute the expression block every time (the O0 behavior).
     Eval,
+    /// Proven loop-invariant: execute the block once per loop entry and
+    /// reuse the value for every subsequent iteration.
+    EvalOnce,
     /// The block is empty: the value is a read of this register.
     Reg(Reg),
     /// The block is one constant load: the value is this constant.
@@ -754,6 +766,7 @@ impl BytecodeProgram {
     fn fast_note(&self, fast: HeaderFast) -> String {
         match fast {
             HeaderFast::Eval => String::new(),
+            HeaderFast::EvalOnce => " [fast: eval-once]".to_string(),
             HeaderFast::Reg(r) => format!(" [fast: {}]", self.reg_name(r)),
             HeaderFast::Const(v) => format!(" [fast: const {v}]"),
         }

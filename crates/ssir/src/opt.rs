@@ -38,7 +38,7 @@
 
 use crate::ast::BinOp;
 use crate::bytecode::{BcExpr, BcFor, BytecodeProgram, HeaderFast, Instr, Reg};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// How much optimization the pipeline's `opt` stage applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -103,6 +103,7 @@ pub fn optimize(bc: &BytecodeProgram, level: OptLevel) -> BytecodeProgram {
         slots: bc.slots.clone(),
     };
     compact_pool(&mut out);
+    pack_registers(&mut out);
     out
 }
 
@@ -257,8 +258,30 @@ impl Optimizer {
         let bound = self.opt_expr(&f.bound);
         let step = self.opt_expr(&f.step);
         let init_fast = self.header_fast(&init);
-        let bound_fast = self.header_fast(&bound);
-        let step_fast = self.header_fast(&step);
+        let mut bound_fast = self.header_fast(&bound);
+        let mut step_fast = self.header_fast(&step);
+        let body = self.opt_code(&f.body, None);
+        // Cross-iteration invariant hoisting: between two evaluations of
+        // the bound (or step) block only the body, the sibling header block
+        // and the index-variable update run.  When none of those can feed
+        // the block — no clobbered register flows in, no loaded array is
+        // stored to — one evaluation per loop entry is exact (same value,
+        // same error, at the same first-iteration program point), so the
+        // executors may cache it.  This is what hoists the CSR-traversal
+        // bound `rowptr[i + 1]` out of the inner product loop.
+        let mut clobbered: HashSet<u32> = HashSet::new();
+        clobbered.insert(f.var.0);
+        collect_reg_writes(&body, &mut clobbered);
+        collect_reg_writes(&bound.code, &mut clobbered);
+        collect_reg_writes(&step.code, &mut clobbered);
+        let mut stored: HashSet<u32> = HashSet::new();
+        collect_array_stores(&body, &mut stored);
+        if bound_fast == HeaderFast::Eval && self.invariant_block(&bound, &clobbered, &stored) {
+            bound_fast = HeaderFast::EvalOnce;
+        }
+        if step_fast == HeaderFast::Eval && self.invariant_block(&step, &clobbered, &stored) {
+            step_fast = HeaderFast::EvalOnce;
+        }
         BcFor {
             id: f.id,
             var: f.var,
@@ -269,11 +292,73 @@ impl Optimizer {
             init_fast,
             bound_fast,
             step_fast,
-            body: self.opt_code(&f.body, None),
+            body,
             local_arrays: f.local_arrays.clone(),
             locals_dominated: f.locals_dominated,
             skewed: f.skewed,
         }
+    }
+
+    /// True when re-evaluating the expression block anywhere in the loop is
+    /// guaranteed to reproduce the first evaluation bit for bit: the block
+    /// is pure (only register-file temp writes and array *reads* — which is
+    /// what the expression compiler emits, but checked rather than
+    /// trusted), none of its inputs (scalars it reads, temporaries live at
+    /// block entry) is in `clobbered`, and no array it loads is in
+    /// `stored`.
+    fn invariant_block(&self, e: &BcExpr, clobbered: &HashSet<u32>, stored: &HashSet<u32>) -> bool {
+        let mut reads: Vec<Reg> = Vec::new();
+        for i in &e.code {
+            match i {
+                Instr::Store { .. }
+                | Instr::Store2 { .. }
+                | Instr::DeclArray { .. }
+                | Instr::For(_)
+                | Instr::WhileEnter { .. }
+                | Instr::WhileIter { .. }
+                | Instr::WhileExit { .. } => return false,
+                _ => {}
+            }
+            if instr_write(i).is_some_and(|d| !self.is_temp(d)) {
+                return false;
+            }
+            instr_reads(i, &mut reads);
+            match i {
+                Instr::Load { array, .. } | Instr::Load2 { array, .. }
+                    if stored.contains(&array.0) =>
+                {
+                    return false;
+                }
+                Instr::LoadLoad { outer, inner, .. }
+                    if stored.contains(&outer.0) || stored.contains(&inner.0) =>
+                {
+                    return false;
+                }
+                _ => {}
+            }
+        }
+        // Scalar reads are always inputs (the block never writes scalars).
+        if reads
+            .iter()
+            .any(|r| !self.is_temp(*r) && clobbered.contains(&r.0))
+        {
+            return false;
+        }
+        // Temporaries live at block entry (read before any block-local
+        // definition on some path) are inputs too.  The compiler never
+        // emits that shape, but the analysis must not rely on it.
+        let live = Liveness::compute(&e.code, self.nscalars, self.nregs, Some(e.result));
+        for (w, bits) in live.live_in[0..live.words].iter().enumerate() {
+            let mut bits = *bits;
+            while bits != 0 {
+                let t = (w as u32) * 64 + bits.trailing_zeros();
+                if clobbered.contains(&(self.nscalars as u32 + t)) {
+                    return false;
+                }
+                bits &= bits - 1;
+            }
+        }
+        true
     }
 
     /// Derives the header fast path of an optimized expression block: an
@@ -689,6 +774,361 @@ fn instr_write(i: &Instr) -> Option<Reg> {
         | Instr::LoadLoad { dst, .. }
         | Instr::Load2 { dst, .. } => Some(*dst),
         _ => None,
+    }
+}
+
+/// Every register (scalar or temporary) written anywhere in `code`,
+/// recursing through structured loops (index variables and header-block
+/// writes included).
+fn collect_reg_writes(code: &[Instr], out: &mut HashSet<u32>) {
+    for i in code {
+        if let Some(d) = instr_write(i) {
+            out.insert(d.0);
+        }
+        if let Instr::For(f) = i {
+            out.insert(f.var.0);
+            collect_reg_writes(&f.init.code, out);
+            collect_reg_writes(&f.bound.code, out);
+            collect_reg_writes(&f.step.code, out);
+            collect_reg_writes(&f.body, out);
+        }
+    }
+}
+
+/// Every array slot stored to or (re)declared anywhere in `code`,
+/// recursing through structured loops.
+fn collect_array_stores(code: &[Instr], out: &mut HashSet<u32>) {
+    for i in code {
+        match i {
+            Instr::Store { array, .. }
+            | Instr::Store2 { array, .. }
+            | Instr::DeclArray { array, .. } => {
+                out.insert(array.0);
+            }
+            Instr::For(f) => {
+                collect_array_stores(&f.init.code, out);
+                collect_array_stores(&f.bound.code, out);
+                collect_array_stores(&f.step.code, out);
+                collect_array_stores(&f.body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear-scan packing of expression temporaries.
+// ---------------------------------------------------------------------------
+
+/// Renumbers each block's expression temporaries with a linear-scan
+/// allocator over their (conservative, interval-shaped) live ranges, so
+/// short-lived temps share slots and the register frame shrinks.  Scalar
+/// registers are observable and never move; each block's temporaries are an
+/// independent namespace (structured loops clobber the whole temp file), so
+/// blocks pack independently and `nregs` becomes the maximum over all of
+/// them.  The pass only renumbers — instruction count, order, evaluation
+/// order and error points are untouched — and is idempotent: re-running it
+/// on packed code maps every temp to itself.
+fn pack_registers(bc: &mut BytecodeProgram) {
+    let nscalars = bc.slots.scalar_count();
+    pack_code(&mut bc.main, None, nscalars);
+    let mut hi = nscalars as u32;
+    max_reg(&bc.main, &mut hi);
+    bc.nregs = hi as usize;
+}
+
+fn pack_code(code: &mut [Instr], protected: Option<&mut Reg>, nscalars: usize) {
+    for i in code.iter_mut() {
+        if let Instr::For(f) = i {
+            pack_code(&mut f.init.code, Some(&mut f.init.result), nscalars);
+            pack_code(&mut f.bound.code, Some(&mut f.bound.result), nscalars);
+            pack_code(&mut f.step.code, Some(&mut f.step.result), nscalars);
+            pack_code(&mut f.body, None, nscalars);
+        }
+    }
+    pack_block(code, protected, nscalars);
+}
+
+/// Packs one flat block.  Bails (leaving the block unchanged — correct by
+/// construction, just unpacked) on shapes the interval model cannot
+/// renumber safely: a temporary live at block entry, or a consecutive
+/// register run containing a scalar.
+fn pack_block(code: &mut [Instr], protected: Option<&mut Reg>, nscalars: usize) {
+    let ns = nscalars as u32;
+    let n = code.len();
+    // Occurrence intervals per temporary register: [first, last] positions
+    // over the linear stream.
+    let mut first: HashMap<u32, usize> = HashMap::new();
+    let mut last: HashMap<u32, usize> = HashMap::new();
+    fn occur(
+        ns: u32,
+        r: Reg,
+        pc: usize,
+        first: &mut HashMap<u32, usize>,
+        last: &mut HashMap<u32, usize>,
+    ) {
+        if r.0 >= ns {
+            first.entry(r.0).or_insert(pc);
+            last.insert(r.0, pc);
+        }
+    }
+    // Consecutive-register runs (rank >= 2 subscript blocks) whose members
+    // must stay contiguous and in order.
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    let mut reads: Vec<Reg> = Vec::new();
+    for (pc, i) in code.iter().enumerate() {
+        reads.clear();
+        instr_reads(i, &mut reads);
+        for r in &reads {
+            occur(ns, *r, pc, &mut first, &mut last);
+        }
+        if let Some(d) = instr_write(i) {
+            occur(ns, d, pc, &mut first, &mut last);
+        }
+        match i {
+            Instr::Load { idx, rank, .. } | Instr::Store { idx, rank, .. } if *rank >= 2 => {
+                if idx.0 < ns {
+                    return; // a scalar inside a run: cannot renumber
+                }
+                runs.push((idx.0, idx.0 + *rank as u32));
+            }
+            Instr::DeclArray { dims, rank, .. } if *rank >= 2 => {
+                if dims.0 < ns {
+                    return;
+                }
+                runs.push((dims.0, dims.0 + *rank as u32));
+            }
+            // A header fast path naming a temporary would be a reference
+            // into this block's namespace from outside the rewrite below;
+            // the compiler only ever puts scalars there, but bail rather
+            // than trust it.
+            Instr::For(f) => {
+                for fast in [f.init_fast, f.bound_fast, f.step_fast] {
+                    if matches!(fast, HeaderFast::Reg(r) if r.0 >= ns) {
+                        return;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if first.is_empty() {
+        return;
+    }
+    // A temporary live at block entry reads a value from before the block;
+    // renumbering would change which value that is.  The compiler never
+    // emits the shape, but verify rather than assume.
+    {
+        let hi = first.keys().copied().max().unwrap_or(ns) as usize + 1;
+        let live = Liveness::compute(code, nscalars, hi, None);
+        if live.live_in[0..live.words].iter().any(|w| *w != 0) {
+            return;
+        }
+    }
+    if let Some(p) = protected.as_ref() {
+        if p.0 >= ns {
+            last.insert(p.0, n);
+            if !first.contains_key(&p.0) {
+                return; // a protected temp the block never writes
+            }
+        }
+    }
+    // A temporary live across a backward jump is live over the whole jump
+    // span, whichever iteration the positions came from.
+    let back: Vec<(usize, usize)> = code
+        .iter()
+        .enumerate()
+        .filter_map(|(pc, i)| match i {
+            Instr::Jz { target, .. }
+            | Instr::Jnz { target, .. }
+            | Instr::Jump { target }
+            | Instr::CmpBranch { target, .. }
+                if (*target as usize) <= pc =>
+            {
+                Some((*target as usize, pc))
+            }
+            _ => None,
+        })
+        .collect();
+    // Units: merged overlapping runs, plus singletons for every other temp.
+    runs.sort_unstable();
+    let mut units: Vec<(u32, u32)> = Vec::new(); // [lo, hi) in old numbering
+    for (lo, hi) in runs {
+        match units.last_mut() {
+            Some((_, uhi)) if lo < *uhi => *uhi = (*uhi).max(hi),
+            _ => units.push((lo, hi)),
+        }
+    }
+    let merged = units.clone();
+    let in_run = |r: u32| merged.iter().any(|(lo, hi)| (*lo..*hi).contains(&r));
+    let mut regs: Vec<u32> = first.keys().copied().collect();
+    regs.sort_unstable();
+    for r in regs {
+        if !in_run(r) {
+            units.push((r, r + 1));
+        }
+    }
+    // Interval per unit, extended to fixpoint over backward-jump spans.
+    struct Unit {
+        lo: u32,
+        width: u32,
+        start: usize,
+        end: usize,
+    }
+    let mut list: Vec<Unit> = units
+        .into_iter()
+        .map(|(lo, hi)| {
+            let members = lo..hi;
+            let start = members
+                .clone()
+                .filter_map(|r| first.get(&r))
+                .copied()
+                .min()
+                .unwrap_or(0);
+            let end = members
+                .filter_map(|r| last.get(&r))
+                .copied()
+                .max()
+                .unwrap_or(n);
+            Unit {
+                lo,
+                width: hi - lo,
+                start,
+                end,
+            }
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for u in &mut list {
+            for (t, j) in &back {
+                if u.start <= *j && *t <= u.end {
+                    let (s, e) = (u.start.min(*t), u.end.max(*j));
+                    if (s, e) != (u.start, u.end) {
+                        u.start = s;
+                        u.end = e;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Linear scan: allocate each unit the lowest free contiguous window.
+    list.sort_by_key(|u| (u.start, u.lo));
+    let mut active: Vec<(usize, u32, u32)> = Vec::new(); // (end, slot, width)
+    let mut map: HashMap<u32, u32> = HashMap::new();
+    for u in &list {
+        active.retain(|(end, _, _)| *end >= u.start);
+        let mut slot = 0u32;
+        'place: loop {
+            for (_, s, w) in &active {
+                if slot < s + w && *s < slot + u.width {
+                    slot = s + w;
+                    continue 'place;
+                }
+            }
+            break;
+        }
+        active.push((u.end, slot, u.width));
+        for k in 0..u.width {
+            map.insert(u.lo + k, ns + slot + k);
+        }
+    }
+    // Rewrite.  Structured loops are skipped: their blocks are separate
+    // namespaces packed by their own recursion.
+    let remap = |r: &mut Reg| {
+        if r.0 >= ns {
+            *r = Reg(map[&r.0]);
+        }
+    };
+    for i in code.iter_mut() {
+        remap_instr_regs(i, &remap);
+    }
+    if let Some(p) = protected {
+        if p.0 >= ns {
+            *p = Reg(map[&p.0]);
+        }
+    }
+}
+
+/// Applies `f` to every register operand of one instruction (structured
+/// loops excluded — their registers belong to inner namespaces).
+fn remap_instr_regs(i: &mut Instr, f: &impl Fn(&mut Reg)) {
+    match i {
+        Instr::Const { dst, .. } => f(dst),
+        Instr::Copy { dst, src } | Instr::Neg { dst, src } | Instr::Not { dst, src } => {
+            f(dst);
+            f(src);
+        }
+        Instr::Bin { dst, a, b, .. } => {
+            f(dst);
+            f(a);
+            f(b);
+        }
+        Instr::Accum { dst, src, .. } => {
+            f(dst);
+            f(src);
+        }
+        Instr::Load { dst, idx, .. } => {
+            f(dst);
+            f(idx);
+        }
+        Instr::Store { idx, src, .. } => {
+            f(idx);
+            f(src);
+        }
+        Instr::DeclArray { dims, .. } => f(dims),
+        Instr::Jz { cond, .. } | Instr::Jnz { cond, .. } => f(cond),
+        Instr::Jump { .. }
+        | Instr::For(_)
+        | Instr::WhileEnter { .. }
+        | Instr::WhileIter { .. }
+        | Instr::WhileExit { .. } => {}
+        Instr::LoadLoad { dst, idx, .. } => {
+            f(dst);
+            f(idx);
+        }
+        Instr::CmpBranch { a, b, .. } => {
+            f(a);
+            f(b);
+        }
+        Instr::Load2 { dst, i0, i1, .. } => {
+            f(dst);
+            f(i0);
+            f(i1);
+        }
+        Instr::Store2 { i0, i1, src, .. } => {
+            f(i0);
+            f(i1);
+            f(src);
+        }
+    }
+}
+
+/// Grows `hi` to one past the highest register index used anywhere
+/// (instruction operands, header results, index variables), recursively.
+fn max_reg(code: &[Instr], hi: &mut u32) {
+    let mut reads: Vec<Reg> = Vec::new();
+    for i in code {
+        reads.clear();
+        instr_reads(i, &mut reads);
+        if let Some(d) = instr_write(i) {
+            reads.push(d);
+        }
+        for r in &reads {
+            *hi = (*hi).max(r.0 + 1);
+        }
+        if let Instr::For(f) = i {
+            *hi = (*hi).max(f.var.0 + 1);
+            for e in [&f.init, &f.bound, &f.step] {
+                *hi = (*hi).max(e.result.0 + 1);
+                max_reg(&e.code, hi);
+            }
+            max_reg(&f.body, hi);
+        }
     }
 }
 
