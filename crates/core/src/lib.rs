@@ -28,6 +28,7 @@
 pub mod pipeline;
 pub mod reduction;
 pub mod study;
+pub mod wavefront;
 
 pub use pipeline::{
     parallelize, parallelize_source, Artifacts, EngineArtifact, ExtArtifacts, LoopReport,
@@ -35,3 +36,4 @@ pub use pipeline::{
 };
 pub use reduction::{recognize_reductions, ReductionInfo, ReductionOp};
 pub use study::{run_study, StudyInput, StudyRow, StudyTable};
+pub use wavefront::{wavefront_fact, WavefrontFact};

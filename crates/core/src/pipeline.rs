@@ -54,6 +54,14 @@ pub struct LoopReport {
     /// `parallel == false` (they are not independence-parallel) but are
     /// dispatched by executors with per-thread partials and a combiner.
     pub reductions: Vec<ReductionInfo>,
+    /// Present when the loop is serial (array-carried dependence, no
+    /// carried scalars) but its memory footprint is provably a function
+    /// of loop-entry state, so a wavefront engine may inspect it once
+    /// and execute it as dependence level sets (see
+    /// [`crate::wavefront::wavefront_fact`]).  Does **not** make the
+    /// loop [`is_parallelizable`](Self::is_parallelizable): only the
+    /// wavefront engine consumes this fact.
+    pub wavefront: Option<crate::wavefront::WavefrontFact>,
 }
 
 impl LoopReport {
@@ -261,6 +269,23 @@ pub fn parallelize(program: &Program) -> ParallelizationReport {
                 r.op.symbol()
             ));
         }
+        // A serial loop with no carried scalars may still be wavefront-
+        // schedulable: its footprint must be a function of entry state.
+        let wavefront = if !extended.parallel
+            && reductions.is_empty()
+            && extended.carried_scalars.is_empty()
+            && info.is_normalized
+        {
+            crate::wavefront::wavefront_fact(program, info.id)
+        } else {
+            None
+        };
+        if let Some(f) = &wavefront {
+            reasons.push(format!(
+                "wavefront-schedulable: footprint determined by entry state (watched {})",
+                f.watched.join(",")
+            ));
+        }
         loops.push(LoopReport {
             loop_id: info.id,
             index_var: info.var.clone(),
@@ -279,6 +304,7 @@ pub fn parallelize(program: &Program) -> ParallelizationReport {
                 Vec::new()
             },
             reductions,
+            wavefront,
         });
     }
     // Annotate outermost parallel loops.
@@ -362,7 +388,7 @@ pub struct Artifacts {
     /// Wall-clock cost per stage, in [`Artifacts::STAGES`] order.
     pub stages: Vec<StageTiming>,
     /// Lazily-populated engine-private lowerings (see
-    /// [`Artifacts::engine_artifact`]), one slot per opt level.
+    /// [`Artifacts::engine_artifact`]), keyed by `(engine name, slot)`.
     pub ext: ExtArtifacts,
 }
 
@@ -379,25 +405,46 @@ pub trait EngineArtifact: std::any::Any + Send + Sync {
     fn as_any(&self) -> &dyn std::any::Any;
 }
 
-/// The per-opt-level lazy slots holding [`EngineArtifact`]s.  Cloning an
-/// [`Artifacts`] clones the `Arc`s (the lowering is shared, not redone);
-/// a slot is filled at most once per `Artifacts` value.
-#[derive(Default, Clone)]
+/// The keyed lazy slots holding [`EngineArtifact`]s: each engine owns the
+/// `(engine name, key)` namespace it fills — the threaded tier keys by opt
+/// level, the wavefront tier keys its schedule cache under a single slot.
+/// Cloning an [`Artifacts`] clones the `Arc`s (the lowering is shared, not
+/// redone); a slot is filled at most once per `Artifacts` value.
+#[derive(Default)]
 pub struct ExtArtifacts {
-    slots: [std::sync::OnceLock<std::sync::Arc<dyn EngineArtifact>>; 2],
+    #[allow(clippy::type_complexity)]
+    slots: std::sync::Mutex<
+        std::collections::HashMap<(&'static str, u8), std::sync::Arc<dyn EngineArtifact>>,
+    >,
+}
+
+impl Clone for ExtArtifacts {
+    fn clone(&self) -> Self {
+        ExtArtifacts {
+            slots: std::sync::Mutex::new(
+                self.slots.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            ),
+        }
+    }
 }
 
 impl std::fmt::Debug for ExtArtifacts {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let mut keys: Vec<_> = slots
+            .iter()
+            .map(|((engine, key), a)| (*engine, *key, a.approx_bytes()))
+            .collect();
+        keys.sort_unstable();
         f.debug_struct("ExtArtifacts")
-            .field("o0", &self.slots[0].get().map(|a| a.approx_bytes()))
-            .field("o1", &self.slots[1].get().map(|a| a.approx_bytes()))
+            .field("slots", &keys)
             .finish()
     }
 }
 
 impl ExtArtifacts {
-    fn index(level: OptLevel) -> usize {
+    /// The slot key conventionally used for a per-opt-level artifact.
+    pub fn level_key(level: OptLevel) -> u8 {
         match level {
             OptLevel::O0 => 0,
             OptLevel::O1 => 1,
@@ -407,8 +454,9 @@ impl ExtArtifacts {
     /// Footprint of the populated slots.
     pub fn approx_bytes(&self) -> usize {
         self.slots
-            .iter()
-            .filter_map(|s| s.get())
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
             .map(|a| a.approx_bytes())
             .sum()
     }
@@ -463,17 +511,22 @@ impl Artifacts {
         }
     }
 
-    /// The engine-private lowering for `level`, creating it with `lower` on
-    /// first use.  Exactly one lowering per (Artifacts value, level) is
-    /// ever created — concurrent callers race on a `OnceLock`, and clones
-    /// of these artifacts share the `Arc` — so an engine that lowers here
-    /// pays the cost once per cached program, not once per run.
+    /// The engine-private lowering stored under `(engine, key)`, creating
+    /// it with `lower` on first use.  Exactly one lowering per (Artifacts
+    /// value, slot) is ever created — the slot map's lock is held across
+    /// `lower`, and clones of these artifacts share the `Arc` — so an
+    /// engine that lowers here pays the cost once per cached program, not
+    /// once per run.  Per-opt-level artifacts key by
+    /// [`ExtArtifacts::level_key`]; keys are namespaced by engine name, so
+    /// engines never collide.
     pub fn engine_artifact(
         &self,
-        level: OptLevel,
+        engine: &'static str,
+        key: u8,
         lower: impl FnOnce() -> std::sync::Arc<dyn EngineArtifact>,
-    ) -> &std::sync::Arc<dyn EngineArtifact> {
-        self.ext.slots[ExtArtifacts::index(level)].get_or_init(lower)
+    ) -> std::sync::Arc<dyn EngineArtifact> {
+        let mut slots = self.ext.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots.entry((engine, key)).or_insert_with(lower).clone()
     }
 
     /// Approximate in-memory footprint of these artifacts in bytes: both

@@ -18,6 +18,10 @@ pub struct StudyRow {
     pub pattern: String,
     /// Did the extended analysis parallelize the target loop?
     pub detected: bool,
+    /// Was the loop left serial but marked wavefront-schedulable, so the
+    /// runtime level-set tier recovers it?  Mutually exclusive with
+    /// `detected`.
+    pub wavefront: bool,
     /// Did the baseline (no properties) parallelize it?
     pub baseline_detected: bool,
     /// The reasons reported for the target loop.
@@ -43,6 +47,12 @@ impl StudyTable {
         self.rows.iter().filter(|r| r.baseline_detected).count()
     }
 
+    /// Number of kernels whose target loop stays serial at compile time
+    /// but is recovered by the runtime wavefront scheduler.
+    pub fn wavefront_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.wavefront).count()
+    }
+
     /// Renders the table as aligned text (the Figure 1 reproduction).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -59,7 +69,13 @@ impl StudyTable {
                 r.program,
                 r.suite,
                 r.pattern,
-                if r.detected { "parallel" } else { "serial" },
+                if r.detected {
+                    "parallel"
+                } else if r.wavefront {
+                    "wavefront"
+                } else {
+                    "serial"
+                },
                 if r.baseline_detected {
                     "parallel"
                 } else {
@@ -74,6 +90,13 @@ impl StudyTable {
             self.baseline_count(),
             self.rows.len()
         ));
+        if self.wavefront_count() > 0 {
+            out.push_str(&format!(
+                "recovered at run time by wavefront scheduling: {}/{}\n",
+                self.wavefront_count(),
+                self.rows.len()
+            ));
+        }
         out
     }
 }
@@ -109,6 +132,7 @@ pub fn run_study(kernels: &[StudyInput]) -> StudyTable {
                     suite: k.suite.clone(),
                     pattern: k.pattern.clone(),
                     detected: false,
+                    wavefront: false,
                     baseline_detected: false,
                     reasons: vec![format!("parse error: {e}")],
                 });
@@ -122,6 +146,7 @@ pub fn run_study(kernels: &[StudyInput]) -> StudyTable {
             suite: k.suite.clone(),
             pattern: k.pattern.clone(),
             detected: target.map(|l| l.is_parallelizable()).unwrap_or(false),
+            wavefront: target.map(|l| l.wavefront.is_some()).unwrap_or(false),
             baseline_detected: target.map(|l| l.baseline_parallel).unwrap_or(false),
             reasons: target.map(|l| l.reasons.clone()).unwrap_or_default(),
         });
@@ -167,12 +192,19 @@ mod tests {
         assert_eq!(table.rows.len(), 2);
         assert!(table.rows[0].detected);
         assert!(!table.rows[0].baseline_detected);
+        assert!(!table.rows[0].wavefront);
+        // The histogram stays serial at compile time, but its footprint is
+        // entry-determined so the runtime wavefront tier can schedule it.
         assert!(!table.rows[1].detected);
+        assert!(table.rows[1].wavefront);
         assert_eq!(table.detected_count(), 1);
         assert_eq!(table.baseline_count(), 0);
+        assert_eq!(table.wavefront_count(), 1);
         let txt = table.render();
         assert!(txt.contains("fig2"));
+        assert!(txt.contains("wavefront"));
         assert!(txt.contains("parallelized by the extended analysis: 1/2"));
+        assert!(txt.contains("recovered at run time by wavefront scheduling: 1/2"));
     }
 
     #[test]

@@ -242,7 +242,12 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, queue_tx: &SyncSende
     let config = &shared.config;
     let mut buffer: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
-    let mut idle = Duration::ZERO;
+    // The idle clock measures time since the last *completed* (served)
+    // line, not since the last received byte: resetting on any received
+    // bytes would let a client dripping one byte per tick hold the
+    // connection open forever without ever finishing a request
+    // (slow-loris).  The timeout therefore bounds time-to-complete-a-line.
+    let mut last_line = Instant::now();
     let mut scanned = 0usize; // bytes of `buffer` already known newline-free
 
     loop {
@@ -252,15 +257,18 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, queue_tx: &SyncSende
             let line: Vec<u8> = buffer.drain(..=line_end).collect();
             scanned = 0;
             let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
-            if line.trim().is_empty() {
-                continue;
+            if !line.trim().is_empty() {
+                if !admit_and_respond(&mut stream, shared, queue_tx, line) {
+                    return;
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    return; // response in flight is done; drain closes us
+                }
             }
-            if !admit_and_respond(&mut stream, shared, queue_tx, line) {
-                return;
-            }
-            if shared.draining.load(Ordering::SeqCst) {
-                return; // response in flight is done; drain closes us
-            }
+            // Only a completed line buys the client another idle window
+            // (measured from after its response was written, so slow
+            // request processing is not billed to the client).
+            last_line = Instant::now();
         }
         scanned = buffer.len();
 
@@ -271,21 +279,18 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, queue_tx: &SyncSende
             return;
         }
 
+        if last_line.elapsed() >= config.idle_timeout {
+            shared.service.stats.count_timeout();
+            let error = WireError::timeout(config.idle_timeout.as_millis() as u64);
+            let _ = write_line(&mut stream, &protocol::error_response(None, &error));
+            return;
+        }
+
         match stream.read(&mut chunk) {
             Ok(0) => return, // peer closed
-            Ok(n) => {
-                buffer.extend_from_slice(&chunk[..n]);
-                idle = Duration::ZERO;
-            }
+            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                idle += TICK;
                 if shared.draining.load(Ordering::SeqCst) {
-                    return;
-                }
-                if idle >= config.idle_timeout {
-                    shared.service.stats.count_timeout();
-                    let error = WireError::timeout(config.idle_timeout.as_millis() as u64);
-                    let _ = write_line(&mut stream, &protocol::error_response(None, &error));
                     return;
                 }
             }

@@ -41,16 +41,17 @@ impl EndpointStats {
     }
 }
 
-/// Sorted-copy percentile (nearest-rank on the `(len-1)·p` index);
-/// `None` on an empty sample set.
+/// Sorted-copy nearest-rank percentile: the smallest sample such that at
+/// least `p`% of the set is ≤ it (`rank = ⌈p/100 · N⌉`, 1-based); `None`
+/// on an empty sample set.
 pub fn percentile_micros(samples: &[u64], p: f64) -> Option<u64> {
     if samples.is_empty() {
         return None;
     }
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
-    let rank = ((sorted.len() - 1) as f64 * (p / 100.0)).round() as usize;
-    Some(sorted[rank.min(sorted.len() - 1)])
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    Some(sorted[(rank - 1).min(sorted.len() - 1)])
 }
 
 /// Daemon-wide metrics: one latency/count record per operation plus
@@ -167,13 +168,19 @@ mod tests {
 
     #[test]
     fn percentiles_are_nearest_rank() {
+        // Nearest-rank: the p50 of 1..=100 is 50, not 51 — the smallest
+        // sample with at least half the set at or below it.
         let samples: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile_micros(&samples, 50.0), Some(51));
+        assert_eq!(percentile_micros(&samples, 50.0), Some(50));
         assert_eq!(percentile_micros(&samples, 95.0), Some(95));
         assert_eq!(percentile_micros(&samples, 99.0), Some(99));
         assert_eq!(percentile_micros(&samples, 100.0), Some(100));
         assert_eq!(percentile_micros(&[], 50.0), None);
         assert_eq!(percentile_micros(&[7], 99.0), Some(7));
+        // Odd-sized set: p50 of {10, 20, 30} is the true median 20.
+        assert_eq!(percentile_micros(&[10, 20, 30], 50.0), Some(20));
+        // A sub-1-rank percentile clamps to the smallest sample.
+        assert_eq!(percentile_micros(&samples, 0.1), Some(1));
     }
 
     #[test]

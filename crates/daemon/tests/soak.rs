@@ -340,6 +340,55 @@ fn idle_connections_time_out_with_a_structured_error() {
 }
 
 #[test]
+fn dripping_bytes_without_a_newline_still_times_out() {
+    // Slow-loris: a client feeding one byte per tick, never completing a
+    // line.  The idle timeout bounds time-to-complete-a-line, so received
+    // bytes alone must NOT keep the connection alive.
+    use std::io::{Read, Write};
+    let (_daemon, addr) = start_daemon(DaemonConfig {
+        idle_timeout: Duration::from_millis(300),
+        ..DaemonConfig::default()
+    });
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let started = std::time::Instant::now();
+    let drip = std::thread::spawn(move || {
+        // Up to 5s of dripping; the server should cut us off long before.
+        for _ in 0..200 {
+            if writer.write_all(b"x").is_err() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    });
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("server writes the timeout error, then closes");
+    let elapsed = started.elapsed();
+    drip.join().unwrap();
+    let (class, _code) = parse_err(response.trim());
+    assert_eq!(class, "timeout");
+    assert!(elapsed >= Duration::from_millis(250), "cut off too early");
+    assert!(
+        elapsed < Duration::from_secs(4),
+        "dripped bytes kept the connection alive for {elapsed:?}"
+    );
+    // The rejection is accounted as a timeout.
+    let stats = parse_ok(&server::request(&addr, r#"{"op":"stats"}"#).expect("stats"));
+    let timeouts = stats
+        .get("metrics")
+        .and_then(|m| m.get("rejected"))
+        .and_then(|r| r.get("timeouts"))
+        .and_then(Value::as_i64)
+        .unwrap();
+    assert!(timeouts >= 1);
+}
+
+#[test]
 fn shutdown_drains_gracefully_and_stops_accepting() {
     let (mut daemon, addr) = start_daemon(DaemonConfig::default());
     let mut client = Client::connect(&addr).expect("connect");

@@ -23,6 +23,10 @@
 //!   speculatively in parallel while shadow state records which iterations
 //!   touched which elements; if a cross-iteration conflict is detected the
 //!   speculative result is discarded and the loop is re-executed serially.
+//! * [`levelset`] — the inspector as a *scheduler*: per-iteration
+//!   read/write address sets become dependence level sets, so a carried
+//!   loop (SpTRSV, Gauss-Seidel) runs as a sequence of parallel
+//!   wavefronts instead of conceding to serial execution.
 //! * [`executor`] — drivers that combine an inspector with a parallel or
 //!   serial executor for the two loop shapes the paper evaluates
 //!   (range-partitioned loops such as Figure 9's product loop, and indirect
@@ -48,10 +52,12 @@
 
 pub mod executor;
 pub mod inspect;
+pub mod levelset;
 pub mod lrpd;
 
 pub use executor::{
     run_indirect_scatter, run_range_partitioned, ExecutionProfile, ExecutionStrategy,
 };
 pub use inspect::{inspect_index_array, InspectionReport, InspectorConfig};
+pub use levelset::{build_level_sets, levelset_build_count, IterationAccess, LevelSchedule};
 pub use lrpd::{lrpd_scatter, LrpdOutcome};

@@ -140,7 +140,7 @@ pub(super) struct Machine<'a> {
 }
 
 impl<'a> Machine<'a> {
-    fn new(bc: &'a BytecodeProgram) -> Machine<'a> {
+    pub(super) fn new(bc: &'a BytecodeProgram) -> Machine<'a> {
         let nscalars = bc.slots.scalar_count();
         Machine {
             regs: vec![0; bc.nregs],
@@ -158,7 +158,7 @@ impl<'a> Machine<'a> {
     }
 
     #[inline]
-    fn set(&mut self, r: Reg, v: i64) {
+    pub(super) fn set(&mut self, r: Reg, v: i64) {
         let i = r.index();
         self.regs[i] = v;
         if i < self.nscalars {
@@ -168,7 +168,7 @@ impl<'a> Machine<'a> {
     }
 
     /// Loads the heap's scalars into the register file.
-    fn load_scalars(&mut self, heap: &Heap, slots: &SlotMap) {
+    pub(super) fn load_scalars(&mut self, heap: &Heap, slots: &SlotMap) {
         for (i, name) in slots.scalar_names().iter().enumerate() {
             if let Some(&v) = heap.scalars.get(name) {
                 self.regs[i] = v;
@@ -178,7 +178,7 @@ impl<'a> Machine<'a> {
     }
 
     /// Writes defined scalars back into the heap.
-    fn store_scalars(&self, heap: &mut Heap, slots: &SlotMap) {
+    pub(super) fn store_scalars(&self, heap: &mut Heap, slots: &SlotMap) {
         for (i, name) in slots.scalar_names().iter().enumerate() {
             if self.defined[i] {
                 heap.scalars.insert(name.clone(), self.regs[i]);
@@ -188,7 +188,7 @@ impl<'a> Machine<'a> {
 }
 
 /// Where the machine's array traffic lands.
-trait BcArrays {
+pub(super) trait BcArrays {
     fn read(&mut self, a: ArraySlot, indices: &[i64]) -> Result<i64, ExecError>;
     fn write(&mut self, a: ArraySlot, indices: &[i64], v: i64) -> Result<(), ExecError>;
     fn declare(&mut self, a: ArraySlot, dims: Vec<usize>);
@@ -203,7 +203,7 @@ pub(super) struct SpineArrays<'m> {
 }
 
 impl<'m> SpineArrays<'m> {
-    fn from_heap(heap: &mut Heap, slots: &'m SlotMap) -> SpineArrays<'m> {
+    pub(super) fn from_heap(heap: &mut Heap, slots: &'m SlotMap) -> SpineArrays<'m> {
         let arrays = slots
             .array_names()
             .iter()
@@ -212,7 +212,7 @@ impl<'m> SpineArrays<'m> {
         SpineArrays { slots, arrays }
     }
 
-    fn into_heap(self, heap: &mut Heap) {
+    pub(super) fn into_heap(self, heap: &mut Heap) {
         for (i, arr) in self.arrays.into_iter().enumerate() {
             if let Some(a) = arr {
                 heap.arrays.insert(self.slots.array_names()[i].clone(), a);
@@ -248,13 +248,13 @@ impl BcArrays for SpineArrays<'_> {
 /// A worker's array store: shared raw views for the heap arrays, private
 /// storage for the dispatched loop's local arrays — the array half of the
 /// compiled engine's worker.
-struct WorkerArrays<'s> {
-    slots: &'s SlotMap,
-    shared: &'s SharedSlots,
-    local: &'s [bool],
-    locals: Vec<Option<ArrayVal>>,
-    local_write_iter: Vec<usize>,
-    current_iter: usize,
+pub(super) struct WorkerArrays<'s> {
+    pub(super) slots: &'s SlotMap,
+    pub(super) shared: &'s SharedSlots,
+    pub(super) local: &'s [bool],
+    pub(super) locals: Vec<Option<ArrayVal>>,
+    pub(super) local_write_iter: Vec<usize>,
+    pub(super) current_iter: usize,
 }
 
 impl BcArrays for WorkerArrays<'_> {
@@ -307,7 +307,7 @@ impl BcArrays for WorkerArrays<'_> {
 // ---------------------------------------------------------------------------
 
 /// Decides what happens when the interpreter reaches a `For` instruction.
-trait BcPolicy<A: BcArrays> {
+pub(super) trait BcPolicy<A: BcArrays> {
     fn try_dispatch(
         &mut self,
         m: &mut Machine<'_>,
@@ -318,7 +318,7 @@ trait BcPolicy<A: BcArrays> {
 }
 
 /// Policy that never dispatches (serial engine, workers).
-struct NoDispatchB;
+pub(super) struct NoDispatchB;
 
 impl<A: BcArrays> BcPolicy<A> for NoDispatchB {
     fn try_dispatch(
@@ -341,7 +341,7 @@ struct WhileGuard {
 }
 
 /// Runs a flat expression block and returns its value.
-fn eval_block<A: BcArrays>(
+pub(super) fn eval_block<A: BcArrays>(
     m: &mut Machine<'_>,
     arrays: &mut A,
     e: &BcExpr,
@@ -385,7 +385,7 @@ fn header_value<A: BcArrays>(
     }
 }
 
-fn exec_code<A: BcArrays, P: BcPolicy<A>>(
+pub(super) fn exec_code<A: BcArrays, P: BcPolicy<A>>(
     m: &mut Machine<'_>,
     arrays: &mut A,
     code: &[Instr],

@@ -15,7 +15,9 @@
 //! everything; a future engine with narrower capabilities refuses here
 //! instead of failing mid-run).
 
-use crate::engine::{bytecode, compiled, dispatch, serial, threaded, ExecOptions, ExecOutcome};
+use crate::engine::{
+    bytecode, compiled, dispatch, serial, threaded, wavefront, ExecOptions, ExecOutcome,
+};
 use crate::error::SsError;
 use crate::heap::Heap;
 use ss_ir::opt::OptLevel;
@@ -52,7 +54,7 @@ pub struct EngineCaps {
 /// Implementations are stateless handles (`Send + Sync`): all per-program
 /// state lives in the artifacts, all per-run state in [`ExecOptions`] and
 /// the heap.  Register implementations with
-/// [`EngineRegistry::register`] — or obtain the built-in three via
+/// [`EngineRegistry::register`] — or obtain the built-ins via
 /// [`EngineRegistry::builtin`].
 pub trait Engine: Send + Sync + std::fmt::Debug {
     /// The stable name consumers select the engine by (`--engine <name>`).
@@ -260,6 +262,62 @@ impl Engine for CompiledEngine {
     }
 }
 
+/// The wavefront engine: the bytecode engine plus a level-set scheduler
+/// for serial-proven carried loops (SpTRSV, Gauss-Seidel, scatters).
+/// Loops the analysis marked wavefront-schedulable are inspected at run
+/// time, scheduled into dependence level sets (cached on the artifacts,
+/// keyed by the entry state that determined them), and executed level by
+/// level on the persistent thread team; too-fine schedules fall back to
+/// serial execution.
+#[derive(Debug, Default)]
+pub struct WavefrontEngine;
+
+impl Engine for WavefrontEngine {
+    fn name(&self) -> &'static str {
+        "wavefront"
+    }
+
+    fn description(&self) -> &'static str {
+        "bytecode stream plus level-set scheduling of carried loops"
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            reductions: true,
+            local_arrays: true,
+            inspector_baseline: false,
+            persistent_team: true,
+            reference: false,
+            opt_levels: &[OptLevel::O0, OptLevel::O1],
+        }
+    }
+
+    fn run_serial(
+        &self,
+        artifacts: &Artifacts,
+        heap: Heap,
+        opts: &ExecOptions,
+    ) -> Result<ExecOutcome, SsError> {
+        Ok(bytecode::run_serial_bytecode(
+            artifacts.bytecode_at(opts.opt_level),
+            heap,
+            opts,
+        )?)
+    }
+
+    fn run_parallel(
+        &self,
+        artifacts: &Artifacts,
+        heap: Heap,
+        opts: &ExecOptions,
+    ) -> Result<ExecOutcome, SsError> {
+        if opts.baseline_inspector {
+            return Err(self.no_inspector());
+        }
+        Ok(wavefront::run_parallel_wavefront(artifacts, heap, opts)?)
+    }
+}
+
 /// The tree-walking reference engine: interprets the AST against the
 /// name-keyed heap.  Semantically authoritative (everything else is
 /// diffed against it) and the only engine whose recording store supports
@@ -325,6 +383,7 @@ trait NoInspector: Engine {
 impl NoInspector for BytecodeEngine {}
 impl NoInspector for ThreadedEngine {}
 impl NoInspector for CompiledEngine {}
+impl NoInspector for WavefrontEngine {}
 
 // ---------------------------------------------------------------------------
 // The registry.
@@ -345,6 +404,7 @@ impl EngineRegistry {
         r.register(Arc::new(BytecodeEngine));
         r.register(Arc::new(ThreadedEngine));
         r.register(Arc::new(CompiledEngine));
+        r.register(Arc::new(WavefrontEngine));
         r.register(Arc::new(AstEngine));
         r
     }
@@ -443,13 +503,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn builtin_registry_has_the_four_engines_default_first() {
+    fn builtin_registry_has_the_five_engines_default_first() {
         let r = EngineRegistry::builtin();
-        assert_eq!(r.names(), vec!["bytecode", "threaded", "compiled", "ast"]);
+        assert_eq!(
+            r.names(),
+            vec!["bytecode", "threaded", "compiled", "wavefront", "ast"]
+        );
         assert_eq!(r.default_engine().name(), "bytecode");
         assert_eq!(r.reference().unwrap().name(), "ast");
         assert_eq!(r.inspector_capable().unwrap().name(), "ast");
-        assert_eq!(r.len(), 4);
+        assert_eq!(r.len(), 5);
         assert!(!r.is_empty());
     }
 
@@ -459,7 +522,10 @@ mod tests {
         match r.get("jit") {
             Err(SsError::UnknownEngine { name, available }) => {
                 assert_eq!(name, "jit");
-                assert_eq!(available, vec!["bytecode", "threaded", "compiled", "ast"]);
+                assert_eq!(
+                    available,
+                    vec!["bytecode", "threaded", "compiled", "wavefront", "ast"]
+                );
             }
             other => panic!("expected UnknownEngine, got {other:?}"),
         }
@@ -498,7 +564,7 @@ mod tests {
         }
         let mut r = EngineRegistry::builtin();
         r.register(Arc::new(FakeBytecode));
-        assert_eq!(r.len(), 4);
+        assert_eq!(r.len(), 5);
         assert_eq!(r.default_engine().name(), "bytecode");
         assert_eq!(r.default_engine().description(), "fake");
     }
@@ -514,6 +580,11 @@ mod tests {
         assert!(th.caps().reductions && th.caps().local_arrays);
         assert!(th.caps().persistent_team && !th.caps().reference);
         assert_eq!(th.caps().opt_levels, &[OptLevel::O0, OptLevel::O1]);
+        let wf = r.get("wavefront").unwrap();
+        assert!(wf.caps().reductions && wf.caps().local_arrays);
+        assert!(wf.caps().persistent_team && !wf.caps().reference);
+        assert!(!wf.caps().inspector_baseline);
+        assert_eq!(wf.caps().opt_levels, &[OptLevel::O0, OptLevel::O1]);
         let ast = r.get("ast").unwrap();
         assert!(ast.caps().reference && ast.caps().inspector_baseline);
         assert!(!ast.caps().reductions);

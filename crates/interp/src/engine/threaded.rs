@@ -1307,12 +1307,21 @@ pub(crate) fn lower(bc: &BytecodeProgram) -> ThProgram {
 // ---------------------------------------------------------------------------
 
 /// The lowered program for `level`, creating and caching it on the
-/// artifacts on first use.
-fn lowered(artifacts: &Artifacts, level: OptLevel) -> &ThProgram {
-    let arc = artifacts.engine_artifact(level, || Arc::new(lower(artifacts.bytecode_at(level))));
+/// artifacts on first use.  Returns the shared `Arc`; downcast with
+/// [`th_program`].
+fn lowered(artifacts: &Artifacts, level: OptLevel) -> Arc<dyn EngineArtifact> {
+    artifacts.engine_artifact(
+        "threaded",
+        ss_parallelizer::ExtArtifacts::level_key(level),
+        || Arc::new(lower(artifacts.bytecode_at(level))),
+    )
+}
+
+/// Recovers the concrete lowering from the engine-artifact slot.
+fn th_program(arc: &Arc<dyn EngineArtifact>) -> &ThProgram {
     arc.as_any()
         .downcast_ref::<ThProgram>()
-        .expect("the threaded engine owns the per-level artifact slots")
+        .expect("the threaded engine owns its artifact slots")
 }
 
 fn run_threaded<'p>(
@@ -1369,7 +1378,8 @@ pub(super) fn run_serial_threaded(
     heap: Heap,
     opts: &ExecOptions,
 ) -> Result<ExecOutcome, ExecError> {
-    run_threaded(lowered(artifacts, opts.opt_level), heap, opts, None)
+    let arc = lowered(artifacts, opts.opt_level);
+    run_threaded(th_program(&arc), heap, opts, None)
 }
 
 /// Parallel execution: the threaded spine with proven loops handed to the
@@ -1383,7 +1393,8 @@ pub(super) fn run_parallel_threaded(
         dispatchable: dispatchable_map(&artifacts.report),
         opts,
     };
-    run_threaded(lowered(artifacts, opts.opt_level), heap, opts, Some(&d))
+    let arc = lowered(artifacts, opts.opt_level);
+    run_threaded(th_program(&arc), heap, opts, Some(&d))
 }
 
 #[cfg(test)]
@@ -1480,8 +1491,10 @@ mod tests {
         for _ in 0..3 {
             run_serial_threaded(&art, Heap::new(), &opts).expect("runs");
         }
-        let p1 = lowered(&art, OptLevel::O1) as *const ThProgram;
-        let p2 = lowered(&art, OptLevel::O1) as *const ThProgram;
+        let a1 = lowered(&art, OptLevel::O1);
+        let a2 = lowered(&art, OptLevel::O1);
+        let p1 = th_program(&a1) as *const ThProgram;
+        let p2 = th_program(&a2) as *const ThProgram;
         assert_eq!(p1, p2);
     }
 }

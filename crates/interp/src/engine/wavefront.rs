@@ -1,0 +1,647 @@
+//! The wavefront execution tier: serial-proven loops executed as
+//! dependence level sets.
+//!
+//! The compile-time analysis concedes carried loops — SpTRSV, Gauss-
+//! Seidel sweeps, histogram scatters — to serial execution.  This tier
+//! recovers them at run time, the way sparse solver libraries do:
+//!
+//! 1. **Gate** (compile time): `ss_parallelizer::wavefront` marks a
+//!    serial loop wavefront-schedulable when its memory footprint is a
+//!    pure function of loop-entry state (no written array and no scalar
+//!    tainted by one ever reaches an address position or a branch).
+//! 2. **Inspect** (first run per input): the loop body is executed
+//!    serially on a *cloned* machine with shadow copies of the written
+//!    arrays, recording each iteration's read/write addresses — the base
+//!    heap is untouched, so a failed or unprofitable inspection falls
+//!    back to plain serial execution with bit-identical behavior.
+//! 3. **Schedule**: `ss_inspector::levelset::build_level_sets` turns the
+//!    recorded footprints into wavefronts (level sets): iterations in one
+//!    level are provably conflict-free, and every dependence crosses
+//!    levels in execution order.  The schedule is cached on the
+//!    artifacts' engine-extension slot, keyed by the entry state that
+//!    determined it (scalars + schedule-array contents), so one
+//!    inspection serves every later run on the same input.
+//! 4. **Execute**: levels run in order on the persistent thread team,
+//!    with a barrier between levels; workers reuse the bytecode engine's
+//!    worker machinery, so merge semantics cannot drift from the proven-
+//!    parallel dispatcher.  When the schedule is too fine (average level
+//!    width below [`MIN_AVG_WIDTH`]) the loop stays serial: a pure
+//!    recurrence inspects to `n` levels of one iteration and is not worth
+//!    a barrier per iteration.
+//!
+//! Proven-parallel and reduction loops still go through the bytecode
+//! engine's shared `try_dispatch_parallel` path first — the wavefront
+//! dispatcher only sees loops every other engine runs serially.
+
+use super::bytecode::{
+    dispatchable_map, eval_block, exec_code, try_dispatch_parallel, BcArrays, BcPolicy, Machine,
+    NoDispatchB, SpineArrays, WorkerArrays,
+};
+use super::compiled::{ChunkAcc, SharedSlots, NOT_WRITTEN};
+use super::store::elem_at;
+use super::{ExecEnvTiming, ExecError, ExecMode, ExecOptions, ExecOutcome, ExecStats};
+use crate::heap::{ArrayVal, Heap};
+use ss_inspector::levelset::{build_level_sets, IterationAccess, LevelSchedule};
+use ss_ir::bytecode::BcFor;
+use ss_ir::slots::{ArraySlot, SlotMap};
+use ss_ir::LoopId;
+use ss_parallelizer::{Artifacts, EngineArtifact, WavefrontFact};
+use ss_runtime::{team_parallel_reduce, with_shared_team_in, Schedule};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Serial fallback threshold: schedules averaging fewer iterations per
+/// level than this run serially (the barrier per level would dominate).
+pub const MIN_AVG_WIDTH: f64 = 2.0;
+
+// ---------------------------------------------------------------------------
+// The schedule cache (an engine artifact).
+// ---------------------------------------------------------------------------
+
+/// Level-set schedules cached on the artifacts, keyed by `(loop, entry
+/// state hash)`.  One keyed extension slot is shared by both opt levels:
+/// slot numbering and flattened addresses are identical across streams,
+/// so a schedule inspected at O0 is valid at O1 and vice versa.
+#[derive(Default)]
+struct WfScheduleCache {
+    #[allow(clippy::type_complexity)]
+    map: Mutex<HashMap<(LoopId, u64), Arc<LevelSchedule>>>,
+}
+
+impl EngineArtifact for WfScheduleCache {
+    fn approx_bytes(&self) -> usize {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::size_of::<Self>() + map.values().map(|s| 64 + s.approx_bytes()).sum::<usize>()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// The schedule cache of `artifacts`, created on first use.
+fn schedule_cache(artifacts: &Artifacts) -> Arc<dyn EngineArtifact> {
+    artifacts.engine_artifact("wavefront", 0, || Arc::<WfScheduleCache>::default())
+}
+
+fn as_cache(arc: &Arc<dyn EngineArtifact>) -> &WfScheduleCache {
+    arc.as_any()
+        .downcast_ref::<WfScheduleCache>()
+        .expect("the wavefront engine owns its artifact slot")
+}
+
+/// Hashes everything the gate proved the footprint depends on: the
+/// scalar registers at loop entry, the contents of the schedule arrays,
+/// the *shapes* of the watched arrays (their dims select flattened
+/// addresses), and the iteration cap.
+fn schedule_key(
+    fact: &WavefrontFact,
+    m: &Machine<'_>,
+    arrays: &SpineArrays<'_>,
+    id: LoopId,
+    while_cap: u64,
+) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    id.0.hash(&mut h);
+    while_cap.hash(&mut h);
+    for i in 0..m.nscalars {
+        m.regs[i].hash(&mut h);
+        m.defined[i].hash(&mut h);
+    }
+    let slot_of = |name: &str| {
+        arrays
+            .slots
+            .array_names()
+            .iter()
+            .position(|n| n == name)
+            .and_then(|i| arrays.arrays[i].as_ref())
+    };
+    for name in &fact.schedule_arrays {
+        name.hash(&mut h);
+        match slot_of(name) {
+            Some(arr) => {
+                arr.dims.hash(&mut h);
+                arr.data.hash(&mut h);
+            }
+            None => 0u8.hash(&mut h),
+        }
+    }
+    for name in &fact.watched {
+        name.hash(&mut h);
+        match slot_of(name) {
+            Some(arr) => arr.dims.hash(&mut h),
+            None => 0u8.hash(&mut h),
+        }
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Inspection: a faithful serial replay on shadow state.
+// ---------------------------------------------------------------------------
+
+/// Packs an array access as `slot << 48 | flattened index` — the flat
+/// address currency of the level-set builder.
+fn pack(slot: usize, flat: usize) -> u64 {
+    ((slot as u64) << 48) | flat as u64
+}
+
+/// The inspection pass's array store: reads of unwatched arrays hit the
+/// spine's arrays (immutably — the loop never writes them), watched
+/// arrays are served from private shadow clones so the replay can run the
+/// real updates without touching the base heap, and every watched access
+/// is recorded for the schedule.
+struct InspectArrays<'m> {
+    slots: &'m SlotMap,
+    base: &'m [Option<ArrayVal>],
+    watched: &'m [bool],
+    shadows: Vec<Option<ArrayVal>>,
+    reads: Vec<u64>,
+    writes: Vec<u64>,
+    /// Set when the replay does something the gate promised impossible
+    /// (a write to an unwatched array, a declaration): the inspection is
+    /// discarded and the loop falls back to serial.
+    poisoned: bool,
+}
+
+impl BcArrays for InspectArrays<'_> {
+    fn read(&mut self, a: ArraySlot, indices: &[i64]) -> Result<i64, ExecError> {
+        let i = a.index();
+        let name = self.slots.array_name(a);
+        let arr = if self.watched[i] {
+            self.shadows[i].as_ref()
+        } else {
+            self.base[i].as_ref()
+        }
+        .ok_or_else(|| ExecError::UndefinedArray(name.to_string()))?;
+        let flat = elem_at(name, arr, indices)?;
+        if self.watched[i] {
+            self.reads.push(pack(i, flat));
+        }
+        Ok(arr.data[flat])
+    }
+
+    fn write(&mut self, a: ArraySlot, indices: &[i64], v: i64) -> Result<(), ExecError> {
+        let i = a.index();
+        if !self.watched[i] {
+            self.poisoned = true;
+            return Ok(());
+        }
+        let name = self.slots.array_name(a);
+        let arr = self.shadows[i]
+            .as_mut()
+            .ok_or_else(|| ExecError::UndefinedArray(name.to_string()))?;
+        let flat = elem_at(name, arr, indices)?;
+        arr.data[flat] = v;
+        self.writes.push(pack(i, flat));
+        Ok(())
+    }
+
+    fn declare(&mut self, _a: ArraySlot, _dims: Vec<usize>) {
+        self.poisoned = true;
+    }
+}
+
+/// Replays the loop serially on cloned state and builds the level-set
+/// schedule from the recorded footprints.  `None` means the replay
+/// errored or misbehaved — the caller falls back to serial execution,
+/// which reproduces the error (or the behavior) on the real state.
+fn inspect_schedule(
+    fact: &WavefrontFact,
+    m: &Machine<'_>,
+    arrays: &SpineArrays<'_>,
+    f: &BcFor,
+    values: &[i64],
+    while_cap: u64,
+) -> Option<LevelSchedule> {
+    let narrays = arrays.arrays.len();
+    let mut watched = vec![false; narrays];
+    for name in &fact.watched {
+        watched[arrays.slots.array_names().iter().position(|n| n == name)?] = true;
+    }
+    let shadows: Vec<Option<ArrayVal>> = arrays
+        .arrays
+        .iter()
+        .enumerate()
+        .map(|(i, a)| if watched[i] { a.clone() } else { None })
+        .collect();
+    let mut ia = InspectArrays {
+        slots: arrays.slots,
+        base: &arrays.arrays,
+        watched: &watched,
+        shadows,
+        reads: Vec::new(),
+        writes: Vec::new(),
+        poisoned: false,
+    };
+    let mut im = Machine {
+        regs: m.regs.clone(),
+        defined: m.defined.clone(),
+        write_iter: m.write_iter.clone(),
+        current_iter: m.current_iter,
+        nscalars: m.nscalars,
+        consts: m.consts,
+    };
+    let mut scratch = ExecStats::default();
+    let mut env = ExecEnvTiming {
+        stats: &mut scratch,
+        timing: false,
+        while_cap,
+    };
+    let mut accesses = Vec::with_capacity(values.len());
+    for &v in values {
+        im.set(f.var, v);
+        if exec_code(&mut im, &mut ia, &f.body, &mut NoDispatchB, &mut env).is_err() || ia.poisoned
+        {
+            return None;
+        }
+        accesses.push(IterationAccess {
+            reads: std::mem::take(&mut ia.reads),
+            writes: std::mem::take(&mut ia.writes),
+        });
+    }
+    Some(build_level_sets(&accesses))
+}
+
+// ---------------------------------------------------------------------------
+// Execution: level by level on the persistent team.
+// ---------------------------------------------------------------------------
+
+/// Runs a scheduled loop level by level.  Workers are the bytecode
+/// dispatcher's workers (snapshot register file, shared array views);
+/// `team_parallel_reduce` returning is the barrier between levels, and
+/// scalar merge-back takes the globally last-writing iteration across all
+/// levels — exactly the serial outcome for privatizable scalars.
+#[allow(clippy::too_many_arguments)]
+fn execute_wavefront(
+    schedule: &LevelSchedule,
+    values: &[i64],
+    exit_value: i64,
+    opts: &ExecOptions,
+    m: &mut Machine<'_>,
+    arrays: &mut SpineArrays<'_>,
+    f: &BcFor,
+    env: &mut ExecEnvTiming<'_>,
+) -> Result<(), ExecError> {
+    let start = Instant::now();
+    let threads = opts.threads;
+    let nscalars = m.nscalars;
+    let narrays = arrays.arrays.len();
+    let local = vec![false; narrays];
+    let snapshot = m.regs.clone();
+    let shared = SharedSlots::capture(&mut arrays.arrays, &local);
+    let slots = arrays.slots;
+    let consts = m.consts;
+    let while_cap = env.while_cap;
+    let local_ref = &local;
+    let snapshot_ref = &snapshot;
+    let shared_ref = &shared;
+    let mut merged: Vec<Option<(usize, i64)>> = vec![None; nscalars];
+    let mut dynamic = false;
+    for level in &schedule.by_level {
+        let nl = level.len();
+        let level_schedule = super::choose_schedule(opts.schedule, f.skewed, nl, threads);
+        dynamic = dynamic || matches!(level_schedule, Schedule::Dynamic { .. });
+        let level_ref = &level[..];
+        let acc = with_shared_team_in(opts.team_group, threads, |team| {
+            team_parallel_reduce(
+                team,
+                nl,
+                level_schedule,
+                ChunkAcc::identity(nscalars, &[], 0),
+                |range, mut acc| {
+                    if acc.err.is_some() {
+                        return acc;
+                    }
+                    let mut wm = Machine {
+                        regs: snapshot_ref.clone(),
+                        defined: vec![false; nscalars],
+                        write_iter: vec![NOT_WRITTEN; nscalars],
+                        current_iter: 0,
+                        nscalars,
+                        consts,
+                    };
+                    let mut wa = WorkerArrays {
+                        slots,
+                        shared: shared_ref,
+                        local: local_ref,
+                        locals: vec![None; narrays],
+                        local_write_iter: vec![NOT_WRITTEN; narrays],
+                        current_iter: 0,
+                    };
+                    let mut scratch_stats = ExecStats::default();
+                    let mut wenv = ExecEnvTiming {
+                        stats: &mut scratch_stats,
+                        timing: false,
+                        while_cap,
+                    };
+                    for li in range {
+                        // The global iteration ordinal, so last-writer
+                        // scalar merges order across the whole loop, not
+                        // within one level.
+                        let k = level_ref[li] as usize;
+                        wm.current_iter = k;
+                        wa.current_iter = k;
+                        wm.set(f.var, values[k]);
+                        if let Err(e) =
+                            exec_code(&mut wm, &mut wa, &f.body, &mut NoDispatchB, &mut wenv)
+                        {
+                            acc.err = Some(e);
+                            break;
+                        }
+                    }
+                    for (slot, &iter) in wm.write_iter.iter().enumerate() {
+                        if iter == NOT_WRITTEN {
+                            continue;
+                        }
+                        match acc.scalar_writes[slot] {
+                            Some((best, _)) if best >= iter => {}
+                            _ => acc.scalar_writes[slot] = Some((iter, wm.regs[slot])),
+                        }
+                    }
+                    acc
+                },
+                |a, b| a.combine(b, &[]),
+            )
+        });
+        if let Some(e) = acc.err {
+            return Err(e);
+        }
+        for (slot, w) in acc.scalar_writes.into_iter().enumerate() {
+            if let Some((iter, value)) = w {
+                match merged[slot] {
+                    Some((best, _)) if best >= iter => {}
+                    _ => merged[slot] = Some((iter, value)),
+                }
+            }
+        }
+    }
+    for (slot, w) in merged.into_iter().enumerate() {
+        if let Some((_, value)) = w {
+            m.regs[slot] = value;
+            m.defined[slot] = true;
+        }
+    }
+    m.set(f.var, exit_value);
+    env.stats.record(
+        f.id,
+        values.len() as u64,
+        start.elapsed().as_secs_f64(),
+        ExecMode::Parallel { threads, dynamic },
+    );
+    Ok(())
+}
+
+/// Attempts wavefront dispatch of one gate-approved loop: materialize the
+/// iteration space, look up (or inspect and cache) the schedule, check
+/// profitability, execute level by level.  `Ok(false)` sends the loop to
+/// the serial path.
+fn try_dispatch_wavefront(
+    fact: &WavefrontFact,
+    cache: &WfScheduleCache,
+    opts: &ExecOptions,
+    m: &mut Machine<'_>,
+    arrays: &mut SpineArrays<'_>,
+    f: &BcFor,
+    env: &mut ExecEnvTiming<'_>,
+) -> Result<bool, ExecError> {
+    if opts.threads <= 1 || !f.local_arrays.is_empty() {
+        return Ok(false);
+    }
+    let v0 = eval_block(m, arrays, &f.init, env)?;
+    let bound = eval_block(m, arrays, &f.bound, env)?;
+    let step = eval_block(m, arrays, &f.step, env)?;
+    let (values, exit_value) =
+        super::materialize_iteration_space(v0, bound, step, f.cond_op, f.id, env.while_cap)?;
+    let n = values.len();
+    if n < opts.min_parallel_trip {
+        return Ok(false);
+    }
+    let key = (f.id, schedule_key(fact, m, arrays, f.id, env.while_cap));
+    let schedule = {
+        let mut map = cache.map.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get(&key) {
+            Some(s) => Some(Arc::clone(s)),
+            None => inspect_schedule(fact, m, arrays, f, &values, env.while_cap).map(|s| {
+                let s = Arc::new(s);
+                map.insert(key, Arc::clone(&s));
+                s
+            }),
+        }
+    };
+    let Some(schedule) = schedule else {
+        return Ok(false);
+    };
+    if schedule.iterations() != n || schedule.avg_width() < MIN_AVG_WIDTH {
+        // Too fine (or a stale shape): the barrier per level would cost
+        // more than it buys — stay serial.  The schedule stays cached, so
+        // later runs skip straight to this decision.
+        return Ok(false);
+    }
+    execute_wavefront(&schedule, &values, exit_value, opts, m, arrays, f, env)?;
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------------
+// The dispatch policy and entry points.
+// ---------------------------------------------------------------------------
+
+struct WfDispatch<'r> {
+    dispatchable: &'r HashMap<LoopId, Vec<ss_parallelizer::ReductionInfo>>,
+    facts: &'r HashMap<LoopId, &'r WavefrontFact>,
+    cache: &'r WfScheduleCache,
+    opts: &'r ExecOptions,
+}
+
+impl BcPolicy<SpineArrays<'_>> for WfDispatch<'_> {
+    fn try_dispatch(
+        &mut self,
+        m: &mut Machine<'_>,
+        arrays: &mut SpineArrays<'_>,
+        f: &BcFor,
+        env: &mut ExecEnvTiming<'_>,
+    ) -> Result<bool, ExecError> {
+        // Proven-parallel and reduction loops take the shared dispatcher,
+        // identically to every other parallel engine.
+        if try_dispatch_parallel(self.dispatchable, self.opts, m, arrays, f, env)? {
+            return Ok(true);
+        }
+        let Some(fact) = self.facts.get(&f.id) else {
+            return Ok(false);
+        };
+        try_dispatch_wavefront(fact, self.cache, self.opts, m, arrays, f, env)
+    }
+}
+
+/// Parallel execution: the bytecode spine with proven loops on the shared
+/// dispatcher and gate-approved serial loops on the wavefront scheduler.
+pub(super) fn run_parallel_wavefront(
+    artifacts: &Artifacts,
+    mut heap: Heap,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    let bc = artifacts.bytecode_at(opts.opt_level);
+    let dispatchable = dispatchable_map(&artifacts.report);
+    let facts: HashMap<LoopId, &WavefrontFact> = artifacts
+        .report
+        .loops
+        .iter()
+        .filter_map(|l| l.wavefront.as_ref().map(|w| (l.loop_id, w)))
+        .collect();
+    let cache_arc = schedule_cache(artifacts);
+    let mut stats = ExecStats::default();
+    let start = Instant::now();
+    let mut machine = Machine::new(bc);
+    machine.load_scalars(&heap, &bc.slots);
+    let mut arrays = SpineArrays::from_heap(&mut heap, &bc.slots);
+    {
+        let mut policy = WfDispatch {
+            dispatchable: &dispatchable,
+            facts: &facts,
+            cache: as_cache(&cache_arc),
+            opts,
+        };
+        let mut env = ExecEnvTiming {
+            stats: &mut stats,
+            timing: true,
+            while_cap: opts.while_cap,
+        };
+        exec_code(&mut machine, &mut arrays, &bc.main, &mut policy, &mut env)?;
+    }
+    arrays.into_heap(&mut heap);
+    machine.store_scalars(&mut heap, &bc.slots);
+    stats.total_seconds = start.elapsed().as_secs_f64();
+    Ok(ExecOutcome { heap, stats })
+}
+
+/// Runs the whole program through the wavefront engine, then renders
+/// every level-set schedule the run built (or reused from the cache) in
+/// loop order — the surface the golden-schedule tests diff.
+pub fn wavefront_schedule_dump(
+    artifacts: &Artifacts,
+    heap: Heap,
+    opts: &ExecOptions,
+) -> Result<String, ExecError> {
+    run_parallel_wavefront(artifacts, heap, opts)?;
+    let cache_arc = schedule_cache(artifacts);
+    let map = as_cache(&cache_arc)
+        .map
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let mut entries: Vec<(&(LoopId, u64), &Arc<LevelSchedule>)> = map.iter().collect();
+    entries.sort_by_key(|((id, key), _)| (*id, *key));
+    let mut out = String::new();
+    for ((id, _), schedule) in entries {
+        out.push_str(&format!("{id}\n"));
+        out.push_str(&schedule.render());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::bytecode::run_serial_bytecode;
+    use ss_ir::opt::OptLevel;
+
+    const SPTRSV: &str = r#"
+        for (i = 0; i < n; i++) {
+            deg[i] = 0;
+        }
+        for (i = 0; i < n; i++) {
+            for (j = 0; j < i; j++) {
+                if (dep[i * n + j] % 5 == 0) {
+                    lcol[ptr[i] + deg[i]] = j;
+                    deg[i] = deg[i] + 1;
+                }
+            }
+        }
+        for (i = 0; i < n; i++) {
+            sum = b[i];
+            for (j = ptr[i]; j < ptr[i] + deg[i]; j++) {
+                sum -= lval[j] * x[lcol[j]];
+            }
+            x[i] = sum;
+        }
+    "#;
+
+    fn sptrsv_heap(n: usize) -> Heap {
+        Heap::new()
+            .with_scalar("n", n as i64)
+            .with_array("deg", vec![0; n])
+            .with_array("dep", (0..(n * n) as i64).map(|v| v * 7 + 3).collect())
+            .with_array("ptr", (0..n as i64).map(|i| i * n as i64).collect())
+            .with_array("b", (0..n as i64).map(|v| v * 11 - 40).collect())
+            .with_array("lval", vec![1; n * n])
+            .with_array("lcol", vec![0; n * n])
+            .with_array("x", vec![0; n])
+    }
+
+    fn opts(threads: usize, level: OptLevel) -> ExecOptions {
+        ExecOptions {
+            threads,
+            opt_level: level,
+            ..ExecOptions::default()
+        }
+    }
+
+    #[test]
+    fn wavefront_matches_serial_on_a_sparse_triangular_solve() {
+        let art = Artifacts::compile_source("sptrsv", SPTRSV).unwrap();
+        let solve = art
+            .report
+            .loops
+            .iter()
+            .rev()
+            .find(|l| l.wavefront.is_some())
+            .expect("the solve loop is wavefront-schedulable");
+        assert_eq!(solve.wavefront.as_ref().unwrap().watched, vec!["x"]);
+        for level in [OptLevel::O0, OptLevel::O1] {
+            let serial =
+                run_serial_bytecode(art.bytecode_at(level), sptrsv_heap(24), &opts(1, level))
+                    .unwrap();
+            let wf = run_parallel_wavefront(&art, sptrsv_heap(24), &opts(4, level)).unwrap();
+            assert_eq!(serial.heap, wf.heap, "heaps diverge at {level:?}");
+        }
+    }
+
+    #[test]
+    fn recurrences_fall_back_to_serial_execution() {
+        // A pure chain inspects to one iteration per level — below the
+        // width threshold, so execution stays serial (and correct).
+        let src = "for (i = 1; i < n; i++) { x[i] = x[i - 1] + 1; }";
+        let art = Artifacts::compile_source("chain", src).unwrap();
+        assert!(art.report.loops[0].wavefront.is_some());
+        let heap = Heap::new()
+            .with_scalar("n", 64)
+            .with_array("x", vec![0; 64]);
+        let out = run_parallel_wavefront(&art, heap.clone(), &opts(4, OptLevel::O1)).unwrap();
+        let serial =
+            run_serial_bytecode(art.bytecode_at(OptLevel::O1), heap, &opts(1, OptLevel::O1))
+                .unwrap();
+        assert_eq!(out.heap, serial.heap);
+        let stats = &out.stats.loops[&LoopId(0)];
+        assert!(matches!(stats.mode, ExecMode::Serial));
+    }
+
+    #[test]
+    fn schedule_dump_is_deterministic_and_level_ordered() {
+        let src = "for (i = 0; i < n; i++) { h[idx[i]] = i; }";
+        let art = Artifacts::compile_source("scatter", src).unwrap();
+        let heap = || {
+            Heap::new()
+                .with_scalar("n", 6)
+                .with_array("idx", vec![0, 1, 0, 2, 1, 2])
+                .with_array("h", vec![0; 3])
+        };
+        let d1 = wavefront_schedule_dump(&art, heap(), &opts(2, OptLevel::O1)).unwrap();
+        let d2 = wavefront_schedule_dump(&art, heap(), &opts(2, OptLevel::O1)).unwrap();
+        assert_eq!(d1, d2);
+        // Two writes per slot: two levels, preserving write order.
+        assert!(d1.contains("iterations 6 levels 2"), "dump:\n{d1}");
+        assert!(d1.contains("level 0: 0 1 3"), "dump:\n{d1}");
+        assert!(d1.contains("level 1: 2 4 5"), "dump:\n{d1}");
+    }
+}

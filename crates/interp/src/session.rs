@@ -710,6 +710,25 @@ impl Session {
         Ok(self.artifacts_traced(name, source)?.0)
     }
 
+    /// Evicts least-recently-used entries until both cache bounds hold
+    /// again.  The most recently used entry (the back of the recency
+    /// order) is never evicted, so a single oversized program still
+    /// caches.
+    fn evict_over_bounds(&self, state: &mut CacheState) {
+        let over = |state: &CacheState| {
+            self.capacity.is_some_and(|cap| state.map.len() > cap)
+                || self.capacity_bytes.is_some_and(|cap| state.bytes > cap)
+        };
+        while state.map.len() > 1 && over(state) {
+            if let Some(old) = state.order.pop_front() {
+                if let Some((_, freed)) = state.map.remove(&old) {
+                    state.bytes -= freed;
+                }
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// [`artifacts`](Self::artifacts), plus whether the result was a cache
     /// hit.
     pub fn artifacts_traced(
@@ -736,6 +755,12 @@ impl Session {
                     if let Some(entry) = state.map.get_mut(&key) {
                         entry.1 = new_charge;
                     }
+                    // The refreshed charge can push the account over the
+                    // byte bound; re-run eviction so the invariant
+                    // `bytes ≤ capacity_bytes` holds after hits too.  The
+                    // just-hit entry is at the back of the order, so it is
+                    // never the one evicted.
+                    self.evict_over_bounds(&mut state);
                 }
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok((found, true));
@@ -752,21 +777,10 @@ impl Session {
             slot.insert((Arc::clone(&compiled), charge));
             state.order.push_back(key);
             state.bytes += charge;
-            let over = |state: &CacheState| {
-                self.capacity.is_some_and(|cap| state.map.len() > cap)
-                    || self.capacity_bytes.is_some_and(|cap| state.bytes > cap)
-            };
             // Evict least-recently-used entries under either bound; the
             // entry just inserted is never evicted, so oversized
             // singletons still cache.
-            while state.map.len() > 1 && over(&state) {
-                if let Some(old) = state.order.pop_front() {
-                    if let Some((_, freed)) = state.map.remove(&old) {
-                        state.bytes -= freed;
-                    }
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                }
-            }
+            self.evict_over_bounds(&mut state);
         }
         Ok((compiled, false))
     }
@@ -981,12 +995,14 @@ mod tests {
         assert!(outcome.serial.is_some() && outcome.parallel.is_some());
         assert!(outcome.speedup().unwrap() > 0.0);
         let v = outcome.validation.as_ref().unwrap();
-        // compiled + bytecode@O0/O1 + threaded@O0/O1 serial legs, one
+        // compiled + bytecode/threaded/wavefront @O0/O1 serial legs, one
         // parallel leg.
-        assert_eq!(v.compared.len(), 6, "{:?}", v.compared);
+        assert_eq!(v.compared.len(), 8, "{:?}", v.compared);
         assert!(v.compared.contains(&"bytecode@O0".to_string()));
         assert!(v.compared.contains(&"threaded@O0".to_string()));
         assert!(v.compared.contains(&"threaded@O1".to_string()));
+        assert!(v.compared.contains(&"wavefront@O0".to_string()));
+        assert!(v.compared.contains(&"wavefront@O1".to_string()));
         assert!(v.compared.contains(&"compiled".to_string()));
     }
 
@@ -1051,6 +1067,64 @@ mod tests {
         session.artifacts("p0", "x = 1;").unwrap();
         let third = session.cache_stats();
         assert_eq!((third.hits, third.misses), (1, 3));
+    }
+
+    #[test]
+    fn hit_path_recharge_re_runs_eviction_and_keeps_the_byte_bound() {
+        // Engine lowerings attach to cached artifacts lazily, so a cache
+        // *hit* can grow an entry's byte charge.  The refreshed account
+        // must re-run eviction: `bytes ≤ capacity_bytes` is an invariant
+        // after hits, not just after inserts.
+        let src0 = "for (i = 0; i < n; i++) { a[i] = i; }";
+        let src1 = "for (i = 0; i < n; i++) { b[i] = i + 1; }";
+        let base0 = {
+            let s = Session::new();
+            s.artifacts("p0", src0).unwrap();
+            s.cache_stats().bytes
+        };
+        let base1 = {
+            let s = Session::new();
+            s.artifacts("p1", src1).unwrap();
+            s.cache_stats().bytes
+        };
+        let grown0 = {
+            // Running through the threaded engine attaches its lowering to
+            // the artifacts; the next hit refreshes the charge.
+            let s = Session::new();
+            s.run(&RunRequest::new("p0", src0).engine("threaded").scale(8))
+                .unwrap();
+            s.artifacts("p0", src0).unwrap();
+            s.cache_stats().bytes
+        };
+        assert!(grown0 > base0, "lowering should grow the charge");
+
+        // Fits both fresh entries, but not the grown p0 plus p1.
+        let cap = grown0 + base1 - 1;
+        let session = Session::new().with_cache_capacity_bytes(cap);
+        session
+            .run(&RunRequest::new("p0", src0).engine("threaded").scale(8))
+            .unwrap();
+        session.artifacts("p1", src1).unwrap();
+        let before = session.cache_stats();
+        assert_eq!((before.entries, before.evictions), (2, 0));
+        assert!(before.bytes <= cap);
+
+        // The hit on p0 refreshes its charge past the bound: p1 (the LRU
+        // entry) must be evicted — never the just-hit p0.
+        session.artifacts("p0", src0).unwrap();
+        let after = session.cache_stats();
+        assert_eq!((after.entries, after.evictions), (1, 1));
+        assert!(
+            after.bytes <= cap,
+            "bytes {} exceeds capacity {} after a hit",
+            after.bytes,
+            cap
+        );
+        // p0 survived (hit), p1 recompiles (miss).
+        session.artifacts("p0", src0).unwrap();
+        session.artifacts("p1", src1).unwrap();
+        let third = session.cache_stats();
+        assert_eq!((third.hits, third.misses), (2, 3));
     }
 
     #[test]

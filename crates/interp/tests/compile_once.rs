@@ -238,6 +238,61 @@ fn threaded_engine_lowers_once_per_artifact_and_level() {
 }
 
 #[test]
+fn wavefront_engine_builds_each_schedule_once_per_artifacts_and_input() {
+    // The wavefront tier inspects a carried loop and builds its level-set
+    // schedule exactly once per (artifacts, input state) — repeated runs
+    // on the same heap, at either opt level, reuse the schedule cached in
+    // the artifact's engine-extension slot; a different input re-inspects.
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    const WF: &str = r#"
+        for (i = 0; i < n; i++) {
+            x[idx[i]] = x[idx[i]] + i;
+        }
+    "#;
+    let wf_heap = |stride: i64| {
+        Heap::new()
+            .with_scalar("n", 40)
+            .with_array("idx", (0..40).map(|i| (i * stride) % 8).collect())
+            .with_array("x", vec![0; 8])
+    };
+    let registry = EngineRegistry::builtin();
+    let wavefront = registry.get("wavefront").unwrap();
+    let artifacts = Artifacts::compile_source("schedule-once", WF).unwrap();
+    let before = ss_inspector::levelset_build_count();
+    let first = wavefront
+        .run_parallel(&artifacts, wf_heap(1), &opts(4))
+        .unwrap();
+    assert_eq!(
+        ss_inspector::levelset_build_count(),
+        before + 1,
+        "the first run inspects the loop and builds its schedule"
+    );
+    for level in [OptLevel::O0, OptLevel::O1] {
+        let o = ExecOptions {
+            opt_level: level,
+            ..opts(4)
+        };
+        let again = wavefront.run_parallel(&artifacts, wf_heap(1), &o).unwrap();
+        assert_eq!(again.heap, first.heap);
+    }
+    assert_eq!(
+        ss_inspector::levelset_build_count(),
+        before + 1,
+        "identical inputs at either opt level reuse the cached schedule"
+    );
+    // A different index pattern is a different dependence structure: the
+    // cache must key on the input state, not just the loop.
+    wavefront
+        .run_parallel(&artifacts, wf_heap(3), &opts(4))
+        .unwrap();
+    assert_eq!(
+        ss_inspector::levelset_build_count(),
+        before + 2,
+        "a new input state re-inspects and builds a fresh schedule"
+    );
+}
+
+#[test]
 fn one_pipeline_invocation_feeds_every_engine_without_recompiling() {
     // Registry-wide: Artifacts::compile is the only compile of the run.
     // Afterwards every registered engine (serial and parallel, every opt

@@ -33,6 +33,10 @@ pub enum PatternClass {
     SimultaneousMonotonicInjective,
     /// Property 5: disjoint injective expressions.
     DisjointInjectiveExpressions,
+    /// No compile-time property: the loop is truly carried, but its
+    /// footprint is determined by loop-entry state, so the wavefront tier
+    /// can schedule it into dependence level sets at run time.
+    CarriedWavefront,
 }
 
 impl PatternClass {
@@ -45,6 +49,7 @@ impl PatternClass {
             PatternClass::InjectiveSubset => "injective subset",
             PatternClass::SimultaneousMonotonicInjective => "monotonic + injective",
             PatternClass::DisjointInjectiveExpressions => "disjoint injective expressions",
+            PatternClass::CarriedWavefront => "carried wavefront",
         }
     }
 }
@@ -392,6 +397,80 @@ pub fn study_kernels() -> Vec<StudyKernel> {
             "#,
             target_loop: 3,
         },
+        StudyKernel {
+            name: "sptrsv_levels",
+            program: "CSparse (SuiteSparse 5.4)",
+            suite: Suite::SuiteSparse,
+            class: PatternClass::CarriedWavefront,
+            source: r#"
+                for (i = 0; i < n; i++) {
+                    cnt = 0;
+                    for (t = 0; t < i; t++) {
+                        if (lower[i][t] % 17 == 0) { cnt = cnt + 1; }
+                    }
+                    rowcount[i] = cnt;
+                }
+                rowptr[0] = 0;
+                for (r = 1; r <= n; r++) {
+                    rowptr[r] = rowptr[r-1] + rowcount[r-1];
+                }
+                for (i = 0; i < n; i++) {
+                    k = rowptr[i];
+                    for (t = 0; t < i; t++) {
+                        if (lower[i][t] % 17 == 0) {
+                            col[k] = t;
+                            val[k] = lower[i][t] + 1;
+                            k = k + 1;
+                        }
+                    }
+                }
+                for (i = 0; i < n; i++) {
+                    sum = b[i];
+                    for (k = rowptr[i]; k < rowptr[i+1]; k++) {
+                        sum = sum - val[k] * x[col[k]];
+                    }
+                    x[i] = sum;
+                }
+            "#,
+            target_loop: 5,
+        },
+        StudyKernel {
+            name: "gauss_seidel_sweep",
+            program: "UA (NPB 3.3)",
+            suite: Suite::Npb,
+            class: PatternClass::CarriedWavefront,
+            source: r#"
+                for (i = 0; i < n; i++) {
+                    cnt = 0;
+                    for (t = 0; t < n; t++) {
+                        if (mat[i][t] % 17 == 0) { cnt = cnt + 1; }
+                    }
+                    deg[i] = cnt;
+                }
+                ptr[0] = 0;
+                for (r = 1; r <= n; r++) {
+                    ptr[r] = ptr[r-1] + deg[r-1];
+                }
+                for (i = 0; i < n; i++) {
+                    k = ptr[i];
+                    for (t = 0; t < n; t++) {
+                        if (mat[i][t] % 17 == 0) {
+                            col[k] = t;
+                            w[k] = mat[i][t] + 1;
+                            k = k + 1;
+                        }
+                    }
+                }
+                for (i = 0; i < n; i++) {
+                    acc = rhs[i];
+                    for (k = ptr[i]; k < ptr[i+1]; k++) {
+                        acc = acc - w[k] * x[col[k]];
+                    }
+                    x[i] = acc;
+                }
+            "#,
+            target_loop: 5,
+        },
     ]
 }
 
@@ -427,6 +506,7 @@ mod tests {
             PatternClass::InjectiveSubset,
             PatternClass::SimultaneousMonotonicInjective,
             PatternClass::DisjointInjectiveExpressions,
+            PatternClass::CarriedWavefront,
         ] {
             assert!(
                 kernels.iter().any(|k| k.class == class),

@@ -772,6 +772,10 @@ fn regression_shapes_stay_in_agreement() {
         // because it traps — O0 and O1 must agree bit for bit, errors
         // included.
         "int a[16]; int b[16]; int m[4][8];\nfor (p = 0; p < 16; p++) { a[p] = p; b[p] = 15 - p; }\nfor (i0 = 0; i0 < 4; i0++) {\n    for (i1 = 0; i1 < 8; i1++) {\n        m[i0][i1] = a[b[i0 + i1]] + (2 + 3);\n        if (m[i0][i1] != 0) { x += m[i0][i1] / (i1 - 3); }\n    }\n}\n",
+        // SpTRSV shape: x[i0] rewritten from earlier x entries through an
+        // index array — serial-proven, but the wavefront engine inspects
+        // it at run time and must still match the reference bit for bit.
+        "int idx[12]; int x[6];\nfor (p = 0; p < 12; p++) { idx[p] = (p * 5) % 6; }\nfor (p = 0; p < 6; p++) { x[p] = p + 1; }\nfor (i0 = 1; i0 < 6; i0++) {\n    acc = x[i0];\n    for (k = 0; k < i0; k++) {\n        if (idx[k] < i0) { acc = acc - x[idx[k]]; }\n    }\n    x[i0] = acc;\n}\n",
     ];
     for (k, src) in cases.iter().enumerate() {
         if let Some(msg) = check_source(src, 3) {

@@ -25,18 +25,24 @@ fn differential(name: &str, src: &str, threads: usize, schedule: ScheduleChoice)
         .validation(ValidationMode::Differential)
 }
 
-/// Every catalogue kernel: the analysis proves its target loop, the parallel
-/// engine dispatches it, and the serial and parallel heaps agree bit for
-/// bit.
+/// Every catalogue kernel: the analysis proves its target loop (or, for the
+/// carried-wavefront class, the wavefront engine recovers it at run time),
+/// the parallel engine dispatches it, and the serial and parallel heaps
+/// agree bit for bit.
 #[test]
 fn whole_catalogue_validates_serial_equals_parallel() {
     for kernel in ss_npb::study_kernels() {
+        let carried = kernel.class == ss_npb::PatternClass::CarriedWavefront;
+        let request = differential(kernel.name, kernel.source, 3, ScheduleChoice::Auto)
+            .scale(48)
+            .seed(11);
+        let request = if carried {
+            request.engine("wavefront")
+        } else {
+            request
+        };
         let outcome = session()
-            .run(
-                &differential(kernel.name, kernel.source, 3, ScheduleChoice::Auto)
-                    .scale(48)
-                    .seed(11),
-            )
+            .run(&request)
             .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
         assert!(
             outcome.heaps_match(),
@@ -45,6 +51,21 @@ fn whole_catalogue_validates_serial_equals_parallel() {
             outcome.mismatches()
         );
         let target = LoopId(kernel.target_loop);
+        if carried {
+            assert!(
+                !outcome.proven_parallel.contains(&target),
+                "{}: carried target loop {target} must stay unproven at compile time",
+                kernel.name
+            );
+            let par = outcome.parallel.as_ref().unwrap();
+            assert!(
+                matches!(par.loops[&target].mode, ExecMode::Parallel { .. }),
+                "{}: target loop {target} was not recovered by wavefront scheduling ({:?})",
+                kernel.name,
+                par.loops[&target].mode
+            );
+            continue;
+        }
         assert!(
             outcome.proven_parallel.contains(&target),
             "{}: target loop {target} not proven parallel ({:?})",

@@ -1,0 +1,114 @@
+//! Golden level-set schedules for the wavefront execution tier.
+//!
+//! The schedule — which iterations share a wavefront, and in what order
+//! the wavefronts run — is the wavefront engine's whole contract: a
+//! regression that merges two dependent iterations into one level is a
+//! data race, and one that splits an independent level in two is a silent
+//! performance loss.  These tests pin the rendered schedules of the two
+//! carried catalogue kernels (sparse triangular solve and Gauss-Seidel
+//! sweep) on a fixed synthesized input, so any change to the inspection
+//! or the level-set construction shows up as a readable line diff.
+//!
+//! To bless an intentional change:
+//! `UPDATE_GOLDEN=1 cargo test --test levelset_golden`.
+
+use ss_interp::engine::wavefront::wavefront_schedule_dump;
+use ss_interp::{synthesize_inputs, ExecOptions, InputSpec};
+use ss_ir::parse_program;
+use ss_parallelizer::Artifacts;
+use std::path::Path;
+
+fn schedule_dump(name: &str) -> String {
+    let kernel = ss_npb::study_kernels()
+        .into_iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("no catalogue kernel named {name}"));
+    let program = parse_program(kernel.name, kernel.source).expect("catalogue kernel parses");
+    let artifacts = Artifacts::compile(&program);
+    let heap =
+        synthesize_inputs(&program, &InputSpec { scale: 40, seed: 7 }).expect("inputs synthesize");
+    let opts = ExecOptions {
+        threads: 4,
+        ..ExecOptions::default()
+    };
+    wavefront_schedule_dump(&artifacts, heap, &opts).expect("wavefront run succeeds")
+}
+
+fn check_golden(kernel: &str) {
+    let got = schedule_dump(kernel);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{kernel}.levels.txt"));
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e} (run with UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    if got != want {
+        let (w_lines, g_lines): (Vec<&str>, Vec<&str>) =
+            (want.lines().collect(), got.lines().collect());
+        let diff: Vec<String> = (0..w_lines.len().max(g_lines.len()))
+            .filter_map(|k| {
+                let w = w_lines.get(k).copied().unwrap_or("<absent>");
+                let g = g_lines.get(k).copied().unwrap_or("<absent>");
+                (w != g).then(|| format!("  line {}:\n    want: {w}\n    got:  {g}", k + 1))
+            })
+            .collect();
+        panic!(
+            "level-set schedule for {kernel} diverges from {}:\n{}",
+            path.display(),
+            diff.join("\n")
+        );
+    }
+}
+
+#[test]
+fn sptrsv_levels_schedule_is_stable() {
+    check_golden("sptrsv_levels");
+}
+
+#[test]
+fn gauss_seidel_sweep_schedule_is_stable() {
+    check_golden("gauss_seidel_sweep");
+}
+
+#[test]
+fn schedules_cover_every_iteration_exactly_once() {
+    // Structural invariants on top of the golden text: each dump is a
+    // permutation of the iteration space, level by level.
+    for kernel in ["sptrsv_levels", "gauss_seidel_sweep"] {
+        let dump = schedule_dump(kernel);
+        for block in dump.split("L").skip(1) {
+            let Some(header) = block.lines().find(|l| l.starts_with("iterations")) else {
+                continue;
+            };
+            let n: usize = header
+                .split_whitespace()
+                .nth(1)
+                .and_then(|w| w.parse().ok())
+                .expect("iteration count in header");
+            let mut seen: Vec<usize> = block
+                .lines()
+                .filter(|l| l.starts_with("level "))
+                .flat_map(|l| {
+                    l.split(": ")
+                        .nth(1)
+                        .unwrap_or("")
+                        .split_whitespace()
+                        .map(|w| w.parse::<usize>().expect("iteration ordinal"))
+                })
+                .collect();
+            seen.sort_unstable();
+            assert_eq!(
+                seen,
+                (0..n).collect::<Vec<_>>(),
+                "{kernel}: levels must partition the iteration space"
+            );
+        }
+    }
+}

@@ -12,8 +12,14 @@ fn every_catalogued_kernel_is_detected_and_none_by_the_baseline() {
     let table = run_catalogue_study();
     for row in &table.rows {
         assert!(
-            row.detected,
-            "kernel {} should be parallelized by the extended analysis",
+            row.detected || row.wavefront,
+            "kernel {} should be parallelized by the extended analysis or \
+             marked wavefront-schedulable",
+            row.kernel
+        );
+        assert!(
+            !(row.detected && row.wavefront),
+            "kernel {}: detected and wavefront are mutually exclusive",
             row.kernel
         );
         assert!(
@@ -22,7 +28,12 @@ fn every_catalogued_kernel_is_detected_and_none_by_the_baseline() {
             row.kernel
         );
     }
-    assert_eq!(table.detected_count(), table.rows.len());
+    assert_eq!(
+        table.detected_count() + table.wavefront_count(),
+        table.rows.len()
+    );
+    // The carried SpTRSV / Gauss-Seidel kernels are the wavefront rows.
+    assert_eq!(table.wavefront_count(), 2);
     assert_eq!(table.baseline_count(), 0);
 }
 
