@@ -14,6 +14,8 @@
 //! sspar kernels                   # list the built-in catalogue kernels
 //! sspar engines                   # list the registered execution engines
 //! sspar analyze --kernel fig9_csr_product   # analyze a catalogue kernel
+//! sspar tune --kernel sptrsv_levels         # search + persist the best policy
+//! sspar bench --out BENCH_interp.json       # per-engine medians snapshot
 //! ```
 //!
 //! The CLI is a thin shell over the library API: every command drives one
@@ -32,9 +34,9 @@
 
 use ss_aggregation::analyze_program;
 use ss_interp::{
-    analysis_json, registry_json, reset_pair_counts, set_pair_profiling, top_instruction_pairs,
-    ExecMode, ExecutionMode, OptLevel, RunRequest, ScheduleChoice, Session, SsError,
-    ValidationMode,
+    analysis_json, json, registry_json, reset_pair_counts, set_pair_profiling,
+    top_instruction_pairs, ExecMode, ExecutionMode, OptLevel, RunPolicy, RunRequest,
+    ScheduleChoice, Session, SsError, TunerConfig, ValidationMode,
 };
 use ss_ir::{parse_program, LoopId};
 use ss_parallelizer::{run_study, StudyInput, VerdictKind};
@@ -58,6 +60,9 @@ pub fn usage() -> String {
      \u{20}   sspar trace   --kernel <name>\n\
      \u{20}   sspar run     <file.c> [run options]\n\
      \u{20}   sspar run     --kernel <name> [run options]\n\
+     \u{20}   sspar tune    <file.c> [tune options]\n\
+     \u{20}   sspar tune    --kernel <name> [tune options]\n\
+     \u{20}   sspar bench   [bench options]\n\
      \u{20}   sspar study\n\
      \u{20}   sspar kernels\n\
      \u{20}   sspar engines [--format text|json]\n\
@@ -71,6 +76,13 @@ pub fn usage() -> String {
      \u{20}             (the paper's Section 3.5 trace) for every loop\n\
      \u{20}   run       analyze the program, synthesize inputs, execute it\n\
      \u{20}             serially and in parallel, and print per-loop timings\n\
+     \u{20}   tune      search the execution-policy space (engine x opt level x\n\
+     \u{20}             schedule x chunk x threads) with measured trials, print\n\
+     \u{20}             the search table, and persist the winner per\n\
+     \u{20}             (program, input shape) — `run --policy tuned` reapplies it\n\
+     \u{20}   bench     execute one catalogue kernel serially under every\n\
+     \u{20}             engine/opt-level and emit the machine-readable medians\n\
+     \u{20}             snapshot (BENCH_interp.json)\n\
      \u{20}   study     run the Figure-1 study over the built-in catalogue\n\
      \u{20}   kernels   list the built-in catalogue kernels\n\
      \u{20}   engines   list the registered execution engines and their\n\
@@ -114,7 +126,24 @@ pub fn usage() -> String {
      \u{20}   --engine <name>         execution engine, from `sspar engines`\n\
      \u{20}                           (default: the registry default)\n\
      \u{20}   --opt-level <0|1>       bytecode engine: run the O0 or O1 stream (default 1)\n\
-     \u{20}   --format <text|json>    print the structured run outcome as JSON\n"
+     \u{20}   --policy <default|tuned>  tuned: search-or-reapply the persisted best\n\
+     \u{20}                           policy for this (program, input shape) and run it\n\
+     \u{20}   --format <text|json>    print the structured run outcome as JSON\n\
+     \n\
+     TUNE OPTIONS:\n\
+     \u{20}   --budget-trials <N>     cap on measured trials (default: the full pruned space)\n\
+     \u{20}   --repeats <N>           timed repeats per candidate, median kept (default 3)\n\
+     \u{20}   --threads <N>           thread count the default policy is anchored to\n\
+     \u{20}   --n <SIZE>              input scale (default 256)\n\
+     \u{20}   --seed <S>              input data seed (default 1)\n\
+     \u{20}   --trial-seed <S>        deterministic trial-order seed (default 0)\n\
+     \u{20}   --format <text|json>    print the search table or the stable JSON outcome\n\
+     \n\
+     BENCH OPTIONS:\n\
+     \u{20}   --kernel <name>         catalogue kernel to measure (default fig9_csr_product)\n\
+     \u{20}   --n <SIZE>              input scale (default 256)\n\
+     \u{20}   --repeats <N>           timed repeats per engine leg, median kept (default 3)\n\
+     \u{20}   --out <PATH>            also write the JSON snapshot to this file\n"
         .to_string()
 }
 
@@ -181,6 +210,19 @@ pub enum Command {
         /// Execution options.
         options: RunOptions,
     },
+    /// `sspar tune …` — search the execution-policy space and persist the
+    /// winner in the session artifact cache.
+    Tune {
+        /// Source of the kernel text.
+        input: Input,
+        /// Tuner options.
+        options: TuneOptions,
+    },
+    /// `sspar bench` — serial per-engine/opt-level medians as stable JSON.
+    Bench {
+        /// Bench options.
+        options: BenchOptions,
+    },
     /// `sspar study`
     Study,
     /// `sspar kernels`
@@ -235,6 +277,75 @@ impl Default for ServeOptions {
     }
 }
 
+/// The `--policy` knob of `sspar run`: how execution options are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyFlag {
+    /// The request's own engine/schedule/thread options, unmodified.
+    #[default]
+    Default,
+    /// Search-or-reapply the persisted tuned policy for this
+    /// (program, input shape) and run under it.
+    Tuned,
+}
+
+/// Options of `sspar tune`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuneOptions {
+    /// Cap on measured trials (`None` = the full pruned space).
+    pub budget_trials: Option<usize>,
+    /// Timed repeats per candidate; the median is kept.
+    pub repeats: usize,
+    /// Thread count the default policy is anchored to (`None` = all
+    /// hardware threads).
+    pub threads: Option<usize>,
+    /// Input scale (`--n`).
+    pub scale: i64,
+    /// Input data seed.
+    pub seed: u64,
+    /// Deterministic trial-order seed.
+    pub trial_seed: u64,
+    /// Text or JSON output.
+    pub format: OutputFormat,
+}
+
+impl Default for TuneOptions {
+    fn default() -> TuneOptions {
+        TuneOptions {
+            budget_trials: None,
+            repeats: 3,
+            threads: None,
+            scale: 256,
+            seed: 1,
+            trial_seed: 0,
+            format: OutputFormat::Text,
+        }
+    }
+}
+
+/// Options of `sspar bench`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchOptions {
+    /// Catalogue kernel to measure.
+    pub kernel: String,
+    /// Input scale (`--n`).
+    pub scale: i64,
+    /// Timed repeats per engine leg; the median is kept.
+    pub repeats: usize,
+    /// Also write the JSON snapshot to this path.
+    pub out: Option<String>,
+}
+
+impl Default for BenchOptions {
+    fn default() -> BenchOptions {
+        BenchOptions {
+            kernel: "fig9_csr_product".to_string(),
+            scale: 256,
+            repeats: 3,
+            out: None,
+        }
+    }
+}
+
 /// Options of `sspar run`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOptions {
@@ -254,6 +365,8 @@ pub struct RunOptions {
     pub engine: Option<String>,
     /// Bytecode stream opt-level-sensitive engines run (`--opt-level`).
     pub opt_level: OptLevel,
+    /// How execution options are chosen (`--policy`).
+    pub policy: PolicyFlag,
     /// Text or JSON output.
     pub format: OutputFormat,
 }
@@ -269,6 +382,7 @@ impl Default for RunOptions {
             schedule: ScheduleChoice::Auto,
             engine: None,
             opt_level: OptLevel::O1,
+            policy: PolicyFlag::Default,
             format: OutputFormat::Text,
         }
     }
@@ -450,6 +564,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, SsError> {
                             .ok_or_else(usage_err)?;
                         i += 2;
                     }
+                    "--policy" => {
+                        options.policy = match rest.get(i + 1) {
+                            Some(&"default") => PolicyFlag::Default,
+                            Some(&"tuned") => PolicyFlag::Tuned,
+                            _ => return Err(usage_err()),
+                        };
+                        i += 2;
+                    }
                     "--format" => {
                         options.format = parse_format(rest.get(i + 1))?;
                         i += 2;
@@ -463,6 +585,114 @@ pub fn parse_args(args: &[String]) -> Result<Command, SsError> {
             }
             let input = input.ok_or_else(usage_err)?;
             Ok(Command::Run { input, options })
+        }
+        "tune" => {
+            let rest: Vec<&str> = it.collect();
+            let mut input: Option<Input> = None;
+            let mut options = TuneOptions::default();
+            let parse_val = |rest: &[&str], i: usize| -> Result<String, SsError> {
+                rest.get(i + 1).map(|s| s.to_string()).ok_or_else(usage_err)
+            };
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--kernel" => {
+                        let name = parse_val(&rest, i)?;
+                        input = Some(Input::Catalogue(name));
+                        i += 2;
+                    }
+                    "--budget-trials" => {
+                        let v: usize = parse_val(&rest, i)?.parse().map_err(|_| usage_err())?;
+                        if v < 1 {
+                            return Err(usage_err());
+                        }
+                        options.budget_trials = Some(v);
+                        i += 2;
+                    }
+                    "--repeats" => {
+                        let v: usize = parse_val(&rest, i)?.parse().map_err(|_| usage_err())?;
+                        if v < 1 {
+                            return Err(usage_err());
+                        }
+                        options.repeats = v;
+                        i += 2;
+                    }
+                    "--threads" => {
+                        let v: usize = parse_val(&rest, i)?.parse().map_err(|_| usage_err())?;
+                        if v < 1 {
+                            return Err(usage_err());
+                        }
+                        options.threads = Some(v);
+                        i += 2;
+                    }
+                    "--n" => {
+                        let v: i64 = parse_val(&rest, i)?.parse().map_err(|_| usage_err())?;
+                        if v < 1 {
+                            return Err(usage_err());
+                        }
+                        options.scale = v;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        options.seed = parse_val(&rest, i)?.parse().map_err(|_| usage_err())?;
+                        i += 2;
+                    }
+                    "--trial-seed" => {
+                        options.trial_seed =
+                            parse_val(&rest, i)?.parse().map_err(|_| usage_err())?;
+                        i += 2;
+                    }
+                    "--format" => {
+                        options.format = parse_format(rest.get(i + 1))?;
+                        i += 2;
+                    }
+                    other if !other.starts_with("--") && input.is_none() => {
+                        input = Some(Input::File(other.to_string()));
+                        i += 1;
+                    }
+                    _ => return Err(usage_err()),
+                }
+            }
+            let input = input.ok_or_else(usage_err)?;
+            Ok(Command::Tune { input, options })
+        }
+        "bench" => {
+            let rest: Vec<&str> = it.collect();
+            let mut options = BenchOptions::default();
+            let parse_val = |rest: &[&str], i: usize| -> Result<String, SsError> {
+                rest.get(i + 1).map(|s| s.to_string()).ok_or_else(usage_err)
+            };
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--kernel" => {
+                        options.kernel = parse_val(&rest, i)?;
+                        i += 2;
+                    }
+                    "--n" => {
+                        let v: i64 = parse_val(&rest, i)?.parse().map_err(|_| usage_err())?;
+                        if v < 1 {
+                            return Err(usage_err());
+                        }
+                        options.scale = v;
+                        i += 2;
+                    }
+                    "--repeats" => {
+                        let v: usize = parse_val(&rest, i)?.parse().map_err(|_| usage_err())?;
+                        if v < 1 {
+                            return Err(usage_err());
+                        }
+                        options.repeats = v;
+                        i += 2;
+                    }
+                    "--out" => {
+                        options.out = Some(parse_val(&rest, i)?);
+                        i += 2;
+                    }
+                    _ => return Err(usage_err()),
+                }
+            }
+            Ok(Command::Bench { options })
         }
         "analyze" | "trace" => {
             let rest: Vec<&str> = it.collect();
@@ -576,6 +806,11 @@ pub fn execute(cmd: &Command, reader: &dyn SourceReader) -> Result<String, SsErr
             let (name, source) = resolve_input(input, reader)?;
             run_text(&name, &source, options)
         }
+        Command::Tune { input, options } => {
+            let (name, source) = resolve_input(input, reader)?;
+            tune_text(&name, &source, options)
+        }
+        Command::Bench { options } => bench_text(options, reader),
         Command::Serve { options } => serve_text(options),
         Command::Request { line, addr } => request_text(line, addr),
     }
@@ -803,6 +1038,121 @@ fn trace_text(name: &str, source: &str) -> Result<String, SsError> {
     Ok(out)
 }
 
+/// Searches the policy space for one kernel, prints the trial table and
+/// the winner, and leaves the winner persisted in the session cache —
+/// `sspar run --policy tuned` on the same (program, input shape)
+/// reapplies it without re-searching.
+fn tune_text(name: &str, source: &str, options: &TuneOptions) -> Result<String, SsError> {
+    let mut request = RunRequest::new(name, source)
+        .scale(options.scale)
+        .seed(options.seed);
+    if let Some(threads) = options.threads {
+        request = request.threads(threads);
+    }
+    let config = TunerConfig {
+        budget_trials: options.budget_trials,
+        repeats: options.repeats,
+        seed: options.trial_seed,
+        ..TunerConfig::default()
+    };
+    let outcome = session().tune(&request, &config)?;
+    if options.format == OutputFormat::Json {
+        let mut out = outcome.to_json();
+        out.push('\n');
+        return Ok(out);
+    }
+    let policy = &outcome.policy;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== {name}: policy search at scale n={} seed={} (shape signature {:016x}) ==\n\n",
+        options.scale, options.seed, outcome.signature
+    ));
+    out.push_str(&format!("{:<34} {:>12}\n", "policy", "median s"));
+    for (i, t) in policy.trials.iter().enumerate() {
+        let mut notes = Vec::new();
+        if i == 0 {
+            notes.push("default");
+        }
+        if t.point == policy.point {
+            notes.push("winner");
+        }
+        out.push_str(&format!(
+            "{:<34} {:>12.6}{}\n",
+            t.point.label(),
+            t.median_seconds,
+            if notes.is_empty() {
+                String::new()
+            } else {
+                format!("   <- {}", notes.join(", "))
+            }
+        ));
+    }
+    for p in &policy.pruned {
+        out.push_str(&format!("pruned: {p}\n"));
+    }
+    out.push_str(&format!(
+        "\nwinner: {} (median {:.6}s, {:.2}x vs default {:.6}s)\n",
+        policy.point.label(),
+        policy.median_seconds,
+        policy.speedup_vs_default(),
+        policy.default_median_seconds
+    ));
+    out.push_str(&format!(
+        "provenance: {}\n",
+        if outcome.cache_hit {
+            "tuned-cache (persisted policy reapplied, no re-search)"
+        } else {
+            "tuned-search (fresh search, winner persisted)"
+        }
+    ));
+    Ok(out)
+}
+
+/// Executes one catalogue kernel serially under every engine and
+/// opt-level it supports and emits the per-leg medians as stable JSON —
+/// the machine-readable counterpart of the `interp_exec` bench.
+fn bench_text(options: &BenchOptions, reader: &dyn SourceReader) -> Result<String, SsError> {
+    let (name, source) = resolve_input(&Input::Catalogue(options.kernel.clone()), reader)?;
+    let mut entries = Vec::new();
+    for engine in session().registry().iter() {
+        for &level in engine.caps().opt_levels {
+            let mut samples = Vec::new();
+            for _ in 0..options.repeats.max(1) {
+                let outcome = session().run(
+                    &RunRequest::new(&name, &source)
+                        .engine(engine.name())
+                        .opt_level(level)
+                        .scale(options.scale)
+                        .mode(ExecutionMode::Serial),
+                )?;
+                let stats = outcome.serial.as_ref().expect("serial mode runs serially");
+                samples.push(stats.total_seconds);
+            }
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+            entries.push(json::object([
+                ("engine", json::string(engine.name())),
+                ("opt_level", json::string(&level.to_string())),
+                ("median_seconds", json::number(samples[samples.len() / 2])),
+            ]));
+        }
+    }
+    let mut out = json::object([
+        ("bench", json::string("interp_exec")),
+        ("kernel", json::string(&name)),
+        ("scale", json::number(options.scale as f64)),
+        ("repeats", json::number(options.repeats as f64)),
+        ("entries", json::array(entries)),
+    ]);
+    out.push('\n');
+    if let Some(path) = &options.out {
+        std::fs::write(path, &out).map_err(|e| SsError::Io {
+            path: path.clone(),
+            message: e.to_string(),
+        })?;
+    }
+    Ok(out)
+}
+
 fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, SsError> {
     // One session request runs the whole differential matrix off one
     // (cached) pipeline invocation — nothing below recompiles.
@@ -813,6 +1163,9 @@ fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, Ss
         .opt_level(options.opt_level)
         .baseline_inspector(options.baseline_inspector)
         .validation(ValidationMode::Differential);
+    if options.policy == PolicyFlag::Tuned {
+        request = request.policy(RunPolicy::Tuned);
+    }
     if let Some(engine) = &options.engine {
         request = request.engine(engine.clone());
     }
@@ -850,9 +1203,17 @@ fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, Ss
         .expect("differential runs in parallel");
     let mut out = String::new();
     out.push_str(&format!(
-        "== {name}: executed with scale n={} seed={} on {} thread(s), {engine_name} engine ==\n\n",
+        "== {name}: executed with scale n={} seed={} on {} thread(s), {engine_name} engine ==\n",
         options.scale, options.seed, outcome.threads
     ));
+    if outcome.policy != "default" {
+        out.push_str(&format!(
+            "policy: {} ({})\n",
+            outcome.policy,
+            outcome.policy_provenance.as_deref().unwrap_or("-")
+        ));
+    }
+    out.push('\n');
     out.push_str(&format!(
         "{:<6} {:<7} {:<10} {:<18} {:>12} {:>12} {:>9}\n",
         "loop", "index", "verdict", "execution", "serial s", "parallel s", "speedup"
@@ -897,6 +1258,15 @@ fn run_text(name: &str, source: &str, options: &RunOptions) -> Result<String, Ss
             "L{:<5} {:<7} {:<10} {:<18} {:>12.6} {:>12.6} {:>9}\n",
             v.loop_id.0, v.index_var, verdict, mode, serial_s, parallel_s, speedup
         ));
+        if let Some((levels, avg_width)) = parallel_stats
+            .loops
+            .get(&v.loop_id)
+            .and_then(|s| s.wavefront)
+        {
+            out.push_str(&format!(
+                "       wavefront: {levels} level(s), avg width {avg_width:.1}\n"
+            ));
+        }
         if let Some(cf) = inspected {
             out.push_str(&format!(
                 "       runtime inspector baseline: {}\n",
@@ -1442,6 +1812,8 @@ mod tests {
                 "ast",
                 "--opt-level",
                 "0",
+                "--policy",
+                "tuned",
                 "--format",
                 "json"
             ]))
@@ -1457,6 +1829,7 @@ mod tests {
                     schedule: ScheduleChoice::Dynamic,
                     engine: Some("ast".into()),
                     opt_level: OptLevel::O0,
+                    policy: PolicyFlag::Tuned,
                     format: OutputFormat::Json,
                 },
             }
@@ -1479,11 +1852,216 @@ mod tests {
             vec!["run", "k.c", "--engine", "--validate"],
             vec!["run", "k.c", "--opt-level", "2"],
             vec!["run", "k.c", "--opt-level"],
+            vec!["run", "k.c", "--policy", "fastest"],
+            vec!["run", "k.c", "--policy"],
             vec!["run", "k.c", "--format", "xml"],
         ] {
             assert!(
                 matches!(parse_args(&args(&bad)), Err(SsError::Usage(_))),
                 "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_args_recognizes_tune_and_bench() {
+        assert_eq!(
+            parse_args(&args(&["tune", "--kernel", "sptrsv_levels"])).unwrap(),
+            Command::Tune {
+                input: Input::Catalogue("sptrsv_levels".into()),
+                options: TuneOptions::default(),
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "tune",
+                "k.c",
+                "--budget-trials",
+                "6",
+                "--repeats",
+                "2",
+                "--threads",
+                "2",
+                "--n",
+                "64",
+                "--seed",
+                "7",
+                "--trial-seed",
+                "3",
+                "--format",
+                "json"
+            ]))
+            .unwrap(),
+            Command::Tune {
+                input: Input::File("k.c".into()),
+                options: TuneOptions {
+                    budget_trials: Some(6),
+                    repeats: 2,
+                    threads: Some(2),
+                    scale: 64,
+                    seed: 7,
+                    trial_seed: 3,
+                    format: OutputFormat::Json,
+                },
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["bench"])).unwrap(),
+            Command::Bench {
+                options: BenchOptions::default()
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "bench",
+                "--kernel",
+                "fig2_ua_transfer",
+                "--n",
+                "32",
+                "--repeats",
+                "1",
+                "--out",
+                "BENCH_interp.json"
+            ]))
+            .unwrap(),
+            Command::Bench {
+                options: BenchOptions {
+                    kernel: "fig2_ua_transfer".into(),
+                    scale: 32,
+                    repeats: 1,
+                    out: Some("BENCH_interp.json".into()),
+                }
+            }
+        );
+        for bad in [
+            vec!["tune"],
+            vec!["tune", "k.c", "--budget-trials", "0"],
+            vec!["tune", "k.c", "--repeats", "x"],
+            vec!["tune", "k.c", "--format", "xml"],
+            vec!["tune", "k.c", "--bogus"],
+            vec!["bench", "--n", "0"],
+            vec!["bench", "--out"],
+            vec!["bench", "--bogus"],
+        ] {
+            assert!(
+                matches!(parse_args(&args(&bad)), Err(SsError::Usage(_))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tune_searches_then_tuned_runs_reapply_the_persisted_policy() {
+        let reader = MapReader(HashMap::new());
+        let tune_args = args(&[
+            "tune",
+            "--kernel",
+            "fig2_ua_transfer",
+            "--n",
+            "48",
+            "--threads",
+            "2",
+            "--repeats",
+            "1",
+            "--budget-trials",
+            "4",
+        ]);
+        let first = run(&tune_args, &reader).unwrap();
+        assert!(first.contains("policy search"), "{first}");
+        assert!(first.contains("<- default"), "{first}");
+        assert!(first.contains("winner:"), "{first}");
+        // The same (program, input shape) reapplies the persisted winner
+        // without re-searching.
+        let second = run(&tune_args, &reader).unwrap();
+        assert!(second.contains("tuned-cache"), "{second}");
+        // `run --policy tuned` applies it and reports the provenance.
+        let run_out = run(
+            &args(&[
+                "run",
+                "--kernel",
+                "fig2_ua_transfer",
+                "--n",
+                "48",
+                "--threads",
+                "2",
+                "--policy",
+                "tuned",
+                "--validate",
+            ]),
+            &reader,
+        )
+        .unwrap();
+        assert!(run_out.contains("policy: tuned (tuned-cache)"), "{run_out}");
+        assert!(run_out.contains("validation: PASS"), "{run_out}");
+    }
+
+    #[test]
+    fn tune_format_json_emits_the_stable_outcome() {
+        let reader = MapReader(HashMap::new());
+        let out = run(
+            &args(&[
+                "tune",
+                "--kernel",
+                "csparse_ipvec",
+                "--n",
+                "40",
+                "--repeats",
+                "1",
+                "--budget-trials",
+                "3",
+                "--format",
+                "json",
+            ]),
+            &reader,
+        )
+        .unwrap();
+        for key in [
+            "\"program\":\"csparse_ipvec\"",
+            "\"signature\":\"",
+            "\"provenance\":\"tuned-",
+            "\"winner\":{",
+            "\"default_median_seconds\":",
+            "\"speedup_vs_default\":",
+            "\"trials\":[",
+            "\"pruned\":[",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn bench_emits_per_engine_medians() {
+        let reader = MapReader(HashMap::new());
+        let out = run(
+            &args(&[
+                "bench",
+                "--kernel",
+                "fig2_ua_transfer",
+                "--n",
+                "32",
+                "--repeats",
+                "1",
+            ]),
+            &reader,
+        )
+        .unwrap();
+        for key in [
+            "\"bench\":\"interp_exec\"",
+            "\"kernel\":\"fig2_ua_transfer\"",
+            "\"entries\":[",
+            "\"engine\":\"bytecode\"",
+            "\"opt_level\":\"O0\"",
+            "\"opt_level\":\"O1\"",
+            "\"median_seconds\":",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        // Every registered engine contributes at least one leg.
+        for e in session().registry().iter() {
+            assert!(
+                out.contains(&format!("\"engine\":\"{}\"", e.name())),
+                "{out}"
             );
         }
     }

@@ -22,6 +22,8 @@ OPTIONS:
     --scale <n>          input-synthesis scale per run [default: 64]
     --threads <n>        worker threads requested per run [default: 2]
     --engine <name>      restrict to one engine (repeatable) [default: all]
+    --tuned              add a policy:\"tuned\" leg per kernel (auto-tuned
+                         policies, searched once then reapplied from cache)
     -h, --help           print this help";
 
 struct Args {
@@ -51,6 +53,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             "--scale" => parsed.load.scale = parse_num(&value("--scale")?, "--scale")? as i64,
             "--threads" => parsed.load.threads = parse_num(&value("--threads")?, "--threads")?,
             "--engine" => parsed.load.engines.push(value("--engine")?),
+            "--tuned" => parsed.load.tuned = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option '{other}'")),
         }

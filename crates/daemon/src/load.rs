@@ -30,6 +30,9 @@ pub struct LoadConfig {
     pub threads: usize,
     /// Restrict to these engines (empty = all registered engines).
     pub engines: Vec<String>,
+    /// Add a `policy:"tuned"` leg per kernel, so the report shows the
+    /// tuned row next to the fixed engine/opt-level rows.
+    pub tuned: bool,
 }
 
 impl Default for LoadConfig {
@@ -41,6 +44,7 @@ impl Default for LoadConfig {
             scale: 64,
             threads: 2,
             engines: Vec::new(),
+            tuned: false,
         }
     }
 }
@@ -121,23 +125,34 @@ struct Cell {
     kernel: String,
     engine: String,
     opt_level: u8,
+    /// Run under `policy:"tuned"` instead of a fixed engine/opt level.
+    tuned: bool,
 }
 
 impl Cell {
     fn label(&self) -> String {
-        format!("{}@O{}", self.engine, self.opt_level)
+        if self.tuned {
+            "tuned".to_string()
+        } else {
+            format!("{}@O{}", self.engine, self.opt_level)
+        }
     }
 
     fn request_line(&self, cfg: &LoadConfig) -> String {
         use ss_interp::json;
-        json::object([
+        let mut fields = vec![
             ("op", json::string("run")),
             ("kernel", json::string(&self.kernel)),
-            ("engine", json::string(&self.engine)),
-            ("opt_level", self.opt_level.to_string()),
-            ("threads", cfg.threads.to_string()),
-            ("scale", cfg.scale.to_string()),
-        ])
+        ];
+        if self.tuned {
+            fields.push(("policy", json::string("tuned")));
+        } else {
+            fields.push(("engine", json::string(&self.engine)));
+            fields.push(("opt_level", self.opt_level.to_string()));
+        }
+        fields.push(("threads", cfg.threads.to_string()));
+        fields.push(("scale", cfg.scale.to_string()));
+        json::object(fields)
     }
 }
 
@@ -196,6 +211,15 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
                     kernel: kernel.clone(),
                     engine: engine.clone(),
                     opt_level: *opt_level,
+                    tuned: false,
+                });
+            }
+            if cfg.tuned {
+                cells.push(Cell {
+                    kernel: kernel.clone(),
+                    engine: String::new(),
+                    opt_level: 0,
+                    tuned: true,
                 });
             }
         }
@@ -258,11 +282,18 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
         }
     }
 
-    // Rows in the matrix's engine order, not BTreeMap order.
+    // Rows in the matrix's engine order, not BTreeMap order; the tuned
+    // leg (when enabled) comes last so the before/after reads top-down.
+    let mut labels: Vec<String> = engines
+        .iter()
+        .map(|(engine, opt_level)| format!("{engine}@O{opt_level}"))
+        .collect();
+    if cfg.tuned {
+        labels.push("tuned".to_string());
+    }
     let mut rows = Vec::new();
     let mut seen = std::collections::BTreeSet::new();
-    for (engine, opt_level) in &engines {
-        let label = format!("{engine}@O{opt_level}");
+    for label in labels {
         if !seen.insert(label.clone()) {
             continue;
         }

@@ -14,7 +14,7 @@
 
 use crate::jsonin::{self, Value};
 use ss_interp::json;
-use ss_interp::{ExecutionMode, OptLevel, SsError, ValidationMode};
+use ss_interp::{ExecutionMode, OptLevel, RunPolicy, SsError, ValidationMode};
 
 /// The operations a request line can name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +24,10 @@ pub enum Op {
     Analyze,
     /// Compile and execute, returning the stable `RunOutcome` JSON.
     Run,
+    /// Search the execution-policy space for the program and input shape,
+    /// persist the winner in the tenant's cache, and return the search
+    /// outcome (`TuneOutcome` JSON).
+    Tune,
     /// The engine registry (names, capabilities, opt levels).
     Engines,
     /// Daemon-wide counters: per-endpoint latency percentiles, queue
@@ -39,6 +43,7 @@ impl Op {
         match self {
             Op::Analyze => "analyze",
             Op::Run => "run",
+            Op::Tune => "tune",
             Op::Engines => "engines",
             Op::Stats => "stats",
             Op::Shutdown => "shutdown",
@@ -78,6 +83,11 @@ pub struct Request {
     pub include_heap: bool,
     /// Execution mode: `"both"` (default), `"serial"`, `"parallel"`.
     pub mode: ExecutionMode,
+    /// How `run` picks execution options: `"default"` (the request's own
+    /// knobs) or `"tuned"` (search-or-reapply the persisted best policy).
+    pub policy: RunPolicy,
+    /// `tune`: cap on measured trials (`None` = the full pruned space).
+    pub budget_trials: Option<usize>,
 }
 
 /// A structured wire failure: a stable machine-readable `class`, a human
@@ -214,12 +224,13 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
     let op = match value.get("op").and_then(Value::as_str) {
         Some("analyze") => Op::Analyze,
         Some("run") => Op::Run,
+        Some("tune") => Op::Tune,
         Some("engines") => Op::Engines,
         Some("stats") => Op::Stats,
         Some("shutdown") => Op::Shutdown,
         Some(other) => {
             return Err(WireError::malformed(format!(
-                "unknown op '{other}' (expected analyze|run|engines|stats|shutdown)"
+                "unknown op '{other}' (expected analyze|run|tune|engines|stats|shutdown)"
             )))
         }
         None => return Err(WireError::malformed("missing string field 'op'")),
@@ -252,7 +263,7 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
 
     let kernel = str_field("kernel")?;
     let source = str_field("source")?;
-    if matches!(op, Op::Analyze | Op::Run) {
+    if matches!(op, Op::Analyze | Op::Run | Op::Tune) {
         match (&kernel, &source) {
             (Some(_), Some(_)) => {
                 return Err(WireError::malformed(
@@ -291,6 +302,16 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         }
     };
 
+    let policy = match str_field("policy")?.as_deref() {
+        None | Some("default") => RunPolicy::Default,
+        Some("tuned") => RunPolicy::Tuned,
+        Some(other) => {
+            return Err(WireError::malformed(format!(
+                "'policy' must be default|tuned, got '{other}'"
+            )))
+        }
+    };
+
     let positive = |key: &str, v: Option<i64>| -> Result<Option<usize>, WireError> {
         match v {
             None => Ok(None),
@@ -316,6 +337,8 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
         validate: bool_field("validate")?,
         include_heap: bool_field("include_heap")?,
         mode,
+        policy,
+        budget_trials: positive("budget_trials", int_field("budget_trials")?)?,
     })
 }
 
@@ -367,6 +390,34 @@ mod tests {
 
         let r = parse_request(r#"{"op":"stats","id":"abc"}"#).unwrap();
         assert_eq!(r.id.as_deref(), Some("\"abc\""));
+    }
+
+    #[test]
+    fn tune_and_policy_fields_parse() {
+        let r =
+            parse_request(r#"{"op":"tune","kernel":"sptrsv_levels","budget_trials":6}"#).unwrap();
+        assert_eq!(r.op, Op::Tune);
+        assert_eq!(r.budget_trials, Some(6));
+        assert!(matches!(r.policy, RunPolicy::Default));
+
+        let r = parse_request(r#"{"op":"run","kernel":"k","policy":"tuned"}"#).unwrap();
+        assert!(matches!(r.policy, RunPolicy::Tuned));
+
+        for (line, needle) in [
+            (r#"{"op":"tune"}"#, "needs a program"),
+            (
+                r#"{"op":"run","kernel":"k","policy":"fastest"}"#,
+                "default|tuned",
+            ),
+            (
+                r#"{"op":"tune","kernel":"k","budget_trials":0}"#,
+                "positive",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.class, "malformed", "{line}");
+            assert!(err.message.contains(needle), "{line}: {}", err.message);
+        }
     }
 
     #[test]

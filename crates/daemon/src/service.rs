@@ -16,7 +16,7 @@
 
 use crate::protocol::{Op, Request, WireError};
 use crate::stats::StatsRegistry;
-use ss_interp::{analysis_json, json, registry_json, RunRequest, Session};
+use ss_interp::{analysis_json, json, registry_json, RunRequest, Session, TunerConfig};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
@@ -147,6 +147,7 @@ impl Service {
                     .opt_level(req.opt_level)
                     .mode(req.mode)
                     .validation(req.validation())
+                    .policy(req.policy.clone())
                     .team_group(shard + 1);
                 if let Some(engine) = &req.engine {
                     run = run.engine(engine);
@@ -167,6 +168,29 @@ impl Service {
                     outcome.to_json()
                 })
             }
+            Op::Tune => {
+                let (name, source) = self.resolve_program(req)?;
+                let session = self.session(&req.tenant);
+                let shard = self.shard(&req.tenant, &name);
+                let mut run = RunRequest::new(&name, &source).team_group(shard + 1);
+                if let Some(threads) = req.threads {
+                    run = run.threads(threads);
+                }
+                if let Some(scale) = req.scale {
+                    run = run.scale(scale);
+                }
+                if let Some(seed) = req.seed {
+                    run = run.seed(seed);
+                }
+                let config = TunerConfig {
+                    budget_trials: req.budget_trials,
+                    ..TunerConfig::default()
+                };
+                let outcome = session
+                    .tune(&run, &config)
+                    .map_err(|e| WireError::from(&e))?;
+                Ok(outcome.to_json())
+            }
         }
     }
 
@@ -176,6 +200,7 @@ impl Service {
         let tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
         let tenants_json = json::object(tenants.iter().map(|(name, session)| {
             let cache = session.cache_stats();
+            let tuner = session.tuner_stats();
             (
                 name.as_str(),
                 json::object([
@@ -199,6 +224,8 @@ impl Service {
                             .unwrap_or_else(|| "null".to_string()),
                     ),
                     ("policy", json::string(cache.policy)),
+                    ("tuned_searches", tuner.searches.to_string()),
+                    ("tuned_hits", tuner.hits.to_string()),
                 ]),
             )
         }));
@@ -309,6 +336,61 @@ mod tests {
                 .unwrap()
                 > 0
         );
+    }
+
+    #[test]
+    fn tune_dispatches_and_stats_count_tuned_policies() {
+        let s = service();
+        let tune = parse_request(
+            r#"{"op":"tune","kernel":"fig2_ua_transfer","threads":2,"scale":40,
+                "budget_trials":4}"#,
+        )
+        .unwrap();
+        let outcome = jsonin::parse(&s.dispatch(&tune).unwrap()).unwrap();
+        assert_eq!(
+            outcome.get("program").and_then(|p| p.as_str()),
+            Some("fig2_ua_transfer")
+        );
+        assert_eq!(
+            outcome.get("provenance").and_then(|p| p.as_str()),
+            Some("tuned-search")
+        );
+        assert!(outcome.get("winner").and_then(|w| w.get("label")).is_some());
+
+        // The same shape reapplies the persisted winner: no re-search.
+        let again = jsonin::parse(&s.dispatch(&tune).unwrap()).unwrap();
+        assert_eq!(
+            again.get("provenance").and_then(|p| p.as_str()),
+            Some("tuned-cache")
+        );
+
+        // A tuned run applies it too, and reports the provenance.
+        let run = parse_request(
+            r#"{"op":"run","kernel":"fig2_ua_transfer","threads":2,"scale":40,
+                "policy":"tuned","validate":true}"#,
+        )
+        .unwrap();
+        let run_out = jsonin::parse(&s.dispatch(&run).unwrap()).unwrap();
+        assert_eq!(
+            run_out.get("policy").and_then(|p| p.as_str()),
+            Some("tuned")
+        );
+        assert_eq!(
+            run_out.get("policy_provenance").and_then(|p| p.as_str()),
+            Some("tuned-cache")
+        );
+
+        let stats = parse_request(r#"{"op":"stats"}"#).unwrap();
+        let snapshot = jsonin::parse(&s.dispatch(&stats).unwrap()).unwrap();
+        let tenant = snapshot
+            .get("tenants")
+            .and_then(|t| t.get("default"))
+            .unwrap();
+        assert_eq!(
+            tenant.get("tuned_searches").and_then(|v| v.as_i64()),
+            Some(1)
+        );
+        assert_eq!(tenant.get("tuned_hits").and_then(|v| v.as_i64()), Some(2));
     }
 
     #[test]

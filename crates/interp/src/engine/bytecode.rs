@@ -687,7 +687,7 @@ pub(super) fn try_dispatch_parallel(
 
         let start = Instant::now();
         let threads = opts.threads;
-        let schedule = super::choose_schedule(opts.schedule, f.skewed, n, threads);
+        let schedule = super::choose_schedule(opts.schedule, f.skewed, n, threads, opts.chunk);
         let dynamic = matches!(schedule, Schedule::Dynamic { .. });
 
         let nscalars = m.nscalars;

@@ -588,7 +588,8 @@ impl CompiledPolicy<Frame<'_>> for CompiledDispatch<'_> {
 
         let start = Instant::now();
         let threads = self.opts.threads;
-        let schedule = super::choose_schedule(self.opts.schedule, f.skewed, n, threads);
+        let schedule =
+            super::choose_schedule(self.opts.schedule, f.skewed, n, threads, self.opts.chunk);
         let dynamic = matches!(schedule, Schedule::Dynamic { .. });
 
         let nscalars = st.scalars.len();

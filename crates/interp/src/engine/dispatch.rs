@@ -64,6 +64,7 @@ impl LoopPolicy<HeapStore<'_>> for ParallelDispatch<'_> {
             ss_ir::slots::body_is_skewed(f.body),
             n,
             threads,
+            self.opts.chunk,
         );
         let dynamic = matches!(schedule, Schedule::Dynamic { .. });
 

@@ -161,6 +161,11 @@ pub struct LoopStats {
     /// inspector would have licensed parallel execution (AND over
     /// invocations); `None` when not inspected.
     pub inspector_conflict_free: Option<bool>,
+    /// For loops the wavefront engine executed as dependence level sets:
+    /// `(level count, average level width)` of the schedule that ran (last
+    /// invocation) — the schedule-quality facts `sspar run` surfaces
+    /// without the golden dumps.
+    pub wavefront: Option<(usize, f64)>,
 }
 
 /// Execution statistics for one engine run.
@@ -189,6 +194,11 @@ impl ExecStats {
         s.iterations += iterations;
         s.seconds += seconds;
         s.mode = mode;
+    }
+
+    pub(crate) fn record_wavefront(&mut self, id: LoopId, levels: usize, avg_width: f64) {
+        let s = self.loops.entry(id).or_default();
+        s.wavefront = Some((levels, avg_width));
     }
 
     pub(crate) fn record_inspection(&mut self, id: LoopId, conflict_free: bool) {
@@ -243,20 +253,27 @@ pub(crate) fn materialize_iteration_space(
 
 /// Maps the user's schedule choice (plus the loop's skew fact) onto a
 /// concrete runtime schedule — the other half of dispatch both engines
-/// must agree on.
+/// must agree on.  `chunk` overrides the auto-derived dynamic chunk size
+/// (the tuner's chunk axis); `None` keeps
+/// [`Schedule::dynamic_for`](ss_runtime::Schedule::dynamic_for)'s derivation.
 pub(crate) fn choose_schedule(
     choice: ScheduleChoice,
     skewed: bool,
     n: usize,
     threads: usize,
+    chunk: Option<usize>,
 ) -> ss_runtime::Schedule {
     use ss_runtime::Schedule;
+    let dynamic = || match chunk {
+        Some(c) => Schedule::Dynamic { chunk: c.max(1) },
+        None => Schedule::dynamic_for(n, threads),
+    };
     match choice {
         ScheduleChoice::Static => Schedule::Static,
-        ScheduleChoice::Dynamic => Schedule::dynamic_for(n, threads),
+        ScheduleChoice::Dynamic => dynamic(),
         ScheduleChoice::Auto => {
             if skewed {
-                Schedule::dynamic_for(n, threads)
+                dynamic()
             } else {
                 Schedule::Static
             }
@@ -296,6 +313,11 @@ pub struct ExecOptions {
     pub threads: usize,
     /// Scheduling of dispatched loops.
     pub schedule: ScheduleChoice,
+    /// Fixed chunk size for dynamic (chunk-stealing) scheduling; `None`
+    /// derives the chunk from the iteration count and thread count.  Only
+    /// consulted when the resolved schedule is dynamic — this is the
+    /// tuner's chunk-size axis.
+    pub chunk: Option<usize>,
     /// Which bytecode stream the bytecode engine executes: the base
     /// compiler's (`O0`) or the optimized one (`O1`, the default).  Both
     /// are produced by the one pipeline invocation and are bit-identical
@@ -328,6 +350,7 @@ impl Default for ExecOptions {
         ExecOptions {
             threads: ss_runtime::hardware_threads(),
             schedule: ScheduleChoice::Auto,
+            chunk: None,
             opt_level: OptLevel::O1,
             baseline_inspector: false,
             min_parallel_trip: 2,

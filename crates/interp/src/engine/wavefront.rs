@@ -302,7 +302,8 @@ fn execute_wavefront(
     let mut dynamic = false;
     for level in &schedule.by_level {
         let nl = level.len();
-        let level_schedule = super::choose_schedule(opts.schedule, f.skewed, nl, threads);
+        let level_schedule =
+            super::choose_schedule(opts.schedule, f.skewed, nl, threads, opts.chunk);
         dynamic = dynamic || matches!(level_schedule, Schedule::Dynamic { .. });
         let level_ref = &level[..];
         let acc = with_shared_team_in(opts.team_group, threads, |team| {
@@ -391,6 +392,8 @@ fn execute_wavefront(
         start.elapsed().as_secs_f64(),
         ExecMode::Parallel { threads, dynamic },
     );
+    env.stats
+        .record_wavefront(f.id, schedule.by_level.len(), schedule.avg_width());
     Ok(())
 }
 

@@ -28,7 +28,12 @@
 //!   scalars, dense row-major arrays);
 //! * [`inputs`] — reproducible input synthesis for any program via a
 //!   discovery pass (sizes arrays by observation, fills them with
-//!   deterministic pseudo-random data).
+//!   deterministic pseudo-random data);
+//! * [`tuner`] — the kease-style auto-tuner: measured search over the
+//!   policy space (engine × opt level × schedule × chunk × threads),
+//!   pruned by the compile-time loop facts, with winners persisted per
+//!   `(program hash, input-shape signature)` in the session artifact
+//!   cache and auto-applied by [`RunPolicy::Tuned`].
 //!
 //! The generative counterpart of the differential mode is
 //! `tests/engine_fuzz.rs` at the workspace root, which asserts the same
@@ -67,6 +72,7 @@ pub mod heap;
 pub mod inputs;
 pub mod json;
 pub mod session;
+pub mod tuner;
 
 pub use engine::bytecode::{reset_pair_counts, set_pair_profiling, top_instruction_pairs};
 pub use engine::{
@@ -79,7 +85,8 @@ pub use inputs::{input_value, synthesize_inputs, InputSpec};
 pub use json::heap_json;
 pub use session::{
     analysis_json, engine_label, registry_json, verdict_summary, CacheStats, ExecutionMode,
-    InputSource, LoopVerdictSummary, RunOutcome, RunRequest, Session, ValidationMode,
-    ValidationSummary,
+    InputSource, LoopVerdictSummary, RunOutcome, RunPolicy, RunRequest, Session, TuneOutcome,
+    TunerStats, ValidationMode, ValidationSummary,
 };
 pub use ss_ir::opt::OptLevel;
+pub use tuner::{tune_search_count, PolicyPoint, TunedPolicy, TunerConfig};

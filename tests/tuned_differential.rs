@@ -1,0 +1,45 @@
+//! The tuner's differential leg: every catalogue kernel, executed under
+//! `policy: Tuned`, must stay bit-identical to the reference engine — a
+//! tuned policy changes *how* the program runs (engine, schedule, chunk,
+//! threads), never *what* it computes.
+
+use ss_interp::{RunPolicy, RunRequest, Session, TunerConfig, ValidationMode};
+
+#[test]
+fn tuned_policies_stay_bit_identical_to_reference_over_the_catalogue() {
+    let session = Session::new();
+    for kernel in ss_npb::study_kernels() {
+        // Pre-search with a tight budget so the matrix stays fast; the
+        // tuned run below must reapply the persisted winner, not search.
+        let request = RunRequest::new(kernel.name, kernel.source)
+            .scale(40)
+            .threads(2)
+            .policy(RunPolicy::Tuned);
+        session
+            .tune(
+                &request,
+                &TunerConfig {
+                    budget_trials: Some(4),
+                    repeats: 1,
+                    ..TunerConfig::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{}: tune failed: {e}", kernel.name));
+        let outcome = session
+            .run(&request.clone().validation(ValidationMode::Differential))
+            .unwrap_or_else(|e| panic!("{}: tuned run failed: {e}", kernel.name));
+        assert_eq!(outcome.policy, "tuned", "{}", kernel.name);
+        assert_eq!(
+            outcome.policy_provenance.as_deref(),
+            Some("tuned-cache"),
+            "{}: the tuned run must reuse the persisted policy",
+            kernel.name
+        );
+        assert!(
+            outcome.heaps_match(),
+            "{}: tuned run diverged from reference: {:?}",
+            kernel.name,
+            outcome.mismatches()
+        );
+    }
+}
